@@ -1,0 +1,62 @@
+//! Wall-clock comparison against the baselines: one dynamic update vs one
+//! Luby recompute vs one deterministic-greedy update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dmis_core::MisEngine;
+use dmis_graph::{generators, TopologyChange};
+use dmis_protocol::{luby, DeterministicGreedy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    for &n in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("random_greedy_update", n), &n, |b, _| {
+            let mut engine = MisEngine::from_graph(g.clone(), 1);
+            let mut rng = StdRng::seed_from_u64(2);
+            let edges: Vec<_> = (0..256)
+                .map(|_| generators::random_edge(engine.graph(), &mut rng).expect("has edges"))
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(engine.remove_edge(u, v).expect("valid"));
+                black_box(engine.insert_edge(u, v).expect("valid"));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("det_greedy_update", n), &n, |b, _| {
+            let mut det = DeterministicGreedy::new(g.clone());
+            let mut rng = StdRng::seed_from_u64(2);
+            let edges: Vec<_> = (0..256)
+                .map(|_| generators::random_edge(det.graph(), &mut rng).expect("has edges"))
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(det.apply(&TopologyChange::DeleteEdge(u, v)).expect("valid"));
+                black_box(det.apply(&TopologyChange::InsertEdge(u, v)).expect("valid"));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("luby_full_recompute", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(luby::run(&g, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_baselines
+}
+criterion_main!(benches);

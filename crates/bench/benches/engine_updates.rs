@@ -1,0 +1,70 @@
+//! Wall-clock cost of a single dynamic update vs recomputing from scratch
+//! — the sequential-cost side of the paper's separation (Section 6: a
+//! direct sequential implementation pays O(Δ) per adjusted node, versus
+//! Θ(n + m) for any from-scratch recomputation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dmis_core::{static_greedy, MisEngine};
+use dmis_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_update_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_update_vs_recompute");
+    for &n in &[100usize, 1000, 5000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+        let engine = MisEngine::from_graph(g.clone(), 42);
+
+        group.bench_with_input(BenchmarkId::new("dynamic_edge_toggle", n), &n, |b, _| {
+            // Toggle one random edge per iteration (delete + reinsert keeps
+            // the graph statistically stationary).
+            let mut engine = engine.clone();
+            // Pre-sample the toggled edges so the timed loop measures the
+            // engine, not the O(m) uniform edge sampler.
+            let mut rng = StdRng::seed_from_u64(7);
+            let edges: Vec<_> = (0..256)
+                .map(|_| generators::random_edge(engine.graph(), &mut rng).expect("has edges"))
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(engine.remove_edge(u, v).expect("valid"));
+                black_box(engine.insert_edge(u, v).expect("valid"));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("static_greedy_recompute", n), &n, |b, _| {
+            b.iter(|| black_box(static_greedy::greedy_mis(engine.graph(), engine.priorities())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_node_churn");
+    for &n in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, ids) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("insert_delete_node", n), &n, |b, _| {
+            let mut engine = MisEngine::from_graph(g.clone(), 3);
+            b.iter(|| {
+                let (v, _) = engine
+                    .insert_node([ids[0], ids[1], ids[2]])
+                    .expect("valid");
+                black_box(engine.remove_node(v).expect("valid"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_update_vs_recompute, bench_node_churn
+}
+criterion_main!(benches);

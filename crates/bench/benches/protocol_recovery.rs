@@ -1,0 +1,59 @@
+//! Wall-clock cost of one distributed recovery (simulator time) for the
+//! two protocols of the paper, per change type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dmis_graph::{generators, DistributedChange};
+use dmis_protocol::{ConstantBroadcast, TemplateDirect};
+use dmis_sim::{Protocol, SyncNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_edge_toggle<P: Protocol + Copy>(
+    c: &mut Criterion,
+    name: &str,
+    proto: P,
+) {
+    let mut group = c.benchmark_group(format!("recovery_{name}"));
+    for &n in &[64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("edge_toggle", n), &n, |b, _| {
+            let mut net = SyncNetwork::bootstrap(proto, g.clone(), 1);
+            let mut rng = StdRng::seed_from_u64(9);
+            let edges: Vec<_> = (0..256)
+                .map(|_| {
+                    generators::random_edge(&net.logical_graph(), &mut rng)
+                        .expect("has edges")
+                })
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(
+                    net.apply_change(&DistributedChange::AbruptDeleteEdge(u, v))
+                        .expect("valid"),
+                );
+                black_box(
+                    net.apply_change(&DistributedChange::InsertEdge(u, v))
+                        .expect("valid"),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    bench_edge_toggle(c, "algorithm2", ConstantBroadcast);
+    bench_edge_toggle(c, "direct_template", TemplateDirect);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_protocols
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Experiment runner: regenerates every quantitative claim of the paper.
+//!
+//! ```text
+//! experiments [--quick] [e1 e2 ... | all]
+//! ```
+//!
+//! With no experiment arguments, runs all of E1–E11. `--quick` shrinks
+//! trial counts (used in CI); full runs feed EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use dmis_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let picked: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    println!("# Optimal Dynamic Distributed MIS — experiment suite");
+    println!();
+    println!(
+        "mode: {} | started: (wall-clock timings per experiment below)",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+
+    let run_list: Vec<String> = if picked.is_empty() || picked.iter().any(|p| p == "all") {
+        (1..=14).map(|i| format!("e{i}")).collect()
+    } else {
+        picked
+    };
+
+    for id in run_list {
+        let start = Instant::now();
+        match experiments::run_one(&id, quick) {
+            Some(report) => {
+                println!("{report}");
+                println!("_({} completed in {:.1?})_", id, start.elapsed());
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' — expected e1..e14 or all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! E11 — ablation: direct template vs Algorithm 2.
+//!
+//! The direct implementation flips a node every time its invariant is
+//! violated, so a node can change state (and broadcast) several times per
+//! recovery — the paper notes the naive broadcast count "may be as large
+//! as |S|²", which is why Algorithm 2 adds the `C`/`R` states to commit
+//! each node once (Lemma 8), at the price of a constant-factor more
+//! rounds. We measure both protocols on:
+//!
+//! - the paper's `u₂` gadget (a node provably flipping twice);
+//! - the ordered-path cascade (the max-|S| single change, where each node
+//!   flips exactly once and the direct protocol is leaner);
+//! - random sparse graphs (the expected case where both are O(1)).
+
+use dmis_core::template::u2_gadget;
+use dmis_graph::{generators, DistributedChange};
+use dmis_protocol::{ConstantBroadcast, TemplateDirect};
+use dmis_sim::{ChangeOutcome, Protocol, SyncNetwork};
+
+use super::common::trial_rng;
+use super::Report;
+use crate::stats::Summary;
+use crate::table::Table;
+
+fn run_both<F>(mut build: F) -> (ChangeOutcome, ChangeOutcome)
+where
+    F: FnMut() -> (
+        dmis_graph::DynGraph,
+        dmis_core::PriorityMap,
+        DistributedChange,
+    ),
+{
+    fn one<P: Protocol>(
+        proto: P,
+        g: dmis_graph::DynGraph,
+        pm: dmis_core::PriorityMap,
+        change: &DistributedChange,
+    ) -> ChangeOutcome {
+        let mut net = SyncNetwork::bootstrap_with_priorities(proto, g, pm, 0);
+        let outcome = net.apply_change(change).expect("valid change");
+        net.assert_greedy_invariant();
+        outcome
+    }
+    let (g, pm, change) = build();
+    let direct = one(TemplateDirect, g.clone(), pm.clone(), &change);
+    let (g, pm, change) = build();
+    let alg2 = one(ConstantBroadcast, g, pm, &change);
+    (direct, alg2)
+}
+
+/// Runs experiment E11.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let mut table = Table::new(vec![
+        "workload",
+        "direct bcasts",
+        "alg2 bcasts",
+        "direct rounds",
+        "alg2 rounds",
+    ]);
+
+    // (a) The u₂ gadget: |S| = 5 but the direct protocol pays 6 state
+    // broadcasts (u₂ twice).
+    let (direct, alg2) = run_both(|| {
+        let (g, pm, [v_star, _, _, _, _, anchor]) = u2_gadget();
+        (g, pm, DistributedChange::InsertEdge(anchor, v_star))
+    });
+    table.row(vec![
+        "u2 gadget (S=5)".into(),
+        direct.metrics.broadcasts.to_string(),
+        alg2.metrics.broadcasts.to_string(),
+        direct.metrics.rounds.to_string(),
+        alg2.metrics.rounds.to_string(),
+    ]);
+
+    // (b) Ordered-path cascade: every node flips exactly once.
+    for &n in &[16usize, 64] {
+        let (direct, alg2) = run_both(|| {
+            let (g, ids) = generators::path(n);
+            let pm = dmis_core::PriorityMap::from_order(&ids);
+            (
+                g,
+                pm,
+                DistributedChange::AbruptDeleteEdge(
+                    dmis_graph::NodeId(0),
+                    dmis_graph::NodeId(1),
+                ),
+            )
+        });
+        table.row(vec![
+            format!("ordered path n={n} (S=n-1)"),
+            direct.metrics.broadcasts.to_string(),
+            alg2.metrics.broadcasts.to_string(),
+            direct.metrics.rounds.to_string(),
+            alg2.metrics.rounds.to_string(),
+        ]);
+    }
+
+    // (c) Random sparse graphs, expected case.
+    let trials = if quick { 80 } else { 400 };
+    let n = if quick { 40 } else { 100 };
+    let (mut db, mut ab, mut dr, mut ar) = (vec![], vec![], vec![], vec![]);
+    for trial in 0..trials {
+        let mut rng = trial_rng(11_000, trial as u64);
+        let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+        let Some((u, v)) = generators::random_edge(&g, &mut rng) else {
+            continue;
+        };
+        let mut pm_rng = trial_rng(11_500, trial as u64);
+        let pm = super::common::random_priorities(&g, &mut pm_rng);
+        let change = DistributedChange::AbruptDeleteEdge(u, v);
+        let mut net =
+            SyncNetwork::bootstrap_with_priorities(TemplateDirect, g.clone(), pm.clone(), 0);
+        let direct = net.apply_change(&change).expect("valid");
+        let mut net = SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g, pm, 0);
+        let alg2 = net.apply_change(&change).expect("valid");
+        db.push(direct.metrics.broadcasts);
+        ab.push(alg2.metrics.broadcasts);
+        dr.push(direct.metrics.rounds);
+        ar.push(alg2.metrics.rounds);
+    }
+    table.row(vec![
+        format!("ER({n}, 8/n) edge-delete (mean of {trials})"),
+        format!("{:.2}", Summary::of_counts(&db).mean),
+        format!("{:.2}", Summary::of_counts(&ab).mean),
+        format!("{:.2}", Summary::of_counts(&dr).mean),
+        format!("{:.2}", Summary::of_counts(&ar).mean),
+    ]);
+
+    let body = format!(
+        "{table}\n\
+         Reading: on the u₂ gadget the direct template re-broadcasts \
+         (6 state changes for |S| = 5; adversarial nestings push this \
+         toward the |S|² worst case the paper cites), while Algorithm 2 \
+         commits each influenced node exactly once (Lemma 8) at ≤ 3 \
+         broadcasts per node plus the fixed handshake — its rounds are a \
+         constant factor higher because of the two-round C-guard. In the \
+         expected case (bottom row) both are O(1); Algorithm 2's advantage \
+         is the *guarantee*, bounding broadcasts by O(|S|) instead of \
+         O(|S|²).\n"
+    );
+    Report {
+        id: "E11",
+        title: "Ablation: direct template vs Algorithm 2",
+        claim: "A naive implementation of the template may broadcast up to \
+                |S|² times because nodes flip repeatedly; Algorithm 2's C/R \
+                states cap each node at one commit (3 broadcasts), trading a \
+                constant factor in rounds.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_quick_shows_double_flip_overhead() {
+        let report = run(true);
+        let row = report
+            .body
+            .lines()
+            .find(|l| l.contains("u2 gadget"))
+            .expect("gadget row");
+        let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        let direct: usize = cells[2].parse().unwrap();
+        // 2 Info + 6 state changes: u₂ flips twice.
+        assert_eq!(direct, 8);
+        let alg2_rounds: usize = cells[5].parse().unwrap();
+        let direct_rounds: usize = cells[4].parse().unwrap();
+        assert!(alg2_rounds >= direct_rounds, "alg2 trades rounds for bcasts");
+    }
+}

@@ -1,0 +1,101 @@
+//! E13 (extension) — recovery from state corruption.
+//!
+//! The paper situates itself next to the self-stabilization literature
+//! (super-stabilization: recover fast from a single change AND eventually
+//! from any state). The template relaxation *is* a self-stabilizing rule —
+//! the greedy configuration is the unique fixed point of the local
+//! invariant — so we measure how recovery cost scales when an adversary
+//! corrupts the outputs of k nodes without touching the topology.
+
+use dmis_core::template;
+use dmis_graph::generators;
+use rand::seq::SliceRandom;
+
+use super::common::{random_priorities, trial_rng};
+use super::Report;
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Runs experiment E13.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 60 } else { 200 };
+    let trials = if quick { 80 } else { 300 };
+    let ks: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let mut table = Table::new(vec![
+        "k corrupted",
+        "influenced (mean ± CI)",
+        "rounds (mean ± CI)",
+        "state changes (mean ± CI)",
+    ]);
+    for &k in ks {
+        let mut influenced = Vec::with_capacity(trials);
+        let mut rounds = Vec::with_capacity(trials);
+        let mut changes = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let mut rng = trial_rng(13_000 + k as u64, trial as u64);
+            let (g, mut ids) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+            let pm = random_priorities(&g, &mut rng);
+            ids.shuffle(&mut rng);
+            let corrupted = &ids[..k.min(ids.len())];
+            let trace = template::simulate_corruption(&g, &pm, corrupted);
+            influenced.push(trace.s_size());
+            rounds.push(trace.rounds);
+            changes.push(trace.total_state_changes);
+        }
+        table.row(vec![
+            k.to_string(),
+            Summary::of_counts(&influenced).mean_ci(),
+            Summary::of_counts(&rounds).mean_ci(),
+            Summary::of_counts(&changes).mean_ci(),
+        ]);
+    }
+    let body = format!(
+        "Outputs of k random nodes inverted on a stable ER(n={n}, 8/n) \
+         system; {trials} trials per k; the template relaxes back to the \
+         valid configuration.\n\n{table}\n\
+         Reading: recovery is **local** — the influenced set and total work \
+         grow linearly in k (roughly the corrupted nodes plus an O(1)-size \
+         halo each; note a corrupted node whose lie is locally consistent \
+         still has to flip back, so influenced ≈ k + overflow), and the \
+         round count stays bounded by the longest priority-increasing \
+         cascade, not by n. This is the super-stabilization flavor the \
+         related-work section aims at: fast recovery from bounded faults, \
+         eventual recovery from any state (the k = n column of the unit \
+         tests).\n"
+    );
+    Report {
+        id: "E13",
+        title: "Extension: recovery from k corrupted outputs",
+        claim: "The template's local rule is self-stabilizing (the greedy MIS \
+                is its unique fixed point); recovery cost from k corrupted \
+                outputs should scale with k, not with n.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_quick_recovery_is_linear_in_k() {
+        let report = run(true);
+        let get = |k: &str| -> f64 {
+            let row = report
+                .body
+                .lines()
+                .find(|l| l.starts_with(&format!("| {k} ")))
+                .unwrap_or_else(|| panic!("row for k={k}"));
+            let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+            cells[2].split_whitespace().next().unwrap().parse().unwrap()
+        };
+        let at1 = get("1");
+        let at16 = get("16");
+        assert!(at1 <= 4.0, "single corruption should stay tiny, got {at1}");
+        assert!(
+            at16 <= 16.0 * 4.0,
+            "k=16 recovery {at16} should be O(k), not O(n)"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! E1 — Theorem 1: `E_π[|S|] ≤ 1` for any single topology change.
+//!
+//! For each graph family and change type we repeatedly redraw the random
+//! order π (the theorem's expectation is over π only; the change is chosen
+//! obliviously) and run the faithful template simulation to measure the
+//! influenced set `S`. The sample mean of `|S|` must be ≤ 1 up to CI slack.
+
+use dmis_core::template;
+use dmis_graph::TopologyChange;
+
+use super::common::{change_of_kind, random_priorities, trial_rng};
+use super::Report;
+use crate::families::Family;
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Runs experiment E1.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 60 } else { 150 };
+    let trials = if quick { 120 } else { 400 };
+    let mut table = Table::new(vec![
+        "family",
+        "edge-insert",
+        "edge-delete",
+        "node-insert",
+        "node-delete",
+    ]);
+    let mut worst_mean: f64 = 0.0;
+    for family in Family::ALL {
+        let mut cells = vec![family.label().to_string()];
+        for kind in 0..4 {
+            let mut samples = Vec::with_capacity(trials);
+            for trial in 0..trials {
+                let mut rng = trial_rng(1000 + kind as u64, trial as u64);
+                let g_old = family.build(n, &mut rng);
+                let mut pm = random_priorities(&g_old, &mut rng);
+                let Some(change) = change_of_kind(&g_old, kind, &mut rng) else {
+                    continue;
+                };
+                if let TopologyChange::InsertNode { id, .. } = &change {
+                    pm.assign(*id, &mut rng);
+                }
+                let mut g_new = g_old.clone();
+                change.apply(&mut g_new).expect("valid change");
+                let trace = template::simulate_change(&g_old, &g_new, &pm, &change);
+                samples.push(trace.s_size());
+            }
+            let summary = Summary::of_counts(&samples);
+            worst_mean = worst_mean.max(summary.mean);
+            cells.push(summary.mean_ci());
+        }
+        table.row(cells);
+    }
+    let body = format!(
+        "Mean |S| (± 95% CI) over {trials} fresh random orders per cell, n ≈ {n}.\n\n{table}\n\
+         Worst cell mean: {worst_mean:.3} — the paper's bound is E[|S|] ≤ 1 \
+         for every topology change, so all cells must sit at or below 1 \
+         (up to CI). Note the bound holds per-change, not just amortized.\n"
+    );
+    Report {
+        id: "E1",
+        title: "Theorem 1: expected influenced-set size ≤ 1",
+        claim: "For any single topology change, the expected number of nodes \
+                that change output in the random-greedy template is at most 1, \
+                over the randomness of the order π.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_quick_is_within_bound() {
+        let report = run(true);
+        assert_eq!(report.id, "E1");
+        assert!(report.body.contains("Worst cell mean"));
+        // Extract the worst mean and assert the theorem (with CI slack).
+        let worst: f64 = report
+            .body
+            .lines()
+            .find(|l| l.starts_with("Worst cell mean"))
+            .and_then(|l| {
+                l.split(':')
+                    .nth(1)?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .expect("worst mean parseable");
+        // |S| is heavy-tailed on the bipartite family (a deletion can flip
+        // the whole side with probability ~1/n), so the quick-mode sample
+        // mean gets generous slack; the full run in EXPERIMENTS.md shows
+        // values at or below 1.
+        assert!(worst <= 2.0, "E[|S|] sample mean {worst} violates Theorem 1");
+    }
+}

@@ -1,0 +1,174 @@
+//! E2 — Corollary 6: the direct template implementation needs one
+//! adjustment and one round in expectation, synchronously and
+//! asynchronously.
+//!
+//! Synchronous: bootstrap a [`dmis_protocol::TemplateDirect`] network with
+//! a fresh π per trial, apply one random change per type, record rounds and
+//! adjustments. Join handshakes add their fixed 2–3 setup rounds on top of
+//! the expected single recovery round; the table separates the change
+//! types so this is visible.
+//!
+//! Asynchronous: the same protocol on the event-driven engine under random
+//! link delays; "rounds" is the longest causal message chain.
+
+use std::collections::BTreeMap;
+
+use dmis_core::{static_greedy, MisState};
+use dmis_graph::{generators, DistributedChange, NodeId};
+use dmis_protocol::{TdNode, TemplateDirect};
+use dmis_sim::{AsyncNetwork, LocalEvent, NeighborInfo, Protocol, RandomDelays, SyncNetwork};
+
+use super::common::{random_priorities, trial_rng};
+use super::Report;
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Runs experiment E2.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let n = if quick { 40 } else { 100 };
+    let trials = if quick { 60 } else { 200 };
+    let mut table = Table::new(vec!["model / change", "adjustments", "rounds"]);
+
+    // Synchronous, per change type.
+    #[allow(clippy::type_complexity)]
+    let sync_kinds: [(&str, fn(&mut SyncNetwork<TemplateDirect>, &mut rand::rngs::StdRng) -> Option<DistributedChange>); 4] = [
+        ("sync edge-insert", |net, rng| {
+            generators::random_non_edge(&net.logical_graph(), rng)
+                .map(|(u, v)| DistributedChange::InsertEdge(u, v))
+        }),
+        ("sync edge-delete", |net, rng| {
+            generators::random_edge(&net.logical_graph(), rng)
+                .map(|(u, v)| DistributedChange::AbruptDeleteEdge(u, v))
+        }),
+        ("sync node-insert(deg 3)", |net, rng| {
+            let nodes: Vec<NodeId> = net.logical_graph().nodes().collect();
+            if nodes.len() < 3 {
+                return None;
+            }
+            let mut pool = nodes;
+            let mut edges = Vec::new();
+            for _ in 0..3 {
+                let i = rand::Rng::random_range(rng, 0..pool.len());
+                edges.push(pool.swap_remove(i));
+            }
+            Some(DistributedChange::InsertNode {
+                id: net.graph().peek_next_id(),
+                edges,
+            })
+        }),
+        ("sync node-delete(abrupt)", |net, rng| {
+            generators::random_node(&net.logical_graph(), rng)
+                .map(DistributedChange::AbruptDeleteNode)
+        }),
+    ];
+
+    for (label, pick) in sync_kinds {
+        let mut adjustments = Vec::new();
+        let mut rounds = Vec::new();
+        for trial in 0..trials {
+            let mut rng = trial_rng(2000, trial as u64);
+            let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+            let mut net = SyncNetwork::bootstrap(TemplateDirect, g, trial as u64);
+            let Some(change) = pick(&mut net, &mut rng) else {
+                continue;
+            };
+            let outcome = net.apply_change(&change).expect("valid change");
+            net.assert_greedy_invariant();
+            adjustments.push(outcome.adjustments());
+            rounds.push(outcome.metrics.rounds);
+        }
+        table.row(vec![
+            label.to_string(),
+            Summary::of_counts(&adjustments).mean_ci(),
+            Summary::of_counts(&rounds).mean_ci(),
+        ]);
+    }
+
+    // Asynchronous edge deletions under random delays.
+    let mut adjustments = Vec::new();
+    let mut depths = Vec::new();
+    for trial in 0..trials {
+        let mut rng = trial_rng(2100, trial as u64);
+        let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+        let pm = random_priorities(&g, &mut rng);
+        let Some((u, v)) = generators::random_edge(&g, &mut rng) else {
+            continue;
+        };
+        let mis = static_greedy::greedy_mis(&g, &pm);
+        let proto = TemplateDirect;
+        let nodes: BTreeMap<NodeId, TdNode> = g
+            .nodes()
+            .map(|w| {
+                let info: Vec<NeighborInfo> = g
+                    .neighbors(w)
+                    .expect("live node")
+                    .map(|x| NeighborInfo {
+                        id: x,
+                        ell: pm.of(x).key(),
+                        state: MisState::from_membership(mis.contains(&x)),
+                    })
+                    .collect();
+                (
+                    w,
+                    proto.spawn_stable(
+                        w,
+                        pm.of(w).key(),
+                        MisState::from_membership(mis.contains(&w)),
+                        &info,
+                    ),
+                )
+            })
+            .collect();
+        let mut net = AsyncNetwork::new(g.clone(), nodes, RandomDelays::new(trial as u64, 5));
+        net.graph_mut().remove_edge(u, v).expect("edge exists");
+        for (a, b) in [(u, v), (v, u)] {
+            net.inject_event(
+                a,
+                LocalEvent::EdgeRemoved {
+                    peer: b,
+                    graceful: false,
+                },
+            );
+        }
+        let outcome = net.run();
+        let before = mis;
+        let after = net.mis();
+        adjustments.push(before.symmetric_difference(&after).count());
+        depths.push(outcome.causal_depth);
+    }
+    table.row(vec![
+        "async edge-delete (random delays)".to_string(),
+        Summary::of_counts(&adjustments).mean_ci(),
+        Summary::of_counts(&depths).mean_ci(),
+    ]);
+
+    let body = format!(
+        "Direct template protocol, ER(n={n}, p=8/n), {trials} trials per row \
+         (fresh π each trial).\n\n{table}\n\
+         Expected: ≈1 adjustment everywhere; recovery rounds O(1) — pure \
+         edge changes stabilize in ~1 round, insertions add their fixed \
+         handshake rounds (the §4.1 exchange), and the async causal depth \
+         stays constant in expectation.\n"
+    );
+    Report {
+        id: "E2",
+        title: "Corollary 6: one adjustment, one round (sync + async)",
+        claim: "A direct distributed implementation of the template has, in \
+                expectation, a single adjustment and a single round, in both \
+                the synchronous and asynchronous models.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_quick_runs_and_adjustments_are_small() {
+        let report = run(true);
+        assert_eq!(report.id, "E2");
+        assert!(report.body.contains("async edge-delete"));
+    }
+}

@@ -1,0 +1,201 @@
+//! E6 — history independence (Definition 14): the output distribution on a
+//! graph `G` depends only on `G`, not on the topology-change history that
+//! produced it.
+//!
+//! We fix a small target graph and reach it through three very different
+//! histories; for each we sample the MIS distribution over many fresh
+//! random seeds and compare distributions by total-variation distance.
+//! The paper's algorithm must show TV ≈ 0 (sampling noise only); the
+//! "natural" deterministic greedy is history-*dependent* in general — its
+//! fixed outputs under different histories coincide here only because it
+//! ignores randomness, so the star example (E7) is where its bias shows.
+
+use std::collections::BTreeMap;
+
+use dmis_core::MisEngine;
+use dmis_graph::{DynGraph, NodeId, TopologyChange};
+
+use super::Report;
+use crate::stats::total_variation;
+use crate::table::Table;
+
+/// The fixed 6-node target graph: a 5-cycle with a chord and a pendant.
+fn target_edges() -> Vec<(u64, u64)> {
+    vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3), (2, 5)]
+}
+
+/// History A: insert nodes 0..=5, then the edges in canonical order.
+fn history_canonical() -> Vec<TopologyChange> {
+    let mut h = Vec::new();
+    for id in 0..6 {
+        h.push(TopologyChange::InsertNode {
+            id: NodeId(id),
+            edges: vec![],
+        });
+    }
+    for (u, v) in target_edges() {
+        h.push(TopologyChange::InsertEdge(NodeId(u), NodeId(v)));
+    }
+    h
+}
+
+/// History B: build a clique on 0..=5 first, then delete the surplus edges.
+fn history_dense_first() -> Vec<TopologyChange> {
+    let mut h = Vec::new();
+    for id in 0..6u64 {
+        let edges: Vec<NodeId> = (0..id).map(NodeId).collect();
+        h.push(TopologyChange::InsertNode {
+            id: NodeId(id),
+            edges,
+        });
+    }
+    let target = target_edges();
+    for u in 0..6u64 {
+        for v in (u + 1)..6 {
+            if !target.contains(&(u, v)) && !target.contains(&(v, u)) {
+                h.push(TopologyChange::DeleteEdge(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+    h
+}
+
+/// History C: canonical build plus churn — extra nodes and edges inserted
+/// and deleted again (the adversary trying to bias the output).
+fn history_churny() -> Vec<TopologyChange> {
+    let mut h = history_canonical();
+    // A ghost hub connected everywhere, later removed.
+    h.push(TopologyChange::InsertNode {
+        id: NodeId(6),
+        edges: (0..6).map(NodeId).collect(),
+    });
+    // Extra edge flickering.
+    h.push(TopologyChange::DeleteEdge(NodeId(0), NodeId(1)));
+    h.push(TopologyChange::InsertEdge(NodeId(0), NodeId(1)));
+    h.push(TopologyChange::DeleteNode(NodeId(6)));
+    // One more ghost, attached differently.
+    h.push(TopologyChange::InsertNode {
+        id: NodeId(7),
+        edges: vec![NodeId(2), NodeId(3)],
+    });
+    h.push(TopologyChange::DeleteNode(NodeId(7)));
+    h
+}
+
+fn sample_distribution(
+    history: &[TopologyChange],
+    trials: usize,
+    tag: u64,
+) -> BTreeMap<u64, usize> {
+    let mut dist: BTreeMap<u64, usize> = BTreeMap::new();
+    for trial in 0..trials {
+        let mut engine = MisEngine::new(tag.wrapping_mul(0x1234_5678) + trial as u64);
+        for change in history {
+            engine.apply(change).expect("valid history");
+        }
+        // Encode the MIS over nodes 0..6 as a bitmask.
+        let mask: u64 = engine
+            .mis()
+            .into_iter()
+            .map(|v| 1u64 << v.index())
+            .sum();
+        *dist.entry(mask).or_insert(0) += 1;
+    }
+    dist
+}
+
+/// Runs experiment E6.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let trials = if quick { 2000 } else { 20000 };
+    let a = sample_distribution(&history_canonical(), trials, 61);
+    let b = sample_distribution(&history_dense_first(), trials, 62);
+    let c = sample_distribution(&history_churny(), trials, 63);
+    // Sanity: all histories produce the same final graph.
+    let mut g = DynGraph::new();
+    for change in history_canonical() {
+        change.apply(&mut g).expect("valid");
+    }
+
+    let mut table = Table::new(vec!["history pair", "TV distance", "outcomes seen"]);
+    table.row(vec![
+        "canonical vs dense-first".into(),
+        format!("{:.4}", total_variation(&a, &b)),
+        format!("{} / {}", a.len(), b.len()),
+    ]);
+    table.row(vec![
+        "canonical vs churny".into(),
+        format!("{:.4}", total_variation(&a, &c)),
+        format!("{} / {}", a.len(), c.len()),
+    ]);
+    table.row(vec![
+        "dense-first vs churny".into(),
+        format!("{:.4}", total_variation(&b, &c)),
+        format!("{} / {}", b.len(), c.len()),
+    ]);
+
+    // Sampling-noise yardstick: two independent samples of the SAME history.
+    let a2 = sample_distribution(&history_canonical(), trials, 64);
+    let noise = total_variation(&a, &a2);
+
+    let body = format!(
+        "Fixed 6-node target graph reached via three histories; MIS \
+         distribution sampled over {trials} fresh seeds per history.\n\n\
+         {table}\n\
+         Same-history resampling noise: {noise:.4}. History independence \
+         requires all pairwise TV distances to be at the noise level — the \
+         adversary cannot bias the output by choosing the construction \
+         path. (Contrast: a history-dependent greedy is deterministic per \
+         history and can be steered to any of its feasible outputs; E7 \
+         quantifies the damage on the star.)\n"
+    );
+    Report {
+        id: "E6",
+        title: "History independence (Definition 14)",
+        claim: "The distribution of the output structure depends only on the \
+                current graph, not on the history of topology changes that \
+                constructed it.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histories_reach_the_same_graph() {
+        let mut ga = DynGraph::new();
+        for c in history_canonical() {
+            c.apply(&mut ga).unwrap();
+        }
+        let mut gb = DynGraph::new();
+        for c in history_dense_first() {
+            c.apply(&mut gb).unwrap();
+        }
+        let mut gc = DynGraph::new();
+        for c in history_churny() {
+            c.apply(&mut gc).unwrap();
+        }
+        assert_eq!(ga, gb);
+        // History C creates ghost ids, so compare structure over 0..6.
+        assert_eq!(ga.node_count(), gc.node_count());
+        assert_eq!(ga.edge_count(), gc.edge_count());
+        for (u, v) in target_edges() {
+            assert!(gc.has_edge(NodeId(u), NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn e6_quick_tv_is_small() {
+        let report = run(true);
+        for line in report.body.lines().filter(|l| l.contains(" vs ")) {
+            let tv: f64 = line
+                .split('|')
+                .nth(2)
+                .and_then(|c| c.trim().parse().ok())
+                .expect("tv cell");
+            assert!(tv < 0.08, "history dependence detected: {line}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! E9 — Section 5, Example 3: random greedy coloring.
+//!
+//! (a) On the complete bipartite graph minus a perfect matching, random
+//! greedy produces an optimal 2-coloring with probability `1 − 1/n`, so
+//! the expected palette is `2 + o(1)` — while a worst-case first-fit can
+//! be driven to Θ(Δ) colors.
+//!
+//! (b) Maintaining the greedy coloring dynamically costs up to `O(Δ)`
+//! recolorings per change (the paper's 2Δ-adjustments discussion and open
+//! question); we measure the per-change recoloring count next to the MIS
+//! adjustment count on the same graphs to exhibit the gap.
+
+use dmis_core::MisEngine;
+use dmis_derived::ColoringEngine;
+use dmis_graph::{generators, TopologyChange};
+
+use super::common::{change_of_kind, trial_rng};
+use super::Report;
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Runs experiment E9.
+#[must_use]
+pub fn run(quick: bool) -> Report {
+    let trials = if quick { 200 } else { 1000 };
+
+    // Part (a): palette on K_{k,k} minus a perfect matching.
+    let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 64] };
+    let mut palette = Table::new(vec!["k", "n", "mean palette", "P[palette = 2]", "1 - 1/n"]);
+    for &k in ks {
+        let n = 2 * k;
+        let mut palettes = Vec::with_capacity(trials);
+        let mut two = 0usize;
+        for trial in 0..trials {
+            let (g, _, _) = generators::bipartite_minus_matching(k);
+            let ce = ColoringEngine::from_graph(g, 0xE9_0000 + trial as u64);
+            let p = ce.palette_size();
+            if p == 2 {
+                two += 1;
+            }
+            palettes.push(p);
+        }
+        palette.row(vec![
+            k.to_string(),
+            n.to_string(),
+            Summary::of_counts(&palettes).mean_ci(),
+            format!("{:.3}", two as f64 / trials as f64),
+            format!("{:.3}", 1.0 - 1.0 / n as f64),
+        ]);
+    }
+
+    // Part (b): per-change recoloring cost vs MIS adjustment cost.
+    let mut cost = Table::new(vec![
+        "graph",
+        "Δ (mean)",
+        "recolorings / change",
+        "MIS adjustments / change",
+    ]);
+    let classes: [(&str, f64, usize); 2] = [("ER(100, 0.05)", 0.05, 100), ("ER(100, 0.15)", 0.15, 100)];
+    let change_trials = if quick { 150 } else { 600 };
+    for (label, p, n) in classes {
+        let mut recolors = Vec::new();
+        let mut adjustments = Vec::new();
+        let mut deltas = Vec::new();
+        for trial in 0..change_trials {
+            let mut rng = trial_rng(9100, trial as u64);
+            let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+            deltas.push(g.max_degree());
+            let kind = trial % 4;
+            let Some(change) = change_of_kind(&g, kind, &mut rng) else {
+                continue;
+            };
+            let mut ce = ColoringEngine::from_graph(g.clone(), 0xE9_1000 + trial as u64);
+            let mut me = MisEngine::from_graph(g, 0xE9_1000 + trial as u64);
+            // InsertNode pre-assigned ids are valid for both (same graph).
+            let r1 = match &change {
+                TopologyChange::InsertNode { edges, .. } => {
+                    ce.insert_node(edges.iter().copied()).map(|(_, r)| r)
+                }
+                other => ce.apply(other),
+            }
+            .expect("valid change");
+            let r2 = match &change {
+                TopologyChange::InsertNode { edges, .. } => {
+                    me.insert_node(edges.iter().copied()).map(|(_, r)| r)
+                }
+                other => me.apply(other),
+            }
+            .expect("valid change");
+            recolors.push(r1.adjustments());
+            adjustments.push(r2.adjustments());
+        }
+        cost.row(vec![
+            label.to_string(),
+            format!("{:.1}", Summary::of_counts(&deltas).mean),
+            Summary::of_counts(&recolors).mean_ci(),
+            Summary::of_counts(&adjustments).mean_ci(),
+        ]);
+    }
+
+    let body = format!(
+        "(a) Palette of random greedy coloring on K(k,k) minus a perfect \
+         matching, {trials} seeds per k:\n\n{palette}\n\
+         Expected: P[2-coloring] ≈ 1 − 1/n, so the mean palette is \
+         2 + o(1) — a constant factor from optimal in expectation.\n\n\
+         (b) Dynamic maintenance cost per random change ({change_trials} \
+         trials, mixed change types):\n\n{cost}\n\
+         Expected: recolorings grow with Δ (the paper's O(Δ) simulation \
+         cost — it is open whether O(1) is achievable), while the MIS \
+         engine stays at ≈ 1 adjustment on the same instances.\n"
+    );
+    Report {
+        id: "E9",
+        title: "Coloring: near-optimal palette; O(Δ) recoloring cost",
+        claim: "Random greedy 2-colors K(n/2,n/2) minus a perfect matching \
+                with probability 1 − 1/n; simulating greedy coloring \
+                dynamically costs O(Δ) adjustments per change, unlike the \
+                O(1) of MIS.",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_quick_palette_is_two_ish() {
+        let report = run(true);
+        let row = report
+            .body
+            .lines()
+            .find(|l| l.starts_with("| 16 "))
+            .expect("k=16 row");
+        let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        let mean: f64 = cells[3]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(mean < 2.5, "mean palette {mean} too large");
+    }
+}

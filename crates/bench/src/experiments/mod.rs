@@ -1,0 +1,158 @@
+//! The experiment suite E1–E11 (see the crate docs and DESIGN.md for the
+//! claim ↔ experiment mapping).
+//!
+//! Every experiment is a function `run(quick: bool) -> Report`; `quick`
+//! shrinks trial counts for CI. The `experiments` binary prints all
+//! reports; EXPERIMENTS.md records a full run.
+
+use std::fmt;
+
+mod e1_theorem1;
+mod e2_corollary6;
+mod e3_broadcasts;
+mod e4_lower_bounds;
+mod e5_clustering;
+mod e6_history;
+mod e7_star;
+mod e8_matching;
+mod e9_coloring;
+mod e10_vs_static;
+mod e11_ablation;
+mod e12_batch;
+mod e13_corruption;
+mod e14_longlived;
+
+pub use e1_theorem1::run as e1;
+pub use e2_corollary6::run as e2;
+pub use e3_broadcasts::run as e3;
+pub use e4_lower_bounds::run as e4;
+pub use e5_clustering::run as e5;
+pub use e6_history::run as e6;
+pub use e7_star::run as e7;
+pub use e8_matching::run as e8;
+pub use e9_coloring::run as e9;
+pub use e10_vs_static::run as e10;
+pub use e11_ablation::run as e11;
+pub use e12_batch::run as e12;
+pub use e13_corruption::run as e13;
+pub use e14_longlived::run as e14;
+
+/// A rendered experiment report: identifier, the paper's claim, and the
+/// measured tables.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment identifier ("E1" …).
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// What the paper predicts.
+    pub claim: &'static str,
+    /// Rendered tables and notes.
+    pub body: String,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "**Paper claim.** {}", self.claim)?;
+        writeln!(f)?;
+        write!(f, "{}", self.body)
+    }
+}
+
+/// Runs every experiment in order.
+#[must_use]
+pub fn run_all(quick: bool) -> Vec<Report> {
+    vec![
+        e1(quick),
+        e2(quick),
+        e3(quick),
+        e4(quick),
+        e5(quick),
+        e6(quick),
+        e7(quick),
+        e8(quick),
+        e9(quick),
+        e10(quick),
+        e11(quick),
+        e12(quick),
+        e13(quick),
+        e14(quick),
+    ]
+}
+
+/// Runs one experiment by lowercase id ("e1" … "e11").
+#[must_use]
+pub fn run_one(id: &str, quick: bool) -> Option<Report> {
+    match id {
+        "e1" => Some(e1(quick)),
+        "e2" => Some(e2(quick)),
+        "e3" => Some(e3(quick)),
+        "e4" => Some(e4(quick)),
+        "e5" => Some(e5(quick)),
+        "e6" => Some(e6(quick)),
+        "e7" => Some(e7(quick)),
+        "e8" => Some(e8(quick)),
+        "e9" => Some(e9(quick)),
+        "e10" => Some(e10(quick)),
+        "e11" => Some(e11(quick)),
+        "e12" => Some(e12(quick)),
+        "e13" => Some(e13(quick)),
+        "e14" => Some(e14(quick)),
+        _ => None,
+    }
+}
+
+pub(crate) mod common {
+    //! Helpers shared by the experiment implementations.
+
+    use dmis_core::PriorityMap;
+    use dmis_graph::{generators, DynGraph, NodeId, TopologyChange};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fresh uniformly random priorities for every node of `g`.
+    pub fn random_priorities(g: &DynGraph, rng: &mut StdRng) -> PriorityMap {
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, rng);
+        }
+        pm
+    }
+
+    /// Draws one random change of the requested kind, or `None` if the
+    /// graph admits none.
+    pub fn change_of_kind(
+        g: &DynGraph,
+        kind: usize,
+        rng: &mut StdRng,
+    ) -> Option<TopologyChange> {
+        match kind {
+            0 => generators::random_non_edge(g, rng)
+                .map(|(u, v)| TopologyChange::InsertEdge(u, v)),
+            1 => generators::random_edge(g, rng)
+                .map(|(u, v)| TopologyChange::DeleteEdge(u, v)),
+            2 => {
+                let nodes: Vec<NodeId> = g.nodes().collect();
+                let deg = rng.random_range(0..=nodes.len().min(5));
+                let mut pool = nodes;
+                let mut edges = Vec::with_capacity(deg);
+                for _ in 0..deg {
+                    let i = rng.random_range(0..pool.len());
+                    edges.push(pool.swap_remove(i));
+                }
+                Some(TopologyChange::InsertNode {
+                    id: g.peek_next_id(),
+                    edges,
+                })
+            }
+            _ => generators::random_node(g, rng).map(TopologyChange::DeleteNode),
+        }
+    }
+
+    /// A deterministic RNG stream for experiment `tag`, trial `trial`.
+    pub fn trial_rng(tag: u64, trial: u64) -> StdRng {
+        StdRng::seed_from_u64(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ trial)
+    }
+}

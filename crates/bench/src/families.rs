@@ -1,0 +1,88 @@
+//! Graph families swept by the experiments.
+
+use dmis_graph::{generators, DynGraph};
+use rand::Rng;
+
+/// A named graph family with a single size parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Erdős–Rényi `G(n, 8/n)` — constant expected degree.
+    SparseEr,
+    /// Erdős–Rényi `G(n, 0.3)` — dense.
+    DenseEr,
+    /// Barabási–Albert with attachment 3 — heavy-tailed degrees.
+    PowerLaw,
+    /// Star on n nodes (Section 5, Example 1).
+    Star,
+    /// √n × √n grid.
+    Grid,
+    /// Complete bipartite `K_{n/2,n/2}` (the lower-bound gadget).
+    Bipartite,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 6] = [
+        Family::SparseEr,
+        Family::DenseEr,
+        Family::PowerLaw,
+        Family::Star,
+        Family::Grid,
+        Family::Bipartite,
+    ];
+
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::SparseEr => "ER(n,8/n)",
+            Family::DenseEr => "ER(n,0.3)",
+            Family::PowerLaw => "BA(n,3)",
+            Family::Star => "star(n)",
+            Family::Grid => "grid",
+            Family::Bipartite => "K(n/2,n/2)",
+        }
+    }
+
+    /// Builds an instance with roughly `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    #[must_use]
+    pub fn build<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> DynGraph {
+        assert!(n >= 4, "families need at least 4 nodes");
+        match self {
+            Family::SparseEr => {
+                let p = (8.0 / n as f64).min(1.0);
+                generators::erdos_renyi(n, p, rng).0
+            }
+            Family::DenseEr => generators::erdos_renyi(n, 0.3, rng).0,
+            Family::PowerLaw => generators::barabasi_albert(n, 3, rng).0,
+            Family::Star => generators::star(n).0,
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::grid(side, side).0
+            }
+            Family::Bipartite => generators::complete_bipartite(n / 2, n / 2).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_families_build() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for f in Family::ALL {
+            let g = f.build(30, &mut rng);
+            assert!(g.node_count() >= 15, "{}: too few nodes", f.label());
+            g.assert_consistent();
+            assert!(!f.label().is_empty());
+        }
+    }
+}

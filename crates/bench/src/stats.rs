@@ -1,0 +1,175 @@
+//! Small statistics toolkit for Monte-Carlo experiment reports.
+
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval for the mean.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample of f64 observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let ci95 = 1.96 * std_dev / (n as f64).sqrt();
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// Summarizes a sample of counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    #[must_use]
+    pub fn of_counts(samples: &[usize]) -> Self {
+        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Self::of(&as_f64)
+    }
+
+    /// `mean ± ci95` rendered compactly.
+    #[must_use]
+    pub fn mean_ci(&self) -> String {
+        format!("{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (σ {:.3}, range [{}, {}], n={})",
+            self.mean_ci(),
+            self.std_dev,
+            self.min,
+            self.max,
+            self.n
+        )
+    }
+}
+
+/// Total-variation distance between two empirical distributions given as
+/// (outcome → count) maps over a common outcome space.
+#[must_use]
+pub fn total_variation<K: Ord>(
+    a: &std::collections::BTreeMap<K, usize>,
+    b: &std::collections::BTreeMap<K, usize>,
+) -> f64 {
+    let na: f64 = a.values().map(|&c| c as f64).sum();
+    let nb: f64 = b.values().map(|&c| c as f64).sum();
+    if na == 0.0 || nb == 0.0 {
+        return if na == nb { 0.0 } else { 1.0 };
+    }
+    let keys: std::collections::BTreeSet<&K> = a.keys().chain(b.keys()).collect();
+    let mut tv = 0.0;
+    for k in keys {
+        let pa = a.get(k).map_or(0.0, |&c| c as f64) / na;
+        let pb = b.get(k).map_or(0.0, |&c| c as f64) / nb;
+        tv += (pa - pb).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts(&[0, 1, 2]);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn tv_identical_is_zero() {
+        let a: BTreeMap<u32, usize> = [(1, 5), (2, 5)].into_iter().collect();
+        assert_eq!(total_variation(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn tv_disjoint_is_one() {
+        let a: BTreeMap<u32, usize> = [(1, 10)].into_iter().collect();
+        let b: BTreeMap<u32, usize> = [(2, 10)].into_iter().collect();
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_scales_with_counts_not_mass() {
+        let a: BTreeMap<u32, usize> = [(1, 100), (2, 100)].into_iter().collect();
+        let b: BTreeMap<u32, usize> = [(1, 1), (2, 1)].into_iter().collect();
+        assert_eq!(total_variation(&a, &b), 0.0, "same distribution");
+    }
+
+    #[test]
+    fn tv_half_overlap() {
+        let a: BTreeMap<u32, usize> = [(1, 10)].into_iter().collect();
+        let b: BTreeMap<u32, usize> = [(1, 5), (2, 5)].into_iter().collect();
+        assert!((total_variation(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::of(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains('±'));
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal aligned-column table printer for experiment reports.
+
+use std::fmt;
+
+/// A simple text table: header row plus data rows, rendered with aligned
+/// columns in a `Display` impl.
+///
+/// # Example
+///
+/// ```
+/// use dmis_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["family", "mean |S|"]);
+/// t.row(vec!["star".into(), "0.98".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("family"));
+/// assert!(text.contains("star"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                write!(f, "| {}{} ", cell, " ".repeat(pad))?;
+            }
+            writeln!(f, "|")
+        };
+        write_row(f, &self.header)?;
+        for (i, w) in widths.iter().enumerate() {
+            write!(f, "|{}", "-".repeat(w + 2))?;
+            if i + 1 == cols {
+                writeln!(f, "|")?;
+            }
+        }
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_style() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a  "));
+        assert!(lines[1].starts_with("|---"));
+        assert!(lines[2].contains("xxx"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

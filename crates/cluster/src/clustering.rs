@@ -1,0 +1,278 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_core::PriorityMap;
+use dmis_graph::{DynGraph, NodeId};
+
+/// A partition of a graph's nodes into clusters, each named by a *center*
+/// node.
+///
+/// The correlation-clustering objective ([`Clustering::cost`]) counts
+/// "contradicting" pairs: missing edges inside clusters plus present edges
+/// across clusters (Section 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use dmis_cluster::Clustering;
+/// use dmis_graph::generators;
+///
+/// let (g, ids) = generators::path(3);
+/// let mut c = Clustering::new();
+/// c.assign(ids[0], ids[0]);
+/// c.assign(ids[1], ids[0]);
+/// c.assign(ids[2], ids[2]);
+/// // Cluster {p0, p1} has its edge; edge {p1, p2} crosses: cost 1.
+/// assert_eq!(c.cost(&g), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clustering {
+    center_of: BTreeMap<NodeId, NodeId>,
+}
+
+impl Clustering {
+    /// Creates an empty clustering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `node` to the cluster centered at `center`.
+    pub fn assign(&mut self, node: NodeId, center: NodeId) {
+        self.center_of.insert(node, center);
+    }
+
+    /// Removes a node from the clustering, returning its former center.
+    pub fn remove(&mut self, node: NodeId) -> Option<NodeId> {
+        self.center_of.remove(&node)
+    }
+
+    /// Returns the center of `node`'s cluster.
+    #[must_use]
+    pub fn center_of(&self, node: NodeId) -> Option<NodeId> {
+        self.center_of.get(&node).copied()
+    }
+
+    /// Returns `true` if `u` and `v` share a cluster.
+    #[must_use]
+    pub fn same_cluster(&self, u: NodeId, v: NodeId) -> bool {
+        match (self.center_of(u), self.center_of(v)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Number of clustered nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.center_of.len()
+    }
+
+    /// Returns `true` if no node is clustered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.center_of.is_empty()
+    }
+
+    /// The clusters, as center → sorted members.
+    #[must_use]
+    pub fn clusters(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut out: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (&v, &c) in &self.center_of {
+            out.entry(c).or_default().push(v);
+        }
+        out
+    }
+
+    /// Iterates over `(node, center)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.center_of.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The correlation-clustering cost on `g`:
+    /// `Σ_C Σ_{u,v ∈ C} 1[{u,v} ∉ E] + Σ_{C₁≠C₂} Σ_{u∈C₁,v∈C₂} 1[{u,v} ∈ E]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clustering does not cover exactly the nodes of `g`.
+    #[must_use]
+    pub fn cost(&self, g: &DynGraph) -> usize {
+        assert_eq!(self.center_of.len(), g.node_count(), "cover mismatch");
+        for v in g.nodes() {
+            assert!(self.center_of.contains_key(&v), "node {v} unclustered");
+        }
+        let mut cost = 0usize;
+        // Cross-cluster present edges.
+        for key in g.edges() {
+            let (u, v) = key.endpoints();
+            if !self.same_cluster(u, v) {
+                cost += 1;
+            }
+        }
+        // Intra-cluster missing edges.
+        for members in self.clusters().values() {
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    if !g.has_edge(u, v) {
+                        cost += 1;
+                    }
+                }
+            }
+        }
+        cost
+    }
+
+    /// Converts to the canonical partition form: sorted blocks, sorted by
+    /// smallest member — for equality comparisons modulo center naming.
+    #[must_use]
+    pub fn canonical_blocks(&self) -> Vec<Vec<NodeId>> {
+        let mut blocks: Vec<Vec<NodeId>> = self.clusters().into_values().collect();
+        for b in &mut blocks {
+            b.sort_unstable();
+        }
+        blocks.sort();
+        blocks
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for Clustering {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        let mut c = Clustering::new();
+        for (v, center) in iter {
+            c.assign(v, center);
+        }
+        c
+    }
+}
+
+/// Builds the pivot clustering from a greedy MIS: each MIS node opens a
+/// cluster; every non-MIS node joins the cluster of its *smallest-order*
+/// MIS neighbor (by the random order π — "the smallest random ID among its
+/// MIS neighbors").
+///
+/// # Panics
+///
+/// Panics if `mis` is not maximal in `g` (a non-member without member
+/// neighbors) or priorities are missing.
+#[must_use]
+pub fn from_mis(g: &DynGraph, priorities: &PriorityMap, mis: &BTreeSet<NodeId>) -> Clustering {
+    let mut clustering = Clustering::new();
+    for v in g.nodes() {
+        if mis.contains(&v) {
+            clustering.assign(v, v);
+        } else {
+            let center = g
+                .neighbors(v)
+                .expect("live node")
+                .filter(|u| mis.contains(u))
+                .min_by_key(|&u| priorities.of(u))
+                .unwrap_or_else(|| panic!("{v} has no MIS neighbor: set not maximal"));
+            clustering.assign(v, center);
+        }
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_core::static_greedy;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cost_of_perfect_clusters_is_zero() {
+        // Two disjoint triangles, each a cluster.
+        let (mut g, ids) = DynGraph::with_nodes(6);
+        for t in [&ids[0..3], &ids[3..6]] {
+            g.insert_edge(t[0], t[1]).unwrap();
+            g.insert_edge(t[1], t[2]).unwrap();
+            g.insert_edge(t[2], t[0]).unwrap();
+        }
+        let c: Clustering = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, if i < 3 { ids[0] } else { ids[3] }))
+            .collect();
+        assert_eq!(c.cost(&g), 0);
+    }
+
+    #[test]
+    fn singleton_clustering_cost_is_edge_count() {
+        let (g, ids) = generators::cycle(5);
+        let c: Clustering = ids.iter().map(|&v| (v, v)).collect();
+        assert_eq!(c.cost(&g), 5);
+    }
+
+    #[test]
+    fn one_big_cluster_cost_is_missing_edges() {
+        let (g, ids) = generators::cycle(5);
+        let c: Clustering = ids.iter().map(|&v| (v, ids[0])).collect();
+        assert_eq!(c.cost(&g), 10 - 5);
+    }
+
+    #[test]
+    fn from_mis_attaches_to_smallest_order_neighbor() {
+        // Path p1 - p0 - p2 (star with center p0): order p1 < p2 < p0.
+        let (g, ids) = generators::star(3);
+        let pm = dmis_core::PriorityMap::from_order(&[ids[1], ids[2], ids[0]]);
+        let mis = static_greedy::greedy_mis(&g, &pm);
+        assert_eq!(mis, [ids[1], ids[2]].into_iter().collect());
+        let c = from_mis(&g, &pm, &mis);
+        assert_eq!(c.center_of(ids[0]), Some(ids[1]), "smallest-order MIS nbr");
+        assert_eq!(c.center_of(ids[1]), Some(ids[1]));
+    }
+
+    #[test]
+    fn from_mis_covers_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for seed in 0..10u64 {
+            let (g, _) = generators::erdos_renyi(15, 0.3, &mut rng);
+            let mut pm = dmis_core::PriorityMap::new();
+            let mut prio_rng = StdRng::seed_from_u64(seed);
+            for v in g.nodes() {
+                pm.assign(v, &mut prio_rng);
+            }
+            let mis = static_greedy::greedy_mis(&g, &pm);
+            let c = from_mis(&g, &pm, &mis);
+            assert_eq!(c.len(), g.node_count());
+            // Every center is an MIS node and its own center.
+            for (v, center) in c.iter() {
+                assert!(mis.contains(&center));
+                if mis.contains(&v) {
+                    assert_eq!(center, v);
+                }
+            }
+            let _ = c.cost(&g); // must not panic
+        }
+    }
+
+    #[test]
+    fn canonical_blocks_ignore_center_names() {
+        let a: Clustering = [(NodeId(1), NodeId(1)), (NodeId(2), NodeId(1))]
+            .into_iter()
+            .collect();
+        let b: Clustering = [(NodeId(1), NodeId(2)), (NodeId(2), NodeId(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.canonical_blocks(), b.canonical_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover mismatch")]
+    fn cost_requires_full_cover() {
+        let (g, _) = generators::path(3);
+        let c = Clustering::new();
+        let _ = c.cost(&g);
+    }
+
+    #[test]
+    fn removal_and_queries() {
+        let mut c = Clustering::new();
+        c.assign(NodeId(1), NodeId(2));
+        assert!(c.same_cluster(NodeId(1), NodeId(1)));
+        assert!(!c.same_cluster(NodeId(1), NodeId(9)));
+        assert_eq!(c.remove(NodeId(1)), Some(NodeId(2)));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Exact correlation clustering by exhaustive search over set partitions.
+//!
+//! Used as the ground truth for approximation-ratio measurements
+//! (experiment E5). Enumeration follows restricted-growth strings with
+//! branch-and-bound on the partial cost, practical up to `n ≈ 11`
+//! (Bell(11) = 678570 partitions before pruning).
+
+use dmis_graph::{DynGraph, NodeId};
+
+use crate::Clustering;
+
+/// Upper bound on instance size accepted by [`optimal`].
+pub const MAX_NODES: usize = 12;
+
+/// Computes an optimal correlation clustering of `g` and its cost.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`MAX_NODES`] nodes.
+#[must_use]
+pub fn optimal(g: &DynGraph) -> (Clustering, usize) {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let n = nodes.len();
+    assert!(
+        n <= MAX_NODES,
+        "exhaustive search limited to {MAX_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        return (Clustering::new(), 0);
+    }
+    // adjacency matrix for O(1) membership
+    let mut adj = vec![vec![false; n]; n];
+    for (i, &u) in nodes.iter().enumerate() {
+        for (j, &v) in nodes.iter().enumerate() {
+            if i != j {
+                adj[i][j] = g.has_edge(u, v);
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n]; // block index per node
+    let mut best_assignment = vec![0usize; n];
+    let mut best_cost = usize::MAX;
+    search(
+        1,
+        1,
+        0,
+        &adj,
+        &mut assignment,
+        &mut best_assignment,
+        &mut best_cost,
+    );
+    let mut clustering = Clustering::new();
+    // Name each block by its smallest member.
+    for (i, &v) in nodes.iter().enumerate() {
+        let block = best_assignment[i];
+        let center = nodes[best_assignment
+            .iter()
+            .position(|&b| b == block)
+            .expect("block has a first member")];
+        clustering.assign(v, center);
+    }
+    (clustering, best_cost)
+}
+
+/// Recursive enumeration: node `i` joins one of the `used` existing blocks
+/// or opens block `used`. `cost` is the exact cost among nodes `0..i`.
+fn search(
+    i: usize,
+    used: usize,
+    cost: usize,
+    adj: &[Vec<bool>],
+    assignment: &mut [usize],
+    best_assignment: &mut [usize],
+    best_cost: &mut usize,
+) {
+    let n = adj.len();
+    if cost >= *best_cost {
+        return; // branch and bound
+    }
+    if i == n {
+        *best_cost = cost;
+        best_assignment.copy_from_slice(assignment);
+        return;
+    }
+    for block in 0..=used.min(n - 1) {
+        // Incremental cost of placing node i into `block`: disagreements
+        // with all previously placed nodes.
+        let mut delta = 0usize;
+        for j in 0..i {
+            let same = assignment[j] == block;
+            if same != adj[i][j] {
+                delta += 1;
+            }
+        }
+        assignment[i] = block;
+        let next_used = if block == used { used + 1 } else { used };
+        search(
+            i + 1,
+            next_used,
+            cost + delta,
+            adj,
+            assignment,
+            best_assignment,
+            best_cost,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_single() {
+        let (c, cost) = optimal(&DynGraph::new());
+        assert_eq!(cost, 0);
+        assert!(c.is_empty());
+        let (g, _) = DynGraph::with_nodes(1);
+        let (c, cost) = optimal(&g);
+        assert_eq!(cost, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clique_is_one_cluster() {
+        let (g, _) = generators::complete(6);
+        let (c, cost) = optimal(&g);
+        assert_eq!(cost, 0);
+        assert_eq!(c.clusters().len(), 1);
+    }
+
+    #[test]
+    fn independent_set_is_singletons() {
+        let (g, _) = DynGraph::with_nodes(6);
+        let (c, cost) = optimal(&g);
+        assert_eq!(cost, 0);
+        assert_eq!(c.clusters().len(), 6);
+    }
+
+    #[test]
+    fn path_of_three_costs_one() {
+        // p0-p1-p2: best is {p0,p1},{p2} (or symmetric), cost 1.
+        let (g, ids) = generators::path(3);
+        let (c, cost) = optimal(&g);
+        assert_eq!(cost, 1);
+        assert_eq!(c.cost(&g), 1);
+        let _ = ids;
+    }
+
+    #[test]
+    fn five_cycle_costs_three() {
+        // C5: e.g. {0,1},{2,3},{4} pays the 3 cut edges; no partition does
+        // better (singletons and the big cluster both pay 5).
+        let (g, _) = generators::cycle(5);
+        let (c, cost) = optimal(&g);
+        assert_eq!(cost, 3);
+        assert_eq!(c.cost(&g), cost);
+    }
+
+    #[test]
+    fn optimum_cost_matches_reported_clustering() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let (g, _) = generators::erdos_renyi(7, 0.4, &mut rng);
+            let (c, cost) = optimal(&g);
+            assert_eq!(c.cost(&g), cost);
+        }
+    }
+
+    #[test]
+    fn optimum_is_at_most_any_candidate() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for seed in 0..8u64 {
+            let (g, ids) = generators::erdos_renyi(7, 0.5, &mut rng);
+            let (_, opt) = optimal(&g);
+            // Candidates: singletons and one-big-cluster.
+            let singletons: Clustering = ids.iter().map(|&v| (v, v)).collect();
+            let big: Clustering = ids.iter().map(|&v| (v, ids[0])).collect();
+            assert!(opt <= singletons.cost(&g));
+            assert!(opt <= big.cost(&g));
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive search limited")]
+    fn size_guard() {
+        let (g, _) = DynGraph::with_nodes(MAX_NODES + 1);
+        let _ = optimal(&g);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dmis-cluster
+//!
+//! Correlation clustering on top of the dynamic random-greedy MIS.
+//!
+//! Ailon, Charikar and Newman showed that *random greedy* — pick a uniformly
+//! random pivot order, let each MIS node open a cluster, and attach every
+//! other node to its smallest-order MIS neighbor — is a **3-approximation**
+//! for correlation clustering (minimizing missing edges inside clusters plus
+//! present edges across clusters). The paper (Section 1.1) observes that its
+//! dynamic MIS algorithm maintains exactly this clustering under topology
+//! changes, at the same single-adjustment cost, "by having the nodes know
+//! the random ID of their neighbors".
+//!
+//! This crate provides:
+//!
+//! - [`Clustering`]: a partition of the node set with the correlation
+//!   [`Clustering::cost`] objective;
+//! - [`from_mis`]: the pivot attachment rule;
+//! - [`DynamicClustering`]: incremental maintenance driven by
+//!   [`dmis_core::MisEngine`] receipts;
+//! - [`exact`]: an exact optimum by exhaustive partition search (small
+//!   instances), used by experiment E5 to measure approximation ratios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clustering;
+mod dynamic;
+
+pub mod exact;
+
+pub use clustering::{from_mis, Clustering};
+pub use dynamic::DynamicClustering;

@@ -1,0 +1,889 @@
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeSet;
+
+use dmis_graph::{ChangeKind, DynGraph, GraphError, NodeId, TopologyChange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::invariant::{self, InvariantViolation};
+use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
+
+/// Incremental maintainer of the random-greedy MIS — the paper's template
+/// (Algorithm 1) realized as an efficient sequential data structure.
+///
+/// The engine owns the graph, the random order π (drawn lazily, one priority
+/// per node at insertion time, which keeps the algorithm history
+/// independent), and for every node `v` a counter of its *lower-order MIS
+/// neighbors*. The MIS invariant is then simply
+/// `v ∈ M ⟺ lower_mis_count(v) == 0`.
+///
+/// A topology change perturbs the counters of at most the changed node(s)
+/// and their neighbors; the engine restores the invariant by settling dirty
+/// nodes in increasing π order (a min-priority heap), so each node's final
+/// state is decided exactly once. The set of nodes whose output flips is the
+/// paper's adjustment set: by Theorem 1 its expected size is at most 1 for
+/// any single change, under the oblivious-adversary assumption.
+///
+/// The per-update sequential cost is `O((1 + Σ_{v flipped} deg(v)) · log n)`
+/// — the O(Δ) factor per adjusted node the paper's Section 6 predicts for
+/// sequential implementations.
+///
+/// # Example
+///
+/// ```
+/// use dmis_core::MisEngine;
+/// use dmis_graph::generators;
+///
+/// let (g, ids) = generators::star(6);
+/// let mut engine = MisEngine::from_graph(g, 7);
+/// let before = engine.mis();
+/// let receipt = engine.insert_edge(ids[1], ids[2])?;
+/// assert!(engine.check_invariant().is_ok());
+/// // The adjustment set is exactly the symmetric difference of outputs.
+/// let after = engine.mis();
+/// let diff: Vec<_> = before.symmetric_difference(&after).collect();
+/// assert_eq!(diff.len(), receipt.adjustments());
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisEngine {
+    graph: DynGraph,
+    priorities: PriorityMap,
+    in_mis: BTreeMap<NodeId, bool>,
+    lower_mis_count: BTreeMap<NodeId, usize>,
+    rng: StdRng,
+}
+
+impl MisEngine {
+    /// Creates an engine over an empty graph. `seed` determinizes all
+    /// priority draws.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        MisEngine {
+            graph: DynGraph::new(),
+            priorities: PriorityMap::new(),
+            in_mis: BTreeMap::new(),
+            lower_mis_count: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates an engine over an existing graph, drawing fresh random
+    /// priorities for all its nodes and computing the initial greedy MIS.
+    #[must_use]
+    pub fn from_graph(graph: DynGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priorities = PriorityMap::new();
+        for v in graph.nodes() {
+            priorities.assign(v, &mut rng);
+        }
+        Self::with_priorities(graph, priorities, rng)
+    }
+
+    /// Creates an engine over an existing graph with prescribed priorities
+    /// (used by tests and by the theory checks, which need a fixed π).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node of the graph has no priority.
+    #[must_use]
+    pub fn from_parts(graph: DynGraph, priorities: PriorityMap, seed: u64) -> Self {
+        Self::with_priorities(graph, priorities, StdRng::seed_from_u64(seed))
+    }
+
+    fn with_priorities(graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
+        let mis = crate::static_greedy::greedy_mis(&graph, &priorities);
+        let mut engine = MisEngine {
+            graph,
+            priorities,
+            in_mis: BTreeMap::new(),
+            lower_mis_count: BTreeMap::new(),
+            rng,
+        };
+        for v in engine.graph.nodes() {
+            engine.in_mis.insert(v, mis.contains(&v));
+        }
+        for v in engine.graph.nodes() {
+            let count = engine.count_lower_mis(v);
+            engine.lower_mis_count.insert(v, count);
+        }
+        engine
+    }
+
+    fn count_lower_mis(&self, v: NodeId) -> usize {
+        self.graph
+            .neighbors(v)
+            .expect("live node")
+            .filter(|&u| self.in_mis[&u] && self.priorities.before(u, v))
+            .count()
+    }
+
+    /// Returns the current graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Returns the priority assignment π.
+    #[must_use]
+    pub fn priorities(&self) -> &PriorityMap {
+        &self.priorities
+    }
+
+    /// Returns the current MIS as a set of node identifiers.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.in_mis
+            .iter()
+            .filter_map(|(&v, &m)| m.then_some(v))
+            .collect()
+    }
+
+    /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.
+    #[must_use]
+    pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
+        self.in_mis.get(&v).copied()
+    }
+
+    /// Returns the output state of `v`, or `None` if `v` does not exist.
+    #[must_use]
+    pub fn state(&self, v: NodeId) -> Option<MisState> {
+        self.is_in_mis(v).map(MisState::from_membership)
+    }
+
+    /// Inserts the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        self.graph.insert_edge(u, v)?;
+        let (lo, hi) = self.order_pair(u, v);
+        let mut seeds = Vec::new();
+        let mut counter_updates = 0;
+        if self.in_mis[&lo] {
+            *self.lower_mis_count.get_mut(&hi).expect("live node") += 1;
+            counter_updates += 1;
+            seeds.push(hi);
+        }
+        Ok(self.propagate(ChangeKind::EdgeInsert, seeds, counter_updates))
+    }
+
+    /// Removes the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        self.graph.remove_edge(u, v)?;
+        let (lo, hi) = self.order_pair(u, v);
+        let mut seeds = Vec::new();
+        let mut counter_updates = 0;
+        if self.in_mis[&lo] {
+            *self.lower_mis_count.get_mut(&hi).expect("live node") -= 1;
+            counter_updates += 1;
+            seeds.push(hi);
+        }
+        Ok(self.propagate(ChangeKind::EdgeDelete, seeds, counter_updates))
+    }
+
+    /// Inserts a new node with edges to `neighbors`, draws its priority, and
+    /// restores the MIS invariant. Returns the new identifier and the
+    /// receipt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged.
+    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, UpdateReceipt), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let key = self.rng.random();
+        self.insert_node_with_key(neighbors, key)
+    }
+
+    /// Inserts a new node with a *prescribed* random key instead of drawing
+    /// one — used by baselines that derandomize the order (e.g. the
+    /// deterministic greedy-by-identifier algorithm of the Section 1.1 lower
+    /// bound) and by tests that need adversarial orders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged.
+    pub fn insert_node_with_key<I>(
+        &mut self,
+        neighbors: I,
+        key: u64,
+    ) -> Result<(NodeId, UpdateReceipt), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let v = self.graph.add_node_with_edges(neighbors)?;
+        self.priorities.insert(v, crate::Priority::new(key, v));
+        // The newcomer starts with the paper's temporary state M̄ (§4.1), so
+        // no neighbor counter is affected by its arrival.
+        self.in_mis.insert(v, false);
+        let count = self.count_lower_mis(v);
+        self.lower_mis_count.insert(v, count);
+        let receipt = self.propagate(ChangeKind::NodeInsert, vec![v], 0);
+        Ok((v, receipt))
+    }
+
+    /// Removes node `v` and restores the MIS invariant.
+    ///
+    /// The receipt's flips cover the *remaining* nodes; the departure of `v`
+    /// itself is implied by the change. (The paper's influenced set counts
+    /// `v*` too when it was an MIS node; use [`crate::template`] to observe
+    /// that accounting.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if `v` does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        let was_in = *self
+            .in_mis
+            .get(&v)
+            .ok_or(GraphError::MissingNode(v))?;
+        let prio_v = self.priorities.of(v);
+        let nbrs = self.graph.remove_node(v)?;
+        self.priorities.remove(v);
+        self.in_mis.remove(&v);
+        self.lower_mis_count.remove(&v);
+        let mut seeds = Vec::new();
+        let mut counter_updates = 0;
+        if was_in {
+            for w in nbrs {
+                if self.priorities.of(w) > prio_v {
+                    *self.lower_mis_count.get_mut(&w).expect("live node") -= 1;
+                    counter_updates += 1;
+                    seeds.push(w);
+                }
+            }
+        }
+        Ok(self.propagate(ChangeKind::NodeDelete, seeds, counter_updates))
+    }
+
+    /// Applies a described [`TopologyChange`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`]; for [`TopologyChange::InsertNode`] the
+    /// pre-assigned identifier must equal [`DynGraph::peek_next_id`], else
+    /// [`GraphError::MissingNode`] is returned.
+    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
+        match change {
+            TopologyChange::InsertEdge(u, v) => self.insert_edge(*u, *v),
+            TopologyChange::DeleteEdge(u, v) => self.remove_edge(*u, *v),
+            TopologyChange::InsertNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                self.insert_node(edges.iter().copied()).map(|(_, r)| r)
+            }
+            TopologyChange::DeleteNode(v) => self.remove_node(*v),
+        }
+    }
+
+    /// Applies a **batch** of topology changes atomically: all graph
+    /// mutations land first, then a single propagation pass restores the
+    /// MIS invariant.
+    ///
+    /// This addresses the paper's first open question ("whether our
+    /// analysis can be extended to cope with more than a single failure at
+    /// a time"): the template generalizes mechanically — every violated
+    /// node seeds the same priority-ordered settlement — and experiment
+    /// E12 measures how the influenced set grows with the batch size
+    /// (trivially at most the sum of the per-change bounds, i.e. `≤ k` in
+    /// expectation for `k` changes, because the batch recovery flips a
+    /// subset of the union of the sequential recoveries' flips).
+    ///
+    /// Changes are interpreted sequentially for *validity* (a batch may
+    /// insert a node and immediately connect it), but the invariant is only
+    /// restored once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] encountered. Changes before the
+    /// failing one remain applied and the invariant is restored for them,
+    /// so the engine stays consistent; the failing and subsequent changes
+    /// are not applied.
+    pub fn apply_batch(
+        &mut self,
+        changes: &[TopologyChange],
+    ) -> Result<BatchReceipt, GraphError> {
+        let mut seeds = Vec::new();
+        let mut counter_updates = 0usize;
+        let mut applied = 0usize;
+        let mut failure: Option<GraphError> = None;
+        for change in changes {
+            let result = self.mutate_only(change, &mut seeds, &mut counter_updates);
+            match result {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let receipt = self.propagate(
+            changes
+                .first()
+                .map_or(ChangeKind::EdgeInsert, TopologyChange::kind),
+            seeds,
+            counter_updates,
+        );
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(BatchReceipt::new(applied, receipt)),
+        }
+    }
+
+    /// Applies one change's graph mutation and counter fix-ups against the
+    /// *frozen* output states, deferring propagation.
+    fn mutate_only(
+        &mut self,
+        change: &TopologyChange,
+        seeds: &mut Vec<NodeId>,
+        counter_updates: &mut usize,
+    ) -> Result<(), GraphError> {
+        match change {
+            TopologyChange::InsertEdge(u, v) => {
+                self.graph.insert_edge(*u, *v)?;
+                let (lo, hi) = self.order_pair(*u, *v);
+                if self.in_mis[&lo] {
+                    *self.lower_mis_count.get_mut(&hi).expect("live node") += 1;
+                    *counter_updates += 1;
+                }
+                seeds.push(hi);
+            }
+            TopologyChange::DeleteEdge(u, v) => {
+                self.graph.remove_edge(*u, *v)?;
+                let (lo, hi) = self.order_pair(*u, *v);
+                if self.in_mis[&lo] {
+                    *self.lower_mis_count.get_mut(&hi).expect("live node") -= 1;
+                    *counter_updates += 1;
+                }
+                seeds.push(hi);
+            }
+            TopologyChange::InsertNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                let v = self.graph.add_node_with_edges(edges.iter().copied())?;
+                self.priorities.assign(v, &mut self.rng);
+                self.in_mis.insert(v, false);
+                let count = self.count_lower_mis(v);
+                self.lower_mis_count.insert(v, count);
+                seeds.push(v);
+            }
+            TopologyChange::DeleteNode(v) => {
+                let was_in = *self.in_mis.get(v).ok_or(GraphError::MissingNode(*v))?;
+                let prio_v = self.priorities.of(*v);
+                let nbrs = self.graph.remove_node(*v)?;
+                self.priorities.remove(*v);
+                self.in_mis.remove(v);
+                self.lower_mis_count.remove(v);
+                for w in nbrs {
+                    if self.priorities.of(w) > prio_v {
+                        if was_in {
+                            *self.lower_mis_count.get_mut(&w).expect("live node") -= 1;
+                            *counter_updates += 1;
+                        }
+                        seeds.push(w);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the MIS invariant over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariant(&self) -> Result<(), InvariantViolation> {
+        invariant::check_mis_invariant(&self.graph, &self.priorities, &self.mis())
+    }
+
+    /// Verifies every internal bookkeeping structure against a from-scratch
+    /// recomputation. Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter or state diverged.
+    pub fn assert_internally_consistent(&self) {
+        self.graph.assert_consistent();
+        assert_eq!(self.in_mis.len(), self.graph.node_count());
+        assert_eq!(self.priorities.len(), self.graph.node_count());
+        let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
+        for v in self.graph.nodes() {
+            assert_eq!(
+                self.in_mis[&v],
+                ground_truth.contains(&v),
+                "state of {v} diverged from static greedy"
+            );
+            assert_eq!(
+                self.lower_mis_count[&v],
+                self.count_lower_mis(v),
+                "counter of {v} diverged"
+            );
+        }
+    }
+
+    fn order_pair(&self, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if self.priorities.before(u, v) {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Settles dirty nodes in increasing π order. Every node is finalized at
+    /// its first effective pop because all lower-order dirty nodes settle
+    /// first, so each node flips at most once per update.
+    fn propagate(
+        &mut self,
+        kind: ChangeKind,
+        seeds: Vec<NodeId>,
+        mut counter_updates: usize,
+    ) -> UpdateReceipt {
+        let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> = seeds
+            .into_iter()
+            // A batch may have deleted a node seeded by an earlier change.
+            .filter(|&v| self.graph.has_node(v))
+            .map(|v| Reverse((self.priorities.of(v), v)))
+            .collect();
+        let mut flips = Vec::new();
+        let mut pops = 0usize;
+        while let Some(Reverse((prio, v))) = heap.pop() {
+            pops += 1;
+            // A batch may delete a node that an earlier change seeded.
+            if !self.graph.has_node(v) {
+                continue;
+            }
+            let desired = self.lower_mis_count[&v] == 0;
+            let current = self.in_mis[&v];
+            if desired == current {
+                continue;
+            }
+            self.in_mis.insert(v, desired);
+            flips.push((v, MisState::from_membership(desired)));
+            let higher: Vec<NodeId> = self
+                .graph
+                .neighbors(v)
+                .expect("live node")
+                .filter(|&w| self.priorities.of(w) > prio)
+                .collect();
+            for w in higher {
+                let c = self.lower_mis_count.get_mut(&w).expect("live node");
+                if desired {
+                    *c += 1;
+                } else {
+                    *c -= 1;
+                }
+                counter_updates += 1;
+                heap.push(Reverse((self.priorities.of(w), w)));
+            }
+        }
+        UpdateReceipt::new(kind, flips, pops, counter_updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+    use dmis_graph::stream::{self, ChurnConfig};
+
+
+    #[test]
+    fn empty_engine() {
+        let engine = MisEngine::new(0);
+        assert!(engine.mis().is_empty());
+        assert!(engine.check_invariant().is_ok());
+    }
+
+    #[test]
+    fn from_graph_matches_static_greedy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
+        let engine = MisEngine::from_graph(g, 99);
+        engine.assert_internally_consistent();
+        assert!(engine.check_invariant().is_ok());
+    }
+
+    #[test]
+    fn edge_insert_between_two_mis_nodes_evicts_higher() {
+        let (g, ids) = DynGraph::with_nodes(2);
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        assert!(engine.is_in_mis(ids[0]).unwrap());
+        assert!(engine.is_in_mis(ids[1]).unwrap());
+        let receipt = engine.insert_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(receipt.adjustments(), 1);
+        assert_eq!(receipt.flips(), &[(ids[1], MisState::Out)]);
+        assert!(engine.is_in_mis(ids[0]).unwrap());
+        assert!(!engine.is_in_mis(ids[1]).unwrap());
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn edge_insert_without_conflict_adjusts_nothing() {
+        let (mut g, ids) = DynGraph::with_nodes(3);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        // ids[1] is out; connecting it to ids[2] (in) — wait, ids[2] is in
+        // the MIS and higher, so inserting {1,2} evicts nobody: lower
+        // endpoint ids[1] is out.
+        let receipt = engine.insert_edge(ids[1], ids[2]).unwrap();
+        assert_eq!(receipt.adjustments(), 0);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn edge_delete_lets_uncovered_node_in() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        assert!(!engine.is_in_mis(ids[1]).unwrap());
+        let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(receipt.flips(), &[(ids[1], MisState::In)]);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn cascade_propagates_along_priority_path() {
+        // Path p0 - p1 - p2 - p3 with increasing priorities: greedy MIS is
+        // {p0, p2}. Deleting edge {p0, p1} lets p1 in, which evicts p2,
+        // which lets p3 in: a 3-adjustment cascade.
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        for w in ids.windows(2) {
+            g.insert_edge(w[0], w[1]).unwrap();
+        }
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        assert_eq!(engine.mis(), [ids[0], ids[2]].into_iter().collect());
+        let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(
+            receipt.flips(),
+            &[
+                (ids[1], MisState::In),
+                (ids[2], MisState::Out),
+                (ids[3], MisState::In)
+            ]
+        );
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn node_insert_and_remove_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 3);
+        let (v, receipt) = engine.insert_node(vec![ids[0], ids[1], ids[2]]).unwrap();
+        assert!(engine.graph().has_node(v));
+        let _ = receipt;
+        engine.assert_internally_consistent();
+        engine.remove_node(v).unwrap();
+        assert!(!engine.graph().has_node(v));
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn removing_mis_node_promotes_neighbor() {
+        let (g, ids) = generators::star(4);
+        // Center first: MIS = {center}.
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        assert_eq!(engine.mis(), [ids[0]].into_iter().collect());
+        let receipt = engine.remove_node(ids[0]).unwrap();
+        assert_eq!(receipt.adjustments(), 3, "all leaves join");
+        assert_eq!(engine.mis().len(), 3);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn removing_non_mis_node_is_silent() {
+        let (g, ids) = generators::star(4);
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let receipt = engine.remove_node(ids[3]).unwrap();
+        assert_eq!(receipt.adjustments(), 0);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn errors_leave_engine_untouched() {
+        let (g, ids) = generators::path(3);
+        let mut engine = MisEngine::from_graph(g, 0);
+        let snapshot = engine.mis();
+        assert!(engine.insert_edge(ids[0], ids[1]).is_err());
+        assert!(engine.remove_edge(ids[0], ids[2]).is_err());
+        assert!(engine.remove_node(NodeId(50)).is_err());
+        assert!(engine.insert_node(vec![NodeId(50)]).is_err());
+        assert_eq!(engine.mis(), snapshot);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn apply_dispatches_all_change_kinds() {
+        let (g, ids) = generators::path(3);
+        let mut engine = MisEngine::from_graph(g, 1);
+        let fresh = engine.graph().peek_next_id();
+        engine
+            .apply(&TopologyChange::InsertNode {
+                id: fresh,
+                edges: vec![ids[0]],
+            })
+            .unwrap();
+        engine
+            .apply(&TopologyChange::InsertEdge(fresh, ids[2]))
+            .unwrap();
+        engine
+            .apply(&TopologyChange::DeleteEdge(fresh, ids[2]))
+            .unwrap();
+        engine.apply(&TopologyChange::DeleteNode(fresh)).unwrap();
+        engine.assert_internally_consistent();
+        // Stale pre-assigned identifier is rejected.
+        let err = engine
+            .apply(&TopologyChange::InsertNode {
+                id: NodeId(0),
+                edges: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, GraphError::MissingNode(NodeId(0)));
+    }
+
+    #[test]
+    fn long_random_churn_stays_equal_to_static_greedy() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (g, _) = generators::erdos_renyi(25, 0.2, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 100);
+        let cfg = ChurnConfig::default();
+        for step in 0..500 {
+            let Some(change) = stream::random_change(engine.graph(), &cfg, &mut rng) else {
+                continue;
+            };
+            engine.apply(&change).unwrap();
+            if step % 50 == 0 {
+                engine.assert_internally_consistent();
+            }
+        }
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn adjustment_set_equals_output_symmetric_difference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, _) = generators::erdos_renyi(30, 0.15, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 8);
+        for _ in 0..200 {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            let before = engine.mis();
+            let is_node_delete = matches!(change, TopologyChange::DeleteNode(_));
+            let deleted = match change {
+                TopologyChange::DeleteNode(v) => Some(v),
+                _ => None,
+            };
+            let receipt = engine.apply(&change).unwrap();
+            let after = engine.mis();
+            let mut diff: BTreeSet<NodeId> =
+                before.symmetric_difference(&after).copied().collect();
+            if is_node_delete {
+                // The departed node leaves the output by definition, not by
+                // adjustment.
+                if let Some(v) = deleted {
+                    diff.remove(&v);
+                }
+            }
+            assert_eq!(diff, receipt.adjusted_nodes());
+        }
+    }
+
+    #[test]
+    fn seeded_engines_are_reproducible() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let (g, _) = generators::erdos_renyi(15, 0.3, &mut rng);
+            let mut engine = MisEngine::from_graph(g, seed);
+            let mut outputs = Vec::new();
+            for _ in 0..30 {
+                if let Some(change) =
+                    stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+                {
+                    engine.apply(&change).unwrap();
+                    outputs.push(engine.mis());
+                }
+            }
+            outputs
+        };
+        assert_eq!(build(5), build(5));
+    }
+
+    #[test]
+    fn average_adjustments_are_small() {
+        // A smoke-level statistical check of Theorem 1 (the full statistical
+        // experiment lives in dmis-bench): mean adjustments over random edge
+        // churn should be below 1.5 with ample slack.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = generators::erdos_renyi(60, 0.08, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 10);
+        let mut total = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            let change = stream::random_change(
+                engine.graph(),
+                &ChurnConfig::edges_only(),
+                &mut rng,
+            )
+            .expect("edge churn always possible here");
+            total += engine.apply(&change).unwrap().adjustments();
+        }
+        let mean = total as f64 / f64::from(trials);
+        assert!(mean < 1.5, "mean adjustments {mean} suspiciously high");
+    }
+
+    #[test]
+    fn work_counters_are_reported() {
+        let (g, ids) = generators::star(10);
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let receipt = engine.remove_node(ids[0]).unwrap();
+        assert!(receipt.heap_pops() >= receipt.adjustments());
+        assert!(receipt.counter_updates() >= 9, "all leaves decremented");
+    }
+
+    #[test]
+    fn batch_equals_sequential_final_state() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = generators::erdos_renyi(20, 0.25, &mut rng);
+            // Build a valid batch of edge changes on an evolving shadow.
+            let mut shadow = g.clone();
+            let mut batch = Vec::new();
+            for _ in 0..6 {
+                if let Some(change) =
+                    stream::random_change(&shadow, &ChurnConfig::edges_only(), &mut rng)
+                {
+                    change.apply(&mut shadow).unwrap();
+                    batch.push(change);
+                }
+            }
+            let mut batched = MisEngine::from_graph(g.clone(), 99 + seed);
+            let mut sequential = batched.clone();
+            batched.apply_batch(&batch).unwrap();
+            for change in &batch {
+                sequential.apply(change).unwrap();
+            }
+            assert_eq!(batched.mis(), sequential.mis());
+            batched.assert_internally_consistent();
+        }
+    }
+
+    #[test]
+    fn batch_can_insert_and_wire_a_node() {
+        let (g, ids) = generators::path(3);
+        let mut engine = MisEngine::from_graph(g, 4);
+        let fresh = engine.graph().peek_next_id();
+        let receipt = engine
+            .apply_batch(&[
+                TopologyChange::InsertNode {
+                    id: fresh,
+                    edges: vec![ids[0]],
+                },
+                TopologyChange::InsertEdge(fresh, ids[2]),
+                TopologyChange::DeleteEdge(ids[0], ids[1]),
+            ])
+            .unwrap();
+        assert_eq!(receipt.applied(), 3);
+        engine.assert_internally_consistent();
+        assert!(engine.graph().has_edge(fresh, ids[2]));
+    }
+
+    #[test]
+    fn batch_can_delete_a_just_inserted_node() {
+        let (g, ids) = generators::path(3);
+        let mut engine = MisEngine::from_graph(g, 4);
+        let fresh = engine.graph().peek_next_id();
+        engine
+            .apply_batch(&[
+                TopologyChange::InsertNode {
+                    id: fresh,
+                    edges: vec![ids[0], ids[2]],
+                },
+                TopologyChange::DeleteNode(fresh),
+            ])
+            .unwrap();
+        assert!(!engine.graph().has_node(fresh));
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn batch_failure_keeps_engine_consistent() {
+        let (g, ids) = generators::path(4);
+        let mut engine = MisEngine::from_graph(g, 4);
+        let err = engine
+            .apply_batch(&[
+                TopologyChange::DeleteEdge(ids[0], ids[1]),
+                TopologyChange::DeleteEdge(ids[0], ids[3]), // not an edge
+                TopologyChange::DeleteEdge(ids[2], ids[3]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, GraphError::MissingEdge(ids[0], ids[3]));
+        // The applied prefix (first deletion) is in effect and the
+        // invariant is restored for it; the tail was not applied.
+        assert!(!engine.graph().has_edge(ids[0], ids[1]));
+        assert!(engine.graph().has_edge(ids[2], ids[3]));
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn batch_of_simultaneous_failures_recovers() {
+        // The paper's open question: several deletions at once. Delete
+        // three MIS nodes of a cycle simultaneously.
+        let (g, ids) = generators::cycle(9);
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mis = engine.mis();
+        let victims: Vec<NodeId> = mis.into_iter().take(3).collect();
+        let batch: Vec<TopologyChange> =
+            victims.iter().map(|&v| TopologyChange::DeleteNode(v)).collect();
+        engine.apply_batch(&batch).unwrap();
+        engine.assert_internally_consistent();
+        assert!(engine.check_invariant().is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (g, _) = generators::path(3);
+        let mut engine = MisEngine::from_graph(g, 1);
+        let before = engine.mis();
+        let receipt = engine.apply_batch(&[]).unwrap();
+        assert_eq!(receipt.applied(), 0);
+        assert_eq!(receipt.adjustments(), 0);
+        assert_eq!(engine.mis(), before);
+    }
+
+    #[test]
+    fn priorities_are_stable_across_unrelated_changes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (g, ids) = generators::erdos_renyi(10, 0.4, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 2);
+        let p_before = engine.priorities().of(ids[3]);
+        let _ = engine.insert_node(vec![ids[0]]).unwrap();
+        let _ = rng.random::<u64>();
+        assert_eq!(engine.priorities().of(ids[3]), p_before);
+    }
+}

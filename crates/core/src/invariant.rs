@@ -1,0 +1,174 @@
+//! Verifiers for the structural guarantees the paper's algorithms maintain.
+//!
+//! These functions are used pervasively in tests, and by the simulator
+//! harness to decide when a distributed execution has stabilized to a
+//! correct output.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use dmis_graph::{DynGraph, NodeId};
+
+use crate::PriorityMap;
+
+/// Why a candidate set fails to satisfy the MIS invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Two adjacent nodes are both in the set.
+    AdjacentMembers(NodeId, NodeId),
+    /// A node is outside the set but has no lower-order member neighbor
+    /// (under the π-invariant), or no member neighbor at all (plain
+    /// maximality).
+    UncoveredNode(NodeId),
+    /// A node in the set has a lower-order member neighbor — it should have
+    /// been excluded by greedy.
+    WronglyIncluded(NodeId, NodeId),
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::AdjacentMembers(u, v) => {
+                write!(f, "adjacent nodes {u} and {v} are both in the set")
+            }
+            InvariantViolation::UncoveredNode(v) => {
+                write!(f, "node {v} is outside the set but not dominated")
+            }
+            InvariantViolation::WronglyIncluded(v, u) => {
+                write!(f, "node {v} is in the set despite lower-order member {u}")
+            }
+        }
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Returns `true` if `set` is an independent set of `g` (no two members
+/// adjacent).
+#[must_use]
+pub fn is_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
+    set.iter().all(|&v| {
+        g.neighbors(v)
+            .map(|mut nbrs| !nbrs.any(|u| set.contains(&u)))
+            .unwrap_or(false)
+    })
+}
+
+/// Returns `true` if `set` is a *maximal* independent set of `g`.
+#[must_use]
+pub fn is_maximal_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    g.nodes().all(|v| {
+        set.contains(&v)
+            || g.neighbors(v)
+                .expect("iterating live nodes")
+                .any(|u| set.contains(&u))
+    })
+}
+
+/// Checks the paper's **MIS invariant**: `v ∈ M` iff no neighbor `u` with
+/// `π(u) < π(v)` is in `M`. This is strictly stronger than maximality — it
+/// pins `M` to be exactly the greedy MIS of `(g, π)`.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`] found (in node order).
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+pub fn check_mis_invariant(
+    g: &DynGraph,
+    priorities: &PriorityMap,
+    mis: &BTreeSet<NodeId>,
+) -> Result<(), InvariantViolation> {
+    for v in g.nodes() {
+        let lower_member = g
+            .neighbors(v)
+            .expect("iterating live nodes")
+            .find(|&u| mis.contains(&u) && priorities.before(u, v));
+        match (mis.contains(&v), lower_member) {
+            (true, Some(u)) => return Err(InvariantViolation::WronglyIncluded(v, u)),
+            (false, None) => return Err(InvariantViolation::UncoveredNode(v)),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    #[test]
+    fn independence_checks() {
+        let (g, ids) = generators::path(4);
+        let good: BTreeSet<_> = [ids[0], ids[2]].into_iter().collect();
+        assert!(is_independent_set(&g, &good));
+        let bad: BTreeSet<_> = [ids[0], ids[1]].into_iter().collect();
+        assert!(!is_independent_set(&g, &bad));
+        let ghost: BTreeSet<_> = [NodeId(99)].into_iter().collect();
+        assert!(!is_independent_set(&g, &ghost), "members must exist");
+    }
+
+    #[test]
+    fn maximality_checks() {
+        let (g, ids) = generators::path(4);
+        let maximal: BTreeSet<_> = [ids[0], ids[2]].into_iter().collect();
+        assert!(is_maximal_independent_set(&g, &maximal));
+        let not_maximal: BTreeSet<_> = [ids[0]].into_iter().collect();
+        assert!(!is_maximal_independent_set(&g, &not_maximal));
+        let not_independent: BTreeSet<_> = [ids[0], ids[1], ids[3]].into_iter().collect();
+        assert!(!is_maximal_independent_set(&g, &not_independent));
+    }
+
+    #[test]
+    fn pi_invariant_is_stronger_than_maximality() {
+        let (g, ids) = generators::path(3);
+        let pm = PriorityMap::from_order(&[ids[1], ids[0], ids[2]]);
+        // {ids[0], ids[2]} is a perfectly fine MIS…
+        let other_mis: BTreeSet<_> = [ids[0], ids[2]].into_iter().collect();
+        assert!(is_maximal_independent_set(&g, &other_mis));
+        // …but not the greedy one for this π (middle node first).
+        assert_eq!(
+            check_mis_invariant(&g, &pm, &other_mis),
+            Err(InvariantViolation::UncoveredNode(ids[1]))
+        );
+        let greedy: BTreeSet<_> = [ids[1]].into_iter().collect();
+        assert!(check_mis_invariant(&g, &pm, &greedy).is_ok());
+    }
+
+    #[test]
+    fn wrongly_included_detected() {
+        let (g, ids) = generators::path(2);
+        let pm = PriorityMap::from_order(&[ids[0], ids[1]]);
+        let both: BTreeSet<_> = [ids[0], ids[1]].into_iter().collect();
+        assert_eq!(
+            check_mis_invariant(&g, &pm, &both),
+            Err(InvariantViolation::WronglyIncluded(ids[1], ids[0]))
+        );
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = InvariantViolation::AdjacentMembers(NodeId(1), NodeId(2));
+        assert!(v.to_string().contains("n1"));
+        let v = InvariantViolation::UncoveredNode(NodeId(3)).to_string();
+        assert!(v.contains("not dominated"));
+        let v = InvariantViolation::WronglyIncluded(NodeId(3), NodeId(1)).to_string();
+        assert!(v.contains("lower-order"));
+    }
+
+    #[test]
+    fn empty_graph_trivially_satisfies_everything() {
+        let g = DynGraph::new();
+        let pm = PriorityMap::new();
+        let empty = BTreeSet::new();
+        assert!(is_maximal_independent_set(&g, &empty));
+        assert!(check_mis_invariant(&g, &pm, &empty).is_ok());
+    }
+}

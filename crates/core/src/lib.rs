@@ -1,0 +1,70 @@
+//! # dmis-core
+//!
+//! The primary contribution of *Optimal Dynamic Distributed MIS*
+//! (Censor-Hillel, Haramaty, Karnin, PODC 2016): maintaining a maximal
+//! independent set under fully dynamic topology changes by simulating the
+//! greedy sequential MIS algorithm over a uniformly random node order π.
+//!
+//! The paper's central guarantee (Theorem 1) is that the *influenced set*
+//! `S` — the nodes that change output as a consequence of a single topology
+//! change — has expected size at most 1, over the randomness of π. This
+//! crate provides:
+//!
+//! - [`Priority`] / [`PriorityMap`]: the random order π, realized as a
+//!   uniformly random 64-bit key per node with identifier tie-break;
+//! - [`MisEngine`]: an efficient incremental maintainer of the random-greedy
+//!   MIS (the "sequential dynamic" realization of the paper's template,
+//!   Algorithm 1), reporting per-update [`UpdateReceipt`]s with the
+//!   adjustment set and work counters;
+//! - [`template`]: a faithful round-by-round simulation of the template,
+//!   which records the full influenced set `S` including nodes that flip and
+//!   flip back (the `u₂` example of Section 3), the number of parallel
+//!   rounds, and the total number of state changes;
+//! - [`static_greedy`]: the from-scratch greedy oracle used for
+//!   history-independence checks;
+//! - [`invariant`]: verifiers for the MIS invariant;
+//! - [`theory`]: the `S'` construction of Section 3 (v* forced minimal),
+//!   enabling machine-checking of Lemma 2 on random instances.
+//!
+//! # The MIS invariant
+//!
+//! A node `v` is in the MIS **iff** none of its neighbors `u` with
+//! `π(u) < π(v)` is in the MIS. The unique assignment satisfying this is the
+//! output of sequential greedy on π, which makes the algorithm *history
+//! independent* (Section 5): the output distribution on a graph `G` depends
+//! only on `G`, never on the change sequence that produced it.
+//!
+//! # Example
+//!
+//! ```
+//! use dmis_core::MisEngine;
+//! use dmis_graph::generators;
+//!
+//! let (g, ids) = generators::path(5);
+//! let mut engine = MisEngine::from_graph(g, 42);
+//! assert!(engine.check_invariant().is_ok());
+//!
+//! // A single change adjusts, in expectation, a single node.
+//! let receipt = engine.remove_edge(ids[1], ids[2])?;
+//! assert!(engine.check_invariant().is_ok());
+//! println!("adjustments: {}", receipt.adjustments());
+//! # Ok::<(), dmis_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod priority;
+mod receipt;
+mod state;
+
+pub mod invariant;
+pub mod static_greedy;
+pub mod template;
+pub mod theory;
+
+pub use engine::MisEngine;
+pub use priority::{Priority, PriorityMap};
+pub use receipt::{BatchReceipt, UpdateReceipt};
+pub use state::MisState;

@@ -1,0 +1,169 @@
+use std::collections::BTreeSet;
+
+use dmis_graph::{ChangeKind, NodeId};
+
+use crate::MisState;
+
+/// Outcome of applying one topology change to a [`crate::MisEngine`].
+///
+/// The *adjustment set* is the set of nodes whose final output differs from
+/// their output before the change — the quantity the paper calls the
+/// adjustment complexity and bounds by 1 in expectation (Theorem 1; note the
+/// influenced set `S` of the template may be a superset, because a node can
+/// flip and flip back — use [`crate::template`] to observe that).
+///
+/// Work counters expose the sequential cost discussed in Section 6 of the
+/// paper: a direct sequential implementation pays O(Δ) per adjusted node to
+/// update neighbor bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReceipt {
+    kind: ChangeKind,
+    flips: Vec<(NodeId, MisState)>,
+    heap_pops: usize,
+    counter_updates: usize,
+}
+
+impl UpdateReceipt {
+    pub(crate) fn new(
+        kind: ChangeKind,
+        flips: Vec<(NodeId, MisState)>,
+        heap_pops: usize,
+        counter_updates: usize,
+    ) -> Self {
+        UpdateReceipt {
+            kind,
+            flips,
+            heap_pops,
+            counter_updates,
+        }
+    }
+
+    /// The kind of change this receipt describes.
+    #[must_use]
+    pub fn kind(&self) -> ChangeKind {
+        self.kind
+    }
+
+    /// The nodes whose output changed, with their new state, in the order
+    /// they were settled (increasing priority).
+    #[must_use]
+    pub fn flips(&self) -> &[(NodeId, MisState)] {
+        &self.flips
+    }
+
+    /// The adjustment set as a set of node identifiers.
+    #[must_use]
+    pub fn adjusted_nodes(&self) -> BTreeSet<NodeId> {
+        self.flips.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Number of nodes whose output changed (the paper's adjustment
+    /// complexity for this change).
+    #[must_use]
+    pub fn adjustments(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Number of priority-queue settlements performed (≥ adjustments).
+    #[must_use]
+    pub fn heap_pops(&self) -> usize {
+        self.heap_pops
+    }
+
+    /// Number of neighbor-counter updates performed — the O(Δ·|S|)
+    /// sequential work term of Section 6.
+    #[must_use]
+    pub fn counter_updates(&self) -> usize {
+        self.counter_updates
+    }
+}
+
+/// Outcome of applying a **batch** of topology changes via
+/// [`crate::MisEngine::apply_batch`]: how many changes landed, plus the
+/// combined propagation receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReceipt {
+    applied: usize,
+    receipt: UpdateReceipt,
+}
+
+impl BatchReceipt {
+    pub(crate) fn new(applied: usize, receipt: UpdateReceipt) -> Self {
+        BatchReceipt { applied, receipt }
+    }
+
+    /// Number of changes successfully applied.
+    #[must_use]
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Nodes whose output changed across the whole batch, with their new
+    /// state.
+    #[must_use]
+    pub fn flips(&self) -> &[(NodeId, MisState)] {
+        self.receipt.flips()
+    }
+
+    /// The batch's adjustment set.
+    #[must_use]
+    pub fn adjusted_nodes(&self) -> BTreeSet<NodeId> {
+        self.receipt.adjusted_nodes()
+    }
+
+    /// Number of nodes whose output changed.
+    #[must_use]
+    pub fn adjustments(&self) -> usize {
+        self.receipt.adjustments()
+    }
+
+    /// Heap settlements performed by the combined propagation.
+    #[must_use]
+    pub fn heap_pops(&self) -> usize {
+        self.receipt.heap_pops()
+    }
+
+    /// Neighbor-counter updates performed.
+    #[must_use]
+    pub fn counter_updates(&self) -> usize {
+        self.receipt.counter_updates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_receipt_delegates() {
+        let inner = UpdateReceipt::new(
+            ChangeKind::EdgeDelete,
+            vec![(NodeId(1), MisState::In)],
+            3,
+            5,
+        );
+        let b = BatchReceipt::new(4, inner);
+        assert_eq!(b.applied(), 4);
+        assert_eq!(b.adjustments(), 1);
+        assert_eq!(b.heap_pops(), 3);
+        assert_eq!(b.counter_updates(), 5);
+        assert!(b.adjusted_nodes().contains(&NodeId(1)));
+        assert_eq!(b.flips().len(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = UpdateReceipt::new(
+            ChangeKind::EdgeInsert,
+            vec![(NodeId(3), MisState::Out), (NodeId(5), MisState::In)],
+            4,
+            7,
+        );
+        assert_eq!(r.kind(), ChangeKind::EdgeInsert);
+        assert_eq!(r.adjustments(), 2);
+        assert_eq!(r.heap_pops(), 4);
+        assert_eq!(r.counter_updates(), 7);
+        assert!(r.adjusted_nodes().contains(&NodeId(5)));
+        assert_eq!(r.flips()[0], (NodeId(3), MisState::Out));
+    }
+}

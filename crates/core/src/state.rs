@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Output state of a node: in the MIS (`M` in the paper) or out (`M̄`).
+///
+/// The two *transient* protocol states `C` (changing) and `R` (ready) of
+/// Algorithm 2 are communication-level details and live in `dmis-protocol`;
+/// the template and the engine only ever expose `M`/`M̄`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisState {
+    /// The node is in the maximal independent set (paper state `M`).
+    In,
+    /// The node is not in the MIS (paper state `M̄`).
+    Out,
+}
+
+impl MisState {
+    /// Returns `true` for [`MisState::In`].
+    #[must_use]
+    pub const fn is_in(self) -> bool {
+        matches!(self, MisState::In)
+    }
+
+    /// Returns the opposite state.
+    #[must_use]
+    pub const fn flipped(self) -> Self {
+        match self {
+            MisState::In => MisState::Out,
+            MisState::Out => MisState::In,
+        }
+    }
+
+    /// Maps a boolean ("is in the MIS") to a state.
+    #[must_use]
+    pub const fn from_membership(in_mis: bool) -> Self {
+        if in_mis {
+            MisState::In
+        } else {
+            MisState::Out
+        }
+    }
+}
+
+impl fmt::Display for MisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MisState::In => f.write_str("M"),
+            MisState::Out => f.write_str("M̄"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert!(MisState::In.is_in());
+        assert!(!MisState::Out.is_in());
+        assert_eq!(MisState::In.flipped(), MisState::Out);
+        assert_eq!(MisState::Out.flipped(), MisState::In);
+        assert_eq!(MisState::from_membership(true), MisState::In);
+        assert_eq!(MisState::from_membership(false), MisState::Out);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(MisState::In.to_string(), "M");
+        assert_eq!(MisState::Out.to_string(), "M̄");
+    }
+}

@@ -1,0 +1,167 @@
+//! The sequential greedy MIS oracle.
+//!
+//! "The greedy sequential algorithm orders the nodes and then inspects them
+//! by increasing order. A node is added to the MIS if and only if it does
+//! not have a lower-order neighbor already in the MIS." (Section 1.1.)
+//!
+//! Given a fixed order this output is unique; with a uniformly random order
+//! it is the *random greedy* MIS whose dynamic maintenance is the paper's
+//! subject. The from-scratch computation here is the ground truth against
+//! which every incremental structure in this workspace is verified — the
+//! equality `dynamic output ≡ static greedy output` at equal priorities *is*
+//! the history-independence property of Section 5.
+
+use std::collections::BTreeSet;
+
+use dmis_graph::{DynGraph, NodeId};
+
+use crate::PriorityMap;
+
+/// Computes the greedy MIS of `g` under the order given by `priorities`.
+///
+/// Runs in `O(n log n + m)` time.
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+///
+/// # Example
+///
+/// ```
+/// use dmis_core::{static_greedy, PriorityMap};
+/// use dmis_graph::generators;
+///
+/// let (g, ids) = generators::path(3);
+/// // Order: middle node first — it alone forms the MIS core.
+/// let pm = PriorityMap::from_order(&[ids[1], ids[0], ids[2]]);
+/// let mis = static_greedy::greedy_mis(&g, &pm);
+/// assert!(mis.contains(&ids[1]));
+/// assert!(!mis.contains(&ids[0]));
+/// ```
+#[must_use]
+pub fn greedy_mis(g: &DynGraph, priorities: &PriorityMap) -> BTreeSet<NodeId> {
+    let mut mis = BTreeSet::new();
+    for v in priorities_order(g, priorities) {
+        let dominated = g
+            .neighbors(v)
+            .expect("ordered nodes exist")
+            .any(|u| mis.contains(&u) && priorities.before(u, v));
+        if !dominated {
+            mis.insert(v);
+        }
+    }
+    mis
+}
+
+/// Computes the greedy (first-fit) coloring of `g` under the order given by
+/// `priorities`: each node receives the smallest color not used by a
+/// lower-order neighbor.
+///
+/// This is the random greedy coloring discussed in Section 5, Example 3.
+/// Uses at most `Δ + 1` colors. Colors are `0`-based.
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+#[must_use]
+pub fn greedy_coloring(g: &DynGraph, priorities: &PriorityMap) -> Vec<(NodeId, usize)> {
+    let mut colors: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
+    for v in priorities_order(g, priorities) {
+        let used: BTreeSet<usize> = g
+            .neighbors(v)
+            .expect("ordered nodes exist")
+            .filter(|&u| priorities.before(u, v))
+            .filter_map(|u| colors.get(&u).copied())
+            .collect();
+        let color = (0..).find(|c| !used.contains(c)).expect("some color free");
+        colors.insert(v, color);
+    }
+    colors.into_iter().collect()
+}
+
+/// Returns the nodes of `g` in increasing priority order.
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+#[must_use]
+pub fn priorities_order(g: &DynGraph, priorities: &PriorityMap) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_unstable_by_key(|&v| priorities.of(v));
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_priorities(g: &DynGraph, seed: u64) -> PriorityMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut rng);
+        }
+        pm
+    }
+
+    #[test]
+    fn greedy_on_triangle_picks_min() {
+        let (g, ids) = generators::cycle(3);
+        let pm = PriorityMap::from_order(&[ids[2], ids[0], ids[1]]);
+        let mis = greedy_mis(&g, &pm);
+        assert_eq!(mis.into_iter().collect::<Vec<_>>(), vec![ids[2]]);
+    }
+
+    #[test]
+    fn greedy_is_mis_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [1usize, 2, 5, 20, 60] {
+            let (g, _) = generators::erdos_renyi(n, 0.25, &mut rng);
+            let pm = random_priorities(&g, n as u64);
+            let mis = greedy_mis(&g, &pm);
+            assert!(invariant::is_maximal_independent_set(&g, &mis));
+            assert!(invariant::check_mis_invariant(&g, &pm, &mis).is_ok());
+        }
+    }
+
+    #[test]
+    fn star_mis_depends_on_center_rank() {
+        let (g, ids) = generators::star(5);
+        // Center first → MIS = {center}.
+        let order_center_first: Vec<_> =
+            std::iter::once(ids[0]).chain(ids[1..].iter().copied()).collect();
+        let mis = greedy_mis(&g, &PriorityMap::from_order(&order_center_first));
+        assert_eq!(mis.len(), 1);
+        // A leaf first → MIS = all leaves.
+        let order_leaf_first: Vec<_> = ids[1..].iter().copied().chain([ids[0]]).collect();
+        let mis = greedy_mis(&g, &PriorityMap::from_order(&order_leaf_first));
+        assert_eq!(mis.len(), 4);
+    }
+
+    #[test]
+    fn coloring_is_proper_and_compact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = generators::erdos_renyi(30, 0.2, &mut rng);
+        let pm = random_priorities(&g, 9);
+        let coloring = greedy_coloring(&g, &pm);
+        let map: std::collections::BTreeMap<_, _> = coloring.iter().copied().collect();
+        for key in g.edges() {
+            let (u, v) = key.endpoints();
+            assert_ne!(map[&u], map[&v], "proper coloring");
+        }
+        let max_color = coloring.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        assert!(max_color <= g.max_degree(), "at most Δ+1 colors");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DynGraph::new();
+        let pm = PriorityMap::new();
+        assert!(greedy_mis(&g, &pm).is_empty());
+        assert!(greedy_coloring(&g, &pm).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Faithful simulation of the paper's template (Algorithm 1).
+//!
+//! The template is a model-free process: after a topology change, nodes
+//! repeatedly restore the local MIS invariant ("v ∈ M iff no lower-order
+//! neighbor is in M") until it holds everywhere. Unlike the efficient
+//! [`crate::MisEngine`] — which settles each node once, in priority order —
+//! the template lets a node change state *several times* (the paper's `u₂`
+//! example in Section 3 flips twice and lands back where it started).
+//!
+//! This module exists to measure exactly the quantities the paper reasons
+//! about:
+//!
+//! - the **influenced set** `S` — every node that changes state at least
+//!   once (Theorem 1: `E[|S|] ≤ 1`);
+//! - the number of parallel **rounds** a direct distributed implementation
+//!   takes (Corollary 6: 1 in expectation);
+//! - the **total number of state changes**, counting multiplicity — the
+//!   broadcast cost of the *direct* implementation, which Section 4 notes
+//!   can reach `|S|²`, motivating Algorithm 2.
+//!
+//! The simulation is a synchronous relaxation: in each round every node
+//! whose invariant is violated w.r.t. the current states flips, all
+//! simultaneously. Convergence is guaranteed in at most `n + 1` rounds: the
+//! node of rank `k` in π among ever-affected nodes stops changing after all
+//! lower-ranked ones do.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_graph::{DynGraph, NodeId, TopologyChange};
+
+use crate::{static_greedy, PriorityMap};
+
+/// Everything observed while running the template to quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateTrace {
+    /// The influenced set `S`: nodes that changed state at least once
+    /// (including a deleted `v*` that had to leave the MIS).
+    pub influenced: BTreeSet<NodeId>,
+    /// Parallel rounds until no node was violated.
+    pub rounds: usize,
+    /// State changes counted with multiplicity (≥ `influenced.len()`).
+    pub total_state_changes: usize,
+    /// Per-node state-change multiplicities.
+    pub changes_per_node: BTreeMap<NodeId, usize>,
+    /// The stabilized MIS.
+    pub final_mis: BTreeSet<NodeId>,
+}
+
+impl TemplateTrace {
+    /// Size of the influenced set (the paper's `|S|`).
+    #[must_use]
+    pub fn s_size(&self) -> usize {
+        self.influenced.len()
+    }
+}
+
+/// Runs the synchronous relaxation on `g` starting from `initial_mis` until
+/// the MIS invariant holds everywhere.
+///
+/// `initial_mis` entries for nodes not in `g` are ignored; nodes of `g`
+/// absent from `initial_mis` start in state `M̄`.
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority, or if the relaxation fails to
+/// converge within `n + 2` rounds (impossible unless the invariant machinery
+/// is broken — treated as a bug).
+#[must_use]
+pub fn relax(g: &DynGraph, priorities: &PriorityMap, initial_mis: &BTreeSet<NodeId>) -> TemplateTrace {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let mut current: BTreeSet<NodeId> = initial_mis
+        .iter()
+        .copied()
+        .filter(|&v| g.has_node(v))
+        .collect();
+    let mut influenced = BTreeSet::new();
+    let mut changes_per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut rounds = 0usize;
+    let mut total = 0usize;
+    let mut candidates: BTreeSet<NodeId> = nodes.iter().copied().collect();
+    loop {
+        let mut to_flip = Vec::new();
+        for &v in &candidates {
+            let dominated = g
+                .neighbors(v)
+                .expect("candidates are live nodes")
+                .any(|u| current.contains(&u) && priorities.before(u, v));
+            let desired = !dominated;
+            if desired != current.contains(&v) {
+                to_flip.push(v);
+            }
+        }
+        if to_flip.is_empty() {
+            break;
+        }
+        rounds += 1;
+        assert!(
+            rounds <= g.node_count() + 2,
+            "template relaxation failed to converge"
+        );
+        total += to_flip.len();
+        let mut next_candidates = BTreeSet::new();
+        for v in to_flip {
+            if !current.remove(&v) {
+                current.insert(v);
+            }
+            influenced.insert(v);
+            *changes_per_node.entry(v).or_insert(0) += 1;
+            next_candidates.insert(v);
+            next_candidates.extend(g.neighbors(v).expect("live node"));
+        }
+        candidates = next_candidates;
+    }
+    TemplateTrace {
+        influenced,
+        rounds,
+        total_state_changes: total,
+        changes_per_node,
+        final_mis: current,
+    }
+}
+
+/// Simulates the template's reaction to a single topology change.
+///
+/// `g_old` is the graph before the change, `g_new` after; `priorities` must
+/// cover the nodes of both (in particular, an inserted node must already
+/// have its priority drawn). The pre-change states are the greedy MIS of
+/// `(g_old, π)` — the unique configuration satisfying the MIS invariant.
+///
+/// For a node deletion whose victim was an MIS node, the victim is counted
+/// in the influenced set (the template's step 1 updates `v*` itself,
+/// footnote 7 of the paper).
+///
+/// # Panics
+///
+/// Panics if priorities are missing, or if `(g_old, g_new)` do not differ by
+/// exactly the given change (debug assertion via state reachability is not
+/// performed; garbage in, garbage out).
+#[must_use]
+pub fn simulate_change(
+    g_old: &DynGraph,
+    g_new: &DynGraph,
+    priorities: &PriorityMap,
+    change: &TopologyChange,
+) -> TemplateTrace {
+    let old_mis = static_greedy::greedy_mis(g_old, priorities);
+    let mut trace = relax(g_new, priorities, &old_mis);
+    if let TopologyChange::DeleteNode(v) = change {
+        if old_mis.contains(v) {
+            trace.influenced.insert(*v);
+            *trace.changes_per_node.entry(*v).or_insert(0) += 1;
+            trace.total_state_changes += 1;
+        }
+    }
+    trace
+}
+
+/// Simulates the template's reaction to a **batch** of simultaneous
+/// topology changes — the paper's first open question ("whether our
+/// analysis can be extended to cope with more than a single failure at a
+/// time").
+///
+/// Semantics: all changes land at once; the template then relaxes from the
+/// old states on the new graph. Every deleted node that was in the old MIS
+/// is counted in the influenced set (footnote 7 generalized). `priorities`
+/// must already cover inserted nodes.
+///
+/// # Panics
+///
+/// Panics if priorities are missing or the batch is invalid for `g_old`.
+#[must_use]
+pub fn simulate_batch(
+    g_old: &DynGraph,
+    priorities: &PriorityMap,
+    batch: &[TopologyChange],
+) -> TemplateTrace {
+    let mut g_new = g_old.clone();
+    for change in batch {
+        change.apply(&mut g_new).expect("valid batch");
+    }
+    let old_mis = static_greedy::greedy_mis(g_old, priorities);
+    let mut trace = relax(&g_new, priorities, &old_mis);
+    for change in batch {
+        if let TopologyChange::DeleteNode(v) = change {
+            if old_mis.contains(v) && !g_new.has_node(*v) {
+                trace.influenced.insert(*v);
+                *trace.changes_per_node.entry(*v).or_insert(0) += 1;
+                trace.total_state_changes += 1;
+            }
+        }
+    }
+    trace
+}
+
+/// Simulates recovery from **state corruption**: `corrupted` nodes have
+/// their output flipped arbitrarily (here: inverted) while the topology is
+/// unchanged, and the template relaxes back to the unique valid
+/// configuration.
+///
+/// This bridges to the self-stabilization literature the paper relates to
+/// (super-stabilization): recovery from k corrupted outputs is *local* —
+/// the relaxation only ever touches nodes whose invariant is disturbed,
+/// and it provably converges because the greedy configuration is the
+/// unique fixed point. Experiment E13 measures locality empirically.
+///
+/// # Panics
+///
+/// Panics if priorities are missing or a corrupted node is not in `g`.
+#[must_use]
+pub fn simulate_corruption(
+    g: &DynGraph,
+    priorities: &PriorityMap,
+    corrupted: &[NodeId],
+) -> TemplateTrace {
+    let valid = static_greedy::greedy_mis(g, priorities);
+    let mut state = valid.clone();
+    for &v in corrupted {
+        assert!(g.has_node(v), "corrupted node {v} must exist");
+        if !state.remove(&v) {
+            state.insert(v);
+        }
+    }
+    let trace = relax(g, priorities, &state);
+    debug_assert_eq!(trace.final_mis, valid, "relaxation restores the MIS");
+    trace
+}
+
+/// Builds the paper's Section 3 gadget: `v*` in the MIS, two higher-order
+/// neighbors `u₁, u₂` (dominated by `v*`), and a path `u₁ – w₁ – w₂ – u₂`
+/// with `π(v*) < π(u₁) < π(w₁) < π(w₂) < π(u₂)`. Inserting the edge
+/// `{anchor, v*}` — where `anchor` is a lower-order MIS node — evicts `v*`
+/// and makes `u₂` change state **twice**: first into the MIS (its lower
+/// neighbors `v*` and `w₂` are momentarily both out), then back out once the
+/// cascade reaches `w₂`.
+///
+/// Returns `(graph, priorities, [v*, u₁, w₁, w₂, u₂, anchor])`; the
+/// triggering change is `TopologyChange::InsertEdge(anchor, v*)`.
+#[must_use]
+pub fn u2_gadget() -> (DynGraph, PriorityMap, [NodeId; 6]) {
+    let (mut g, ids) = DynGraph::with_nodes(6);
+    let (anchor, v_star, u1, w1, w2, u2) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+    g.insert_edge(v_star, u1).expect("fresh edges");
+    g.insert_edge(v_star, u2).expect("fresh edges");
+    g.insert_edge(u1, w1).expect("fresh edges");
+    g.insert_edge(w1, w2).expect("fresh edges");
+    g.insert_edge(w2, u2).expect("fresh edges");
+    let priorities = PriorityMap::from_order(&[anchor, v_star, u1, w1, w2, u2]);
+    (g, priorities, [v_star, u1, w1, w2, u2, anchor])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant;
+    use dmis_graph::generators;
+    use dmis_graph::stream::{self, ChurnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_priorities(g: &DynGraph, seed: u64) -> PriorityMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut rng);
+        }
+        pm
+    }
+
+    #[test]
+    fn relax_from_valid_state_does_nothing() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (g, _) = generators::erdos_renyi(20, 0.2, &mut rng);
+        let pm = random_priorities(&g, 1);
+        let mis = static_greedy::greedy_mis(&g, &pm);
+        let trace = relax(&g, &pm, &mis);
+        assert_eq!(trace.rounds, 0);
+        assert!(trace.influenced.is_empty());
+        assert_eq!(trace.final_mis, mis);
+    }
+
+    #[test]
+    fn relax_from_empty_state_converges_to_greedy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, _) = generators::erdos_renyi(25, 0.2, &mut rng);
+        let pm = random_priorities(&g, 3);
+        let trace = relax(&g, &pm, &BTreeSet::new());
+        assert_eq!(trace.final_mis, static_greedy::greedy_mis(&g, &pm));
+        assert!(invariant::check_mis_invariant(&g, &pm, &trace.final_mis).is_ok());
+    }
+
+    #[test]
+    fn u2_gadget_flips_twice() {
+        let (g, pm, [v_star, u1, w1, w2, u2, anchor]) = u2_gadget();
+        let old_mis = static_greedy::greedy_mis(&g, &pm);
+        // Initial configuration of the paper's example: v* in, u₁/u₂ out,
+        // w₁ in, w₂ out; the isolated anchor is in.
+        assert!(old_mis.contains(&anchor));
+        assert!(old_mis.contains(&v_star));
+        assert!(!old_mis.contains(&u1) && !old_mis.contains(&u2));
+        assert!(old_mis.contains(&w1));
+        assert!(!old_mis.contains(&w2));
+        // Insert {anchor, v*}: the lower-order MIS node evicts v*.
+        let mut g_new = g.clone();
+        g_new.insert_edge(anchor, v_star).unwrap();
+        let change = TopologyChange::InsertEdge(anchor, v_star);
+        let trace = simulate_change(&g, &g_new, &pm, &change);
+        assert_eq!(
+            trace.influenced,
+            [v_star, u1, w1, w2, u2].into_iter().collect(),
+            "S = {{v*, u₁, w₁, w₂, u₂}}"
+        );
+        assert_eq!(
+            trace.changes_per_node.get(&u2),
+            Some(&2),
+            "u₂ flips in and back out (the paper's double-change example)"
+        );
+        assert!(trace.total_state_changes > trace.s_size());
+        assert!(!trace.final_mis.contains(&u2), "u₂ lands where it started");
+        assert_eq!(
+            trace.final_mis,
+            static_greedy::greedy_mis(&g_new, &pm),
+            "template lands on the greedy MIS of the new graph"
+        );
+    }
+
+    #[test]
+    fn simulate_change_counts_deleted_mis_node() {
+        let (g, ids) = generators::star(4);
+        let pm = PriorityMap::from_order(&ids); // center is the MIS
+        let mut g_new = g.clone();
+        g_new.remove_node(ids[0]).unwrap();
+        let trace = simulate_change(&g, &g_new, &pm, &TopologyChange::DeleteNode(ids[0]));
+        assert!(trace.influenced.contains(&ids[0]));
+        assert_eq!(trace.s_size(), 4, "center plus all three leaves");
+    }
+
+    #[test]
+    fn simulate_change_ignores_deleted_non_mis_node() {
+        let (g, ids) = generators::star(4);
+        let pm = PriorityMap::from_order(&ids);
+        let mut g_new = g.clone();
+        g_new.remove_node(ids[3]).unwrap();
+        let trace = simulate_change(&g, &g_new, &pm, &TopologyChange::DeleteNode(ids[3]));
+        assert!(trace.influenced.is_empty());
+        assert_eq!(trace.rounds, 0);
+    }
+
+    #[test]
+    fn template_agrees_with_engine_across_churn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = generators::erdos_renyi(18, 0.25, &mut rng);
+        let mut engine = crate::MisEngine::from_graph(g, 5);
+        for _ in 0..150 {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            let g_old = engine.graph().clone();
+            // Capture π before applying: a node deletion drops the victim's
+            // priority from the engine, but the template still needs it for
+            // the old graph. For insertions, merge in the fresh draw after.
+            let mut pm = engine.priorities().clone();
+            engine.apply(&change).unwrap();
+            if let TopologyChange::InsertNode { id, .. } = &change {
+                pm.insert(*id, engine.priorities().of(*id));
+            }
+            let g_new = engine.graph().clone();
+            let trace = simulate_change(&g_old, &g_new, &pm, &change);
+            assert_eq!(trace.final_mis, engine.mis());
+            // Engine adjustments (final-state diffs on surviving nodes) are
+            // a subset of the influenced set.
+            let influenced = &trace.influenced;
+            let adjusted: BTreeSet<NodeId> = engine
+                .mis()
+                .symmetric_difference(&static_greedy::greedy_mis(&g_old, &pm))
+                .copied()
+                .filter(|v| g_new.has_node(*v))
+                .collect();
+            assert!(
+                adjusted.is_subset(influenced),
+                "adjusted {adjusted:?} ⊄ influenced {influenced:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trace_matches_engine_batch() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = generators::erdos_renyi(16, 0.25, &mut rng);
+            let mut shadow = g.clone();
+            let mut batch = Vec::new();
+            for _ in 0..4 {
+                if let Some(c) =
+                    stream::random_change(&shadow, &ChurnConfig::edges_only(), &mut rng)
+                {
+                    c.apply(&mut shadow).unwrap();
+                    batch.push(c);
+                }
+            }
+            let engine = crate::MisEngine::from_graph(g.clone(), seed + 50);
+            let pm = engine.priorities().clone();
+            let trace = simulate_batch(&g, &pm, &batch);
+            let mut engine = engine;
+            engine.apply_batch(&batch).unwrap();
+            assert_eq!(trace.final_mis, engine.mis());
+        }
+    }
+
+    #[test]
+    fn corruption_recovery_is_local() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (g, ids) = generators::erdos_renyi(30, 0.15, &mut rng);
+        let pm = random_priorities(&g, 3);
+        // Corrupt one node: the recovery touches at most its 2-hop
+        // influence region, and the final state is the valid MIS again.
+        let trace = simulate_corruption(&g, &pm, &ids[..1]);
+        assert_eq!(trace.final_mis, static_greedy::greedy_mis(&g, &pm));
+        // Corrupting zero nodes is a no-op.
+        let trace = simulate_corruption(&g, &pm, &[]);
+        assert_eq!(trace.rounds, 0);
+        assert!(trace.influenced.is_empty());
+    }
+
+    #[test]
+    fn corruption_of_all_nodes_still_recovers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (g, ids) = generators::erdos_renyi(20, 0.3, &mut rng);
+        let pm = random_priorities(&g, 5);
+        let trace = simulate_corruption(&g, &pm, &ids);
+        assert_eq!(trace.final_mis, static_greedy::greedy_mis(&g, &pm));
+    }
+
+    #[test]
+    fn rounds_bounded_by_influenced_size() {
+        // The level argument of Lemma 11: rounds are at most the length of a
+        // strictly priority-increasing path of influenced nodes, hence ≤ |S|.
+        let mut rng = StdRng::seed_from_u64(31);
+        for seed in 0..20 {
+            let (g, _) = generators::erdos_renyi(20, 0.3, &mut rng);
+            let pm = random_priorities(&g, seed);
+            let mut g_new = g.clone();
+            let Some((u, v)) = generators::random_edge(&g, &mut rng) else {
+                continue;
+            };
+            g_new.remove_edge(u, v).unwrap();
+            let trace = simulate_change(&g, &g_new, &pm, &TopologyChange::DeleteEdge(u, v));
+            assert!(trace.rounds <= trace.s_size().max(1));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the core engine, template, and theory modules.
+//!
+//! Strategy: graphs and update streams are derived from proptest-chosen
+//! seeds and size parameters, so every failure shrinks to a small seed that
+//! reproduces deterministically.
+
+use std::collections::BTreeSet;
+
+use dmis_core::{invariant, static_greedy, template, theory, MisEngine, PriorityMap};
+use dmis_graph::stream::{self, ChurnConfig};
+use dmis_graph::{generators, NodeId, TopologyChange};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_priorities(g: &dmis_graph::DynGraph, seed: u64) -> PriorityMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pm = PriorityMap::new();
+    for v in g.nodes() {
+        pm.assign(v, &mut rng);
+    }
+    pm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine's output equals the static greedy MIS of the current
+    /// graph under the current priorities, after any update sequence —
+    /// this is history independence at fixed randomness (Section 5).
+    #[test]
+    fn engine_tracks_static_greedy(
+        graph_seed in any::<u64>(),
+        engine_seed in any::<u64>(),
+        churn_seed in any::<u64>(),
+        n in 1usize..24,
+        p in 0.05f64..0.6,
+        steps in 0usize..120,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+        let mut engine = MisEngine::from_graph(g, engine_seed);
+        let mut churn = StdRng::seed_from_u64(churn_seed);
+        for _ in 0..steps {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut churn)
+            else { break };
+            engine.apply(&change).unwrap();
+        }
+        let ground_truth = static_greedy::greedy_mis(engine.graph(), engine.priorities());
+        prop_assert_eq!(engine.mis(), ground_truth);
+        prop_assert!(engine.check_invariant().is_ok());
+        prop_assert!(invariant::is_maximal_independent_set(engine.graph(), &engine.mis()));
+    }
+
+    /// The adjustment set reported by a receipt is exactly the symmetric
+    /// difference of outputs (modulo a deleted node, which leaves the
+    /// output by definition).
+    #[test]
+    fn receipts_report_exact_adjustments(
+        graph_seed in any::<u64>(),
+        churn_seed in any::<u64>(),
+        n in 2usize..20,
+        steps in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, _) = generators::erdos_renyi(n, 0.3, &mut rng);
+        let mut engine = MisEngine::from_graph(g, graph_seed ^ 0xABCD);
+        let mut churn = StdRng::seed_from_u64(churn_seed);
+        for _ in 0..steps {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut churn)
+            else { break };
+            let before = engine.mis();
+            let deleted = match &change {
+                TopologyChange::DeleteNode(v) => Some(*v),
+                _ => None,
+            };
+            let receipt = engine.apply(&change).unwrap();
+            let mut diff: BTreeSet<NodeId> =
+                before.symmetric_difference(&engine.mis()).copied().collect();
+            if let Some(v) = deleted {
+                diff.remove(&v);
+            }
+            prop_assert_eq!(diff, receipt.adjusted_nodes());
+        }
+    }
+
+    /// Template relaxation converges from ANY initial configuration to the
+    /// greedy MIS — not just from one valid pre-change state.
+    #[test]
+    fn template_converges_from_arbitrary_state(
+        graph_seed in any::<u64>(),
+        pm_seed in any::<u64>(),
+        initial_bits in any::<u64>(),
+        n in 1usize..20,
+        p in 0.05f64..0.7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, ids) = generators::erdos_renyi(n, p, &mut rng);
+        let pm = random_priorities(&g, pm_seed);
+        let initial: BTreeSet<NodeId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| initial_bits >> (i % 64) & 1 == 1)
+            .map(|(_, &v)| v)
+            .collect();
+        let trace = template::relax(&g, &pm, &initial);
+        prop_assert_eq!(trace.final_mis, static_greedy::greedy_mis(&g, &pm));
+    }
+
+    /// Lemma 2, machine-checked: for any graph, priorities, and single
+    /// change, either v* is not minimal in S' and S = ∅, or S ⊆ S'.
+    #[test]
+    fn lemma2_holds(
+        graph_seed in any::<u64>(),
+        pm_seed in any::<u64>(),
+        change_seed in any::<u64>(),
+        n in 2usize..18,
+        p in 0.05f64..0.7,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+        let mut pm = random_priorities(&g, pm_seed);
+        let mut change_rng = StdRng::seed_from_u64(change_seed);
+        let Some(change) =
+            stream::random_change(&g, &ChurnConfig::default(), &mut change_rng)
+        else { return Ok(()) };
+        if let TopologyChange::InsertNode { id, .. } = &change {
+            pm.assign(*id, &mut change_rng);
+        }
+        let report = theory::check_lemma2_on(&g, &pm, &change);
+        prop_assert!(report.holds(), "lemma 2 violated: {:?}", report);
+    }
+
+    /// S' always contains v* and never depends on whether v* is actually
+    /// minimal in π (it is defined under π' where v* is forced first).
+    #[test]
+    fn s_prime_seeded_with_v_star(
+        graph_seed in any::<u64>(),
+        pm_seed in any::<u64>(),
+        n in 2usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, _) = generators::erdos_renyi(n, 0.35, &mut rng);
+        let pm = random_priorities(&g, pm_seed);
+        let Some((u, v)) = generators::random_edge(&g, &mut rng) else { return Ok(()) };
+        let mut g_new = g.clone();
+        g_new.remove_edge(u, v).unwrap();
+        let change = TopologyChange::DeleteEdge(u, v);
+        let sp = theory::s_prime(&g, &g_new, &pm, &change);
+        prop_assert!(sp.contains(&theory::v_star(&change, &pm)));
+    }
+
+    /// Greedy coloring is always proper and uses at most Δ+1 colors.
+    #[test]
+    fn greedy_coloring_proper(
+        graph_seed in any::<u64>(),
+        pm_seed in any::<u64>(),
+        n in 1usize..24,
+        p in 0.05f64..0.8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+        let pm = random_priorities(&g, pm_seed);
+        let coloring = static_greedy::greedy_coloring(&g, &pm);
+        let map: std::collections::BTreeMap<_, _> = coloring.iter().copied().collect();
+        for key in g.edges() {
+            let (a, b) = key.endpoints();
+            prop_assert_ne!(map[&a], map[&b]);
+        }
+        for (_, c) in coloring {
+            prop_assert!(c <= g.max_degree());
+        }
+    }
+}

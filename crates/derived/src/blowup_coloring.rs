@@ -1,0 +1,265 @@
+use std::collections::BTreeMap;
+
+use dmis_core::MisEngine;
+use dmis_graph::{CliqueBlowup, DynGraph, GraphError, NodeId};
+
+/// (Δ+1)-coloring via the **clique blow-up** reduction (Section 5 of the
+/// paper, after [Luby 1986]): every node of `G` becomes a clique of
+/// `palette` copies in `G'`, every edge a perfect matching between cliques.
+/// The MIS of `G'` selects exactly one copy per node, and the copy's index
+/// is a proper coloring of `G`.
+///
+/// Maintained dynamically: each base-graph change is mirrored as a sequence
+/// of blow-up changes fed to the MIS engine. A single base change maps to
+/// `O(palette)` blow-up changes, so by Theorem 1 the expected number of
+/// blow-up adjustments is `O(palette)` = `O(Δ)` — matching the paper's
+/// observation that the reduction costs `O(Δ)` adjustments, not `O(1)`.
+///
+/// The degree cap `palette − 1` must hold throughout the execution.
+///
+/// # Example
+///
+/// ```
+/// use dmis_derived::{verify, BlowupColoring};
+/// use dmis_graph::generators;
+///
+/// let (g, ids) = generators::cycle(6); // Δ = 2
+/// let mut bc = BlowupColoring::new(g, 3, 1);
+/// assert!(verify::is_proper_coloring(bc.base_graph(), &bc.colors()));
+/// bc.remove_edge(ids[0], ids[1])?;
+/// assert!(verify::is_proper_coloring(bc.base_graph(), &bc.colors()));
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlowupColoring {
+    base: DynGraph,
+    blowup: CliqueBlowup,
+    engine: MisEngine,
+}
+
+impl BlowupColoring {
+    /// Creates the structure over `graph` with the given palette size
+    /// (color budget; must exceed the maximum degree ever reached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette ≤ Δ(graph)`.
+    #[must_use]
+    pub fn new(graph: DynGraph, palette: usize, seed: u64) -> Self {
+        let blowup = CliqueBlowup::new(&graph, palette);
+        let engine = MisEngine::from_graph(blowup.blown_graph().clone(), seed);
+        BlowupColoring {
+            base: graph,
+            blowup,
+            engine,
+        }
+    }
+
+    /// The base graph.
+    #[must_use]
+    pub fn base_graph(&self) -> &DynGraph {
+        &self.base
+    }
+
+    /// The palette size.
+    #[must_use]
+    pub fn palette(&self) -> usize {
+        self.blowup.palette()
+    }
+
+    /// The current coloring: for every base node, the index of its MIS
+    /// copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some clique has no MIS copy — impossible while the degree
+    /// cap holds.
+    #[must_use]
+    pub fn colors(&self) -> BTreeMap<NodeId, usize> {
+        self.base
+            .nodes()
+            .map(|v| {
+                let copies = self.blowup.copies_of(v).expect("clique exists");
+                let color = copies
+                    .iter()
+                    .position(|&c| self.engine.is_in_mis(c).unwrap_or(false))
+                    .expect("pigeonhole: one copy per clique is in the MIS");
+                (v, color)
+            })
+            .collect()
+    }
+
+    /// Inserts a base edge (mirrored as `palette` matching-edge
+    /// insertions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`]. Panics if the insertion would push an
+    /// endpoint's degree to the palette size (degree cap).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.base.insert_edge(u, v)?;
+        assert!(
+            self.base.degree(u).expect("live") < self.palette()
+                && self.base.degree(v).expect("live") < self.palette(),
+            "degree cap {} exceeded",
+            self.palette() - 1
+        );
+        self.blowup.insert_base_edge(u, v)?;
+        self.mirror_edges(u, v, true)
+    }
+
+    /// Removes a base edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`].
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.base.remove_edge(u, v)?;
+        self.blowup.remove_base_edge(u, v)?;
+        self.mirror_edges(u, v, false)
+    }
+
+    fn mirror_edges(&mut self, u: NodeId, v: NodeId, insert: bool) -> Result<(), GraphError> {
+        let cu = self.blowup.copies_of(u).expect("clique exists").to_vec();
+        let cv = self.blowup.copies_of(v).expect("clique exists").to_vec();
+        for (a, b) in cu.into_iter().zip(cv) {
+            if insert {
+                self.engine.insert_edge(a, b)?;
+            } else {
+                self.engine.remove_edge(a, b)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a base node with edges to `neighbors` (mirrored as a clique
+    /// plus matchings).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`].
+    pub fn insert_node(&mut self, neighbors: &[NodeId]) -> Result<NodeId, GraphError> {
+        assert!(
+            neighbors.len() < self.palette(),
+            "degree cap {} exceeded at insertion",
+            self.palette() - 1
+        );
+        let v = self.base.add_node_with_edges(neighbors.iter().copied())?;
+        self.blowup.insert_base_node(v, neighbors)?;
+        // Mirror into the engine: clique copies one by one, then matchings.
+        let copies = self.blowup.copies_of(v).expect("just created").to_vec();
+        for (i, &copy) in copies.iter().enumerate() {
+            let (got, _) = self.engine.insert_node(copies[..i].iter().copied())?;
+            debug_assert_eq!(got, copy, "engine and blow-up id streams agree");
+        }
+        for &u in neighbors {
+            self.mirror_edges(v, u, true)?;
+        }
+        Ok(v)
+    }
+
+    /// Removes a base node (mirrored as `palette` copy deletions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if the node does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        let copies = self
+            .blowup
+            .copies_of(v)
+            .ok_or(GraphError::MissingNode(v))?
+            .to_vec();
+        self.base.remove_node(v)?;
+        self.blowup.remove_base_node(v)?;
+        for copy in copies {
+            self.engine.remove_node(copy)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies properness of the extracted coloring and internal engine
+    /// consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn assert_consistent(&self) {
+        self.engine.assert_internally_consistent();
+        assert!(
+            crate::verify::is_proper_coloring(&self.base, &self.colors()),
+            "blow-up coloring is not proper"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn initial_coloring_is_proper() {
+        let (g, _) = generators::cycle(8); // Δ = 2
+        let bc = BlowupColoring::new(g, 3, 0);
+        bc.assert_consistent();
+        let colors = bc.colors();
+        assert!(colors.values().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn edge_churn_stays_proper() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Sparse graph with degree cap 4, palette 5.
+        let (g, ids) = generators::cycle(8);
+        let mut bc = BlowupColoring::new(g, 5, 1);
+        for _ in 0..60 {
+            if rng.random_bool(0.5) {
+                if let Some((u, v)) = generators::random_non_edge(bc.base_graph(), &mut rng) {
+                    if bc.base_graph().degree(u).unwrap() < 4
+                        && bc.base_graph().degree(v).unwrap() < 4
+                    {
+                        bc.insert_edge(u, v).unwrap();
+                    }
+                }
+            } else if let Some((u, v)) = generators::random_edge(bc.base_graph(), &mut rng) {
+                bc.remove_edge(u, v).unwrap();
+            }
+            bc.assert_consistent();
+        }
+        let _ = ids;
+    }
+
+    #[test]
+    fn node_churn_stays_proper() {
+        let (g, ids) = generators::path(4); // Δ = 2
+        let mut bc = BlowupColoring::new(g, 4, 2);
+        let v = bc.insert_node(&[ids[0], ids[3]]).unwrap();
+        bc.assert_consistent();
+        bc.remove_node(v).unwrap();
+        bc.assert_consistent();
+        bc.remove_node(ids[1]).unwrap();
+        bc.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "degree cap")]
+    fn degree_cap_is_enforced() {
+        let (g, ids) = generators::path(3); // Δ = 2, palette 3
+        let mut bc = BlowupColoring::new(g, 3, 0);
+        // Raising deg(ids[1]) to 3 would break the reduction.
+        let v = bc.insert_node(&[ids[0]]).unwrap();
+        let _ = bc.insert_edge(v, ids[1]);
+    }
+
+    #[test]
+    fn colors_agree_with_one_copy_per_clique() {
+        let (g, _) = generators::complete(4); // Δ = 3, palette 4
+        let bc = BlowupColoring::new(g, 4, 3);
+        let colors = bc.colors();
+        // K4 needs all 4 colors.
+        let distinct: std::collections::BTreeSet<usize> = colors.values().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+}

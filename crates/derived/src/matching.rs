@@ -1,0 +1,262 @@
+use std::collections::BTreeSet;
+
+use dmis_core::{MisEngine, UpdateReceipt};
+use dmis_graph::{DynGraph, EdgeKey, GraphError, LineGraphMirror, NodeId};
+
+/// History-independent dynamic **maximal matching**, maintained by
+/// simulating the random-greedy MIS engine on the line graph of the base
+/// graph (the standard reduction of Section 5).
+///
+/// A single base-graph change translates into a short sequence of
+/// line-graph changes (one node insertion per new edge, `deg` node
+/// deletions for a node removal); each is fed to the engine, so Theorem 1
+/// applies per line-graph change and the expected number of matching edges
+/// that change per base edge-change is O(1).
+///
+/// # Example
+///
+/// ```
+/// use dmis_derived::{verify, DynamicMatching};
+/// use dmis_graph::generators;
+///
+/// let (g, ids) = generators::cycle(6);
+/// let mut dm = DynamicMatching::new(g, 11);
+/// assert!(verify::is_maximal_matching(dm.base_graph(), &dm.matching()));
+/// dm.remove_edge(ids[0], ids[1])?;
+/// assert!(verify::is_maximal_matching(dm.base_graph(), &dm.matching()));
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicMatching {
+    base: DynGraph,
+    mirror: LineGraphMirror,
+    engine: MisEngine,
+}
+
+impl DynamicMatching {
+    /// Creates the structure over `graph`, drawing a random order over its
+    /// *edges* (line-graph nodes) from `seed`.
+    #[must_use]
+    pub fn new(graph: DynGraph, seed: u64) -> Self {
+        let mirror = LineGraphMirror::new(&graph);
+        let engine = MisEngine::from_graph(mirror.line_graph().clone(), seed);
+        DynamicMatching {
+            base: graph,
+            mirror,
+            engine,
+        }
+    }
+
+    /// The base graph.
+    #[must_use]
+    pub fn base_graph(&self) -> &DynGraph {
+        &self.base
+    }
+
+    /// The maintained line graph (engine view).
+    #[must_use]
+    pub fn line_graph(&self) -> &DynGraph {
+        self.engine.graph()
+    }
+
+    /// The current maximal matching.
+    #[must_use]
+    pub fn matching(&self) -> BTreeSet<EdgeKey> {
+        self.engine
+            .mis()
+            .into_iter()
+            .map(|ln| {
+                self.mirror
+                    .edge_of_node(ln)
+                    .expect("MIS nodes map to live edges")
+            })
+            .collect()
+    }
+
+    /// Returns `true` if the edge `{u, v}` is matched.
+    #[must_use]
+    pub fn is_matched(&self, u: NodeId, v: NodeId) -> bool {
+        self.mirror
+            .node_of_edge(u, v)
+            .and_then(|ln| self.engine.is_in_mis(ln))
+            .unwrap_or(false)
+    }
+
+    /// Inserts a base edge; returns the engine receipt for the induced
+    /// line-graph node insertion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the base-graph insertion.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        let change = self.mirror.apply_edge_insert(&mut self.base, u, v)?;
+        self.engine
+            .apply(&change)
+            .map_err(|e| self.desync(e))
+    }
+
+    /// Removes a base edge; returns the engine receipt for the induced
+    /// line-graph node deletion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the base-graph removal.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        let change = self.mirror.apply_edge_remove(&mut self.base, u, v)?;
+        self.engine
+            .apply(&change)
+            .map_err(|e| self.desync(e))
+    }
+
+    /// Inserts a base node with edges to `neighbors`; returns the new node
+    /// and the receipts of the induced line-graph insertions (one per
+    /// edge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`]; partially applied neighbor lists are not
+    /// rolled back (the structure stays consistent with the applied
+    /// prefix).
+    pub fn insert_node<I>(
+        &mut self,
+        neighbors: I,
+    ) -> Result<(NodeId, Vec<UpdateReceipt>), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let (v, changes) = self.mirror.apply_node_insert(&mut self.base, neighbors)?;
+        let mut receipts = Vec::with_capacity(changes.len());
+        for change in &changes {
+            receipts.push(self.engine.apply(change).map_err(|e| self.desync(e))?);
+        }
+        Ok((v, receipts))
+    }
+
+    /// Removes a base node; returns the receipts of the induced line-graph
+    /// deletions (one per former incident edge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if the node does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<UpdateReceipt>, GraphError> {
+        let changes = self.mirror.apply_node_remove(&mut self.base, v)?;
+        let mut receipts = Vec::with_capacity(changes.len());
+        for change in &changes {
+            receipts.push(self.engine.apply(change).map_err(|e| self.desync(e))?);
+        }
+        Ok(receipts)
+    }
+
+    fn desync(&self, e: GraphError) -> GraphError {
+        // The mirror and engine apply the same deterministic id sequence; a
+        // failure here means internal corruption, not a user error.
+        unreachable!("line-graph mirror and engine desynchronized: {e}")
+    }
+
+    /// Verifies the full stack: mirror vs. base, engine vs. line graph, and
+    /// matching maximality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any inconsistency.
+    pub fn assert_consistent(&self) {
+        self.mirror.assert_matches(&self.base);
+        self.engine.assert_internally_consistent();
+        assert!(
+            crate::verify::is_maximal_matching(&self.base, &self.matching()),
+            "matching is not maximal"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn initial_matching_is_maximal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 5, 12, 25] {
+            let (g, _) = generators::erdos_renyi(n, 0.3, &mut rng);
+            let dm = DynamicMatching::new(g, n as u64);
+            dm.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn single_edge_graph_matches_it() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        let dm = DynamicMatching::new(g, 0);
+        assert!(dm.is_matched(ids[0], ids[1]));
+        assert_eq!(dm.matching().len(), 1);
+    }
+
+    #[test]
+    fn churn_keeps_matching_maximal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = generators::erdos_renyi(10, 0.3, &mut rng);
+        let mut dm = DynamicMatching::new(g, 5);
+        for _ in 0..150 {
+            let roll: f64 = rng.random();
+            if roll < 0.35 {
+                if let Some((u, v)) = generators::random_non_edge(dm.base_graph(), &mut rng) {
+                    dm.insert_edge(u, v).unwrap();
+                }
+            } else if roll < 0.7 {
+                if let Some((u, v)) = generators::random_edge(dm.base_graph(), &mut rng) {
+                    dm.remove_edge(u, v).unwrap();
+                }
+            } else if roll < 0.85 {
+                let nodes: Vec<NodeId> = dm.base_graph().nodes().collect();
+                let deg = rng.random_range(0..=nodes.len().min(3));
+                let mut pool = nodes;
+                let mut nbrs = Vec::new();
+                for _ in 0..deg {
+                    let i = rng.random_range(0..pool.len());
+                    nbrs.push(pool.swap_remove(i));
+                }
+                dm.insert_node(nbrs).unwrap();
+            } else if let Some(v) = generators::random_node(dm.base_graph(), &mut rng) {
+                dm.remove_node(v).unwrap();
+            }
+            dm.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn three_path_matching_sizes() {
+        // On a single 3-edge path the matching has size 1 or 2; over many
+        // seeds the average should approach 5/3 (Section 5, Example 2).
+        let mut total = 0usize;
+        let trials = 600u64;
+        for seed in 0..trials {
+            let (g, _) = generators::disjoint_three_paths(1);
+            let dm = DynamicMatching::new(g, seed);
+            let m = dm.matching().len();
+            assert!(m == 1 || m == 2);
+            total += m;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - 5.0 / 3.0).abs() < 0.12,
+            "mean matching size {mean} should be ≈ 5/3"
+        );
+    }
+
+    #[test]
+    fn receipts_count_matching_changes() {
+        let (g, ids) = generators::path(3);
+        let mut dm = DynamicMatching::new(g, 2);
+        let before = dm.matching();
+        let receipt = dm.remove_edge(ids[0], ids[1]).unwrap();
+        let after = dm.matching();
+        let _ = (before, after);
+        // The line-graph deletion receipt reports surviving line nodes that
+        // flipped.
+        assert!(receipt.adjustments() <= 1);
+    }
+}

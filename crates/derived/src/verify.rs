@@ -1,0 +1,103 @@
+//! Checkers for the derived structures.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_graph::{DynGraph, EdgeKey, NodeId};
+
+/// Returns `true` if `matching` is a matching of `g` (edges exist, no two
+/// share an endpoint).
+#[must_use]
+pub fn is_matching(g: &DynGraph, matching: &BTreeSet<EdgeKey>) -> bool {
+    let mut used: BTreeSet<NodeId> = BTreeSet::new();
+    for &e in matching {
+        let (u, v) = e.endpoints();
+        if !g.has_edge(u, v) {
+            return false;
+        }
+        if !used.insert(u) || !used.insert(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if `matching` is a **maximal** matching of `g`: a
+/// matching such that every edge of `g` touches a matched node.
+#[must_use]
+pub fn is_maximal_matching(g: &DynGraph, matching: &BTreeSet<EdgeKey>) -> bool {
+    if !is_matching(g, matching) {
+        return false;
+    }
+    let mut matched: BTreeSet<NodeId> = BTreeSet::new();
+    for &e in matching {
+        let (u, v) = e.endpoints();
+        matched.insert(u);
+        matched.insert(v);
+    }
+    g.edges().all(|e| {
+        let (u, v) = e.endpoints();
+        matched.contains(&u) || matched.contains(&v)
+    })
+}
+
+/// Returns `true` if `colors` is a proper coloring of `g` covering every
+/// node.
+#[must_use]
+pub fn is_proper_coloring(g: &DynGraph, colors: &BTreeMap<NodeId, usize>) -> bool {
+    if g.nodes().any(|v| !colors.contains_key(&v)) {
+        return false;
+    }
+    g.edges().all(|e| {
+        let (u, v) = e.endpoints();
+        colors[&u] != colors[&v]
+    })
+}
+
+/// Number of distinct colors used.
+#[must_use]
+pub fn palette_size(colors: &BTreeMap<NodeId, usize>) -> usize {
+    colors.values().copied().collect::<BTreeSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    #[test]
+    fn matching_checks() {
+        let (g, ids) = generators::path(4);
+        let good: BTreeSet<EdgeKey> = [EdgeKey::new(ids[0], ids[1])].into_iter().collect();
+        assert!(is_matching(&g, &good));
+        assert!(!is_maximal_matching(&g, &good), "edge {{p2,p3}} uncovered");
+        let maximal: BTreeSet<EdgeKey> = [
+            EdgeKey::new(ids[0], ids[1]),
+            EdgeKey::new(ids[2], ids[3]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(is_maximal_matching(&g, &maximal));
+        let overlapping: BTreeSet<EdgeKey> = [
+            EdgeKey::new(ids[0], ids[1]),
+            EdgeKey::new(ids[1], ids[2]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!is_matching(&g, &overlapping));
+        let ghost: BTreeSet<EdgeKey> = [EdgeKey::new(ids[0], ids[3])].into_iter().collect();
+        assert!(!is_matching(&g, &ghost), "edge must exist");
+    }
+
+    #[test]
+    fn coloring_checks() {
+        let (g, ids) = generators::cycle(4);
+        let proper: BTreeMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &v)| (v, i % 2)).collect();
+        assert!(is_proper_coloring(&g, &proper));
+        assert_eq!(palette_size(&proper), 2);
+        let monochrome: BTreeMap<NodeId, usize> = ids.iter().map(|&v| (v, 0)).collect();
+        assert!(!is_proper_coloring(&g, &monochrome));
+        let partial: BTreeMap<NodeId, usize> = [(ids[0], 0)].into_iter().collect();
+        assert!(!is_proper_coloring(&g, &partial), "must cover all nodes");
+    }
+}

@@ -1,0 +1,263 @@
+use std::collections::BTreeMap;
+
+use crate::{DynGraph, GraphError, NodeId};
+
+/// The clique blow-up reduction `G ↦ G'` used by the paper (after Luby) to
+/// obtain (Δ+1)-coloring from MIS.
+///
+/// Every node `v` of `G` becomes a clique of `Δ+1` copies
+/// `(v, 0), ..., (v, Δ)` in `G'`, and every edge `{u, v}` of `G` becomes the
+/// perfect matching `{(u, i), (v, i)}` between the corresponding cliques. An
+/// MIS of `G'` contains exactly one copy `(v, c_v)` per node `v` (a clique
+/// admits one MIS node, and maximality forces one), and `c_v` is then a
+/// proper (Δ+1)-coloring of `G`: if `{u, v} ∈ E` and `c_u = c_v = i`, the
+/// matching edge `{(u, i), (v, i)}` would join two MIS nodes.
+///
+/// The blow-up fixes a color budget `palette = Δ_max + 1` up front, which is
+/// the standard formulation; dynamic executions must respect that degree cap.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{CliqueBlowup, DynGraph};
+///
+/// let (mut g, ids) = DynGraph::with_nodes(2);
+/// g.insert_edge(ids[0], ids[1])?;
+/// let blowup = CliqueBlowup::new(&g, 2);
+/// assert_eq!(blowup.blown_graph().node_count(), 4); // 2 nodes × 2 copies
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliqueBlowup {
+    blown: DynGraph,
+    palette: usize,
+    copies: BTreeMap<NodeId, Vec<NodeId>>,
+    origin: BTreeMap<NodeId, (NodeId, usize)>,
+}
+
+impl CliqueBlowup {
+    /// Builds the blow-up of `g` with the given `palette` size (number of
+    /// copies per node, i.e. the color budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette == 0` or if `palette <= Δ(g)` (the reduction then
+    /// cannot produce a proper coloring).
+    #[must_use]
+    pub fn new(g: &DynGraph, palette: usize) -> Self {
+        assert!(palette > 0, "palette must be positive");
+        assert!(
+            palette > g.max_degree(),
+            "palette {palette} must exceed max degree {}",
+            g.max_degree()
+        );
+        let mut blowup = CliqueBlowup {
+            blown: DynGraph::new(),
+            palette,
+            copies: BTreeMap::new(),
+            origin: BTreeMap::new(),
+        };
+        for v in g.nodes() {
+            blowup.add_clique(v);
+        }
+        for key in g.edges() {
+            let (u, v) = key.endpoints();
+            blowup.add_matching(u, v).expect("copies exist");
+        }
+        blowup
+    }
+
+    /// Returns the blown-up graph `G'`.
+    #[must_use]
+    pub fn blown_graph(&self) -> &DynGraph {
+        &self.blown
+    }
+
+    /// Returns the palette size (copies per node).
+    #[must_use]
+    pub fn palette(&self) -> usize {
+        self.palette
+    }
+
+    /// Returns the copies `(v, 0..palette)` of base node `v`, if present.
+    #[must_use]
+    pub fn copies_of(&self, v: NodeId) -> Option<&[NodeId]> {
+        self.copies.get(&v).map(Vec::as_slice)
+    }
+
+    /// Returns `(base node, color index)` for a blown-up node.
+    #[must_use]
+    pub fn origin_of(&self, blown: NodeId) -> Option<(NodeId, usize)> {
+        self.origin.get(&blown).copied()
+    }
+
+    fn add_clique(&mut self, v: NodeId) {
+        let mut ids = Vec::with_capacity(self.palette);
+        for i in 0..self.palette {
+            let id = self
+                .blown
+                .add_node_with_edges(ids.iter().copied())
+                .expect("previous copies exist");
+            self.origin.insert(id, (v, i));
+            ids.push(id);
+        }
+        self.copies.insert(v, ids);
+    }
+
+    fn add_matching(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let cu = self.copies.get(&u).ok_or(GraphError::MissingNode(u))?.clone();
+        let cv = self.copies.get(&v).ok_or(GraphError::MissingNode(v))?.clone();
+        for (a, b) in cu.into_iter().zip(cv) {
+            self.blown.insert_edge(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Mirrors a base-graph node insertion: adds a fresh clique for `v` and
+    /// matchings to every neighbor clique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if a neighbor has no clique.
+    pub fn insert_base_node(
+        &mut self,
+        v: NodeId,
+        neighbors: &[NodeId],
+    ) -> Result<(), GraphError> {
+        for u in neighbors {
+            if !self.copies.contains_key(u) {
+                return Err(GraphError::MissingNode(*u));
+            }
+        }
+        self.add_clique(v);
+        for &u in neighbors {
+            self.add_matching(v, u)?;
+        }
+        Ok(())
+    }
+
+    /// Mirrors a base-graph edge insertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if either clique is missing, or
+    /// [`GraphError::DuplicateEdge`] if the matching already exists.
+    pub fn insert_base_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.add_matching(u, v)
+    }
+
+    /// Mirrors a base-graph edge deletion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] / [`GraphError::MissingEdge`] if
+    /// the matching is absent.
+    pub fn remove_base_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let cu = self.copies.get(&u).ok_or(GraphError::MissingNode(u))?.clone();
+        let cv = self.copies.get(&v).ok_or(GraphError::MissingNode(v))?.clone();
+        for (a, b) in cu.into_iter().zip(cv) {
+            self.blown.remove_edge(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Mirrors a base-graph node deletion: removes the whole clique of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if `v` has no clique.
+    pub fn remove_base_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        let ids = self.copies.remove(&v).ok_or(GraphError::MissingNode(v))?;
+        for id in ids {
+            self.origin.remove(&id);
+            self.blown.remove_node(id)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn blowup_counts() {
+        let (g, _) = generators::path(3); // Δ = 2, palette 3
+        let b = CliqueBlowup::new(&g, 3);
+        assert_eq!(b.blown_graph().node_count(), 9);
+        // 3 cliques of 3 edges + 2 matchings of 3 edges.
+        assert_eq!(b.blown_graph().edge_count(), 9 + 6);
+        b.blown_graph().assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "palette")]
+    fn palette_must_exceed_degree() {
+        let (g, _) = generators::star(4); // Δ = 3
+        let _ = CliqueBlowup::new(&g, 3);
+    }
+
+    #[test]
+    fn origins_and_copies_round_trip() {
+        let (g, ids) = generators::path(2);
+        let b = CliqueBlowup::new(&g, 2);
+        let copies = b.copies_of(ids[0]).unwrap().to_vec();
+        assert_eq!(copies.len(), 2);
+        assert_eq!(b.origin_of(copies[1]), Some((ids[0], 1)));
+        assert_eq!(b.copies_of(NodeId(88)), None);
+        assert_eq!(b.origin_of(NodeId(88)), None);
+    }
+
+    #[test]
+    fn matching_edges_connect_equal_indices() {
+        let (g, ids) = generators::path(2);
+        let b = CliqueBlowup::new(&g, 3);
+        let cu = b.copies_of(ids[0]).unwrap();
+        let cv = b.copies_of(ids[1]).unwrap();
+        for (i, &a) in cu.iter().enumerate() {
+            for (j, &bnode) in cv.iter().enumerate() {
+                assert_eq!(b.blown_graph().has_edge(a, bnode), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_mirroring() {
+        let (mut g, ids) = DynGraph::with_nodes(3);
+        // Degree cap 2 across the execution, palette 3.
+        let mut b = CliqueBlowup::new(&g, 3);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        b.insert_base_edge(ids[0], ids[1]).unwrap();
+        g.insert_edge(ids[1], ids[2]).unwrap();
+        b.insert_base_edge(ids[1], ids[2]).unwrap();
+        assert_eq!(b.blown_graph().edge_count(), 3 * 3 + 2 * 3);
+        g.remove_edge(ids[0], ids[1]).unwrap();
+        b.remove_base_edge(ids[0], ids[1]).unwrap();
+        let v = g.add_node_with_edges([ids[0]]).unwrap();
+        b.insert_base_node(v, &[ids[0]]).unwrap();
+        g.remove_node(ids[2]).unwrap();
+        b.remove_base_node(ids[2]).unwrap();
+        // Rebuild from scratch and compare statistics.
+        let fresh = CliqueBlowup::new(&g, 3);
+        assert_eq!(
+            fresh.blown_graph().node_count(),
+            b.blown_graph().node_count()
+        );
+        assert_eq!(
+            fresh.blown_graph().edge_count(),
+            b.blown_graph().edge_count()
+        );
+        b.blown_graph().assert_consistent();
+    }
+
+    #[test]
+    fn errors_on_missing_cliques() {
+        let (g, ids) = generators::path(2);
+        let mut b = CliqueBlowup::new(&g, 2);
+        assert!(b.insert_base_edge(ids[0], NodeId(77)).is_err());
+        assert!(b.remove_base_edge(ids[0], NodeId(77)).is_err());
+        assert!(b.remove_base_node(NodeId(77)).is_err());
+        assert!(b.insert_base_node(NodeId(78), &[NodeId(77)]).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+use std::fmt;
+
+use crate::{DynGraph, GraphError, NodeId};
+
+/// Coarse classification of a topology change, used for grouping metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// An edge was inserted.
+    EdgeInsert,
+    /// An edge was deleted.
+    EdgeDelete,
+    /// A node was inserted (with its initial edges).
+    NodeInsert,
+    /// A node was deleted.
+    NodeDelete,
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChangeKind::EdgeInsert => "edge-insert",
+            ChangeKind::EdgeDelete => "edge-delete",
+            ChangeKind::NodeInsert => "node-insert",
+            ChangeKind::NodeDelete => "node-delete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the four template-level topology changes of Section 3 of the paper.
+///
+/// The template (Algorithm 1) is model-agnostic and only distinguishes these
+/// four cases; the communication-level refinements (graceful vs. abrupt
+/// deletion, unmuting) live in [`DistributedChange`].
+///
+/// `InsertNode` carries the identifier pre-assigned by the driver so that a
+/// change can be described before being applied, which the experiment
+/// harness needs in order to correlate receipts across algorithm variants.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{DynGraph, TopologyChange};
+///
+/// let (mut g, ids) = DynGraph::with_nodes(2);
+/// let change = TopologyChange::InsertEdge(ids[0], ids[1]);
+/// change.apply(&mut g)?;
+/// assert!(g.has_edge(ids[0], ids[1]));
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// Insert the edge `{u, v}` (both nodes must already exist).
+    InsertEdge(NodeId, NodeId),
+    /// Delete the edge `{u, v}`.
+    DeleteEdge(NodeId, NodeId),
+    /// Insert a new node together with edges to the listed existing nodes.
+    InsertNode {
+        /// Identifier the new node will receive (must match the graph's next
+        /// fresh identifier when applied).
+        id: NodeId,
+        /// Initial neighbors of the new node.
+        edges: Vec<NodeId>,
+    },
+    /// Delete a node and all its incident edges.
+    DeleteNode(NodeId),
+}
+
+impl TopologyChange {
+    /// Returns the coarse [`ChangeKind`] of this change.
+    #[must_use]
+    pub fn kind(&self) -> ChangeKind {
+        match self {
+            TopologyChange::InsertEdge(..) => ChangeKind::EdgeInsert,
+            TopologyChange::DeleteEdge(..) => ChangeKind::EdgeDelete,
+            TopologyChange::InsertNode { .. } => ChangeKind::NodeInsert,
+            TopologyChange::DeleteNode(..) => ChangeKind::NodeDelete,
+        }
+    }
+
+    /// Applies the change to `g`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding [`GraphError`] if the change is invalid
+    /// for the current graph (missing endpoints, duplicate edge, identifier
+    /// mismatch reported as [`GraphError::MissingNode`]).
+    pub fn apply(&self, g: &mut DynGraph) -> Result<(), GraphError> {
+        match self {
+            TopologyChange::InsertEdge(u, v) => g.insert_edge(*u, *v),
+            TopologyChange::DeleteEdge(u, v) => g.remove_edge(*u, *v),
+            TopologyChange::InsertNode { id, edges } => {
+                let got = g.add_node_with_edges(edges.iter().copied())?;
+                if got != *id {
+                    // The driver pre-assigned a stale identifier; undo.
+                    g.remove_node(got).expect("node was just inserted");
+                    return Err(GraphError::MissingNode(*id));
+                }
+                Ok(())
+            }
+            TopologyChange::DeleteNode(v) => g.remove_node(*v).map(|_| ()),
+        }
+    }
+}
+
+impl fmt::Display for TopologyChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyChange::InsertEdge(u, v) => write!(f, "insert-edge({u}, {v})"),
+            TopologyChange::DeleteEdge(u, v) => write!(f, "delete-edge({u}, {v})"),
+            TopologyChange::InsertNode { id, edges } => {
+                write!(f, "insert-node({id}, deg {})", edges.len())
+            }
+            TopologyChange::DeleteNode(v) => write!(f, "delete-node({v})"),
+        }
+    }
+}
+
+/// A topology change as observed by the *distributed* system (Section 2 of
+/// the paper), refining [`TopologyChange`] with the communication-relevant
+/// distinctions:
+///
+/// - **graceful vs. abrupt deletion** — a gracefully deleted node (edge) may
+///   still relay messages until the system is stable again; an abruptly
+///   deleted one cannot;
+/// - **node insertion vs. unmuting** — an unmuted node has been listening to
+///   its neighbors all along and already knows their states and random IDs,
+///   whereas a fresh node knows nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistributedChange {
+    /// Insert the edge `{u, v}`; endpoints learn of each other.
+    InsertEdge(NodeId, NodeId),
+    /// Delete the edge `{u, v}`; the edge can relay messages until stability.
+    GracefulDeleteEdge(NodeId, NodeId),
+    /// Delete the edge `{u, v}`; it disappears immediately.
+    AbruptDeleteEdge(NodeId, NodeId),
+    /// Insert a brand-new node that knows nothing about its neighborhood.
+    InsertNode {
+        /// Identifier the new node will receive.
+        id: NodeId,
+        /// Initial neighbors.
+        edges: Vec<NodeId>,
+    },
+    /// A previously muted (listening-only) node becomes visible. It already
+    /// knows its neighbors' states and random IDs.
+    UnmuteNode {
+        /// Identifier the unmuted node will receive in the graph.
+        id: NodeId,
+        /// Neighbors it connects to.
+        edges: Vec<NodeId>,
+    },
+    /// Delete a node that may keep relaying messages until stability.
+    GracefulDeleteNode(NodeId),
+    /// Delete a node that disappears immediately; its neighbors only observe
+    /// the disappearance.
+    AbruptDeleteNode(NodeId),
+}
+
+impl DistributedChange {
+    /// Projects this distributed change onto the template-level
+    /// [`TopologyChange`] it realizes.
+    #[must_use]
+    pub fn to_topology(&self) -> TopologyChange {
+        match self {
+            DistributedChange::InsertEdge(u, v) => TopologyChange::InsertEdge(*u, *v),
+            DistributedChange::GracefulDeleteEdge(u, v)
+            | DistributedChange::AbruptDeleteEdge(u, v) => TopologyChange::DeleteEdge(*u, *v),
+            DistributedChange::InsertNode { id, edges }
+            | DistributedChange::UnmuteNode { id, edges } => TopologyChange::InsertNode {
+                id: *id,
+                edges: edges.clone(),
+            },
+            DistributedChange::GracefulDeleteNode(v)
+            | DistributedChange::AbruptDeleteNode(v) => TopologyChange::DeleteNode(*v),
+        }
+    }
+
+    /// Returns the coarse [`ChangeKind`].
+    #[must_use]
+    pub fn kind(&self) -> ChangeKind {
+        self.to_topology().kind()
+    }
+
+    /// Short label used in experiment tables (matches the paper's wording).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DistributedChange::InsertEdge(..) => "edge-insertion",
+            DistributedChange::GracefulDeleteEdge(..) => "graceful-edge-deletion",
+            DistributedChange::AbruptDeleteEdge(..) => "abrupt-edge-deletion",
+            DistributedChange::InsertNode { .. } => "node-insertion",
+            DistributedChange::UnmuteNode { .. } => "node-unmuting",
+            DistributedChange::GracefulDeleteNode(..) => "graceful-node-deletion",
+            DistributedChange::AbruptDeleteNode(..) => "abrupt-node-deletion",
+        }
+    }
+}
+
+impl fmt::Display for DistributedChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_edge_changes() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        TopologyChange::InsertEdge(ids[0], ids[1]).apply(&mut g).unwrap();
+        assert!(g.has_edge(ids[0], ids[1]));
+        TopologyChange::DeleteEdge(ids[0], ids[1]).apply(&mut g).unwrap();
+        assert!(!g.has_edge(ids[0], ids[1]));
+    }
+
+    #[test]
+    fn apply_node_changes() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        let fresh = NodeId(2);
+        TopologyChange::InsertNode {
+            id: fresh,
+            edges: vec![ids[0], ids[1]],
+        }
+        .apply(&mut g)
+        .unwrap();
+        assert_eq!(g.degree(fresh), Some(2));
+        TopologyChange::DeleteNode(fresh).apply(&mut g).unwrap();
+        assert!(!g.has_node(fresh));
+    }
+
+    #[test]
+    fn insert_node_with_stale_id_is_rolled_back() {
+        let (mut g, ids) = DynGraph::with_nodes(1);
+        let stale = NodeId(40);
+        let err = TopologyChange::InsertNode {
+            id: stale,
+            edges: vec![ids[0]],
+        }
+        .apply(&mut g)
+        .unwrap_err();
+        assert_eq!(err, GraphError::MissingNode(stale));
+        assert_eq!(g.node_count(), 1, "rolled back");
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn kinds_and_labels() {
+        let c = DistributedChange::AbruptDeleteNode(NodeId(3));
+        assert_eq!(c.kind(), ChangeKind::NodeDelete);
+        assert_eq!(c.label(), "abrupt-node-deletion");
+        assert_eq!(c.to_topology(), TopologyChange::DeleteNode(NodeId(3)));
+        assert_eq!(format!("{c}"), "abrupt-node-deletion");
+        assert_eq!(format!("{}", ChangeKind::NodeDelete), "node-delete");
+    }
+
+    #[test]
+    fn unmute_projects_to_insert() {
+        let c = DistributedChange::UnmuteNode {
+            id: NodeId(5),
+            edges: vec![NodeId(1)],
+        };
+        assert_eq!(c.kind(), ChangeKind::NodeInsert);
+        assert_eq!(
+            c.to_topology(),
+            TopologyChange::InsertNode {
+                id: NodeId(5),
+                edges: vec![NodeId(1)]
+            }
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = TopologyChange::InsertNode {
+            id: NodeId(9),
+            edges: vec![NodeId(0), NodeId(1)],
+        };
+        assert_eq!(format!("{c}"), "insert-node(n9, deg 2)");
+    }
+}

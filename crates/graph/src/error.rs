@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Error type for all fallible [`crate::DynGraph`] operations.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{DynGraph, GraphError, NodeId};
+///
+/// let mut g = DynGraph::new();
+/// let a = g.add_node();
+/// let err = g.insert_edge(a, a).unwrap_err();
+/// assert_eq!(err, GraphError::SelfLoop(a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphError {
+    /// The referenced node does not exist (never inserted, or deleted).
+    MissingNode(NodeId),
+    /// The referenced edge does not exist.
+    MissingEdge(NodeId, NodeId),
+    /// The edge already exists; parallel edges are not representable.
+    DuplicateEdge(NodeId, NodeId),
+    /// Self-loops are not allowed in the paper's model.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingNode(v) => write!(f, "node {v} does not exist"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        let msgs = [
+            GraphError::MissingNode(NodeId(1)).to_string(),
+            GraphError::MissingEdge(NodeId(1), NodeId(2)).to_string(),
+            GraphError::DuplicateEdge(NodeId(1), NodeId(2)).to_string(),
+            GraphError::SelfLoop(NodeId(1)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "no trailing punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::MissingNode(NodeId(3)));
+        assert!(e.to_string().contains("n3"));
+    }
+}

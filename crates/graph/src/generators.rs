@@ -1,0 +1,520 @@
+//! Graph family generators.
+//!
+//! Every family referenced by the paper's examples and lower bounds is here:
+//! stars (Section 5, Example 1), disjoint 3-edge paths (Example 2), complete
+//! bipartite graphs minus a perfect matching (Example 3), complete bipartite
+//! graphs (the deterministic lower bound of Section 1.1), plus the standard
+//! random families (Erdős–Rényi, Barabási–Albert) and structured families
+//! (paths, cycles, grids, complete graphs) our experiments sweep over.
+//!
+//! All generators return the graph together with the node identifiers in a
+//! documented order so that callers can address structurally meaningful
+//! nodes (e.g. the star center is always `ids[0]`).
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::{DynGraph, NodeId};
+
+/// Star on `n` nodes: `ids[0]` is the center, `ids[1..]` the leaves.
+///
+/// Used by Section 5, Example 1 of the paper: random greedy yields an MIS of
+/// expected size `(n-1)(1 - 1/n) + 1/n`, versus the worst-case MIS of size 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn star(n: usize) -> (DynGraph, Vec<NodeId>) {
+    assert!(n > 0, "a star needs at least a center");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    for &leaf in &ids[1..] {
+        g.insert_edge(ids[0], leaf).expect("fresh edges");
+    }
+    (g, ids)
+}
+
+/// Simple path on `n` nodes, edges between consecutive identifiers.
+#[must_use]
+pub fn path(n: usize) -> (DynGraph, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    for w in ids.windows(2) {
+        g.insert_edge(w[0], w[1]).expect("fresh edges");
+    }
+    (g, ids)
+}
+
+/// Cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> (DynGraph, Vec<NodeId>) {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let (mut g, ids) = path(n);
+    g.insert_edge(ids[n - 1], ids[0]).expect("fresh edge");
+    (g, ids)
+}
+
+/// Complete graph on `n` nodes.
+#[must_use]
+pub fn complete(n: usize) -> (DynGraph, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.insert_edge(ids[i], ids[j]).expect("fresh edges");
+        }
+    }
+    (g, ids)
+}
+
+/// Complete bipartite graph `K_{a,b}`; returns `(graph, left, right)`.
+///
+/// This is the gadget of the deterministic lower bound (Section 1.1): any
+/// deterministic dynamic MIS algorithm run on a deletion cascade of one side
+/// must at some step flip the entire output.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> (DynGraph, Vec<NodeId>, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(a + b);
+    let (left, right) = ids.split_at(a);
+    for &u in left {
+        for &v in right {
+            g.insert_edge(u, v).expect("fresh edges");
+        }
+    }
+    (g, left.to_vec(), right.to_vec())
+}
+
+/// Complete bipartite graph `K_{k,k}` minus a perfect matching: `left[i]` is
+/// adjacent to every `right[j]` with `j ≠ i`.
+///
+/// Section 5, Example 3: random greedy coloring 2-colors this graph with
+/// probability `1 - 1/n`.
+#[must_use]
+pub fn bipartite_minus_matching(k: usize) -> (DynGraph, Vec<NodeId>, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(2 * k);
+    let (left, right) = ids.split_at(k);
+    for (i, &u) in left.iter().enumerate() {
+        for (j, &v) in right.iter().enumerate() {
+            if i != j {
+                g.insert_edge(u, v).expect("fresh edges");
+            }
+        }
+    }
+    (g, left.to_vec(), right.to_vec())
+}
+
+/// `k` disjoint paths of 3 edges (4 nodes) each; returns the graph and, per
+/// path, its 4 node identifiers in order.
+///
+/// Section 5, Example 2: the maximal matching obtained by random greedy on
+/// the line graph has expected size `2·(2/3) + 1·(1/3) = 5/3` per path, i.e.
+/// `5n/12` for `n = 4k` nodes, versus the worst case of `n/4`.
+#[must_use]
+pub fn disjoint_three_paths(k: usize) -> (DynGraph, Vec<[NodeId; 4]>) {
+    let (mut g, ids) = DynGraph::with_nodes(4 * k);
+    let mut paths = Vec::with_capacity(k);
+    for chunk in ids.chunks_exact(4) {
+        g.insert_edge(chunk[0], chunk[1]).expect("fresh edges");
+        g.insert_edge(chunk[1], chunk[2]).expect("fresh edges");
+        g.insert_edge(chunk[2], chunk[3]).expect("fresh edges");
+        paths.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    (g, paths)
+}
+
+/// Two-dimensional grid with `rows × cols` nodes; `ids[r * cols + c]` is the
+/// node at `(r, c)`.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> (DynGraph, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = ids[r * cols + c];
+            if c + 1 < cols {
+                g.insert_edge(v, ids[r * cols + c + 1]).expect("fresh edges");
+            }
+            if r + 1 < rows {
+                g.insert_edge(v, ids[(r + 1) * cols + c]).expect("fresh edges");
+            }
+        }
+    }
+    (g, ids)
+}
+
+/// Erdős–Rényi random graph `G(n, p)`: every pair becomes an edge
+/// independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 1]`.
+#[must_use]
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> (DynGraph, Vec<NodeId>) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_bool(p) {
+                g.insert_edge(ids[i], ids[j]).expect("fresh edges");
+            }
+        }
+    }
+    (g, ids)
+}
+
+/// Erdős–Rényi `G(n, m)` variant: exactly `m` distinct edges drawn uniformly.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of node pairs.
+#[must_use]
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> (DynGraph, Vec<NodeId>) {
+    let pairs = n * n.saturating_sub(1) / 2;
+    assert!(m <= pairs, "too many edges requested");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    let mut inserted = 0usize;
+    while inserted < m {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j && g.insert_edge(ids[i], ids[j]).is_ok() {
+            inserted += 1;
+        }
+    }
+    (g, ids)
+}
+
+/// Barabási–Albert preferential-attachment graph: starts from a clique of
+/// `m` nodes, then each of the remaining `n - m` nodes attaches to `m`
+/// distinct existing nodes chosen with probability proportional to degree.
+///
+/// Produces the heavy-tailed degree distributions under which the constant
+/// broadcast bound for abrupt deletions (`O(min{log n, d(v*)})`) is
+/// interesting to observe.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m`.
+#[must_use]
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> (DynGraph, Vec<NodeId>) {
+    assert!(m > 0 && n >= m, "need n >= m >= 1");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    // Seed clique.
+    for i in 0..m {
+        for j in (i + 1)..m {
+            g.insert_edge(ids[i], ids[j]).expect("fresh edges");
+        }
+    }
+    // Repeated-endpoints list implements preferential attachment.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for i in 0..m {
+        for _ in 0..m.saturating_sub(1).max(1) {
+            endpoints.push(i);
+        }
+    }
+    for i in m..n {
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m {
+            let t = if endpoints.is_empty() {
+                rng.random_range(0..i)
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            targets.insert(t);
+        }
+        for &t in &targets {
+            g.insert_edge(ids[i], ids[t]).expect("fresh edges");
+            endpoints.push(t);
+            endpoints.push(i);
+        }
+    }
+    (g, ids)
+}
+
+/// Random bipartite graph: each of the `a × b` cross pairs is an edge with
+/// probability `p`.
+#[must_use]
+pub fn random_bipartite<R: Rng + ?Sized>(
+    a: usize,
+    b: usize,
+    p: f64,
+    rng: &mut R,
+) -> (DynGraph, Vec<NodeId>, Vec<NodeId>) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let (mut g, ids) = DynGraph::with_nodes(a + b);
+    let (left, right) = ids.split_at(a);
+    for &u in left {
+        for &v in right {
+            if rng.random_bool(p) {
+                g.insert_edge(u, v).expect("fresh edges");
+            }
+        }
+    }
+    (g, left.to_vec(), right.to_vec())
+}
+
+/// A random tree on `n` nodes (uniform attachment: node `i` connects to a
+/// uniformly random earlier node).
+#[must_use]
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (DynGraph, Vec<NodeId>) {
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        g.insert_edge(ids[i], ids[parent]).expect("fresh edges");
+    }
+    (g, ids)
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, an edge
+/// whenever two points are within distance `radius`.
+///
+/// The natural model for the broadcast (wireless-flavored) communication
+/// setting; used by the long-lived churn experiment (E14).
+#[must_use]
+pub fn random_geometric<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> (DynGraph, Vec<NodeId>) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            if dx * dx + dy * dy <= r2 {
+                g.insert_edge(ids[i], ids[j]).expect("fresh edges");
+            }
+        }
+    }
+    (g, ids)
+}
+
+/// Returns a uniformly random edge of `g`, or `None` if the graph has no
+/// edges.
+#[must_use]
+pub fn random_edge<R: Rng + ?Sized>(g: &DynGraph, rng: &mut R) -> Option<(NodeId, NodeId)> {
+    let edges: Vec<_> = g.edges().collect();
+    edges.choose(rng).map(|k| k.endpoints())
+}
+
+/// Returns a uniformly random node of `g`, or `None` if the graph is empty.
+#[must_use]
+pub fn random_node<R: Rng + ?Sized>(g: &DynGraph, rng: &mut R) -> Option<NodeId> {
+    let nodes: Vec<_> = g.nodes().collect();
+    nodes.choose(rng).copied()
+}
+
+/// Returns a uniformly random *non*-edge (pair of distinct, non-adjacent
+/// nodes), or `None` if the graph is complete or has fewer than two nodes.
+#[must_use]
+pub fn random_non_edge<R: Rng + ?Sized>(g: &DynGraph, rng: &mut R) -> Option<(NodeId, NodeId)> {
+    let nodes: Vec<_> = g.nodes().collect();
+    let n = nodes.len();
+    if n < 2 {
+        return None;
+    }
+    let pairs = n * (n - 1) / 2;
+    if g.edge_count() >= pairs {
+        return None;
+    }
+    // Rejection sampling terminates quickly except on near-complete graphs;
+    // fall back to enumeration after a bounded number of attempts.
+    for _ in 0..4 * pairs.max(16) {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j && !g.has_edge(nodes[i], nodes[j]) {
+            return Some((nodes[i], nodes[j]));
+        }
+    }
+    let mut non_edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !g.has_edge(nodes[i], nodes[j]) {
+                non_edges.push((nodes[i], nodes[j]));
+            }
+        }
+    }
+    non_edges.choose(rng).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_shape() {
+        let (g, ids) = star(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(ids[0]), Some(4));
+        for &leaf in &ids[1..] {
+            assert_eq!(g.degree(leaf), Some(1));
+        }
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn path_and_cycle_shape() {
+        let (p, _) = path(6);
+        assert_eq!(p.edge_count(), 5);
+        let (c, ids) = cycle(6);
+        assert_eq!(c.edge_count(), 6);
+        assert!(c.has_edge(ids[5], ids[0]));
+        for &v in &ids {
+            assert_eq!(c.degree(v), Some(2));
+        }
+    }
+
+    #[test]
+    fn complete_counts() {
+        let (g, _) = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let (g, left, right) = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        for &u in &left {
+            assert_eq!(g.degree(u), Some(4));
+        }
+        for &v in &right {
+            assert_eq!(g.degree(v), Some(3));
+        }
+        // No intra-side edges.
+        assert!(!g.has_edge(left[0], left[1]));
+        assert!(!g.has_edge(right[0], right[1]));
+    }
+
+    #[test]
+    fn bipartite_minus_matching_shape() {
+        let k = 5;
+        let (g, left, right) = bipartite_minus_matching(k);
+        assert_eq!(g.edge_count(), k * (k - 1));
+        for i in 0..k {
+            assert!(!g.has_edge(left[i], right[i]), "matched pair must be absent");
+            assert_eq!(g.degree(left[i]), Some(k - 1));
+        }
+    }
+
+    #[test]
+    fn three_paths_shape() {
+        let (g, paths) = disjoint_three_paths(3);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 9);
+        for p in &paths {
+            assert!(g.has_edge(p[0], p[1]));
+            assert!(g.has_edge(p[1], p[2]));
+            assert!(g.has_edge(p[2], p[3]));
+            assert!(!g.has_edge(p[0], p[3]));
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let (g, ids) = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(ids[0]), Some(2), "corner");
+        assert_eq!(g.degree(ids[5]), Some(4), "interior");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (empty, _) = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let (full, _) = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic() {
+        let (g1, _) = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(42));
+        let (g2, _) = erdos_renyi(20, 0.3, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = gnm(15, 30, &mut rng);
+        assert_eq!(g.edge_count(), 30);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn barabasi_albert_degrees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 60;
+        let m = 3;
+        let (g, ids) = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.node_count(), n);
+        for &v in &ids[m..] {
+            assert!(g.degree(v).unwrap() >= m, "attached to m targets");
+        }
+        // Expected edge count: clique + m per later node.
+        assert_eq!(g.edge_count(), m * (m - 1) / 2 + (n - m) * m);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = random_tree(30, &mut rng);
+        assert_eq!(g.edge_count(), 29);
+        assert!(crate::is_connected(&g));
+    }
+
+    #[test]
+    fn random_bipartite_has_no_intra_side_edges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, left, right) = random_bipartite(6, 7, 0.5, &mut rng);
+        for i in 0..left.len() {
+            for j in (i + 1)..left.len() {
+                assert!(!g.has_edge(left[i], left[j]));
+            }
+        }
+        for i in 0..right.len() {
+            for j in (i + 1)..right.len() {
+                assert!(!g.has_edge(right[i], right[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn random_geometric_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (sparse, _) = random_geometric(20, 0.0, &mut rng);
+        assert_eq!(sparse.edge_count(), 0);
+        let (dense, _) = random_geometric(20, 2.0, &mut rng);
+        assert_eq!(dense.edge_count(), 20 * 19 / 2, "√2 ≤ 2 covers the square");
+        let (mid, _) = random_geometric(50, 0.3, &mut rng);
+        assert!(mid.edge_count() > 0);
+        mid.assert_consistent();
+    }
+
+    #[test]
+    fn random_pick_helpers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (g, _) = path(5);
+        assert!(random_edge(&g, &mut rng).is_some());
+        assert!(random_node(&g, &mut rng).is_some());
+        let (u, v) = random_non_edge(&g, &mut rng).unwrap();
+        assert!(!g.has_edge(u, v));
+        let (k5, _) = complete(5);
+        assert!(random_non_edge(&k5, &mut rng).is_none());
+        let empty = DynGraph::new();
+        assert!(random_edge(&empty, &mut rng).is_none());
+        assert!(random_node(&empty, &mut rng).is_none());
+        assert!(random_non_edge(&empty, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,508 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{GraphError, NodeId};
+
+/// Canonical (unordered) key of an undirected edge: the endpoints sorted.
+///
+/// Used wherever an edge must serve as a map key, most prominently by
+/// [`crate::LineGraphMirror`], which names each line-graph node after the
+/// underlying edge.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{EdgeKey, NodeId};
+///
+/// let k1 = EdgeKey::new(NodeId(5), NodeId(2));
+/// let k2 = EdgeKey::new(NodeId(2), NodeId(5));
+/// assert_eq!(k1, k2);
+/// assert_eq!(k1.endpoints(), (NodeId(2), NodeId(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeKey {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl EdgeKey {
+    /// Creates the canonical key for the edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; self-loops are not representable.
+    #[must_use]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loop cannot form an edge key");
+        if u < v {
+            EdgeKey { lo: u, hi: v }
+        } else {
+            EdgeKey { lo: v, hi: u }
+        }
+    }
+
+    /// Returns the endpoints in sorted order `(lo, hi)`.
+    #[must_use]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns the endpoint different from `v`, or `None` if `v` is not an
+    /// endpoint.
+    #[must_use]
+    pub fn other(self, v: NodeId) -> Option<NodeId> {
+        if v == self.lo {
+            Some(self.hi)
+        } else if v == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `v` is one of the endpoints.
+    #[must_use]
+    pub fn contains(self, v: NodeId) -> bool {
+        v == self.lo || v == self.hi
+    }
+}
+
+/// A fully dynamic undirected simple graph.
+///
+/// This is the substrate on which every algorithm of the reproduction runs.
+/// It supports the exact operation set of the paper's adversary — node
+/// insertion (with or without initial edges), node deletion, edge insertion
+/// and edge deletion — and nothing more exotic (no self-loops, no parallel
+/// edges, no weights).
+///
+/// Adjacency is stored in ordered sets so that all iteration orders are
+/// deterministic; determinism matters because the paper's guarantees are
+/// *distributional* over the algorithm's internal randomness only, and tests
+/// must be able to replay executions bit-for-bit from a seed.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::DynGraph;
+///
+/// let mut g = DynGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.insert_edge(a, b)?;
+/// g.insert_edge(b, c)?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbors(b).unwrap().count(), 2);
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynGraph {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    next_id: u64,
+    edge_count: usize,
+}
+
+impl DynGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph and immediately adds `n` isolated nodes,
+    /// returning their identifiers in insertion order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmis_graph::DynGraph;
+    ///
+    /// let (g, ids) = DynGraph::with_nodes(4);
+    /// assert_eq!(g.node_count(), 4);
+    /// assert_eq!(ids.len(), 4);
+    /// ```
+    #[must_use]
+    pub fn with_nodes(n: usize) -> (Self, Vec<NodeId>) {
+        let mut g = Self::new();
+        let ids = (0..n).map(|_| g.add_node()).collect();
+        (g, ids)
+    }
+
+    /// Adds a new isolated node and returns its fresh identifier.
+    ///
+    /// Identifiers are never reused, even after deletions.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.adj.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Adds a new node along with edges to every node in `neighbors`.
+    ///
+    /// This is the paper's "node insertion, possibly with multiple edges".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if any listed neighbor does not
+    /// exist, or [`GraphError::DuplicateEdge`] if `neighbors` lists the same
+    /// node twice. On error the graph is left unchanged.
+    pub fn add_node_with_edges<I>(&mut self, neighbors: I) -> Result<NodeId, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let neighbors: Vec<NodeId> = neighbors.into_iter().collect();
+        let mut seen = BTreeSet::new();
+        for &u in &neighbors {
+            if !self.adj.contains_key(&u) {
+                return Err(GraphError::MissingNode(u));
+            }
+            if !seen.insert(u) {
+                return Err(GraphError::DuplicateEdge(u, u));
+            }
+        }
+        let id = self.add_node();
+        for u in neighbors {
+            self.insert_edge(id, u)
+                .expect("edges from a fresh node are always insertable");
+        }
+        Ok(id)
+    }
+
+    /// Removes a node and all its incident edges, returning the set of
+    /// neighbors it had at the moment of deletion.
+    ///
+    /// The returned neighbor set is exactly the information a distributed
+    /// implementation needs to react to the deletion (Section 4.2 of the
+    /// paper starts the recovery at those neighbors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if the node does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        let nbrs = self.adj.remove(&v).ok_or(GraphError::MissingNode(v))?;
+        for &u in &nbrs {
+            let set = self
+                .adj
+                .get_mut(&u)
+                .expect("adjacency is symmetric by construction");
+            set.remove(&v);
+        }
+        self.edge_count -= nbrs.len();
+        Ok(nbrs.into_iter().collect())
+    }
+
+    /// Inserts the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::SelfLoop`] if `u == v`;
+    /// - [`GraphError::MissingNode`] if either endpoint does not exist;
+    /// - [`GraphError::DuplicateEdge`] if the edge is already present.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !self.adj.contains_key(&u) {
+            return Err(GraphError::MissingNode(u));
+        }
+        if !self.adj.contains_key(&v) {
+            return Err(GraphError::MissingNode(v));
+        }
+        let set_u = self.adj.get_mut(&u).expect("checked above");
+        if !set_u.insert(v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.adj
+            .get_mut(&v)
+            .expect("checked above")
+            .insert(u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if either endpoint does not exist
+    /// and [`GraphError::MissingEdge`] if the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if !self.adj.contains_key(&u) {
+            return Err(GraphError::MissingNode(u));
+        }
+        if !self.adj.contains_key(&v) {
+            return Err(GraphError::MissingNode(v));
+        }
+        let set_u = self.adj.get_mut(&u).expect("checked above");
+        if !set_u.remove(&v) {
+            return Err(GraphError::MissingEdge(u, v));
+        }
+        self.adj
+            .get_mut(&v)
+            .expect("checked above")
+            .remove(&u);
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Returns the identifier the next inserted node will receive, without
+    /// inserting it.
+    ///
+    /// Useful for describing a [`crate::TopologyChange::InsertNode`] before
+    /// applying it.
+    #[must_use]
+    pub fn peek_next_id(&self) -> NodeId {
+        NodeId(self.next_id)
+    }
+
+    /// Returns `true` if the node exists.
+    #[must_use]
+    pub fn has_node(&self, v: NodeId) -> bool {
+        self.adj.contains_key(&v)
+    }
+
+    /// Returns `true` if the edge `{u, v}` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj.get(&u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Returns the degree of `v`, or `None` if the node does not exist.
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> Option<usize> {
+        self.adj.get(&v).map(BTreeSet::len)
+    }
+
+    /// Returns the maximal degree Δ over all nodes (0 for an empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Returns the number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns the number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over all node identifiers in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates over the neighbors of `v` in ascending identifier order, or
+    /// `None` if the node does not exist.
+    pub fn neighbors(&self, v: NodeId) -> Option<impl Iterator<Item = NodeId> + '_> {
+        self.adj.get(&v).map(|s| s.iter().copied())
+    }
+
+    /// Returns the neighbors of `v` collected into a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if the node does not exist.
+    pub fn neighbors_vec(&self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        self.adj
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .ok_or(GraphError::MissingNode(v))
+    }
+
+    /// Iterates over all edges, each reported once as an [`EdgeKey`], in
+    /// ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
+        self.adj.iter().flat_map(|(&u, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| EdgeKey::new(u, v))
+        })
+    }
+
+    /// Verifies internal consistency (symmetric adjacency, accurate edge
+    /// count, no self-loops). Intended for tests and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if any invariant is violated.
+    pub fn assert_consistent(&self) {
+        let mut count = 0usize;
+        for (&u, nbrs) in &self.adj {
+            for &v in nbrs {
+                assert_ne!(u, v, "self-loop at {u}");
+                let back = self
+                    .adj
+                    .get(&v)
+                    .unwrap_or_else(|| panic!("dangling neighbor {v} of {u}"));
+                assert!(back.contains(&u), "asymmetric edge ({u}, {v})");
+                count += 1;
+            }
+        }
+        assert_eq!(count % 2, 0, "odd directed-edge count");
+        assert_eq!(count / 2, self.edge_count, "edge count drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (DynGraph, Vec<NodeId>) {
+        let (mut g, ids) = DynGraph::with_nodes(3);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        g.insert_edge(ids[1], ids[2]).unwrap();
+        g.insert_edge(ids[2], ids[0]).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn fresh_graph_is_empty() {
+        let g = DynGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let mut g = DynGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(g.has_node(a) && g.has_node(b));
+        let nbrs = g.remove_node(a).unwrap();
+        assert!(nbrs.is_empty());
+        assert!(!g.has_node(a));
+        assert_eq!(g.remove_node(a), Err(GraphError::MissingNode(a)));
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut g = DynGraph::new();
+        let a = g.add_node();
+        g.remove_node(a).unwrap();
+        let b = g.add_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edge_insertion_and_errors() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        let (a, b) = (ids[0], ids[1]);
+        g.insert_edge(a, b).unwrap();
+        assert_eq!(g.insert_edge(a, b), Err(GraphError::DuplicateEdge(a, b)));
+        assert_eq!(g.insert_edge(b, a), Err(GraphError::DuplicateEdge(b, a)));
+        assert_eq!(g.insert_edge(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(
+            g.insert_edge(a, NodeId(99)),
+            Err(GraphError::MissingNode(NodeId(99)))
+        );
+        assert!(g.has_edge(b, a), "edges are undirected");
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn edge_removal_and_errors() {
+        let (mut g, ids) = DynGraph::with_nodes(3);
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        g.insert_edge(a, b).unwrap();
+        g.remove_edge(b, a).unwrap();
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.remove_edge(a, b), Err(GraphError::MissingEdge(a, b)));
+        assert_eq!(g.remove_edge(a, c), Err(GraphError::MissingEdge(a, c)));
+        assert_eq!(
+            g.remove_edge(NodeId(42), a),
+            Err(GraphError::MissingNode(NodeId(42)))
+        );
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn node_removal_detaches_edges() {
+        let (mut g, ids) = triangle();
+        let removed_nbrs = g.remove_node(ids[1]).unwrap();
+        assert_eq!(removed_nbrs, vec![ids[0], ids[2]]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(ids[0], ids[2]));
+        assert_eq!(g.degree(ids[0]), Some(1));
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn add_node_with_edges_validates_first() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        let ghost = NodeId(777);
+        let before = g.clone();
+        assert_eq!(
+            g.add_node_with_edges([ids[0], ghost]),
+            Err(GraphError::MissingNode(ghost))
+        );
+        assert_eq!(g, before, "failed insertion must not mutate");
+        assert_eq!(
+            g.add_node_with_edges([ids[0], ids[0]]),
+            Err(GraphError::DuplicateEdge(ids[0], ids[0]))
+        );
+        let v = g.add_node_with_edges(ids.iter().copied()).unwrap();
+        assert_eq!(g.degree(v), Some(2));
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let (g, ids) = triangle();
+        let edges: Vec<EdgeKey> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&EdgeKey::new(ids[0], ids[2])));
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        for &other in &ids[1..] {
+            g.insert_edge(ids[0], other).unwrap();
+        }
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degree(ids[0]), Some(3));
+        assert_eq!(g.degree(NodeId(1234)), None);
+    }
+
+    #[test]
+    fn edge_key_canonicalizes() {
+        let k = EdgeKey::new(NodeId(9), NodeId(3));
+        assert_eq!(k.endpoints(), (NodeId(3), NodeId(9)));
+        assert_eq!(k.other(NodeId(3)), Some(NodeId(9)));
+        assert_eq!(k.other(NodeId(9)), Some(NodeId(3)));
+        assert_eq!(k.other(NodeId(5)), None);
+        assert!(k.contains(NodeId(9)));
+        assert!(!k.contains(NodeId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_key_rejects_self_loop() {
+        let _ = EdgeKey::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn neighbors_vec_errors_on_missing() {
+        let g = DynGraph::new();
+        assert_eq!(
+            g.neighbors_vec(NodeId(0)),
+            Err(GraphError::MissingNode(NodeId(0)))
+        );
+    }
+}

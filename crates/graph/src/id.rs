@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Stable identifier of a node in a [`crate::DynGraph`].
+///
+/// Identifiers are assigned monotonically by the graph and are never reused,
+/// so a `NodeId` uniquely names a node across the whole lifetime of a dynamic
+/// execution — exactly what the paper's model needs, where a deleted node
+/// that later "re-joins" is a *new* node with fresh randomness.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::DynGraph;
+///
+/// let mut g = DynGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Returns the raw index of this identifier.
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_and_display_are_compact() {
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(u64::from(NodeId(9)), 9);
+        assert_eq!(NodeId(9).index(), 9);
+    }
+}

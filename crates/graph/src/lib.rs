@@ -1,0 +1,62 @@
+//! # dmis-graph
+//!
+//! Dynamic undirected graph substrate for the *Optimal Dynamic Distributed
+//! MIS* reproduction (Censor-Hillel, Haramaty, Karnin, PODC 2016).
+//!
+//! The paper's dynamic distributed model is a sequence of single topology
+//! changes (edge/node × insertion/deletion) applied to an undirected
+//! communication graph, with enough quiet time between changes for the
+//! system to stabilize. This crate provides:
+//!
+//! - [`DynGraph`]: an undirected graph supporting O(1) expected-time edge and
+//!   node insertion/deletion, the exact operations the paper's adversary may
+//!   perform;
+//! - [`TopologyChange`]: the four template-level change types of Section 3 of
+//!   the paper, plus [`DistributedChange`] refining them into the seven
+//!   distributed variants of Section 2 (graceful/abrupt deletions, unmuting);
+//! - [`generators`]: graph families used throughout the paper's examples and
+//!   our experiments (stars, complete bipartite graphs, disjoint 3-paths,
+//!   Erdős–Rényi, Barabási–Albert, grids, ...);
+//! - [`LineGraphMirror`] and [`CliqueBlowup`]: the two standard reductions of
+//!   Section 5 (maximal matching via the line graph, (Δ+1)-coloring via the
+//!   clique blow-up);
+//! - [`stream`]: random update-stream generators driving long-lived dynamic
+//!   executions.
+//!
+//! # Example
+//!
+//! ```
+//! use dmis_graph::{DynGraph, NodeId};
+//!
+//! let mut g = DynGraph::new();
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! g.insert_edge(a, b)?;
+//! assert!(g.has_edge(a, b));
+//! assert_eq!(g.degree(a), Some(1));
+//! g.remove_node(b)?;
+//! assert_eq!(g.degree(a), Some(0));
+//! # Ok::<(), dmis_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blowup;
+mod change;
+mod error;
+mod graph;
+mod id;
+mod linegraph;
+mod traversal;
+
+pub mod generators;
+pub mod stream;
+
+pub use blowup::CliqueBlowup;
+pub use change::{ChangeKind, DistributedChange, TopologyChange};
+pub use error::GraphError;
+pub use graph::{DynGraph, EdgeKey};
+pub use id::NodeId;
+pub use linegraph::LineGraphMirror;
+pub use traversal::{bfs_order, connected_components, is_connected, shortest_path_len};

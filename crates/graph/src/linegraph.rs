@@ -1,0 +1,313 @@
+use std::collections::BTreeMap;
+
+use crate::{DynGraph, EdgeKey, GraphError, NodeId, TopologyChange};
+
+/// Incrementally maintained line graph `L(G)` of a dynamic base graph `G`.
+///
+/// Section 5 of the paper obtains a history-independent *maximal matching*
+/// algorithm by simulating the MIS algorithm on the line graph: every edge of
+/// `G` is a node of `L(G)`, and two such nodes are adjacent iff the edges
+/// share an endpoint. An MIS of `L(G)` is exactly a maximal matching of `G`.
+///
+/// A single topology change in `G` translates into a *sequence* of single
+/// topology changes in `L(G)` (the paper notes the translation is "only
+/// technical"): an edge insertion in `G` is one node insertion in `L(G)`; a
+/// node deletion in `G` with degree `d` is `d` node deletions in `L(G)`.
+/// The `apply_*` methods perform the bookkeeping and return the
+/// induced changes so a dynamic MIS structure can consume them one by one.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{DynGraph, LineGraphMirror};
+///
+/// let (mut g, ids) = DynGraph::with_nodes(3);
+/// let mut mirror = LineGraphMirror::new(&g);
+/// mirror.apply_edge_insert(&mut g, ids[0], ids[1])?;
+/// mirror.apply_edge_insert(&mut g, ids[1], ids[2])?;
+/// // Two edges sharing ids[1]: their line nodes are adjacent.
+/// assert_eq!(mirror.line_graph().node_count(), 2);
+/// assert_eq!(mirror.line_graph().edge_count(), 1);
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineGraphMirror {
+    line: DynGraph,
+    edge_to_node: BTreeMap<EdgeKey, NodeId>,
+    node_to_edge: BTreeMap<NodeId, EdgeKey>,
+}
+
+impl LineGraphMirror {
+    /// Builds the line graph of the current state of `g`.
+    #[must_use]
+    pub fn new(g: &DynGraph) -> Self {
+        let mut mirror = LineGraphMirror {
+            line: DynGraph::new(),
+            edge_to_node: BTreeMap::new(),
+            node_to_edge: BTreeMap::new(),
+        };
+        for key in g.edges() {
+            mirror.insert_line_node(g, key);
+        }
+        mirror
+    }
+
+    /// Returns the maintained line graph.
+    #[must_use]
+    pub fn line_graph(&self) -> &DynGraph {
+        &self.line
+    }
+
+    /// Returns the line-graph node representing the base edge `{u, v}`, if
+    /// that edge exists.
+    #[must_use]
+    pub fn node_of_edge(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        self.edge_to_node.get(&EdgeKey::new(u, v)).copied()
+    }
+
+    /// Returns the base edge represented by line-graph node `ln`, if any.
+    #[must_use]
+    pub fn edge_of_node(&self, ln: NodeId) -> Option<EdgeKey> {
+        self.node_to_edge.get(&ln).copied()
+    }
+
+    fn insert_line_node(&mut self, g: &DynGraph, key: EdgeKey) -> (NodeId, Vec<NodeId>) {
+        let (u, v) = key.endpoints();
+        let mut adjacent = Vec::new();
+        for endpoint in [u, v] {
+            for w in g.neighbors(endpoint).expect("endpoints exist") {
+                if EdgeKey::new(endpoint, w) == key {
+                    continue;
+                }
+                if let Some(&ln) = self.edge_to_node.get(&EdgeKey::new(endpoint, w)) {
+                    if !adjacent.contains(&ln) {
+                        adjacent.push(ln);
+                    }
+                }
+            }
+        }
+        let ln = self
+            .line
+            .add_node_with_edges(adjacent.iter().copied())
+            .expect("line neighbors exist");
+        self.edge_to_node.insert(key, ln);
+        self.node_to_edge.insert(ln, key);
+        (ln, adjacent)
+    }
+
+    /// Inserts the edge `{u, v}` into the base graph `g` and mirrors it as a
+    /// node insertion in `L(G)`. Returns the induced line-graph change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the base-graph insertion, leaving both
+    /// graphs unchanged.
+    pub fn apply_edge_insert(
+        &mut self,
+        g: &mut DynGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<TopologyChange, GraphError> {
+        g.insert_edge(u, v)?;
+        let (ln, adjacent) = self.insert_line_node(g, EdgeKey::new(u, v));
+        Ok(TopologyChange::InsertNode {
+            id: ln,
+            edges: adjacent,
+        })
+    }
+
+    /// Removes the edge `{u, v}` from the base graph and mirrors it as a node
+    /// deletion in `L(G)`. Returns the induced line-graph change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the base-graph removal.
+    pub fn apply_edge_remove(
+        &mut self,
+        g: &mut DynGraph,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<TopologyChange, GraphError> {
+        g.remove_edge(u, v)?;
+        let key = EdgeKey::new(u, v);
+        let ln = self
+            .edge_to_node
+            .remove(&key)
+            .expect("mirror tracked the edge");
+        self.node_to_edge.remove(&ln);
+        self.line.remove_node(ln).expect("mirror tracked the node");
+        Ok(TopologyChange::DeleteNode(ln))
+    }
+
+    /// Removes node `v` from the base graph and mirrors it as a sequence of
+    /// node deletions in `L(G)` (one per incident edge). Returns the induced
+    /// line-graph changes in the order they were applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if `v` does not exist.
+    pub fn apply_node_remove(
+        &mut self,
+        g: &mut DynGraph,
+        v: NodeId,
+    ) -> Result<Vec<TopologyChange>, GraphError> {
+        let nbrs = g.neighbors_vec(v)?;
+        let mut changes = Vec::with_capacity(nbrs.len());
+        for u in nbrs {
+            changes.push(self.apply_edge_remove(g, v, u)?);
+        }
+        g.remove_node(v)?;
+        Ok(changes)
+    }
+
+    /// Adds a new node to the base graph with edges to `neighbors`, mirroring
+    /// each edge as a node insertion in `L(G)`. Returns the new base node and
+    /// the induced line-graph changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the base-graph insertion.
+    pub fn apply_node_insert<I>(
+        &mut self,
+        g: &mut DynGraph,
+        neighbors: I,
+    ) -> Result<(NodeId, Vec<TopologyChange>), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let v = g.add_node();
+        let mut changes = Vec::new();
+        for u in neighbors {
+            match self.apply_edge_insert(g, v, u) {
+                Ok(c) => changes.push(c),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((v, changes))
+    }
+
+    /// Rebuilds the line graph from scratch and asserts it matches the
+    /// incrementally maintained one (up to identifier renaming it must be
+    /// isomorphic; we check structural statistics and adjacency through the
+    /// edge mapping). Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mirror diverged from the ground truth.
+    pub fn assert_matches(&self, g: &DynGraph) {
+        assert_eq!(self.line.node_count(), g.edge_count(), "node count");
+        for key in g.edges() {
+            assert!(self.edge_to_node.contains_key(&key), "missing edge {key:?}");
+        }
+        // Adjacency: two base edges sharing an endpoint must be adjacent.
+        let edges: Vec<EdgeKey> = g.edges().collect();
+        for (i, &a) in edges.iter().enumerate() {
+            for &b in &edges[i + 1..] {
+                let (a1, a2) = a.endpoints();
+                let shares = b.contains(a1) || b.contains(a2);
+                let la = self.edge_to_node[&a];
+                let lb = self.edge_to_node[&b];
+                assert_eq!(
+                    self.line.has_edge(la, lb),
+                    shares,
+                    "adjacency mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+        self.line.assert_consistent();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn triangle_line_graph_is_triangle() {
+        let (g, _) = generators::cycle(3);
+        let mirror = LineGraphMirror::new(&g);
+        assert_eq!(mirror.line_graph().node_count(), 3);
+        assert_eq!(mirror.line_graph().edge_count(), 3);
+        mirror.assert_matches(&g);
+    }
+
+    #[test]
+    fn star_line_graph_is_complete() {
+        let (g, _) = generators::star(5);
+        let mirror = LineGraphMirror::new(&g);
+        // Line graph of K_{1,4} is K_4.
+        assert_eq!(mirror.line_graph().node_count(), 4);
+        assert_eq!(mirror.line_graph().edge_count(), 6);
+        mirror.assert_matches(&g);
+    }
+
+    #[test]
+    fn incremental_edge_ops_match_rebuild() {
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        let mut mirror = LineGraphMirror::new(&g);
+        mirror.apply_edge_insert(&mut g, ids[0], ids[1]).unwrap();
+        mirror.apply_edge_insert(&mut g, ids[1], ids[2]).unwrap();
+        mirror.apply_edge_insert(&mut g, ids[2], ids[3]).unwrap();
+        mirror.apply_edge_insert(&mut g, ids[3], ids[0]).unwrap();
+        mirror.assert_matches(&g);
+        mirror.apply_edge_remove(&mut g, ids[1], ids[2]).unwrap();
+        mirror.assert_matches(&g);
+    }
+
+    #[test]
+    fn node_removal_mirrors_as_sequence() {
+        let (mut g, ids) = generators::star(4);
+        let mut mirror = LineGraphMirror::new(&g);
+        let changes = mirror.apply_node_remove(&mut g, ids[0]).unwrap();
+        assert_eq!(changes.len(), 3, "one line deletion per incident edge");
+        assert_eq!(mirror.line_graph().node_count(), 0);
+        mirror.assert_matches(&g);
+    }
+
+    #[test]
+    fn node_insert_mirrors_as_sequence() {
+        let (mut g, ids) = generators::path(3);
+        let mut mirror = LineGraphMirror::new(&g);
+        let (v, changes) = mirror
+            .apply_node_insert(&mut g, vec![ids[0], ids[2]])
+            .unwrap();
+        assert!(g.has_node(v));
+        assert_eq!(changes.len(), 2);
+        mirror.assert_matches(&g);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let (mut g, ids) = DynGraph::with_nodes(2);
+        let mut mirror = LineGraphMirror::new(&g);
+        mirror.apply_edge_insert(&mut g, ids[0], ids[1]).unwrap();
+        let ln = mirror.node_of_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(
+            mirror.edge_of_node(ln),
+            Some(EdgeKey::new(ids[0], ids[1]))
+        );
+        assert!(mirror.node_of_edge(ids[1], ids[0]).is_some(), "orderless");
+    }
+
+    #[test]
+    fn random_churn_stays_consistent() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let (mut g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
+        let mut mirror = LineGraphMirror::new(&g);
+        mirror.assert_matches(&g);
+        for _ in 0..200 {
+            if rng.random_bool(0.5) {
+                if let Some((u, v)) = generators::random_non_edge(&g, &mut rng) {
+                    mirror.apply_edge_insert(&mut g, u, v).unwrap();
+                }
+            } else if let Some((u, v)) = generators::random_edge(&g, &mut rng) {
+                mirror.apply_edge_remove(&mut g, u, v).unwrap();
+            }
+        }
+        let _ = ids;
+        mirror.assert_matches(&g);
+    }
+}

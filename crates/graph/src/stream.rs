@@ -1,0 +1,354 @@
+//! Update-stream generators: sequences of topology changes driving
+//! long-lived dynamic executions.
+//!
+//! The paper's model assumes an *oblivious non-adaptive adversary*: the
+//! change sequence may be arbitrary but must not depend on the algorithm's
+//! randomness. Streams generated here depend only on the evolving graph
+//! topology (never on any algorithm output), so they are valid oblivious
+//! adversaries.
+
+use rand::Rng;
+
+use crate::{generators, DistributedChange, DynGraph, NodeId, TopologyChange};
+
+/// Configuration for the random churn generator.
+///
+/// The weights need not sum to 1; they are normalized. A weight of 0 disables
+/// the change type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Weight of edge insertions.
+    pub edge_insert: f64,
+    /// Weight of edge deletions.
+    pub edge_delete: f64,
+    /// Weight of node insertions.
+    pub node_insert: f64,
+    /// Weight of node deletions.
+    pub node_delete: f64,
+    /// Maximum degree of a freshly inserted node.
+    pub max_new_degree: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            edge_insert: 0.4,
+            edge_delete: 0.4,
+            node_insert: 0.1,
+            node_delete: 0.1,
+            max_new_degree: 4,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A configuration performing only edge changes (insert/delete with equal
+    /// weight).
+    #[must_use]
+    pub fn edges_only() -> Self {
+        ChurnConfig {
+            edge_insert: 0.5,
+            edge_delete: 0.5,
+            node_insert: 0.0,
+            node_delete: 0.0,
+            max_new_degree: 0,
+        }
+    }
+
+    /// A configuration performing only node changes.
+    #[must_use]
+    pub fn nodes_only(max_new_degree: usize) -> Self {
+        ChurnConfig {
+            edge_insert: 0.0,
+            edge_delete: 0.0,
+            node_insert: 0.5,
+            node_delete: 0.5,
+            max_new_degree,
+        }
+    }
+}
+
+/// Draws the next random topology change valid for the current state of `g`,
+/// or `None` if no configured change is applicable (e.g. the graph is empty
+/// and only deletions are enabled).
+///
+/// The returned change is *not* applied; callers typically feed it to both a
+/// graph and an algorithm under test.
+#[must_use]
+pub fn random_change<R: Rng + ?Sized>(
+    g: &DynGraph,
+    cfg: &ChurnConfig,
+    rng: &mut R,
+) -> Option<TopologyChange> {
+    let mut options: Vec<(f64, u8)> = Vec::with_capacity(4);
+    if cfg.edge_insert > 0.0 && generators::random_non_edge(g, &mut *rng).is_some() {
+        options.push((cfg.edge_insert, 0));
+    }
+    if cfg.edge_delete > 0.0 && g.edge_count() > 0 {
+        options.push((cfg.edge_delete, 1));
+    }
+    if cfg.node_insert > 0.0 {
+        options.push((cfg.node_insert, 2));
+    }
+    if cfg.node_delete > 0.0 && g.node_count() > 0 {
+        options.push((cfg.node_delete, 3));
+    }
+    let total: f64 = options.iter().map(|(w, _)| w).sum();
+    if options.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mut pick = rng.random_range(0.0..total);
+    let mut chosen = options[options.len() - 1].1;
+    for (w, tag) in options {
+        if pick < w {
+            chosen = tag;
+            break;
+        }
+        pick -= w;
+    }
+    match chosen {
+        0 => {
+            let (u, v) = generators::random_non_edge(g, rng)?;
+            Some(TopologyChange::InsertEdge(u, v))
+        }
+        1 => {
+            let (u, v) = generators::random_edge(g, rng)?;
+            Some(TopologyChange::DeleteEdge(u, v))
+        }
+        2 => {
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            let deg = rng.random_range(0..=cfg.max_new_degree.min(nodes.len()));
+            let mut edges = Vec::with_capacity(deg);
+            let mut pool = nodes;
+            for _ in 0..deg {
+                let i = rng.random_range(0..pool.len());
+                edges.push(pool.swap_remove(i));
+            }
+            Some(TopologyChange::InsertNode {
+                id: NodeId(next_id_of(g)),
+                edges,
+            })
+        }
+        _ => {
+            let v = generators::random_node(g, rng)?;
+            Some(TopologyChange::DeleteNode(v))
+        }
+    }
+}
+
+/// Generates a sequence of `len` random changes starting from `g`, applying
+/// each to the evolving copy; returns the change list.
+///
+/// The final graph can be recovered by re-applying the changes to a clone of
+/// the initial graph.
+#[must_use]
+pub fn random_stream<R: Rng + ?Sized>(
+    g: &DynGraph,
+    cfg: &ChurnConfig,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    let mut evolving = g.clone();
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let Some(change) = random_change(&evolving, cfg, rng) else {
+            break;
+        };
+        change
+            .apply(&mut evolving)
+            .expect("generated changes are valid for the evolving graph");
+        out.push(change);
+    }
+    out
+}
+
+/// Lifts a template-level change into a [`DistributedChange`], choosing the
+/// graceful/abrupt or insert/unmute variant at random where applicable.
+#[must_use]
+pub fn randomize_distributed<R: Rng + ?Sized>(
+    change: &TopologyChange,
+    rng: &mut R,
+) -> DistributedChange {
+    match change {
+        TopologyChange::InsertEdge(u, v) => DistributedChange::InsertEdge(*u, *v),
+        TopologyChange::DeleteEdge(u, v) => {
+            if rng.random_bool(0.5) {
+                DistributedChange::GracefulDeleteEdge(*u, *v)
+            } else {
+                DistributedChange::AbruptDeleteEdge(*u, *v)
+            }
+        }
+        TopologyChange::InsertNode { id, edges } => {
+            if rng.random_bool(0.5) {
+                DistributedChange::InsertNode {
+                    id: *id,
+                    edges: edges.clone(),
+                }
+            } else {
+                DistributedChange::UnmuteNode {
+                    id: *id,
+                    edges: edges.clone(),
+                }
+            }
+        }
+        TopologyChange::DeleteNode(v) => {
+            if rng.random_bool(0.5) {
+                DistributedChange::GracefulDeleteNode(*v)
+            } else {
+                DistributedChange::AbruptDeleteNode(*v)
+            }
+        }
+    }
+}
+
+/// The deterministic lower-bound cascade of Section 1.1: starting from
+/// `K_{k,k}`, delete the nodes of the left side one at a time.
+///
+/// Returns the initial graph, its two sides, and the deletion sequence. Any
+/// deterministic dynamic MIS algorithm must, at some step of this sequence,
+/// change the output of *every* remaining node.
+#[must_use]
+pub fn bipartite_cascade(k: usize) -> (DynGraph, Vec<NodeId>, Vec<NodeId>, Vec<TopologyChange>) {
+    let (g, left, right) = generators::complete_bipartite(k, k);
+    let stream = left
+        .iter()
+        .map(|&v| TopologyChange::DeleteNode(v))
+        .collect();
+    (g, left, right, stream)
+}
+
+/// Builds a star on `n` nodes by inserting the center first and then each
+/// leaf with a single edge — the adversarial construction order of Section 5,
+/// Example 1 (a "natural" history-dependent greedy keeps the center in the
+/// MIS forever, producing the worst-case MIS of size 1).
+///
+/// Returns the insertion stream starting from the empty graph; `NodeId(0)`
+/// is the center.
+#[must_use]
+pub fn adversarial_star_stream(n: usize) -> Vec<TopologyChange> {
+    assert!(n > 0, "a star needs at least a center");
+    let mut stream = Vec::with_capacity(n);
+    stream.push(TopologyChange::InsertNode {
+        id: NodeId(0),
+        edges: vec![],
+    });
+    for i in 1..n as u64 {
+        stream.push(TopologyChange::InsertNode {
+            id: NodeId(i),
+            edges: vec![NodeId(0)],
+        });
+    }
+    stream
+}
+
+/// Returns the identifier the next inserted node will get.
+#[must_use]
+pub fn next_id_of(g: &DynGraph) -> u64 {
+    g.peek_next_id().index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_stream_is_applicable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = generators::erdos_renyi(12, 0.2, &mut rng);
+        let stream = random_stream(&g, &ChurnConfig::default(), 300, &mut rng);
+        assert_eq!(stream.len(), 300);
+        let mut replay = g.clone();
+        for c in &stream {
+            c.apply(&mut replay).unwrap();
+        }
+        replay.assert_consistent();
+    }
+
+    #[test]
+    fn edges_only_stream_preserves_nodes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, _) = generators::erdos_renyi(8, 0.5, &mut rng);
+        let stream = random_stream(&g, &ChurnConfig::edges_only(), 100, &mut rng);
+        for c in &stream {
+            assert!(matches!(
+                c,
+                TopologyChange::InsertEdge(..) | TopologyChange::DeleteEdge(..)
+            ));
+        }
+    }
+
+    #[test]
+    fn nodes_only_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _) = generators::path(5);
+        let stream = random_stream(&g, &ChurnConfig::nodes_only(3), 60, &mut rng);
+        for c in &stream {
+            assert!(matches!(
+                c,
+                TopologyChange::InsertNode { .. } | TopologyChange::DeleteNode(..)
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_graph_with_delete_only_config_yields_none() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = DynGraph::new();
+        let cfg = ChurnConfig {
+            edge_insert: 0.0,
+            edge_delete: 1.0,
+            node_insert: 0.0,
+            node_delete: 0.0,
+            max_new_degree: 0,
+        };
+        assert!(random_change(&g, &cfg, &mut rng).is_none());
+    }
+
+    #[test]
+    fn bipartite_cascade_shape() {
+        let (g, left, right, stream) = bipartite_cascade(4);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(stream.len(), 4);
+        assert_eq!(left.len(), 4);
+        assert_eq!(right.len(), 4);
+        let mut replay = g.clone();
+        for c in &stream {
+            c.apply(&mut replay).unwrap();
+        }
+        assert_eq!(replay.node_count(), 4);
+        assert_eq!(replay.edge_count(), 0);
+    }
+
+    #[test]
+    fn adversarial_star_builds_star() {
+        let stream = adversarial_star_stream(6);
+        let mut g = DynGraph::new();
+        for c in &stream {
+            c.apply(&mut g).unwrap();
+        }
+        assert_eq!(g.degree(NodeId(0)), Some(5));
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn randomize_distributed_projects_back() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let changes = [
+            TopologyChange::InsertEdge(NodeId(0), NodeId(1)),
+            TopologyChange::DeleteEdge(NodeId(0), NodeId(1)),
+            TopologyChange::InsertNode {
+                id: NodeId(2),
+                edges: vec![NodeId(0)],
+            },
+            TopologyChange::DeleteNode(NodeId(2)),
+        ];
+        for c in &changes {
+            for _ in 0..8 {
+                let d = randomize_distributed(c, &mut rng);
+                assert_eq!(&d.to_topology(), c);
+            }
+        }
+    }
+}

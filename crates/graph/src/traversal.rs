@@ -1,0 +1,128 @@
+//! Small traversal utilities (BFS, connectivity, shortest paths).
+//!
+//! These are substrate helpers used by tests and by the asynchronous
+//! simulator, which bounds causal chains by graph distances.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::{DynGraph, NodeId};
+
+/// Returns the nodes reachable from `start` in BFS order (including
+/// `start`), or an empty vector if `start` does not exist.
+#[must_use]
+pub fn bfs_order(g: &DynGraph, start: NodeId) -> Vec<NodeId> {
+    if !g.has_node(start) {
+        return Vec::new();
+    }
+    let mut seen = BTreeSet::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in g.neighbors(v).expect("dequeued nodes exist") {
+            if seen.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the connected components of `g`, each as a sorted vector, ordered
+/// by their smallest member.
+#[must_use]
+pub fn connected_components(g: &DynGraph) -> Vec<Vec<NodeId>> {
+    let mut unvisited: BTreeSet<NodeId> = g.nodes().collect();
+    let mut components = Vec::new();
+    while let Some(&start) = unvisited.iter().next() {
+        let comp = bfs_order(g, start);
+        for v in &comp {
+            unvisited.remove(v);
+        }
+        let mut comp = comp;
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Returns `true` if the graph is connected (the empty graph counts as
+/// connected).
+#[must_use]
+pub fn is_connected(g: &DynGraph) -> bool {
+    if g.is_empty() {
+        return true;
+    }
+    let start = g.nodes().next().expect("non-empty");
+    bfs_order(g, start).len() == g.node_count()
+}
+
+/// Returns the hop distance between `u` and `v`, or `None` if they are
+/// disconnected or either node is missing.
+#[must_use]
+pub fn shortest_path_len(g: &DynGraph, u: NodeId, v: NodeId) -> Option<usize> {
+    if !g.has_node(u) || !g.has_node(v) {
+        return None;
+    }
+    let mut dist: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(u, 0);
+    queue.push_back(u);
+    while let Some(w) = queue.pop_front() {
+        let d = dist[&w];
+        if w == v {
+            return Some(d);
+        }
+        for x in g.neighbors(w).expect("queued nodes exist") {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(x) {
+                e.insert(d + 1);
+                queue.push_back(x);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path_is_ordered() {
+        let (g, ids) = generators::path(5);
+        let order = bfs_order(&g, ids[0]);
+        assert_eq!(order, ids);
+        assert!(bfs_order(&g, NodeId(99)).is_empty());
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let (g, paths) = generators::disjoint_three_paths(3);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], paths[0].to_vec());
+    }
+
+    #[test]
+    fn connectivity() {
+        let (g, _) = generators::cycle(5);
+        assert!(is_connected(&g));
+        let (mut g2, ids) = generators::path(4);
+        g2.remove_edge(ids[1], ids[2]).unwrap();
+        assert!(!is_connected(&g2));
+        assert!(is_connected(&DynGraph::new()));
+    }
+
+    #[test]
+    fn distances() {
+        let (g, ids) = generators::path(6);
+        assert_eq!(shortest_path_len(&g, ids[0], ids[5]), Some(5));
+        assert_eq!(shortest_path_len(&g, ids[2], ids[2]), Some(0));
+        let (g2, paths) = generators::disjoint_three_paths(2);
+        assert_eq!(shortest_path_len(&g2, paths[0][0], paths[1][0]), None);
+        assert_eq!(shortest_path_len(&g2, NodeId(999), paths[0][0]), None);
+    }
+}

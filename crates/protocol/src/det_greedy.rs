@@ -1,0 +1,142 @@
+use std::collections::BTreeSet;
+
+use dmis_core::{MisEngine, Priority, PriorityMap, UpdateReceipt};
+use dmis_graph::{DynGraph, GraphError, NodeId, TopologyChange};
+
+/// The "natural" **deterministic** dynamic greedy algorithm: maintain the
+/// greedy MIS for the fixed order given by node identifiers (no
+/// randomness).
+///
+/// This is the foil of the Section 1.1 lower bound: for any deterministic
+/// dynamic MIS algorithm there is a topology change forcing `n`
+/// adjustments. Concretely, on the complete bipartite cascade
+/// ([`dmis_graph::stream::bipartite_cascade`]) this algorithm keeps the
+/// shrinking side in the MIS until its last member disappears, and then
+/// flips the output of every remaining node at once (experiment E4).
+///
+/// It is also the natural *history-dependent* algorithm of Section 5's
+/// examples: built leaf-by-leaf, a star always ends with only its center in
+/// the MIS (expected size 1 instead of Θ(n)).
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{generators, TopologyChange};
+/// use dmis_protocol::DeterministicGreedy;
+///
+/// let (g, ids) = generators::star(5);
+/// let mut det = DeterministicGreedy::new(g);
+/// // Identifier order puts the center first: MIS = {center}.
+/// assert_eq!(det.mis().len(), 1);
+/// det.apply(&TopologyChange::DeleteNode(ids[0]))?;
+/// assert_eq!(det.mis().len(), 4, "all leaves flip in at once");
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicGreedy {
+    engine: MisEngine,
+}
+
+impl DeterministicGreedy {
+    /// Creates the baseline over `graph`, ordering nodes by identifier.
+    #[must_use]
+    pub fn new(graph: DynGraph) -> Self {
+        let mut priorities = PriorityMap::new();
+        for v in graph.nodes() {
+            priorities.insert(v, identity_priority(v));
+        }
+        DeterministicGreedy {
+            engine: MisEngine::from_parts(graph, priorities, 0),
+        }
+    }
+
+    /// The current graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        self.engine.graph()
+    }
+
+    /// The current MIS.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.engine.mis()
+    }
+
+    /// Applies a change, maintaining the identifier-order greedy MIS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if the change is invalid.
+    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
+        match change {
+            TopologyChange::InsertNode { id, edges } => {
+                if self.engine.graph().peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                self.engine
+                    .insert_node_with_key(edges.iter().copied(), 0)
+                    .map(|(_, r)| r)
+            }
+            other => self.engine.apply(other),
+        }
+    }
+}
+
+// All keys are zero: the (key, id) order degenerates to identifier order.
+fn identity_priority(v: NodeId) -> Priority {
+    Priority::new(0, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::stream;
+    use dmis_graph::generators;
+
+    #[test]
+    fn identifier_order_is_respected() {
+        let (g, ids) = generators::path(4);
+        let det = DeterministicGreedy::new(g);
+        assert_eq!(det.mis(), [ids[0], ids[2]].into_iter().collect());
+    }
+
+    #[test]
+    fn bipartite_cascade_forces_full_flip() {
+        let k = 6;
+        let (g, left, right, changes) = stream::bipartite_cascade(k);
+        let mut det = DeterministicGreedy::new(g);
+        // Identifier order: left side first → left is the MIS.
+        assert_eq!(det.mis(), left.iter().copied().collect());
+        let mut max_adjust = 0usize;
+        for change in &changes {
+            let receipt = det.apply(change).unwrap();
+            max_adjust = max_adjust.max(receipt.adjustments());
+        }
+        // The final deletion flips the entire right side at once.
+        assert_eq!(max_adjust, k, "worst step adjusts all k survivors");
+        assert_eq!(det.mis(), right.iter().copied().collect());
+    }
+
+    #[test]
+    fn star_built_adversarially_keeps_center() {
+        let mut det = DeterministicGreedy::new(DynGraph::new());
+        for change in stream::adversarial_star_stream(12) {
+            det.apply(&change).unwrap();
+        }
+        assert_eq!(det.mis().len(), 1, "worst-case MIS: the center alone");
+        assert!(det.mis().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn stale_insert_id_is_rejected() {
+        let (g, _) = generators::path(2);
+        let mut det = DeterministicGreedy::new(g);
+        let err = det
+            .apply(&TopologyChange::InsertNode {
+                id: NodeId(0),
+                edges: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, GraphError::MissingNode(NodeId(0)));
+    }
+}

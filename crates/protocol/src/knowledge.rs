@@ -1,0 +1,286 @@
+use std::collections::BTreeMap;
+
+use dmis_core::MisState;
+use dmis_graph::NodeId;
+
+/// A neighbor's protocol state as last heard over the broadcast channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Committed `M` or `M̄`.
+    Committed(MisState),
+    /// In the transient `C` (changing) state of Algorithm 2.
+    Changing,
+    /// In the transient `R` (ready) state of Algorithm 2.
+    Ready,
+}
+
+impl PeerState {
+    /// Returns `true` if the peer is committed to `M`.
+    #[must_use]
+    pub fn is_in_mis(self) -> bool {
+        matches!(self, PeerState::Committed(MisState::In))
+    }
+
+    /// Returns `true` if the peer is in a committed (`M`/`M̄`) state.
+    #[must_use]
+    pub fn is_committed(self) -> bool {
+        matches!(self, PeerState::Committed(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ell: Option<u64>,
+    state: PeerState,
+}
+
+/// What a node knows about its neighborhood: each neighbor's random key ℓ
+/// (once learned) and last-announced state.
+///
+/// The paper maintains "the property that each node has knowledge of its ℓ
+/// value and those of its neighbors" (Section 4); this struct is that
+/// knowledge plus the state tracking Algorithm 2's rules read. All
+/// order-sensitive queries (`Iπ(v)`-style "lower" sets) compare `(ℓ, id)`
+/// pairs, matching [`dmis_core::Priority`] exactly.
+#[derive(Debug, Clone)]
+pub struct Knowledge {
+    me: (u64, NodeId),
+    entries: BTreeMap<NodeId, Entry>,
+}
+
+impl Knowledge {
+    /// Creates knowledge for node `id` with random key `ell` and no known
+    /// neighbors.
+    #[must_use]
+    pub fn new(id: NodeId, ell: u64) -> Self {
+        Knowledge {
+            me: (ell, id),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me.1
+    }
+
+    /// This node's random key ℓ.
+    #[must_use]
+    pub fn ell(&self) -> u64 {
+        self.me.0
+    }
+
+    /// Registers a neighbor whose ℓ is not yet known (assumed committed `M̄`
+    /// until it announces otherwise — newcomers always start as `M̄`).
+    pub fn add_unknown(&mut self, peer: NodeId) {
+        self.entries.entry(peer).or_insert(Entry {
+            ell: None,
+            state: PeerState::Committed(MisState::Out),
+        });
+    }
+
+    /// Registers a fully known neighbor.
+    pub fn add_known(&mut self, peer: NodeId, ell: u64, state: PeerState) {
+        self.entries.insert(
+            peer,
+            Entry {
+                ell: Some(ell),
+                state,
+            },
+        );
+    }
+
+    /// Records a neighbor's announced ℓ and committed state (join
+    /// handshakes).
+    pub fn learn_info(&mut self, peer: NodeId, ell: u64, state: MisState) {
+        self.entries.insert(
+            peer,
+            Entry {
+                ell: Some(ell),
+                state: PeerState::Committed(state),
+            },
+        );
+    }
+
+    /// Records a neighbor's announced state change. Ignores unknown peers
+    /// (messages from non-logical neighbors, e.g. a gracefully removed edge
+    /// still relaying).
+    pub fn learn_state(&mut self, peer: NodeId, state: PeerState) {
+        if let Some(e) = self.entries.get_mut(&peer) {
+            e.state = state;
+        }
+    }
+
+    /// Forgets a neighbor, returning its last known state if any.
+    pub fn remove(&mut self, peer: NodeId) -> Option<PeerState> {
+        self.entries.remove(&peer).map(|e| e.state)
+    }
+
+    /// Returns `true` if `peer` is a known neighbor.
+    #[must_use]
+    pub fn contains(&self, peer: NodeId) -> bool {
+        self.entries.contains_key(&peer)
+    }
+
+    /// Returns the last known state of `peer`.
+    #[must_use]
+    pub fn state_of(&self, peer: NodeId) -> Option<PeerState> {
+        self.entries.get(&peer).map(|e| e.state)
+    }
+
+    /// Returns `true` once every neighbor's ℓ is known (joins completed).
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.entries.values().all(|e| e.ell.is_some())
+    }
+
+    /// Returns `true` if `peer`'s ℓ is known and `(ℓ_peer, peer)` orders
+    /// before `(ℓ_me, me)` — i.e. `peer ∈ Iπ(me)`.
+    #[must_use]
+    pub fn is_lower(&self, peer: NodeId) -> bool {
+        self.entries
+            .get(&peer)
+            .and_then(|e| e.ell)
+            .is_some_and(|ell| (ell, peer) < self.me)
+    }
+
+    /// Returns `true` if some lower-order neighbor is committed to `M`.
+    #[must_use]
+    pub fn lower_mis_neighbor_exists(&self) -> bool {
+        self.lower().any(|(_, e)| e.state.is_in_mis())
+    }
+
+    /// Returns `true` if no lower-order neighbor is committed to `M`
+    /// (counting `C`/`R` neighbors as "not in M", per Algorithm 2's rule for
+    /// `M̄` nodes).
+    #[must_use]
+    pub fn no_lower_in_mis(&self) -> bool {
+        !self.lower_mis_neighbor_exists()
+    }
+
+    /// Returns `true` if every lower-order neighbor is committed (`M`/`M̄`)
+    /// — the guard of Algorithm 2's `R → M/M̄` transition.
+    #[must_use]
+    pub fn all_lower_committed(&self) -> bool {
+        self.lower().all(|(_, e)| e.state.is_committed())
+    }
+
+    /// Returns `true` if some higher-order neighbor is in state `C` — the
+    /// blocker of Algorithm 2's `C → R` transition.
+    #[must_use]
+    pub fn higher_changing_exists(&self) -> bool {
+        self.entries.iter().any(|(&peer, e)| {
+            e.state == PeerState::Changing
+                && e.ell.is_some_and(|ell| (ell, peer) > self.me)
+        })
+    }
+
+    /// Iterates over `(peer, ℓ)` for all known-ℓ neighbors.
+    pub fn neighbor_ells(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries
+            .iter()
+            .filter_map(|(&peer, e)| e.ell.map(|ell| (peer, ell)))
+    }
+
+    /// Number of registered neighbors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no neighbors are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lower(&self) -> impl Iterator<Item = (NodeId, &Entry)> + '_ {
+        self.entries.iter().filter_map(|(&peer, e)| {
+            let ell = e.ell?;
+            ((ell, peer) < self.me).then_some((peer, e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k() -> Knowledge {
+        // me = (ℓ=50, n10)
+        Knowledge::new(NodeId(10), 50)
+    }
+
+    #[test]
+    fn ordering_queries() {
+        let mut kn = k();
+        kn.add_known(NodeId(1), 10, PeerState::Committed(MisState::In));
+        kn.add_known(NodeId(2), 90, PeerState::Committed(MisState::Out));
+        assert!(kn.is_lower(NodeId(1)));
+        assert!(!kn.is_lower(NodeId(2)));
+        assert!(kn.lower_mis_neighbor_exists());
+        assert!(!kn.no_lower_in_mis());
+        assert!(kn.all_lower_committed());
+        assert!(!kn.higher_changing_exists());
+    }
+
+    #[test]
+    fn tie_breaks_by_id() {
+        let mut kn = k();
+        kn.add_known(NodeId(3), 50, PeerState::Committed(MisState::In));
+        assert!(kn.is_lower(NodeId(3)), "equal ℓ, smaller id → lower");
+        kn.add_known(NodeId(11), 50, PeerState::Committed(MisState::In));
+        assert!(!kn.is_lower(NodeId(11)), "equal ℓ, larger id → higher");
+    }
+
+    #[test]
+    fn unknown_entries_are_neither_lower_nor_higher() {
+        let mut kn = k();
+        kn.add_unknown(NodeId(4));
+        assert!(!kn.is_lower(NodeId(4)));
+        assert!(!kn.complete());
+        assert!(kn.no_lower_in_mis());
+        kn.learn_info(NodeId(4), 5, MisState::In);
+        assert!(kn.complete());
+        assert!(kn.lower_mis_neighbor_exists());
+    }
+
+    #[test]
+    fn state_updates_and_guards() {
+        let mut kn = k();
+        kn.add_known(NodeId(1), 10, PeerState::Committed(MisState::In));
+        kn.add_known(NodeId(20), 80, PeerState::Committed(MisState::Out));
+        kn.learn_state(NodeId(1), PeerState::Changing);
+        assert!(!kn.all_lower_committed());
+        assert!(kn.no_lower_in_mis(), "a C neighbor is not in M");
+        kn.learn_state(NodeId(20), PeerState::Changing);
+        assert!(kn.higher_changing_exists());
+        kn.learn_state(NodeId(20), PeerState::Ready);
+        assert!(!kn.higher_changing_exists());
+        // Messages from strangers are ignored.
+        kn.learn_state(NodeId(77), PeerState::Changing);
+        assert!(kn.state_of(NodeId(77)).is_none());
+    }
+
+    #[test]
+    fn removal_returns_last_state() {
+        let mut kn = k();
+        kn.add_known(NodeId(1), 10, PeerState::Committed(MisState::In));
+        assert_eq!(
+            kn.remove(NodeId(1)),
+            Some(PeerState::Committed(MisState::In))
+        );
+        assert_eq!(kn.remove(NodeId(1)), None);
+        assert!(kn.is_empty());
+    }
+
+    #[test]
+    fn add_unknown_does_not_clobber() {
+        let mut kn = k();
+        kn.learn_info(NodeId(2), 7, MisState::In);
+        kn.add_unknown(NodeId(2));
+        assert!(kn.is_lower(NodeId(2)), "existing knowledge kept");
+        assert_eq!(kn.len(), 1);
+    }
+}

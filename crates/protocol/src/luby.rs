@@ -1,0 +1,277 @@
+//! Luby's classic randomized MIS algorithm [Luby 1986, Alon-Babai-Itai
+//! 1986] — the **static recompute baseline**.
+//!
+//! The standard way to handle dynamic topology before this paper was to
+//! rerun a static MIS algorithm after every change. Luby's algorithm
+//! finishes in `O(log n)` rounds with high probability, so the baseline
+//! pays `Θ(log n)` rounds and `Θ(n)` broadcasts *per change*, and its
+//! output is freshly randomized each time (so a single change can adjust
+//! `Θ(n)` outputs). Experiment E10 contrasts this with the paper's
+//! constant-cost recovery.
+//!
+//! Synchronous schedule per phase (2 rounds):
+//! 1. every active node broadcasts a fresh random value (`O(log n)` bits);
+//! 2. local minima join the MIS and broadcast victory (1 bit); winners and
+//!    their neighbors deactivate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_graph::{DynGraph, GraphError, NodeId, TopologyChange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost and result of one from-scratch Luby run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LubyOutcome {
+    /// The computed maximal independent set.
+    pub mis: BTreeSet<NodeId>,
+    /// Synchronous rounds used (2 per phase).
+    pub rounds: usize,
+    /// Broadcast messages sent.
+    pub broadcasts: usize,
+    /// Total payload bits.
+    pub bits: usize,
+}
+
+/// Runs Luby's algorithm once on `g`.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::generators;
+/// use dmis_protocol::luby;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let (g, _) = generators::cycle(10);
+/// let outcome = luby::run(&g, &mut StdRng::seed_from_u64(1));
+/// assert!(dmis_core::invariant::is_maximal_independent_set(&g, &outcome.mis));
+/// ```
+#[must_use]
+pub fn run<R: Rng + ?Sized>(g: &DynGraph, rng: &mut R) -> LubyOutcome {
+    let mut active: BTreeSet<NodeId> = g.nodes().collect();
+    let mut mis = BTreeSet::new();
+    let mut rounds = 0usize;
+    let mut broadcasts = 0usize;
+    let mut bits = 0usize;
+    while !active.is_empty() {
+        // Round 1: active nodes broadcast random values.
+        let values: BTreeMap<NodeId, (u64, NodeId)> = active
+            .iter()
+            .map(|&v| (v, (rng.random::<u64>(), v)))
+            .collect();
+        broadcasts += active.len();
+        bits += active.len() * 64;
+        // Round 2: local minima announce victory.
+        let winners: BTreeSet<NodeId> = active
+            .iter()
+            .copied()
+            .filter(|&v| {
+                g.neighbors(v)
+                    .expect("active nodes are live")
+                    .filter(|u| active.contains(u))
+                    .all(|u| values[&v] < values[&u])
+            })
+            .collect();
+        broadcasts += winners.len();
+        bits += winners.len();
+        rounds += 2;
+        for &w in &winners {
+            mis.insert(w);
+            active.remove(&w);
+            for u in g.neighbors(w).expect("winners are live") {
+                active.remove(&u);
+            }
+        }
+    }
+    LubyOutcome {
+        mis,
+        rounds,
+        broadcasts,
+        bits,
+    }
+}
+
+/// Metrics of one baseline recovery (a full Luby rerun).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LubyChangeOutcome {
+    /// Rounds spent recomputing.
+    pub rounds: usize,
+    /// Broadcasts spent recomputing.
+    pub broadcasts: usize,
+    /// Payload bits spent recomputing.
+    pub bits: usize,
+    /// Nodes whose output differs from before the change.
+    pub adjusted: BTreeSet<NodeId>,
+}
+
+impl LubyChangeOutcome {
+    /// The adjustment complexity of this change.
+    #[must_use]
+    pub fn adjustments(&self) -> usize {
+        self.adjusted.len()
+    }
+}
+
+/// The static-recompute dynamic MIS baseline: rerun Luby after every
+/// topology change.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{generators, TopologyChange};
+/// use dmis_protocol::luby::DynamicLuby;
+///
+/// let (g, ids) = generators::cycle(8);
+/// let mut baseline = DynamicLuby::new(g, 7);
+/// let outcome = baseline.apply(&TopologyChange::DeleteEdge(ids[0], ids[1]))?;
+/// assert!(outcome.rounds >= 2);
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicLuby {
+    graph: DynGraph,
+    mis: BTreeSet<NodeId>,
+    rng: StdRng,
+}
+
+impl DynamicLuby {
+    /// Creates the baseline over `graph`, computing the initial MIS.
+    #[must_use]
+    pub fn new(graph: DynGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = run(&graph, &mut rng);
+        DynamicLuby {
+            graph,
+            mis: outcome.mis,
+            rng,
+        }
+    }
+
+    /// The current graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The current MIS.
+    #[must_use]
+    pub fn mis(&self) -> &BTreeSet<NodeId> {
+        &self.mis
+    }
+
+    /// Applies a change and recomputes from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if the change is invalid.
+    pub fn apply(&mut self, change: &TopologyChange) -> Result<LubyChangeOutcome, GraphError> {
+        let before = self.mis.clone();
+        change.apply(&mut self.graph)?;
+        let outcome = run(&self.graph, &mut self.rng);
+        self.mis = outcome.mis;
+        let adjusted: BTreeSet<NodeId> = before
+            .symmetric_difference(&self.mis)
+            .copied()
+            .filter(|v| self.graph.has_node(*v))
+            .collect();
+        Ok(LubyChangeOutcome {
+            rounds: outcome.rounds,
+            broadcasts: outcome.broadcasts,
+            bits: outcome.bits,
+            adjusted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_core::invariant;
+    use dmis_graph::generators;
+    use dmis_graph::stream::{self, ChurnConfig};
+
+    #[test]
+    fn luby_produces_mis_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 2, 10, 50] {
+            let (g, _) = generators::erdos_renyi(n, 0.2, &mut rng);
+            let outcome = run(&g, &mut rng);
+            assert!(invariant::is_maximal_independent_set(&g, &outcome.mis));
+        }
+    }
+
+    #[test]
+    fn luby_on_empty_graph() {
+        let g = DynGraph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = run(&g, &mut rng);
+        assert!(outcome.mis.is_empty());
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(outcome.broadcasts, 0);
+    }
+
+    #[test]
+    fn luby_isolated_nodes_join_immediately() {
+        let (g, _) = DynGraph::with_nodes(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let outcome = run(&g, &mut rng);
+        assert_eq!(outcome.mis.len(), 5);
+        assert_eq!(outcome.rounds, 2, "one phase suffices");
+    }
+
+    #[test]
+    fn luby_rounds_grow_slowly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = generators::erdos_renyi(200, 0.05, &mut rng);
+        let outcome = run(&g, &mut rng);
+        assert!(
+            outcome.rounds <= 2 * 20,
+            "O(log n) phases expected, got {} rounds",
+            outcome.rounds
+        );
+        assert!(outcome.broadcasts >= 200, "everyone speaks at least once");
+    }
+
+    #[test]
+    fn dynamic_luby_stays_correct_under_churn() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, _) = generators::erdos_renyi(15, 0.25, &mut rng);
+        let mut baseline = DynamicLuby::new(g, 3);
+        for _ in 0..60 {
+            let Some(change) =
+                stream::random_change(baseline.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            baseline.apply(&change).unwrap();
+            assert!(invariant::is_maximal_independent_set(
+                baseline.graph(),
+                baseline.mis()
+            ));
+        }
+    }
+
+    #[test]
+    fn dynamic_luby_adjustments_can_be_large() {
+        // Fresh randomness per run means even a no-impact change can reshuffle
+        // the whole output — the paper's motivation for *not* recomputing.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = generators::erdos_renyi(60, 0.1, &mut rng);
+        let mut baseline = DynamicLuby::new(g, 8);
+        let mut max_adjust = 0usize;
+        for _ in 0..20 {
+            let Some(change) =
+                stream::random_change(baseline.graph(), &ChurnConfig::edges_only(), &mut rng)
+            else {
+                continue;
+            };
+            let outcome = baseline.apply(&change).unwrap();
+            max_adjust = max_adjust.max(outcome.adjustments());
+        }
+        assert!(
+            max_adjust > 3,
+            "recompute baseline should reshuffle many outputs, saw ≤ {max_adjust}"
+        );
+    }
+}

@@ -1,0 +1,492 @@
+use std::collections::VecDeque;
+
+use dmis_core::MisState;
+use dmis_graph::NodeId;
+use dmis_sim::{
+    AsyncAutomaton, Automaton, LocalEvent, MessageBits, NeighborInfo, Protocol,
+};
+
+use crate::{Knowledge, PeerState};
+
+/// Messages of the direct template protocol: join handshakes plus plain
+/// output announcements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdMsg {
+    /// Join handshake (same shape as Algorithm 2's).
+    Info {
+        /// Sender's random key ℓ.
+        ell: u64,
+        /// Sender's current output.
+        state: MisState,
+        /// Whether the hearer should introduce itself.
+        needs_reply: bool,
+    },
+    /// "My output is now `…`."
+    State(MisState),
+}
+
+impl MessageBits for TdMsg {
+    fn bits(&self) -> usize {
+        match self {
+            TdMsg::Info { .. } => 68,
+            TdMsg::State(_) => 2,
+        }
+    }
+}
+
+/// A node running the **direct distributed implementation** of the template
+/// (Corollary 6): whenever a node observes that its MIS invariant is
+/// violated — it is in `M̄` with no lower-order `M` neighbor, or in `M` with
+/// one — it flips its output immediately and broadcasts the new value.
+///
+/// This achieves the paper's optimal **1 adjustment and 1 round in
+/// expectation** (the influenced set has expected size 1 and each level of
+/// the cascade takes one round), but a node may flip several times (the
+/// `u₂` example), so the *broadcast* complexity is not constant — that is
+/// precisely the gap Algorithm 2 ([`crate::ConstantBroadcast`]) closes, and
+/// experiment E11 measures.
+///
+/// The same struct implements the asynchronous automaton: correctness under
+/// arbitrary message delays follows by induction over π (the minimal
+/// affected node's decision is final; each node re-evaluates as lower-order
+/// information arrives).
+#[derive(Debug, Clone)]
+pub struct TdNode {
+    know: Knowledge,
+    output: MisState,
+    retiring: bool,
+    outq: VecDeque<TdMsg>,
+    eval_pending: bool,
+}
+
+impl TdNode {
+    fn new(id: NodeId, ell: u64) -> Self {
+        TdNode {
+            know: Knowledge::new(id, ell),
+            output: MisState::Out,
+            retiring: false,
+            outq: VecDeque::new(),
+            eval_pending: false,
+        }
+    }
+
+    /// The node's knowledge of its neighborhood (inspection/tests).
+    #[must_use]
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.know
+    }
+
+    /// Re-evaluates the invariant against current knowledge and flips the
+    /// output if violated.
+    fn evaluate(&mut self) {
+        if !self.know.complete() {
+            return; // wait for handshakes
+        }
+        let desired = if self.retiring {
+            MisState::Out
+        } else {
+            MisState::from_membership(self.know.no_lower_in_mis())
+        };
+        if desired != self.output {
+            self.output = desired;
+            self.outq.push_back(TdMsg::State(desired));
+        }
+    }
+
+    fn handle_event(&mut self, event: LocalEvent) {
+        match event {
+            LocalEvent::EdgeAdded { peer } => {
+                self.know.add_unknown(peer);
+                self.outq.push_back(TdMsg::Info {
+                    ell: self.know.ell(),
+                    state: self.output,
+                    needs_reply: false,
+                });
+                self.eval_pending = true;
+            }
+            LocalEvent::EdgeRemoved { peer, .. }
+            | LocalEvent::NeighborDepartedAbrupt { peer }
+            | LocalEvent::NeighborRetired { peer } => {
+                self.know.remove(peer);
+                self.eval_pending = true;
+            }
+            LocalEvent::NeighborJoined { peer } => {
+                self.know.add_unknown(peer);
+            }
+            LocalEvent::SelfJoined { neighbors } => {
+                for peer in neighbors {
+                    self.know.add_unknown(peer);
+                }
+                self.output = MisState::Out;
+                self.outq.push_back(TdMsg::Info {
+                    ell: self.know.ell(),
+                    state: MisState::Out,
+                    needs_reply: true,
+                });
+                self.eval_pending = true;
+            }
+            LocalEvent::SelfUnmuted { neighbors } => {
+                for NeighborInfo { id, ell, state } in neighbors {
+                    self.know.add_known(id, ell, PeerState::Committed(state));
+                }
+                self.output = MisState::Out;
+                self.outq.push_back(TdMsg::Info {
+                    ell: self.know.ell(),
+                    state: MisState::Out,
+                    needs_reply: false,
+                });
+                self.eval_pending = true;
+            }
+            LocalEvent::SelfRetiring => {
+                self.retiring = true;
+                self.eval_pending = true;
+            }
+        }
+    }
+
+    fn handle_message(&mut self, from: NodeId, msg: &TdMsg) {
+        match msg {
+            TdMsg::Info {
+                ell,
+                state,
+                needs_reply,
+            } => {
+                if !self.know.contains(from) {
+                    return;
+                }
+                self.know.learn_info(from, *ell, *state);
+                if *needs_reply {
+                    self.outq.push_back(TdMsg::Info {
+                        ell: self.know.ell(),
+                        state: self.output,
+                        needs_reply: false,
+                    });
+                }
+                self.eval_pending = true;
+            }
+            TdMsg::State(s) => {
+                self.know.learn_state(from, PeerState::Committed(*s));
+                self.eval_pending = true;
+            }
+        }
+    }
+}
+
+impl Automaton for TdNode {
+    type Msg = TdMsg;
+
+    fn on_event(&mut self, event: LocalEvent) {
+        self.handle_event(event);
+    }
+
+    fn step(&mut self, inbox: &[(NodeId, TdMsg)]) -> Option<TdMsg> {
+        for (from, msg) in inbox {
+            self.handle_message(*from, msg);
+        }
+        if self.eval_pending {
+            self.eval_pending = false;
+            self.evaluate();
+        }
+        self.outq.pop_front()
+    }
+
+    fn output(&self) -> MisState {
+        self.output
+    }
+
+    fn is_quiet(&self) -> bool {
+        self.outq.is_empty() && !self.eval_pending
+    }
+}
+
+impl AsyncAutomaton for TdNode {
+    type Msg = TdMsg;
+
+    fn on_message(&mut self, from: NodeId, msg: &TdMsg) -> Vec<TdMsg> {
+        self.handle_message(from, msg);
+        if self.eval_pending {
+            self.eval_pending = false;
+            self.evaluate();
+        }
+        self.outq.drain(..).collect()
+    }
+
+    fn on_event(&mut self, event: LocalEvent) -> Vec<TdMsg> {
+        self.handle_event(event);
+        if self.eval_pending {
+            self.eval_pending = false;
+            self.evaluate();
+        }
+        self.outq.drain(..).collect()
+    }
+
+    fn output(&self) -> MisState {
+        self.output
+    }
+}
+
+/// Protocol factory for [`TdNode`].
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{generators, DistributedChange};
+/// use dmis_protocol::TemplateDirect;
+/// use dmis_sim::SyncNetwork;
+///
+/// let (g, ids) = generators::path(6);
+/// let mut net = SyncNetwork::bootstrap(TemplateDirect, g, 3);
+/// let outcome = net
+///     .apply_change(&DistributedChange::AbruptDeleteEdge(ids[2], ids[3]))
+///     .unwrap();
+/// net.assert_greedy_invariant();
+/// # let _ = outcome;
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemplateDirect;
+
+impl TemplateDirect {
+    /// Spawns an asynchronous node in a stable state (for
+    /// [`dmis_sim::AsyncNetwork`] harnesses).
+    #[must_use]
+    pub fn spawn_stable_async(
+        &self,
+        id: NodeId,
+        ell: u64,
+        state: MisState,
+        neighbors: &[NeighborInfo],
+    ) -> TdNode {
+        <Self as Protocol>::spawn_stable(self, id, ell, state, neighbors)
+    }
+}
+
+impl Protocol for TemplateDirect {
+    type Node = TdNode;
+
+    fn spawn(&self, id: NodeId, ell: u64) -> TdNode {
+        TdNode::new(id, ell)
+    }
+
+    fn spawn_stable(
+        &self,
+        id: NodeId,
+        ell: u64,
+        state: MisState,
+        neighbors: &[NeighborInfo],
+    ) -> TdNode {
+        let mut node = TdNode::new(id, ell);
+        node.output = state;
+        for info in neighbors {
+            node.know
+                .add_known(info.id, info.ell, PeerState::Committed(info.state));
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_core::PriorityMap;
+    use dmis_graph::stream::{self, ChurnConfig};
+    use dmis_graph::{generators, DistributedChange, DynGraph};
+    use dmis_sim::{AsyncNetwork, RandomDelays, SyncNetwork, UnitDelays};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn net_on(g: DynGraph, order: &[NodeId], seed: u64) -> SyncNetwork<TemplateDirect> {
+        let pm = PriorityMap::from_order(order);
+        SyncNetwork::bootstrap_with_priorities(TemplateDirect, g, pm, seed)
+    }
+
+    #[test]
+    fn single_flip_takes_one_round() {
+        let (g, ids) = generators::path(2);
+        let mut net = net_on(g, &ids, 0);
+        let outcome = net
+            .apply_change(&DistributedChange::AbruptDeleteEdge(ids[0], ids[1]))
+            .unwrap();
+        net.assert_greedy_invariant();
+        assert_eq!(outcome.adjustments(), 1);
+        assert_eq!(outcome.metrics.rounds, 1, "a single round suffices");
+        assert_eq!(outcome.metrics.broadcasts, 1);
+    }
+
+    #[test]
+    fn u2_gadget_double_flip_is_visible_in_broadcasts() {
+        let (g, pm, [v_star, _, _, _, _, anchor]) = dmis_core::template::u2_gadget();
+        let order = pm.nodes_by_priority();
+        let mut net = net_on(g, &order, 0);
+        let outcome = net
+            .apply_change(&DistributedChange::InsertEdge(anchor, v_star))
+            .unwrap();
+        net.assert_greedy_invariant();
+        // 2 Info + 6 state changes (v*, u1, u2, w1, w2, and u2 again).
+        assert_eq!(outcome.metrics.broadcasts, 8);
+        // u₂'s net adjustment is zero: only 4 outputs differ in the end.
+        assert_eq!(outcome.adjustments(), 4);
+    }
+
+    #[test]
+    fn random_churn_maintains_invariant() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
+        let mut net = SyncNetwork::bootstrap(TemplateDirect, g, 2);
+        for _ in 0..100 {
+            let Some(change) =
+                stream::random_change(&net.logical_graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            let change = stream::randomize_distributed(&change, &mut rng);
+            net.apply_change(&change).unwrap();
+            net.assert_greedy_invariant();
+        }
+    }
+
+    fn async_net_on(
+        g: &DynGraph,
+        pm: &PriorityMap,
+        delays_seed: u64,
+    ) -> AsyncNetwork<TdNode, RandomDelays> {
+        let mis = dmis_core::static_greedy::greedy_mis(g, pm);
+        let proto = TemplateDirect;
+        let nodes: BTreeMap<NodeId, TdNode> = g
+            .nodes()
+            .map(|v| {
+                let info: Vec<NeighborInfo> = g
+                    .neighbors(v)
+                    .unwrap()
+                    .map(|u| NeighborInfo {
+                        id: u,
+                        ell: pm.of(u).key(),
+                        state: MisState::from_membership(mis.contains(&u)),
+                    })
+                    .collect();
+                let node = proto.spawn_stable_async(
+                    v,
+                    pm.of(v).key(),
+                    MisState::from_membership(mis.contains(&v)),
+                    &info,
+                );
+                (v, node)
+            })
+            .collect();
+        AsyncNetwork::new(g.clone(), nodes, RandomDelays::new(delays_seed, 7))
+    }
+
+    #[test]
+    fn async_edge_deletion_stabilizes_under_random_delays() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = generators::erdos_renyi(12, 0.3, &mut rng);
+            let mut pm = PriorityMap::new();
+            for v in g.nodes() {
+                pm.assign(v, &mut rng);
+            }
+            let Some((u, v)) = generators::random_edge(&g, &mut rng) else {
+                continue;
+            };
+            let mut net = async_net_on(&g, &pm, seed);
+            // Apply the change: drop the edge, notify both endpoints.
+            net.graph_mut().remove_edge(u, v).unwrap();
+            net.inject_event(
+                u,
+                dmis_sim::LocalEvent::EdgeRemoved {
+                    peer: v,
+                    graceful: false,
+                },
+            );
+            net.inject_event(
+                v,
+                dmis_sim::LocalEvent::EdgeRemoved {
+                    peer: u,
+                    graceful: false,
+                },
+            );
+            net.run();
+            let mut g_new = g.clone();
+            g_new.remove_edge(u, v).unwrap();
+            let expect = dmis_core::static_greedy::greedy_mis(&g_new, &pm);
+            assert_eq!(net.mis(), expect, "async output = greedy MIS");
+        }
+    }
+
+    #[test]
+    fn async_causal_depth_tracks_cascade_length() {
+        // Path with increasing priorities: deleting the first edge cascades
+        // down the whole path; the causal chain is Θ(n).
+        let (g, ids) = generators::path(8);
+        let pm = PriorityMap::from_order(&ids);
+        let mis = dmis_core::static_greedy::greedy_mis(&g, &pm);
+        assert!(mis.contains(&ids[0]));
+        let proto = TemplateDirect;
+        let nodes: BTreeMap<NodeId, TdNode> = g
+            .nodes()
+            .map(|v| {
+                let info: Vec<NeighborInfo> = g
+                    .neighbors(v)
+                    .unwrap()
+                    .map(|u| NeighborInfo {
+                        id: u,
+                        ell: pm.of(u).key(),
+                        state: MisState::from_membership(mis.contains(&u)),
+                    })
+                    .collect();
+                (
+                    v,
+                    proto.spawn_stable_async(
+                        v,
+                        pm.of(v).key(),
+                        MisState::from_membership(mis.contains(&v)),
+                        &info,
+                    ),
+                )
+            })
+            .collect();
+        let mut net = AsyncNetwork::new(g.clone(), nodes, UnitDelays);
+        net.graph_mut().remove_edge(ids[0], ids[1]).unwrap();
+        net.inject_event(
+            ids[0],
+            dmis_sim::LocalEvent::EdgeRemoved {
+                peer: ids[1],
+                graceful: false,
+            },
+        );
+        net.inject_event(
+            ids[1],
+            dmis_sim::LocalEvent::EdgeRemoved {
+                peer: ids[0],
+                graceful: false,
+            },
+        );
+        let outcome = net.run();
+        assert!(outcome.causal_depth >= 6, "cascade spans the path");
+        let mut g_new = g;
+        g_new.remove_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(
+            net.mis(),
+            dmis_core::static_greedy::greedy_mis(&g_new, &pm)
+        );
+    }
+
+    #[test]
+    fn node_churn_through_sync_network() {
+        let (g, ids) = generators::cycle(6);
+        let mut net = net_on(g, &ids, 0);
+        let fresh = net.graph().peek_next_id();
+        net.apply_change(&DistributedChange::InsertNode {
+            id: fresh,
+            edges: vec![ids[0], ids[3]],
+        })
+        .unwrap();
+        net.assert_greedy_invariant();
+        net.apply_change(&DistributedChange::GracefulDeleteNode(ids[0]))
+            .unwrap();
+        net.assert_greedy_invariant();
+        net.apply_change(&DistributedChange::AbruptDeleteNode(ids[3]))
+            .unwrap();
+        net.assert_greedy_invariant();
+    }
+}

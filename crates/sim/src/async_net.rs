@@ -1,0 +1,432 @@
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dmis_core::MisState;
+use dmis_graph::{DynGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{LocalEvent, MessageBits, Metrics};
+
+/// A node automaton in the **asynchronous** broadcast model.
+///
+/// There are no rounds: a node reacts to each delivered message (or local
+/// event) by updating its state and possibly broadcasting. The paper defines
+/// the asynchronous round complexity as "the longest path of communication",
+/// which the engine tracks as the maximum causal depth over all delivered
+/// messages.
+pub trait AsyncAutomaton {
+    /// The protocol's message type.
+    type Msg: Clone + fmt::Debug + MessageBits;
+
+    /// Handles one delivered message; every returned message is broadcast.
+    fn on_message(&mut self, from: NodeId, msg: &Self::Msg) -> Vec<Self::Msg>;
+
+    /// Handles a local topology notification; every returned message is
+    /// broadcast.
+    fn on_event(&mut self, event: LocalEvent) -> Vec<Self::Msg>;
+
+    /// Current output.
+    fn output(&self) -> MisState;
+}
+
+/// Chooses per-message link delays — the adversary of the asynchronous
+/// model.
+pub trait DelaySchedule {
+    /// Delay (≥ 1 time unit) for a message sent from `from` to `to` at time
+    /// `now`.
+    fn delay(&mut self, from: NodeId, to: NodeId, now: u64) -> u64;
+}
+
+/// All messages take exactly one time unit (the synchronous special case).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitDelays;
+
+impl DelaySchedule for UnitDelays {
+    fn delay(&mut self, _from: NodeId, _to: NodeId, _now: u64) -> u64 {
+        1
+    }
+}
+
+/// Uniformly random delays in `1..=max` — an oblivious asynchronous
+/// adversary that reorders messages heavily.
+#[derive(Debug, Clone)]
+pub struct RandomDelays {
+    rng: StdRng,
+    max: u64,
+}
+
+impl RandomDelays {
+    /// Creates a schedule drawing delays from `1..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    #[must_use]
+    pub fn new(seed: u64, max: u64) -> Self {
+        assert!(max >= 1, "delays must be at least 1");
+        RandomDelays {
+            rng: StdRng::seed_from_u64(seed),
+            max,
+        }
+    }
+}
+
+impl DelaySchedule for RandomDelays {
+    fn delay(&mut self, _from: NodeId, _to: NodeId, _now: u64) -> u64 {
+        self.rng.random_range(1..=self.max)
+    }
+}
+
+/// Outcome of draining an asynchronous execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AsyncOutcome {
+    /// Broadcast invocations (each heard by all neighbors).
+    pub broadcasts: usize,
+    /// Point-to-point deliveries (≤ broadcasts × max degree).
+    pub deliveries: usize,
+    /// Total payload bits over all broadcasts.
+    pub bits: usize,
+    /// Longest causal chain of messages — the paper's asynchronous round
+    /// complexity.
+    pub causal_depth: usize,
+    /// Virtual time at which the last message was delivered.
+    pub finish_time: u64,
+}
+
+impl AsyncOutcome {
+    /// Projects onto the common [`Metrics`] shape (rounds := causal depth).
+    #[must_use]
+    pub fn as_metrics(&self) -> Metrics {
+        Metrics {
+            rounds: self.causal_depth,
+            broadcasts: self.broadcasts,
+            bits: self.bits,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InFlight<M> {
+    deliver_at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    depth: usize,
+    msg: M,
+}
+
+// Order by delivery time then sequence number (FIFO per timestamp).
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// The asynchronous broadcast network: an event-driven engine delivering
+/// messages under a [`DelaySchedule`], tracking causal depth.
+///
+/// Unlike [`crate::SyncNetwork`], this engine does not manage topology
+/// changes end to end; the harness mutates the graph, injects the
+/// corresponding [`LocalEvent`]s, and drains the queue. This mirrors the
+/// paper's use of the asynchronous model (Corollary 6 only needs the direct
+/// template there).
+pub struct AsyncNetwork<A: AsyncAutomaton, D: DelaySchedule> {
+    graph: DynGraph,
+    nodes: BTreeMap<NodeId, A>,
+    schedule: D,
+    queue: BinaryHeap<Reverse<InFlight<A::Msg>>>,
+    seq: u64,
+    outcome: AsyncOutcome,
+}
+
+impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
+    /// Creates a network over `graph` with pre-constructed node automata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` does not cover exactly the nodes of `graph`.
+    #[must_use]
+    pub fn new(graph: DynGraph, nodes: BTreeMap<NodeId, A>, schedule: D) -> Self {
+        assert_eq!(
+            nodes.keys().copied().collect::<Vec<_>>(),
+            graph.nodes().collect::<Vec<_>>(),
+            "automata must cover exactly the graph's nodes"
+        );
+        AsyncNetwork {
+            graph,
+            nodes,
+            schedule,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            outcome: AsyncOutcome::default(),
+        }
+    }
+
+    /// Mutable access to the graph for harness-driven topology changes.
+    /// Callers must keep `nodes` consistent via
+    /// [`AsyncNetwork::remove_node`] / [`AsyncNetwork::add_node`].
+    pub fn graph_mut(&mut self) -> &mut DynGraph {
+        &mut self.graph
+    }
+
+    /// The communication graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Adds an automaton for a node the harness just inserted into the
+    /// graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not in the graph or already has an automaton.
+    pub fn add_node(&mut self, v: NodeId, automaton: A) {
+        assert!(self.graph.has_node(v), "insert into the graph first");
+        let prev = self.nodes.insert(v, automaton);
+        assert!(prev.is_none(), "node {v} already has an automaton");
+    }
+
+    /// Removes a node's automaton (after removing it from the graph); any
+    /// queued messages to or from it are dropped on delivery.
+    pub fn remove_node(&mut self, v: NodeId) -> Option<A> {
+        self.nodes.remove(&v)
+    }
+
+    /// Delivers a local event to `v` at time `now = finish_time`, seeding
+    /// causal depth 1 for any resulting broadcasts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has no automaton.
+    pub fn inject_event(&mut self, v: NodeId, event: LocalEvent) {
+        let now = self.outcome.finish_time;
+        let msgs = self
+            .nodes
+            .get_mut(&v)
+            .expect("event target exists")
+            .on_event(event);
+        for msg in msgs {
+            self.broadcast(v, msg, 0, now);
+        }
+    }
+
+    fn broadcast(&mut self, from: NodeId, msg: A::Msg, depth: usize, now: u64) {
+        self.outcome.broadcasts += 1;
+        self.outcome.bits += msg.bits();
+        let neighbors: Vec<NodeId> = match self.graph.neighbors(from) {
+            Some(it) => it.collect(),
+            None => return,
+        };
+        for to in neighbors {
+            let delay = self.schedule.delay(from, to, now);
+            debug_assert!(delay >= 1);
+            self.seq += 1;
+            self.queue.push(Reverse(InFlight {
+                deliver_at: now + delay,
+                seq: self.seq,
+                from,
+                to,
+                depth: depth + 1,
+                msg: msg.clone(),
+            }));
+        }
+    }
+
+    /// Drains the message queue to quiescence, returning the accumulated
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `10⁷` deliveries occur (a livelocked protocol).
+    pub fn run(&mut self) -> AsyncOutcome {
+        let mut processed = 0usize;
+        while let Some(Reverse(inflight)) = self.queue.pop() {
+            processed += 1;
+            assert!(processed <= 10_000_000, "asynchronous protocol livelocked");
+            let InFlight {
+                deliver_at,
+                from,
+                to,
+                depth,
+                msg,
+                ..
+            } = inflight;
+            self.outcome.finish_time = self.outcome.finish_time.max(deliver_at);
+            // Messages to departed nodes (or over removed edges) are lost.
+            if !self.graph.has_edge(from, to) {
+                continue;
+            }
+            let Some(node) = self.nodes.get_mut(&to) else {
+                continue;
+            };
+            self.outcome.deliveries += 1;
+            self.outcome.causal_depth = self.outcome.causal_depth.max(depth);
+            let replies = node.on_message(from, &msg);
+            for reply in replies {
+                self.broadcast(to, reply, depth, deliver_at);
+            }
+        }
+        self.outcome
+    }
+
+    /// Outputs of all nodes.
+    #[must_use]
+    pub fn outputs(&self) -> BTreeMap<NodeId, MisState> {
+        self.nodes.iter().map(|(&v, n)| (v, n.output())).collect()
+    }
+
+    /// The current MIS according to node outputs.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.nodes
+            .iter()
+            .filter_map(|(&v, n)| n.output().is_in().then_some(v))
+            .collect()
+    }
+
+    /// The outcome accumulated so far.
+    #[must_use]
+    pub fn outcome(&self) -> AsyncOutcome {
+        self.outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    /// Relays the first message it ever hears (classic flood): lets tests
+    /// verify causal-depth accounting equals graph eccentricity.
+    #[derive(Debug)]
+    struct Flood {
+        relayed: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Token;
+
+    impl MessageBits for Token {
+        fn bits(&self) -> usize {
+            1
+        }
+    }
+
+    impl AsyncAutomaton for Flood {
+        type Msg = Token;
+
+        fn on_message(&mut self, _from: NodeId, _msg: &Token) -> Vec<Token> {
+            if self.relayed {
+                vec![]
+            } else {
+                self.relayed = true;
+                vec![Token]
+            }
+        }
+
+        fn on_event(&mut self, _event: LocalEvent) -> Vec<Token> {
+            self.relayed = true;
+            vec![Token]
+        }
+
+        fn output(&self) -> MisState {
+            MisState::Out
+        }
+    }
+
+    fn flood_net(
+        g: DynGraph,
+        schedule: impl DelaySchedule,
+    ) -> AsyncNetwork<Flood, impl DelaySchedule> {
+        let nodes: BTreeMap<NodeId, Flood> = g
+            .nodes()
+            .map(|v| (v, Flood { relayed: false }))
+            .collect();
+        AsyncNetwork::new(g, nodes, schedule)
+    }
+
+    #[test]
+    fn flood_depth_equals_eccentricity_under_unit_delays() {
+        let (g, ids) = generators::path(6);
+        let mut net = flood_net(g, UnitDelays);
+        net.inject_event(ids[0], LocalEvent::SelfRetiring);
+        let outcome = net.run();
+        // Longest causal chain: ids[0] → ids[1] → … → ids[5], plus the end
+        // node's own relay travelling one hop back = 6 deliveries deep.
+        assert_eq!(outcome.causal_depth, 6);
+        assert_eq!(outcome.broadcasts, 6, "each node relays once");
+    }
+
+    #[test]
+    fn causal_depth_is_delay_independent() {
+        for seed in 0..5 {
+            let (g, ids) = generators::cycle(8);
+            let mut net = flood_net(g, RandomDelays::new(seed, 10));
+            net.inject_event(ids[0], LocalEvent::SelfRetiring);
+            let outcome = net.run();
+            // On a cycle of 8 the flood reaches the antipode in 4 hops, but
+            // depths up to 8 can occur when a slow short path loses to a
+            // long fast path; the depth is still bounded by n.
+            assert!(outcome.causal_depth >= 4);
+            assert!(outcome.causal_depth <= 8);
+            assert_eq!(outcome.broadcasts, 8);
+        }
+    }
+
+    #[test]
+    fn deliveries_and_bits_are_counted() {
+        let (g, ids) = generators::complete(4);
+        let mut net = flood_net(g, UnitDelays);
+        net.inject_event(ids[0], LocalEvent::SelfRetiring);
+        let outcome = net.run();
+        assert_eq!(outcome.broadcasts, 4);
+        assert_eq!(outcome.bits, 4);
+        assert_eq!(outcome.deliveries, 12, "each broadcast hits 3 neighbors");
+        let metrics = outcome.as_metrics();
+        assert_eq!(metrics.broadcasts, 4);
+    }
+
+    #[test]
+    fn messages_over_removed_edges_are_lost() {
+        let (g, ids) = generators::path(2);
+        let mut net = flood_net(g, UnitDelays);
+        net.inject_event(ids[0], LocalEvent::SelfRetiring);
+        // Cut the edge before the message is delivered.
+        net.graph_mut().remove_edge(ids[0], ids[1]).unwrap();
+        let outcome = net.run();
+        assert_eq!(outcome.deliveries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover exactly")]
+    fn node_map_must_match_graph() {
+        let (g, _) = generators::path(3);
+        let _ = AsyncNetwork::new(g, BTreeMap::<NodeId, Flood>::new(), UnitDelays);
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let (g, ids) = generators::path(2);
+        let mut net = flood_net(g, UnitDelays);
+        let v = net.graph_mut().add_node();
+        net.graph_mut().insert_edge(v, ids[0]).unwrap();
+        net.add_node(v, Flood { relayed: false });
+        assert!(net.remove_node(v).is_some());
+        assert!(net.remove_node(v).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+use dmis_core::MisState;
+use dmis_graph::NodeId;
+
+/// What a node learns about a neighbor "for free" when it is unmuted.
+///
+/// An unmuted node "was previously invisible to its neighbors but heard
+/// their communication" (Section 2), so it rejoins already knowing each
+/// neighbor's random ID ℓ and current output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborInfo {
+    /// The neighbor's identifier.
+    pub id: NodeId,
+    /// The neighbor's random key (the paper's ℓ value).
+    pub ell: u64,
+    /// The neighbor's current output state.
+    pub state: MisState,
+}
+
+/// A topology-change notification delivered locally to one node.
+///
+/// Events carry only the knowledge the paper's model grants for free;
+/// anything else (ℓ values, states of new neighbors) must be learned through
+/// broadcast messages, which is precisely what the §4.1 insertion handshakes
+/// pay their `O(d(v*))` broadcasts for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalEvent {
+    /// An incident edge appeared; the node learns the peer's identifier
+    /// only.
+    EdgeAdded {
+        /// The new neighbor.
+        peer: NodeId,
+    },
+    /// An incident edge disappeared. Graceful or abrupt makes no difference
+    /// to the MIS protocol for edges (Lemma 9 treats both identically) but
+    /// is reported faithfully.
+    EdgeRemoved {
+        /// The former neighbor.
+        peer: NodeId,
+        /// Whether the edge could still relay messages (graceful).
+        graceful: bool,
+    },
+    /// A new (or unmuted) node appeared as a neighbor; only its identifier
+    /// is known — its ℓ arrives by broadcast.
+    NeighborJoined {
+        /// The new neighbor.
+        peer: NodeId,
+    },
+    /// A neighbor disappeared abruptly: no further communication with it is
+    /// possible, and the node must react using local knowledge only
+    /// (Section 4.2).
+    NeighborDepartedAbrupt {
+        /// The vanished neighbor.
+        peer: NodeId,
+    },
+    /// A gracefully departing neighbor has completed its retirement (the
+    /// system is stable again); drop it from local knowledge.
+    NeighborRetired {
+        /// The retired neighbor.
+        peer: NodeId,
+    },
+    /// This node just joined the network. It knows only the identifiers of
+    /// its initial neighbors.
+    SelfJoined {
+        /// Identifiers of the initial neighbors.
+        neighbors: Vec<NodeId>,
+    },
+    /// This node was unmuted: it already knows everything about its
+    /// neighborhood from listening.
+    SelfUnmuted {
+        /// Full knowledge of each neighbor.
+        neighbors: Vec<NeighborInfo>,
+    },
+    /// This node is being deleted gracefully: it must drive its own exit
+    /// (reach output `M̄`) and may keep communicating until the system is
+    /// stable.
+    SelfRetiring,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let a = LocalEvent::EdgeAdded { peer: NodeId(1) };
+        let b = LocalEvent::EdgeAdded { peer: NodeId(1) };
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            LocalEvent::EdgeRemoved {
+                peer: NodeId(1),
+                graceful: true
+            }
+        );
+    }
+
+    #[test]
+    fn neighbor_info_carries_state() {
+        let info = NeighborInfo {
+            id: NodeId(2),
+            ell: 77,
+            state: MisState::In,
+        };
+        assert!(info.state.is_in());
+        assert_eq!(info.ell, 77);
+    }
+}

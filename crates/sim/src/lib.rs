@@ -1,0 +1,39 @@
+//! # dmis-sim
+//!
+//! A discrete message-passing simulator realizing the distributed model of
+//! *Optimal Dynamic Distributed MIS* (Section 2 of the paper):
+//!
+//! - an undirected communication graph whose nodes exchange **broadcast**
+//!   messages (a message sent by a node is heard by all of its neighbors; a
+//!   node cannot send different messages to different neighbors in the same
+//!   round);
+//! - **synchronous** rounds ([`SyncNetwork`]) and an **asynchronous** mode
+//!   ([`AsyncNetwork`]) where message delays are arbitrary and the round
+//!   complexity is the longest causal chain of messages;
+//! - **topology changes** between stable periods: edge insertion,
+//!   graceful/abrupt edge deletion, node insertion, node unmuting, and
+//!   graceful/abrupt node deletion ([`dmis_graph::DistributedChange`]);
+//! - the three complexity measures of the paper: **adjustments** (output
+//!   changes), **rounds** (to re-stabilization), and **broadcasts** (number
+//!   of `O(log n)`-bit broadcast messages), plus exact **bit** accounting.
+//!
+//! This crate is the *substitution* for the paper's (purely abstract)
+//! distributed environment — see DESIGN.md. Protocols plug in via the
+//! [`Protocol`]/[`Automaton`] traits (synchronous) and [`AsyncAutomaton`]
+//! (asynchronous); the paper's algorithms themselves live in
+//! `dmis-protocol`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod async_net;
+mod event;
+mod metrics;
+mod protocol;
+mod sync;
+
+pub use async_net::{AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays};
+pub use event::{LocalEvent, NeighborInfo};
+pub use metrics::{ChangeOutcome, Metrics};
+pub use protocol::{Automaton, MessageBits, Protocol};
+pub use sync::{SyncNetwork, TraceEvent};

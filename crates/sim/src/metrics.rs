@@ -1,0 +1,105 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::AddAssign;
+
+use dmis_graph::NodeId;
+
+/// The paper's three complexity measures for one recovery, plus exact bit
+/// accounting.
+///
+/// - `rounds`: synchronous rounds (or causal depth, asynchronously) from the
+///   topology change until the system is stable again;
+/// - `broadcasts`: number of broadcast messages ("the total number of times,
+///   over all nodes, that any node sends a O(log n)-bit broadcast message");
+/// - `bits`: total message payload in bits (the paper's §4 refinement after
+///   Métivier et al. shows O(1) bits per broadcast suffice on average).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds until stabilization.
+    pub rounds: usize,
+    /// Total broadcast messages.
+    pub broadcasts: usize,
+    /// Total payload bits across all broadcasts.
+    pub bits: usize,
+}
+
+impl Metrics {
+    /// The zero metric.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddAssign for Metrics {
+    fn add_assign(&mut self, rhs: Metrics) {
+        self.rounds += rhs.rounds;
+        self.broadcasts += rhs.broadcasts;
+        self.bits += rhs.bits;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} broadcasts, {} bits",
+            self.rounds, self.broadcasts, self.bits
+        )
+    }
+}
+
+/// Full outcome of one topology change handled by a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeOutcome {
+    /// Communication metrics for the recovery.
+    pub metrics: Metrics,
+    /// The nodes (surviving the change) whose output flipped — the paper's
+    /// adjustment set.
+    pub adjusted: BTreeSet<NodeId>,
+}
+
+impl ChangeOutcome {
+    /// The adjustment complexity of this change.
+    #[must_use]
+    pub fn adjustments(&self) -> usize {
+        self.adjusted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate() {
+        let mut a = Metrics {
+            rounds: 1,
+            broadcasts: 2,
+            bits: 3,
+        };
+        a += Metrics {
+            rounds: 10,
+            broadcasts: 20,
+            bits: 30,
+        };
+        assert_eq!(
+            a,
+            Metrics {
+                rounds: 11,
+                broadcasts: 22,
+                bits: 33
+            }
+        );
+        assert_eq!(a.to_string(), "11 rounds, 22 broadcasts, 33 bits");
+    }
+
+    #[test]
+    fn outcome_counts() {
+        let outcome = ChangeOutcome {
+            metrics: Metrics::new(),
+            adjusted: [NodeId(1), NodeId(4)].into_iter().collect(),
+        };
+        assert_eq!(outcome.adjustments(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+use std::fmt;
+
+use dmis_core::MisState;
+use dmis_graph::NodeId;
+
+use crate::{LocalEvent, NeighborInfo};
+
+/// Message payload size accounting.
+///
+/// The paper restricts messages to `O(log n)` bits; implementations report
+/// their exact payload size so experiments can verify both the broadcast
+/// count *and* the bit count (the §4 discussion after Métivier et al. shows
+/// a constant number of bits per broadcast suffices once neighbors know
+/// their relative order).
+pub trait MessageBits {
+    /// Payload size of this message in bits.
+    fn bits(&self) -> usize;
+}
+
+/// A node automaton in the synchronous broadcast model.
+///
+/// Each round, the simulator feeds a node every message its neighbors
+/// broadcast in the previous round; the node updates its local state and may
+/// broadcast one message (heard by *all* neighbors next round — the model
+/// does not allow per-neighbor messages).
+pub trait Automaton {
+    /// The protocol's message type.
+    type Msg: Clone + fmt::Debug + MessageBits;
+
+    /// Reacts to a local topology notification. Any resulting broadcast
+    /// happens on the next [`Automaton::step`].
+    fn on_event(&mut self, event: LocalEvent);
+
+    /// Executes one synchronous round: consumes the inbox (messages
+    /// broadcast by neighbors last round, sender-tagged) and optionally
+    /// returns a broadcast.
+    fn step(&mut self, inbox: &[(NodeId, Self::Msg)]) -> Option<Self::Msg>;
+
+    /// Current output of the node. Transient protocol states (the paper's
+    /// `C` and `R`) must report the last committed `M`/`M̄` output.
+    fn output(&self) -> MisState;
+
+    /// Returns `true` if the node has nothing pending: it is in a committed
+    /// state and will not broadcast unless new messages or events arrive.
+    fn is_quiet(&self) -> bool;
+}
+
+/// Factory for a protocol's node automata.
+pub trait Protocol {
+    /// The node automaton type.
+    type Node: Automaton;
+
+    /// Spawns a brand-new node that knows only its identifier and its own
+    /// random key ℓ (its neighborhood arrives via
+    /// [`LocalEvent::SelfJoined`] and subsequent messages).
+    fn spawn(&self, id: NodeId, ell: u64) -> Self::Node;
+
+    /// Spawns a node inside an already-stable network (used to bootstrap
+    /// large initial graphs without replaying their construction): the node
+    /// knows its output and its full neighborhood.
+    fn spawn_stable(
+        &self,
+        id: NodeId,
+        ell: u64,
+        state: MisState,
+        neighbors: &[NeighborInfo],
+    ) -> Self::Node;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A trivial protocol used to exercise the network machinery without
+    //! pulling in `dmis-protocol`: every node broadcasts a fixed number of
+    //! ping messages after each event it observes, and is always `M̄`.
+
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Ping(pub u8);
+
+    impl MessageBits for Ping {
+        fn bits(&self) -> usize {
+            8
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct PingNode {
+        #[allow(dead_code)]
+        pub id: NodeId,
+        pub pending: u8,
+        pub seen_msgs: usize,
+        pub seen_events: usize,
+    }
+
+    impl Automaton for PingNode {
+        type Msg = Ping;
+
+        fn on_event(&mut self, _event: LocalEvent) {
+            self.seen_events += 1;
+            self.pending = self.pending.saturating_add(2);
+        }
+
+        fn step(&mut self, inbox: &[(NodeId, Ping)]) -> Option<Ping> {
+            self.seen_msgs += inbox.len();
+            if self.pending > 0 {
+                self.pending -= 1;
+                Some(Ping(self.pending))
+            } else {
+                None
+            }
+        }
+
+        fn output(&self) -> MisState {
+            MisState::Out
+        }
+
+        fn is_quiet(&self) -> bool {
+            self.pending == 0
+        }
+    }
+
+    pub struct PingProtocol;
+
+    impl Protocol for PingProtocol {
+        type Node = PingNode;
+
+        fn spawn(&self, id: NodeId, _ell: u64) -> PingNode {
+            PingNode {
+                id,
+                pending: 0,
+                seen_msgs: 0,
+                seen_events: 0,
+            }
+        }
+
+        fn spawn_stable(
+            &self,
+            id: NodeId,
+            ell: u64,
+            _state: MisState,
+            _neighbors: &[NeighborInfo],
+        ) -> PingNode {
+            self.spawn(id, ell)
+        }
+    }
+}

@@ -1,0 +1,689 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_core::{invariant, static_greedy, MisState, Priority, PriorityMap};
+use dmis_graph::{DistributedChange, DynGraph, GraphError, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Automaton, ChangeOutcome, LocalEvent, MessageBits, Metrics, NeighborInfo, Protocol};
+
+/// The synchronous broadcast network (Section 2 of the paper).
+///
+/// Time is divided into rounds; in each round every willing node broadcasts
+/// one message heard by all of its neighbors in the next round. Topology
+/// changes arrive only while the system is stable, and
+/// [`SyncNetwork::apply_change`] runs the recovery to quiescence, measuring
+/// the paper's three complexity measures (adjustments, rounds, broadcasts —
+/// plus exact bits).
+///
+/// **Graceful vs. abrupt deletions.** A gracefully deleted node stays in the
+/// communication graph, drives its own exit through the protocol, and is
+/// physically removed only once the system is stable again (the paper's
+/// "retires completely only once the system is stable"). An abruptly
+/// deleted node vanishes immediately; its neighbors are merely notified of
+/// the disappearance. For *edge* deletions the distinction does not affect
+/// the MIS protocol (both endpoints already know each other's state; Lemma 9
+/// treats the two cases identically), so both variants simply drop the edge.
+///
+/// # Example
+///
+/// Bootstrapping requires a protocol implementation; see `dmis-protocol`
+/// for the paper's Algorithm 2 and the direct template. The unit tests in
+/// this crate use a trivial ping protocol.
+pub struct SyncNetwork<P: Protocol> {
+    protocol: P,
+    graph: DynGraph,
+    nodes: BTreeMap<NodeId, P::Node>,
+    priorities: PriorityMap,
+    retiring: BTreeSet<NodeId>,
+    outbox: BTreeMap<NodeId, <P::Node as Automaton>::Msg>,
+    rng: StdRng,
+    lifetime: Metrics,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+/// One broadcast captured by the network trace (see
+/// [`SyncNetwork::enable_tracing`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global round index (over the network's lifetime).
+    pub round: usize,
+    /// The broadcasting node.
+    pub sender: NodeId,
+    /// The message, rendered via `Debug`.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{:<4} {} ⇒ {}", self.round, self.sender, self.message)
+    }
+}
+
+impl<P: Protocol> SyncNetwork<P> {
+    /// Creates an empty network. `seed` determinizes all random-key draws.
+    #[must_use]
+    pub fn new(protocol: P, seed: u64) -> Self {
+        SyncNetwork {
+            protocol,
+            graph: DynGraph::new(),
+            nodes: BTreeMap::new(),
+            priorities: PriorityMap::new(),
+            retiring: BTreeSet::new(),
+            outbox: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            lifetime: Metrics::new(),
+            trace: None,
+        }
+    }
+
+    /// Creates a network over an existing graph in an already-stable state:
+    /// random keys are drawn for every node, the greedy MIS is computed, and
+    /// each node is spawned with full knowledge of its stable neighborhood.
+    ///
+    /// This shortcut avoids replaying the construction of large initial
+    /// graphs change by change; by history independence (Section 5) the
+    /// resulting distribution over states is identical.
+    #[must_use]
+    pub fn bootstrap(protocol: P, graph: DynGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priorities = PriorityMap::new();
+        for v in graph.nodes() {
+            let ell: u64 = rng.random();
+            priorities.insert(v, Priority::new(ell, v));
+        }
+        Self::bootstrap_with(protocol, graph, priorities, rng)
+    }
+
+    /// Bootstraps with prescribed priorities (tests and adversarial orders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node of `graph` has no priority.
+    #[must_use]
+    pub fn bootstrap_with_priorities(
+        protocol: P,
+        graph: DynGraph,
+        priorities: PriorityMap,
+        seed: u64,
+    ) -> Self {
+        Self::bootstrap_with(protocol, graph, priorities, StdRng::seed_from_u64(seed))
+    }
+
+    fn bootstrap_with(protocol: P, graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
+        let mis = static_greedy::greedy_mis(&graph, &priorities);
+        let mut nodes = BTreeMap::new();
+        for v in graph.nodes() {
+            let info: Vec<NeighborInfo> = graph
+                .neighbors(v)
+                .expect("live node")
+                .map(|u| NeighborInfo {
+                    id: u,
+                    ell: priorities.of(u).key(),
+                    state: MisState::from_membership(mis.contains(&u)),
+                })
+                .collect();
+            let node = protocol.spawn_stable(
+                v,
+                priorities.of(v).key(),
+                MisState::from_membership(mis.contains(&v)),
+                &info,
+            );
+            nodes.insert(v, node);
+        }
+        SyncNetwork {
+            protocol,
+            graph,
+            nodes,
+            priorities,
+            retiring: BTreeSet::new(),
+            outbox: BTreeMap::new(),
+            rng,
+            lifetime: Metrics::new(),
+            trace: None,
+        }
+    }
+
+    /// The communication graph (includes gracefully retiring nodes until
+    /// they complete their exit).
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The logical graph: the communication graph minus retiring nodes.
+    #[must_use]
+    pub fn logical_graph(&self) -> DynGraph {
+        let mut g = self.graph.clone();
+        for &v in &self.retiring {
+            g.remove_node(v).expect("retiring nodes are in the graph");
+        }
+        g
+    }
+
+    /// The random order π (keys are the nodes' ℓ values).
+    #[must_use]
+    pub fn priorities(&self) -> &PriorityMap {
+        &self.priorities
+    }
+
+    /// Outputs of all live (non-retiring) nodes.
+    #[must_use]
+    pub fn outputs(&self) -> BTreeMap<NodeId, MisState> {
+        self.nodes
+            .iter()
+            .filter(|(v, _)| !self.retiring.contains(v))
+            .map(|(&v, n)| (v, n.output()))
+            .collect()
+    }
+
+    /// The current MIS according to node outputs.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.outputs()
+            .into_iter()
+            .filter_map(|(v, s)| s.is_in().then_some(v))
+            .collect()
+    }
+
+    /// Immutable access to a node automaton (tests).
+    #[must_use]
+    pub fn node(&self, v: NodeId) -> Option<&P::Node> {
+        self.nodes.get(&v)
+    }
+
+    /// Metrics accumulated over the whole lifetime of the network.
+    #[must_use]
+    pub fn lifetime_metrics(&self) -> Metrics {
+        self.lifetime
+    }
+
+    /// Starts recording every broadcast (round, sender, rendered message).
+    /// Useful when debugging a protocol or narrating an execution.
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes the recorded trace, leaving recording enabled (empty buffer).
+    /// Returns an empty vector if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns `true` when no messages are in flight and every node is
+    /// quiet.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.outbox.is_empty() && self.nodes.values().all(Automaton::is_quiet)
+    }
+
+    /// Applies one topology change and runs the network back to stability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the change is invalid for the current
+    /// graph (missing nodes/edges, duplicate edge, stale insertion id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol fails to stabilize within `6n + 40` rounds —
+    /// a correctness bug in the protocol under test, not a recoverable
+    /// condition.
+    pub fn apply_change(
+        &mut self,
+        change: &DistributedChange,
+    ) -> Result<ChangeOutcome, GraphError> {
+        assert!(
+            self.is_stable(),
+            "topology changes only arrive while the system is stable"
+        );
+        let before = self.outputs();
+        self.inject(change)?;
+        let mut metrics = self.run_until_quiet();
+        metrics += self.finalize_retirements();
+        let after = self.outputs();
+        let adjusted: BTreeSet<NodeId> = before
+            .iter()
+            .filter(|(v, s)| after.get(v).is_some_and(|s2| s2 != *s))
+            .map(|(&v, _)| v)
+            .collect();
+        self.lifetime += metrics;
+        Ok(ChangeOutcome { metrics, adjusted })
+    }
+
+    /// Applies a **batch** of topology changes that hit the network
+    /// simultaneously — the multi-failure scenario of the paper's first
+    /// open question — and runs a single combined recovery.
+    ///
+    /// All events are delivered before the first recovery round, so the
+    /// protocol under test faces a genuinely multi-source disturbance
+    /// (the §4.2 machinery of Algorithm 2 generalizes to it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`]; changes before the failing one
+    /// remain applied and the network is still run back to stability, so
+    /// it stays usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol fails to stabilize (see
+    /// [`SyncNetwork::apply_change`]).
+    pub fn apply_batch(
+        &mut self,
+        changes: &[DistributedChange],
+    ) -> Result<ChangeOutcome, GraphError> {
+        assert!(
+            self.is_stable(),
+            "topology changes only arrive while the system is stable"
+        );
+        let before = self.outputs();
+        let mut failure = None;
+        for change in changes {
+            if let Err(e) = self.inject(change) {
+                failure = Some(e);
+                break;
+            }
+        }
+        let mut metrics = self.run_until_quiet();
+        metrics += self.finalize_retirements();
+        if let Some(e) = failure {
+            self.lifetime += metrics;
+            return Err(e);
+        }
+        let after = self.outputs();
+        let adjusted: BTreeSet<NodeId> = before
+            .iter()
+            .filter(|(v, s)| after.get(v).is_some_and(|s2| s2 != *s))
+            .map(|(&v, _)| v)
+            .collect();
+        self.lifetime += metrics;
+        Ok(ChangeOutcome { metrics, adjusted })
+    }
+
+    fn inject(&mut self, change: &DistributedChange) -> Result<(), GraphError> {
+        match change {
+            DistributedChange::InsertEdge(u, v) => {
+                self.ensure_live(*u)?;
+                self.ensure_live(*v)?;
+                self.graph.insert_edge(*u, *v)?;
+                self.event(*u, LocalEvent::EdgeAdded { peer: *v });
+                self.event(*v, LocalEvent::EdgeAdded { peer: *u });
+            }
+            DistributedChange::GracefulDeleteEdge(u, v)
+            | DistributedChange::AbruptDeleteEdge(u, v) => {
+                let graceful = matches!(change, DistributedChange::GracefulDeleteEdge(..));
+                self.ensure_live(*u)?;
+                self.ensure_live(*v)?;
+                self.graph.remove_edge(*u, *v)?;
+                self.event(*u, LocalEvent::EdgeRemoved { peer: *v, graceful });
+                self.event(*v, LocalEvent::EdgeRemoved { peer: *u, graceful });
+            }
+            DistributedChange::InsertNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                for u in edges {
+                    self.ensure_live(*u)?;
+                }
+                let got = self.graph.add_node_with_edges(edges.iter().copied())?;
+                debug_assert_eq!(got, *id);
+                let ell: u64 = self.rng.random();
+                self.priorities.insert(*id, Priority::new(ell, *id));
+                let mut node = self.protocol.spawn(*id, ell);
+                node.on_event(LocalEvent::SelfJoined {
+                    neighbors: edges.clone(),
+                });
+                self.nodes.insert(*id, node);
+                for &u in edges {
+                    self.event(u, LocalEvent::NeighborJoined { peer: *id });
+                }
+            }
+            DistributedChange::UnmuteNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                for u in edges {
+                    self.ensure_live(*u)?;
+                }
+                let got = self.graph.add_node_with_edges(edges.iter().copied())?;
+                debug_assert_eq!(got, *id);
+                let ell: u64 = self.rng.random();
+                self.priorities.insert(*id, Priority::new(ell, *id));
+                let info: Vec<NeighborInfo> = edges
+                    .iter()
+                    .map(|&u| NeighborInfo {
+                        id: u,
+                        ell: self.priorities.of(u).key(),
+                        state: self.nodes[&u].output(),
+                    })
+                    .collect();
+                let mut node = self.protocol.spawn(*id, ell);
+                node.on_event(LocalEvent::SelfUnmuted { neighbors: info });
+                self.nodes.insert(*id, node);
+                for &u in edges {
+                    self.event(u, LocalEvent::NeighborJoined { peer: *id });
+                }
+            }
+            DistributedChange::GracefulDeleteNode(v) => {
+                self.ensure_live(*v)?;
+                self.retiring.insert(*v);
+                self.event(*v, LocalEvent::SelfRetiring);
+            }
+            DistributedChange::AbruptDeleteNode(v) => {
+                self.ensure_live(*v)?;
+                let nbrs = self.graph.remove_node(*v)?;
+                self.priorities.remove(*v);
+                self.nodes.remove(v);
+                self.outbox.remove(v);
+                for u in nbrs {
+                    self.event(u, LocalEvent::NeighborDepartedAbrupt { peer: *v });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_live(&self, v: NodeId) -> Result<(), GraphError> {
+        if self.graph.has_node(v) && !self.retiring.contains(&v) {
+            Ok(())
+        } else {
+            Err(GraphError::MissingNode(v))
+        }
+    }
+
+    fn event(&mut self, v: NodeId, event: LocalEvent) {
+        self.nodes
+            .get_mut(&v)
+            .expect("event target exists")
+            .on_event(event);
+    }
+
+    /// Runs rounds until no messages are in flight and all nodes are quiet.
+    #[allow(clippy::type_complexity)]
+    fn run_until_quiet(&mut self) -> Metrics {
+        let max_rounds = 6 * self.graph.node_count() + 40;
+        let mut metrics = Metrics::new();
+        loop {
+            // Deliver last round's broadcasts.
+            let mut inboxes: BTreeMap<NodeId, Vec<(NodeId, <P::Node as Automaton>::Msg)>> =
+                BTreeMap::new();
+            for (&sender, msg) in &self.outbox {
+                for w in self.graph.neighbors(sender).expect("senders are live") {
+                    inboxes.entry(w).or_default().push((sender, msg.clone()));
+                }
+            }
+            self.outbox.clear();
+            // Active nodes: anything with mail or pending work.
+            let mut active: BTreeSet<NodeId> = inboxes.keys().copied().collect();
+            for (&v, node) in &self.nodes {
+                if !node.is_quiet() {
+                    active.insert(v);
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            metrics.rounds += 1;
+            assert!(
+                metrics.rounds <= max_rounds,
+                "protocol failed to stabilize within {max_rounds} rounds"
+            );
+            let empty: Vec<(NodeId, <P::Node as Automaton>::Msg)> = Vec::new();
+            for v in active {
+                let inbox = inboxes.get(&v).unwrap_or(&empty);
+                let node = self.nodes.get_mut(&v).expect("active nodes exist");
+                if let Some(msg) = node.step(inbox) {
+                    metrics.broadcasts += 1;
+                    metrics.bits += msg.bits();
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.push(TraceEvent {
+                            round: self.lifetime.rounds + metrics.rounds,
+                            sender: v,
+                            message: format!("{msg:?}"),
+                        });
+                    }
+                    self.outbox.insert(v, msg);
+                }
+            }
+        }
+        metrics
+    }
+
+    /// Physically removes gracefully retired nodes and informs their
+    /// neighbors. Correct protocols produce no further traffic here (a
+    /// retired node's final output is `M̄`, and dropping an `M̄` neighbor
+    /// violates no invariant), but any traffic is accounted for.
+    fn finalize_retirements(&mut self) -> Metrics {
+        if self.retiring.is_empty() {
+            return Metrics::new();
+        }
+        let retiring: Vec<NodeId> = self.retiring.iter().copied().collect();
+        for v in retiring {
+            let nbrs = self.graph.remove_node(v).expect("retiring node is live");
+            self.priorities.remove(v);
+            self.nodes.remove(&v);
+            self.outbox.remove(&v);
+            for u in nbrs {
+                self.event(u, LocalEvent::NeighborRetired { peer: v });
+            }
+        }
+        self.retiring.clear();
+        self.run_until_quiet()
+    }
+
+    /// Asserts the outputs form a maximal independent set of the logical
+    /// graph (protocol-agnostic correctness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if they do not.
+    pub fn assert_valid_mis(&self) {
+        let logical = self.logical_graph();
+        assert!(
+            invariant::is_maximal_independent_set(&logical, &self.mis()),
+            "outputs are not a maximal independent set"
+        );
+    }
+
+    /// Asserts the outputs satisfy the π-greedy MIS invariant — the defining
+    /// property of the paper's algorithms (baselines like Luby need only
+    /// [`SyncNetwork::assert_valid_mis`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated.
+    pub fn assert_greedy_invariant(&self) {
+        let logical = self.logical_graph();
+        assert!(
+            invariant::check_mis_invariant(&logical, &self.priorities, &self.mis()).is_ok(),
+            "outputs violate the greedy MIS invariant"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::testing::{PingNode, PingProtocol};
+    use dmis_graph::generators;
+
+    fn ping_network(n: usize) -> (SyncNetwork<PingProtocol>, Vec<NodeId>) {
+        let (g, ids) = generators::path(n);
+        (SyncNetwork::bootstrap(PingProtocol, g, 1), ids)
+    }
+
+    #[test]
+    fn bootstrap_is_stable() {
+        let (net, _) = ping_network(5);
+        assert!(net.is_stable());
+        assert_eq!(net.graph().node_count(), 5);
+        assert_eq!(net.outputs().len(), 5);
+    }
+
+    #[test]
+    fn edge_insert_triggers_events_and_messages() {
+        let (mut net, ids) = ping_network(4);
+        let outcome = net
+            .apply_change(&DistributedChange::InsertEdge(ids[0], ids[3]))
+            .unwrap();
+        // Each endpoint saw 1 event → sends 2 pings each = 4 broadcasts.
+        assert_eq!(outcome.metrics.broadcasts, 4);
+        assert_eq!(outcome.metrics.bits, 32);
+        assert!(outcome.metrics.rounds >= 2);
+        assert!(net.is_stable());
+        let n0: &PingNode = net.node(ids[0]).unwrap();
+        assert_eq!(n0.seen_events, 1);
+    }
+
+    #[test]
+    fn messages_are_heard_by_all_neighbors() {
+        let (mut net, ids) = ping_network(3);
+        // Node ids[1] has two neighbors; an event at ids[1] broadcasts to
+        // both.
+        net.apply_change(&DistributedChange::GracefulDeleteEdge(ids[1], ids[2]))
+            .unwrap();
+        // ids[0] heard ids[1]'s pings (2), ids[2] heard its own side only
+        // after the edge vanished — it no longer hears ids[1].
+        let n0: &PingNode = net.node(ids[0]).unwrap();
+        assert_eq!(n0.seen_msgs, 2);
+    }
+
+    #[test]
+    fn node_insertion_spawns_and_notifies() {
+        let (mut net, ids) = ping_network(3);
+        let fresh = net.graph().peek_next_id();
+        let outcome = net
+            .apply_change(&DistributedChange::InsertNode {
+                id: fresh,
+                edges: vec![ids[0], ids[2]],
+            })
+            .unwrap();
+        assert!(net.graph().has_node(fresh));
+        assert!(net.node(fresh).is_some());
+        // 3 nodes saw one event each → 6 broadcasts.
+        assert_eq!(outcome.metrics.broadcasts, 6);
+        assert!(net.priorities().get(fresh).is_some());
+    }
+
+    #[test]
+    fn unmute_carries_neighbor_knowledge() {
+        let (mut net, ids) = ping_network(2);
+        let fresh = net.graph().peek_next_id();
+        net.apply_change(&DistributedChange::UnmuteNode {
+            id: fresh,
+            edges: vec![ids[0], ids[1]],
+        })
+        .unwrap();
+        assert!(net.graph().has_edge(fresh, ids[0]));
+    }
+
+    #[test]
+    fn abrupt_deletion_removes_immediately() {
+        let (mut net, ids) = ping_network(3);
+        net.apply_change(&DistributedChange::AbruptDeleteNode(ids[1]))
+            .unwrap();
+        assert!(!net.graph().has_node(ids[1]));
+        assert!(net.node(ids[1]).is_none());
+        assert!(net.priorities().get(ids[1]).is_none());
+        let n0: &PingNode = net.node(ids[0]).unwrap();
+        assert_eq!(n0.seen_events, 1);
+    }
+
+    #[test]
+    fn graceful_deletion_retires_after_stability() {
+        let (mut net, ids) = ping_network(3);
+        net.apply_change(&DistributedChange::GracefulDeleteNode(ids[1]))
+            .unwrap();
+        // After the change completes the node is gone.
+        assert!(!net.graph().has_node(ids[1]));
+        // Its neighbors saw its retirement event.
+        let n0: &PingNode = net.node(ids[0]).unwrap();
+        assert_eq!(n0.seen_events, 1);
+        assert!(net.is_stable());
+    }
+
+    #[test]
+    fn graceful_node_can_still_talk_during_recovery() {
+        // The retiring node's pings are heard: its 2 broadcasts reach both
+        // neighbors before it retires.
+        let (mut net, ids) = ping_network(3);
+        net.apply_change(&DistributedChange::GracefulDeleteNode(ids[1]))
+            .unwrap();
+        let n2: &PingNode = net.node(ids[2]).unwrap();
+        assert_eq!(n2.seen_msgs, 2, "heard the retiring node's messages");
+    }
+
+    #[test]
+    fn invalid_changes_are_rejected() {
+        let (mut net, ids) = ping_network(2);
+        assert!(net
+            .apply_change(&DistributedChange::InsertEdge(ids[0], NodeId(99)))
+            .is_err());
+        assert!(net
+            .apply_change(&DistributedChange::AbruptDeleteNode(NodeId(99)))
+            .is_err());
+        assert!(net
+            .apply_change(&DistributedChange::InsertNode {
+                id: NodeId(0),
+                edges: vec![],
+            })
+            .is_err());
+        assert!(net.is_stable());
+    }
+
+    #[test]
+    fn lifetime_metrics_accumulate() {
+        let (mut net, ids) = ping_network(4);
+        let a = net
+            .apply_change(&DistributedChange::InsertEdge(ids[0], ids[2]))
+            .unwrap();
+        let b = net
+            .apply_change(&DistributedChange::AbruptDeleteEdge(ids[0], ids[2]))
+            .unwrap();
+        let total = net.lifetime_metrics();
+        assert_eq!(
+            total.broadcasts,
+            a.metrics.broadcasts + b.metrics.broadcasts
+        );
+    }
+
+    #[test]
+    fn tracing_records_broadcasts() {
+        let (mut net, ids) = ping_network(3);
+        net.enable_tracing();
+        net.apply_change(&DistributedChange::InsertEdge(ids[0], ids[2]))
+            .unwrap();
+        let trace = net.take_trace();
+        // Each endpoint pings twice = 4 recorded broadcasts.
+        assert_eq!(trace.len(), 4);
+        assert!(trace.iter().all(|e| e.message.starts_with("Ping")));
+        let rendered = trace[0].to_string();
+        assert!(rendered.contains('⇒'), "{rendered}");
+        // The buffer is drained but recording continues.
+        assert!(net.take_trace().is_empty());
+        net.apply_change(&DistributedChange::AbruptDeleteEdge(ids[0], ids[2]))
+            .unwrap();
+        assert!(!net.take_trace().is_empty());
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let (mut net, ids) = ping_network(3);
+        net.apply_change(&DistributedChange::InsertEdge(ids[0], ids[2]))
+            .unwrap();
+        assert!(net.take_trace().is_empty());
+    }
+
+    #[test]
+    fn adjustments_are_empty_for_constant_output_protocol() {
+        let (mut net, ids) = ping_network(4);
+        let outcome = net
+            .apply_change(&DistributedChange::InsertEdge(ids[0], ids[2]))
+            .unwrap();
+        assert_eq!(outcome.adjustments(), 0, "ping nodes never change output");
+    }
+}

@@ -1,0 +1,74 @@
+//! Dynamic frequency assignment (graph coloring) in a radio network.
+//!
+//! ```text
+//! cargo run --example frequency_coloring
+//! ```
+//!
+//! Scenario: access points that interfere must use different frequencies.
+//! We maintain the random greedy coloring of Section 5, Example 3: each AP
+//! holds the smallest frequency unused by its lower-order interferers — at
+//! most Δ+1 frequencies, history independent, and near-optimal in
+//! expectation on structured interference graphs. The run also shows the
+//! cost asymmetry the paper highlights: recoloring can touch O(Δ) nodes
+//! per change, while the MIS underneath adjusts only ~1.
+
+use dynamic_mis::core::MisEngine;
+use dynamic_mis::derived::{verify, ColoringEngine};
+use dynamic_mis::graph::stream::{self, ChurnConfig};
+use dynamic_mis::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let (graph, _) = generators::grid(10, 10); // a city block of APs
+    let mut ce = ColoringEngine::from_graph(graph.clone(), 1);
+    let mut mis = MisEngine::from_graph(graph, 1);
+    println!(
+        "radio net: {} APs, Δ = {}, frequencies in use: {}",
+        ce.graph().node_count(),
+        ce.graph().max_degree(),
+        ce.palette_size()
+    );
+
+    let events = 150;
+    let mut recolors = 0usize;
+    let mut adjustments = 0usize;
+    for _ in 0..events {
+        let Some(change) =
+            stream::random_change(ce.graph(), &ChurnConfig::edges_only(), &mut rng)
+        else {
+            continue;
+        };
+        recolors += ce.apply(&change).expect("valid").adjustments();
+        adjustments += mis.apply(&change).expect("valid").adjustments();
+    }
+    assert!(verify::is_proper_coloring(ce.graph(), &ce.colors()));
+    println!(
+        "after {events} interference changes: {} frequencies (proper ✓)",
+        ce.palette_size()
+    );
+    println!(
+        "cost per change: {:.2} re-assignments for coloring vs {:.2} for the MIS \
+         — the O(Δ) vs O(1) gap the paper discusses (open: can coloring do O(1)?)",
+        recolors as f64 / f64::from(events),
+        adjustments as f64 / f64::from(events)
+    );
+
+    // The paper's Example 3: near-2-coloring of K(k,k) minus a matching.
+    let k = 16;
+    let trials = 500;
+    let mut two = 0usize;
+    for t in 0..trials {
+        let (g, _, _) = generators::bipartite_minus_matching(k);
+        if ColoringEngine::from_graph(g, t).palette_size() == 2 {
+            two += 1;
+        }
+    }
+    println!(
+        "\nK({k},{k}) minus a perfect matching: optimal 2-coloring in {:.1}% of runs \
+         (paper: 1 - 1/n = {:.1}%)",
+        100.0 * two as f64 / f64::from(trials as u32),
+        100.0 * (1.0 - 1.0 / (2.0 * k as f64))
+    );
+}

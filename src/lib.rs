@@ -1,0 +1,25 @@
+//! # dynamic-mis
+//!
+//! Facade crate for the *Optimal Dynamic Distributed MIS* reproduction
+//! (Censor-Hillel, Haramaty, Karnin, PODC 2016).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! - [`graph`] — dynamic graph substrate, generators, reductions;
+//! - [`core`] — the MIS engine, template simulation, theory checks;
+//! - [`sim`] — synchronous/asynchronous distributed simulator;
+//! - [`protocol`] — Algorithm 2, the direct template protocol, baselines;
+//! - [`cluster`] — correlation clustering (3-approximation);
+//! - [`derived`] — maximal matching and (Δ+1)-coloring reductions.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use dmis_cluster as cluster;
+pub use dmis_core as core;
+pub use dmis_derived as derived;
+pub use dmis_graph as graph;
+pub use dmis_protocol as protocol;
+pub use dmis_sim as sim;

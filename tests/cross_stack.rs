@@ -1,0 +1,236 @@
+//! Cross-crate integration: the sequential engine, the faithful template,
+//! and both distributed protocols must agree on the maintained MIS when
+//! they share the same random order π — across all seven distributed
+//! change types.
+
+use std::collections::BTreeSet;
+
+use dynamic_mis::core::{static_greedy, MisEngine, PriorityMap};
+use dynamic_mis::graph::stream::{self, ChurnConfig};
+use dynamic_mis::graph::{generators, DistributedChange, NodeId};
+use dynamic_mis::protocol::{ConstantBroadcast, TemplateDirect};
+use dynamic_mis::sim::{Protocol, SyncNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives a network through a mixed change stream, checking the greedy
+/// invariant and comparing against a from-scratch greedy computation with
+/// the network's own priorities after every step.
+fn drive<P: Protocol + Copy>(proto: P, seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, _) = generators::erdos_renyi(18, 0.22, &mut rng);
+    let mut net = SyncNetwork::bootstrap(proto, g, seed ^ 0xABC);
+    for _ in 0..steps {
+        let Some(change) =
+            stream::random_change(&net.logical_graph(), &ChurnConfig::default(), &mut rng)
+        else {
+            continue;
+        };
+        let change = stream::randomize_distributed(&change, &mut rng);
+        net.apply_change(&change).expect("valid change");
+        net.assert_greedy_invariant();
+        let expected =
+            static_greedy::greedy_mis(&net.logical_graph(), net.priorities());
+        assert_eq!(net.mis(), expected, "output diverged after {change}");
+    }
+}
+
+#[test]
+fn constant_broadcast_tracks_greedy_through_mixed_churn() {
+    for seed in 0..6 {
+        drive(ConstantBroadcast, seed, 60);
+    }
+}
+
+#[test]
+fn template_direct_tracks_greedy_through_mixed_churn() {
+    for seed in 0..6 {
+        drive(TemplateDirect, seed, 60);
+    }
+}
+
+#[test]
+fn both_protocols_and_engine_agree_at_equal_priorities() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (g, ids) = generators::erdos_renyi(14, 0.3, &mut rng);
+    let mut order = ids;
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let pm = PriorityMap::from_order(&order);
+    let mut cb =
+        SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g.clone(), pm.clone(), 0);
+    let mut td =
+        SyncNetwork::bootstrap_with_priorities(TemplateDirect, g.clone(), pm.clone(), 0);
+    let mut engine = MisEngine::from_parts(g, pm, 0);
+    assert_eq!(cb.mis(), engine.mis());
+    assert_eq!(td.mis(), engine.mis());
+    // A sequence of edge changes applied to all three.
+    for _ in 0..40 {
+        let change = {
+            let g = engine.graph();
+            if g.edge_count() > 0 && rand::Rng::random_bool(&mut rng, 0.5) {
+                let (u, v) = generators::random_edge(g, &mut rng).expect("edges exist");
+                (u, v, false)
+            } else if let Some((u, v)) = generators::random_non_edge(g, &mut rng) {
+                (u, v, true)
+            } else {
+                continue;
+            }
+        };
+        let (u, v, insert) = change;
+        if insert {
+            engine.insert_edge(u, v).expect("valid");
+            cb.apply_change(&DistributedChange::InsertEdge(u, v))
+                .expect("valid");
+            td.apply_change(&DistributedChange::InsertEdge(u, v))
+                .expect("valid");
+        } else {
+            engine.remove_edge(u, v).expect("valid");
+            cb.apply_change(&DistributedChange::AbruptDeleteEdge(u, v))
+                .expect("valid");
+            td.apply_change(&DistributedChange::GracefulDeleteEdge(u, v))
+                .expect("valid");
+        }
+        assert_eq!(cb.mis(), engine.mis(), "algorithm 2 diverged");
+        assert_eq!(td.mis(), engine.mis(), "direct template diverged");
+    }
+}
+
+#[test]
+fn unmuting_equals_insertion_in_output() {
+    // The output after an unmute must equal the output after inserting the
+    // same node with the same priority — only communication differs.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, ids) = generators::erdos_renyi(12, 0.3, &mut rng);
+        let attach: Vec<NodeId> = ids.iter().copied().take(4).collect();
+        let mut a = SyncNetwork::bootstrap(ConstantBroadcast, g.clone(), seed);
+        let mut b = SyncNetwork::bootstrap(ConstantBroadcast, g, seed);
+        let fresh_a = a.graph().peek_next_id();
+        let fresh_b = b.graph().peek_next_id();
+        a.apply_change(&DistributedChange::InsertNode {
+            id: fresh_a,
+            edges: attach.clone(),
+        })
+        .expect("valid");
+        b.apply_change(&DistributedChange::UnmuteNode {
+            id: fresh_b,
+            edges: attach,
+        })
+        .expect("valid");
+        // Same bootstrap seed → same π for old nodes; the newcomer draws
+        // from the same network RNG stream in both cases.
+        assert_eq!(a.mis(), b.mis());
+    }
+}
+
+#[test]
+fn graceful_and_abrupt_deletion_agree_on_final_output() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
+        let victim = generators::random_node(&g, &mut rng).expect("non-empty");
+        let mut a = SyncNetwork::bootstrap(ConstantBroadcast, g.clone(), seed);
+        let mut b = SyncNetwork::bootstrap(ConstantBroadcast, g, seed);
+        a.apply_change(&DistributedChange::GracefulDeleteNode(victim))
+            .expect("valid");
+        b.apply_change(&DistributedChange::AbruptDeleteNode(victim))
+            .expect("valid");
+        assert_eq!(a.mis(), b.mis(), "deletion variants must agree");
+        a.assert_greedy_invariant();
+        b.assert_greedy_invariant();
+    }
+}
+
+#[test]
+fn adjustments_equal_template_prediction() {
+    // The distributed adjustment set equals the symmetric difference of
+    // greedy MIS outputs, which the sequential receipt also reports.
+    let mut rng = StdRng::seed_from_u64(77);
+    let (g, _) = generators::erdos_renyi(16, 0.25, &mut rng);
+    let mut net = SyncNetwork::bootstrap(ConstantBroadcast, g, 3);
+    for _ in 0..50 {
+        let logical = net.logical_graph();
+        let Some((u, v)) = generators::random_edge(&logical, &mut rng) else {
+            continue;
+        };
+        let before: BTreeSet<NodeId> = net.mis();
+        let outcome = net
+            .apply_change(&DistributedChange::AbruptDeleteEdge(u, v))
+            .expect("valid");
+        let after = net.mis();
+        let diff: BTreeSet<NodeId> = before.symmetric_difference(&after).copied().collect();
+        assert_eq!(diff, outcome.adjusted);
+        // Reinsert to keep the graph stationary.
+        net.apply_change(&DistributedChange::InsertEdge(u, v))
+            .expect("valid");
+    }
+}
+
+#[test]
+fn batched_failures_recover_with_both_protocols() {
+    // Multiple simultaneous failures (open question 1): crash several
+    // nodes and cut several edges at once; both protocols must converge
+    // to the greedy MIS of the resulting graph.
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, ids) = generators::erdos_renyi(16, 0.3, &mut rng);
+        let mut batch = Vec::new();
+        for &v in ids.iter().take(2) {
+            batch.push(DistributedChange::AbruptDeleteNode(v));
+        }
+        if let Some((u, v)) = generators::random_edge(&g, &mut rng) {
+            if !batch
+                .iter()
+                .any(|c| matches!(c, DistributedChange::AbruptDeleteNode(x) if *x == u || *x == v))
+            {
+                batch.push(DistributedChange::AbruptDeleteEdge(u, v));
+            }
+        }
+        let mut cb = SyncNetwork::bootstrap(ConstantBroadcast, g.clone(), seed);
+        let mut td = SyncNetwork::bootstrap(TemplateDirect, g, seed);
+        cb.apply_batch(&batch).expect("valid batch");
+        td.apply_batch(&batch).expect("valid batch");
+        cb.assert_greedy_invariant();
+        td.assert_greedy_invariant();
+    }
+}
+
+#[test]
+fn batched_mixed_changes_through_engine_and_network_agree() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
+    let mut net = SyncNetwork::bootstrap(ConstantBroadcast, g.clone(), 11);
+    let mut engine = MisEngine::from_parts(g, net.priorities().clone(), 0);
+    // A batch of edge cuts.
+    let edges: Vec<(NodeId, NodeId)> = engine
+        .graph()
+        .edges()
+        .take(3)
+        .map(|k| k.endpoints())
+        .collect();
+    let net_batch: Vec<DistributedChange> = edges
+        .iter()
+        .map(|&(u, v)| DistributedChange::AbruptDeleteEdge(u, v))
+        .collect();
+    let engine_batch: Vec<dynamic_mis::graph::TopologyChange> = edges
+        .iter()
+        .map(|&(u, v)| dynamic_mis::graph::TopologyChange::DeleteEdge(u, v))
+        .collect();
+    net.apply_batch(&net_batch).expect("valid");
+    engine.apply_batch(&engine_batch).expect("valid");
+    assert_eq!(net.mis(), engine.mis());
+}
+
+#[test]
+fn tracing_captures_algorithm2_state_machine() {
+    // The trace facility exposes the full M̄→C→R→M walk of Algorithm 2.
+    let (g, ids) = generators::path(2);
+    let pm = PriorityMap::from_order(&ids);
+    let mut net = SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g, pm, 0);
+    net.enable_tracing();
+    net.apply_change(&DistributedChange::AbruptDeleteEdge(ids[0], ids[1]))
+        .expect("valid");
+    let trace: Vec<String> = net.take_trace().iter().map(|e| e.message.clone()).collect();
+    assert_eq!(trace, vec!["ToC", "ToR", "Commit(In)"], "C → R → M walk");
+}

@@ -1,0 +1,185 @@
+//! Integration tests for the history-independence property (Section 5,
+//! Definition 14) across the whole stack, including the composed
+//! structures (clustering, matching, coloring).
+
+use std::collections::BTreeMap;
+
+use dynamic_mis::cluster::from_mis;
+use dynamic_mis::core::{static_greedy, MisEngine};
+use dynamic_mis::graph::stream::{self, ChurnConfig};
+use dynamic_mis::graph::{DynGraph, NodeId, TopologyChange, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// At fixed priorities, the dynamic output is a *function* of the current
+/// graph: replaying any change sequence that ends at the same graph gives
+/// the same MIS.
+#[test]
+fn output_is_a_function_of_graph_and_priorities() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (g0, _) = generators::erdos_renyi(12, 0.3, &mut rng);
+    // Wander around and come back: apply a change and its inverse.
+    let mut engine = MisEngine::from_graph(g0.clone(), 9);
+    let baseline = engine.mis();
+    for _ in 0..30 {
+        let Some(change) =
+            stream::random_change(engine.graph(), &ChurnConfig::edges_only(), &mut rng)
+        else {
+            continue;
+        };
+        let inverse = match &change {
+            TopologyChange::InsertEdge(u, v) => TopologyChange::DeleteEdge(*u, *v),
+            TopologyChange::DeleteEdge(u, v) => TopologyChange::InsertEdge(*u, *v),
+            _ => unreachable!("edges-only churn"),
+        };
+        engine.apply(&change).expect("valid");
+        engine.apply(&inverse).expect("valid");
+        assert_eq!(engine.graph(), &g0);
+        assert_eq!(engine.mis(), baseline, "detour changed the output");
+    }
+}
+
+/// The output *distribution* over seeds is history independent: building a
+/// graph edge-by-edge in two different orders yields the same empirical
+/// MIS distribution (up to sampling noise).
+#[test]
+fn distribution_is_history_independent() {
+    let trials = 4000;
+    let (target, ids) = generators::cycle(6);
+    let edges: Vec<(NodeId, NodeId)> = target.edges().map(|k| k.endpoints()).collect();
+
+    let sample = |edge_order: &[(NodeId, NodeId)], tag: u64| -> BTreeMap<u64, usize> {
+        let mut dist = BTreeMap::new();
+        for t in 0..trials {
+            let mut engine = MisEngine::new(tag * 1_000_000 + t);
+            for i in 0..6u64 {
+                engine
+                    .apply(&TopologyChange::InsertNode {
+                        id: NodeId(i),
+                        edges: vec![],
+                    })
+                    .expect("valid");
+            }
+            for &(u, v) in edge_order {
+                engine.insert_edge(u, v).expect("valid");
+            }
+            let mask: u64 = engine.mis().iter().map(|v| 1 << v.index()).sum();
+            *dist.entry(mask).or_insert(0) += 1;
+        }
+        dist
+    };
+
+    let forward = sample(&edges, 1);
+    let mut reversed = edges.clone();
+    reversed.reverse();
+    let backward = sample(&reversed, 2);
+    let tv = total_variation(&forward, &backward);
+    assert!(tv < 0.06, "TV distance {tv} too large for same-graph histories");
+    let _ = ids;
+}
+
+/// Composition: the clustering inherits history independence — at equal
+/// priorities it is a function of the graph alone.
+#[test]
+fn clustering_composes_history_independence() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (g, _) = generators::erdos_renyi(14, 0.25, &mut rng);
+    let mut engine = MisEngine::from_graph(g.clone(), 77);
+    // Detour: delete a node's edges and reinsert them.
+    let v = generators::random_node(&g, &mut rng).expect("non-empty");
+    let nbrs: Vec<NodeId> = g.neighbors(v).expect("live").collect();
+    for &u in &nbrs {
+        engine.remove_edge(v, u).expect("valid");
+    }
+    for &u in &nbrs {
+        engine.insert_edge(v, u).expect("valid");
+    }
+    assert_eq!(engine.graph(), &g);
+    let direct = MisEngine::from_parts(
+        g.clone(),
+        engine.priorities().clone(),
+        0,
+    );
+    assert_eq!(engine.mis(), direct.mis());
+    let c1 = from_mis(engine.graph(), engine.priorities(), &engine.mis());
+    let c2 = from_mis(direct.graph(), direct.priorities(), &direct.mis());
+    assert_eq!(c1, c2, "clustering must not remember the detour");
+}
+
+/// The adversary cannot bias the star: even after building it leaf by leaf
+/// (the worst history for a natural greedy), the expected MIS stays Θ(n).
+#[test]
+fn star_output_cannot_be_biased() {
+    let n = 32;
+    let trials = 600;
+    let mut linear = 0usize;
+    for t in 0..trials {
+        let mut engine = MisEngine::new(t);
+        for change in stream::adversarial_star_stream(n) {
+            engine.apply(&change).expect("valid");
+        }
+        if engine.mis().len() == n - 1 {
+            linear += 1;
+        } else {
+            assert_eq!(engine.mis().len(), 1, "star MIS is center xor leaves");
+        }
+    }
+    let frac = linear as f64 / trials as f64;
+    // P[all leaves] = 1 - 1/n = 0.969…
+    assert!(
+        frac > 0.9,
+        "all-leaves MIS should dominate, got fraction {frac}"
+    );
+}
+
+fn total_variation(a: &BTreeMap<u64, usize>, b: &BTreeMap<u64, usize>) -> f64 {
+    let na: f64 = a.values().map(|&c| c as f64).sum();
+    let nb: f64 = b.values().map(|&c| c as f64).sum();
+    let keys: std::collections::BTreeSet<&u64> = a.keys().chain(b.keys()).collect();
+    keys.into_iter()
+        .map(|k| {
+            let pa = a.get(k).map_or(0.0, |&c| c as f64) / na;
+            let pb = b.get(k).map_or(0.0, |&c| c as f64) / nb;
+            (pa - pb).abs()
+        })
+        .sum::<f64>()
+        / 2.0
+}
+
+/// Static greedy is the ground truth everywhere: a long-lived mixed churn
+/// never lets the engine drift.
+#[test]
+fn long_lived_equivalence_with_static_greedy() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut engine = MisEngine::new(123);
+    // Grow from empty, then churn.
+    let mut graph_steps = 0;
+    while graph_steps < 400 {
+        let Some(change) = stream::random_change(
+            engine.graph(),
+            &ChurnConfig {
+                edge_insert: 0.35,
+                edge_delete: 0.25,
+                node_insert: 0.25,
+                node_delete: 0.15,
+                max_new_degree: 4,
+            },
+            &mut rng,
+        ) else {
+            // Empty graph with no applicable change: seed a node.
+            let id = engine.graph().peek_next_id();
+            engine
+                .apply(&TopologyChange::InsertNode { id, edges: vec![] })
+                .expect("valid");
+            graph_steps += 1;
+            continue;
+        };
+        engine.apply(&change).expect("valid");
+        graph_steps += 1;
+        if graph_steps % 40 == 0 {
+            let truth = static_greedy::greedy_mis(engine.graph(), engine.priorities());
+            assert_eq!(engine.mis(), truth);
+        }
+    }
+    assert!(engine.graph().node_count() > 0 || DynGraph::new().is_empty());
+}

@@ -1,0 +1,280 @@
+//! Property-based integration tests of the paper's analysis machinery over
+//! the full stack: Lemma 2 under distributed change types, Theorem 1
+//! statistics on the distributed protocols, and failure injection under
+//! adversarial asynchronous schedules.
+
+use std::collections::BTreeMap;
+
+use dynamic_mis::core::{static_greedy, theory, MisState, PriorityMap};
+use dynamic_mis::graph::stream::{self, ChurnConfig};
+use dynamic_mis::graph::{generators, NodeId, TopologyChange};
+use dynamic_mis::protocol::{TdNode, TemplateDirect};
+use dynamic_mis::sim::{
+    AsyncNetwork, DelaySchedule, LocalEvent, NeighborInfo, Protocol, RandomDelays,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 2 holds on graphs drawn from every experiment family shape,
+    /// not just ER (the unit tests cover ER).
+    #[test]
+    fn lemma2_on_structured_graphs(
+        shape in 0usize..4,
+        n in 4usize..14,
+        pm_seed in any::<u64>(),
+        change_seed in any::<u64>(),
+    ) {
+        let g = match shape {
+            0 => generators::star(n).0,
+            1 => generators::cycle(n.max(3)).0,
+            2 => generators::complete_bipartite(n / 2, n - n / 2).0,
+            _ => generators::grid(2, n / 2 + 1).0,
+        };
+        let mut prio_rng = StdRng::seed_from_u64(pm_seed);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut prio_rng);
+        }
+        let mut change_rng = StdRng::seed_from_u64(change_seed);
+        let Some(change) =
+            stream::random_change(&g, &ChurnConfig::default(), &mut change_rng)
+        else { return Ok(()) };
+        if let TopologyChange::InsertNode { id, .. } = &change {
+            pm.assign(*id, &mut change_rng);
+        }
+        let report = theory::check_lemma2_on(&g, &pm, &change);
+        prop_assert!(report.holds(), "lemma 2 violated: {:?}", report);
+    }
+
+    /// Failure injection: under arbitrary random delay schedules the async
+    /// direct template still converges to the greedy MIS after an abrupt
+    /// node crash.
+    #[test]
+    fn async_crash_recovery_under_random_delays(
+        n in 5usize..16,
+        p in 0.15f64..0.5,
+        seed in any::<u64>(),
+        max_delay in 1u64..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut rng);
+        }
+        let Some(victim) = generators::random_node(&g, &mut rng) else { return Ok(()) };
+        let mis = static_greedy::greedy_mis(&g, &pm);
+        let proto = TemplateDirect;
+        let nodes: BTreeMap<NodeId, TdNode> = g
+            .nodes()
+            .map(|w| {
+                let info: Vec<NeighborInfo> = g
+                    .neighbors(w)
+                    .expect("live")
+                    .map(|x| NeighborInfo {
+                        id: x,
+                        ell: pm.of(x).key(),
+                        state: MisState::from_membership(mis.contains(&x)),
+                    })
+                    .collect();
+                (
+                    w,
+                    proto.spawn_stable(
+                        w,
+                        pm.of(w).key(),
+                        MisState::from_membership(mis.contains(&w)),
+                        &info,
+                    ),
+                )
+            })
+            .collect();
+        let mut net = AsyncNetwork::new(g.clone(), nodes, RandomDelays::new(seed, max_delay));
+        // Crash: remove the victim and notify the survivors.
+        let nbrs: Vec<NodeId> = g.neighbors(victim).expect("live").collect();
+        net.graph_mut().remove_node(victim).expect("valid");
+        net.remove_node(victim);
+        for u in nbrs {
+            net.inject_event(u, LocalEvent::NeighborDepartedAbrupt { peer: victim });
+        }
+        net.run();
+        let mut g_new = g;
+        g_new.remove_node(victim).expect("valid");
+        let expect = static_greedy::greedy_mis(&g_new, &pm);
+        prop_assert_eq!(net.mis(), expect);
+    }
+}
+
+/// An adversarial schedule that delivers messages from lower-priority
+/// senders as slowly as possible (a worst case for the relaxation).
+struct SlowLow {
+    cutoff: NodeId,
+}
+
+impl DelaySchedule for SlowLow {
+    fn delay(&mut self, from: NodeId, _to: NodeId, _now: u64) -> u64 {
+        if from < self.cutoff {
+            10
+        } else {
+            1
+        }
+    }
+}
+
+#[test]
+fn async_convergence_under_adversarial_delays() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, ids) = generators::erdos_renyi(12, 0.3, &mut rng);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut rng);
+        }
+        let Some((u, v)) = generators::random_edge(&g, &mut rng) else {
+            continue;
+        };
+        let mis = static_greedy::greedy_mis(&g, &pm);
+        let proto = TemplateDirect;
+        let nodes: BTreeMap<NodeId, TdNode> = g
+            .nodes()
+            .map(|w| {
+                let info: Vec<NeighborInfo> = g
+                    .neighbors(w)
+                    .expect("live")
+                    .map(|x| NeighborInfo {
+                        id: x,
+                        ell: pm.of(x).key(),
+                        state: MisState::from_membership(mis.contains(&x)),
+                    })
+                    .collect();
+                (
+                    w,
+                    proto.spawn_stable(
+                        w,
+                        pm.of(w).key(),
+                        MisState::from_membership(mis.contains(&w)),
+                        &info,
+                    ),
+                )
+            })
+            .collect();
+        let schedule = SlowLow {
+            cutoff: ids[ids.len() / 2],
+        };
+        let mut net = AsyncNetwork::new(g.clone(), nodes, schedule);
+        net.graph_mut().remove_edge(u, v).expect("valid");
+        for (a, b) in [(u, v), (v, u)] {
+            net.inject_event(
+                a,
+                LocalEvent::EdgeRemoved {
+                    peer: b,
+                    graceful: false,
+                },
+            );
+        }
+        net.run();
+        let mut g_new = g;
+        g_new.remove_edge(u, v).expect("valid");
+        assert_eq!(net.mis(), static_greedy::greedy_mis(&g_new, &pm));
+    }
+}
+
+/// Statistical rendition of Theorem 1 at integration level: mean template
+/// |S| over random orders stays ≤ 1 + CI on a mixed workload.
+#[test]
+fn theorem1_statistics_hold_end_to_end() {
+    let trials = 800;
+    let mut total = 0usize;
+    let mut counted = 0usize;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(t);
+        let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut rng);
+        }
+        let Some(change) = stream::random_change(&g, &ChurnConfig::default(), &mut rng)
+        else {
+            continue;
+        };
+        if let TopologyChange::InsertNode { id, .. } = &change {
+            pm.assign(*id, &mut rng);
+        }
+        let mut g_new = g.clone();
+        change.apply(&mut g_new).expect("valid");
+        let trace =
+            dynamic_mis::core::template::simulate_change(&g, &g_new, &pm, &change);
+        total += trace.s_size();
+        counted += 1;
+    }
+    let mean = total as f64 / counted as f64;
+    assert!(
+        mean <= 1.15,
+        "mean |S| = {mean} over {counted} trials contradicts Theorem 1"
+    );
+}
+
+/// Statistical check of **Lemma 3**, the probabilistic heart of Theorem 1:
+/// for any set P, conditioned on S' = P, the probability that π(v*) is
+/// minimal among P is exactly 1/|P|.
+///
+/// We fix a small graph and a node deletion (so v* is fixed and the
+/// π(v**) ≤ π(v*) conditioning is trivial), sample many uniform orders,
+/// bucket them by the realized S', and compare the empirical minimality
+/// frequency against 1/|P| within binomial confidence bounds.
+#[test]
+fn lemma3_minimality_probability_is_one_over_p() {
+    use dynamic_mis::graph::TopologyChange;
+    use std::collections::BTreeMap;
+
+    let mut rng = StdRng::seed_from_u64(33);
+    let (g, ids) = generators::erdos_renyi(8, 0.35, &mut rng);
+    let victim = ids[3];
+    let mut g_new = g.clone();
+    g_new.remove_node(victim).expect("exists");
+    let change = TopologyChange::DeleteNode(victim);
+
+    let samples = 30_000u32;
+    // Bucket: S' (as a sorted vec) → (count, v*-minimal count).
+    let mut buckets: BTreeMap<Vec<NodeId>, (u32, u32)> = BTreeMap::new();
+    for s in 0..samples {
+        let mut prio_rng = StdRng::seed_from_u64(1_000_000 + u64::from(s));
+        let mut pm = PriorityMap::new();
+        for v in g.nodes() {
+            pm.assign(v, &mut prio_rng);
+        }
+        let sp = theory::s_prime(&g, &g_new, &pm, &change);
+        let min = sp
+            .iter()
+            .map(|&u| pm.of(u))
+            .min()
+            .expect("S' contains v*");
+        let v_star_min = pm.of(victim) == min;
+        let key: Vec<NodeId> = sp.into_iter().collect();
+        let entry = buckets.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        if v_star_min {
+            entry.1 += 1;
+        }
+    }
+
+    let mut checked = 0;
+    for (p_set, (count, min_count)) in buckets {
+        if count < 800 {
+            continue; // not enough mass for a tight test
+        }
+        let expected = 1.0 / p_set.len() as f64;
+        let observed = f64::from(min_count) / f64::from(count);
+        let sigma = (expected * (1.0 - expected) / f64::from(count)).sqrt();
+        assert!(
+            (observed - expected).abs() <= 4.5 * sigma + 0.01,
+            "lemma 3 violated for P={p_set:?}: observed {observed:.4}, \
+             expected {expected:.4} (n={count})"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "need at least two populous buckets, got {checked}");
+}
