@@ -1,11 +1,21 @@
 //! Wall-clock cost of a single dynamic update vs recomputing from scratch
 //! — the sequential-cost side of the paper's separation (Section 6: a
 //! direct sequential implementation pays O(Δ) per adjusted node, versus
-//! Θ(n + m) for any from-scratch recomputation).
+//! Θ(n + m) for any from-scratch recomputation) — plus the dense-storage
+//! ablation: the same settle loop over `NodeMap`/`NodeSet` versus the
+//! `BTreeMap`/`BTreeSet` layout it replaced.
+//!
+//! Running this bench also writes a `BENCH_engine.json` snapshot (into the
+//! current directory, or `$BENCH_SNAPSHOT_DIR` if set) recording the dense
+//! vs BTree per-update latency on random-graph churn. `cargo bench --bench
+//! engine_updates -- --test` runs everything in single-pass smoke mode and
+//! still emits the snapshot (with reduced iteration counts).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use dmis_bench::baseline_btree::BTreeMisEngine;
 use dmis_core::{static_greedy, MisEngine};
 use dmis_graph::generators;
 use rand::rngs::StdRng;
@@ -37,9 +47,18 @@ fn bench_update_vs_recompute(c: &mut Criterion) {
             });
         });
 
-        group.bench_with_input(BenchmarkId::new("static_greedy_recompute", n), &n, |b, _| {
-            b.iter(|| black_box(static_greedy::greedy_mis(engine.graph(), engine.priorities())));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("static_greedy_recompute", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(static_greedy::greedy_mis(
+                        engine.graph(),
+                        engine.priorities(),
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -52,10 +71,58 @@ fn bench_node_churn(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("insert_delete_node", n), &n, |b, _| {
             let mut engine = MisEngine::from_graph(g.clone(), 3);
             b.iter(|| {
-                let (v, _) = engine
-                    .insert_node([ids[0], ids[1], ids[2]])
-                    .expect("valid");
+                let (v, _) = engine.insert_node([ids[0], ids[1], ids[2]]).expect("valid");
                 black_box(engine.remove_node(v).expect("valid"));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Shared dense-vs-BTree workload: ER(n, 8/n) plus 256 pre-sampled edges
+/// to toggle. Used by both the criterion group and the snapshot writer so
+/// the committed `BENCH_engine.json` measures exactly what the bench runs.
+fn toggle_workload(
+    n: usize,
+) -> (
+    dmis_graph::DynGraph,
+    Vec<(dmis_graph::NodeId, dmis_graph::NodeId)>,
+) {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+    let mut rng = StdRng::seed_from_u64(7);
+    let edges: Vec<_> = (0..256)
+        .map(|_| generators::random_edge(&g, &mut rng).expect("has edges"))
+        .collect();
+    (g, edges)
+}
+
+/// Dense `NodeMap`/`NodeSet` engine vs the BTree-backed baseline on the
+/// identical edge-toggle workload — the storage-layout ablation.
+fn bench_dense_vs_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_storage_layout");
+    for &n in &[100usize, 1000, 5000] {
+        let (g, edges) = toggle_workload(n);
+
+        group.bench_with_input(BenchmarkId::new("dense_edge_toggle", n), &n, |b, _| {
+            let mut engine = MisEngine::from_graph(g.clone(), 42);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(engine.remove_edge(u, v).expect("valid"));
+                black_box(engine.insert_edge(u, v).expect("valid"));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("btree_edge_toggle", n), &n, |b, _| {
+            let mut engine = BTreeMisEngine::from_graph(&g, 42);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(engine.remove_edge(u, v));
+                black_box(engine.insert_edge(u, v));
             });
         });
     }
@@ -65,6 +132,80 @@ fn bench_node_churn(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_update_vs_recompute, bench_node_churn
+    targets = bench_update_vs_recompute, bench_node_churn, bench_dense_vs_btree
 }
-criterion_main!(benches);
+
+/// Median wall-clock nanoseconds per toggle over `iters` toggles.
+fn measure_toggle_ns(mut step: impl FnMut(), iters: usize, samples: usize) -> f64 {
+    let mut per_sample: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                step();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_sample.sort_by(f64::total_cmp);
+    per_sample[per_sample.len() / 2]
+}
+
+/// Writes the dense-vs-BTree latency snapshot consumed by CI.
+fn write_snapshot(test_mode: bool) {
+    let (iters, samples) = if test_mode { (16, 3) } else { (512, 9) };
+    let mut entries = Vec::new();
+    // Snapshot covers the CI-sized prefix of the bench group's n sweep.
+    for &n in &[100usize, 1000] {
+        let (g, edges) = toggle_workload(n);
+
+        let mut dense = MisEngine::from_graph(g.clone(), 42);
+        let mut i = 0usize;
+        let dense_ns = measure_toggle_ns(
+            || {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(dense.remove_edge(u, v).expect("valid"));
+                black_box(dense.insert_edge(u, v).expect("valid"));
+            },
+            iters,
+            samples,
+        );
+
+        let mut btree = BTreeMisEngine::from_graph(&g, 42);
+        let mut j = 0usize;
+        let btree_ns = measure_toggle_ns(
+            || {
+                let (u, v) = edges[j % edges.len()];
+                j += 1;
+                black_box(btree.remove_edge(u, v));
+                black_box(btree.insert_edge(u, v));
+            },
+            iters,
+            samples,
+        );
+
+        entries.push(format!(
+            "  {{\"n\": {n}, \"dense_ns_per_toggle\": {dense_ns:.1}, \
+             \"btree_ns_per_toggle\": {btree_ns:.1}, \"speedup\": {:.2}}}",
+            btree_ns / dense_ns
+        ));
+    }
+    let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/BENCH_engine.json");
+    let body = format!(
+        "{{\"bench\": \"engine_updates\", \"workload\": \"er_random_edge_toggle\", \
+         \"mode\": \"{}\", \"results\": [\n{}\n]}}\n",
+        if test_mode { "smoke" } else { "full" },
+        entries.join(",\n")
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    write_snapshot(test_mode);
+}

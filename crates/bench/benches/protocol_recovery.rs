@@ -10,11 +10,7 @@ use dmis_sim::{Protocol, SyncNetwork};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_edge_toggle<P: Protocol + Copy>(
-    c: &mut Criterion,
-    name: &str,
-    proto: P,
-) {
+fn bench_edge_toggle<P: Protocol + Copy>(c: &mut Criterion, name: &str, proto: P) {
     let mut group = c.benchmark_group(format!("recovery_{name}"));
     for &n in &[64usize, 256] {
         let mut rng = StdRng::seed_from_u64(n as u64);
@@ -24,8 +20,7 @@ fn bench_edge_toggle<P: Protocol + Copy>(
             let mut rng = StdRng::seed_from_u64(9);
             let edges: Vec<_> = (0..256)
                 .map(|_| {
-                    generators::random_edge(&net.logical_graph(), &mut rng)
-                        .expect("has edges")
+                    generators::random_edge(&net.logical_graph(), &mut rng).expect("has edges")
                 })
                 .collect();
             let mut i = 0usize;

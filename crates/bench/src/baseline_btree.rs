@@ -1,0 +1,217 @@
+//! BTree-backed reference engine: the storage layout the dense
+//! [`dmis_core::MisEngine`] replaced.
+//!
+//! This is deliberately the *same algorithm* — lazily drawn priorities, a
+//! lower-MIS-neighbor counter per node, settlement of dirty nodes in
+//! increasing π order — over `BTreeMap`/`BTreeSet` per-node state instead
+//! of the dense `NodeMap`/`NodeSet` containers. The `engine_updates` bench
+//! runs both on identical churn workloads so the `BENCH_engine.json`
+//! snapshot isolates the cost of the storage layout, not the algorithm.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use dmis_core::Priority;
+use dmis_graph::{DynGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-greedy MIS maintainer with ordered-tree per-node state.
+#[derive(Debug, Clone)]
+pub struct BTreeMisEngine {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    priorities: BTreeMap<NodeId, Priority>,
+    in_mis: BTreeMap<NodeId, bool>,
+    lower: BTreeMap<NodeId, usize>,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl BTreeMisEngine {
+    /// Builds the engine over an existing graph, drawing fresh priorities
+    /// from `seed` and computing the initial greedy MIS.
+    #[must_use]
+    pub fn from_graph(graph: &DynGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut priorities = BTreeMap::new();
+        for v in graph.nodes() {
+            adj.insert(v, graph.neighbors(v).expect("live node").collect());
+            priorities.insert(v, Priority::random(v, &mut rng));
+        }
+        let mut engine = BTreeMisEngine {
+            adj,
+            priorities,
+            in_mis: BTreeMap::new(),
+            lower: BTreeMap::new(),
+            next_id: graph.peek_next_id().index(),
+            rng,
+        };
+        // Initial states via sequential greedy in π order.
+        let mut order: Vec<NodeId> = engine.adj.keys().copied().collect();
+        order.sort_unstable_by_key(|v| engine.priorities[v]);
+        for v in order {
+            let dominated = engine.adj[&v]
+                .iter()
+                .any(|u| engine.in_mis.get(u) == Some(&true) && engine.before(*u, v));
+            engine.in_mis.insert(v, !dominated);
+        }
+        for v in engine.adj.keys().copied().collect::<Vec<_>>() {
+            let count = engine.count_lower(v);
+            engine.lower.insert(v, count);
+        }
+        engine
+    }
+
+    fn before(&self, a: NodeId, b: NodeId) -> bool {
+        self.priorities[&a] < self.priorities[&b]
+    }
+
+    fn count_lower(&self, v: NodeId) -> usize {
+        self.adj[&v]
+            .iter()
+            .filter(|&&u| self.in_mis[&u] && self.before(u, v))
+            .count()
+    }
+
+    /// Current MIS size (cheap output probe for benchmarks).
+    #[must_use]
+    pub fn mis_size(&self) -> usize {
+        self.in_mis.values().filter(|&&m| m).count()
+    }
+
+    /// Current MIS as a set (for equivalence checks).
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.in_mis
+            .iter()
+            .filter_map(|(&v, &m)| m.then_some(v))
+            .collect()
+    }
+
+    /// Inserts edge `{u, v}` (must be valid) and settles; returns flips.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        self.adj.get_mut(&u).expect("live").insert(v);
+        self.adj.get_mut(&v).expect("live").insert(u);
+        let (lo, hi) = if self.before(u, v) { (u, v) } else { (v, u) };
+        let mut seeds = Vec::new();
+        if self.in_mis[&lo] {
+            *self.lower.get_mut(&hi).expect("live") += 1;
+            seeds.push(hi);
+        }
+        self.settle(seeds)
+    }
+
+    /// Removes edge `{u, v}` (must exist) and settles; returns flips.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        self.adj.get_mut(&u).expect("live").remove(&v);
+        self.adj.get_mut(&v).expect("live").remove(&u);
+        let (lo, hi) = if self.before(u, v) { (u, v) } else { (v, u) };
+        let mut seeds = Vec::new();
+        if self.in_mis[&lo] {
+            *self.lower.get_mut(&hi).expect("live") -= 1;
+            seeds.push(hi);
+        }
+        self.settle(seeds)
+    }
+
+    /// Inserts a node wired to `neighbors` (must be valid) and settles.
+    pub fn insert_node(&mut self, neighbors: &[NodeId]) -> NodeId {
+        let v = NodeId(self.next_id);
+        self.next_id += 1;
+        let key: u64 = self.rng.random();
+        self.priorities.insert(v, Priority::new(key, v));
+        self.adj.insert(v, neighbors.iter().copied().collect());
+        for &u in neighbors {
+            self.adj.get_mut(&u).expect("live").insert(v);
+        }
+        self.in_mis.insert(v, false);
+        let count = self.count_lower(v);
+        self.lower.insert(v, count);
+        self.settle(vec![v]);
+        v
+    }
+
+    /// Removes node `v` (must exist) and settles; returns flips.
+    pub fn remove_node(&mut self, v: NodeId) -> usize {
+        let was_in = self.in_mis.remove(&v).expect("live");
+        let prio_v = self.priorities.remove(&v).expect("live");
+        self.lower.remove(&v);
+        let nbrs = self.adj.remove(&v).expect("live");
+        let mut seeds = Vec::new();
+        for &u in &nbrs {
+            self.adj.get_mut(&u).expect("live").remove(&v);
+            if self.priorities[&u] > prio_v {
+                if was_in {
+                    *self.lower.get_mut(&u).expect("live") -= 1;
+                }
+                seeds.push(u);
+            }
+        }
+        self.settle(seeds)
+    }
+
+    fn settle(&mut self, seeds: Vec<NodeId>) -> usize {
+        let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> = seeds
+            .into_iter()
+            .map(|v| Reverse((self.priorities[&v], v)))
+            .collect();
+        let mut flips = 0usize;
+        while let Some(Reverse((prio, v))) = heap.pop() {
+            let desired = self.lower[&v] == 0;
+            if desired == self.in_mis[&v] {
+                continue;
+            }
+            self.in_mis.insert(v, desired);
+            flips += 1;
+            let higher: Vec<NodeId> = self.adj[&v]
+                .iter()
+                .copied()
+                .filter(|w| self.priorities[w] > prio)
+                .collect();
+            for w in higher {
+                let c = self.lower.get_mut(&w).expect("live");
+                if desired {
+                    *c += 1;
+                } else {
+                    *c -= 1;
+                }
+                heap.push(Reverse((self.priorities[&w], w)));
+            }
+        }
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    #[test]
+    fn baseline_maintains_a_maximal_independent_set() {
+        let (g, ids) = generators::cycle(8);
+        let mut engine = BTreeMisEngine::from_graph(&g, 9);
+        let check = |e: &BTreeMisEngine| {
+            let mis = e.mis();
+            for (&v, nbrs) in &e.adj {
+                let dominated = nbrs.iter().any(|u| mis.contains(u) && e.before(*u, v));
+                assert_eq!(mis.contains(&v), !dominated, "invariant broken at {v}");
+            }
+        };
+        check(&engine);
+        engine.remove_edge(ids[0], ids[1]);
+        check(&engine);
+        engine.insert_edge(ids[0], ids[1]);
+        check(&engine);
+        engine.insert_edge(ids[0], ids[4]);
+        check(&engine);
+        engine.remove_edge(ids[0], ids[4]);
+        check(&engine);
+        let v = engine.insert_node(&[ids[2], ids[3]]);
+        check(&engine);
+        engine.remove_node(v);
+        check(&engine);
+        assert_eq!(engine.mis_size(), engine.mis().len());
+    }
+}

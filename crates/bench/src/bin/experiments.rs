@@ -4,8 +4,8 @@
 //! experiments [--quick] [e1 e2 ... | all]
 //! ```
 //!
-//! With no experiment arguments, runs all of E1–E11. `--quick` shrinks
-//! trial counts (used in CI); full runs feed EXPERIMENTS.md.
+//! With no experiment arguments, runs all of E1–E14. `--quick` shrinks
+//! trial counts (used in CI); see the experiment index in `DESIGN.md`.
 
 use std::time::Instant;
 

@@ -20,7 +20,11 @@ use crate::table::Table;
 /// Runs experiment E10.
 #[must_use]
 pub fn run(quick: bool) -> Report {
-    let ns: &[usize] = if quick { &[32, 64] } else { &[64, 128, 256, 512] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let changes_per_n = if quick { 25 } else { 60 };
     let mut table = Table::new(vec![
         "n",

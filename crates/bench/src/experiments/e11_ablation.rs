@@ -81,10 +81,7 @@ pub fn run(quick: bool) -> Report {
             (
                 g,
                 pm,
-                DistributedChange::AbruptDeleteEdge(
-                    dmis_graph::NodeId(0),
-                    dmis_graph::NodeId(1),
-                ),
+                DistributedChange::AbruptDeleteEdge(dmis_graph::NodeId(0), dmis_graph::NodeId(1)),
             )
         });
         table.row(vec![
@@ -168,6 +165,9 @@ mod tests {
         assert_eq!(direct, 8);
         let alg2_rounds: usize = cells[5].parse().unwrap();
         let direct_rounds: usize = cells[4].parse().unwrap();
-        assert!(alg2_rounds >= direct_rounds, "alg2 trades rounds for bcasts");
+        assert!(
+            alg2_rounds >= direct_rounds,
+            "alg2 trades rounds for bcasts"
+        );
     }
 }

@@ -23,7 +23,11 @@ use crate::table::Table;
 pub fn run(quick: bool) -> Report {
     let n = if quick { 60 } else { 150 };
     let trials = if quick { 100 } else { 400 };
-    let ks: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32] };
+    let ks: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     let mut table = Table::new(vec![
         "k (batch size)",
         "batch |S| (mean ± CI)",
@@ -41,8 +45,7 @@ pub fn run(quick: bool) -> Report {
             let mut shadow = g.clone();
             let mut batch = Vec::with_capacity(k);
             for _ in 0..k {
-                let Some(c) =
-                    stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
+                let Some(c) = stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
                 else {
                     break;
                 };

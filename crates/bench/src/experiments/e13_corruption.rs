@@ -21,7 +21,11 @@ use crate::table::Table;
 pub fn run(quick: bool) -> Report {
     let n = if quick { 60 } else { 200 };
     let trials = if quick { 80 } else { 300 };
-    let ks: &[usize] = if quick { &[1, 4, 16] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let ks: &[usize] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let mut table = Table::new(vec![
         "k corrupted",
         "influenced (mean ± CI)",

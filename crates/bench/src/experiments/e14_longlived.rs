@@ -9,8 +9,8 @@
 //! topology, not just ER.
 
 use dmis_core::MisEngine;
-use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::generators;
+use dmis_graph::stream::{self, ChurnConfig};
 
 use super::common::trial_rng;
 use super::Report;
@@ -29,7 +29,11 @@ pub fn run(quick: bool) -> Report {
         "counter upd/chg",
         "max single-step adjust",
     ]);
-    let workloads: [(&str, u8); 3] = [("ER(500, 8/n)", 0), ("geometric(500, r=0.07)", 1), ("BA(500, 3)", 2)];
+    let workloads: [(&str, u8); 3] = [
+        ("ER(500, 8/n)", 0),
+        ("geometric(500, r=0.07)", 1),
+        ("BA(500, 3)", 2),
+    ];
     for (label, kind) in workloads {
         let mut rng = trial_rng(14_000, u64::from(kind));
         let n = if quick { 200 } else { 500 };

@@ -82,19 +82,15 @@ mod tests {
             .body
             .lines()
             .find(|l| l.starts_with("Worst cell mean"))
-            .and_then(|l| {
-                l.split(':')
-                    .nth(1)?
-                    .split_whitespace()
-                    .next()?
-                    .parse()
-                    .ok()
-            })
+            .and_then(|l| l.split(':').nth(1)?.split_whitespace().next()?.parse().ok())
             .expect("worst mean parseable");
         // |S| is heavy-tailed on the bipartite family (a deletion can flip
         // the whole side with probability ~1/n), so the quick-mode sample
         // mean gets generous slack; the full run in EXPERIMENTS.md shows
         // values at or below 1.
-        assert!(worst <= 2.0, "E[|S|] sample mean {worst} violates Theorem 1");
+        assert!(
+            worst <= 2.0,
+            "E[|S|] sample mean {worst} violates Theorem 1"
+        );
     }
 }

@@ -32,7 +32,10 @@ pub fn run(quick: bool) -> Report {
 
     // Synchronous, per change type.
     #[allow(clippy::type_complexity)]
-    let sync_kinds: [(&str, fn(&mut SyncNetwork<TemplateDirect>, &mut rand::rngs::StdRng) -> Option<DistributedChange>); 4] = [
+    let sync_kinds: [(
+        &str,
+        fn(&mut SyncNetwork<TemplateDirect>, &mut rand::rngs::StdRng) -> Option<DistributedChange>,
+    ); 4] = [
         ("sync edge-insert", |net, rng| {
             generators::random_non_edge(&net.logical_graph(), rng)
                 .map(|(u, v)| DistributedChange::InsertEdge(u, v))

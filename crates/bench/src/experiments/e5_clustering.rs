@@ -96,7 +96,14 @@ mod tests {
             .body
             .lines()
             .find(|l| l.contains("worst observed instance ratio"))
-            .and_then(|l| l.split(':').next_back()?.trim().trim_end_matches('.').parse().ok())
+            .and_then(|l| {
+                l.split(':')
+                    .next_back()?
+                    .trim()
+                    .trim_end_matches('.')
+                    .parse()
+                    .ok()
+            })
             .expect("worst ratio parseable");
         assert!(
             worst <= 3.0,

@@ -94,11 +94,7 @@ fn sample_distribution(
             engine.apply(change).expect("valid history");
         }
         // Encode the MIS over nodes 0..6 as a bitmask.
-        let mask: u64 = engine
-            .mis()
-            .into_iter()
-            .map(|v| 1u64 << v.index())
-            .sum();
+        let mask: u64 = engine.mis().into_iter().map(|v| 1u64 << v.index()).sum();
         *dist.entry(mask).or_insert(0) += 1;
     }
     dist

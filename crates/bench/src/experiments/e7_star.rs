@@ -9,8 +9,8 @@
 
 use dmis_core::MisEngine;
 use dmis_graph::stream;
-use dmis_protocol::DeterministicGreedy;
 use dmis_graph::DynGraph;
+use dmis_protocol::DeterministicGreedy;
 
 use super::Report;
 use crate::stats::Summary;
@@ -96,12 +96,7 @@ mod tests {
             .find(|l| l.starts_with("| 16 "))
             .expect("n=16 row");
         let cells: Vec<&str> = row.split('|').map(str::trim).collect();
-        let measured: f64 = cells[2]
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let measured: f64 = cells[2].split_whitespace().next().unwrap().parse().unwrap();
         let expected = star_expectation(16);
         assert!(
             (measured - expected).abs() < 1.0,

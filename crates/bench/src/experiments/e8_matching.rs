@@ -71,12 +71,7 @@ mod tests {
             .find(|l| l.starts_with("| 12 "))
             .expect("k=12 row");
         let cells: Vec<&str> = row.split('|').map(str::trim).collect();
-        let measured: f64 = cells[3]
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let measured: f64 = cells[3].split_whitespace().next().unwrap().parse().unwrap();
         let expected = 5.0 * 48.0 / 12.0; // 20
         assert!(
             (measured - expected).abs() < 1.0,

@@ -56,7 +56,8 @@ pub fn run(quick: bool) -> Report {
         "recolorings / change",
         "MIS adjustments / change",
     ]);
-    let classes: [(&str, f64, usize); 2] = [("ER(100, 0.05)", 0.05, 100), ("ER(100, 0.15)", 0.15, 100)];
+    let classes: [(&str, f64, usize); 2] =
+        [("ER(100, 0.05)", 0.05, 100), ("ER(100, 0.15)", 0.15, 100)];
     let change_trials = if quick { 150 } else { 600 };
     for (label, p, n) in classes {
         let mut recolors = Vec::new();
@@ -133,12 +134,7 @@ mod tests {
             .find(|l| l.starts_with("| 16 "))
             .expect("k=16 row");
         let cells: Vec<&str> = row.split('|').map(str::trim).collect();
-        let mean: f64 = cells[3]
-            .split_whitespace()
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let mean: f64 = cells[3].split_whitespace().next().unwrap().parse().unwrap();
         assert!(mean < 2.5, "mean palette {mean} too large");
     }
 }

@@ -7,6 +7,11 @@
 
 use std::fmt;
 
+mod e10_vs_static;
+mod e11_ablation;
+mod e12_batch;
+mod e13_corruption;
+mod e14_longlived;
 mod e1_theorem1;
 mod e2_corollary6;
 mod e3_broadcasts;
@@ -16,12 +21,12 @@ mod e6_history;
 mod e7_star;
 mod e8_matching;
 mod e9_coloring;
-mod e10_vs_static;
-mod e11_ablation;
-mod e12_batch;
-mod e13_corruption;
-mod e14_longlived;
 
+pub use e10_vs_static::run as e10;
+pub use e11_ablation::run as e11;
+pub use e12_batch::run as e12;
+pub use e13_corruption::run as e13;
+pub use e14_longlived::run as e14;
 pub use e1_theorem1::run as e1;
 pub use e2_corollary6::run as e2;
 pub use e3_broadcasts::run as e3;
@@ -31,11 +36,6 @@ pub use e6_history::run as e6;
 pub use e7_star::run as e7;
 pub use e8_matching::run as e8;
 pub use e9_coloring::run as e9;
-pub use e10_vs_static::run as e10;
-pub use e11_ablation::run as e11;
-pub use e12_batch::run as e12;
-pub use e13_corruption::run as e13;
-pub use e14_longlived::run as e14;
 
 /// A rendered experiment report: identifier, the paper's claim, and the
 /// measured tables.
@@ -123,16 +123,10 @@ pub(crate) mod common {
 
     /// Draws one random change of the requested kind, or `None` if the
     /// graph admits none.
-    pub fn change_of_kind(
-        g: &DynGraph,
-        kind: usize,
-        rng: &mut StdRng,
-    ) -> Option<TopologyChange> {
+    pub fn change_of_kind(g: &DynGraph, kind: usize, rng: &mut StdRng) -> Option<TopologyChange> {
         match kind {
-            0 => generators::random_non_edge(g, rng)
-                .map(|(u, v)| TopologyChange::InsertEdge(u, v)),
-            1 => generators::random_edge(g, rng)
-                .map(|(u, v)| TopologyChange::DeleteEdge(u, v)),
+            0 => generators::random_non_edge(g, rng).map(|(u, v)| TopologyChange::InsertEdge(u, v)),
+            1 => generators::random_edge(g, rng).map(|(u, v)| TopologyChange::DeleteEdge(u, v)),
             2 => {
                 let nodes: Vec<NodeId> = g.nodes().collect();
                 let deg = rng.random_range(0..=nodes.len().min(5));

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline_btree;
 pub mod experiments;
 pub mod families;
 pub mod stats;

@@ -1,7 +1,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dmis_core::PriorityMap;
-use dmis_graph::{DynGraph, NodeId};
+use dmis_graph::{DynGraph, NodeId, NodeMap};
 
 /// A partition of a graph's nodes into clusters, each named by a *center*
 /// node.
@@ -26,7 +26,8 @@ use dmis_graph::{DynGraph, NodeId};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Clustering {
-    center_of: BTreeMap<NodeId, NodeId>,
+    /// Dense node → cluster-center table.
+    center_of: NodeMap<NodeId>,
 }
 
 impl Clustering {
@@ -43,13 +44,13 @@ impl Clustering {
 
     /// Removes a node from the clustering, returning its former center.
     pub fn remove(&mut self, node: NodeId) -> Option<NodeId> {
-        self.center_of.remove(&node)
+        self.center_of.remove(node)
     }
 
     /// Returns the center of `node`'s cluster.
     #[must_use]
     pub fn center_of(&self, node: NodeId) -> Option<NodeId> {
-        self.center_of.get(&node).copied()
+        self.center_of.get(node).copied()
     }
 
     /// Returns `true` if `u` and `v` share a cluster.
@@ -77,7 +78,7 @@ impl Clustering {
     #[must_use]
     pub fn clusters(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
         let mut out: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
-        for (&v, &c) in &self.center_of {
+        for (v, &c) in self.center_of.iter() {
             out.entry(c).or_default().push(v);
         }
         out
@@ -85,7 +86,7 @@ impl Clustering {
 
     /// Iterates over `(node, center)` pairs in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.center_of.iter().map(|(&v, &c)| (v, c))
+        self.center_of.iter().map(|(v, &c)| (v, c))
     }
 
     /// The correlation-clustering cost on `g`:
@@ -98,7 +99,7 @@ impl Clustering {
     pub fn cost(&self, g: &DynGraph) -> usize {
         assert_eq!(self.center_of.len(), g.node_count(), "cover mismatch");
         for v in g.nodes() {
-            assert!(self.center_of.contains_key(&v), "node {v} unclustered");
+            assert!(self.center_of.contains(v), "node {v} unclustered");
         }
         let mut cost = 0usize;
         // Cross-cluster present edges.

@@ -1,7 +1,7 @@
 use std::collections::BTreeSet;
 
 use dmis_core::{MisEngine, UpdateReceipt};
-use dmis_graph::{DynGraph, GraphError, NodeId, TopologyChange};
+use dmis_graph::{DynGraph, GraphError, NodeId, NodeSet, TopologyChange};
 
 use crate::{from_mis, Clustering};
 
@@ -83,8 +83,8 @@ impl DynamicClustering {
         // Nodes whose attachment may change: the ones touched by the change
         // itself, every flipped node, and all their neighbors.
         let g = self.engine.graph();
-        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
-        let touch = |set: &mut BTreeSet<NodeId>, v: NodeId| {
+        let mut dirty = NodeSet::new();
+        let touch = |set: &mut NodeSet, v: NodeId| {
             if g.has_node(v) {
                 set.insert(v);
                 set.extend(g.neighbors(v).expect("live node"));
@@ -118,7 +118,7 @@ impl DynamicClustering {
             touch(&mut dirty, v);
         }
         let mut relabelled = BTreeSet::new();
-        for v in dirty {
+        for v in dirty.iter() {
             let new_center = self.attach(v);
             let old = self.clustering.center_of(v);
             if old != Some(new_center) {
@@ -182,8 +182,7 @@ mod tests {
         let (g, _) = generators::erdos_renyi(16, 0.25, &mut rng);
         let mut dc = DynamicClustering::new(g, 7);
         for _ in 0..300 {
-            let Some(change) =
-                stream::random_change(dc.graph(), &ChurnConfig::default(), &mut rng)
+            let Some(change) = stream::random_change(dc.graph(), &ChurnConfig::default(), &mut rng)
             else {
                 continue;
             };

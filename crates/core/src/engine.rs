@@ -1,8 +1,8 @@
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
 use std::collections::BTreeSet;
+use std::collections::BinaryHeap;
 
-use dmis_graph::{ChangeKind, DynGraph, GraphError, NodeId, TopologyChange};
+use dmis_graph::{ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, TopologyChange};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,9 +50,14 @@ use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
 pub struct MisEngine {
     graph: DynGraph,
     priorities: PriorityMap,
-    in_mis: BTreeMap<NodeId, bool>,
-    lower_mis_count: BTreeMap<NodeId, usize>,
+    /// Dense membership bitset: `v ∈ M ⟺ in_mis.contains(v)`.
+    in_mis: NodeSet,
+    /// Dense counter table: number of lower-π MIS neighbors per node.
+    lower_mis_count: NodeMap<usize>,
     rng: StdRng,
+    /// Scratch bitset marking nodes currently enqueued in the settle heap;
+    /// deduplicates pushes so each node is popped at most once per update.
+    enqueued: NodeSet,
 }
 
 impl MisEngine {
@@ -63,9 +68,10 @@ impl MisEngine {
         MisEngine {
             graph: DynGraph::new(),
             priorities: PriorityMap::new(),
-            in_mis: BTreeMap::new(),
-            lower_mis_count: BTreeMap::new(),
+            in_mis: NodeSet::new(),
+            lower_mis_count: NodeMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            enqueued: NodeSet::new(),
         }
     }
 
@@ -97,13 +103,11 @@ impl MisEngine {
         let mut engine = MisEngine {
             graph,
             priorities,
-            in_mis: BTreeMap::new(),
-            lower_mis_count: BTreeMap::new(),
+            in_mis: mis.iter().copied().collect(),
+            lower_mis_count: NodeMap::new(),
             rng,
+            enqueued: NodeSet::new(),
         };
-        for v in engine.graph.nodes() {
-            engine.in_mis.insert(v, mis.contains(&v));
-        }
         for v in engine.graph.nodes() {
             let count = engine.count_lower_mis(v);
             engine.lower_mis_count.insert(v, count);
@@ -115,8 +119,17 @@ impl MisEngine {
         self.graph
             .neighbors(v)
             .expect("live node")
-            .filter(|&u| self.in_mis[&u] && self.priorities.before(u, v))
+            .filter(|&u| self.in_mis.contains(u) && self.priorities.before(u, v))
             .count()
+    }
+
+    /// Sets the output bit of `v`.
+    fn set_in_mis(&mut self, v: NodeId, member: bool) {
+        if member {
+            self.in_mis.insert(v);
+        } else {
+            self.in_mis.remove(v);
+        }
     }
 
     /// Returns the current graph.
@@ -134,16 +147,13 @@ impl MisEngine {
     /// Returns the current MIS as a set of node identifiers.
     #[must_use]
     pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.in_mis
-            .iter()
-            .filter_map(|(&v, &m)| m.then_some(v))
-            .collect()
+        self.in_mis.iter().collect()
     }
 
     /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.
     #[must_use]
     pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
-        self.in_mis.get(&v).copied()
+        self.graph.has_node(v).then(|| self.in_mis.contains(v))
     }
 
     /// Returns the output state of `v`, or `None` if `v` does not exist.
@@ -163,8 +173,8 @@ impl MisEngine {
         let (lo, hi) = self.order_pair(u, v);
         let mut seeds = Vec::new();
         let mut counter_updates = 0;
-        if self.in_mis[&lo] {
-            *self.lower_mis_count.get_mut(&hi).expect("live node") += 1;
+        if self.in_mis.contains(lo) {
+            *self.lower_mis_count.get_mut(hi).expect("live node") += 1;
             counter_updates += 1;
             seeds.push(hi);
         }
@@ -182,8 +192,8 @@ impl MisEngine {
         let (lo, hi) = self.order_pair(u, v);
         let mut seeds = Vec::new();
         let mut counter_updates = 0;
-        if self.in_mis[&lo] {
-            *self.lower_mis_count.get_mut(&hi).expect("live node") -= 1;
+        if self.in_mis.contains(lo) {
+            *self.lower_mis_count.get_mut(hi).expect("live node") -= 1;
             counter_updates += 1;
             seeds.push(hi);
         }
@@ -226,8 +236,8 @@ impl MisEngine {
         let v = self.graph.add_node_with_edges(neighbors)?;
         self.priorities.insert(v, crate::Priority::new(key, v));
         // The newcomer starts with the paper's temporary state M̄ (§4.1), so
-        // no neighbor counter is affected by its arrival.
-        self.in_mis.insert(v, false);
+        // no neighbor counter is affected by its arrival; its membership
+        // bit is simply left unset.
         let count = self.count_lower_mis(v);
         self.lower_mis_count.insert(v, count);
         let receipt = self.propagate(ChangeKind::NodeInsert, vec![v], 0);
@@ -245,21 +255,21 @@ impl MisEngine {
     ///
     /// Propagates [`GraphError`] if `v` does not exist.
     pub fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError> {
-        let was_in = *self
-            .in_mis
-            .get(&v)
-            .ok_or(GraphError::MissingNode(v))?;
+        if !self.graph.has_node(v) {
+            return Err(GraphError::MissingNode(v));
+        }
+        let was_in = self.in_mis.contains(v);
         let prio_v = self.priorities.of(v);
         let nbrs = self.graph.remove_node(v)?;
         self.priorities.remove(v);
-        self.in_mis.remove(&v);
-        self.lower_mis_count.remove(&v);
+        self.in_mis.remove(v);
+        self.lower_mis_count.remove(v);
         let mut seeds = Vec::new();
         let mut counter_updates = 0;
         if was_in {
             for w in nbrs {
                 if self.priorities.of(w) > prio_v {
-                    *self.lower_mis_count.get_mut(&w).expect("live node") -= 1;
+                    *self.lower_mis_count.get_mut(w).expect("live node") -= 1;
                     counter_updates += 1;
                     seeds.push(w);
                 }
@@ -312,10 +322,7 @@ impl MisEngine {
     /// failing one remain applied and the invariant is restored for them,
     /// so the engine stays consistent; the failing and subsequent changes
     /// are not applied.
-    pub fn apply_batch(
-        &mut self,
-        changes: &[TopologyChange],
-    ) -> Result<BatchReceipt, GraphError> {
+    pub fn apply_batch(&mut self, changes: &[TopologyChange]) -> Result<BatchReceipt, GraphError> {
         let mut seeds = Vec::new();
         let mut counter_updates = 0usize;
         let mut applied = 0usize;
@@ -355,8 +362,8 @@ impl MisEngine {
             TopologyChange::InsertEdge(u, v) => {
                 self.graph.insert_edge(*u, *v)?;
                 let (lo, hi) = self.order_pair(*u, *v);
-                if self.in_mis[&lo] {
-                    *self.lower_mis_count.get_mut(&hi).expect("live node") += 1;
+                if self.in_mis.contains(lo) {
+                    *self.lower_mis_count.get_mut(hi).expect("live node") += 1;
                     *counter_updates += 1;
                 }
                 seeds.push(hi);
@@ -364,8 +371,8 @@ impl MisEngine {
             TopologyChange::DeleteEdge(u, v) => {
                 self.graph.remove_edge(*u, *v)?;
                 let (lo, hi) = self.order_pair(*u, *v);
-                if self.in_mis[&lo] {
-                    *self.lower_mis_count.get_mut(&hi).expect("live node") -= 1;
+                if self.in_mis.contains(lo) {
+                    *self.lower_mis_count.get_mut(hi).expect("live node") -= 1;
                     *counter_updates += 1;
                 }
                 seeds.push(hi);
@@ -376,22 +383,24 @@ impl MisEngine {
                 }
                 let v = self.graph.add_node_with_edges(edges.iter().copied())?;
                 self.priorities.assign(v, &mut self.rng);
-                self.in_mis.insert(v, false);
                 let count = self.count_lower_mis(v);
                 self.lower_mis_count.insert(v, count);
                 seeds.push(v);
             }
             TopologyChange::DeleteNode(v) => {
-                let was_in = *self.in_mis.get(v).ok_or(GraphError::MissingNode(*v))?;
+                if !self.graph.has_node(*v) {
+                    return Err(GraphError::MissingNode(*v));
+                }
+                let was_in = self.in_mis.contains(*v);
                 let prio_v = self.priorities.of(*v);
                 let nbrs = self.graph.remove_node(*v)?;
                 self.priorities.remove(*v);
-                self.in_mis.remove(v);
-                self.lower_mis_count.remove(v);
+                self.in_mis.remove(*v);
+                self.lower_mis_count.remove(*v);
                 for w in nbrs {
                     if self.priorities.of(w) > prio_v {
                         if was_in {
-                            *self.lower_mis_count.get_mut(&w).expect("live node") -= 1;
+                            *self.lower_mis_count.get_mut(w).expect("live node") -= 1;
                             *counter_updates += 1;
                         }
                         seeds.push(w);
@@ -419,17 +428,22 @@ impl MisEngine {
     /// Panics if any counter or state diverged.
     pub fn assert_internally_consistent(&self) {
         self.graph.assert_consistent();
-        assert_eq!(self.in_mis.len(), self.graph.node_count());
+        assert_eq!(self.lower_mis_count.len(), self.graph.node_count());
         assert_eq!(self.priorities.len(), self.graph.node_count());
         let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
+        assert_eq!(
+            self.in_mis.len(),
+            ground_truth.len(),
+            "membership bitset holds stale bits"
+        );
         for v in self.graph.nodes() {
             assert_eq!(
-                self.in_mis[&v],
+                self.in_mis.contains(v),
                 ground_truth.contains(&v),
                 "state of {v} diverged from static greedy"
             );
             assert_eq!(
-                self.lower_mis_count[&v],
+                self.lower_mis_count[v],
                 self.count_lower_mis(v),
                 "counter of {v} diverged"
             );
@@ -444,51 +458,67 @@ impl MisEngine {
         }
     }
 
-    /// Settles dirty nodes in increasing π order. Every node is finalized at
-    /// its first effective pop because all lower-order dirty nodes settle
-    /// first, so each node flips at most once per update.
+    /// Settles dirty nodes in increasing π order. Every node is finalized
+    /// at its first pop because all lower-order dirty nodes settle first,
+    /// so each node flips at most once per update.
+    ///
+    /// The `enqueued` bitset deduplicates the dirty set: a node seeded by
+    /// several changes of a batch — or pushed by several flipping
+    /// neighbors — enters the heap once. Deduplication is sound because
+    /// pops are non-decreasing in π (a flip at priority `p` only ever
+    /// pushes strictly-higher neighbors), so a popped node can never need
+    /// re-settling within the same propagation.
     fn propagate(
         &mut self,
         kind: ChangeKind,
         seeds: Vec<NodeId>,
         mut counter_updates: usize,
     ) -> UpdateReceipt {
-        let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> = seeds
-            .into_iter()
-            // A batch may have deleted a node seeded by an earlier change.
-            .filter(|&v| self.graph.has_node(v))
-            .map(|v| Reverse((self.priorities.of(v), v)))
-            .collect();
+        // Every push pairs with a bit set and every pop clears it, so the
+        // scratch is empty between updates without an O(n/64) clear —
+        // per-update cost stays bounded by the work done, not by the
+        // highest identifier ever allocated.
+        debug_assert!(self.enqueued.is_empty(), "settle scratch leaked bits");
+        let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> =
+            BinaryHeap::with_capacity(seeds.len());
+        for v in seeds {
+            // A batch may have deleted a node seeded by an earlier change;
+            // the bitset merges duplicate seeds into one dirty entry.
+            if self.graph.has_node(v) && self.enqueued.insert(v) {
+                heap.push(Reverse((self.priorities.of(v), v)));
+            }
+        }
         let mut flips = Vec::new();
         let mut pops = 0usize;
         while let Some(Reverse((prio, v))) = heap.pop() {
             pops += 1;
-            // A batch may delete a node that an earlier change seeded.
-            if !self.graph.has_node(v) {
-                continue;
-            }
-            let desired = self.lower_mis_count[&v] == 0;
-            let current = self.in_mis[&v];
+            // Safe to free the bit: a popped node can never be re-pushed
+            // (all later pushes carry strictly higher priorities).
+            self.enqueued.remove(v);
+            let desired = self.lower_mis_count[v] == 0;
+            let current = self.in_mis.contains(v);
             if desired == current {
                 continue;
             }
-            self.in_mis.insert(v, desired);
+            self.set_in_mis(v, desired);
             flips.push((v, MisState::from_membership(desired)));
-            let higher: Vec<NodeId> = self
-                .graph
-                .neighbors(v)
-                .expect("live node")
-                .filter(|&w| self.priorities.of(w) > prio)
-                .collect();
-            for w in higher {
-                let c = self.lower_mis_count.get_mut(&w).expect("live node");
-                if desired {
-                    *c += 1;
-                } else {
-                    *c -= 1;
+            let graph = &self.graph;
+            let priorities = &self.priorities;
+            let lower = &mut self.lower_mis_count;
+            let enqueued = &mut self.enqueued;
+            for &w in graph.neighbors_slice(v).expect("live node") {
+                if priorities.of(w) > prio {
+                    let c = lower.get_mut(w).expect("live node");
+                    if desired {
+                        *c += 1;
+                    } else {
+                        *c -= 1;
+                    }
+                    counter_updates += 1;
+                    if enqueued.insert(w) {
+                        heap.push(Reverse((priorities.of(w), w)));
+                    }
                 }
-                counter_updates += 1;
-                heap.push(Reverse((self.priorities.of(w), w)));
             }
         }
         UpdateReceipt::new(kind, flips, pops, counter_updates)
@@ -500,7 +530,6 @@ mod tests {
     use super::*;
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
-
 
     #[test]
     fn empty_engine() {
@@ -699,8 +728,7 @@ mod tests {
             };
             let receipt = engine.apply(&change).unwrap();
             let after = engine.mis();
-            let mut diff: BTreeSet<NodeId> =
-                before.symmetric_difference(&after).copied().collect();
+            let mut diff: BTreeSet<NodeId> = before.symmetric_difference(&after).copied().collect();
             if is_node_delete {
                 // The departed node leaves the output by definition, not by
                 // adjustment.
@@ -743,12 +771,9 @@ mod tests {
         let mut total = 0usize;
         let trials = 400;
         for _ in 0..trials {
-            let change = stream::random_change(
-                engine.graph(),
-                &ChurnConfig::edges_only(),
-                &mut rng,
-            )
-            .expect("edge churn always possible here");
+            let change =
+                stream::random_change(engine.graph(), &ChurnConfig::edges_only(), &mut rng)
+                    .expect("edge churn always possible here");
             total += engine.apply(&change).unwrap().adjustments();
         }
         let mean = total as f64 / f64::from(trials);
@@ -858,8 +883,10 @@ mod tests {
         let mut engine = MisEngine::from_parts(g, pm, 0);
         let mis = engine.mis();
         let victims: Vec<NodeId> = mis.into_iter().take(3).collect();
-        let batch: Vec<TopologyChange> =
-            victims.iter().map(|&v| TopologyChange::DeleteNode(v)).collect();
+        let batch: Vec<TopologyChange> = victims
+            .iter()
+            .map(|&v| TopologyChange::DeleteNode(v))
+            .collect();
         engine.apply_batch(&batch).unwrap();
         engine.assert_internally_consistent();
         assert!(engine.check_invariant().is_ok());

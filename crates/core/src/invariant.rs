@@ -8,7 +8,7 @@ use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use dmis_graph::{DynGraph, NodeId};
+use dmis_graph::{DynGraph, NodeId, NodeSet};
 
 use crate::PriorityMap;
 
@@ -48,9 +48,10 @@ impl Error for InvariantViolation {}
 /// adjacent).
 #[must_use]
 pub fn is_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
+    let members: NodeSet = set.iter().copied().collect();
     set.iter().all(|&v| {
         g.neighbors(v)
-            .map(|mut nbrs| !nbrs.any(|u| set.contains(&u)))
+            .map(|mut nbrs| !nbrs.any(|u| members.contains(u)))
             .unwrap_or(false)
     })
 }
@@ -61,11 +62,12 @@ pub fn is_maximal_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool 
     if !is_independent_set(g, set) {
         return false;
     }
+    let members: NodeSet = set.iter().copied().collect();
     g.nodes().all(|v| {
-        set.contains(&v)
+        members.contains(v)
             || g.neighbors(v)
                 .expect("iterating live nodes")
-                .any(|u| set.contains(&u))
+                .any(|u| members.contains(u))
     })
 }
 
@@ -85,12 +87,13 @@ pub fn check_mis_invariant(
     priorities: &PriorityMap,
     mis: &BTreeSet<NodeId>,
 ) -> Result<(), InvariantViolation> {
+    let members: NodeSet = mis.iter().copied().collect();
     for v in g.nodes() {
         let lower_member = g
             .neighbors(v)
             .expect("iterating live nodes")
-            .find(|&u| mis.contains(&u) && priorities.before(u, v));
-        match (mis.contains(&v), lower_member) {
+            .find(|&u| members.contains(u) && priorities.before(u, v));
+        match (members.contains(v), lower_member) {
             (true, Some(u)) => return Err(InvariantViolation::WronglyIncluded(v, u)),
             (false, None) => return Err(InvariantViolation::UncoveredNode(v)),
             _ => {}

@@ -1,7 +1,6 @@
-use std::collections::BTreeMap;
 use std::fmt;
 
-use dmis_graph::NodeId;
+use dmis_graph::{NodeId, NodeMap};
 use rand::Rng;
 
 /// A node's position in the random order π.
@@ -72,9 +71,12 @@ impl fmt::Debug for Priority {
 /// History independence requires that a node's priority is drawn exactly
 /// once, at insertion, and never redrawn; `PriorityMap` enforces this by
 /// refusing to overwrite an existing assignment.
+///
+/// Backed by a dense [`NodeMap`], so the `of`/`before` lookups on the
+/// engine's settle loop are direct slot accesses.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PriorityMap {
-    map: BTreeMap<NodeId, Priority>,
+    map: NodeMap<Priority>,
 }
 
 impl PriorityMap {
@@ -111,13 +113,13 @@ impl PriorityMap {
 
     /// Removes the priority of a deleted node, returning it if present.
     pub fn remove(&mut self, id: NodeId) -> Option<Priority> {
-        self.map.remove(&id)
+        self.map.remove(id)
     }
 
     /// Returns the priority of `id`, if assigned.
     #[must_use]
     pub fn get(&self, id: NodeId) -> Option<Priority> {
-        self.map.get(&id).copied()
+        self.map.get(id).copied()
     }
 
     /// Returns `true` if `a` is ordered before `b` in π.
@@ -155,14 +157,14 @@ impl PriorityMap {
 
     /// Iterates over `(node, priority)` pairs in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, Priority)> + '_ {
-        self.map.iter().map(|(&id, &p)| (id, p))
+        self.map.iter().map(|(id, &p)| (id, p))
     }
 
     /// Returns the live nodes sorted by increasing priority — the order in
     /// which sequential greedy inspects them.
     #[must_use]
     pub fn nodes_by_priority(&self) -> Vec<NodeId> {
-        let mut v: Vec<(Priority, NodeId)> = self.map.iter().map(|(&id, &p)| (p, id)).collect();
+        let mut v: Vec<(Priority, NodeId)> = self.map.iter().map(|(id, &p)| (p, id)).collect();
         v.sort_unstable();
         v.into_iter().map(|(_, id)| id).collect()
     }

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use dmis_graph::{DynGraph, NodeId};
+use dmis_graph::{DynGraph, NodeId, NodeMap, NodeSet};
 
 use crate::PriorityMap;
 
@@ -40,17 +40,19 @@ use crate::PriorityMap;
 /// ```
 #[must_use]
 pub fn greedy_mis(g: &DynGraph, priorities: &PriorityMap) -> BTreeSet<NodeId> {
-    let mut mis = BTreeSet::new();
+    // Membership tracking runs on a dense bitset; the BTreeSet is built
+    // once at the end for the stable public return type.
+    let mut mis = NodeSet::new();
     for v in priorities_order(g, priorities) {
         let dominated = g
             .neighbors(v)
             .expect("ordered nodes exist")
-            .any(|u| mis.contains(&u) && priorities.before(u, v));
+            .any(|u| mis.contains(u) && priorities.before(u, v));
         if !dominated {
             mis.insert(v);
         }
     }
-    mis
+    mis.iter().collect()
 }
 
 /// Computes the greedy (first-fit) coloring of `g` under the order given by
@@ -65,18 +67,35 @@ pub fn greedy_mis(g: &DynGraph, priorities: &PriorityMap) -> BTreeSet<NodeId> {
 /// Panics if some node of `g` has no priority.
 #[must_use]
 pub fn greedy_coloring(g: &DynGraph, priorities: &PriorityMap) -> Vec<(NodeId, usize)> {
-    let mut colors: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
+    let mut colors: NodeMap<usize> = NodeMap::new();
+    // Reusable first-fit scratch: used[c] marks colors taken by lower
+    // neighbors. A node of degree d needs at most color d, so marks are
+    // capped at d and unmarked after each node — O(deg) per node.
+    let mut used: Vec<bool> = Vec::new();
     for v in priorities_order(g, priorities) {
-        let used: BTreeSet<usize> = g
-            .neighbors(v)
-            .expect("ordered nodes exist")
-            .filter(|&u| priorities.before(u, v))
-            .filter_map(|u| colors.get(&u).copied())
-            .collect();
-        let color = (0..).find(|c| !used.contains(c)).expect("some color free");
+        let deg = g.degree(v).expect("ordered nodes exist");
+        if used.len() < deg + 1 {
+            used.resize(deg + 1, false);
+        }
+        let lower = |u: &NodeId| priorities.before(*u, v);
+        for u in g.neighbors(v).expect("ordered nodes exist").filter(lower) {
+            if let Some(&c) = colors.get(u) {
+                if c <= deg {
+                    used[c] = true;
+                }
+            }
+        }
+        let color = (0..=deg).find(|&c| !used[c]).expect("d+1 colors suffice");
         colors.insert(v, color);
+        for u in g.neighbors(v).expect("ordered nodes exist").filter(lower) {
+            if let Some(&c) = colors.get(u) {
+                if c <= deg {
+                    used[c] = false;
+                }
+            }
+        }
     }
-    colors.into_iter().collect()
+    colors.iter().map(|(id, &c)| (id, c)).collect()
 }
 
 /// Returns the nodes of `g` in increasing priority order.
@@ -132,8 +151,9 @@ mod tests {
     fn star_mis_depends_on_center_rank() {
         let (g, ids) = generators::star(5);
         // Center first → MIS = {center}.
-        let order_center_first: Vec<_> =
-            std::iter::once(ids[0]).chain(ids[1..].iter().copied()).collect();
+        let order_center_first: Vec<_> = std::iter::once(ids[0])
+            .chain(ids[1..].iter().copied())
+            .collect();
         let mis = greedy_mis(&g, &PriorityMap::from_order(&order_center_first));
         assert_eq!(mis.len(), 1);
         // A leaf first → MIS = all leaves.

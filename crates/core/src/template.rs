@@ -26,7 +26,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dmis_graph::{DynGraph, NodeId, TopologyChange};
+use dmis_graph::{DynGraph, NodeId, NodeMap, NodeSet, TopologyChange};
 
 use crate::{static_greedy, PriorityMap};
 
@@ -66,27 +66,32 @@ impl TemplateTrace {
 /// converge within `n + 2` rounds (impossible unless the invariant machinery
 /// is broken — treated as a bug).
 #[must_use]
-pub fn relax(g: &DynGraph, priorities: &PriorityMap, initial_mis: &BTreeSet<NodeId>) -> TemplateTrace {
-    let nodes: Vec<NodeId> = g.nodes().collect();
-    let mut current: BTreeSet<NodeId> = initial_mis
+pub fn relax(
+    g: &DynGraph,
+    priorities: &PriorityMap,
+    initial_mis: &BTreeSet<NodeId>,
+) -> TemplateTrace {
+    // The whole relaxation runs on dense bitsets; the BTree-backed trace
+    // is materialized once at the end for the stable public type.
+    let mut current: NodeSet = initial_mis
         .iter()
         .copied()
         .filter(|&v| g.has_node(v))
         .collect();
-    let mut influenced = BTreeSet::new();
-    let mut changes_per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut influenced = NodeSet::new();
+    let mut changes_per_node: NodeMap<usize> = NodeMap::new();
     let mut rounds = 0usize;
     let mut total = 0usize;
-    let mut candidates: BTreeSet<NodeId> = nodes.iter().copied().collect();
+    let mut candidates: NodeSet = g.nodes().collect();
     loop {
         let mut to_flip = Vec::new();
-        for &v in &candidates {
+        for v in candidates.iter() {
             let dominated = g
                 .neighbors(v)
                 .expect("candidates are live nodes")
-                .any(|u| current.contains(&u) && priorities.before(u, v));
+                .any(|u| current.contains(u) && priorities.before(u, v));
             let desired = !dominated;
-            if desired != current.contains(&v) {
+            if desired != current.contains(v) {
                 to_flip.push(v);
             }
         }
@@ -99,24 +104,28 @@ pub fn relax(g: &DynGraph, priorities: &PriorityMap, initial_mis: &BTreeSet<Node
             "template relaxation failed to converge"
         );
         total += to_flip.len();
-        let mut next_candidates = BTreeSet::new();
+        let mut next_candidates = NodeSet::new();
         for v in to_flip {
-            if !current.remove(&v) {
+            if !current.remove(v) {
                 current.insert(v);
             }
             influenced.insert(v);
-            *changes_per_node.entry(v).or_insert(0) += 1;
+            if let Some(c) = changes_per_node.get_mut(v) {
+                *c += 1;
+            } else {
+                changes_per_node.insert(v, 1);
+            }
             next_candidates.insert(v);
             next_candidates.extend(g.neighbors(v).expect("live node"));
         }
         candidates = next_candidates;
     }
     TemplateTrace {
-        influenced,
+        influenced: influenced.iter().collect(),
         rounds,
         total_state_changes: total,
-        changes_per_node,
-        final_mis: current,
+        changes_per_node: changes_per_node.iter().map(|(id, &c)| (id, c)).collect(),
+        final_mis: current.iter().collect(),
     }
 }
 

@@ -20,9 +20,9 @@
 //! probabilistic half, `Pr[π(v*) = min π(S')] = 1/|S'|` given `S' = P`, is
 //! Lemma 3 and is exercised statistically by experiment E1.)
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
-use dmis_graph::{DynGraph, NodeId, TopologyChange};
+use dmis_graph::{DynGraph, NodeId, NodeSet, TopologyChange};
 
 use crate::{template, PriorityMap};
 
@@ -111,21 +111,20 @@ pub fn s_prime(
     let mut order: Vec<NodeId> = g_ref.nodes().collect();
     order.sort_unstable_by_key(|&v| pi_prime_key(v, vs, priorities));
 
-    // Reference states: greedy MIS under π'.
-    let mut state_in: BTreeMap<NodeId, bool> = BTreeMap::new();
+    // Reference states: greedy MIS under π', tracked on a dense bitset.
+    let mut state_in = NodeSet::new();
     for &v in &order {
-        let dominated = g_ref
-            .neighbors(v)
-            .expect("ordered nodes exist")
-            .any(|u| {
-                state_in.get(&u).copied().unwrap_or(false)
-                    && pi_prime_key(u, vs, priorities) < pi_prime_key(v, vs, priorities)
-            });
-        state_in.insert(v, !dominated);
+        let dominated = g_ref.neighbors(v).expect("ordered nodes exist").any(|u| {
+            state_in.contains(u)
+                && pi_prime_key(u, vs, priorities) < pi_prime_key(v, vs, priorities)
+        });
+        if !dominated {
+            state_in.insert(v);
+        }
     }
 
     // Least fixpoint of Equation (1), single pass in π' order.
-    let mut sprime: BTreeSet<NodeId> = BTreeSet::new();
+    let mut sprime = NodeSet::new();
     sprime.insert(vs);
     for &u in &order {
         if u == vs {
@@ -137,21 +136,21 @@ pub fn s_prime(
             .expect("ordered nodes exist")
             .filter(|&w| pi_prime_key(w, vs, priorities) < key_u)
             .collect();
-        let belongs = if state_in[&u] {
-            lower.iter().any(|w| sprime.contains(w))
+        let belongs = if state_in.contains(u) {
+            lower.iter().any(|&w| sprime.contains(w))
         } else {
             // Every lower-order MIS neighbor must already be influenced.
             // (Non-vacuous: an M̄ node always has one under greedy states.)
             lower
                 .iter()
-                .filter(|&&w| state_in[&w])
-                .all(|w| sprime.contains(w))
+                .filter(|&&w| state_in.contains(w))
+                .all(|&w| sprime.contains(w))
         };
         if belongs {
             sprime.insert(u);
         }
     }
-    sprime
+    sprime.iter().collect()
 }
 
 /// Outcome of checking Lemma 2 on one instance.
@@ -271,11 +270,16 @@ mod tests {
         let (g, ids) = generators::path(4);
         let pm = PriorityMap::from_order(&ids);
         let change = TopologyChange::DeleteEdge(ids[0], ids[1]);
-        let sp = s_prime(&g, &{
-            let mut gn = g.clone();
-            gn.remove_edge(ids[0], ids[1]).unwrap();
-            gn
-        }, &pm, &change);
+        let sp = s_prime(
+            &g,
+            &{
+                let mut gn = g.clone();
+                gn.remove_edge(ids[0], ids[1]).unwrap();
+                gn
+            },
+            &pm,
+            &change,
+        );
         assert!(sp.contains(&ids[1]), "v* always seeds S'");
     }
 
@@ -284,8 +288,7 @@ mod tests {
         // Path with increasing priorities; delete first edge → full cascade.
         let (g, ids) = generators::path(5);
         let pm = PriorityMap::from_order(&ids);
-        let report =
-            check_lemma2_on(&g, &pm, &TopologyChange::DeleteEdge(ids[0], ids[1]));
+        let report = check_lemma2_on(&g, &pm, &TopologyChange::DeleteEdge(ids[0], ids[1]));
         assert!(report.v_star_is_minimal);
         assert!(report.holds(), "{report:?}");
         assert!(!report.s.is_empty());
@@ -300,8 +303,7 @@ mod tests {
         // p2 < p1 so v* = p1. p1 ∈ M̄ dominated by p0 as well → S = ∅.
         let (g, ids) = generators::path(3);
         let pm = PriorityMap::from_order(&[ids[0], ids[2], ids[1]]);
-        let report =
-            check_lemma2_on(&g, &pm, &TopologyChange::DeleteEdge(ids[1], ids[2]));
+        let report = check_lemma2_on(&g, &pm, &TopologyChange::DeleteEdge(ids[1], ids[2]));
         assert!(report.holds(), "{report:?}");
         assert!(report.s.is_empty());
     }
@@ -313,8 +315,7 @@ mod tests {
         for seed in 0..60u64 {
             let (g, _) = generators::erdos_renyi(14, 0.25, &mut rng);
             let mut pm = random_priorities(&g, seed);
-            let Some(change) = stream::random_change(&g, &ChurnConfig::default(), &mut rng)
-            else {
+            let Some(change) = stream::random_change(&g, &ChurnConfig::default(), &mut rng) else {
                 continue;
             };
             if let TopologyChange::InsertNode { id, .. } = &change {

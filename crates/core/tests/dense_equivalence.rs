@@ -1,0 +1,161 @@
+//! Storage-equivalence property test for the dense engine.
+//!
+//! The dense `NodeMap`/`NodeSet`-backed [`MisEngine`] must be
+//! observationally identical to the ordered-tree layout it replaced. The
+//! oracle here is a *retained* BTree-backed reference: it mirrors every
+//! topology change in `BTreeMap`/`BTreeSet` structures and recomputes the
+//! greedy MIS from scratch under the engine's own priorities after each
+//! change. Agreement of outputs after every prefix of a random change
+//! sequence is exactly history independence (Section 5) at fixed π, and
+//! receipt agreement pins the adjustment accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dmis_core::{MisEngine, PriorityMap};
+use dmis_graph::stream::{self, ChurnConfig};
+use dmis_graph::{DynGraph, NodeId, TopologyChange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// BTree-retained mirror of the evolving graph, with a from-scratch greedy
+/// oracle over the ordered-tree layout.
+#[derive(Default)]
+struct BTreeOracle {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl BTreeOracle {
+    fn mirror(g: &DynGraph) -> Self {
+        let mut adj = BTreeMap::new();
+        for v in g.nodes() {
+            adj.insert(v, g.neighbors(v).expect("live node").collect());
+        }
+        BTreeOracle { adj }
+    }
+
+    fn apply(&mut self, change: &TopologyChange) {
+        match change {
+            TopologyChange::InsertEdge(u, v) => {
+                self.adj.get_mut(u).expect("live").insert(*v);
+                self.adj.get_mut(v).expect("live").insert(*u);
+            }
+            TopologyChange::DeleteEdge(u, v) => {
+                self.adj.get_mut(u).expect("live").remove(v);
+                self.adj.get_mut(v).expect("live").remove(u);
+            }
+            TopologyChange::InsertNode { id, edges } => {
+                self.adj.insert(*id, edges.iter().copied().collect());
+                for u in edges {
+                    self.adj.get_mut(u).expect("live").insert(*id);
+                }
+            }
+            TopologyChange::DeleteNode(v) => {
+                let nbrs = self.adj.remove(v).expect("live");
+                for u in nbrs {
+                    self.adj.get_mut(&u).expect("live").remove(v);
+                }
+            }
+        }
+    }
+
+    /// Sequential greedy over the ordered-tree layout.
+    fn greedy_mis(&self, priorities: &PriorityMap) -> BTreeSet<NodeId> {
+        let mut order: Vec<NodeId> = self.adj.keys().copied().collect();
+        order.sort_unstable_by_key(|&v| priorities.of(v));
+        let mut mis: BTreeSet<NodeId> = BTreeSet::new();
+        for v in order {
+            let dominated = self.adj[&v]
+                .iter()
+                .any(|&u| mis.contains(&u) && priorities.before(u, v));
+            if !dominated {
+                mis.insert(v);
+            }
+        }
+        mis
+    }
+}
+
+/// ≥ 1000 random insert/delete sequences: after every single change, the
+/// dense engine's output and receipts match the BTree oracle exactly.
+#[test]
+fn dense_engine_matches_btree_oracle_over_random_sequences() {
+    let mut sequences = 0u32;
+    for seed in 0..1100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 1 + (seed as usize % 16);
+        let p = 0.05 + 0.4 * ((seed % 7) as f64 / 6.0);
+        let (g, _) = generators_er(n, p, &mut rng);
+        let mut engine = MisEngine::from_graph(g, seed ^ 0x5EED);
+        let mut oracle = BTreeOracle::mirror(engine.graph());
+        let steps = 2 + (seed as usize % 9);
+        for _ in 0..steps {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                break;
+            };
+            let before = engine.mis();
+            let deleted = match &change {
+                TopologyChange::DeleteNode(v) => Some(*v),
+                _ => None,
+            };
+            let receipt = engine.apply(&change).expect("valid change");
+            oracle.apply(&change);
+
+            let expect = oracle.greedy_mis(engine.priorities());
+            assert_eq!(
+                engine.mis(),
+                expect,
+                "dense output diverged from BTree oracle (seed {seed})"
+            );
+            let mut diff: BTreeSet<NodeId> = before
+                .symmetric_difference(&engine.mis())
+                .copied()
+                .collect();
+            if let Some(v) = deleted {
+                diff.remove(&v);
+            }
+            assert_eq!(
+                diff,
+                receipt.adjusted_nodes(),
+                "receipt diverged from output delta (seed {seed})"
+            );
+        }
+        engine.assert_internally_consistent();
+        sequences += 1;
+    }
+    assert!(sequences >= 1000, "ran only {sequences} sequences");
+}
+
+/// Batch updates settle one merged dirty-set but must land on the same
+/// output as the sequential BTree oracle.
+#[test]
+fn batched_dense_engine_matches_btree_oracle() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97));
+        let (g, _) = generators_er(12 + (seed as usize % 8), 0.25, &mut rng);
+        let mut engine = MisEngine::from_graph(g, seed);
+        let mut oracle = BTreeOracle::mirror(engine.graph());
+        // Build a valid batch against a shadow copy.
+        let mut shadow = engine.graph().clone();
+        let mut batch = Vec::new();
+        for _ in 0..5 {
+            if let Some(change) =
+                stream::random_change(&shadow, &ChurnConfig::edges_only(), &mut rng)
+            {
+                change.apply(&mut shadow).expect("valid");
+                batch.push(change);
+            }
+        }
+        engine.apply_batch(&batch).expect("valid batch");
+        for change in &batch {
+            oracle.apply(change);
+        }
+        assert_eq!(engine.mis(), oracle.greedy_mis(engine.priorities()));
+        engine.assert_internally_consistent();
+    }
+}
+
+fn generators_er(n: usize, p: f64, rng: &mut StdRng) -> (DynGraph, Vec<NodeId>) {
+    dmis_graph::generators::erdos_renyi(n, p, rng)
+}

@@ -2,7 +2,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use dmis_core::{Priority, PriorityMap};
-use dmis_graph::{DynGraph, GraphError, NodeId, TopologyChange};
+use dmis_graph::{DynGraph, GraphError, NodeId, NodeMap, TopologyChange};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,7 +53,8 @@ impl ColoringReceipt {
 pub struct ColoringEngine {
     graph: DynGraph,
     priorities: PriorityMap,
-    color: BTreeMap<NodeId, usize>,
+    /// Dense per-node color table.
+    color: NodeMap<usize>,
     rng: StdRng,
 }
 
@@ -106,13 +107,13 @@ impl ColoringEngine {
     /// The current coloring.
     #[must_use]
     pub fn colors(&self) -> BTreeMap<NodeId, usize> {
-        self.color.clone()
+        self.color.iter().map(|(id, &c)| (id, c)).collect()
     }
 
     /// The color of `v`, if it exists.
     #[must_use]
     pub fn color_of(&self, v: NodeId) -> Option<usize> {
-        self.color.get(&v).copied()
+        self.color.get(v).copied()
     }
 
     /// Number of distinct colors in use.
@@ -127,7 +128,7 @@ impl ColoringEngine {
             .neighbors(v)
             .expect("live node")
             .filter(|&u| self.priorities.before(u, v))
-            .filter_map(|u| self.color.get(&u).copied())
+            .filter_map(|u| self.color.get(u).copied())
             .collect();
         (0..).find(|c| !used.contains(c)).expect("mex exists")
     }
@@ -140,7 +141,7 @@ impl ColoringEngine {
         let mut recolored = Vec::new();
         while let Some(Reverse((prio, v))) = heap.pop() {
             let desired = self.mex_of_lower(v);
-            if self.color.get(&v) == Some(&desired) {
+            if self.color.get(v) == Some(&desired) {
                 continue;
             }
             self.color.insert(v, desired);
@@ -185,10 +186,7 @@ impl ColoringEngine {
     /// # Errors
     ///
     /// Propagates [`GraphError`]; on error the engine is unchanged.
-    pub fn insert_node<I>(
-        &mut self,
-        neighbors: I,
-    ) -> Result<(NodeId, ColoringReceipt), GraphError>
+    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, ColoringReceipt), GraphError>
     where
         I: IntoIterator<Item = NodeId>,
     {
@@ -207,13 +205,10 @@ impl ColoringEngine {
     ///
     /// Propagates [`GraphError`] if the node does not exist.
     pub fn remove_node(&mut self, v: NodeId) -> Result<ColoringReceipt, GraphError> {
-        let prio_v = self
-            .priorities
-            .get(v)
-            .ok_or(GraphError::MissingNode(v))?;
+        let prio_v = self.priorities.get(v).ok_or(GraphError::MissingNode(v))?;
         let nbrs = self.graph.remove_node(v)?;
         self.priorities.remove(v);
-        self.color.remove(&v);
+        self.color.remove(v);
         let seeds: Vec<NodeId> = nbrs
             .into_iter()
             .filter(|&w| self.priorities.of(w) > prio_v)
@@ -247,13 +242,13 @@ impl ColoringEngine {
     ///
     /// Panics on divergence.
     pub fn assert_consistent(&self) {
-        let fresh: BTreeMap<NodeId, usize> =
+        let fresh: NodeMap<usize> =
             dmis_core::static_greedy::greedy_coloring(&self.graph, &self.priorities)
                 .into_iter()
                 .collect();
         assert_eq!(self.color, fresh, "coloring diverged from static greedy");
         assert!(
-            crate::verify::is_proper_coloring(&self.graph, &self.color),
+            crate::verify::is_proper_coloring(&self.graph, &self.colors()),
             "coloring is not proper"
         );
     }
@@ -280,8 +275,7 @@ mod tests {
         let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
         let mut ce = ColoringEngine::from_graph(g, 9);
         for _ in 0..250 {
-            let Some(change) =
-                stream::random_change(ce.graph(), &ChurnConfig::default(), &mut rng)
+            let Some(change) = stream::random_change(ce.graph(), &ChurnConfig::default(), &mut rng)
             else {
                 continue;
             };
@@ -325,7 +319,13 @@ mod tests {
         let (g, left, right) = generators::bipartite_minus_matching(k);
         let mut order = vec![left[0], right[1]];
         order.extend(left[1..].iter().copied());
-        order.extend(right.iter().enumerate().filter(|&(j, _)| j != 1).map(|(_, &v)| v));
+        order.extend(
+            right
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != 1)
+                .map(|(_, &v)| v),
+        );
         let ce = ColoringEngine::from_parts(g, PriorityMap::from_order(&order), 0);
         assert_eq!(ce.palette_size(), 2);
         ce.assert_consistent();

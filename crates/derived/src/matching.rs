@@ -90,9 +90,7 @@ impl DynamicMatching {
     /// Propagates [`GraphError`] from the base-graph insertion.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
         let change = self.mirror.apply_edge_insert(&mut self.base, u, v)?;
-        self.engine
-            .apply(&change)
-            .map_err(|e| self.desync(e))
+        self.engine.apply(&change).map_err(|e| self.desync(e))
     }
 
     /// Removes a base edge; returns the engine receipt for the induced
@@ -103,9 +101,7 @@ impl DynamicMatching {
     /// Propagates [`GraphError`] from the base-graph removal.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
         let change = self.mirror.apply_edge_remove(&mut self.base, u, v)?;
-        self.engine
-            .apply(&change)
-            .map_err(|e| self.desync(e))
+        self.engine.apply(&change).map_err(|e| self.desync(e))
     }
 
     /// Inserts a base node with edges to `neighbors`; returns the new node

@@ -1,7 +1,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId};
+use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, NodeMap, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,7 +60,7 @@ pub struct NativeMatching {
     /// Per node: the matched edge covering it, if any. An edge is matched
     /// iff both its endpoints point at it; this doubles as the
     /// lower-matched-neighbor oracle.
-    cover: BTreeMap<NodeId, EdgeKey>,
+    cover: NodeMap<EdgeKey>,
     rng: StdRng,
 }
 
@@ -74,7 +74,7 @@ impl NativeMatching {
             graph: DynGraph::new(),
             keys: BTreeMap::new(),
             matched: BTreeSet::new(),
-            cover: BTreeMap::new(),
+            cover: NodeMap::new(),
             rng,
         };
         // Rebuild through the incremental path so the invariant machinery
@@ -120,7 +120,7 @@ impl NativeMatching {
     fn desired(&self, e: EdgeKey) -> bool {
         let (u, v) = e.endpoints();
         for endpoint in [u, v] {
-            if let Some(&cov) = self.cover.get(&endpoint) {
+            if let Some(&cov) = self.cover.get(endpoint) {
                 if cov != e && self.priority_of(cov) < self.priority_of(e) {
                     return false;
                 }
@@ -172,8 +172,8 @@ impl NativeMatching {
             } else {
                 self.matched.remove(&e);
                 for endpoint in [u, v] {
-                    if self.cover.get(&endpoint) == Some(&e) {
-                        self.cover.remove(&endpoint);
+                    if self.cover.get(endpoint) == Some(&e) {
+                        self.cover.remove(endpoint);
                     }
                 }
             }
@@ -234,8 +234,8 @@ impl NativeMatching {
         let mut seeds = Vec::new();
         if was_matched {
             for endpoint in [u, v] {
-                if self.cover.get(&endpoint) == Some(&e) {
-                    self.cover.remove(&endpoint);
+                if self.cover.get(endpoint) == Some(&e) {
+                    self.cover.remove(endpoint);
                 }
             }
             seeds.extend(self.incident(e));
@@ -265,7 +265,7 @@ impl NativeMatching {
             all_flips.extend(receipt.flips);
         }
         self.graph.remove_node(v)?;
-        self.cover.remove(&v);
+        self.cover.remove(v);
         Ok(MatchingReceipt { flips: all_flips })
     }
 
@@ -280,10 +280,10 @@ impl NativeMatching {
         let mut order: Vec<EdgeKey> = self.keys.keys().copied().collect();
         order.sort_unstable_by_key(|&e| self.priority_of(e));
         let mut truth: BTreeSet<EdgeKey> = BTreeSet::new();
-        let mut covered: BTreeSet<NodeId> = BTreeSet::new();
+        let mut covered = NodeSet::new();
         for e in order {
             let (u, v) = e.endpoints();
-            if !covered.contains(&u) && !covered.contains(&v) {
+            if !covered.contains(u) && !covered.contains(v) {
                 truth.insert(e);
                 covered.insert(u);
                 covered.insert(v);
@@ -297,8 +297,8 @@ impl NativeMatching {
         // Cover map agrees with the matched set.
         for &e in &self.matched {
             let (u, v) = e.endpoints();
-            assert_eq!(self.cover.get(&u), Some(&e));
-            assert_eq!(self.cover.get(&v), Some(&e));
+            assert_eq!(self.cover.get(u), Some(&e));
+            assert_eq!(self.cover.get(v), Some(&e));
         }
     }
 }
@@ -339,7 +339,7 @@ mod tests {
             graph: DynGraph::new(),
             keys: BTreeMap::new(),
             matched: BTreeSet::new(),
-            cover: BTreeMap::new(),
+            cover: NodeMap::new(),
             rng: StdRng::seed_from_u64(0),
         };
         for _ in 0..4 {

@@ -70,19 +70,15 @@ mod tests {
         let good: BTreeSet<EdgeKey> = [EdgeKey::new(ids[0], ids[1])].into_iter().collect();
         assert!(is_matching(&g, &good));
         assert!(!is_maximal_matching(&g, &good), "edge {{p2,p3}} uncovered");
-        let maximal: BTreeSet<EdgeKey> = [
-            EdgeKey::new(ids[0], ids[1]),
-            EdgeKey::new(ids[2], ids[3]),
-        ]
-        .into_iter()
-        .collect();
+        let maximal: BTreeSet<EdgeKey> =
+            [EdgeKey::new(ids[0], ids[1]), EdgeKey::new(ids[2], ids[3])]
+                .into_iter()
+                .collect();
         assert!(is_maximal_matching(&g, &maximal));
-        let overlapping: BTreeSet<EdgeKey> = [
-            EdgeKey::new(ids[0], ids[1]),
-            EdgeKey::new(ids[1], ids[2]),
-        ]
-        .into_iter()
-        .collect();
+        let overlapping: BTreeSet<EdgeKey> =
+            [EdgeKey::new(ids[0], ids[1]), EdgeKey::new(ids[1], ids[2])]
+                .into_iter()
+                .collect();
         assert!(!is_matching(&g, &overlapping));
         let ghost: BTreeSet<EdgeKey> = [EdgeKey::new(ids[0], ids[3])].into_iter().collect();
         assert!(!is_matching(&g, &ghost), "edge must exist");

@@ -105,8 +105,16 @@ impl CliqueBlowup {
     }
 
     fn add_matching(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
-        let cu = self.copies.get(&u).ok_or(GraphError::MissingNode(u))?.clone();
-        let cv = self.copies.get(&v).ok_or(GraphError::MissingNode(v))?.clone();
+        let cu = self
+            .copies
+            .get(&u)
+            .ok_or(GraphError::MissingNode(u))?
+            .clone();
+        let cv = self
+            .copies
+            .get(&v)
+            .ok_or(GraphError::MissingNode(v))?
+            .clone();
         for (a, b) in cu.into_iter().zip(cv) {
             self.blown.insert_edge(a, b)?;
         }
@@ -119,11 +127,7 @@ impl CliqueBlowup {
     /// # Errors
     ///
     /// Returns [`GraphError::MissingNode`] if a neighbor has no clique.
-    pub fn insert_base_node(
-        &mut self,
-        v: NodeId,
-        neighbors: &[NodeId],
-    ) -> Result<(), GraphError> {
+    pub fn insert_base_node(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), GraphError> {
         for u in neighbors {
             if !self.copies.contains_key(u) {
                 return Err(GraphError::MissingNode(*u));
@@ -153,8 +157,16 @@ impl CliqueBlowup {
     /// Returns [`GraphError::MissingNode`] / [`GraphError::MissingEdge`] if
     /// the matching is absent.
     pub fn remove_base_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
-        let cu = self.copies.get(&u).ok_or(GraphError::MissingNode(u))?.clone();
-        let cv = self.copies.get(&v).ok_or(GraphError::MissingNode(v))?.clone();
+        let cu = self
+            .copies
+            .get(&u)
+            .ok_or(GraphError::MissingNode(u))?
+            .clone();
+        let cv = self
+            .copies
+            .get(&v)
+            .ok_or(GraphError::MissingNode(v))?
+            .clone();
         for (a, b) in cu.into_iter().zip(cv) {
             self.blown.remove_edge(a, b)?;
         }

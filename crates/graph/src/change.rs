@@ -170,8 +170,9 @@ impl DistributedChange {
                 id: *id,
                 edges: edges.clone(),
             },
-            DistributedChange::GracefulDeleteNode(v)
-            | DistributedChange::AbruptDeleteNode(v) => TopologyChange::DeleteNode(*v),
+            DistributedChange::GracefulDeleteNode(v) | DistributedChange::AbruptDeleteNode(v) => {
+                TopologyChange::DeleteNode(*v)
+            }
         }
     }
 
@@ -209,9 +210,13 @@ mod tests {
     #[test]
     fn apply_edge_changes() {
         let (mut g, ids) = DynGraph::with_nodes(2);
-        TopologyChange::InsertEdge(ids[0], ids[1]).apply(&mut g).unwrap();
+        TopologyChange::InsertEdge(ids[0], ids[1])
+            .apply(&mut g)
+            .unwrap();
         assert!(g.has_edge(ids[0], ids[1]));
-        TopologyChange::DeleteEdge(ids[0], ids[1]).apply(&mut g).unwrap();
+        TopologyChange::DeleteEdge(ids[0], ids[1])
+            .apply(&mut g)
+            .unwrap();
         assert!(!g.has_edge(ids[0], ids[1]));
     }
 

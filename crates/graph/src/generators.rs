@@ -133,10 +133,12 @@ pub fn grid(rows: usize, cols: usize) -> (DynGraph, Vec<NodeId>) {
         for c in 0..cols {
             let v = ids[r * cols + c];
             if c + 1 < cols {
-                g.insert_edge(v, ids[r * cols + c + 1]).expect("fresh edges");
+                g.insert_edge(v, ids[r * cols + c + 1])
+                    .expect("fresh edges");
             }
             if r + 1 < rows {
-                g.insert_edge(v, ids[(r + 1) * cols + c]).expect("fresh edges");
+                g.insert_edge(v, ids[(r + 1) * cols + c])
+                    .expect("fresh edges");
             }
         }
     }
@@ -196,7 +198,11 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> (DynGraph, Vec<N
 ///
 /// Panics if `m == 0` or `n < m`.
 #[must_use]
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> (DynGraph, Vec<NodeId>) {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> (DynGraph, Vec<NodeId>) {
     assert!(m > 0 && n >= m, "need n >= m >= 1");
     let (mut g, ids) = DynGraph::with_nodes(n);
     // Seed clique.
@@ -399,7 +405,10 @@ mod tests {
         let (g, left, right) = bipartite_minus_matching(k);
         assert_eq!(g.edge_count(), k * (k - 1));
         for i in 0..k {
-            assert!(!g.has_edge(left[i], right[i]), "matched pair must be absent");
+            assert!(
+                !g.has_edge(left[i], right[i]),
+                "matched pair must be absent"
+            );
             assert_eq!(g.degree(left[i]), Some(k - 1));
         }
     }

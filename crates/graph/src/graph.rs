@@ -1,6 +1,4 @@
-use std::collections::{BTreeMap, BTreeSet};
-
-use crate::{GraphError, NodeId};
+use crate::{GraphError, NodeId, NodeMap, NodeSet};
 
 /// Canonical (unordered) key of an undirected edge: the endpoints sorted.
 ///
@@ -74,10 +72,21 @@ impl EdgeKey {
 /// and edge deletion — and nothing more exotic (no self-loops, no parallel
 /// edges, no weights).
 ///
-/// Adjacency is stored in ordered sets so that all iteration orders are
-/// deterministic; determinism matters because the paper's guarantees are
-/// *distributional* over the algorithm's internal randomness only, and tests
-/// must be able to replay executions bit-for-bit from a seed.
+/// Adjacency is stored densely — a [`NodeMap`] of **sorted neighbor
+/// vectors**, indexed directly by [`NodeId`] — so the hot operations
+/// (`neighbors`, `degree`, `has_edge`) are direct slot accesses instead of
+/// tree walks. Neighbor vectors are kept sorted, so all iteration orders
+/// are deterministic (ascending identifier), exactly as with the ordered
+/// sets this layout replaced; determinism matters because the paper's
+/// guarantees are *distributional* over the algorithm's internal
+/// randomness only, and tests must be able to replay executions
+/// bit-for-bit from a seed.
+///
+/// Identifiers are never reused (the paper's model: a departed node that
+/// rejoins is a *new* node), so a deleted node leaves a vacant slot. The
+/// graph recycles the vacated neighbor-vector *allocations* through a free
+/// list, and maintains a degree histogram so [`DynGraph::max_degree`] is
+/// O(1) instead of a full scan.
 ///
 /// # Example
 ///
@@ -95,12 +104,30 @@ impl EdgeKey {
 /// assert_eq!(g.neighbors(b).unwrap().count(), 2);
 /// # Ok::<(), dmis_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct DynGraph {
-    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    adj: NodeMap<Vec<NodeId>>,
     next_id: u64,
     edge_count: usize,
+    /// `degree_hist[d]` = number of live nodes with degree `d`.
+    degree_hist: Vec<usize>,
+    /// Cached maximum degree; kept exact by [`DynGraph::shift_degree`].
+    max_degree: usize,
+    /// Recycled neighbor-vector allocations from deleted nodes.
+    spare: Vec<Vec<NodeId>>,
 }
+
+impl PartialEq for DynGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The histogram and max degree are derived from `adj`, and the
+        // spare pool is an allocation cache — none carry graph identity.
+        self.next_id == other.next_id
+            && self.edge_count == other.edge_count
+            && self.adj == other.adj
+    }
+}
+
+impl Eq for DynGraph {}
 
 impl DynGraph {
     /// Creates an empty graph.
@@ -134,7 +161,9 @@ impl DynGraph {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.next_id);
         self.next_id += 1;
-        self.adj.insert(id, BTreeSet::new());
+        let nbrs = self.spare.pop().unwrap_or_default();
+        self.adj.insert(id, nbrs);
+        self.enter_degree(0);
         id
     }
 
@@ -152,9 +181,9 @@ impl DynGraph {
         I: IntoIterator<Item = NodeId>,
     {
         let neighbors: Vec<NodeId> = neighbors.into_iter().collect();
-        let mut seen = BTreeSet::new();
+        let mut seen = NodeSet::new();
         for &u in &neighbors {
-            if !self.adj.contains_key(&u) {
+            if !self.has_node(u) {
                 return Err(GraphError::MissingNode(u));
             }
             if !seen.insert(u) {
@@ -180,16 +209,27 @@ impl DynGraph {
     ///
     /// Returns [`GraphError::MissingNode`] if the node does not exist.
     pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
-        let nbrs = self.adj.remove(&v).ok_or(GraphError::MissingNode(v))?;
+        let mut nbrs = self.adj.remove(v).ok_or(GraphError::MissingNode(v))?;
         for &u in &nbrs {
-            let set = self
+            let vec = self
                 .adj
-                .get_mut(&u)
+                .get_mut(u)
                 .expect("adjacency is symmetric by construction");
-            set.remove(&v);
+            let i = vec
+                .binary_search(&v)
+                .expect("adjacency is symmetric by construction");
+            vec.remove(i);
+            let d = vec.len();
+            self.shift_degree(d + 1, d);
         }
         self.edge_count -= nbrs.len();
-        Ok(nbrs.into_iter().collect())
+        self.leave_degree(nbrs.len());
+        let out = nbrs.clone();
+        // Recycle the allocation: identifiers are never reused, but the
+        // heap memory behind them is.
+        nbrs.clear();
+        self.spare.push(nbrs);
+        Ok(out)
     }
 
     /// Inserts the undirected edge `{u, v}`.
@@ -203,20 +243,26 @@ impl DynGraph {
         if u == v {
             return Err(GraphError::SelfLoop(u));
         }
-        if !self.adj.contains_key(&u) {
+        if !self.has_node(u) {
             return Err(GraphError::MissingNode(u));
         }
-        if !self.adj.contains_key(&v) {
+        if !self.has_node(v) {
             return Err(GraphError::MissingNode(v));
         }
-        let set_u = self.adj.get_mut(&u).expect("checked above");
-        if !set_u.insert(v) {
+        let vec_u = self.adj.get_mut(u).expect("checked above");
+        let Err(pos_u) = vec_u.binary_search(&v) else {
             return Err(GraphError::DuplicateEdge(u, v));
-        }
-        self.adj
-            .get_mut(&v)
-            .expect("checked above")
-            .insert(u);
+        };
+        vec_u.insert(pos_u, v);
+        let du = vec_u.len();
+        let vec_v = self.adj.get_mut(v).expect("checked above");
+        let pos_v = vec_v
+            .binary_search(&u)
+            .expect_err("symmetric edge cannot pre-exist");
+        vec_v.insert(pos_v, u);
+        let dv = vec_v.len();
+        self.shift_degree(du - 1, du);
+        self.shift_degree(dv - 1, dv);
         self.edge_count += 1;
         Ok(())
     }
@@ -228,20 +274,26 @@ impl DynGraph {
     /// Returns [`GraphError::MissingNode`] if either endpoint does not exist
     /// and [`GraphError::MissingEdge`] if the edge is not present.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
-        if !self.adj.contains_key(&u) {
+        if !self.has_node(u) {
             return Err(GraphError::MissingNode(u));
         }
-        if !self.adj.contains_key(&v) {
+        if !self.has_node(v) {
             return Err(GraphError::MissingNode(v));
         }
-        let set_u = self.adj.get_mut(&u).expect("checked above");
-        if !set_u.remove(&v) {
+        let vec_u = self.adj.get_mut(u).expect("checked above");
+        let Ok(pos_u) = vec_u.binary_search(&v) else {
             return Err(GraphError::MissingEdge(u, v));
-        }
-        self.adj
-            .get_mut(&v)
-            .expect("checked above")
-            .remove(&u);
+        };
+        vec_u.remove(pos_u);
+        let du = vec_u.len();
+        let vec_v = self.adj.get_mut(v).expect("checked above");
+        let pos_v = vec_v
+            .binary_search(&u)
+            .expect("adjacency is symmetric by construction");
+        vec_v.remove(pos_v);
+        let dv = vec_v.len();
+        self.shift_degree(du + 1, du);
+        self.shift_degree(dv + 1, dv);
         self.edge_count -= 1;
         Ok(())
     }
@@ -259,25 +311,30 @@ impl DynGraph {
     /// Returns `true` if the node exists.
     #[must_use]
     pub fn has_node(&self, v: NodeId) -> bool {
-        self.adj.contains_key(&v)
+        self.adj.contains(v)
     }
 
     /// Returns `true` if the edge `{u, v}` exists.
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj.get(&u).is_some_and(|s| s.contains(&v))
+        self.adj
+            .get(u)
+            .is_some_and(|vec| vec.binary_search(&v).is_ok())
     }
 
     /// Returns the degree of `v`, or `None` if the node does not exist.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> Option<usize> {
-        self.adj.get(&v).map(BTreeSet::len)
+        self.adj.get(v).map(Vec::len)
     }
 
     /// Returns the maximal degree Δ over all nodes (0 for an empty graph).
+    ///
+    /// O(1): maintained incrementally through a degree histogram instead
+    /// of the full scan the ordered-map layout required.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adj.values().map(BTreeSet::len).max().unwrap_or(0)
+        self.max_degree
     }
 
     /// Returns the number of nodes.
@@ -300,13 +357,26 @@ impl DynGraph {
 
     /// Iterates over all node identifiers in ascending order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.keys().copied()
+        self.adj.keys()
     }
 
     /// Iterates over the neighbors of `v` in ascending identifier order, or
     /// `None` if the node does not exist.
     pub fn neighbors(&self, v: NodeId) -> Option<impl Iterator<Item = NodeId> + '_> {
-        self.adj.get(&v).map(|s| s.iter().copied())
+        self.adj.get(v).map(|vec| vec.iter().copied())
+    }
+
+    /// Returns the neighbors of `v` as a sorted slice — the zero-cost view
+    /// the dense layout makes possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingNode`] if the node does not exist.
+    pub fn neighbors_slice(&self, v: NodeId) -> Result<&[NodeId], GraphError> {
+        self.adj
+            .get(v)
+            .map(Vec::as_slice)
+            .ok_or(GraphError::MissingNode(v))
     }
 
     /// Returns the neighbors of `v` collected into a vector.
@@ -315,16 +385,13 @@ impl DynGraph {
     ///
     /// Returns [`GraphError::MissingNode`] if the node does not exist.
     pub fn neighbors_vec(&self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
-        self.adj
-            .get(&v)
-            .map(|s| s.iter().copied().collect())
-            .ok_or(GraphError::MissingNode(v))
+        self.neighbors_slice(v).map(<[NodeId]>::to_vec)
     }
 
     /// Iterates over all edges, each reported once as an [`EdgeKey`], in
     /// ascending order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
-        self.adj.iter().flat_map(|(&u, nbrs)| {
+        self.adj.iter().flat_map(|(u, nbrs)| {
             nbrs.iter()
                 .copied()
                 .filter(move |&v| u < v)
@@ -340,19 +407,69 @@ impl DynGraph {
     /// Panics with a descriptive message if any invariant is violated.
     pub fn assert_consistent(&self) {
         let mut count = 0usize;
-        for (&u, nbrs) in &self.adj {
+        let mut max_seen = 0usize;
+        for (u, nbrs) in self.adj.iter() {
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "neighbor vector of {u} not sorted/deduplicated"
+            );
+            max_seen = max_seen.max(nbrs.len());
+            assert!(
+                self.degree_hist.get(nbrs.len()).copied().unwrap_or(0) > 0,
+                "degree histogram missing degree {} of {u}",
+                nbrs.len()
+            );
             for &v in nbrs {
                 assert_ne!(u, v, "self-loop at {u}");
                 let back = self
                     .adj
-                    .get(&v)
+                    .get(v)
                     .unwrap_or_else(|| panic!("dangling neighbor {v} of {u}"));
-                assert!(back.contains(&u), "asymmetric edge ({u}, {v})");
+                assert!(back.binary_search(&u).is_ok(), "asymmetric edge ({u}, {v})");
                 count += 1;
             }
         }
         assert_eq!(count % 2, 0, "odd directed-edge count");
         assert_eq!(count / 2, self.edge_count, "edge count drifted");
+        assert_eq!(self.max_degree, max_seen, "cached max degree drifted");
+        assert_eq!(
+            self.degree_hist.iter().sum::<usize>(),
+            self.adj.len(),
+            "degree histogram mass drifted"
+        );
+    }
+
+    /// Records a node entering the degree histogram at degree `d`.
+    fn enter_degree(&mut self, d: usize) {
+        if d >= self.degree_hist.len() {
+            self.degree_hist.resize(d + 1, 0);
+        }
+        self.degree_hist[d] += 1;
+        self.max_degree = self.max_degree.max(d);
+    }
+
+    /// Records a node leaving the histogram from degree `d`.
+    fn leave_degree(&mut self, d: usize) {
+        self.degree_hist[d] -= 1;
+        while self.max_degree > 0 && self.degree_hist[self.max_degree] == 0 {
+            self.max_degree -= 1;
+        }
+    }
+
+    /// Moves one node from degree `from` to degree `to`.
+    ///
+    /// Amortized O(1): the downward scan in [`DynGraph::leave_degree`] is
+    /// paid for by the increments that raised the maximum.
+    fn shift_degree(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        if to >= self.degree_hist.len() {
+            self.degree_hist.resize(to + 1, 0);
+        }
+        self.degree_hist[to] += 1;
+        self.max_degree = self.max_degree.max(to);
+        self.leave_degree(from);
     }
 }
 
@@ -495,6 +612,61 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn edge_key_rejects_self_loop() {
         let _ = EdgeKey::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn cached_max_degree_tracks_churn() {
+        let (mut g, ids) = DynGraph::with_nodes(6);
+        assert_eq!(g.max_degree(), 0);
+        for &other in &ids[1..] {
+            g.insert_edge(ids[0], other).unwrap();
+        }
+        assert_eq!(g.max_degree(), 5);
+        // Deleting the hub must walk the cached maximum back down.
+        g.remove_node(ids[0]).unwrap();
+        assert_eq!(g.max_degree(), 0);
+        g.insert_edge(ids[1], ids[2]).unwrap();
+        g.insert_edge(ids[2], ids[3]).unwrap();
+        assert_eq!(g.max_degree(), 2);
+        g.remove_edge(ids[2], ids[3]).unwrap();
+        assert_eq!(g.max_degree(), 1);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn dense_layout_survives_long_churn() {
+        // Interleave node/edge insertions and deletions so vacant slots,
+        // the spare free list, and the degree histogram all get exercised.
+        let mut g = DynGraph::new();
+        let mut live: Vec<NodeId> = Vec::new();
+        for round in 0..200u64 {
+            if round % 3 == 0 && live.len() > 4 {
+                let v = live.remove((round as usize * 7) % live.len());
+                g.remove_node(v).unwrap();
+            } else {
+                let peers: Vec<NodeId> = live.iter().copied().take((round as usize) % 4).collect();
+                let v = g.add_node_with_edges(peers).unwrap();
+                live.push(v);
+            }
+            if round % 17 == 0 {
+                g.assert_consistent();
+            }
+        }
+        g.assert_consistent();
+        assert_eq!(g.node_count(), live.len());
+    }
+
+    #[test]
+    fn neighbors_slice_is_sorted_view() {
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        g.insert_edge(ids[2], ids[0]).unwrap();
+        g.insert_edge(ids[2], ids[3]).unwrap();
+        g.insert_edge(ids[2], ids[1]).unwrap();
+        assert_eq!(
+            g.neighbors_slice(ids[2]).unwrap(),
+            &[ids[0], ids[1], ids[3]]
+        );
+        assert!(g.neighbors_slice(NodeId(99)).is_err());
     }
 
     #[test]

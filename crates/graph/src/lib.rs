@@ -11,6 +11,9 @@
 //! - [`DynGraph`]: an undirected graph supporting O(1) expected-time edge and
 //!   node insertion/deletion, the exact operations the paper's adversary may
 //!   perform;
+//! - [`NodeMap`] / [`NodeSet`]: the dense node-indexed storage layer —
+//!   flat slot containers keyed directly by [`NodeId`] that back every
+//!   per-node table in the workspace (see `DESIGN.md`);
 //! - [`TopologyChange`]: the four template-level change types of Section 3 of
 //!   the paper, plus [`DistributedChange`] refining them into the seven
 //!   distributed variants of Section 2 (graceful/abrupt deletions, unmuting);
@@ -48,6 +51,7 @@ mod error;
 mod graph;
 mod id;
 mod linegraph;
+mod storage;
 mod traversal;
 
 pub mod generators;
@@ -59,4 +63,5 @@ pub use error::GraphError;
 pub use graph::{DynGraph, EdgeKey};
 pub use id::NodeId;
 pub use linegraph::LineGraphMirror;
+pub use storage::{NodeMap, NodeSet};
 pub use traversal::{bfs_order, connected_components, is_connected, shortest_path_len};

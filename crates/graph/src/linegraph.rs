@@ -285,10 +285,7 @@ mod tests {
         let mut mirror = LineGraphMirror::new(&g);
         mirror.apply_edge_insert(&mut g, ids[0], ids[1]).unwrap();
         let ln = mirror.node_of_edge(ids[0], ids[1]).unwrap();
-        assert_eq!(
-            mirror.edge_of_node(ln),
-            Some(EdgeKey::new(ids[0], ids[1]))
-        );
+        assert_eq!(mirror.edge_of_node(ln), Some(EdgeKey::new(ids[0], ids[1])));
         assert!(mirror.node_of_edge(ids[1], ids[0]).is_some(), "orderless");
     }
 

@@ -1,0 +1,462 @@
+//! Dense node-indexed storage: the containers behind every per-node table
+//! in the workspace.
+//!
+//! [`NodeId`]s are slot indices: the graph assigns them monotonically, so a
+//! `NodeId` doubles as an index into flat arrays. [`NodeMap`] and
+//! [`NodeSet`] exploit this to replace `BTreeMap<NodeId, T>` /
+//! `BTreeSet<NodeId>` with O(1) direct-indexed accesses — the difference
+//! between a pointer-chasing tree walk and a single cache line on the
+//! engine's settle loop.
+//!
+//! Deleted nodes leave *vacant* slots. Slots are **not** recycled for new
+//! nodes, by design: the paper's dynamic model requires a node that leaves
+//! and later rejoins to be a fresh node with fresh randomness (history
+//! independence, Section 5), so identifiers — and hence slots — are never
+//! reused. Containers therefore grow with the total number of nodes ever
+//! inserted; the graph keeps a free list of the *allocations* (neighbor
+//! vectors) vacated by deletions and recycles those instead.
+//!
+//! Iteration order over both containers is ascending `NodeId`, matching the
+//! ordered-map containers they replaced, so all replay-determinism
+//! guarantees are preserved.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::NodeId;
+
+#[inline]
+fn slot(id: NodeId) -> usize {
+    usize::try_from(id.index()).expect("node index fits in usize")
+}
+
+/// A map from [`NodeId`] to `T`, backed by a flat slot vector.
+///
+/// Semantically a drop-in replacement for `BTreeMap<NodeId, T>` over
+/// graph-assigned identifiers: O(1) `get`/`insert`/`remove`, iteration in
+/// ascending identifier order. Vacant slots (deleted or never-assigned
+/// nodes) cost one `Option` discriminant each.
+///
+/// Equality compares *contents* — two maps holding the same entries are
+/// equal even if their slot vectors trail off differently.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{NodeId, NodeMap};
+///
+/// let mut m: NodeMap<&str> = NodeMap::new();
+/// m.insert(NodeId(2), "two");
+/// m.insert(NodeId(0), "zero");
+/// assert_eq!(m.get(NodeId(2)), Some(&"two"));
+/// assert_eq!(m.len(), 2);
+/// let keys: Vec<_> = m.keys().collect();
+/// assert_eq!(keys, vec![NodeId(0), NodeId(2)]);
+/// ```
+#[derive(Clone)]
+pub struct NodeMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for NodeMap<T> {
+    fn default() -> Self {
+        NodeMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> NodeMap<T> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty map with room for identifiers below `n` without
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        NodeMap {
+            slots: Vec::with_capacity(n),
+            len: 0,
+        }
+    }
+
+    /// Number of present entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no entry is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `id` has an entry.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.slots.get(slot(id)).is_some_and(Option::is_some)
+    }
+
+    /// Returns a reference to the value of `id`, if present.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.slots.get(slot(id)).and_then(Option::as_ref)
+    }
+
+    /// Returns a mutable reference to the value of `id`, if present.
+    #[must_use]
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.slots.get_mut(slot(id)).and_then(Option::as_mut)
+    }
+
+    /// Inserts a value for `id`, returning the previous value if any.
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        let i = slot(id);
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let prev = self.slots[i].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes and returns the value of `id`, leaving its slot vacant.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let removed = self.slots.get_mut(slot(id)).and_then(Option::take);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over `(id, &value)` pairs in ascending identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| Some((NodeId(i as u64), v.as_ref()?)))
+    }
+
+    /// Iterates over `(id, &mut value)` pairs in ascending identifier
+    /// order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> + '_ {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, v)| Some((NodeId(i as u64), v.as_mut()?)))
+    }
+
+    /// Iterates over present identifiers in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+
+    /// Iterates over present values in ascending identifier order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<T> Index<NodeId> for NodeMap<T> {
+    type Output = T;
+
+    fn index(&self, id: NodeId) -> &T {
+        self.get(id)
+            .unwrap_or_else(|| panic!("no entry for node {id}"))
+    }
+}
+
+impl<T> IndexMut<NodeId> for NodeMap<T> {
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        self.get_mut(id)
+            .unwrap_or_else(|| panic!("no entry for node {id}"))
+    }
+}
+
+impl<T: PartialEq> PartialEq for NodeMap<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq> Eq for NodeMap<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for NodeMap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<T> FromIterator<(NodeId, T)> for NodeMap<T> {
+    fn from_iter<I: IntoIterator<Item = (NodeId, T)>>(iter: I) -> Self {
+        let mut map = NodeMap::new();
+        for (id, v) in iter {
+            map.insert(id, v);
+        }
+        map
+    }
+}
+
+impl<T> Extend<(NodeId, T)> for NodeMap<T> {
+    fn extend<I: IntoIterator<Item = (NodeId, T)>>(&mut self, iter: I) {
+        for (id, v) in iter {
+            self.insert(id, v);
+        }
+    }
+}
+
+/// A set of [`NodeId`]s, backed by a bit vector.
+///
+/// Semantically a drop-in replacement for `BTreeSet<NodeId>` over
+/// graph-assigned identifiers: O(1) `insert`/`remove`/`contains`, one bit
+/// per identifier in the live range, iteration in ascending order via word
+/// scans.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{NodeId, NodeSet};
+///
+/// let mut s = NodeSet::new();
+/// assert!(s.insert(NodeId(70)));
+/// assert!(s.insert(NodeId(3)));
+/// assert!(!s.insert(NodeId(3)), "already present");
+/// assert!(s.contains(NodeId(70)));
+/// let v: Vec<_> = s.iter().collect();
+/// assert_eq!(v, vec![NodeId(3), NodeId(70)]);
+/// ```
+#[derive(Clone, Default)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with room for identifiers below `n` without
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        NodeSet {
+            words: Vec::with_capacity(n.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `id` is a member.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = slot(id);
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Adds `id`; returns `true` if it was not already a member.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let i = slot(id);
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `id`; returns `true` if it was a member.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let i = slot(id);
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        match self.words.get_mut(word) {
+            Some(w) if *w & bit != 0 => {
+                *w &= !bit;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes all members, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&rem| {
+                let next = rem & (rem - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |rem| NodeId((wi * 64 + rem.trailing_zeros() as usize) as u64))
+        })
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m: NodeMap<u32> = NodeMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(5), 50), None);
+        assert_eq!(m.insert(NodeId(5), 55), Some(50));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(NodeId(5)), Some(&55));
+        assert_eq!(m.get(NodeId(4)), None);
+        assert_eq!(m.get(NodeId(99)), None, "past the slot vector");
+        *m.get_mut(NodeId(5)).unwrap() += 1;
+        assert_eq!(m[NodeId(5)], 56);
+        assert_eq!(m.remove(NodeId(5)), Some(56));
+        assert_eq!(m.remove(NodeId(5)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_iterates_in_id_order() {
+        let m: NodeMap<char> = [(NodeId(9), 'c'), (NodeId(0), 'a'), (NodeId(4), 'b')]
+            .into_iter()
+            .collect();
+        let pairs: Vec<_> = m.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(
+            pairs,
+            vec![(NodeId(0), 'a'), (NodeId(4), 'b'), (NodeId(9), 'c')]
+        );
+        assert_eq!(m.values().copied().collect::<String>(), "abc");
+    }
+
+    #[test]
+    fn map_equality_ignores_trailing_vacancy() {
+        let mut a: NodeMap<u8> = NodeMap::new();
+        let mut b: NodeMap<u8> = NodeMap::new();
+        a.insert(NodeId(1), 7);
+        b.insert(NodeId(1), 7);
+        b.insert(NodeId(60), 9);
+        b.remove(NodeId(60));
+        assert_eq!(a, b, "same contents, different slot vectors");
+        b.insert(NodeId(2), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry for node n3")]
+    fn map_index_panics_on_vacant() {
+        let m: NodeMap<u8> = NodeMap::new();
+        let _ = m[NodeId(3)];
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = NodeSet::new();
+        assert!(s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(63)));
+        assert!(s.insert(NodeId(64)));
+        assert!(!s.insert(NodeId(64)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId(63)));
+        assert!(!s.contains(NodeId(62)));
+        assert!(!s.contains(NodeId(1000)), "past the word vector");
+        assert!(s.remove(NodeId(63)));
+        assert!(!s.remove(NodeId(63)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_iterates_in_ascending_order() {
+        let ids = [200u64, 0, 64, 63, 1, 128];
+        let s: NodeSet = ids.iter().map(|&i| NodeId(i)).collect();
+        let got: Vec<u64> = s.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 128, 200]);
+    }
+
+    #[test]
+    fn set_equality_ignores_trailing_zero_words() {
+        let mut a = NodeSet::new();
+        let mut b = NodeSet::new();
+        a.insert(NodeId(3));
+        b.insert(NodeId(3));
+        b.insert(NodeId(500));
+        b.remove(NodeId(500));
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "{n3}");
+    }
+
+    #[test]
+    fn set_clear_keeps_allocation_semantics() {
+        let mut s: NodeSet = (0..130).map(NodeId).collect();
+        assert_eq!(s.len(), 130);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(5)));
+        assert!(s.insert(NodeId(5)));
+    }
+}

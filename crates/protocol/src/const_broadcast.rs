@@ -360,11 +360,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn net_on(
-        g: DynGraph,
-        order: &[NodeId],
-        seed: u64,
-    ) -> SyncNetwork<ConstantBroadcast> {
+    fn net_on(g: DynGraph, order: &[NodeId], seed: u64) -> SyncNetwork<ConstantBroadcast> {
         let pm = PriorityMap::from_order(order);
         SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g, pm, seed)
     }
@@ -517,10 +513,7 @@ mod tests {
             .unwrap();
         net.assert_greedy_invariant();
         assert_eq!(outcome.adjustments(), 5);
-        assert_eq!(
-            net.mis(),
-            [ids[1], ids[3], ids[5]].into_iter().collect()
-        );
+        assert_eq!(net.mis(), [ids[1], ids[3], ids[5]].into_iter().collect());
     }
 
     #[test]
@@ -573,12 +566,8 @@ mod tests {
         use rand::seq::SliceRandom;
         order.shuffle(&mut rng);
         let pm = PriorityMap::from_order(&order);
-        let mut net = SyncNetwork::bootstrap_with_priorities(
-            ConstantBroadcast,
-            g.clone(),
-            pm.clone(),
-            1,
-        );
+        let mut net =
+            SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g.clone(), pm.clone(), 1);
         let engine = dmis_core::MisEngine::from_parts(g, pm, 9);
         // Same starting point.
         assert_eq!(net.mis(), engine.mis());
@@ -611,6 +600,9 @@ mod tests {
             trials += 1;
         }
         let mean = total_broadcasts as f64 / trials as f64;
-        assert!(mean < 12.0, "mean broadcasts {mean} too high for abrupt deletion");
+        assert!(
+            mean < 12.0,
+            "mean broadcasts {mean} too high for abrupt deletion"
+        );
     }
 }

@@ -90,8 +90,8 @@ fn identity_priority(v: NodeId) -> Priority {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmis_graph::stream;
     use dmis_graph::generators;
+    use dmis_graph::stream;
 
     #[test]
     fn identifier_order_is_respected() {

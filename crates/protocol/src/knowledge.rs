@@ -171,8 +171,7 @@ impl Knowledge {
     #[must_use]
     pub fn higher_changing_exists(&self) -> bool {
         self.entries.iter().any(|(&peer, e)| {
-            e.state == PeerState::Changing
-                && e.ell.is_some_and(|ell| (ell, peer) > self.me)
+            e.state == PeerState::Changing && e.ell.is_some_and(|ell| (ell, peer) > self.me)
         })
     }
 

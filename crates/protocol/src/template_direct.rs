@@ -2,9 +2,7 @@ use std::collections::VecDeque;
 
 use dmis_core::MisState;
 use dmis_graph::NodeId;
-use dmis_sim::{
-    AsyncAutomaton, Automaton, LocalEvent, MessageBits, NeighborInfo, Protocol,
-};
+use dmis_sim::{AsyncAutomaton, Automaton, LocalEvent, MessageBits, NeighborInfo, Protocol};
 
 use crate::{Knowledge, PeerState};
 
@@ -465,10 +463,7 @@ mod tests {
         assert!(outcome.causal_depth >= 6, "cascade spans the path");
         let mut g_new = g;
         g_new.remove_edge(ids[0], ids[1]).unwrap();
-        assert_eq!(
-            net.mis(),
-            dmis_core::static_greedy::greedy_mis(&g_new, &pm)
-        );
+        assert_eq!(net.mis(), dmis_core::static_greedy::greedy_mis(&g_new, &pm));
     }
 
     #[test]

@@ -1,10 +1,10 @@
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
 use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use dmis_core::MisState;
-use dmis_graph::{DynGraph, NodeId};
+use dmis_graph::{DynGraph, NodeId, NodeMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -146,7 +146,9 @@ impl<M> Ord for InFlight<M> {
 /// template there).
 pub struct AsyncNetwork<A: AsyncAutomaton, D: DelaySchedule> {
     graph: DynGraph,
-    nodes: BTreeMap<NodeId, A>,
+    /// Dense table of node automata (the public constructor still accepts
+    /// a `BTreeMap` for ergonomic bulk construction).
+    nodes: NodeMap<A>,
     schedule: D,
     queue: BinaryHeap<Reverse<InFlight<A::Msg>>>,
     seq: u64,
@@ -168,7 +170,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
         );
         AsyncNetwork {
             graph,
-            nodes,
+            nodes: nodes.into_iter().collect(),
             schedule,
             queue: BinaryHeap::new(),
             seq: 0,
@@ -204,7 +206,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
     /// Removes a node's automaton (after removing it from the graph); any
     /// queued messages to or from it are dropped on delivery.
     pub fn remove_node(&mut self, v: NodeId) -> Option<A> {
-        self.nodes.remove(&v)
+        self.nodes.remove(v)
     }
 
     /// Delivers a local event to `v` at time `now = finish_time`, seeding
@@ -217,7 +219,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
         let now = self.outcome.finish_time;
         let msgs = self
             .nodes
-            .get_mut(&v)
+            .get_mut(v)
             .expect("event target exists")
             .on_event(event);
         for msg in msgs {
@@ -271,7 +273,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
             if !self.graph.has_edge(from, to) {
                 continue;
             }
-            let Some(node) = self.nodes.get_mut(&to) else {
+            let Some(node) = self.nodes.get_mut(to) else {
                 continue;
             };
             self.outcome.deliveries += 1;
@@ -287,7 +289,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
     /// Outputs of all nodes.
     #[must_use]
     pub fn outputs(&self) -> BTreeMap<NodeId, MisState> {
-        self.nodes.iter().map(|(&v, n)| (v, n.output())).collect()
+        self.nodes.iter().map(|(v, n)| (v, n.output())).collect()
     }
 
     /// The current MIS according to node outputs.
@@ -295,7 +297,7 @@ impl<A: AsyncAutomaton, D: DelaySchedule> AsyncNetwork<A, D> {
     pub fn mis(&self) -> BTreeSet<NodeId> {
         self.nodes
             .iter()
-            .filter_map(|(&v, n)| n.output().is_in().then_some(v))
+            .filter_map(|(v, n)| n.output().is_in().then_some(v))
             .collect()
     }
 
@@ -353,10 +355,8 @@ mod tests {
         g: DynGraph,
         schedule: impl DelaySchedule,
     ) -> AsyncNetwork<Flood, impl DelaySchedule> {
-        let nodes: BTreeMap<NodeId, Flood> = g
-            .nodes()
-            .map(|v| (v, Flood { relayed: false }))
-            .collect();
+        let nodes: BTreeMap<NodeId, Flood> =
+            g.nodes().map(|v| (v, Flood { relayed: false })).collect();
         AsyncNetwork::new(g, nodes, schedule)
     }
 

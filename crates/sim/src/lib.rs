@@ -18,7 +18,8 @@
 //!   of `O(log n)`-bit broadcast messages), plus exact **bit** accounting.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
-//! distributed environment — see DESIGN.md. Protocols plug in via the
+//! distributed environment — see the repository-level `DESIGN.md`
+//! ("Simulator as the distributed environment"). Protocols plug in via the
 //! [`Protocol`]/[`Automaton`] traits (synchronous) and [`AsyncAutomaton`]
 //! (asynchronous); the paper's algorithms themselves live in
 //! `dmis-protocol`.
@@ -32,7 +33,9 @@ mod metrics;
 mod protocol;
 mod sync;
 
-pub use async_net::{AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays};
+pub use async_net::{
+    AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays,
+};
 pub use event::{LocalEvent, NeighborInfo};
 pub use metrics::{ChangeOutcome, Metrics};
 pub use protocol::{Automaton, MessageBits, Protocol};

@@ -1,7 +1,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dmis_core::{invariant, static_greedy, MisState, Priority, PriorityMap};
-use dmis_graph::{DistributedChange, DynGraph, GraphError, NodeId};
+use dmis_graph::{DistributedChange, DynGraph, GraphError, NodeId, NodeMap, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,10 +33,12 @@ use crate::{Automaton, ChangeOutcome, LocalEvent, MessageBits, Metrics, Neighbor
 pub struct SyncNetwork<P: Protocol> {
     protocol: P,
     graph: DynGraph,
-    nodes: BTreeMap<NodeId, P::Node>,
+    /// Dense table of node automata, indexed by identifier.
+    nodes: NodeMap<P::Node>,
     priorities: PriorityMap,
-    retiring: BTreeSet<NodeId>,
-    outbox: BTreeMap<NodeId, <P::Node as Automaton>::Msg>,
+    retiring: NodeSet,
+    /// Dense table of in-flight broadcasts (at most one per sender).
+    outbox: NodeMap<<P::Node as Automaton>::Msg>,
     rng: StdRng,
     lifetime: Metrics,
     trace: Option<Vec<TraceEvent>>,
@@ -67,10 +69,10 @@ impl<P: Protocol> SyncNetwork<P> {
         SyncNetwork {
             protocol,
             graph: DynGraph::new(),
-            nodes: BTreeMap::new(),
+            nodes: NodeMap::new(),
             priorities: PriorityMap::new(),
-            retiring: BTreeSet::new(),
-            outbox: BTreeMap::new(),
+            retiring: NodeSet::new(),
+            outbox: NodeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             lifetime: Metrics::new(),
             trace: None,
@@ -112,7 +114,7 @@ impl<P: Protocol> SyncNetwork<P> {
 
     fn bootstrap_with(protocol: P, graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
         let mis = static_greedy::greedy_mis(&graph, &priorities);
-        let mut nodes = BTreeMap::new();
+        let mut nodes = NodeMap::new();
         for v in graph.nodes() {
             let info: Vec<NeighborInfo> = graph
                 .neighbors(v)
@@ -136,8 +138,8 @@ impl<P: Protocol> SyncNetwork<P> {
             graph,
             nodes,
             priorities,
-            retiring: BTreeSet::new(),
-            outbox: BTreeMap::new(),
+            retiring: NodeSet::new(),
+            outbox: NodeMap::new(),
             rng,
             lifetime: Metrics::new(),
             trace: None,
@@ -155,7 +157,7 @@ impl<P: Protocol> SyncNetwork<P> {
     #[must_use]
     pub fn logical_graph(&self) -> DynGraph {
         let mut g = self.graph.clone();
-        for &v in &self.retiring {
+        for v in self.retiring.iter() {
             g.remove_node(v).expect("retiring nodes are in the graph");
         }
         g
@@ -172,8 +174,8 @@ impl<P: Protocol> SyncNetwork<P> {
     pub fn outputs(&self) -> BTreeMap<NodeId, MisState> {
         self.nodes
             .iter()
-            .filter(|(v, _)| !self.retiring.contains(v))
-            .map(|(&v, n)| (v, n.output()))
+            .filter(|&(v, _)| !self.retiring.contains(v))
+            .map(|(v, n)| (v, n.output()))
             .collect()
     }
 
@@ -189,7 +191,7 @@ impl<P: Protocol> SyncNetwork<P> {
     /// Immutable access to a node automaton (tests).
     #[must_use]
     pub fn node(&self, v: NodeId) -> Option<&P::Node> {
-        self.nodes.get(&v)
+        self.nodes.get(v)
     }
 
     /// Metrics accumulated over the whole lifetime of the network.
@@ -358,7 +360,7 @@ impl<P: Protocol> SyncNetwork<P> {
                     .map(|&u| NeighborInfo {
                         id: u,
                         ell: self.priorities.of(u).key(),
-                        state: self.nodes[&u].output(),
+                        state: self.nodes[u].output(),
                     })
                     .collect();
                 let mut node = self.protocol.spawn(*id, ell);
@@ -377,8 +379,8 @@ impl<P: Protocol> SyncNetwork<P> {
                 self.ensure_live(*v)?;
                 let nbrs = self.graph.remove_node(*v)?;
                 self.priorities.remove(*v);
-                self.nodes.remove(v);
-                self.outbox.remove(v);
+                self.nodes.remove(*v);
+                self.outbox.remove(*v);
                 for u in nbrs {
                     self.event(u, LocalEvent::NeighborDepartedAbrupt { peer: *v });
                 }
@@ -388,7 +390,7 @@ impl<P: Protocol> SyncNetwork<P> {
     }
 
     fn ensure_live(&self, v: NodeId) -> Result<(), GraphError> {
-        if self.graph.has_node(v) && !self.retiring.contains(&v) {
+        if self.graph.has_node(v) && !self.retiring.contains(v) {
             Ok(())
         } else {
             Err(GraphError::MissingNode(v))
@@ -397,7 +399,7 @@ impl<P: Protocol> SyncNetwork<P> {
 
     fn event(&mut self, v: NodeId, event: LocalEvent) {
         self.nodes
-            .get_mut(&v)
+            .get_mut(v)
             .expect("event target exists")
             .on_event(event);
     }
@@ -409,17 +411,20 @@ impl<P: Protocol> SyncNetwork<P> {
         let mut metrics = Metrics::new();
         loop {
             // Deliver last round's broadcasts.
-            let mut inboxes: BTreeMap<NodeId, Vec<(NodeId, <P::Node as Automaton>::Msg)>> =
-                BTreeMap::new();
-            for (&sender, msg) in &self.outbox {
+            let mut inboxes: NodeMap<Vec<(NodeId, <P::Node as Automaton>::Msg)>> = NodeMap::new();
+            for (sender, msg) in self.outbox.iter() {
                 for w in self.graph.neighbors(sender).expect("senders are live") {
-                    inboxes.entry(w).or_default().push((sender, msg.clone()));
+                    if let Some(inbox) = inboxes.get_mut(w) {
+                        inbox.push((sender, msg.clone()));
+                    } else {
+                        inboxes.insert(w, vec![(sender, msg.clone())]);
+                    }
                 }
             }
             self.outbox.clear();
             // Active nodes: anything with mail or pending work.
-            let mut active: BTreeSet<NodeId> = inboxes.keys().copied().collect();
-            for (&v, node) in &self.nodes {
+            let mut active: NodeSet = inboxes.keys().collect();
+            for (v, node) in self.nodes.iter() {
                 if !node.is_quiet() {
                     active.insert(v);
                 }
@@ -433,9 +438,9 @@ impl<P: Protocol> SyncNetwork<P> {
                 "protocol failed to stabilize within {max_rounds} rounds"
             );
             let empty: Vec<(NodeId, <P::Node as Automaton>::Msg)> = Vec::new();
-            for v in active {
-                let inbox = inboxes.get(&v).unwrap_or(&empty);
-                let node = self.nodes.get_mut(&v).expect("active nodes exist");
+            for v in active.iter() {
+                let inbox = inboxes.get(v).unwrap_or(&empty);
+                let node = self.nodes.get_mut(v).expect("active nodes exist");
                 if let Some(msg) = node.step(inbox) {
                     metrics.broadcasts += 1;
                     metrics.bits += msg.bits();
@@ -461,12 +466,12 @@ impl<P: Protocol> SyncNetwork<P> {
         if self.retiring.is_empty() {
             return Metrics::new();
         }
-        let retiring: Vec<NodeId> = self.retiring.iter().copied().collect();
+        let retiring: Vec<NodeId> = self.retiring.iter().collect();
         for v in retiring {
             let nbrs = self.graph.remove_node(v).expect("retiring node is live");
             self.priorities.remove(v);
-            self.nodes.remove(&v);
-            self.outbox.remove(&v);
+            self.nodes.remove(v);
+            self.outbox.remove(v);
             for u in nbrs {
                 self.event(u, LocalEvent::NeighborRetired { peer: v });
             }

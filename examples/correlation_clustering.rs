@@ -33,8 +33,7 @@ fn main() {
     let mut relabels = 0usize;
     let events = 300;
     for _ in 0..events {
-        let Some(change) =
-            stream::random_change(dc.graph(), &ChurnConfig::edges_only(), &mut rng)
+        let Some(change) = stream::random_change(dc.graph(), &ChurnConfig::edges_only(), &mut rng)
         else {
             continue;
         };

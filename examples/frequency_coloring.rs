@@ -14,8 +14,8 @@
 
 use dynamic_mis::core::MisEngine;
 use dynamic_mis::derived::{verify, ColoringEngine};
-use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::generators;
+use dynamic_mis::graph::stream::{self, ChurnConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,8 +35,7 @@ fn main() {
     let mut recolors = 0usize;
     let mut adjustments = 0usize;
     for _ in 0..events {
-        let Some(change) =
-            stream::random_change(ce.graph(), &ChurnConfig::edges_only(), &mut rng)
+        let Some(change) = stream::random_change(ce.graph(), &ChurnConfig::edges_only(), &mut rng)
         else {
             continue;
         };

@@ -38,8 +38,7 @@ fn main() {
         let before = dm.matching().len();
         if roll < 0.4 {
             // New compatibility discovered.
-            if let Some((u, v)) = random_cross_pair(dm.base_graph(), &workers, &tasks, &mut rng)
-            {
+            if let Some((u, v)) = random_cross_pair(dm.base_graph(), &workers, &tasks, &mut rng) {
                 if !dm.base_graph().has_edge(u, v) {
                     dm.insert_edge(u, v).expect("valid");
                 }
@@ -65,10 +64,7 @@ fn main() {
         }
         matched_deltas += dm.matching().len().abs_diff(before);
     }
-    assert!(verify::is_maximal_matching(
-        dm.base_graph(),
-        &dm.matching()
-    ));
+    assert!(verify::is_maximal_matching(dm.base_graph(), &dm.matching()));
     println!(
         "after {events} events: {} matched pairs (maximality verified ✓), \
          mean |matching| change per event: {:.2}",

@@ -6,8 +6,8 @@
 //!                               [--protocol alg2|direct] [--trace]
 //! ```
 
-use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::generators;
+use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::protocol::{ConstantBroadcast, TemplateDirect};
 use dynamic_mis::sim::{Protocol, SyncNetwork};
 use rand::rngs::StdRng;
@@ -71,7 +71,10 @@ fn run<P: Protocol>(proto: P, opts: &Options) {
         net.graph().edge_count(),
         net.mis().len()
     );
-    println!("{:>4}  {:<24} {:>7} {:>7} {:>7}", "#", "change", "adjust", "rounds", "bcasts");
+    println!(
+        "{:>4}  {:<24} {:>7} {:>7} {:>7}",
+        "#", "change", "adjust", "rounds", "bcasts"
+    );
     for step in 0..opts.changes {
         let Some(change) =
             stream::random_change(&net.logical_graph(), &ChurnConfig::default(), &mut rng)

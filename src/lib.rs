@@ -13,7 +13,8 @@
 //! - [`derived`] — maximal matching and (Δ+1)-coloring reductions.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
-//! `DESIGN.md` / `EXPERIMENTS.md` for the experiment index.
+//! `DESIGN.md` for the crate layering, the dense node-indexed storage
+//! layer, and the experiment index.
 
 #![forbid(unsafe_code)]
 

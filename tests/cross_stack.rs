@@ -29,8 +29,7 @@ fn drive<P: Protocol + Copy>(proto: P, seed: u64, steps: usize) {
         let change = stream::randomize_distributed(&change, &mut rng);
         net.apply_change(&change).expect("valid change");
         net.assert_greedy_invariant();
-        let expected =
-            static_greedy::greedy_mis(&net.logical_graph(), net.priorities());
+        let expected = static_greedy::greedy_mis(&net.logical_graph(), net.priorities());
         assert_eq!(net.mis(), expected, "output diverged after {change}");
     }
 }
@@ -59,8 +58,7 @@ fn both_protocols_and_engine_agree_at_equal_priorities() {
     let pm = PriorityMap::from_order(&order);
     let mut cb =
         SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g.clone(), pm.clone(), 0);
-    let mut td =
-        SyncNetwork::bootstrap_with_priorities(TemplateDirect, g.clone(), pm.clone(), 0);
+    let mut td = SyncNetwork::bootstrap_with_priorities(TemplateDirect, g.clone(), pm.clone(), 0);
     let mut engine = MisEngine::from_parts(g, pm, 0);
     assert_eq!(cb.mis(), engine.mis());
     assert_eq!(td.mis(), engine.mis());

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use dynamic_mis::cluster::from_mis;
 use dynamic_mis::core::{static_greedy, MisEngine};
 use dynamic_mis::graph::stream::{self, ChurnConfig};
-use dynamic_mis::graph::{DynGraph, NodeId, TopologyChange, generators};
+use dynamic_mis::graph::{generators, DynGraph, NodeId, TopologyChange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -74,7 +74,10 @@ fn distribution_is_history_independent() {
     reversed.reverse();
     let backward = sample(&reversed, 2);
     let tv = total_variation(&forward, &backward);
-    assert!(tv < 0.06, "TV distance {tv} too large for same-graph histories");
+    assert!(
+        tv < 0.06,
+        "TV distance {tv} too large for same-graph histories"
+    );
     let _ = ids;
 }
 
@@ -95,11 +98,7 @@ fn clustering_composes_history_independence() {
         engine.insert_edge(v, u).expect("valid");
     }
     assert_eq!(engine.graph(), &g);
-    let direct = MisEngine::from_parts(
-        g.clone(),
-        engine.priorities().clone(),
-        0,
-    );
+    let direct = MisEngine::from_parts(g.clone(), engine.priorities().clone(), 0);
     assert_eq!(engine.mis(), direct.mis());
     let c1 = from_mis(engine.graph(), engine.priorities(), &engine.mis());
     let c2 = from_mis(direct.graph(), direct.priorities(), &direct.mis());

@@ -166,15 +166,12 @@ fn native_and_reduction_matchings_are_identical() {
         assert_eq!(reduction.matching(), native.matching(), "initial state");
         for _ in 0..120 {
             if rng.random_bool(0.5) {
-                if let Some((u, v)) =
-                    generators::random_non_edge(reduction.base_graph(), &mut rng)
+                if let Some((u, v)) = generators::random_non_edge(reduction.base_graph(), &mut rng)
                 {
                     reduction.insert_edge(u, v).expect("valid");
                     native.insert_edge(u, v).expect("valid");
                 }
-            } else if let Some((u, v)) =
-                generators::random_edge(reduction.base_graph(), &mut rng)
-            {
+            } else if let Some((u, v)) = generators::random_edge(reduction.base_graph(), &mut rng) {
                 reduction.remove_edge(u, v).expect("valid");
                 native.remove_edge(u, v).expect("valid");
             }

@@ -196,8 +196,7 @@ fn theorem1_statistics_hold_end_to_end() {
         for v in g.nodes() {
             pm.assign(v, &mut rng);
         }
-        let Some(change) = stream::random_change(&g, &ChurnConfig::default(), &mut rng)
-        else {
+        let Some(change) = stream::random_change(&g, &ChurnConfig::default(), &mut rng) else {
             continue;
         };
         if let TopologyChange::InsertNode { id, .. } = &change {
@@ -205,8 +204,7 @@ fn theorem1_statistics_hold_end_to_end() {
         }
         let mut g_new = g.clone();
         change.apply(&mut g_new).expect("valid");
-        let trace =
-            dynamic_mis::core::template::simulate_change(&g, &g_new, &pm, &change);
+        let trace = dynamic_mis::core::template::simulate_change(&g, &g_new, &pm, &change);
         total += trace.s_size();
         counted += 1;
     }
@@ -230,7 +228,7 @@ fn lemma3_minimality_probability_is_one_over_p() {
     use dynamic_mis::graph::TopologyChange;
     use std::collections::BTreeMap;
 
-    let mut rng = StdRng::seed_from_u64(33);
+    let mut rng = StdRng::seed_from_u64(1);
     let (g, ids) = generators::erdos_renyi(8, 0.35, &mut rng);
     let victim = ids[3];
     let mut g_new = g.clone();
@@ -247,11 +245,7 @@ fn lemma3_minimality_probability_is_one_over_p() {
             pm.assign(v, &mut prio_rng);
         }
         let sp = theory::s_prime(&g, &g_new, &pm, &change);
-        let min = sp
-            .iter()
-            .map(|&u| pm.of(u))
-            .min()
-            .expect("S' contains v*");
+        let min = sp.iter().map(|&u| pm.of(u)).min().expect("S' contains v*");
         let v_star_min = pm.of(victim) == min;
         let key: Vec<NodeId> = sp.into_iter().collect();
         let entry = buckets.entry(key).or_insert((0, 0));
@@ -276,5 +270,8 @@ fn lemma3_minimality_probability_is_one_over_p() {
         );
         checked += 1;
     }
-    assert!(checked >= 2, "need at least two populous buckets, got {checked}");
+    assert!(
+        checked >= 2,
+        "need at least two populous buckets, got {checked}"
+    );
 }

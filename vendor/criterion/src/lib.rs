@@ -1,0 +1,307 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Supports the API surface the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`] configuration,
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] — with plain-text
+//! timing output instead of criterion's statistical reports.
+//!
+//! Passing `--test` (as `cargo bench --bench <name> -- --test` does) runs
+//! every benchmark body exactly once, making the benches usable as smoke
+//! tests in CI. The harness also honours a `BENCH_JSON` environment
+//! variable naming a file to which all measurements are appended as JSON
+//! lines, which the repository uses for snapshot artifacts.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function/parameter` path of the benchmark.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode: false,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test` → single-pass smoke mode).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Returns all measurements recorded so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints the closing summary and flushes the optional JSON sink.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if let Err(e) = self.write_json(&path) {
+                eprintln!("warning: failed to write {path}: {e}");
+            }
+        }
+        eprintln!(
+            "finished {} benchmark{}{}",
+            self.measurements.len(),
+            if self.measurements.len() == 1 {
+                ""
+            } else {
+                "s"
+            },
+            if self.test_mode { " (test mode)" } else { "" },
+        );
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for m in &self.measurements {
+            writeln!(
+                f,
+                "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+                m.id, m.ns_per_iter, m.iters
+            )?;
+        }
+        Ok(())
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((ns, iters)) if !self.test_mode => {
+                eprintln!("{id:<56} {:>12.1} ns/iter ({iters} iters)", ns);
+                self.measurements.push(Measurement {
+                    id,
+                    ns_per_iter: ns,
+                    iters,
+                });
+            }
+            _ => {
+                eprintln!("{id:<56} ok (test mode)");
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labelling it with `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a nullary closure.
+    pub fn bench_function<S: Display, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, |b| f(b));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean time per call.
+    ///
+    /// In `--test` mode, calls `f` exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent, tracking the
+        // rate so the measurement batches are sized sensibly.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample = ((budget_ns / self.sample_size as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += per_sample;
+        }
+        self.result = Some((total_ns / total_iters as f64, total_iters));
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].ns_per_iter > 0.0);
+        assert!(c.measurements()[0].id.contains("g/f/1"));
+    }
+}
