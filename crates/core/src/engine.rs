@@ -1,3 +1,14 @@
+//! The sequential engine: one settle loop over the whole graph.
+//!
+//! [`MisEngine`] is the repo's reference realization of the paper's
+//! template (Algorithm 1): it owns the graph, the random order π, and one
+//! dense counter per node, and restores the MIS invariant after every
+//! topology change by settling dirty nodes in increasing π order. Every
+//! other maintainer in the workspace is defined against it — the BTree
+//! baseline mirrors its behavior on the old storage layout, and the
+//! sharded engine ([`crate::ShardedMisEngine`]) must reproduce its output
+//! bit for bit while partitioning this module's state across shards.
+
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
@@ -315,6 +326,24 @@ impl MisEngine {
     /// Changes are interpreted sequentially for *validity* (a batch may
     /// insert a node and immediately connect it), but the invariant is only
     /// restored once.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmis_core::MisEngine;
+    /// use dmis_graph::{generators, TopologyChange};
+    ///
+    /// let (g, ids) = generators::cycle(6);
+    /// let mut engine = MisEngine::from_graph(g, 11);
+    /// // Two simultaneous deletions recover through ONE settle pass.
+    /// let receipt = engine.apply_batch(&[
+    ///     TopologyChange::DeleteEdge(ids[0], ids[1]),
+    ///     TopologyChange::DeleteEdge(ids[3], ids[4]),
+    /// ])?;
+    /// assert_eq!(receipt.applied(), 2);
+    /// assert!(engine.check_invariant().is_ok());
+    /// # Ok::<(), dmis_graph::GraphError>(())
+    /// ```
     ///
     /// # Errors
     ///

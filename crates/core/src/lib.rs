@@ -16,6 +16,10 @@
 //!   MIS (the "sequential dynamic" realization of the paper's template,
 //!   Algorithm 1), reporting per-update [`UpdateReceipt`]s with the
 //!   adjustment set and work counters;
+//! - [`ShardedMisEngine`]: the same engine partitioned into K shards by
+//!   `NodeId` range ([`dmis_graph::ShardLayout`]), settling each shard
+//!   locally and exchanging cross-shard cascades as handoffs — bit-identical
+//!   output, with the coordination traffic audited on every receipt;
 //! - [`template`]: a faithful round-by-round simulation of the template,
 //!   which records the full influenced set `S` including nodes that flip and
 //!   flip back (the `u₂` example of Section 3), the number of parallel
@@ -60,6 +64,7 @@ mod receipt;
 mod state;
 
 pub mod invariant;
+pub mod sharding;
 pub mod static_greedy;
 pub mod template;
 pub mod theory;
@@ -67,4 +72,5 @@ pub mod theory;
 pub use engine::MisEngine;
 pub use priority::{Priority, PriorityMap};
 pub use receipt::{BatchReceipt, UpdateReceipt};
+pub use sharding::ShardedMisEngine;
 pub use state::MisState;

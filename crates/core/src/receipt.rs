@@ -1,3 +1,16 @@
+//! Receipts: the auditable outcome of every engine update.
+//!
+//! Each mutating call on [`crate::MisEngine`] or
+//! [`crate::ShardedMisEngine`] returns an [`UpdateReceipt`] (batches wrap
+//! it in a [`BatchReceipt`]) recording *what the recovery did*: the
+//! adjustment set (the paper's central complexity measure), the settle
+//! work performed (heap pops, neighbor-counter updates), and — for the
+//! sharded engine — how much of the cascade crossed shard boundaries
+//! ([`UpdateReceipt::cross_shard_handoffs`]) and how many shard
+//! activations the coordinator scheduled
+//! ([`UpdateReceipt::shard_runs`]). Receipts are how experiments and
+//! benches observe the engines without reaching into their internals.
+
 use std::collections::BTreeSet;
 
 use dmis_graph::{ChangeKind, NodeId};
@@ -21,6 +34,8 @@ pub struct UpdateReceipt {
     flips: Vec<(NodeId, MisState)>,
     heap_pops: usize,
     counter_updates: usize,
+    cross_shard_handoffs: usize,
+    shard_runs: usize,
 }
 
 impl UpdateReceipt {
@@ -35,7 +50,17 @@ impl UpdateReceipt {
             flips,
             heap_pops,
             counter_updates,
+            cross_shard_handoffs: 0,
+            shard_runs: 0,
         }
+    }
+
+    /// Attaches sharding statistics (set by [`crate::ShardedMisEngine`];
+    /// the unsharded engine reports zeros).
+    pub(crate) fn with_shard_stats(mut self, handoffs: usize, shard_runs: usize) -> Self {
+        self.cross_shard_handoffs = handoffs;
+        self.shard_runs = shard_runs;
+        self
     }
 
     /// The kind of change this receipt describes.
@@ -75,6 +100,24 @@ impl UpdateReceipt {
     #[must_use]
     pub fn counter_updates(&self) -> usize {
         self.counter_updates
+    }
+
+    /// Number of counter updates that crossed a shard boundary — the
+    /// coordination cost of a sharded recovery. Always zero for the
+    /// unsharded [`crate::MisEngine`], and for any cascade fully contained
+    /// in one shard; the paper's bounded-adjustment guarantee is what
+    /// keeps this small on random inputs.
+    #[must_use]
+    pub fn cross_shard_handoffs(&self) -> usize {
+        self.cross_shard_handoffs
+    }
+
+    /// Number of shard settle-runs the coordinator scheduled before
+    /// global quiescence (zero for the unsharded engine; at least one per
+    /// sharded recovery that had any dirty node).
+    #[must_use]
+    pub fn shard_runs(&self) -> usize {
+        self.shard_runs
     }
 }
 
@@ -128,6 +171,19 @@ impl BatchReceipt {
     pub fn counter_updates(&self) -> usize {
         self.receipt.counter_updates()
     }
+
+    /// Counter updates that crossed a shard boundary (zero unless the
+    /// batch ran on a [`crate::ShardedMisEngine`]).
+    #[must_use]
+    pub fn cross_shard_handoffs(&self) -> usize {
+        self.receipt.cross_shard_handoffs()
+    }
+
+    /// Shard settle-runs scheduled by the coordinator for this batch.
+    #[must_use]
+    pub fn shard_runs(&self) -> usize {
+        self.receipt.shard_runs()
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +221,18 @@ mod tests {
         assert_eq!(r.counter_updates(), 7);
         assert!(r.adjusted_nodes().contains(&NodeId(5)));
         assert_eq!(r.flips()[0], (NodeId(3), MisState::Out));
+    }
+
+    #[test]
+    fn shard_stats_default_to_zero_and_attach() {
+        let r = UpdateReceipt::new(ChangeKind::EdgeInsert, vec![], 0, 0);
+        assert_eq!(r.cross_shard_handoffs(), 0);
+        assert_eq!(r.shard_runs(), 0);
+        let r = r.with_shard_stats(6, 3);
+        assert_eq!(r.cross_shard_handoffs(), 6);
+        assert_eq!(r.shard_runs(), 3);
+        let b = BatchReceipt::new(1, r);
+        assert_eq!(b.cross_shard_handoffs(), 6);
+        assert_eq!(b.shard_runs(), 3);
     }
 }

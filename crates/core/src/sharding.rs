@@ -1,0 +1,869 @@
+//! Sharded settle: the MIS engine partitioned into K independent shards.
+//!
+//! PR 1 made [`NodeId`] a dense slot index; this module exploits that to
+//! partition *all* per-node state — membership bits, lower-MIS counters,
+//! dirty sets — by index range ([`ShardLayout`]) into `K` shards. Each
+//! shard runs the exact settle loop of [`crate::MisEngine`] over its own
+//! dense [`NodeMap`]/[`NodeSet`] tables (keyed by shard-*local* slots, so
+//! per-shard memory is proportional to the nodes it owns). The graph and
+//! the priority order π are shared read-only, mirroring the paper's model
+//! where every node knows the random IDs of its neighbors.
+//!
+//! # Handoff protocol
+//!
+//! Settling a node is a purely local decision (`lower_mis_count == 0`),
+//! but a *flip* must notify every higher-π neighbor. Neighbors in the same
+//! shard are updated in place, exactly as in the unsharded engine;
+//! neighbors owned by another shard receive a **cross-shard handoff** — a
+//! message carrying the counter delta plus a dirty mark — which the
+//! coordinator routes into the target shard's heap. The
+//! [`UpdateReceipt::cross_shard_handoffs`] counter audits this traffic;
+//! the paper's bounded-adjustment guarantee (Theorem 1: expected ≤ 1 flip
+//! per change) is what makes it rare, so almost all work stays
+//! shard-local.
+//!
+//! # Quiescence and correctness
+//!
+//! The coordinator repeatedly activates the shard whose dirtiest node is
+//! globally earliest in π and lets it settle its local dirty set to
+//! completion; emitted handoffs seed other shards, and the loop ends when
+//! every heap is empty. Termination and correctness follow from π being a
+//! strict total order: a flip at priority `p` only ever dirties strictly
+//! higher priorities, so influence flows one way and, by induction along
+//! π, every node's state converges to the unique fixed point of the MIS
+//! invariant — the same greedy MIS the unsharded engine maintains. Unlike
+//! the unsharded engine a node *can* settle twice (a lower-π handoff may
+//! arrive after a shard eagerly settled a local node), so receipts report
+//! **net** flips; the final output is bit-identical to [`crate::MisEngine`]
+//! for every layout, which `crates/core/tests/sharded_equivalence.rs`
+//! pins over thousands of random sequences.
+
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+use std::collections::BinaryHeap;
+
+use dmis_graph::{
+    ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, ShardLayout, TopologyChange,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::invariant::{self, InvariantViolation};
+use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
+
+/// One shard's slice of the per-node state, keyed by shard-local slots.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Membership bits of the nodes this shard owns.
+    in_mis: NodeSet,
+    /// Lower-π MIS neighbor counters of the nodes this shard owns.
+    lower_mis_count: NodeMap<usize>,
+    /// This shard's dirty set, ordered by global priority.
+    heap: BinaryHeap<Reverse<(Priority, NodeId)>>,
+    /// Dedup bitset for `heap` (local slots), empty between updates.
+    enqueued: NodeSet,
+}
+
+/// Work/traffic counters accumulated over one recovery.
+#[derive(Debug, Default, Clone, Copy)]
+struct SettleStats {
+    pops: usize,
+    counter_updates: usize,
+    handoffs: usize,
+    shard_runs: usize,
+}
+
+/// [`crate::MisEngine`] partitioned into K shards by `NodeId` range.
+///
+/// Observationally equivalent to the unsharded engine — same seed, same
+/// change sequence, bit-identical MIS — while keeping every per-node table
+/// shard-local and auditing the coordination cost through
+/// [`UpdateReceipt::cross_shard_handoffs`] / [`UpdateReceipt::shard_runs`].
+/// See the [module docs](self) for the handoff protocol and the quiescence
+/// argument.
+///
+/// # Example
+///
+/// ```
+/// use dmis_core::{MisEngine, ShardedMisEngine};
+/// use dmis_graph::{generators, ShardLayout};
+///
+/// let (g, ids) = generators::cycle(12);
+/// let mut sharded = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), 9);
+/// let mut plain = MisEngine::from_graph(g, 9);
+/// assert_eq!(sharded.mis(), plain.mis());
+///
+/// // The same change lands on the same output, and the receipt reports
+/// // how much of the cascade crossed shard boundaries.
+/// let receipt = sharded.remove_edge(ids[0], ids[1])?;
+/// plain.remove_edge(ids[0], ids[1])?;
+/// assert_eq!(sharded.mis(), plain.mis());
+/// println!("handoffs: {}", receipt.cross_shard_handoffs());
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedMisEngine {
+    graph: DynGraph,
+    priorities: PriorityMap,
+    layout: ShardLayout,
+    shards: Vec<Shard>,
+    rng: StdRng,
+    /// Scratch set of nodes whose state changed at least once during the
+    /// current recovery (global ids); drained when the receipt is built.
+    touched: NodeSet,
+}
+
+impl ShardedMisEngine {
+    /// Creates an engine over an empty graph. `seed` determinizes all
+    /// priority draws exactly as in [`crate::MisEngine::new`].
+    #[must_use]
+    pub fn new(layout: ShardLayout, seed: u64) -> Self {
+        ShardedMisEngine {
+            graph: DynGraph::new(),
+            priorities: PriorityMap::new(),
+            layout,
+            shards: vec![Shard::default(); layout.shards()],
+            rng: StdRng::seed_from_u64(seed),
+            touched: NodeSet::new(),
+        }
+    }
+
+    /// Creates an engine over an existing graph, drawing fresh random
+    /// priorities for all its nodes — the same draws, in the same order,
+    /// as [`crate::MisEngine::from_graph`] with the same seed, so the two
+    /// engines stay step-for-step comparable.
+    #[must_use]
+    pub fn from_graph(graph: DynGraph, layout: ShardLayout, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut priorities = PriorityMap::new();
+        for v in graph.nodes() {
+            priorities.assign(v, &mut rng);
+        }
+        Self::with_priorities(graph, priorities, layout, rng)
+    }
+
+    /// Creates an engine over an existing graph with prescribed priorities
+    /// (tests and adversarial constructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node of the graph has no priority.
+    #[must_use]
+    pub fn from_parts(
+        graph: DynGraph,
+        priorities: PriorityMap,
+        layout: ShardLayout,
+        seed: u64,
+    ) -> Self {
+        Self::with_priorities(graph, priorities, layout, StdRng::seed_from_u64(seed))
+    }
+
+    fn with_priorities(
+        graph: DynGraph,
+        priorities: PriorityMap,
+        layout: ShardLayout,
+        rng: StdRng,
+    ) -> Self {
+        let mis = crate::static_greedy::greedy_mis(&graph, &priorities);
+        let mut engine = ShardedMisEngine {
+            graph,
+            priorities,
+            layout,
+            shards: vec![Shard::default(); layout.shards()],
+            rng,
+            touched: NodeSet::new(),
+        };
+        for v in engine.graph.nodes() {
+            if mis.contains(&v) {
+                engine.shards[layout.shard_of(v)]
+                    .in_mis
+                    .insert(layout.local_slot(v));
+            }
+        }
+        for v in engine.graph.nodes() {
+            let count = engine.count_lower_mis(v);
+            engine.shards[layout.shard_of(v)]
+                .lower_mis_count
+                .insert(layout.local_slot(v), count);
+        }
+        engine
+    }
+
+    /// Returns the current graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// Returns the priority assignment π.
+    #[must_use]
+    pub fn priorities(&self) -> &PriorityMap {
+        &self.priorities
+    }
+
+    /// Returns the shard layout.
+    #[must_use]
+    pub fn layout(&self) -> ShardLayout {
+        self.layout
+    }
+
+    /// Number of shards K.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.layout.shards()
+    }
+
+    /// Returns the current MIS as a set of node identifiers, merged across
+    /// shards.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.graph.nodes().filter(|&v| self.output(v)).collect()
+    }
+
+    /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.
+    #[must_use]
+    pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
+        self.graph.has_node(v).then(|| self.output(v))
+    }
+
+    /// Returns the output state of `v`, or `None` if `v` does not exist.
+    #[must_use]
+    pub fn state(&self, v: NodeId) -> Option<MisState> {
+        self.is_in_mis(v).map(MisState::from_membership)
+    }
+
+    /// Membership bit of `v`, read from its owning shard.
+    fn output(&self, v: NodeId) -> bool {
+        self.shards[self.layout.shard_of(v)]
+            .in_mis
+            .contains(self.layout.local_slot(v))
+    }
+
+    fn count_lower_mis(&self, v: NodeId) -> usize {
+        self.graph
+            .neighbors(v)
+            .expect("live node")
+            .filter(|&u| self.output(u) && self.priorities.before(u, v))
+            .count()
+    }
+
+    fn order_pair(&self, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if self.priorities.before(u, v) {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Routes a counter delta plus a dirty mark to `v`'s owning shard.
+    /// One delta-carrying call is one message: a real delta leaving the
+    /// `origin` shard counts as one cross-shard handoff. Delta-free calls
+    /// (`delta == 0`) are conservative dirty marks the batch path seeds
+    /// for parity with [`crate::MisEngine::apply_batch`]; they carry no
+    /// state and are not counted, keeping handoff metrics identical
+    /// between the single-change and batch APIs.
+    fn route(&mut self, v: NodeId, delta: isize, origin: usize, stats: &mut SettleStats) {
+        let target = self.layout.shard_of(v);
+        let local = self.layout.local_slot(v);
+        let shard = &mut self.shards[target];
+        if delta != 0 {
+            if target != origin {
+                stats.handoffs += 1;
+            }
+            let c = shard.lower_mis_count.get_mut(local).expect("live node");
+            *c = c.checked_add_signed(delta).expect("counter in range");
+            stats.counter_updates += 1;
+        }
+        if shard.enqueued.insert(local) {
+            shard.heap.push(Reverse((self.priorities.of(v), v)));
+        }
+    }
+
+    /// Inserts the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        self.graph.insert_edge(u, v)?;
+        let (lo, hi) = self.order_pair(u, v);
+        let mut stats = SettleStats::default();
+        if self.output(lo) {
+            self.route(hi, 1, self.layout.shard_of(lo), &mut stats);
+        }
+        Ok(self.settle(ChangeKind::EdgeInsert, stats))
+    }
+
+    /// Removes the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        self.graph.remove_edge(u, v)?;
+        let (lo, hi) = self.order_pair(u, v);
+        let mut stats = SettleStats::default();
+        if self.output(lo) {
+            self.route(hi, -1, self.layout.shard_of(lo), &mut stats);
+        }
+        Ok(self.settle(ChangeKind::EdgeDelete, stats))
+    }
+
+    /// Inserts a new node with edges to `neighbors`, draws its priority,
+    /// and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged.
+    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, UpdateReceipt), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let key = self.rng.random();
+        self.insert_node_with_key(neighbors, key)
+    }
+
+    /// Inserts a new node with a *prescribed* random key (baselines and
+    /// adversarial tests; see
+    /// [`crate::MisEngine::insert_node_with_key`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged.
+    pub fn insert_node_with_key<I>(
+        &mut self,
+        neighbors: I,
+        key: u64,
+    ) -> Result<(NodeId, UpdateReceipt), GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let v = self.graph.add_node_with_edges(neighbors)?;
+        self.priorities.insert(v, Priority::new(key, v));
+        let origin = self.layout.shard_of(v);
+        let count = self.count_lower_mis(v);
+        self.shards[origin]
+            .lower_mis_count
+            .insert(self.layout.local_slot(v), count);
+        // The newcomer starts in the temporary state M̄ (§4.1): membership
+        // bit unset, no neighbor counter perturbed by its arrival.
+        let mut stats = SettleStats::default();
+        self.route(v, 0, origin, &mut stats);
+        let receipt = self.settle(ChangeKind::NodeInsert, stats);
+        Ok((v, receipt))
+    }
+
+    /// Removes node `v` and restores the MIS invariant. As in the
+    /// unsharded engine, the receipt covers the *remaining* nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if `v` does not exist.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+        if !self.graph.has_node(v) {
+            return Err(GraphError::MissingNode(v));
+        }
+        let was_in = self.output(v);
+        let prio_v = self.priorities.of(v);
+        let origin = self.layout.shard_of(v);
+        let nbrs = self.graph.remove_node(v)?;
+        self.priorities.remove(v);
+        let local = self.layout.local_slot(v);
+        self.shards[origin].in_mis.remove(local);
+        self.shards[origin].lower_mis_count.remove(local);
+        let mut stats = SettleStats::default();
+        if was_in {
+            for w in nbrs {
+                if self.priorities.of(w) > prio_v {
+                    self.route(w, -1, origin, &mut stats);
+                }
+            }
+        }
+        Ok(self.settle(ChangeKind::NodeDelete, stats))
+    }
+
+    /// Applies a described [`TopologyChange`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`]; for [`TopologyChange::InsertNode`] the
+    /// pre-assigned identifier must equal [`DynGraph::peek_next_id`], else
+    /// [`GraphError::MissingNode`] is returned.
+    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
+        match change {
+            TopologyChange::InsertEdge(u, v) => self.insert_edge(*u, *v),
+            TopologyChange::DeleteEdge(u, v) => self.remove_edge(*u, *v),
+            TopologyChange::InsertNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                self.insert_node(edges.iter().copied()).map(|(_, r)| r)
+            }
+            TopologyChange::DeleteNode(v) => self.remove_node(*v),
+        }
+    }
+
+    /// Applies a **batch** of topology changes atomically, with the same
+    /// semantics as [`crate::MisEngine::apply_batch`]: all graph mutations
+    /// land first (seeding every shard's dirty set), then one coordinated
+    /// settle restores the invariant across all shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] encountered. Changes before the
+    /// failing one remain applied and the invariant is restored for them;
+    /// the failing and subsequent changes are not applied.
+    pub fn apply_batch(&mut self, changes: &[TopologyChange]) -> Result<BatchReceipt, GraphError> {
+        let mut stats = SettleStats::default();
+        let mut applied = 0usize;
+        let mut failure: Option<GraphError> = None;
+        for change in changes {
+            match self.mutate_only(change, &mut stats) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let receipt = self.settle(
+            changes
+                .first()
+                .map_or(ChangeKind::EdgeInsert, TopologyChange::kind),
+            stats,
+        );
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(BatchReceipt::new(applied, receipt)),
+        }
+    }
+
+    /// Applies one change's graph mutation and counter fix-ups against the
+    /// *frozen* outputs, seeding dirty sets but deferring the settle.
+    fn mutate_only(
+        &mut self,
+        change: &TopologyChange,
+        stats: &mut SettleStats,
+    ) -> Result<(), GraphError> {
+        match change {
+            TopologyChange::InsertEdge(u, v) => {
+                self.graph.insert_edge(*u, *v)?;
+                let (lo, hi) = self.order_pair(*u, *v);
+                let delta = isize::from(self.output(lo));
+                self.route(hi, delta, self.layout.shard_of(lo), stats);
+            }
+            TopologyChange::DeleteEdge(u, v) => {
+                self.graph.remove_edge(*u, *v)?;
+                let (lo, hi) = self.order_pair(*u, *v);
+                let delta = -isize::from(self.output(lo));
+                self.route(hi, delta, self.layout.shard_of(lo), stats);
+            }
+            TopologyChange::InsertNode { id, edges } => {
+                if self.graph.peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                let v = self.graph.add_node_with_edges(edges.iter().copied())?;
+                self.priorities.assign(v, &mut self.rng);
+                let origin = self.layout.shard_of(v);
+                let count = self.count_lower_mis(v);
+                self.shards[origin]
+                    .lower_mis_count
+                    .insert(self.layout.local_slot(v), count);
+                self.route(v, 0, origin, stats);
+            }
+            TopologyChange::DeleteNode(v) => {
+                if !self.graph.has_node(*v) {
+                    return Err(GraphError::MissingNode(*v));
+                }
+                let was_in = self.output(*v);
+                let prio_v = self.priorities.of(*v);
+                let origin = self.layout.shard_of(*v);
+                let nbrs = self.graph.remove_node(*v)?;
+                self.priorities.remove(*v);
+                let local = self.layout.local_slot(*v);
+                self.shards[origin].in_mis.remove(local);
+                self.shards[origin].lower_mis_count.remove(local);
+                for w in nbrs {
+                    if self.priorities.of(w) > prio_v {
+                        self.route(w, -isize::from(was_in), origin, stats);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the coordinator to global quiescence and builds the receipt.
+    ///
+    /// Each turn activates the shard whose pending dirty node is globally
+    /// earliest in π — the schedule that wastes the fewest flips — and
+    /// lets it drain its local heap completely; handoffs emitted along the
+    /// way seed other shards for later turns.
+    fn settle(&mut self, kind: ChangeKind, mut stats: SettleStats) -> UpdateReceipt {
+        debug_assert!(self.touched.is_empty(), "flip log leaked entries");
+        let mut log: Vec<(NodeId, bool)> = Vec::new();
+        loop {
+            let next = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, sh)| sh.heap.peek().map(|&Reverse(top)| (top, i)))
+                .min();
+            let Some((_, s)) = next else { break };
+            stats.shard_runs += 1;
+            self.run_shard(s, &mut stats, &mut log);
+        }
+        // Net flips: nodes whose final state differs from their state at
+        // first touch, reported in π order (the unsharded settle order).
+        let mut flips: Vec<(NodeId, MisState)> = Vec::new();
+        for &(v, before) in &log {
+            self.touched.remove(v);
+            let now = self.output(v);
+            if now != before {
+                flips.push((v, MisState::from_membership(now)));
+            }
+        }
+        flips.sort_by_key(|&(v, _)| self.priorities.of(v));
+        UpdateReceipt::new(kind, flips, stats.pops, stats.counter_updates)
+            .with_shard_stats(stats.handoffs, stats.shard_runs)
+    }
+
+    /// The unsharded settle loop, confined to shard `s`: pops its dirty
+    /// set in increasing π, flips nodes whose counter disagrees with their
+    /// bit, updates same-shard neighbors in place, and emits handoffs for
+    /// remote ones.
+    fn run_shard(&mut self, s: usize, stats: &mut SettleStats, log: &mut Vec<(NodeId, bool)>) {
+        while let Some(Reverse((prio, v))) = self.shards[s].heap.pop() {
+            stats.pops += 1;
+            let local = self.layout.local_slot(v);
+            self.shards[s].enqueued.remove(local);
+            // A batch may have deleted the node after it was seeded.
+            if !self.graph.has_node(v) {
+                continue;
+            }
+            let desired = self.shards[s].lower_mis_count[local] == 0;
+            let current = self.shards[s].in_mis.contains(local);
+            if desired == current {
+                continue;
+            }
+            if self.touched.insert(v) {
+                log.push((v, current));
+            }
+            if desired {
+                self.shards[s].in_mis.insert(local);
+            } else {
+                self.shards[s].in_mis.remove(local);
+            }
+            let ShardedMisEngine {
+                graph,
+                priorities,
+                layout,
+                shards,
+                ..
+            } = self;
+            for &w in graph.neighbors_slice(v).expect("live node") {
+                if priorities.of(w) > prio {
+                    let target = layout.shard_of(w);
+                    if target != s {
+                        stats.handoffs += 1;
+                    }
+                    let lw = layout.local_slot(w);
+                    let shard = &mut shards[target];
+                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                    if desired {
+                        *c += 1;
+                    } else {
+                        *c -= 1;
+                    }
+                    stats.counter_updates += 1;
+                    if shard.enqueued.insert(lw) {
+                        shard.heap.push(Reverse((priorities.of(w), w)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies the MIS invariant over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariant(&self) -> Result<(), InvariantViolation> {
+        invariant::check_mis_invariant(&self.graph, &self.priorities, &self.mis())
+    }
+
+    /// Verifies every shard's bookkeeping against a from-scratch
+    /// recomputation. Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter, bit, or shard assignment diverged.
+    pub fn assert_internally_consistent(&self) {
+        self.graph.assert_consistent();
+        assert_eq!(self.priorities.len(), self.graph.node_count());
+        let total_counters: usize = self.shards.iter().map(|s| s.lower_mis_count.len()).sum();
+        assert_eq!(total_counters, self.graph.node_count());
+        for shard in &self.shards {
+            assert!(shard.heap.is_empty(), "dirty set leaked between updates");
+            assert!(shard.enqueued.is_empty(), "enqueue scratch leaked bits");
+        }
+        assert!(self.touched.is_empty(), "flip log leaked entries");
+        let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
+        let total_bits: usize = self.shards.iter().map(|s| s.in_mis.len()).sum();
+        assert_eq!(total_bits, ground_truth.len(), "stale membership bits");
+        for v in self.graph.nodes() {
+            assert_eq!(
+                self.output(v),
+                ground_truth.contains(&v),
+                "state of {v} diverged from static greedy"
+            );
+            assert_eq!(
+                self.shards[self.layout.shard_of(v)].lower_mis_count[self.layout.local_slot(v)],
+                self.count_lower_mis(v),
+                "counter of {v} diverged"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MisEngine;
+    use dmis_graph::generators;
+    use dmis_graph::stream::{self, ChurnConfig};
+
+    fn layouts() -> Vec<ShardLayout> {
+        vec![
+            ShardLayout::single(),
+            ShardLayout::striped(2),
+            ShardLayout::striped(4),
+            ShardLayout::blocked(3, 4),
+        ]
+    }
+
+    #[test]
+    fn empty_engine() {
+        let engine = ShardedMisEngine::new(ShardLayout::striped(4), 0);
+        assert!(engine.mis().is_empty());
+        assert!(engine.check_invariant().is_ok());
+        assert_eq!(engine.shard_count(), 4);
+    }
+
+    #[test]
+    fn from_graph_matches_unsharded_initialization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
+        let plain = MisEngine::from_graph(g.clone(), 99);
+        for layout in layouts() {
+            let engine = ShardedMisEngine::from_graph(g.clone(), layout, 99);
+            engine.assert_internally_consistent();
+            assert_eq!(engine.mis(), plain.mis(), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_handoffs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = generators::erdos_renyi(30, 0.2, &mut rng);
+        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::single(), 7);
+        for _ in 0..100 {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            let receipt = engine.apply(&change).unwrap();
+            assert_eq!(receipt.cross_shard_handoffs(), 0);
+        }
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn cross_shard_cascade_is_counted_and_correct() {
+        // Path 0-1-2-3 striped over 2 shards: every edge crosses the
+        // boundary, so the 3-flip cascade of deleting {0,1} is all
+        // handoffs.
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        for w in ids.windows(2) {
+            g.insert_edge(w[0], w[1]).unwrap();
+        }
+        let pm = PriorityMap::from_order(&ids);
+        let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(2), 0);
+        assert_eq!(engine.mis(), [ids[0], ids[2]].into_iter().collect());
+        let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
+        assert_eq!(
+            receipt.flips(),
+            &[
+                (ids[1], MisState::In),
+                (ids[2], MisState::Out),
+                (ids[3], MisState::In)
+            ]
+        );
+        assert!(receipt.cross_shard_handoffs() >= 2, "cascade crossed twice");
+        assert!(receipt.shard_runs() >= 2, "both shards were activated");
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn node_churn_round_trip_on_all_layouts() {
+        for layout in layouts() {
+            let mut rng = StdRng::seed_from_u64(2);
+            let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
+            let mut engine = ShardedMisEngine::from_graph(g, layout, 3);
+            let (v, _) = engine.insert_node(vec![ids[0], ids[1], ids[2]]).unwrap();
+            engine.assert_internally_consistent();
+            engine.remove_node(v).unwrap();
+            assert!(!engine.graph().has_node(v));
+            engine.assert_internally_consistent();
+        }
+    }
+
+    #[test]
+    fn errors_leave_engine_untouched() {
+        let (g, ids) = generators::path(3);
+        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(2), 0);
+        let snapshot = engine.mis();
+        assert!(engine.insert_edge(ids[0], ids[1]).is_err());
+        assert!(engine.remove_edge(ids[0], ids[2]).is_err());
+        assert!(engine.remove_node(NodeId(50)).is_err());
+        assert!(engine.insert_node(vec![NodeId(50)]).is_err());
+        assert_eq!(engine.mis(), snapshot);
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn batch_matches_unsharded_batch() {
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, _) = generators::erdos_renyi(20, 0.25, &mut rng);
+            let mut shadow = g.clone();
+            let mut batch = Vec::new();
+            for _ in 0..6 {
+                if let Some(change) =
+                    stream::random_change(&shadow, &ChurnConfig::edges_only(), &mut rng)
+                {
+                    change.apply(&mut shadow).unwrap();
+                    batch.push(change);
+                }
+            }
+            let mut plain = MisEngine::from_graph(g.clone(), 99 + seed);
+            plain.apply_batch(&batch).unwrap();
+            for layout in layouts() {
+                let mut sharded = ShardedMisEngine::from_graph(g.clone(), layout, 99 + seed);
+                sharded.apply_batch(&batch).unwrap();
+                assert_eq!(sharded.mis(), plain.mis(), "{layout:?}");
+                sharded.assert_internally_consistent();
+            }
+        }
+    }
+
+    #[test]
+    fn batch_and_single_change_agree_on_handoff_counts() {
+        // Boundary edge whose lower endpoint is OUT of the MIS: no state
+        // crosses the shards, so both APIs must report zero handoffs.
+        let (mut g, ids) = DynGraph::with_nodes(4);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        let pm = PriorityMap::from_order(&ids);
+        let layout = ShardLayout::striped(2);
+        // ids[1] is dominated by ids[0]; edge {ids[1], ids[3]} crosses
+        // shards (1 and 1... use ids[1]-ids[2]: shards 1 and 0).
+        let mut single = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
+        let r1 = single.insert_edge(ids[1], ids[2]).unwrap();
+        let mut batched = ShardedMisEngine::from_parts(g, pm, layout, 0);
+        let r2 = batched
+            .apply_batch(&[TopologyChange::InsertEdge(ids[1], ids[2])])
+            .unwrap();
+        assert_eq!(r1.cross_shard_handoffs(), 0, "no MIS state crossed");
+        assert_eq!(
+            r2.cross_shard_handoffs(),
+            r1.cross_shard_handoffs(),
+            "batch metering must match the single-change path"
+        );
+        assert_eq!(single.mis(), batched.mis());
+    }
+
+    #[test]
+    fn batch_can_insert_wire_and_delete_nodes() {
+        let (g, ids) = generators::path(3);
+        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(2), 4);
+        let fresh = engine.graph().peek_next_id();
+        let receipt = engine
+            .apply_batch(&[
+                TopologyChange::InsertNode {
+                    id: fresh,
+                    edges: vec![ids[0]],
+                },
+                TopologyChange::InsertEdge(fresh, ids[2]),
+                TopologyChange::DeleteNode(fresh),
+            ])
+            .unwrap();
+        assert_eq!(receipt.applied(), 3);
+        assert!(!engine.graph().has_node(fresh));
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn batch_failure_keeps_engine_consistent() {
+        let (g, ids) = generators::path(4);
+        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 4);
+        let err = engine
+            .apply_batch(&[
+                TopologyChange::DeleteEdge(ids[0], ids[1]),
+                TopologyChange::DeleteEdge(ids[0], ids[3]), // not an edge
+                TopologyChange::DeleteEdge(ids[2], ids[3]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, GraphError::MissingEdge(ids[0], ids[3]));
+        assert!(!engine.graph().has_edge(ids[0], ids[1]));
+        assert!(engine.graph().has_edge(ids[2], ids[3]));
+        engine.assert_internally_consistent();
+    }
+
+    #[test]
+    fn long_churn_tracks_unsharded_engine_exactly() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (g, _) = generators::erdos_renyi(25, 0.2, &mut rng);
+        let mut plain = MisEngine::from_graph(g.clone(), 100);
+        let mut sharded = ShardedMisEngine::from_graph(g, ShardLayout::striped(4), 100);
+        let cfg = ChurnConfig::default();
+        for step in 0..400 {
+            let Some(change) = stream::random_change(plain.graph(), &cfg, &mut rng) else {
+                continue;
+            };
+            let r1 = plain.apply(&change).unwrap();
+            let r2 = sharded.apply(&change).unwrap();
+            assert_eq!(plain.mis(), sharded.mis(), "step {step}");
+            assert_eq!(r1.adjusted_nodes(), r2.adjusted_nodes(), "step {step}");
+            if step % 50 == 0 {
+                sharded.assert_internally_consistent();
+            }
+        }
+        sharded.assert_internally_consistent();
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(4);
+            let (g, _) = generators::erdos_renyi(15, 0.3, &mut rng);
+            let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 5);
+            let mut outputs = Vec::new();
+            for _ in 0..30 {
+                if let Some(change) =
+                    stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+                {
+                    let receipt = engine.apply(&change).unwrap();
+                    outputs.push((engine.mis(), receipt.cross_shard_handoffs()));
+                }
+            }
+            outputs
+        };
+        assert_eq!(build(), build());
+    }
+}

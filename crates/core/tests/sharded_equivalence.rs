@@ -1,0 +1,221 @@
+//! Sharding-equivalence property test.
+//!
+//! The K-shard [`ShardedMisEngine`] must be observationally identical to
+//! the unsharded [`MisEngine`]: same seed, same change sequence,
+//! bit-identical MIS after every prefix, and the same adjustment sets on
+//! every receipt. The sequences here are biased toward *boundary churn* —
+//! random edge/node insert/delete streams whose edges overwhelmingly span
+//! shard boundaries under striping, plus adversarial stars whose leaves
+//! are dealt across all shards — because cross-shard handoffs are exactly
+//! where the sharded settle could diverge.
+
+use std::collections::BTreeSet;
+
+use dmis_core::{MisEngine, PriorityMap, ShardedMisEngine};
+use dmis_graph::stream::{self, ChurnConfig};
+use dmis_graph::{generators, DynGraph, NodeId, ShardLayout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Drives the same change stream through the unsharded engine and one
+/// sharded engine per layout, asserting output and receipt agreement
+/// after every single change.
+fn assert_equivalent_on_stream(
+    g: &DynGraph,
+    seed: u64,
+    steps: usize,
+    cfg: &ChurnConfig,
+    rng: &mut StdRng,
+) {
+    let mut plain = MisEngine::from_graph(g.clone(), seed);
+    let mut sharded: Vec<ShardedMisEngine> = SHARD_COUNTS
+        .iter()
+        .map(|&k| ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed))
+        .collect();
+    for engine in &sharded {
+        assert_eq!(engine.mis(), plain.mis(), "initial greedy MIS diverged");
+    }
+    for _ in 0..steps {
+        let Some(change) = stream::random_change(plain.graph(), cfg, rng) else {
+            break;
+        };
+        let receipt = plain.apply(&change).expect("valid change");
+        for engine in &mut sharded {
+            let r = engine.apply(&change).expect("valid change");
+            assert_eq!(
+                engine.mis(),
+                plain.mis(),
+                "K={} output diverged (seed {seed})",
+                engine.shard_count()
+            );
+            assert_eq!(
+                r.adjusted_nodes(),
+                receipt.adjusted_nodes(),
+                "K={} adjustment set diverged (seed {seed})",
+                engine.shard_count()
+            );
+        }
+    }
+    for engine in &sharded {
+        engine.assert_internally_consistent();
+    }
+}
+
+/// ≥ 1000 random insert/delete sequences across K ∈ {1, 2, 4, 7}: after
+/// every change, every sharded engine's MIS is bit-identical to the
+/// unsharded engine's.
+#[test]
+fn sharded_engines_match_unsharded_over_random_sequences() {
+    let mut sequences = 0u32;
+    for seed in 0..260u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed as usize % 18);
+        let p = 0.05 + 0.4 * ((seed % 7) as f64 / 6.0);
+        let (g, _) = generators::erdos_renyi(n, p, &mut rng);
+        let steps = 3 + (seed as usize % 10);
+        assert_equivalent_on_stream(&g, seed ^ 0x5AAD, steps, &ChurnConfig::default(), &mut rng);
+        // One stream checked against 4 layouts = 4 engine-vs-oracle
+        // sequences.
+        sequences += SHARD_COUNTS.len() as u32;
+    }
+    assert!(sequences >= 1000, "ran only {sequences} sequences");
+}
+
+/// Stars spanning shard boundaries: under striping every leaf of a star
+/// centered at node 0 lives on a rotating shard, so deleting the center
+/// is the worst-case all-handoff promotion cascade; rebuilding it exercises
+/// boundary-crossing inserts.
+#[test]
+fn boundary_spanning_stars_settle_identically() {
+    for leaves in [5usize, 8, 13, 21] {
+        let (g, ids) = generators::star(leaves + 1);
+        // Center first in π: MIS = {center}; all leaves promote on its
+        // deletion, each promotion notified across a boundary.
+        let pm = PriorityMap::from_order(&ids);
+        let mut plain = MisEngine::from_parts(g.clone(), pm.clone(), 0);
+        for &k in &SHARD_COUNTS {
+            let mut engine =
+                ShardedMisEngine::from_parts(g.clone(), pm.clone(), ShardLayout::striped(k), 0);
+            assert_eq!(engine.mis(), plain.mis());
+            let receipt = engine.remove_node(ids[0]).expect("center exists");
+            assert_eq!(receipt.adjustments(), leaves, "all leaves join (K={k})");
+            if k > 1 {
+                assert!(
+                    receipt.cross_shard_handoffs() > 0,
+                    "star cascade must cross boundaries (K={k})"
+                );
+            }
+            engine.assert_internally_consistent();
+        }
+        // Keep `plain` in lockstep for the next leaf count's sanity check.
+        plain.remove_node(ids[0]).expect("center exists");
+    }
+}
+
+/// A star wired up edge by edge *through* the engines (crossing a shard
+/// boundary on every insert), then torn down: outputs agree on every
+/// prefix.
+#[test]
+fn incremental_star_churn_agrees_on_every_prefix() {
+    for &k in &SHARD_COUNTS {
+        let (g, ids) = DynGraph::with_nodes(9);
+        let pm = PriorityMap::from_order(&ids);
+        let mut plain = MisEngine::from_parts(g.clone(), pm.clone(), 1);
+        let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(k), 1);
+        for &leaf in &ids[1..] {
+            plain.insert_edge(ids[0], leaf).expect("valid");
+            engine.insert_edge(ids[0], leaf).expect("valid");
+            assert_eq!(engine.mis(), plain.mis(), "grow, K={k}");
+        }
+        for &leaf in &ids[1..] {
+            plain.remove_edge(ids[0], leaf).expect("valid");
+            engine.remove_edge(ids[0], leaf).expect("valid");
+            assert_eq!(engine.mis(), plain.mis(), "shrink, K={k}");
+        }
+        engine.assert_internally_consistent();
+    }
+}
+
+/// Batched boundary churn (including node inserts wired across shards and
+/// deletes of just-inserted nodes) lands on the same output as the
+/// unsharded engine's batch path.
+#[test]
+fn batched_boundary_churn_matches_unsharded() {
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131));
+        let (g, _) = generators::erdos_renyi(12 + (seed as usize % 8), 0.25, &mut rng);
+        // Build a valid batch against a shadow copy.
+        let mut shadow = g.clone();
+        let mut batch = Vec::new();
+        for _ in 0..6 {
+            if let Some(change) = stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
+            {
+                change.apply(&mut shadow).expect("valid");
+                batch.push(change);
+            }
+        }
+        let mut plain = MisEngine::from_graph(g.clone(), seed);
+        plain.apply_batch(&batch).expect("valid batch");
+        for &k in &SHARD_COUNTS {
+            let mut engine = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed);
+            engine.apply_batch(&batch).expect("valid batch");
+            assert_eq!(engine.mis(), plain.mis(), "K={k} seed={seed}");
+            engine.assert_internally_consistent();
+        }
+    }
+}
+
+/// Blocked layouts (ranges of consecutive identifiers per shard) are
+/// equivalent too — the layout only moves the boundaries, never the
+/// output.
+#[test]
+fn blocked_layouts_are_equivalent_as_well() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::erdos_renyi(20, 0.2, &mut rng);
+        let mut plain = MisEngine::from_graph(g.clone(), seed);
+        let mut engines: Vec<ShardedMisEngine> = [(2usize, 3u64), (4, 2), (3, 5)]
+            .iter()
+            .map(|&(k, b)| {
+                ShardedMisEngine::from_graph(g.clone(), ShardLayout::blocked(k, b), seed)
+            })
+            .collect();
+        for _ in 0..8 {
+            let Some(change) =
+                stream::random_change(plain.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                break;
+            };
+            plain.apply(&change).expect("valid");
+            for engine in &mut engines {
+                engine.apply(&change).expect("valid");
+                assert_eq!(engine.mis(), plain.mis(), "{:?}", engine.layout());
+            }
+        }
+    }
+}
+
+/// The handoff counter is exact on a hand-built two-shard cascade.
+#[test]
+fn handoff_accounting_is_exact_on_a_path() {
+    // Path n0-n1-n2-n3, priorities in id order, striped over 2 shards:
+    // shard 0 owns {n0, n2}, shard 1 owns {n1, n3}. Deleting {n0, n1}
+    // flips n1 (in), n2 (out), n3 (in); every notification crosses the
+    // boundary, and the initial seed routing of n1 from n0's shard does
+    // too.
+    let (mut g, ids) = DynGraph::with_nodes(4);
+    for w in ids.windows(2) {
+        g.insert_edge(w[0], w[1]).unwrap();
+    }
+    let pm = PriorityMap::from_order(&ids);
+    let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(2), 0);
+    let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
+    let expected: BTreeSet<NodeId> = [ids[1], ids[2], ids[3]].into_iter().collect();
+    assert_eq!(receipt.adjusted_nodes(), expected);
+    // Seed n1 (cross), n1→n2 (cross), n2→n3 (cross): three handoffs.
+    assert_eq!(receipt.cross_shard_handoffs(), 3);
+    assert!(receipt.shard_runs() >= 2);
+    engine.assert_internally_consistent();
+}

@@ -14,6 +14,9 @@
 //! - [`NodeMap`] / [`NodeSet`]: the dense node-indexed storage layer —
 //!   flat slot containers keyed directly by [`NodeId`] that back every
 //!   per-node table in the workspace (see `DESIGN.md`);
+//! - [`ShardLayout`]: range partitioning of the dense identifier space,
+//!   the storage view behind the sharded engine in `dmis-core` — maps
+//!   every node to an owning shard and a shard-local dense slot;
 //! - [`TopologyChange`]: the four template-level change types of Section 3 of
 //!   the paper, plus [`DistributedChange`] refining them into the seven
 //!   distributed variants of Section 2 (graceful/abrupt deletions, unmuting);
@@ -51,6 +54,7 @@ mod error;
 mod graph;
 mod id;
 mod linegraph;
+mod shard;
 mod storage;
 mod traversal;
 
@@ -63,5 +67,6 @@ pub use error::GraphError;
 pub use graph::{DynGraph, EdgeKey};
 pub use id::NodeId;
 pub use linegraph::LineGraphMirror;
+pub use shard::ShardLayout;
 pub use storage::{NodeMap, NodeSet};
 pub use traversal::{bfs_order, connected_components, is_connected, shortest_path_len};

@@ -1,0 +1,203 @@
+//! Shard layout: partitioning the dense `NodeId` index space.
+//!
+//! [`NodeId`]s are slot indices (see [`crate::storage`]), which makes
+//! *range partitioning* of per-node state a pure index computation: a
+//! [`ShardLayout`] cuts the identifier space into blocks of consecutive
+//! indices and deals the blocks out to `K` shards round-robin. Every shard
+//! then keeps its own dense [`NodeMap`](crate::NodeMap) /
+//! [`NodeSet`](crate::NodeSet) tables keyed by the shard-**local** slot
+//! returned by [`ShardLayout::local_slot`], so per-shard memory is
+//! `O(nodes owned)`, not `O(all nodes ever)`.
+//!
+//! Two layouts matter in practice:
+//!
+//! - [`ShardLayout::striped`] (block = 1): node `i` lives on shard
+//!   `i mod K`. Because the graph assigns identifiers monotonically, this
+//!   balances load even under heavy node churn.
+//! - [`ShardLayout::blocked`]: runs of `block` consecutive identifiers
+//!   stay together. Insertion-order locality (a node and the neighbors
+//!   created around the same time) then tends to stay shard-local, which
+//!   trades balance for fewer cross-shard cascades.
+//!
+//! The layout is pure arithmetic — no table, no allocation — so
+//! `shard_of`/`local_slot` are cheap enough for the settle loop's inner
+//! edge scan.
+
+use crate::NodeId;
+
+/// A partition of the `NodeId` index space into `K` shards by index range.
+///
+/// Blocks of `block` consecutive indices are assigned to shards
+/// round-robin: node `i` belongs to shard `(i / block) mod K`, and its
+/// dense *local* slot within that shard is obtained by deleting the other
+/// shards' blocks from the index space ([`Self::local_slot`]). Both
+/// mappings are bijective on the owned range, so shard-local
+/// [`NodeMap`](crate::NodeMap)/[`NodeSet`](crate::NodeSet) tables stay as
+/// compact as the global ones.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{NodeId, ShardLayout};
+///
+/// let layout = ShardLayout::striped(4);
+/// assert_eq!(layout.shard_of(NodeId(6)), 2);
+/// assert_eq!(layout.local_slot(NodeId(6)), NodeId(1));
+///
+/// let blocked = ShardLayout::blocked(2, 3);
+/// // Indices 0,1,2 → shard 0; 3,4,5 → shard 1; 6,7,8 → shard 0 again.
+/// assert_eq!(blocked.shard_of(NodeId(7)), 0);
+/// assert_eq!(blocked.local_slot(NodeId(7)), NodeId(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    shards: usize,
+    block: u64,
+}
+
+impl ShardLayout {
+    /// A layout dealing single indices round-robin: node `i` on shard
+    /// `i mod shards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn striped(shards: usize) -> Self {
+        Self::blocked(shards, 1)
+    }
+
+    /// A layout dealing blocks of `block` consecutive indices round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `block` is zero.
+    #[must_use]
+    pub fn blocked(shards: usize, block: u64) -> Self {
+        assert!(shards > 0, "a layout needs at least one shard");
+        assert!(block > 0, "blocks must hold at least one index");
+        ShardLayout { shards, block }
+    }
+
+    /// The degenerate single-shard layout (everything local, no
+    /// cross-shard traffic) — the unsharded baseline as a layout.
+    #[must_use]
+    pub fn single() -> Self {
+        Self::striped(1)
+    }
+
+    /// Number of shards `K`.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Block length of the range partition.
+    #[must_use]
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// The shard owning `id`.
+    #[must_use]
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        ((id.index() / self.block) % self.shards as u64) as usize
+    }
+
+    /// The dense slot of `id` within its owning shard.
+    ///
+    /// Collapses the owning shard's blocks into a contiguous index space:
+    /// the j-th smallest identifier a shard can own maps to local slot
+    /// `j`. Pair with [`Self::shard_of`] to address shard-local
+    /// [`NodeMap`](crate::NodeMap)/[`NodeSet`](crate::NodeSet) tables.
+    #[must_use]
+    pub fn local_slot(&self, id: NodeId) -> NodeId {
+        let i = id.index();
+        let stride = self.block * self.shards as u64;
+        NodeId((i / stride) * self.block + i % self.block)
+    }
+
+    /// Returns `true` if `u` and `v` live on different shards — i.e. the
+    /// edge `{u, v}` spans a shard boundary and state changes crossing it
+    /// need a handoff.
+    #[must_use]
+    pub fn crosses(&self, u: NodeId, v: NodeId) -> bool {
+        self.shard_of(u) != self.shard_of(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_deals_round_robin() {
+        let layout = ShardLayout::striped(3);
+        let shards: Vec<usize> = (0..9).map(|i| layout.shard_of(NodeId(i))).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+        let locals: Vec<u64> = (0..9)
+            .map(|i| layout.local_slot(NodeId(i)).index())
+            .collect();
+        assert_eq!(locals, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn blocked_keeps_runs_together() {
+        let layout = ShardLayout::blocked(2, 4);
+        assert_eq!(layout.shard_of(NodeId(3)), 0);
+        assert_eq!(layout.shard_of(NodeId(4)), 1);
+        assert_eq!(layout.shard_of(NodeId(9)), 0);
+        // Shard 0 owns 0..4 and 8..12: local slots are contiguous.
+        assert_eq!(layout.local_slot(NodeId(3)), NodeId(3));
+        assert_eq!(layout.local_slot(NodeId(9)), NodeId(5));
+        // Shard 1 owns 4..8 and 12..16.
+        assert_eq!(layout.local_slot(NodeId(4)), NodeId(0));
+        assert_eq!(layout.local_slot(NodeId(13)), NodeId(5));
+    }
+
+    #[test]
+    fn local_slots_are_dense_and_bijective_per_shard() {
+        for &(k, block) in &[(1usize, 1u64), (2, 1), (4, 3), (7, 2), (3, 5)] {
+            let layout = ShardLayout::blocked(k, block);
+            let mut seen = vec![Vec::new(); k];
+            for i in 0..200u64 {
+                let id = NodeId(i);
+                seen[layout.shard_of(id)].push(layout.local_slot(id).index());
+            }
+            for locals in seen {
+                // Each shard's local slots enumerate 0..len without gaps.
+                let expect: Vec<u64> = (0..locals.len() as u64).collect();
+                assert_eq!(locals, expect, "k={k} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let layout = ShardLayout::single();
+        assert_eq!(layout.shards(), 1);
+        for i in [0u64, 1, 63, 64, 1000] {
+            assert_eq!(layout.shard_of(NodeId(i)), 0);
+            assert_eq!(layout.local_slot(NodeId(i)), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn crosses_detects_boundary_edges() {
+        let layout = ShardLayout::striped(2);
+        assert!(layout.crosses(NodeId(0), NodeId(1)));
+        assert!(!layout.crosses(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardLayout::striped(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn zero_block_rejected() {
+        let _ = ShardLayout::blocked(2, 0);
+    }
+}

@@ -15,7 +15,10 @@
 //!   graceful/abrupt node deletion ([`dmis_graph::DistributedChange`]);
 //! - the three complexity measures of the paper: **adjustments** (output
 //!   changes), **rounds** (to re-stabilization), and **broadcasts** (number
-//!   of `O(log n)`-bit broadcast messages), plus exact **bit** accounting.
+//!   of `O(log n)`-bit broadcast messages), plus exact **bit** accounting;
+//! - a **sharded-deployment harness** ([`ShardedRun`]) metering the
+//!   K-shard engine of `dmis-core` in the same vocabulary: coordinator
+//!   turns as rounds, cross-shard handoffs as broadcasts.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
 //! distributed environment — see the repository-level `DESIGN.md`
@@ -31,6 +34,7 @@ mod async_net;
 mod event;
 mod metrics;
 mod protocol;
+mod sharded;
 mod sync;
 
 pub use async_net::{
@@ -39,4 +43,5 @@ pub use async_net::{
 pub use event::{LocalEvent, NeighborInfo};
 pub use metrics::{ChangeOutcome, Metrics};
 pub use protocol::{Automaton, MessageBits, Protocol};
+pub use sharded::ShardedRun;
 pub use sync::{SyncNetwork, TraceEvent};

@@ -1,0 +1,66 @@
+//! Doc-rot guard: every file path cited in the repo's prose docs must
+//! still exist.
+//!
+//! Scans backtick spans in `DESIGN.md`, `vendor/README.md`, and
+//! `README.md` for path-shaped tokens (contain a `/` or end in a known
+//! source/doc extension) and asserts each resolves relative to the repo
+//! root. Rust paths (`a::b`), flags (`--test`), and env vars (`$VAR`)
+//! are out of scope by construction.
+
+use std::path::Path;
+
+const DOCS: [&str; 3] = ["DESIGN.md", "vendor/README.md", "README.md"];
+const EXTENSIONS: [&str; 7] = ["rs", "md", "toml", "json", "sh", "yml", "lock"];
+
+/// A token that claims to be a repo file path.
+fn path_like(token: &str) -> bool {
+    if token.is_empty() || token.starts_with('-') || token.starts_with('$') {
+        return false;
+    }
+    if !token
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '/' | '-'))
+    {
+        return false;
+    }
+    let has_known_ext = Path::new(token)
+        .extension()
+        .is_some_and(|e| EXTENSIONS.iter().any(|&x| e == x));
+    // Extension-less slash tokens must be all-lowercase paths: this keeps
+    // directories (`crates/graph`) and drops type alternations written
+    // with a slash (`NodeMap/NodeSet`).
+    let lowercase_path = token.contains('/') && !token.chars().any(|c| c.is_ascii_uppercase());
+    has_known_ext || lowercase_path
+}
+
+#[test]
+fn cited_file_paths_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut missing = Vec::new();
+    let mut checked = 0usize;
+    for doc in DOCS {
+        let text = std::fs::read_to_string(root.join(doc))
+            .unwrap_or_else(|e| panic!("cannot read {doc}: {e}"));
+        // Odd-indexed segments of a backtick split are inside spans;
+        // fenced code blocks (``` pairs) land on even indexes and are
+        // deliberately skipped — command lines are not path citations.
+        for span in text.split('`').skip(1).step_by(2) {
+            for raw in span.split_whitespace() {
+                let token = raw.trim_end_matches([',', ';', ':', ')', '.']);
+                if !path_like(token) {
+                    continue;
+                }
+                checked += 1;
+                if !root.join(token).exists() {
+                    missing.push(format!("{doc} cites `{token}`"));
+                }
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "dangling doc pointers:\n{}",
+        missing.join("\n")
+    );
+    assert!(checked >= 10, "scanner went blind: only {checked} tokens");
+}

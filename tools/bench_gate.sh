@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Bench regression gate (ROADMAP item "Bench regressions in CI").
+#
+# Compares a freshly emitted BENCH_engine.json against the committed
+# snapshot and fails when
+#   - the dense/BTree speedup of any graph size drops below 1x, or
+#   - the dense per-update latency regresses by more than
+#     BENCH_GATE_MAX_RATIO (default 2.0) vs the committed number.
+#
+# Usage: tools/bench_gate.sh <fresh.json> <committed.json>
+#
+# The JSON format is the one write_snapshot() in
+# crates/bench/benches/engine_updates.rs emits: one object per line in
+# the "results" array, which keeps this parser to grep/awk.
+set -euo pipefail
+
+fresh="${1:?usage: bench_gate.sh <fresh.json> <committed.json>}"
+committed="${2:?usage: bench_gate.sh <fresh.json> <committed.json>}"
+max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
+
+# field <file> <n> <key>: value of <key> in the results entry for n=<n>.
+# Empty output (not a nonzero exit, which set -e would turn into a
+# silent abort) signals a missing entry; the caller reports it.
+field() {
+  { grep -o "{\"n\": $2,[^}]*}" "$1" | grep "\"$3\":" | head -n 1 \
+    | grep -o "\"$3\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+status=0
+for n in 100 1000; do
+  speedup="$(field "$fresh" "$n" speedup)"
+  dense_new="$(field "$fresh" "$n" dense_ns_per_toggle)"
+  dense_old="$(field "$committed" "$n" dense_ns_per_toggle)"
+  if [ -z "$speedup" ] || [ -z "$dense_new" ] || [ -z "$dense_old" ]; then
+    echo "bench gate: missing entry for n=$n (fresh=$fresh committed=$committed)" >&2
+    status=1
+    continue
+  fi
+  if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'; then
+    echo "bench gate FAIL: dense/BTree speedup ${speedup}x < 1x at n=$n" >&2
+    status=1
+  fi
+  if ! awk -v new="$dense_new" -v old="$dense_old" -v r="$max_ratio" \
+      'BEGIN { exit !(new <= r * old) }'; then
+    echo "bench gate FAIL: dense ${dense_new}ns/update > ${max_ratio}x committed ${dense_old}ns at n=$n" >&2
+    status=1
+  fi
+  echo "bench gate: n=$n speedup=${speedup}x dense=${dense_new}ns (committed ${dense_old}ns)"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "bench gate OK"
+fi
+exit "$status"
