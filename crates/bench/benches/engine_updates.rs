@@ -8,8 +8,13 @@
 //! Running this bench also writes a `BENCH_engine.json` snapshot (into the
 //! current directory, or `$BENCH_SNAPSHOT_DIR` if set) recording the dense
 //! vs BTree per-update latency on random-graph churn, plus the
-//! `engine_sharding` scaling sweep: per-update latency and cross-shard
-//! handoff counts of the K-shard engine for K ∈ {1, 2, 4}. `cargo bench
+//! `engine_sharding` scaling sweep (per-update latency and cross-shard
+//! handoff counts of the K-shard engine for K ∈ {1, 2, 4}) and the
+//! `engine_parallel` sweep: the thread-executed engine across
+//! K ∈ {1, 2, 4} × threads ∈ {1, 2, 4}, as single-toggle latency
+//! (`"parallel"` section, gated by `tools/bench_gate.sh`) and as
+//! large-batch settle throughput (`"parallel_batch"` section, where the
+//! epoch executor actually engages its worker threads). `cargo bench
 //! --bench engine_updates -- --test` runs everything in single-pass smoke
 //! mode and still emits the snapshot (with reduced iteration counts).
 
@@ -18,13 +23,17 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dmis_bench::baseline_btree::BTreeMisEngine;
-use dmis_core::{static_greedy, MisEngine, ShardedMisEngine};
-use dmis_graph::{generators, ShardLayout};
+use dmis_core::{static_greedy, MisEngine, ParallelShardedMisEngine, ShardedMisEngine};
+use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Shard counts swept by the `engine_sharding` group and the snapshot.
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Worker-thread counts swept by the `engine_parallel` group and the
+/// snapshot's `"parallel"` / `"parallel_batch"` sections.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn bench_update_vs_recompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_update_vs_recompute");
@@ -161,10 +170,79 @@ fn bench_sharding(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched-settle workload for the parallel engine: toggle `batch`
+/// distinct edges of ER(n, 8/n) off and back on through two
+/// `apply_batch` calls. Deleting (then reinserting) many edges seeds many
+/// shards in one epoch, which is the regime where the epoch executor's
+/// worker threads engage (the single-toggle workload never crosses the
+/// spawn threshold — by design).
+fn batch_workload(n: usize, batch: usize) -> (dmis_graph::DynGraph, Vec<(NodeId, NodeId)>) {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut edges = Vec::with_capacity(batch);
+    while edges.len() < batch {
+        let (u, v) = generators::random_edge(&g, &mut rng).expect("has edges");
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push((u, v));
+        }
+    }
+    (g, edges)
+}
+
+/// The thread-executed engine on the identical single-toggle workload
+/// (K = 4 across the thread axis; threads only engage past the spawn
+/// threshold, so this measures the parallel plumbing's overhead on the
+/// paper's tiny-cascade common case), plus the batched-settle workload
+/// where the worker threads actually run.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel");
+    let n = 1000usize;
+    let (g, edges) = toggle_workload(n);
+    for &t in &THREAD_COUNTS {
+        let name = format!("parallel_edge_toggle_k4_t{t}");
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            let mut engine =
+                ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), t, 42);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (u, v) = edges[i % edges.len()];
+                i += 1;
+                black_box(engine.remove_edge(u, v).expect("valid"));
+                black_box(engine.insert_edge(u, v).expect("valid"));
+            });
+        });
+    }
+    let bn = 4096usize;
+    let (bg, bedges) = batch_workload(bn, 1024);
+    let deletes: Vec<TopologyChange> = bedges
+        .iter()
+        .map(|&(u, v)| TopologyChange::DeleteEdge(u, v))
+        .collect();
+    let inserts: Vec<TopologyChange> = bedges
+        .iter()
+        .map(|&(u, v)| TopologyChange::InsertEdge(u, v))
+        .collect();
+    for &t in &THREAD_COUNTS {
+        let name = format!("parallel_batch_toggle_k4_t{t}");
+        group.bench_with_input(BenchmarkId::new(name, bn), &bn, |b, _| {
+            let mut engine =
+                ParallelShardedMisEngine::from_graph(bg.clone(), ShardLayout::striped(4), t, 42);
+            b.iter(|| {
+                black_box(engine.apply_batch(&deletes).expect("valid"));
+                black_box(engine.apply_batch(&inserts).expect("valid"));
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_update_vs_recompute, bench_node_churn, bench_dense_vs_btree, bench_sharding
+    targets = bench_update_vs_recompute, bench_node_churn, bench_dense_vs_btree, bench_sharding, bench_parallel
 }
 
 /// Median wall-clock nanoseconds per toggle over `iters` toggles.
@@ -252,14 +330,98 @@ fn write_snapshot(test_mode: bool) {
             ));
         }
     }
+    // Parallel sweep, single-toggle latency: K × threads on the same
+    // workload generator, in the *production* configuration (default
+    // spawn threshold). A single toggle never crosses the threshold, so
+    // threads must never engage here: the T column's rows execute an
+    // identical code path, which makes them same-code replicates — the
+    // spread across T is the measurement noise floor, useful when judging
+    // the gate margin. tools/bench_gate.sh fails CI when (K=4, T=4)
+    // drifts beyond a tolerance of the sequential (K=1, T=1) row, which
+    // is exactly the regression that would mean spawns leaked into the
+    // tiny-cascade fast path.
+    let mut par_entries = Vec::new();
+    {
+        let n = 1000usize;
+        let (g, edges) = toggle_workload(n);
+        for &k in &SHARD_COUNTS {
+            for &t in &THREAD_COUNTS {
+                let mut engine =
+                    ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), t, 42);
+                let mut i = 0usize;
+                let ns = measure_toggle_ns(
+                    || {
+                        let (u, v) = edges[i % edges.len()];
+                        i += 1;
+                        black_box(engine.remove_edge(u, v).expect("valid"));
+                        black_box(engine.insert_edge(u, v).expect("valid"));
+                    },
+                    iters,
+                    samples,
+                );
+                par_entries.push(format!(
+                    "  {{\"n\": {n}, \"shards\": {k}, \"threads\": {t}, \
+                     \"ns_per_toggle\": {ns:.1}}}"
+                ));
+            }
+        }
+    }
+    // Parallel sweep, batched-settle throughput: toggling many edges per
+    // apply_batch seeds every shard in one epoch, which is where the
+    // worker threads actually engage (pending work crosses the spawn
+    // threshold). Epoch counts are identical across thread counts —
+    // that's the determinism contract — so the column is reported once
+    // per K via the T=1 run and checked against the others.
+    let mut par_batch_entries = Vec::new();
+    {
+        let bn = 4096usize;
+        let bsize = if test_mode { 128 } else { 1024 };
+        let bsamples = if test_mode { 2 } else { 5 };
+        let (g, bedges) = batch_workload(bn, bsize);
+        let deletes: Vec<TopologyChange> = bedges
+            .iter()
+            .map(|&(u, v)| TopologyChange::DeleteEdge(u, v))
+            .collect();
+        let inserts: Vec<TopologyChange> = bedges
+            .iter()
+            .map(|&(u, v)| TopologyChange::InsertEdge(u, v))
+            .collect();
+        for &k in &SHARD_COUNTS {
+            for &t in &THREAD_COUNTS {
+                let mut engine =
+                    ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), t, 42);
+                let mut epochs = 0usize;
+                let ns_per_round = measure_toggle_ns(
+                    || {
+                        let r1 = engine.apply_batch(&deletes).expect("valid");
+                        let r2 = engine.apply_batch(&inserts).expect("valid");
+                        epochs = r1.settle_epochs().max(r2.settle_epochs());
+                        black_box(());
+                    },
+                    1,
+                    bsamples,
+                );
+                let changes = 2 * bsize;
+                par_batch_entries.push(format!(
+                    "  {{\"batch_n\": {bn}, \"shards\": {k}, \"threads\": {t}, \
+                     \"batch_changes\": {changes}, \"ns_per_change\": {:.1}, \
+                     \"max_epochs\": {epochs}}}",
+                    ns_per_round / changes as f64
+                ));
+            }
+        }
+    }
     let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/BENCH_engine.json");
     let body = format!(
         "{{\"bench\": \"engine_updates\", \"workload\": \"er_random_edge_toggle\", \
-         \"mode\": \"{}\", \"results\": [\n{}\n],\n \"sharding\": [\n{}\n]}}\n",
+         \"mode\": \"{}\", \"results\": [\n{}\n],\n \"sharding\": [\n{}\n],\n \
+         \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
-        shard_entries.join(",\n")
+        shard_entries.join(",\n"),
+        par_entries.join(",\n"),
+        par_batch_entries.join(",\n")
     );
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),

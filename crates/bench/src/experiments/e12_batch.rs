@@ -14,8 +14,19 @@
 //! recovery crosses shard boundaries. Because the influenced set is small
 //! (first table), handoff traffic stays a small multiple of the batch
 //! size even though under striping most edges span shards.
+//!
+//! A third table adds the **thread axis**: the same batches on
+//! [`ParallelShardedMisEngine`] (K = 4, spawn threshold 0 so the worker
+//! threads really run), metering wall-clock against the two quantities
+//! that are *provably invariant* across thread counts — settle epochs
+//! (the parallel-time depth, the simulator's rounds) and cross-shard
+//! handoffs (broadcasts). At these batch sizes the cascades are small, so
+//! the table mostly prices the thread-coordination overhead — the
+//! latency/throughput trade-off the ROADMAP's async-batching item needs.
 
-use dmis_core::{template, MisEngine, ShardedMisEngine};
+use std::time::Instant;
+
+use dmis_core::{template, MisEngine, ParallelShardedMisEngine, ShardedMisEngine};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::ShardLayout;
 use dmis_graph::{generators, TopologyChange};
@@ -24,6 +35,24 @@ use super::common::{random_priorities, trial_rng};
 use super::Report;
 use crate::stats::Summary;
 use crate::table::Table;
+
+/// Builds a `k`-change batch valid against `g` by drawing random changes
+/// against an evolving shadow copy. `None` when the change stream dries
+/// up before `k` draws (the trial is skipped).
+fn build_batch(
+    g: &dmis_graph::DynGraph,
+    k: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Option<Vec<TopologyChange>> {
+    let mut shadow = g.clone();
+    let mut batch = Vec::with_capacity(k);
+    for _ in 0..k {
+        let c = stream::random_change(&shadow, &ChurnConfig::default(), rng)?;
+        c.apply(&mut shadow).expect("valid");
+        batch.push(c);
+    }
+    Some(batch)
+}
 
 /// Runs experiment E12.
 #[must_use]
@@ -106,19 +135,9 @@ pub fn run(quick: bool) -> Report {
         for trial in 0..shard_trials {
             let mut rng = trial_rng(12_500 + k as u64, trial as u64);
             let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
-            let mut shadow = g.clone();
-            let mut batch = Vec::with_capacity(k);
-            for _ in 0..k {
-                let Some(c) = stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
-                else {
-                    break;
-                };
-                c.apply(&mut shadow).expect("valid");
-                batch.push(c);
-            }
-            if batch.len() < k {
+            let Some(batch) = build_batch(&g, k, &mut rng) else {
                 continue;
-            }
+            };
             let seed = 7_000 + trial as u64;
             let mut plain = MisEngine::from_graph(g.clone(), seed);
             plain.apply_batch(&batch).expect("valid batch");
@@ -143,6 +162,59 @@ pub fn run(quick: bool) -> Report {
             if identical { "yes".into() } else { "NO".into() },
         ]);
     }
+    // Thread axis: the same batch construction on the parallel engine at
+    // K=4. Epochs/handoffs must agree with the sequential engine in every
+    // trial (bit-identical receipts); wall-clock is what the threads move.
+    let par_trials = (trials / 4).max(10);
+    let par_threads: &[usize] = &[1, 2, 4];
+    let mut par_table = Table::new(vec![
+        "k (batch size)",
+        "threads",
+        "wall-clock µs/batch (mean ± CI)",
+        "epochs = rounds (mean ± CI)",
+        "handoffs = broadcasts (mean ± CI)",
+        "identical",
+    ]);
+    for &k in ks {
+        for &t in par_threads {
+            let mut wall_us = Vec::with_capacity(par_trials);
+            let mut epochs = Vec::with_capacity(par_trials);
+            let mut handoffs = Vec::with_capacity(par_trials);
+            let mut identical = true;
+            for trial in 0..par_trials {
+                let mut rng = trial_rng(12_800 + k as u64, trial as u64);
+                let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+                let Some(batch) = build_batch(&g, k, &mut rng) else {
+                    continue;
+                };
+                let seed = 7_500 + trial as u64;
+                let mut sequential =
+                    ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), seed);
+                let expected = sequential.apply_batch(&batch).expect("valid batch");
+                let mut engine = ParallelShardedMisEngine::from_graph(
+                    g.clone(),
+                    ShardLayout::striped(4),
+                    t,
+                    seed,
+                );
+                engine.set_spawn_threshold(0);
+                let start = Instant::now();
+                let receipt = engine.apply_batch(&batch).expect("valid batch");
+                wall_us.push(start.elapsed().as_secs_f64() * 1e6);
+                identical &= receipt == expected && engine.mis_len() == sequential.mis_len();
+                epochs.push(receipt.settle_epochs());
+                handoffs.push(receipt.cross_shard_handoffs());
+            }
+            par_table.row(vec![
+                k.to_string(),
+                t.to_string(),
+                Summary::of(&wall_us).mean_ci(),
+                Summary::of_counts(&epochs).mean_ci(),
+                Summary::of_counts(&handoffs).mean_ci(),
+                if identical { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
     let body = format!(
         "k simultaneous random changes on ER(n={n}, 8/n); {trials} fresh \
          orders per k; the same batch is also replayed one change at a \
@@ -159,7 +231,17 @@ pub fn run(quick: bool) -> Report {
          a small multiple of k — the bounded influenced set keeps almost \
          all settle work shard-local, which is what makes range-sharding \
          viable; outputs are bit-identical to the unsharded engine in \
-         every trial.\n"
+         every trial.\n\n\
+         Thread axis ({par_trials} trials per cell, `ParallelShardedMisEngine`, \
+         K = 4 striped, spawn threshold 0 — worker threads forced on):\n\n\
+         {par_table}\n\
+         Reading: epochs and handoffs are invariant across the thread \
+         column — receipts are bit-identical to the sequential engine in \
+         every trial, so threads move only wall-clock. At these batch \
+         sizes the cascades are small and the spawn cost dominates, which \
+         is why the production engine keeps a spawn threshold: threads \
+         engage on large merged recoveries, never on Theorem-1-sized \
+         cascades.\n"
     );
     Report {
         id: "E12",
@@ -203,15 +285,17 @@ mod tests {
     #[test]
     fn e12_quick_sharded_axis_is_bit_identical() {
         let report = run(true);
-        let shard_rows: Vec<&str> = report
+        let identical_rows: Vec<&str> = report
             .body
             .lines()
             .filter(|l| l.split('|').count() >= 6 && l.contains("yes"))
             .collect();
+        // One bit-identical shard row per batch size, plus one per batch
+        // size × thread count in the thread-axis table.
         assert_eq!(
-            shard_rows.len(),
-            3,
-            "one bit-identical shard row per batch size: {report}"
+            identical_rows.len(),
+            3 + 9,
+            "every shard/thread row must be bit-identical: {report}"
         );
     }
 }

@@ -43,7 +43,7 @@ pub fn run(quick: bool) -> Report {
             for change in &history {
                 engine.apply(change).expect("valid history");
             }
-            sizes.push(engine.mis().len());
+            sizes.push(engine.mis_len());
         }
         let mut det = DeterministicGreedy::new(DynGraph::new());
         for change in &history {

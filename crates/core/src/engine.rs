@@ -155,10 +155,25 @@ impl MisEngine {
         &self.priorities
     }
 
-    /// Returns the current MIS as a set of node identifiers.
+    /// Returns the current MIS as a set of node identifiers. Allocates;
+    /// metering loops that only need the members or the cardinality
+    /// should use [`Self::mis_iter`] / [`Self::mis_len`].
     #[must_use]
     pub fn mis(&self) -> BTreeSet<NodeId> {
         self.in_mis.iter().collect()
+    }
+
+    /// Iterates over the current MIS in identifier order without
+    /// allocating a set.
+    pub fn mis_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_mis.iter()
+    }
+
+    /// Size of the current MIS — O(1) on the membership bitset, no
+    /// per-call allocation, unlike [`Self::mis`].
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.in_mis.len()
     }
 
     /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.

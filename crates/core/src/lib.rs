@@ -18,8 +18,13 @@
 //!   adjustment set and work counters;
 //! - [`ShardedMisEngine`]: the same engine partitioned into K shards by
 //!   `NodeId` range ([`dmis_graph::ShardLayout`]), settling each shard
-//!   locally and exchanging cross-shard cascades as handoffs — bit-identical
-//!   output, with the coordination traffic audited on every receipt;
+//!   locally in barrier-synchronized epochs and exchanging cross-shard
+//!   cascades as handoffs — bit-identical output, with the coordination
+//!   traffic audited on every receipt;
+//! - [`ParallelShardedMisEngine`]: the sharded engine with each epoch's
+//!   independent shard runs executed on worker threads — deterministically
+//!   bit-identical to the sequential coordinator for every layout and
+//!   thread count;
 //! - [`template`]: a faithful round-by-round simulation of the template,
 //!   which records the full influenced set `S` including nodes that flip and
 //!   flip back (the `u₂` example of Section 3), the number of parallel
@@ -64,12 +69,14 @@ mod receipt;
 mod state;
 
 pub mod invariant;
+pub mod parallel;
 pub mod sharding;
 pub mod static_greedy;
 pub mod template;
 pub mod theory;
 
 pub use engine::MisEngine;
+pub use parallel::ParallelShardedMisEngine;
 pub use priority::{Priority, PriorityMap};
 pub use receipt::{BatchReceipt, UpdateReceipt};
 pub use sharding::ShardedMisEngine;

@@ -6,10 +6,12 @@
 //! adjustment set (the paper's central complexity measure), the settle
 //! work performed (heap pops, neighbor-counter updates), and — for the
 //! sharded engine — how much of the cascade crossed shard boundaries
-//! ([`UpdateReceipt::cross_shard_handoffs`]) and how many shard
-//! activations the coordinator scheduled
-//! ([`UpdateReceipt::shard_runs`]). Receipts are how experiments and
-//! benches observe the engines without reaching into their internals.
+//! ([`UpdateReceipt::cross_shard_handoffs`]), how many shard activations
+//! the coordinator scheduled ([`UpdateReceipt::shard_runs`]), and how
+//! many barrier-synchronized epochs the recovery took
+//! ([`UpdateReceipt::settle_epochs`] — the parallel-time depth of the
+//! cascade). Receipts are how experiments and benches observe the
+//! engines without reaching into their internals.
 
 use std::collections::BTreeSet;
 
@@ -36,6 +38,7 @@ pub struct UpdateReceipt {
     counter_updates: usize,
     cross_shard_handoffs: usize,
     shard_runs: usize,
+    settle_epochs: usize,
 }
 
 impl UpdateReceipt {
@@ -52,14 +55,21 @@ impl UpdateReceipt {
             counter_updates,
             cross_shard_handoffs: 0,
             shard_runs: 0,
+            settle_epochs: 0,
         }
     }
 
     /// Attaches sharding statistics (set by [`crate::ShardedMisEngine`];
     /// the unsharded engine reports zeros).
-    pub(crate) fn with_shard_stats(mut self, handoffs: usize, shard_runs: usize) -> Self {
+    pub(crate) fn with_shard_stats(
+        mut self,
+        handoffs: usize,
+        shard_runs: usize,
+        epochs: usize,
+    ) -> Self {
         self.cross_shard_handoffs = handoffs;
         self.shard_runs = shard_runs;
+        self.settle_epochs = epochs;
         self
     }
 
@@ -118,6 +128,17 @@ impl UpdateReceipt {
     #[must_use]
     pub fn shard_runs(&self) -> usize {
         self.shard_runs
+    }
+
+    /// Number of barrier-synchronized settle epochs the coordinator ran
+    /// before global quiescence — the parallel-time depth of the
+    /// recovery: shard runs within one epoch are independent and may
+    /// execute on worker threads ([`crate::ParallelShardedMisEngine`]),
+    /// so wall-clock scales with epochs, not shard runs. Zero for the
+    /// unsharded engine and for recoveries with no dirty node.
+    #[must_use]
+    pub fn settle_epochs(&self) -> usize {
+        self.settle_epochs
     }
 }
 
@@ -184,6 +205,13 @@ impl BatchReceipt {
     pub fn shard_runs(&self) -> usize {
         self.receipt.shard_runs()
     }
+
+    /// Barrier-synchronized settle epochs of the batch recovery (zero
+    /// unless the batch ran on a sharded engine).
+    #[must_use]
+    pub fn settle_epochs(&self) -> usize {
+        self.receipt.settle_epochs()
+    }
 }
 
 #[cfg(test)]
@@ -228,11 +256,14 @@ mod tests {
         let r = UpdateReceipt::new(ChangeKind::EdgeInsert, vec![], 0, 0);
         assert_eq!(r.cross_shard_handoffs(), 0);
         assert_eq!(r.shard_runs(), 0);
-        let r = r.with_shard_stats(6, 3);
+        assert_eq!(r.settle_epochs(), 0);
+        let r = r.with_shard_stats(6, 3, 2);
         assert_eq!(r.cross_shard_handoffs(), 6);
         assert_eq!(r.shard_runs(), 3);
+        assert_eq!(r.settle_epochs(), 2);
         let b = BatchReceipt::new(1, r);
         assert_eq!(b.cross_shard_handoffs(), 6);
         assert_eq!(b.shard_runs(), 3);
+        assert_eq!(b.settle_epochs(), 2);
     }
 }

@@ -15,28 +15,47 @@
 //! but a *flip* must notify every higher-π neighbor. Neighbors in the same
 //! shard are updated in place, exactly as in the unsharded engine;
 //! neighbors owned by another shard receive a **cross-shard handoff** — a
-//! message carrying the counter delta plus a dirty mark — which the
-//! coordinator routes into the target shard's heap. The
+//! message carrying the counter delta plus a dirty mark — which the shard
+//! appends to its **outbox** instead of touching foreign state. The
 //! [`UpdateReceipt::cross_shard_handoffs`] counter audits this traffic;
 //! the paper's bounded-adjustment guarantee (Theorem 1: expected ≤ 1 flip
 //! per change) is what makes it rare, so almost all work stays
 //! shard-local.
 //!
+//! # The epoch barrier
+//!
+//! Recovery proceeds in **epochs**. In each epoch every shard with a
+//! non-empty dirty heap drains it to completion against a *frozen* view
+//! of the other shards — it reads only the shared graph and π, mutates
+//! only its own tables, and buffers every outbound handoff. At the
+//! barrier closing the epoch the coordinator merges all outboxes in
+//! shard-index order (and, within a shard, emission order), applying
+//! counter deltas and re-seeding target heaps; the next epoch runs the
+//! shards that became dirty. The loop ends when every heap and outbox is
+//! empty.
+//!
+//! Because shard runs within an epoch share no mutable state, the epoch's
+//! outcome is independent of *how* the runs execute — one thread, many
+//! threads, any interleaving. That is what makes
+//! [`crate::ParallelShardedMisEngine`] bit-identical to this sequential
+//! engine by construction: same flip log, same receipts, same MIS, for
+//! every [`ShardLayout`] and thread count.
+//!
 //! # Quiescence and correctness
 //!
-//! The coordinator repeatedly activates the shard whose dirtiest node is
-//! globally earliest in π and lets it settle its local dirty set to
-//! completion; emitted handoffs seed other shards, and the loop ends when
-//! every heap is empty. Termination and correctness follow from π being a
-//! strict total order: a flip at priority `p` only ever dirties strictly
-//! higher priorities, so influence flows one way and, by induction along
-//! π, every node's state converges to the unique fixed point of the MIS
-//! invariant — the same greedy MIS the unsharded engine maintains. Unlike
-//! the unsharded engine a node *can* settle twice (a lower-π handoff may
-//! arrive after a shard eagerly settled a local node), so receipts report
-//! **net** flips; the final output is bit-identical to [`crate::MisEngine`]
-//! for every layout, which `crates/core/tests/sharded_equivalence.rs`
-//! pins over thousands of random sequences.
+//! Termination and correctness follow from π being a strict total order:
+//! a flip at priority `p` only ever dirties strictly higher priorities,
+//! so influence flows one way and, by induction along π, every node's
+//! state converges to the unique fixed point of the MIS invariant — the
+//! same greedy MIS the unsharded engine maintains. Within one epoch a
+//! shard's drain settles each node at most once (pops are non-decreasing
+//! in π, pushes strictly increasing), but across epochs a node *can*
+//! settle twice — a shard may settle a node against a stale counter and
+//! be overturned when a lower-π delta lands at the barrier — so receipts
+//! report **net** flips: first-touch state vs final state. The final
+//! output is bit-identical to [`crate::MisEngine`] for every layout,
+//! which `crates/core/tests/sharded_equivalence.rs` pins over thousands
+//! of random sequences.
 
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
@@ -53,24 +72,110 @@ use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
 
 /// One shard's slice of the per-node state, keyed by shard-local slots.
 #[derive(Debug, Clone, Default)]
-struct Shard {
+pub(crate) struct Shard {
     /// Membership bits of the nodes this shard owns.
-    in_mis: NodeSet,
+    pub(crate) in_mis: NodeSet,
     /// Lower-π MIS neighbor counters of the nodes this shard owns.
-    lower_mis_count: NodeMap<usize>,
+    pub(crate) lower_mis_count: NodeMap<usize>,
     /// This shard's dirty set, ordered by global priority.
-    heap: BinaryHeap<Reverse<(Priority, NodeId)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(Priority, NodeId)>>,
     /// Dedup bitset for `heap` (local slots), empty between updates.
-    enqueued: NodeSet,
+    pub(crate) enqueued: NodeSet,
+    /// Outbound handoffs buffered during the current epoch: counter
+    /// deltas for remote nodes, drained at the barrier. Emission order is
+    /// preserved, which keeps per-neighbor delta streams in order.
+    pub(crate) outbox: Vec<(NodeId, isize)>,
+    /// First-touch dedup for `log` (local slots), empty between updates.
+    pub(crate) touched: NodeSet,
+    /// First-touch flip log: `(node, membership before its first flip)`,
+    /// drained when the receipt is built.
+    pub(crate) log: Vec<(NodeId, bool)>,
 }
 
 /// Work/traffic counters accumulated over one recovery.
+///
+/// Every field is a sum (or, for `epochs`, a loop count), so merging
+/// per-worker instances is order-independent — a prerequisite for the
+/// parallel executor reporting bit-identical receipts.
 #[derive(Debug, Default, Clone, Copy)]
-struct SettleStats {
-    pops: usize,
-    counter_updates: usize,
-    handoffs: usize,
-    shard_runs: usize,
+pub(crate) struct SettleStats {
+    pub(crate) pops: usize,
+    pub(crate) counter_updates: usize,
+    pub(crate) handoffs: usize,
+    pub(crate) shard_runs: usize,
+    pub(crate) epochs: usize,
+}
+
+impl SettleStats {
+    /// Folds another worker's counters into this one.
+    pub(crate) fn absorb(&mut self, other: SettleStats) {
+        self.pops += other.pops;
+        self.counter_updates += other.counter_updates;
+        self.handoffs += other.handoffs;
+        self.shard_runs += other.shard_runs;
+        self.epochs += other.epochs;
+    }
+}
+
+/// Pending-work floor below which an epoch is drained inline even when
+/// worker threads are configured: spawning threads for a handful of heap
+/// pops costs orders of magnitude more than the pops themselves. Purely a
+/// performance knob — the epoch outcome is executor-independent, so any
+/// threshold yields bit-identical results (see
+/// [`crate::ParallelShardedMisEngine::set_spawn_threshold`]).
+pub(crate) const DEFAULT_SPAWN_THRESHOLD: usize = 256;
+
+/// Drains shard `s`'s dirty heap to completion against the shared
+/// read-only graph/π — the unsharded settle loop confined to one shard.
+/// Same-shard neighbors of a flip are updated in place; remote neighbors'
+/// deltas are buffered in the shard's outbox for the epoch barrier.
+pub(crate) fn run_shard_epoch(
+    graph: &DynGraph,
+    priorities: &PriorityMap,
+    layout: ShardLayout,
+    s: usize,
+    shard: &mut Shard,
+    stats: &mut SettleStats,
+) {
+    stats.shard_runs += 1;
+    while let Some(Reverse((prio, v))) = shard.heap.pop() {
+        stats.pops += 1;
+        let local = layout.local_slot(v);
+        shard.enqueued.remove(local);
+        // A batch may have deleted the node after it was seeded.
+        if !graph.has_node(v) {
+            continue;
+        }
+        let desired = shard.lower_mis_count[local] == 0;
+        let current = shard.in_mis.contains(local);
+        if desired == current {
+            continue;
+        }
+        if shard.touched.insert(local) {
+            shard.log.push((v, current));
+        }
+        if desired {
+            shard.in_mis.insert(local);
+        } else {
+            shard.in_mis.remove(local);
+        }
+        let delta: isize = if desired { 1 } else { -1 };
+        for &w in graph.neighbors_slice(v).expect("live node") {
+            if priorities.of(w) > prio {
+                if layout.shard_of(w) == s {
+                    let lw = layout.local_slot(w);
+                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                    *c = c.checked_add_signed(delta).expect("counter in range");
+                    stats.counter_updates += 1;
+                    if shard.enqueued.insert(lw) {
+                        shard.heap.push(Reverse((priorities.of(w), w)));
+                    }
+                } else {
+                    shard.outbox.push((w, delta));
+                }
+            }
+        }
+    }
 }
 
 /// [`crate::MisEngine`] partitioned into K shards by `NodeId` range.
@@ -108,9 +213,12 @@ pub struct ShardedMisEngine {
     layout: ShardLayout,
     shards: Vec<Shard>,
     rng: StdRng,
-    /// Scratch set of nodes whose state changed at least once during the
-    /// current recovery (global ids); drained when the receipt is built.
-    touched: NodeSet,
+    /// Worker threads per epoch; 1 = drain epochs inline (sequential).
+    /// Exposed publicly through [`crate::ParallelShardedMisEngine`].
+    threads: usize,
+    /// Minimum pending heap entries before an epoch pays for thread
+    /// spawns; see [`DEFAULT_SPAWN_THRESHOLD`].
+    spawn_threshold: usize,
 }
 
 impl ShardedMisEngine {
@@ -124,7 +232,8 @@ impl ShardedMisEngine {
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng: StdRng::seed_from_u64(seed),
-            touched: NodeSet::new(),
+            threads: 1,
+            spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
         }
     }
 
@@ -171,7 +280,8 @@ impl ShardedMisEngine {
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng,
-            touched: NodeSet::new(),
+            threads: 1,
+            spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
         };
         for v in engine.graph.nodes() {
             if mis.contains(&v) {
@@ -214,10 +324,38 @@ impl ShardedMisEngine {
     }
 
     /// Returns the current MIS as a set of node identifiers, merged across
-    /// shards.
+    /// shards. Allocates; metering loops that only need the members or
+    /// the cardinality should use [`Self::mis_iter`] / [`Self::mis_len`].
     #[must_use]
     pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.graph.nodes().filter(|&v| self.output(v)).collect()
+        self.mis_iter().collect()
+    }
+
+    /// Iterates over the current MIS in identifier order without
+    /// allocating a set.
+    pub fn mis_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes().filter(|&v| self.output(v))
+    }
+
+    /// Size of the current MIS, summed over the shards' membership bits
+    /// in O(K) — no per-call allocation, unlike [`Self::mis`].
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.shards.iter().map(|s| s.in_mis.len()).sum()
+    }
+
+    /// Execution configuration `(threads, spawn_threshold)` — see
+    /// [`crate::ParallelShardedMisEngine`], which owns the public knobs.
+    pub(crate) fn execution(&self) -> (usize, usize) {
+        (self.threads, self.spawn_threshold)
+    }
+
+    /// Reconfigures epoch execution. Purely a performance knob: the epoch
+    /// schedule never depends on it, so outputs and receipts are
+    /// unchanged for any setting.
+    pub(crate) fn set_execution(&mut self, threads: usize, spawn_threshold: usize) {
+        self.threads = threads.max(1);
+        self.spawn_threshold = spawn_threshold;
     }
 
     /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.
@@ -497,94 +635,88 @@ impl ShardedMisEngine {
         Ok(())
     }
 
-    /// Runs the coordinator to global quiescence and builds the receipt.
+    /// Runs the epoch coordinator to global quiescence and builds the
+    /// receipt.
     ///
-    /// Each turn activates the shard whose pending dirty node is globally
-    /// earliest in π — the schedule that wastes the fewest flips — and
-    /// lets it drain its local heap completely; handoffs emitted along the
-    /// way seed other shards for later turns.
+    /// Each epoch drains every dirty shard to local completion against a
+    /// frozen view of the others (see the [module docs](self)); the
+    /// barrier then merges all buffered handoffs in shard-index order,
+    /// seeding the next epoch. Shard runs within an epoch share no
+    /// mutable state, so the executor — inline or the worker threads of
+    /// [`crate::ParallelShardedMisEngine`] — cannot change the outcome.
     fn settle(&mut self, kind: ChangeKind, mut stats: SettleStats) -> UpdateReceipt {
-        debug_assert!(self.touched.is_empty(), "flip log leaked entries");
-        let mut log: Vec<(NodeId, bool)> = Vec::new();
-        loop {
-            let next = self
-                .shards
-                .iter()
-                .enumerate()
-                .filter_map(|(i, sh)| sh.heap.peek().map(|&Reverse(top)| (top, i)))
-                .min();
-            let Some((_, s)) = next else { break };
-            stats.shard_runs += 1;
-            self.run_shard(s, &mut stats, &mut log);
+        while self.shards.iter().any(|sh| !sh.heap.is_empty()) {
+            stats.epochs += 1;
+            {
+                let ShardedMisEngine {
+                    graph,
+                    priorities,
+                    layout,
+                    shards,
+                    threads,
+                    spawn_threshold,
+                    ..
+                } = self;
+                crate::parallel::execute_epoch(
+                    graph,
+                    priorities,
+                    *layout,
+                    shards,
+                    *threads,
+                    *spawn_threshold,
+                    &mut stats,
+                );
+            }
+            self.merge_outboxes(&mut stats);
         }
         // Net flips: nodes whose final state differs from their state at
-        // first touch, reported in π order (the unsharded settle order).
+        // first touch. Collection order across shards is irrelevant —
+        // the report is sorted by π (the unsharded settle order).
         let mut flips: Vec<(NodeId, MisState)> = Vec::new();
-        for &(v, before) in &log {
-            self.touched.remove(v);
-            let now = self.output(v);
-            if now != before {
-                flips.push((v, MisState::from_membership(now)));
+        for s in 0..self.shards.len() {
+            let log = std::mem::take(&mut self.shards[s].log);
+            for &(v, before) in &log {
+                self.shards[s].touched.remove(self.layout.local_slot(v));
+                let now = self.output(v);
+                if now != before {
+                    flips.push((v, MisState::from_membership(now)));
+                }
             }
         }
         flips.sort_by_key(|&(v, _)| self.priorities.of(v));
-        UpdateReceipt::new(kind, flips, stats.pops, stats.counter_updates)
-            .with_shard_stats(stats.handoffs, stats.shard_runs)
+        UpdateReceipt::new(kind, flips, stats.pops, stats.counter_updates).with_shard_stats(
+            stats.handoffs,
+            stats.shard_runs,
+            stats.epochs,
+        )
     }
 
-    /// The unsharded settle loop, confined to shard `s`: pops its dirty
-    /// set in increasing π, flips nodes whose counter disagrees with their
-    /// bit, updates same-shard neighbors in place, and emits handoffs for
-    /// remote ones.
-    fn run_shard(&mut self, s: usize, stats: &mut SettleStats, log: &mut Vec<(NodeId, bool)>) {
-        while let Some(Reverse((prio, v))) = self.shards[s].heap.pop() {
-            stats.pops += 1;
-            let local = self.layout.local_slot(v);
-            self.shards[s].enqueued.remove(local);
-            // A batch may have deleted the node after it was seeded.
-            if !self.graph.has_node(v) {
+    /// The epoch barrier: applies every shard's buffered handoffs —
+    /// counter deltas plus dirty marks — in shard-index order, then
+    /// emission order, re-seeding target heaps for the next epoch. Each
+    /// outbox entry is one cross-shard message: one handoff, one counter
+    /// update.
+    fn merge_outboxes(&mut self, stats: &mut SettleStats) {
+        for s in 0..self.shards.len() {
+            if self.shards[s].outbox.is_empty() {
                 continue;
             }
-            let desired = self.shards[s].lower_mis_count[local] == 0;
-            let current = self.shards[s].in_mis.contains(local);
-            if desired == current {
-                continue;
-            }
-            if self.touched.insert(v) {
-                log.push((v, current));
-            }
-            if desired {
-                self.shards[s].in_mis.insert(local);
-            } else {
-                self.shards[s].in_mis.remove(local);
-            }
-            let ShardedMisEngine {
-                graph,
-                priorities,
-                layout,
-                shards,
-                ..
-            } = self;
-            for &w in graph.neighbors_slice(v).expect("live node") {
-                if priorities.of(w) > prio {
-                    let target = layout.shard_of(w);
-                    if target != s {
-                        stats.handoffs += 1;
-                    }
-                    let lw = layout.local_slot(w);
-                    let shard = &mut shards[target];
-                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
-                    if desired {
-                        *c += 1;
-                    } else {
-                        *c -= 1;
-                    }
-                    stats.counter_updates += 1;
-                    if shard.enqueued.insert(lw) {
-                        shard.heap.push(Reverse((priorities.of(w), w)));
-                    }
+            let mut outbox = std::mem::take(&mut self.shards[s].outbox);
+            for &(w, delta) in &outbox {
+                stats.handoffs += 1;
+                let target = self.layout.shard_of(w);
+                let lw = self.layout.local_slot(w);
+                let shard = &mut self.shards[target];
+                let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                *c = c.checked_add_signed(delta).expect("counter in range");
+                stats.counter_updates += 1;
+                if shard.enqueued.insert(lw) {
+                    shard.heap.push(Reverse((self.priorities.of(w), w)));
                 }
             }
+            // Hand the (cleared) buffer back so its capacity is reused.
+            outbox.clear();
+            self.shards[s].outbox = outbox;
         }
     }
 
@@ -611,8 +743,10 @@ impl ShardedMisEngine {
         for shard in &self.shards {
             assert!(shard.heap.is_empty(), "dirty set leaked between updates");
             assert!(shard.enqueued.is_empty(), "enqueue scratch leaked bits");
+            assert!(shard.outbox.is_empty(), "outbox leaked past the barrier");
+            assert!(shard.touched.is_empty(), "flip log leaked touch bits");
+            assert!(shard.log.is_empty(), "flip log leaked entries");
         }
-        assert!(self.touched.is_empty(), "flip log leaked entries");
         let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
         let total_bits: usize = self.shards.iter().map(|s| s.in_mis.len()).sum();
         assert_eq!(total_bits, ground_truth.len(), "stale membership bits");

@@ -1,17 +1,27 @@
-//! Sharding-equivalence property test.
+//! Sharding- and parallel-equivalence property suite.
 //!
-//! The K-shard [`ShardedMisEngine`] must be observationally identical to
-//! the unsharded [`MisEngine`]: same seed, same change sequence,
-//! bit-identical MIS after every prefix, and the same adjustment sets on
-//! every receipt. The sequences here are biased toward *boundary churn* —
-//! random edge/node insert/delete streams whose edges overwhelmingly span
-//! shard boundaries under striping, plus adversarial stars whose leaves
-//! are dealt across all shards — because cross-shard handoffs are exactly
-//! where the sharded settle could diverge.
+//! Three engines must be observationally identical on every change
+//! stream: the unsharded [`MisEngine`] (the oracle for outputs and
+//! adjustment sets), the K-shard [`ShardedMisEngine`], and the
+//! thread-executed [`ParallelShardedMisEngine`]. The sharded engines must
+//! agree with the oracle on the MIS and the adjustment set after every
+//! prefix; the parallel engine must additionally be **bit-identical to
+//! the sequential sharded engine on the whole receipt** — flip log,
+//! handoffs, shard runs, epochs — for every layout × thread count, with
+//! the spawn threshold forced to zero so worker threads really run. The
+//! sequences are biased toward *boundary churn* — random edge/node
+//! insert/delete streams whose edges overwhelmingly span shard boundaries
+//! under striping, plus adversarial stars whose leaves are dealt across
+//! all shards — because cross-shard handoffs are exactly where a
+//! scheduling-dependent divergence would hide.
+//!
+//! The `DMIS_PAR_THREADS` environment variable appends an extra thread
+//! count to the tested axis; CI's `parallel-determinism` matrix job sets
+//! it to {1, 2, 8} to hunt nondeterminism under real schedulers.
 
 use std::collections::BTreeSet;
 
-use dmis_core::{MisEngine, PriorityMap, ShardedMisEngine};
+use dmis_core::{MisEngine, ParallelShardedMisEngine, PriorityMap, ShardedMisEngine};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, DynGraph, NodeId, ShardLayout};
 use rand::rngs::StdRng;
@@ -19,9 +29,34 @@ use rand::SeedableRng;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
-/// Drives the same change stream through the unsharded engine and one
-/// sharded engine per layout, asserting output and receipt agreement
-/// after every single change.
+/// Worker-thread counts exercised by the parallel engines: {1, 2, 4}
+/// plus whatever CI injects through `DMIS_PAR_THREADS`.
+fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1, 2, 4];
+    if let Some(extra) = std::env::var("DMIS_PAR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        if !axis.contains(&extra) {
+            axis.push(extra);
+        }
+    }
+    axis
+}
+
+/// A parallel engine forced onto the threaded path (spawn threshold 0).
+fn parallel_engine(g: &DynGraph, k: usize, threads: usize, seed: u64) -> ParallelShardedMisEngine {
+    let mut engine =
+        ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), threads, seed);
+    engine.set_spawn_threshold(0);
+    engine
+}
+
+/// Drives the same change stream through the unsharded oracle, one
+/// sequential sharded engine per K, and one parallel engine per
+/// K × thread count, asserting agreement after every single change:
+/// outputs and adjustment sets against the oracle, full receipts between
+/// the sequential and parallel coordinators.
 fn assert_equivalent_on_stream(
     g: &DynGraph,
     seed: u64,
@@ -29,10 +64,16 @@ fn assert_equivalent_on_stream(
     cfg: &ChurnConfig,
     rng: &mut StdRng,
 ) {
+    let threads = thread_axis();
     let mut plain = MisEngine::from_graph(g.clone(), seed);
     let mut sharded: Vec<ShardedMisEngine> = SHARD_COUNTS
         .iter()
         .map(|&k| ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed))
+        .collect();
+    let mut parallel: Vec<ParallelShardedMisEngine> = SHARD_COUNTS
+        .iter()
+        .flat_map(|&k| threads.iter().map(move |&t| (k, t)))
+        .map(|(k, t)| parallel_engine(g, k, t, seed))
         .collect();
     for engine in &sharded {
         assert_eq!(engine.mis(), plain.mis(), "initial greedy MIS diverged");
@@ -42,6 +83,7 @@ fn assert_equivalent_on_stream(
             break;
         };
         let receipt = plain.apply(&change).expect("valid change");
+        let mut sharded_receipts = Vec::with_capacity(sharded.len());
         for engine in &mut sharded {
             let r = engine.apply(&change).expect("valid change");
             assert_eq!(
@@ -56,29 +98,48 @@ fn assert_equivalent_on_stream(
                 "K={} adjustment set diverged (seed {seed})",
                 engine.shard_count()
             );
+            sharded_receipts.push(r);
+        }
+        for (i, engine) in parallel.iter_mut().enumerate() {
+            let r = engine.apply(&change).expect("valid change");
+            let k_index = i / threads.len();
+            assert_eq!(
+                r,
+                sharded_receipts[k_index],
+                "K={} threads={} receipt diverged from sequential (seed {seed})",
+                engine.shard_count(),
+                engine.threads()
+            );
         }
     }
     for engine in &sharded {
         engine.assert_internally_consistent();
     }
+    for engine in &parallel {
+        assert_eq!(engine.mis(), plain.mis());
+        engine.assert_internally_consistent();
+    }
 }
 
-/// ≥ 1000 random insert/delete sequences across K ∈ {1, 2, 4, 7}: after
-/// every change, every sharded engine's MIS is bit-identical to the
-/// unsharded engine's.
+/// ≥ 1000 random insert/delete sequences across K ∈ {1, 2, 4, 7} ×
+/// threads ∈ {1, 2, 4}: after every change, every sharded engine's MIS is
+/// bit-identical to the unsharded engine's, and every parallel engine's
+/// receipt is bit-identical to its sequential counterpart's.
 #[test]
 fn sharded_engines_match_unsharded_over_random_sequences() {
+    let per_stream = (SHARD_COUNTS.len() * (1 + thread_axis().len())) as u32;
     let mut sequences = 0u32;
-    for seed in 0..260u64 {
+    for seed in 0..100u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 2 + (seed as usize % 18);
         let p = 0.05 + 0.4 * ((seed % 7) as f64 / 6.0);
         let (g, _) = generators::erdos_renyi(n, p, &mut rng);
         let steps = 3 + (seed as usize % 10);
         assert_equivalent_on_stream(&g, seed ^ 0x5AAD, steps, &ChurnConfig::default(), &mut rng);
-        // One stream checked against 4 layouts = 4 engine-vs-oracle
-        // sequences.
-        sequences += SHARD_COUNTS.len() as u32;
+        // One stream is checked against 4 sequential layouts plus
+        // 4 × |threads| parallel engines, each an engine-vs-oracle
+        // sequence.
+        sequences += per_stream;
     }
     assert!(sequences >= 1000, "ran only {sequences} sequences");
 }
@@ -108,6 +169,23 @@ fn boundary_spanning_stars_settle_identically() {
                 );
             }
             engine.assert_internally_consistent();
+            // The all-handoff promotion cascade is the worst case for a
+            // scheduling bug: replay it on worker threads and demand the
+            // receipt bit for bit.
+            for &t in &thread_axis() {
+                let mut par = ParallelShardedMisEngine::from_parts(
+                    g.clone(),
+                    pm.clone(),
+                    ShardLayout::striped(k),
+                    t,
+                    0,
+                );
+                par.set_spawn_threshold(0);
+                let r = par.remove_node(ids[0]).expect("center exists");
+                assert_eq!(r, receipt, "K={k} threads={t} star receipt diverged");
+                assert_eq!(par.mis(), engine.mis());
+                par.assert_internally_consistent();
+            }
         }
         // Keep `plain` in lockstep for the next leaf count's sanity check.
         plain.remove_node(ids[0]).expect("center exists");
@@ -143,7 +221,7 @@ fn incremental_star_churn_agrees_on_every_prefix() {
 /// unsharded engine's batch path.
 #[test]
 fn batched_boundary_churn_matches_unsharded() {
-    for seed in 0..120u64 {
+    for seed in 0..60u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131));
         let (g, _) = generators::erdos_renyi(12 + (seed as usize % 8), 0.25, &mut rng);
         // Build a valid batch against a shadow copy.
@@ -160,26 +238,51 @@ fn batched_boundary_churn_matches_unsharded() {
         plain.apply_batch(&batch).expect("valid batch");
         for &k in &SHARD_COUNTS {
             let mut engine = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed);
-            engine.apply_batch(&batch).expect("valid batch");
+            let receipt = engine.apply_batch(&batch).expect("valid batch");
             assert_eq!(engine.mis(), plain.mis(), "K={k} seed={seed}");
             engine.assert_internally_consistent();
+            // Batches are where threads actually engage (many shards
+            // seeded per epoch): the parallel batch receipt must still be
+            // bit-identical to the sequential one.
+            for &t in &thread_axis() {
+                let mut par = parallel_engine(&g, k, t, seed);
+                let r = par.apply_batch(&batch).expect("valid batch");
+                assert_eq!(r, receipt, "K={k} threads={t} seed={seed}");
+                assert_eq!(par.mis(), plain.mis());
+                par.assert_internally_consistent();
+            }
         }
     }
 }
 
 /// Blocked layouts (ranges of consecutive identifiers per shard) are
 /// equivalent too — the layout only moves the boundaries, never the
-/// output.
+/// output — and the parallel executor tracks the sequential receipts on
+/// them just like on striping.
 #[test]
 fn blocked_layouts_are_equivalent_as_well() {
     for seed in 0..60u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let (g, _) = generators::erdos_renyi(20, 0.2, &mut rng);
         let mut plain = MisEngine::from_graph(g.clone(), seed);
-        let mut engines: Vec<ShardedMisEngine> = [(2usize, 3u64), (4, 2), (3, 5)]
+        let layouts = [(2usize, 3u64), (4, 2), (3, 5)];
+        let mut engines: Vec<ShardedMisEngine> = layouts
             .iter()
             .map(|&(k, b)| {
                 ShardedMisEngine::from_graph(g.clone(), ShardLayout::blocked(k, b), seed)
+            })
+            .collect();
+        let mut parallels: Vec<ParallelShardedMisEngine> = layouts
+            .iter()
+            .map(|&(k, b)| {
+                let mut par = ParallelShardedMisEngine::from_graph(
+                    g.clone(),
+                    ShardLayout::blocked(k, b),
+                    2,
+                    seed,
+                );
+                par.set_spawn_threshold(0);
+                par
             })
             .collect();
         for _ in 0..8 {
@@ -189,9 +292,11 @@ fn blocked_layouts_are_equivalent_as_well() {
                 break;
             };
             plain.apply(&change).expect("valid");
-            for engine in &mut engines {
-                engine.apply(&change).expect("valid");
+            for (engine, par) in engines.iter_mut().zip(&mut parallels) {
+                let r = engine.apply(&change).expect("valid");
                 assert_eq!(engine.mis(), plain.mis(), "{:?}", engine.layout());
+                let rp = par.apply(&change).expect("valid");
+                assert_eq!(rp, r, "parallel diverged on {:?}", par.layout());
             }
         }
     }

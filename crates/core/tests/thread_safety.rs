@@ -1,0 +1,44 @@
+//! Compile-time thread-safety gate for the engines.
+//!
+//! The parallel executor hands `&mut Shard` slices to scoped worker
+//! threads and shares the graph/π read-only, which requires `Send` data
+//! throughout; whole engines are also expected to migrate across threads
+//! (e.g. a deployment settling disjoint graphs on a thread pool). These
+//! `const` items are `static_assertions`-style trait checks: if any
+//! engine ever grows a non-`Send`/non-`Sync` member (an `Rc`, a raw
+//! pointer, a thread-local handle), this *test target fails to compile* —
+//! the CI `parallel-determinism` job runs it explicitly so the breakage
+//! is attributed, not buried in a build log.
+
+use dmis_core::{
+    BatchReceipt, MisEngine, ParallelShardedMisEngine, ShardedMisEngine, UpdateReceipt,
+};
+
+const fn assert_send<T: Send>() {}
+const fn assert_sync<T: Sync>() {}
+
+const _: () = assert_send::<ParallelShardedMisEngine>();
+const _: () = assert_sync::<ParallelShardedMisEngine>();
+const _: () = assert_send::<ShardedMisEngine>();
+const _: () = assert_sync::<ShardedMisEngine>();
+const _: () = assert_send::<MisEngine>();
+const _: () = assert_sync::<MisEngine>();
+const _: () = assert_send::<UpdateReceipt>();
+const _: () = assert_send::<BatchReceipt>();
+
+/// The assertions above are evaluated at compile time; this runtime test
+/// exists so the target reports a green check (and exercises an engine
+/// actually crossing a thread boundary once).
+#[test]
+fn engines_cross_thread_boundaries() {
+    let (g, ids) = dmis_graph::generators::cycle(8);
+    let mut engine =
+        ParallelShardedMisEngine::from_graph(g, dmis_graph::ShardLayout::striped(2), 2, 1);
+    let mis = std::thread::spawn(move || {
+        engine.remove_edge(ids[0], ids[1]).expect("valid edge");
+        engine.mis()
+    })
+    .join()
+    .expect("worker panicked");
+    assert!(!mis.is_empty());
+}

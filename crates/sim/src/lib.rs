@@ -17,8 +17,9 @@
 //!   changes), **rounds** (to re-stabilization), and **broadcasts** (number
 //!   of `O(log n)`-bit broadcast messages), plus exact **bit** accounting;
 //! - a **sharded-deployment harness** ([`ShardedRun`]) metering the
-//!   K-shard engine of `dmis-core` in the same vocabulary: coordinator
-//!   turns as rounds, cross-shard handoffs as broadcasts.
+//!   K-shard engine of `dmis-core` — optionally with its settle epochs on
+//!   worker threads — in the same vocabulary: barrier epochs as rounds,
+//!   cross-shard handoffs as broadcasts.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
 //! distributed environment — see the repository-level `DESIGN.md`

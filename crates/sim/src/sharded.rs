@@ -1,28 +1,36 @@
-//! Sharded-engine harness: shard count as a simulator axis.
+//! Sharded-engine harness: shard count and thread count as simulator axes.
 //!
 //! The broadcast networks in this crate simulate the paper's *per-node*
 //! distributed model. [`ShardedRun`] covers the complementary deployment
-//! the ROADMAP targets: `K` sequential engine shards (think: cores or
-//! machines) cooperating through cross-shard handoffs, as implemented by
-//! [`dmis_core::ShardedMisEngine`]. The harness translates every receipt
-//! into the simulator's [`Metrics`] vocabulary so experiments can sweep
-//! the shard count exactly like they sweep graph families:
+//! the ROADMAP targets: `K` engine shards (think: cores or machines)
+//! cooperating through cross-shard handoffs, as implemented by
+//! [`dmis_core::ShardedMisEngine`] and executed — optionally on worker
+//! threads — by [`dmis_core::ParallelShardedMisEngine`]. The harness
+//! translates every receipt into the simulator's [`Metrics`] vocabulary
+//! so experiments can sweep shard and thread counts exactly like they
+//! sweep graph families:
 //!
-//! - **rounds** — coordinator turns (shard settle-runs) until global
-//!   quiescence;
+//! - **rounds** — barrier-synchronized settle epochs until global
+//!   quiescence (the parallel-time depth: shard runs within an epoch are
+//!   independent, so wall-clock scales with epochs, not runs);
 //! - **broadcasts** — cross-shard handoff messages;
 //! - **bits** — handoff payload, one node identifier plus one counter
 //!   delta per message.
+//!
+//! Because the parallel engine is bit-identical to the sequential one,
+//! the `threads` axis changes *wall-clock only*: rounds, broadcasts, and
+//! bits are invariant across thread counts, which is exactly what E12's
+//! threads table demonstrates.
 
 use std::collections::BTreeSet;
 
-use dmis_core::ShardedMisEngine;
+use dmis_core::ParallelShardedMisEngine;
 use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
 
 use crate::metrics::{ChangeOutcome, Metrics};
 
-/// A dynamic execution of the sharded engine, with per-change and
-/// lifetime [`Metrics`] in simulator terms.
+/// A dynamic execution of the (optionally parallel) sharded engine, with
+/// per-change and lifetime [`Metrics`] in simulator terms.
 ///
 /// # Example
 ///
@@ -42,31 +50,64 @@ use crate::metrics::{ChangeOutcome, Metrics};
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedRun {
-    engine: ShardedMisEngine,
+    engine: ParallelShardedMisEngine,
     lifetime: Metrics,
 }
 
 impl ShardedRun {
-    /// Boots a sharded engine over `graph` (drawing priorities from
-    /// `seed`) and starts metering.
+    /// Boots a sequentially-executed sharded engine over `graph` (drawing
+    /// priorities from `seed`) and starts metering.
     #[must_use]
     pub fn bootstrap(graph: DynGraph, layout: ShardLayout, seed: u64) -> Self {
+        Self::bootstrap_parallel(graph, layout, 1, seed)
+    }
+
+    /// Boots a sharded engine whose epochs run on up to `threads` worker
+    /// threads. Metrics are identical to [`Self::bootstrap`] for the same
+    /// seed — the thread axis only moves wall-clock.
+    #[must_use]
+    pub fn bootstrap_parallel(
+        graph: DynGraph,
+        layout: ShardLayout,
+        threads: usize,
+        seed: u64,
+    ) -> Self {
         ShardedRun {
-            engine: ShardedMisEngine::from_graph(graph, layout, seed),
+            engine: ParallelShardedMisEngine::from_graph(graph, layout, threads, seed),
             lifetime: Metrics::new(),
         }
     }
 
     /// The underlying engine.
     #[must_use]
-    pub fn engine(&self) -> &ShardedMisEngine {
+    pub fn engine(&self) -> &ParallelShardedMisEngine {
         &self.engine
+    }
+
+    /// Worker threads the settle epochs may use (1 = sequential).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.engine.threads()
+    }
+
+    /// Forces or suppresses thread spawning; see
+    /// [`ParallelShardedMisEngine::set_spawn_threshold`]. Metrics are
+    /// unaffected for any value.
+    pub fn set_spawn_threshold(&mut self, threshold: usize) {
+        self.engine.set_spawn_threshold(threshold);
     }
 
     /// The current MIS.
     #[must_use]
     pub fn mis(&self) -> BTreeSet<NodeId> {
         self.engine.mis()
+    }
+
+    /// Size of the current MIS without allocating a set — the
+    /// per-tick measurement the experiments poll.
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.engine.mis_len()
     }
 
     /// Metrics accumulated over every change applied so far.
@@ -85,11 +126,11 @@ impl ShardedRun {
     fn outcome(
         &mut self,
         adjusted: BTreeSet<NodeId>,
-        runs: usize,
+        epochs: usize,
         handoffs: usize,
     ) -> ChangeOutcome {
         let metrics = Metrics {
-            rounds: runs,
+            rounds: epochs,
             broadcasts: handoffs,
             bits: handoffs * self.handoff_bits(),
         };
@@ -107,7 +148,7 @@ impl ShardedRun {
         let receipt = self.engine.apply(change)?;
         Ok(self.outcome(
             receipt.adjusted_nodes(),
-            receipt.shard_runs(),
+            receipt.settle_epochs(),
             receipt.cross_shard_handoffs(),
         ))
     }
@@ -122,7 +163,7 @@ impl ShardedRun {
         match self.engine.apply_batch(changes) {
             Ok(receipt) => Ok(self.outcome(
                 receipt.adjusted_nodes(),
-                receipt.shard_runs(),
+                receipt.settle_epochs(),
                 receipt.cross_shard_handoffs(),
             )),
             Err(e) => Err(e),
@@ -183,5 +224,39 @@ mod tests {
         let diff: BTreeSet<NodeId> = before.symmetric_difference(&run.mis()).copied().collect();
         assert_eq!(outcome.adjusted, diff, "one merged recovery, net flips");
         run.engine().assert_internally_consistent();
+    }
+
+    #[test]
+    fn thread_axis_leaves_metrics_invariant() {
+        // The parallel engine is bit-identical to the sequential one, so
+        // a metered run reports the same rounds/broadcasts/bits for any
+        // thread count — the axis only moves wall-clock.
+        let run_with = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (g, _) = generators::erdos_renyi(24, 0.25, &mut rng);
+            let mut run = ShardedRun::bootstrap_parallel(g, ShardLayout::striped(4), threads, 11);
+            run.set_spawn_threshold(0);
+            let mut log = Vec::new();
+            for _ in 0..40 {
+                if let Some(change) =
+                    stream::random_change(run.engine().graph(), &ChurnConfig::default(), &mut rng)
+                {
+                    let outcome = run.apply_change(&change).unwrap();
+                    log.push((outcome.metrics, outcome.adjusted));
+                }
+            }
+            (log, run.lifetime_metrics(), run.mis())
+        };
+        let baseline = run_with(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run_with(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mis_len_matches_mis() {
+        let (g, _) = generators::cycle(12);
+        let run = ShardedRun::bootstrap(g, ShardLayout::striped(2), 4);
+        assert_eq!(run.mis_len(), run.mis().len());
     }
 }

@@ -5,18 +5,32 @@
 # snapshot and fails when
 #   - the dense/BTree speedup of any graph size drops below 1x, or
 #   - the dense per-update latency regresses by more than
-#     BENCH_GATE_MAX_RATIO (default 2.0) vs the committed number.
+#     BENCH_GATE_MAX_RATIO (default 2.0) vs the committed number, or
+#   - in the fresh "parallel" section, the thread-executed engine at
+#     K=4/threads=4 is slower than the sequential K=1/threads=1 row by
+#     more than BENCH_GATE_PAR_MAX_RATIO (default 3.0). Both rows come
+#     from the same fresh run, so the check is fidelity-independent and
+#     BENCH_SNAPSHOT_FULL semantics are preserved: CI forces full
+#     iteration counts for the committed-snapshot comparisons, and the
+#     parallel ratio is meaningful either way. The default tolerance is
+#     deliberately loose: the compared rows differ by sharding overhead
+#     and single-run noise (the snapshot's same-code-path replicate rows
+#     have been observed ~1.4x apart on busy runners), while the
+#     regression this gate exists to catch — thread spawns leaking into
+#     the tiny-cascade fast path — costs 10-100x and clears any sane cap.
 #
 # Usage: tools/bench_gate.sh <fresh.json> <committed.json>
 #
 # The JSON format is the one write_snapshot() in
 # crates/bench/benches/engine_updates.rs emits: one object per line in
-# the "results" array, which keeps this parser to grep/awk.
+# the "results"/"sharding"/"parallel" arrays, which keeps this parser to
+# grep/awk.
 set -euo pipefail
 
 fresh="${1:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 committed="${2:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
+par_max_ratio="${BENCH_GATE_PAR_MAX_RATIO:-3.0}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -24,6 +38,14 @@ max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
 field() {
   { grep -o "{\"n\": $2,[^}]*}" "$1" | grep "\"$3\":" | head -n 1 \
     | grep -o "\"$3\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# pfield <file> <n> <shards> <threads> <key>: value of <key> in the
+# "parallel" entry for that (n, K, T) triple. The leading key sequence
+# "n", "shards", "threads" is unique to that section.
+pfield() {
+  { grep -o "{\"n\": $2, \"shards\": $3, \"threads\": $4,[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$5\": [0-9.]*" | awk '{print $2}'; } || true
 }
 
 status=0
@@ -47,6 +69,23 @@ for n in 100 1000; do
   fi
   echo "bench gate: n=$n speedup=${speedup}x dense=${dense_new}ns (committed ${dense_old}ns)"
 done
+
+# Parallel-execution gate: the worker-thread plumbing must not tax the
+# paper's tiny-cascade common case. Compares two rows of the same fresh
+# run, so machine speed and iteration counts cancel out.
+par44="$(pfield "$fresh" 1000 4 4 ns_per_toggle)"
+par11="$(pfield "$fresh" 1000 1 1 ns_per_toggle)"
+if [ -z "$par44" ] || [ -z "$par11" ]; then
+  echo "bench gate: missing \"parallel\" entries for n=1000 (K,T)=(4,4)/(1,1) in $fresh" >&2
+  status=1
+else
+  if ! awk -v p="$par44" -v s="$par11" -v r="$par_max_ratio" \
+      'BEGIN { exit !(p <= r * s) }'; then
+    echo "bench gate FAIL: parallel K=4/T=4 ${par44}ns/toggle > ${par_max_ratio}x sequential K=1/T=1 ${par11}ns" >&2
+    status=1
+  fi
+  echo "bench gate: parallel K=4/T=4 ${par44}ns vs sequential K=1/T=1 ${par11}ns (cap ${par_max_ratio}x)"
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "bench gate OK"
