@@ -13,12 +13,33 @@ use std::cmp::Reverse;
 use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
 
-use dmis_graph::{ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, TopologyChange};
+use dmis_graph::{
+    ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, RankFront, TopologyChange,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariant::{self, InvariantViolation};
-use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
+use crate::{BatchReceipt, MisState, Priority, PriorityMap, RankIndex, UpdateReceipt};
+
+/// Which realization of the priority-ordered dirty queue a settle loop
+/// drains. Both produce bit-identical receipts — pops come out in
+/// increasing π either way — so this is purely a performance/verification
+/// knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleStrategy {
+    /// The word-parallel rank-bitset front ([`dmis_graph::RankFront`]
+    /// over [`crate::RankIndex`] ranks): no per-update allocation,
+    /// whole-word scans, `u32` rank compares on the neighbor filter.
+    /// The default.
+    #[default]
+    RankFront,
+    /// The per-update `BinaryHeap<Reverse<(Priority, NodeId)>>` the front
+    /// replaced — retained as the bitwise reference for the
+    /// heap-vs-front equivalence suite (`crates/core/tests/`) and the
+    /// `engine_front` bench ablation.
+    BinaryHeap,
+}
 
 /// Incremental maintainer of the random-greedy MIS — the paper's template
 /// (Algorithm 1) realized as an efficient sequential data structure.
@@ -66,9 +87,18 @@ pub struct MisEngine {
     /// Dense counter table: number of lower-π MIS neighbors per node.
     lower_mis_count: NodeMap<usize>,
     rng: StdRng,
-    /// Scratch bitset marking nodes currently enqueued in the settle heap;
-    /// deduplicates pushes so each node is popped at most once per update.
+    /// Scratch bitset marking nodes currently enqueued in the settle
+    /// front; deduplicates pushes so each node is popped at most once per
+    /// update.
     enqueued: NodeSet,
+    /// Dense ranks realizing π — maintained at node insert/delete, read
+    /// on every settle pop and neighbor filter.
+    ranks: RankIndex,
+    /// Persistent word-parallel dirty queue: empty between updates, like
+    /// `enqueued`, so no settle ever allocates.
+    front: RankFront,
+    /// Which dirty-queue realization [`Self::propagate`] drains.
+    strategy: SettleStrategy,
 }
 
 impl MisEngine {
@@ -83,6 +113,9 @@ impl MisEngine {
             lower_mis_count: NodeMap::new(),
             rng: StdRng::seed_from_u64(seed),
             enqueued: NodeSet::new(),
+            ranks: RankIndex::new(),
+            front: RankFront::new(),
+            strategy: SettleStrategy::default(),
         }
     }
 
@@ -110,14 +143,19 @@ impl MisEngine {
     }
 
     fn with_priorities(graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
-        let mis = crate::static_greedy::greedy_mis(&graph, &priorities);
+        let mis = crate::static_greedy::greedy_mis_dense(&graph, &priorities);
+        let ranks = RankIndex::from_priorities(&priorities);
+        let front = RankFront::with_capacity(ranks.span());
         let mut engine = MisEngine {
             graph,
             priorities,
-            in_mis: mis.iter().copied().collect(),
+            in_mis: mis,
             lower_mis_count: NodeMap::new(),
             rng,
             enqueued: NodeSet::new(),
+            ranks,
+            front,
+            strategy: SettleStrategy::default(),
         };
         for v in engine.graph.nodes() {
             let count = engine.count_lower_mis(v);
@@ -153,6 +191,26 @@ impl MisEngine {
     #[must_use]
     pub fn priorities(&self) -> &PriorityMap {
         &self.priorities
+    }
+
+    /// Returns the dense rank realization of π (see [`RankIndex`]).
+    #[must_use]
+    pub fn ranks(&self) -> &RankIndex {
+        &self.ranks
+    }
+
+    /// Which dirty-queue realization the settle loop drains.
+    #[must_use]
+    pub fn settle_strategy(&self) -> SettleStrategy {
+        self.strategy
+    }
+
+    /// Selects the dirty-queue realization. Purely a
+    /// performance/verification knob: pops come out in increasing π
+    /// either way, so outputs and receipts are bit-identical for both
+    /// settings — which the heap-vs-front property suite pins.
+    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+        self.strategy = strategy;
     }
 
     /// Returns the current MIS as a set of node identifiers. Allocates;
@@ -261,6 +319,7 @@ impl MisEngine {
     {
         let v = self.graph.add_node_with_edges(neighbors)?;
         self.priorities.insert(v, crate::Priority::new(key, v));
+        self.ranks.insert(v, &self.priorities);
         // The newcomer starts with the paper's temporary state M̄ (§4.1), so
         // no neighbor counter is affected by its arrival; its membership
         // bit is simply left unset.
@@ -288,6 +347,7 @@ impl MisEngine {
         let prio_v = self.priorities.of(v);
         let nbrs = self.graph.remove_node(v)?;
         self.priorities.remove(v);
+        self.ranks.remove(v);
         self.in_mis.remove(v);
         self.lower_mis_count.remove(v);
         let mut seeds = Vec::new();
@@ -427,6 +487,9 @@ impl MisEngine {
                 }
                 let v = self.graph.add_node_with_edges(edges.iter().copied())?;
                 self.priorities.assign(v, &mut self.rng);
+                // Re-ranking is legal here: the dirty set is still a list
+                // of node ids; ranks enter the front only in propagate().
+                self.ranks.insert(v, &self.priorities);
                 let count = self.count_lower_mis(v);
                 self.lower_mis_count.insert(v, count);
                 seeds.push(v);
@@ -439,6 +502,7 @@ impl MisEngine {
                 let prio_v = self.priorities.of(*v);
                 let nbrs = self.graph.remove_node(*v)?;
                 self.priorities.remove(*v);
+                self.ranks.remove(*v);
                 self.in_mis.remove(*v);
                 self.lower_mis_count.remove(*v);
                 for w in nbrs {
@@ -461,7 +525,9 @@ impl MisEngine {
     ///
     /// Returns the first violation found.
     pub fn check_invariant(&self) -> Result<(), InvariantViolation> {
-        invariant::check_mis_invariant(&self.graph, &self.priorities, &self.mis())
+        // Dense path: the membership bitset is checked in place, no
+        // ordered-set materialization.
+        invariant::check_mis_invariant_dense(&self.graph, &self.priorities, &self.in_mis)
     }
 
     /// Verifies every internal bookkeeping structure against a from-scratch
@@ -469,12 +535,15 @@ impl MisEngine {
     ///
     /// # Panics
     ///
-    /// Panics if any counter or state diverged.
+    /// Panics if any counter, rank, or state diverged.
     pub fn assert_internally_consistent(&self) {
         self.graph.assert_consistent();
         assert_eq!(self.lower_mis_count.len(), self.graph.node_count());
         assert_eq!(self.priorities.len(), self.graph.node_count());
-        let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
+        self.ranks.assert_consistent(&self.priorities);
+        assert!(self.enqueued.is_empty(), "enqueue scratch leaked bits");
+        assert!(self.front.is_empty(), "settle front leaked ranks");
+        let ground_truth = crate::static_greedy::greedy_mis_dense(&self.graph, &self.priorities);
         assert_eq!(
             self.in_mis.len(),
             ground_truth.len(),
@@ -483,7 +552,7 @@ impl MisEngine {
         for v in self.graph.nodes() {
             assert_eq!(
                 self.in_mis.contains(v),
-                ground_truth.contains(&v),
+                ground_truth.contains(v),
                 "state of {v} diverged from static greedy"
             );
             assert_eq!(
@@ -508,26 +577,112 @@ impl MisEngine {
     ///
     /// The `enqueued` bitset deduplicates the dirty set: a node seeded by
     /// several changes of a batch — or pushed by several flipping
-    /// neighbors — enters the heap once. Deduplication is sound because
+    /// neighbors — enters the queue once. Deduplication is sound because
     /// pops are non-decreasing in π (a flip at priority `p` only ever
     /// pushes strictly-higher neighbors), so a popped node can never need
     /// re-settling within the same propagation.
+    ///
+    /// Dispatches on [`SettleStrategy`]; both drains pop the identical
+    /// sequence, so the receipt is bit-identical either way.
     fn propagate(
+        &mut self,
+        kind: ChangeKind,
+        seeds: Vec<NodeId>,
+        counter_updates: usize,
+    ) -> UpdateReceipt {
+        // All of this update's mutations have landed: rank any node the
+        // update inserted out of π order (one coalesced re-rank per
+        // update, not one per insertion). Unconditional on purpose — the
+        // heap drain never reads ranks, but flushing both strategies
+        // keeps the pending list bounded by a single update's inserts,
+        // so `RankIndex::remove`'s pending scan stays O(batch), and it
+        // makes switching strategies mid-life safe with no extra guard.
+        self.ranks.flush(&self.priorities);
+        match self.strategy {
+            SettleStrategy::RankFront => self.propagate_front(kind, seeds, counter_updates),
+            SettleStrategy::BinaryHeap => self.propagate_heap(kind, seeds, counter_updates),
+        }
+    }
+
+    /// The word-parallel drain: dirty ranks live in the persistent
+    /// [`RankFront`], pops are whole-word bit scans, and the neighbor
+    /// filter compares dense `u32` ranks instead of 16-byte priorities.
+    /// Seeds arrive as node ids and are converted to ranks *here* — after
+    /// every mutation of the update — so batch-triggered re-ranks can
+    /// never invalidate a parked rank.
+    fn propagate_front(
         &mut self,
         kind: ChangeKind,
         seeds: Vec<NodeId>,
         mut counter_updates: usize,
     ) -> UpdateReceipt {
-        // Every push pairs with a bit set and every pop clears it, so the
-        // scratch is empty between updates without an O(n/64) clear —
-        // per-update cost stays bounded by the work done, not by the
-        // highest identifier ever allocated.
+        // Every insert pairs with a bit set and every pop clears it, so
+        // both scratch structures are empty between updates without an
+        // O(n/64) clear — per-update cost stays bounded by the work done,
+        // not by the highest identifier ever allocated.
+        debug_assert!(self.enqueued.is_empty(), "settle scratch leaked bits");
+        debug_assert!(self.front.is_empty(), "settle front leaked ranks");
+        debug_assert!(self.ranks.is_flushed(), "propagate() flushes first");
+        for v in seeds {
+            // A batch may have deleted a node seeded by an earlier change;
+            // the bitset merges duplicate seeds into one dirty entry.
+            if self.graph.has_node(v) && self.enqueued.insert(v) {
+                self.front.insert(self.ranks.rank_of(v));
+            }
+        }
+        let mut flips = Vec::new();
+        let mut pops = 0usize;
+        while let Some(rank) = self.front.pop_min() {
+            pops += 1;
+            let v = self.ranks.node_at(rank);
+            // Safe to free the bit: a popped node can never be re-pushed
+            // (all later pushes carry strictly higher ranks).
+            self.enqueued.remove(v);
+            let desired = self.lower_mis_count[v] == 0;
+            let current = self.in_mis.contains(v);
+            if desired == current {
+                continue;
+            }
+            self.set_in_mis(v, desired);
+            flips.push((v, MisState::from_membership(desired)));
+            let graph = &self.graph;
+            let ranks = &self.ranks;
+            let lower = &mut self.lower_mis_count;
+            let enqueued = &mut self.enqueued;
+            let front = &mut self.front;
+            for &w in graph.neighbors_slice(v).expect("live node") {
+                let rw = ranks.rank_of(w);
+                if rw > rank {
+                    let c = lower.get_mut(w).expect("live node");
+                    if desired {
+                        *c += 1;
+                    } else {
+                        *c -= 1;
+                    }
+                    counter_updates += 1;
+                    if enqueued.insert(w) {
+                        front.insert(rw);
+                    }
+                }
+            }
+        }
+        UpdateReceipt::new(kind, flips, pops, counter_updates)
+    }
+
+    /// The retained heap drain — one `BinaryHeap` allocated per update,
+    /// keyed by `(Priority, NodeId)`. This is the pre-front settle loop,
+    /// byte for byte; the equivalence suite replays every workload
+    /// through both drains and demands identical receipts.
+    fn propagate_heap(
+        &mut self,
+        kind: ChangeKind,
+        seeds: Vec<NodeId>,
+        mut counter_updates: usize,
+    ) -> UpdateReceipt {
         debug_assert!(self.enqueued.is_empty(), "settle scratch leaked bits");
         let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> =
             BinaryHeap::with_capacity(seeds.len());
         for v in seeds {
-            // A batch may have deleted a node seeded by an earlier change;
-            // the bitset merges duplicate seeds into one dirty entry.
             if self.graph.has_node(v) && self.enqueued.insert(v) {
                 heap.push(Reverse((self.priorities.of(v), v)));
             }
@@ -536,8 +691,6 @@ impl MisEngine {
         let mut pops = 0usize;
         while let Some(Reverse((prio, v))) = heap.pop() {
             pops += 1;
-            // Safe to free the bit: a popped node can never be re-pushed
-            // (all later pushes carry strictly higher priorities).
             self.enqueued.remove(v);
             let desired = self.lower_mis_count[v] == 0;
             let current = self.in_mis.contains(v);

@@ -88,6 +88,25 @@ pub fn check_mis_invariant(
     mis: &BTreeSet<NodeId>,
 ) -> Result<(), InvariantViolation> {
     let members: NodeSet = mis.iter().copied().collect();
+    check_mis_invariant_dense(g, priorities, &members)
+}
+
+/// [`check_mis_invariant`] over a dense membership bitset — the engines'
+/// native representation, so they can verify themselves without
+/// materializing an ordered set first.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`] found (in node order).
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+pub fn check_mis_invariant_dense(
+    g: &DynGraph,
+    priorities: &PriorityMap,
+    members: &NodeSet,
+) -> Result<(), InvariantViolation> {
     for v in g.nodes() {
         let lower_member = g
             .neighbors(v)

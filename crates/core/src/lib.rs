@@ -11,7 +11,12 @@
 //! crate provides:
 //!
 //! - [`Priority`] / [`PriorityMap`]: the random order π, realized as a
-//!   uniformly random 64-bit key per node with identifier tie-break;
+//!   uniformly random 64-bit key per node with identifier tie-break, and
+//!   [`RankIndex`]: its dense `u32` rank compression, which lets every
+//!   settle loop run on a word-parallel bitset front
+//!   ([`dmis_graph::RankFront`]) instead of a per-update heap — the heap
+//!   drain is retained behind [`SettleStrategy`] as the bitwise
+//!   reference;
 //! - [`MisEngine`]: an efficient incremental maintainer of the random-greedy
 //!   MIS (the "sequential dynamic" realization of the paper's template,
 //!   Algorithm 1), reporting per-update [`UpdateReceipt`]s with the
@@ -70,14 +75,16 @@ mod state;
 
 pub mod invariant;
 pub mod parallel;
+pub mod rank;
 pub mod sharding;
 pub mod static_greedy;
 pub mod template;
 pub mod theory;
 
-pub use engine::MisEngine;
+pub use engine::{MisEngine, SettleStrategy};
 pub use parallel::ParallelShardedMisEngine;
 pub use priority::{Priority, PriorityMap};
+pub use rank::RankIndex;
 pub use receipt::{BatchReceipt, UpdateReceipt};
 pub use sharding::ShardedMisEngine;
 pub use state::MisState;

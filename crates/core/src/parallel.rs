@@ -34,31 +34,31 @@ use std::collections::BTreeSet;
 use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
 
 use crate::invariant::InvariantViolation;
-use crate::sharding::{run_shard_epoch, SettleStats, Shard};
-use crate::{BatchReceipt, MisState, PriorityMap, ShardedMisEngine, UpdateReceipt};
+use crate::sharding::{run_shard_epoch, SettleCtx, SettleStats, Shard};
+use crate::{BatchReceipt, MisState, PriorityMap, SettleStrategy, ShardedMisEngine, UpdateReceipt};
 
-/// Executes one settle epoch over `shards`: every shard with a non-empty
-/// dirty heap is drained to local completion via
-/// [`run_shard_epoch`]. With `threads > 1`, enough independent dirty
-/// shards, and at least `spawn_threshold` pending heap entries, the
-/// drains run on scoped worker threads; otherwise inline, in shard-index
-/// order. Both paths compute the identical result — shard runs share no
-/// mutable state and the accumulated [`SettleStats`] are order-free sums.
+/// Executes one settle epoch over `shards`: every shard with pending
+/// dirty work is drained to local completion via
+/// [`run_shard_epoch`] (a frozen-view drain of either the word-parallel
+/// rank front or the legacy heap, per the context's strategy). With
+/// `threads > 1`, enough independent dirty shards, and at least
+/// `spawn_threshold` pending dirty entries, the drains run on scoped
+/// worker threads; otherwise inline, in shard-index order. Both paths
+/// compute the identical result — shard runs share no mutable state and
+/// the accumulated [`SettleStats`] are order-free sums.
 pub(crate) fn execute_epoch(
-    graph: &DynGraph,
-    priorities: &PriorityMap,
-    layout: ShardLayout,
+    ctx: SettleCtx<'_>,
     shards: &mut [Shard],
     threads: usize,
     spawn_threshold: usize,
     stats: &mut SettleStats,
 ) {
-    let active = shards.iter().filter(|sh| !sh.heap.is_empty()).count();
-    let pending: usize = shards.iter().map(|sh| sh.heap.len()).sum();
+    let active = shards.iter().filter(|sh| sh.pending() > 0).count();
+    let pending: usize = shards.iter().map(Shard::pending).sum();
     if threads <= 1 || active < 2 || pending < spawn_threshold {
         for (s, shard) in shards.iter_mut().enumerate() {
-            if !shard.heap.is_empty() {
-                run_shard_epoch(graph, priorities, layout, s, shard, stats);
+            if shard.pending() > 0 {
+                run_shard_epoch(ctx, s, shard, stats);
             }
         }
         return;
@@ -66,7 +66,7 @@ pub(crate) fn execute_epoch(
     let mut jobs: Vec<(usize, &mut Shard)> = shards
         .iter_mut()
         .enumerate()
-        .filter(|(_, sh)| !sh.heap.is_empty())
+        .filter(|(_, sh)| sh.pending() > 0)
         .collect();
     let workers = threads.min(jobs.len());
     let chunk = jobs.len().div_ceil(workers);
@@ -77,7 +77,7 @@ pub(crate) fn execute_epoch(
                 scope.spawn(move || {
                     let mut local = SettleStats::default();
                     for (s, shard) in batch.iter_mut() {
-                        run_shard_epoch(graph, priorities, layout, *s, shard, &mut local);
+                        run_shard_epoch(ctx, *s, shard, &mut local);
                     }
                     local
                 })
@@ -220,6 +220,19 @@ impl ParallelShardedMisEngine {
     #[must_use]
     pub fn engine(&self) -> &ShardedMisEngine {
         &self.inner
+    }
+
+    /// Which dirty-queue realization the shards drain; see
+    /// [`crate::SettleStrategy`].
+    #[must_use]
+    pub fn settle_strategy(&self) -> SettleStrategy {
+        self.inner.settle_strategy()
+    }
+
+    /// Selects the dirty-queue realization — like the thread knobs,
+    /// purely an execution choice with bit-identical outputs either way.
+    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+        self.inner.set_settle_strategy(strategy);
     }
 
     /// Returns the current graph.

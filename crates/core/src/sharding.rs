@@ -62,24 +62,49 @@ use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
 
 use dmis_graph::{
-    ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, ShardLayout, TopologyChange,
+    ChangeKind, DynGraph, GraphError, NodeId, NodeMap, NodeSet, RankFront, ShardLayout,
+    TopologyChange,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariant::{self, InvariantViolation};
-use crate::{BatchReceipt, MisState, Priority, PriorityMap, UpdateReceipt};
+use crate::{
+    BatchReceipt, MisState, Priority, PriorityMap, RankIndex, SettleStrategy, UpdateReceipt,
+};
 
 /// One shard's slice of the per-node state, keyed by shard-local slots.
+///
+/// The dirty set has two realizations, selected by the engine's
+/// [`SettleStrategy`]: the word-parallel `front` of global ranks (the
+/// default; seeded via `seeds`/`stale` at settle start) or the legacy
+/// `heap` (seeded directly at route time). Exactly one is in use at any
+/// time; both drain in the identical global-π order.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
     /// Membership bits of the nodes this shard owns.
     pub(crate) in_mis: NodeSet,
     /// Lower-π MIS neighbor counters of the nodes this shard owns.
     pub(crate) lower_mis_count: NodeMap<usize>,
-    /// This shard's dirty set, ordered by global priority.
+    /// Heap realization of the dirty set, ordered by global priority
+    /// ([`SettleStrategy::BinaryHeap`] only).
     pub(crate) heap: BinaryHeap<Reverse<(Priority, NodeId)>>,
-    /// Dedup bitset for `heap` (local slots), empty between updates.
+    /// Word-parallel realization of the dirty set: pending **global
+    /// ranks** ([`SettleStrategy::RankFront`] only). Persistent — empty
+    /// between updates, never reallocated per update.
+    pub(crate) front: RankFront,
+    /// Front-mode staging area: nodes routed dirty while an update's
+    /// mutations are still landing. Converted to ranks at settle start,
+    /// *after* all mutations, so batch re-ranks cannot invalidate a
+    /// parked rank.
+    pub(crate) seeds: Vec<NodeId>,
+    /// Front-mode seeds whose node a later batch change deleted before
+    /// the settle began. They carry no state but are accounted exactly
+    /// like the stale heap entries the heap path pops and skips, keeping
+    /// receipts bit-identical across strategies.
+    pub(crate) stale: Vec<NodeId>,
+    /// Dedup bitset for the dirty set (local slots), empty between
+    /// updates.
     pub(crate) enqueued: NodeSet,
     /// Outbound handoffs buffered during the current epoch: counter
     /// deltas for remote nodes, drained at the barrier. Emission order is
@@ -90,6 +115,15 @@ pub(crate) struct Shard {
     /// First-touch flip log: `(node, membership before its first flip)`,
     /// drained when the receipt is built.
     pub(crate) log: Vec<(NodeId, bool)>,
+}
+
+impl Shard {
+    /// Pending dirty entries across whichever realizations hold any —
+    /// the epoch scheduler's and spawn threshold's unit of work. Stale
+    /// front seeds count: the heap path carries them as heap entries.
+    pub(crate) fn pending(&self) -> usize {
+        self.heap.len() + self.front.len() + self.stale.len()
+    }
 }
 
 /// Work/traffic counters accumulated over one recovery.
@@ -125,11 +159,98 @@ impl SettleStats {
 /// [`crate::ParallelShardedMisEngine::set_spawn_threshold`]).
 pub(crate) const DEFAULT_SPAWN_THRESHOLD: usize = 256;
 
-/// Drains shard `s`'s dirty heap to completion against the shared
+/// The shared read-only inputs of every shard drain in one settle: the
+/// frozen view worker threads read concurrently.
+#[derive(Clone, Copy)]
+pub(crate) struct SettleCtx<'a> {
+    pub(crate) graph: &'a DynGraph,
+    pub(crate) priorities: &'a PriorityMap,
+    pub(crate) ranks: &'a RankIndex,
+    pub(crate) strategy: SettleStrategy,
+    pub(crate) layout: ShardLayout,
+}
+
+/// Drains shard `s`'s dirty set to completion against the shared
 /// read-only graph/π — the unsharded settle loop confined to one shard.
 /// Same-shard neighbors of a flip are updated in place; remote neighbors'
 /// deltas are buffered in the shard's outbox for the epoch barrier.
+/// Dispatches on the engine's [`SettleStrategy`]; both drains pop the
+/// identical sequence and accumulate identical [`SettleStats`].
 pub(crate) fn run_shard_epoch(
+    ctx: SettleCtx<'_>,
+    s: usize,
+    shard: &mut Shard,
+    stats: &mut SettleStats,
+) {
+    match ctx.strategy {
+        SettleStrategy::RankFront => {
+            run_shard_epoch_front(ctx.graph, ctx.ranks, ctx.layout, s, shard, stats)
+        }
+        SettleStrategy::BinaryHeap => {
+            run_shard_epoch_heap(ctx.graph, ctx.priorities, ctx.layout, s, shard, stats);
+        }
+    }
+}
+
+/// Front-mode drain: pops are whole-word scans over pending global
+/// ranks; the neighbor filter compares dense `u32` ranks.
+fn run_shard_epoch_front(
+    graph: &DynGraph,
+    ranks: &RankIndex,
+    layout: ShardLayout,
+    s: usize,
+    shard: &mut Shard,
+    stats: &mut SettleStats,
+) {
+    stats.shard_runs += 1;
+    // Stale seeds first: the heap path pops and skips deleted nodes
+    // mid-drain; popping them up front is observationally identical (a
+    // stale pop touches no state) and keeps every counter in lockstep.
+    for v in shard.stale.drain(..) {
+        stats.pops += 1;
+        shard.enqueued.remove(layout.local_slot(v));
+    }
+    while let Some(rank) = shard.front.pop_min() {
+        stats.pops += 1;
+        let v = ranks.node_at(rank);
+        debug_assert!(graph.has_node(v), "front ranks are always live");
+        let local = layout.local_slot(v);
+        shard.enqueued.remove(local);
+        let desired = shard.lower_mis_count[local] == 0;
+        let current = shard.in_mis.contains(local);
+        if desired == current {
+            continue;
+        }
+        if shard.touched.insert(local) {
+            shard.log.push((v, current));
+        }
+        if desired {
+            shard.in_mis.insert(local);
+        } else {
+            shard.in_mis.remove(local);
+        }
+        let delta: isize = if desired { 1 } else { -1 };
+        for &w in graph.neighbors_slice(v).expect("live node") {
+            let rw = ranks.rank_of(w);
+            if rw > rank {
+                if layout.shard_of(w) == s {
+                    let lw = layout.local_slot(w);
+                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                    *c = c.checked_add_signed(delta).expect("counter in range");
+                    stats.counter_updates += 1;
+                    if shard.enqueued.insert(lw) {
+                        shard.front.insert(rw);
+                    }
+                } else {
+                    shard.outbox.push((w, delta));
+                }
+            }
+        }
+    }
+}
+
+/// Heap-mode drain — the pre-front settle loop, byte for byte.
+fn run_shard_epoch_heap(
     graph: &DynGraph,
     priorities: &PriorityMap,
     layout: ShardLayout,
@@ -210,15 +331,20 @@ pub(crate) fn run_shard_epoch(
 pub struct ShardedMisEngine {
     graph: DynGraph,
     priorities: PriorityMap,
+    /// Dense rank realization of π, shared read-only across shards like
+    /// the priorities themselves.
+    ranks: RankIndex,
     layout: ShardLayout,
     shards: Vec<Shard>,
     rng: StdRng,
     /// Worker threads per epoch; 1 = drain epochs inline (sequential).
     /// Exposed publicly through [`crate::ParallelShardedMisEngine`].
     threads: usize,
-    /// Minimum pending heap entries before an epoch pays for thread
+    /// Minimum pending dirty entries before an epoch pays for thread
     /// spawns; see [`DEFAULT_SPAWN_THRESHOLD`].
     spawn_threshold: usize,
+    /// Which dirty-queue realization every shard drains.
+    strategy: SettleStrategy,
 }
 
 impl ShardedMisEngine {
@@ -229,11 +355,13 @@ impl ShardedMisEngine {
         ShardedMisEngine {
             graph: DynGraph::new(),
             priorities: PriorityMap::new(),
+            ranks: RankIndex::new(),
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng: StdRng::seed_from_u64(seed),
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
+            strategy: SettleStrategy::default(),
         }
     }
 
@@ -273,18 +401,21 @@ impl ShardedMisEngine {
         layout: ShardLayout,
         rng: StdRng,
     ) -> Self {
-        let mis = crate::static_greedy::greedy_mis(&graph, &priorities);
+        let mis = crate::static_greedy::greedy_mis_dense(&graph, &priorities);
+        let ranks = RankIndex::from_priorities(&priorities);
         let mut engine = ShardedMisEngine {
             graph,
             priorities,
+            ranks,
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng,
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
+            strategy: SettleStrategy::default(),
         };
         for v in engine.graph.nodes() {
-            if mis.contains(&v) {
+            if mis.contains(v) {
                 engine.shards[layout.shard_of(v)]
                     .in_mis
                     .insert(layout.local_slot(v));
@@ -309,6 +440,26 @@ impl ShardedMisEngine {
     #[must_use]
     pub fn priorities(&self) -> &PriorityMap {
         &self.priorities
+    }
+
+    /// Returns the dense rank realization of π (see [`RankIndex`]).
+    #[must_use]
+    pub fn ranks(&self) -> &RankIndex {
+        &self.ranks
+    }
+
+    /// Which dirty-queue realization the shards drain.
+    #[must_use]
+    pub fn settle_strategy(&self) -> SettleStrategy {
+        self.strategy
+    }
+
+    /// Selects the dirty-queue realization. Purely a
+    /// performance/verification knob — outputs and receipts are
+    /// bit-identical for both settings, which the heap-vs-front property
+    /// suite pins across every layout and thread count.
+    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+        self.strategy = strategy;
     }
 
     /// Returns the shard layout.
@@ -400,7 +551,23 @@ impl ShardedMisEngine {
     /// for parity with [`crate::MisEngine::apply_batch`]; they carry no
     /// state and are not counted, keeping handoff metrics identical
     /// between the single-change and batch APIs.
-    fn route(&mut self, v: NodeId, delta: isize, origin: usize, stats: &mut SettleStats) {
+    ///
+    /// `direct` says no further mutation can precede the settle — true
+    /// for the single-change entry points, whose routes are their last
+    /// mutating act. A direct front-mode route parks the *rank* in the
+    /// shard's front immediately (the rank cannot be invalidated: only a
+    /// later node insertion of the same update could force a re-rank,
+    /// and only a later deletion could kill the node). Batch routes pass
+    /// `direct = false` and stage the node id instead, converted at
+    /// settle start once all mutations have landed.
+    fn route(
+        &mut self,
+        v: NodeId,
+        delta: isize,
+        origin: usize,
+        stats: &mut SettleStats,
+        direct: bool,
+    ) {
         let target = self.layout.shard_of(v);
         let local = self.layout.local_slot(v);
         let shard = &mut self.shards[target];
@@ -413,7 +580,15 @@ impl ShardedMisEngine {
             stats.counter_updates += 1;
         }
         if shard.enqueued.insert(local) {
-            shard.heap.push(Reverse((self.priorities.of(v), v)));
+            match self.strategy {
+                SettleStrategy::RankFront if direct => {
+                    shard.front.insert(self.ranks.rank_of(v));
+                }
+                SettleStrategy::RankFront => shard.seeds.push(v),
+                SettleStrategy::BinaryHeap => {
+                    shard.heap.push(Reverse((self.priorities.of(v), v)));
+                }
+            }
         }
     }
 
@@ -428,7 +603,7 @@ impl ShardedMisEngine {
         let (lo, hi) = self.order_pair(u, v);
         let mut stats = SettleStats::default();
         if self.output(lo) {
-            self.route(hi, 1, self.layout.shard_of(lo), &mut stats);
+            self.route(hi, 1, self.layout.shard_of(lo), &mut stats, true);
         }
         Ok(self.settle(ChangeKind::EdgeInsert, stats))
     }
@@ -444,7 +619,7 @@ impl ShardedMisEngine {
         let (lo, hi) = self.order_pair(u, v);
         let mut stats = SettleStats::default();
         if self.output(lo) {
-            self.route(hi, -1, self.layout.shard_of(lo), &mut stats);
+            self.route(hi, -1, self.layout.shard_of(lo), &mut stats, true);
         }
         Ok(self.settle(ChangeKind::EdgeDelete, stats))
     }
@@ -482,6 +657,7 @@ impl ShardedMisEngine {
     {
         let v = self.graph.add_node_with_edges(neighbors)?;
         self.priorities.insert(v, Priority::new(key, v));
+        self.ranks.insert(v, &self.priorities);
         let origin = self.layout.shard_of(v);
         let count = self.count_lower_mis(v);
         self.shards[origin]
@@ -490,7 +666,7 @@ impl ShardedMisEngine {
         // The newcomer starts in the temporary state M̄ (§4.1): membership
         // bit unset, no neighbor counter perturbed by its arrival.
         let mut stats = SettleStats::default();
-        self.route(v, 0, origin, &mut stats);
+        self.route(v, 0, origin, &mut stats, false);
         let receipt = self.settle(ChangeKind::NodeInsert, stats);
         Ok((v, receipt))
     }
@@ -510,6 +686,7 @@ impl ShardedMisEngine {
         let origin = self.layout.shard_of(v);
         let nbrs = self.graph.remove_node(v)?;
         self.priorities.remove(v);
+        self.ranks.remove(v);
         let local = self.layout.local_slot(v);
         self.shards[origin].in_mis.remove(local);
         self.shards[origin].lower_mis_count.remove(local);
@@ -517,7 +694,7 @@ impl ShardedMisEngine {
         if was_in {
             for w in nbrs {
                 if self.priorities.of(w) > prio_v {
-                    self.route(w, -1, origin, &mut stats);
+                    self.route(w, -1, origin, &mut stats, true);
                 }
             }
         }
@@ -592,13 +769,13 @@ impl ShardedMisEngine {
                 self.graph.insert_edge(*u, *v)?;
                 let (lo, hi) = self.order_pair(*u, *v);
                 let delta = isize::from(self.output(lo));
-                self.route(hi, delta, self.layout.shard_of(lo), stats);
+                self.route(hi, delta, self.layout.shard_of(lo), stats, false);
             }
             TopologyChange::DeleteEdge(u, v) => {
                 self.graph.remove_edge(*u, *v)?;
                 let (lo, hi) = self.order_pair(*u, *v);
                 let delta = -isize::from(self.output(lo));
-                self.route(hi, delta, self.layout.shard_of(lo), stats);
+                self.route(hi, delta, self.layout.shard_of(lo), stats, false);
             }
             TopologyChange::InsertNode { id, edges } => {
                 if self.graph.peek_next_id() != *id {
@@ -606,12 +783,15 @@ impl ShardedMisEngine {
                 }
                 let v = self.graph.add_node_with_edges(edges.iter().copied())?;
                 self.priorities.assign(v, &mut self.rng);
+                // Re-ranking is legal mid-batch: dirty marks are still
+                // node ids; ranks enter the fronts only at settle start.
+                self.ranks.insert(v, &self.priorities);
                 let origin = self.layout.shard_of(v);
                 let count = self.count_lower_mis(v);
                 self.shards[origin]
                     .lower_mis_count
                     .insert(self.layout.local_slot(v), count);
-                self.route(v, 0, origin, stats);
+                self.route(v, 0, origin, stats, false);
             }
             TopologyChange::DeleteNode(v) => {
                 if !self.graph.has_node(*v) {
@@ -622,12 +802,13 @@ impl ShardedMisEngine {
                 let origin = self.layout.shard_of(*v);
                 let nbrs = self.graph.remove_node(*v)?;
                 self.priorities.remove(*v);
+                self.ranks.remove(*v);
                 let local = self.layout.local_slot(*v);
                 self.shards[origin].in_mis.remove(local);
                 self.shards[origin].lower_mis_count.remove(local);
                 for w in nbrs {
                     if self.priorities.of(w) > prio_v {
-                        self.route(w, -isize::from(was_in), origin, stats);
+                        self.route(w, -isize::from(was_in), origin, stats, false);
                     }
                 }
             }
@@ -645,27 +826,40 @@ impl ShardedMisEngine {
     /// mutable state, so the executor — inline or the worker threads of
     /// [`crate::ParallelShardedMisEngine`] — cannot change the outcome.
     fn settle(&mut self, kind: ChangeKind, mut stats: SettleStats) -> UpdateReceipt {
-        while self.shards.iter().any(|sh| !sh.heap.is_empty()) {
+        // All of this update's mutations have landed: one coalesced
+        // re-rank covers every node the update inserted out of π order.
+        // Unconditional on purpose — the heap drain never reads ranks,
+        // but flushing both strategies keeps the pending list bounded by
+        // a single update's inserts (so `RankIndex::remove` stays
+        // O(batch)) and keeps every live node ranked between updates,
+        // which is what lets [`Self::route`] park ranks directly for
+        // single-change updates without a strategy-switch guard.
+        self.ranks.flush(&self.priorities);
+        if self.strategy == SettleStrategy::RankFront {
+            self.convert_seeds();
+        }
+        while self.shards.iter().any(|sh| sh.pending() > 0) {
             stats.epochs += 1;
             {
                 let ShardedMisEngine {
                     graph,
                     priorities,
+                    ranks,
                     layout,
                     shards,
                     threads,
                     spawn_threshold,
+                    strategy,
                     ..
                 } = self;
-                crate::parallel::execute_epoch(
+                let ctx = SettleCtx {
                     graph,
                     priorities,
-                    *layout,
-                    shards,
-                    *threads,
-                    *spawn_threshold,
-                    &mut stats,
-                );
+                    ranks,
+                    strategy: *strategy,
+                    layout: *layout,
+                };
+                crate::parallel::execute_epoch(ctx, shards, *threads, *spawn_threshold, &mut stats);
             }
             self.merge_outboxes(&mut stats);
         }
@@ -691,6 +885,38 @@ impl ShardedMisEngine {
         )
     }
 
+    /// Converts every shard's staged dirty marks (node ids, buffered by
+    /// [`Self::route`] while the update's mutations were landing) into
+    /// pending front ranks. Runs once, at settle start, when the node set
+    /// — and hence the rank assignment — is final for this update. Seeds
+    /// whose node a later change deleted become `stale` entries, which
+    /// the drain accounts exactly like the heap path's popped-and-skipped
+    /// stale heap entries.
+    fn convert_seeds(&mut self) {
+        debug_assert!(self.ranks.is_flushed(), "settle() flushes first");
+        let ShardedMisEngine {
+            graph,
+            ranks,
+            shards,
+            ..
+        } = self;
+        for shard in shards.iter_mut() {
+            if shard.seeds.is_empty() {
+                continue;
+            }
+            // Take the buffer so its capacity survives the drain.
+            let mut seeds = std::mem::take(&mut shard.seeds);
+            for v in seeds.drain(..) {
+                if graph.has_node(v) {
+                    shard.front.insert(ranks.rank_of(v));
+                } else {
+                    shard.stale.push(v);
+                }
+            }
+            shard.seeds = seeds;
+        }
+    }
+
     /// The epoch barrier: applies every shard's buffered handoffs —
     /// counter deltas plus dirty marks — in shard-index order, then
     /// emission order, re-seeding target heaps for the next epoch. Each
@@ -711,7 +937,16 @@ impl ShardedMisEngine {
                 *c = c.checked_add_signed(delta).expect("counter in range");
                 stats.counter_updates += 1;
                 if shard.enqueued.insert(lw) {
-                    shard.heap.push(Reverse((self.priorities.of(w), w)));
+                    match self.strategy {
+                        // Handoff targets are always live, and no re-rank
+                        // can happen mid-settle: insert the rank directly.
+                        SettleStrategy::RankFront => {
+                            shard.front.insert(self.ranks.rank_of(w));
+                        }
+                        SettleStrategy::BinaryHeap => {
+                            shard.heap.push(Reverse((self.priorities.of(w), w)));
+                        }
+                    }
                 }
             }
             // Hand the (cleared) buffer back so its capacity is reused.
@@ -726,7 +961,10 @@ impl ShardedMisEngine {
     ///
     /// Returns the first violation found.
     pub fn check_invariant(&self) -> Result<(), InvariantViolation> {
-        invariant::check_mis_invariant(&self.graph, &self.priorities, &self.mis())
+        // Dense path: merge the shards' bits once instead of building an
+        // ordered set.
+        let members: NodeSet = self.mis_iter().collect();
+        invariant::check_mis_invariant_dense(&self.graph, &self.priorities, &members)
     }
 
     /// Verifies every shard's bookkeeping against a from-scratch
@@ -738,22 +976,26 @@ impl ShardedMisEngine {
     pub fn assert_internally_consistent(&self) {
         self.graph.assert_consistent();
         assert_eq!(self.priorities.len(), self.graph.node_count());
+        self.ranks.assert_consistent(&self.priorities);
         let total_counters: usize = self.shards.iter().map(|s| s.lower_mis_count.len()).sum();
         assert_eq!(total_counters, self.graph.node_count());
         for shard in &self.shards {
             assert!(shard.heap.is_empty(), "dirty set leaked between updates");
+            assert!(shard.front.is_empty(), "settle front leaked ranks");
+            assert!(shard.seeds.is_empty(), "staged seeds leaked entries");
+            assert!(shard.stale.is_empty(), "stale seeds leaked entries");
             assert!(shard.enqueued.is_empty(), "enqueue scratch leaked bits");
             assert!(shard.outbox.is_empty(), "outbox leaked past the barrier");
             assert!(shard.touched.is_empty(), "flip log leaked touch bits");
             assert!(shard.log.is_empty(), "flip log leaked entries");
         }
-        let ground_truth = crate::static_greedy::greedy_mis(&self.graph, &self.priorities);
+        let ground_truth = crate::static_greedy::greedy_mis_dense(&self.graph, &self.priorities);
         let total_bits: usize = self.shards.iter().map(|s| s.in_mis.len()).sum();
         assert_eq!(total_bits, ground_truth.len(), "stale membership bits");
         for v in self.graph.nodes() {
             assert_eq!(
                 self.output(v),
-                ground_truth.contains(&v),
+                ground_truth.contains(v),
                 "state of {v} diverged from static greedy"
             );
             assert_eq!(

@@ -40,8 +40,17 @@ use crate::PriorityMap;
 /// ```
 #[must_use]
 pub fn greedy_mis(g: &DynGraph, priorities: &PriorityMap) -> BTreeSet<NodeId> {
-    // Membership tracking runs on a dense bitset; the BTreeSet is built
-    // once at the end for the stable public return type.
+    greedy_mis_dense(g, priorities).iter().collect()
+}
+
+/// [`greedy_mis`] returning the dense membership bitset directly — what
+/// the engines seed their state from, with no ordered-set detour.
+///
+/// # Panics
+///
+/// Panics if some node of `g` has no priority.
+#[must_use]
+pub fn greedy_mis_dense(g: &DynGraph, priorities: &PriorityMap) -> NodeSet {
     let mut mis = NodeSet::new();
     for v in priorities_order(g, priorities) {
         let dominated = g
@@ -52,7 +61,7 @@ pub fn greedy_mis(g: &DynGraph, priorities: &PriorityMap) -> BTreeSet<NodeId> {
             mis.insert(v);
         }
     }
-    mis.iter().collect()
+    mis
 }
 
 /// Computes the greedy (first-fit) coloring of `g` under the order given by

@@ -104,7 +104,13 @@ pub fn relax(
             "template relaxation failed to converge"
         );
         total += to_flip.len();
-        let mut next_candidates = NodeSet::new();
+        // The next candidate front is the union of the flipped nodes'
+        // (closed) neighborhoods. Neighbor slices are sorted, so each one
+        // is OR-ed in as whole 64-bit mask words — for a high-degree
+        // flip (the star promotions of E7, the Δ-regular rounds of E9)
+        // this replaces deg per-bit inserts with one read-modify-write
+        // per occupied word.
+        candidates.clear();
         for v in to_flip {
             if !current.remove(v) {
                 current.insert(v);
@@ -115,10 +121,9 @@ pub fn relax(
             } else {
                 changes_per_node.insert(v, 1);
             }
-            next_candidates.insert(v);
-            next_candidates.extend(g.neighbors(v).expect("live node"));
+            candidates.insert(v);
+            candidates.insert_sorted_slice(g.neighbors_slice(v).expect("live node"));
         }
-        candidates = next_candidates;
     }
     TemplateTrace {
         influenced: influenced.iter().collect(),

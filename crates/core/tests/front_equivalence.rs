@@ -1,0 +1,282 @@
+//! Heap-vs-front equivalence property suite.
+//!
+//! The word-parallel rank-bitset settle front
+//! ([`SettleStrategy::RankFront`], the default) replaced the per-update
+//! `BinaryHeap` drain ([`SettleStrategy::BinaryHeap`], retained as the
+//! bitwise reference). Min rank = min π by the [`dmis_core::RankIndex`]
+//! invariant, so the two drains must pop the identical sequence — and
+//! therefore produce identical flip logs and identical values of **every
+//! receipt counter** (`heap_pops`, `counter_updates`,
+//! `cross_shard_handoffs`, `shard_runs`, `settle_epochs`), not just the
+//! same MIS. This suite replays the same random change streams through
+//! both strategies on all three engines — unsharded, sequential sharded,
+//! and thread-executed — across K ∈ {1, 2, 4, 7} × threads ∈ {1, 2, 4}
+//! (plus the `DMIS_PAR_THREADS` CI axis), comparing whole receipts
+//! bitwise after every change and every batch.
+//!
+//! Node churn is the interesting part: node inserts re-rank the index
+//! mid-batch and node deletes park stale seeds, which is exactly where a
+//! front-vs-heap accounting divergence would hide.
+
+use dmis_core::{
+    MisEngine, ParallelShardedMisEngine, PriorityMap, SettleStrategy, ShardedMisEngine,
+};
+use dmis_graph::stream::{self, ChurnConfig};
+use dmis_graph::{generators, DynGraph, ShardLayout, TopologyChange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Worker-thread counts: {1, 2, 4} plus the CI `DMIS_PAR_THREADS` axis.
+fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1, 2, 4];
+    if let Some(extra) = std::env::var("DMIS_PAR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        if !axis.contains(&extra) {
+            axis.push(extra);
+        }
+    }
+    axis
+}
+
+/// One engine per strategy, identically seeded.
+fn engine_pair(g: &DynGraph, seed: u64) -> (MisEngine, MisEngine) {
+    let front = MisEngine::from_graph(g.clone(), seed);
+    assert_eq!(front.settle_strategy(), SettleStrategy::RankFront);
+    let mut heap = MisEngine::from_graph(g.clone(), seed);
+    heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+    (front, heap)
+}
+
+/// Front-vs-heap lockstep on the unsharded engine over random churn.
+#[test]
+fn unsharded_front_matches_heap_bitwise() {
+    for seed in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(977));
+        let n = 2 + (seed as usize % 20);
+        let (g, _) = generators::erdos_renyi(n, 0.1 + 0.3 * ((seed % 5) as f64 / 4.0), &mut rng);
+        let (mut front, mut heap) = engine_pair(&g, seed);
+        for step in 0..12 {
+            let Some(change) =
+                stream::random_change(front.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                break;
+            };
+            let rf = front.apply(&change).expect("valid change");
+            let rh = heap.apply(&change).expect("valid change");
+            assert_eq!(rf, rh, "receipt diverged (seed {seed}, step {step})");
+            assert_eq!(front.mis(), heap.mis(), "MIS diverged (seed {seed})");
+        }
+        front.assert_internally_consistent();
+        heap.assert_internally_consistent();
+        // Both strategies flush at every settle, so out-of-order node
+        // insertions never accumulate as pending ranks between updates —
+        // the bound that keeps RankIndex::remove O(batch) in heap mode.
+        assert!(front.ranks().is_flushed());
+        assert!(heap.ranks().is_flushed());
+    }
+}
+
+/// Batches (merged dirty sets, mid-batch node churn, hence mid-batch
+/// re-ranks and stale seeds) settle bitwise-identically under both
+/// strategies on the unsharded engine.
+#[test]
+fn unsharded_batches_match_bitwise() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(313) + 7);
+        let (g, _) = generators::erdos_renyi(14 + (seed as usize % 6), 0.25, &mut rng);
+        let mut shadow = g.clone();
+        let mut batch = Vec::new();
+        for _ in 0..8 {
+            if let Some(change) = stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
+            {
+                change.apply(&mut shadow).expect("valid");
+                batch.push(change);
+            }
+        }
+        let (mut front, mut heap) = engine_pair(&g, seed);
+        let rf = front.apply_batch(&batch).expect("valid batch");
+        let rh = heap.apply_batch(&batch).expect("valid batch");
+        assert_eq!(rf, rh, "batch receipt diverged (seed {seed})");
+        assert_eq!(front.mis(), heap.mis());
+        front.assert_internally_consistent();
+        heap.assert_internally_consistent();
+    }
+}
+
+/// A batch that seeds a node and then deletes it forces the front path's
+/// stale-seed accounting; the receipt (including `heap_pops`) must still
+/// match the heap path, which pops-and-skips the stale entry instead.
+#[test]
+fn stale_seeds_are_accounted_identically() {
+    for &k in &SHARD_COUNTS {
+        let (g, ids) = generators::path(6);
+        let layout = ShardLayout::striped(k);
+        let mut front = ShardedMisEngine::from_graph(g.clone(), layout, 3);
+        let mut heap = ShardedMisEngine::from_graph(g.clone(), layout, 3);
+        heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+        let fresh = g.peek_next_id();
+        let batch = vec![
+            // Seed several nodes' dirty marks...
+            TopologyChange::DeleteEdge(ids[0], ids[1]),
+            TopologyChange::InsertNode {
+                id: fresh,
+                edges: vec![ids[2], ids[4]],
+            },
+            // ...then delete the newcomer (its seed goes stale) and one
+            // of its neighbors (whose earlier marks survive).
+            TopologyChange::DeleteNode(fresh),
+            TopologyChange::DeleteNode(ids[4]),
+        ];
+        let rf = front.apply_batch(&batch).expect("valid batch");
+        let rh = heap.apply_batch(&batch).expect("valid batch");
+        assert_eq!(rf, rh, "stale-seed receipt diverged (K={k})");
+        assert_eq!(front.mis(), heap.mis());
+        front.assert_internally_consistent();
+        heap.assert_internally_consistent();
+    }
+}
+
+/// Front-vs-heap lockstep on the sharded and parallel engines: whole
+/// receipts bitwise, K ∈ {1, 2, 4, 7} × threads ∈ {1, 2, 4} (+ env),
+/// spawn threshold forced to 0 so worker threads really drain fronts.
+#[test]
+fn sharded_and_parallel_fronts_match_heaps_bitwise() {
+    let threads = thread_axis();
+    for seed in 0..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919) + 1);
+        let n = 4 + (seed as usize % 16);
+        let (g, _) = generators::erdos_renyi(n, 0.2, &mut rng);
+        let mut pairs: Vec<(ShardedMisEngine, ShardedMisEngine)> = SHARD_COUNTS
+            .iter()
+            .map(|&k| {
+                let layout = ShardLayout::striped(k);
+                let front = ShardedMisEngine::from_graph(g.clone(), layout, seed);
+                let mut heap = ShardedMisEngine::from_graph(g.clone(), layout, seed);
+                heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+                (front, heap)
+            })
+            .collect();
+        let mut parallels: Vec<ParallelShardedMisEngine> = SHARD_COUNTS
+            .iter()
+            .flat_map(|&k| threads.iter().map(move |&t| (k, t)))
+            .map(|(k, t)| {
+                let mut par = ParallelShardedMisEngine::from_graph(
+                    g.clone(),
+                    ShardLayout::striped(k),
+                    t,
+                    seed,
+                );
+                par.set_spawn_threshold(0);
+                assert_eq!(par.settle_strategy(), SettleStrategy::RankFront);
+                par
+            })
+            .collect();
+        for step in 0..10 {
+            let Some(change) =
+                stream::random_change(pairs[0].0.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                break;
+            };
+            let mut front_receipts = Vec::with_capacity(pairs.len());
+            for (front, heap) in &mut pairs {
+                let rf = front.apply(&change).expect("valid change");
+                let rh = heap.apply(&change).expect("valid change");
+                assert_eq!(
+                    rf,
+                    rh,
+                    "K={} receipt diverged (seed {seed}, step {step})",
+                    front.shard_count()
+                );
+                front_receipts.push(rf);
+            }
+            for (i, par) in parallels.iter_mut().enumerate() {
+                let r = par.apply(&change).expect("valid change");
+                let k_index = i / threads.len();
+                assert_eq!(
+                    r,
+                    front_receipts[k_index],
+                    "K={} threads={} parallel front diverged (seed {seed})",
+                    par.shard_count(),
+                    par.threads()
+                );
+            }
+        }
+        for (front, heap) in &pairs {
+            assert_eq!(front.mis(), heap.mis());
+            front.assert_internally_consistent();
+            heap.assert_internally_consistent();
+        }
+        for par in &parallels {
+            par.assert_internally_consistent();
+        }
+    }
+}
+
+/// The parallel engine's heap strategy also matches its front strategy on
+/// batched settles — the workload where threads engage and per-shard
+/// fronts drain concurrently.
+#[test]
+fn parallel_batches_match_across_strategies() {
+    let threads = thread_axis();
+    for seed in 0..15u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(131) + 5);
+        let (g, _) = generators::erdos_renyi(18, 0.2, &mut rng);
+        let mut shadow = g.clone();
+        let mut batch = Vec::new();
+        for _ in 0..10 {
+            if let Some(change) = stream::random_change(&shadow, &ChurnConfig::default(), &mut rng)
+            {
+                change.apply(&mut shadow).expect("valid");
+                batch.push(change);
+            }
+        }
+        for &k in &SHARD_COUNTS {
+            for &t in &threads {
+                let layout = ShardLayout::striped(k);
+                let mut front = ParallelShardedMisEngine::from_graph(g.clone(), layout, t, seed);
+                front.set_spawn_threshold(0);
+                let mut heap = ParallelShardedMisEngine::from_graph(g.clone(), layout, t, seed);
+                heap.set_spawn_threshold(0);
+                heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+                let rf = front.apply_batch(&batch).expect("valid batch");
+                let rh = heap.apply_batch(&batch).expect("valid batch");
+                assert_eq!(rf, rh, "K={k} threads={t} batch diverged (seed {seed})");
+                assert_eq!(front.mis(), heap.mis());
+                front.assert_internally_consistent();
+                heap.assert_internally_consistent();
+            }
+        }
+    }
+}
+
+/// Boundary-spanning star promotion (every leaf notified across a shard
+/// boundary under striping) — the all-handoff worst case — is bitwise
+/// identical across strategies, layouts, and thread counts.
+#[test]
+fn star_promotion_matches_across_strategies() {
+    for leaves in [5usize, 12, 21] {
+        let (g, ids) = generators::star(leaves + 1);
+        let pm = PriorityMap::from_order(&ids);
+        for &k in &SHARD_COUNTS {
+            let layout = ShardLayout::striped(k);
+            let mut front = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
+            let mut heap = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
+            heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+            let rf = front.remove_node(ids[0]).expect("center exists");
+            let rh = heap.remove_node(ids[0]).expect("center exists");
+            assert_eq!(rf, rh, "K={k} star receipt diverged");
+            assert_eq!(rf.adjustments(), leaves);
+            for &t in &thread_axis() {
+                let mut par =
+                    ParallelShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, t, 0);
+                par.set_spawn_threshold(0);
+                let r = par.remove_node(ids[0]).expect("center exists");
+                assert_eq!(r, rf, "K={k} threads={t} parallel star diverged");
+            }
+        }
+    }
+}

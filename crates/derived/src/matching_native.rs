@@ -5,6 +5,14 @@ use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, NodeMap, NodeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Dense identifier of a live edge in the [`NativeMatching`] arena — the
+/// edge's *line-graph id*: the node it would be in `L(G)`, without `L(G)`
+/// ever being materialized. Freed ids are recycled (an edge's random
+/// *key* is redrawn on every insertion, so recycling ids cannot leak
+/// history), which keeps the arena — and the matched bitset over it —
+/// as compact as the live edge set.
+type LineId = NodeId;
+
 /// A matched/unmatched flip of one edge, reported by
 /// [`NativeMatching`] receipts.
 pub type EdgeFlip = (EdgeKey, bool);
@@ -54,9 +62,20 @@ impl MatchingReceipt {
 #[derive(Debug, Clone)]
 pub struct NativeMatching {
     graph: DynGraph,
-    /// Random key per live edge (tie-break by the edge key itself).
-    keys: BTreeMap<EdgeKey, u64>,
-    matched: BTreeSet<EdgeKey>,
+    /// Live edge → its dense arena id (the first slice of the edge-keyed
+    /// dense storage story: the *state* behind an edge is slot-indexed;
+    /// only this lookup still walks a tree).
+    line_id: BTreeMap<EdgeKey, LineId>,
+    /// The arena: line id → `(edge, random key)`. Vacant after deletion;
+    /// vacated ids are recycled through `free`.
+    slots: NodeMap<(EdgeKey, u64)>,
+    /// Recycled line ids, reused LIFO.
+    free: Vec<LineId>,
+    /// Next never-used line id when `free` is empty.
+    next_line: u64,
+    /// Matched-status bitset keyed by line id — one bit per live edge,
+    /// replacing the `BTreeSet<EdgeKey>` of matched keys.
+    matched: NodeSet,
     /// Per node: the matched edge covering it, if any. An edge is matched
     /// iff both its endpoints point at it; this doubles as the
     /// lower-matched-neighbor oracle.
@@ -69,14 +88,7 @@ impl NativeMatching {
     /// edge from `seed` and computing the initial greedy matching.
     #[must_use]
     pub fn new(graph: DynGraph, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut nm = NativeMatching {
-            graph: DynGraph::new(),
-            keys: BTreeMap::new(),
-            matched: BTreeSet::new(),
-            cover: NodeMap::new(),
-            rng,
-        };
+        let mut nm = Self::empty(seed);
         // Rebuild through the incremental path so the invariant machinery
         // is exercised uniformly.
         let mut id_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
@@ -84,13 +96,49 @@ impl NativeMatching {
             id_map.insert(v, nm.graph.add_node());
         }
         debug_assert!(graph.nodes().all(|v| id_map[&v] == v), "fresh ids align");
-        rng = StdRng::seed_from_u64(seed);
-        nm.rng = rng;
         for key in graph.edges() {
             let (u, v) = key.endpoints();
             nm.insert_edge(u, v).expect("valid source graph");
         }
         nm
+    }
+
+    /// An empty structure (no nodes, no edges) seeded for key draws.
+    fn empty(seed: u64) -> Self {
+        NativeMatching {
+            graph: DynGraph::new(),
+            line_id: BTreeMap::new(),
+            slots: NodeMap::new(),
+            free: Vec::new(),
+            next_line: 0,
+            matched: NodeSet::new(),
+            cover: NodeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Admits a live edge into the arena, recycling a vacated id when one
+    /// is available.
+    fn alloc_line(&mut self, e: EdgeKey, key: u64) -> LineId {
+        let id = self.free.pop().unwrap_or_else(|| {
+            let id = NodeId(self.next_line);
+            self.next_line += 1;
+            id
+        });
+        debug_assert!(!self.matched.contains(id), "recycled id carries a bit");
+        self.slots.insert(id, (e, key));
+        self.line_id.insert(e, id);
+        id
+    }
+
+    /// Retires a deleted edge's id, clearing its matched bit first so the
+    /// recycled slot starts clean. Returns `(id, was_matched)`.
+    fn release_line(&mut self, e: EdgeKey) -> (LineId, bool) {
+        let id = self.line_id.remove(&e).expect("live edge");
+        let was_matched = self.matched.remove(id);
+        self.slots.remove(id);
+        self.free.push(id);
+        (id, was_matched)
     }
 
     /// The base graph.
@@ -99,20 +147,30 @@ impl NativeMatching {
         &self.graph
     }
 
-    /// The current maximal matching.
+    /// The current maximal matching, as sorted edge keys (the arena's
+    /// bitset is the storage; this materializes the stable public view).
     #[must_use]
     pub fn matching(&self) -> BTreeSet<EdgeKey> {
-        self.matched.clone()
+        self.matched.iter().map(|id| self.slots[id].0).collect()
+    }
+
+    /// Number of matched edges — a popcount on the arena bitset, no
+    /// materialization.
+    #[must_use]
+    pub fn matching_len(&self) -> usize {
+        self.matched.len()
     }
 
     /// Returns `true` if the edge `{u, v}` is currently matched.
     #[must_use]
     pub fn is_matched(&self, u: NodeId, v: NodeId) -> bool {
-        self.matched.contains(&EdgeKey::new(u, v))
+        self.line_id
+            .get(&EdgeKey::new(u, v))
+            .is_some_and(|&id| self.matched.contains(id))
     }
 
     fn priority_of(&self, e: EdgeKey) -> (u64, EdgeKey) {
-        (self.keys[&e], e)
+        (self.slots[self.line_id[&e]].1, e)
     }
 
     /// An edge wants to be matched iff neither endpoint is covered by a
@@ -151,26 +209,26 @@ impl NativeMatching {
     fn propagate(&mut self, seeds: Vec<EdgeKey>) -> MatchingReceipt {
         let mut heap: BinaryHeap<Reverse<((u64, EdgeKey), EdgeKey)>> = seeds
             .into_iter()
-            .filter(|e| self.keys.contains_key(e))
+            .filter(|e| self.line_id.contains_key(e))
             .map(|e| Reverse((self.priority_of(e), e)))
             .collect();
         let mut flips = Vec::new();
         while let Some(Reverse((prio, e))) = heap.pop() {
-            if !self.keys.contains_key(&e) {
+            let Some(&id) = self.line_id.get(&e) else {
                 continue; // edge vanished mid-batch
-            }
+            };
             let desired = self.desired(e);
-            let current = self.matched.contains(&e);
+            let current = self.matched.contains(id);
             if desired == current {
                 continue;
             }
             let (u, v) = e.endpoints();
             if desired {
-                self.matched.insert(e);
+                self.matched.insert(id);
                 self.cover.insert(u, e);
                 self.cover.insert(v, e);
             } else {
-                self.matched.remove(&e);
+                self.matched.remove(id);
                 for endpoint in [u, v] {
                     if self.cover.get(endpoint) == Some(&e) {
                         self.cover.remove(endpoint);
@@ -217,7 +275,7 @@ impl NativeMatching {
     ) -> Result<MatchingReceipt, GraphError> {
         self.graph.insert_edge(u, v)?;
         let e = EdgeKey::new(u, v);
-        self.keys.insert(e, key);
+        self.alloc_line(e, key);
         Ok(self.propagate(vec![e]))
     }
 
@@ -229,8 +287,7 @@ impl NativeMatching {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<MatchingReceipt, GraphError> {
         self.graph.remove_edge(u, v)?;
         let e = EdgeKey::new(u, v);
-        self.keys.remove(&e);
-        let was_matched = self.matched.remove(&e);
+        let (_, was_matched) = self.release_line(e);
         let mut seeds = Vec::new();
         if was_matched {
             for endpoint in [u, v] {
@@ -276,8 +333,25 @@ impl NativeMatching {
     ///
     /// Panics on divergence.
     pub fn assert_consistent(&self) {
+        // Arena integrity: the lookup table and the slot table are
+        // mutually inverse, the free list is disjoint from the live ids,
+        // and no vacant slot carries a matched bit.
+        assert_eq!(self.line_id.len(), self.slots.len(), "arena tables skewed");
+        assert_eq!(self.line_id.len(), self.graph.edge_count());
+        for (&e, &id) in &self.line_id {
+            assert_eq!(self.slots.get(id).map(|s| s.0), Some(e), "slot mismatch");
+        }
+        for &id in &self.free {
+            assert!(self.slots.get(id).is_none(), "freed id {id} still live");
+            assert!(!self.matched.contains(id), "freed id {id} still matched");
+        }
+        assert_eq!(
+            self.matching_len(),
+            self.matching().len(),
+            "popcount diverged from materialized matching"
+        );
         // From-scratch greedy: edges by increasing (key, edge).
-        let mut order: Vec<EdgeKey> = self.keys.keys().copied().collect();
+        let mut order: Vec<EdgeKey> = self.line_id.keys().copied().collect();
         order.sort_unstable_by_key(|&e| self.priority_of(e));
         let mut truth: BTreeSet<EdgeKey> = BTreeSet::new();
         let mut covered = NodeSet::new();
@@ -289,13 +363,14 @@ impl NativeMatching {
                 covered.insert(v);
             }
         }
-        assert_eq!(self.matched, truth, "matching diverged from greedy");
+        let matching = self.matching();
+        assert_eq!(matching, truth, "matching diverged from greedy");
         assert!(
-            crate::verify::is_maximal_matching(&self.graph, &self.matched),
+            crate::verify::is_maximal_matching(&self.graph, &matching),
             "matching is not maximal"
         );
         // Cover map agrees with the matched set.
-        for &e in &self.matched {
+        for &e in &matching {
             let (u, v) = e.endpoints();
             assert_eq!(self.cover.get(u), Some(&e));
             assert_eq!(self.cover.get(v), Some(&e));
@@ -335,13 +410,7 @@ mod tests {
         g.insert_edge(ids[0], ids[1]).unwrap();
         g.insert_edge(ids[1], ids[2]).unwrap();
         g.insert_edge(ids[2], ids[3]).unwrap();
-        let mut nm = NativeMatching {
-            graph: DynGraph::new(),
-            keys: BTreeMap::new(),
-            matched: BTreeSet::new(),
-            cover: NodeMap::new(),
-            rng: StdRng::seed_from_u64(0),
-        };
+        let mut nm = NativeMatching::empty(0);
         for _ in 0..4 {
             nm.add_node();
         }

@@ -68,5 +68,5 @@ pub use graph::{DynGraph, EdgeKey};
 pub use id::NodeId;
 pub use linegraph::LineGraphMirror;
 pub use shard::ShardLayout;
-pub use storage::{NodeMap, NodeSet};
+pub use storage::{NodeMap, NodeSet, RankFront};
 pub use traversal::{bfs_order, connected_components, is_connected, shortest_path_len};

@@ -326,6 +326,88 @@ impl NodeSet {
             .map(move |rem| NodeId((wi * 64 + rem.trailing_zeros() as usize) as u64))
         })
     }
+
+    /// The raw 64-bit words backing the set: bit `i % 64` of word `i / 64`
+    /// is set iff `NodeId(i)` is a member. Trailing words may be zero.
+    ///
+    /// This is the escape hatch for word-parallel kernels that want to
+    /// combine several sets without going through per-bit accessors.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// In-place union: `self ← self ∪ other`, whole words at a time.
+    ///
+    /// Cost is O(words of `other`) regardless of how many members change;
+    /// the cardinality is maintained by popcounting only the touched words.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let grown = b & !*a;
+            if grown != 0 {
+                *a |= b;
+                self.len += grown.count_ones() as usize;
+            }
+        }
+    }
+
+    /// In-place intersection: `self ← self ∩ other`, whole words at a time.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        for (wi, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(wi).copied().unwrap_or(0);
+            let lost = *a & !b;
+            if lost != 0 {
+                *a &= b;
+                self.len -= lost.count_ones() as usize;
+            }
+        }
+    }
+
+    /// In-place difference: `self ← self \ other`, whole words at a time.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let lost = *a & b;
+            if lost != 0 {
+                *a &= !b;
+                self.len -= lost.count_ones() as usize;
+            }
+        }
+    }
+
+    /// Inserts every id of an **ascending sorted** slice — the shape of a
+    /// [`crate::DynGraph`] neighbor slice — by building each 64-bit chunk
+    /// of the implied neighbor mask and OR-ing it in as one word.
+    ///
+    /// For a high-degree node this replaces `deg` bounds-checked per-bit
+    /// inserts with one read-modify-write per *occupied word*, which is
+    /// what makes candidate-front unions word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `ids` is sorted ascending (duplicates allowed).
+    pub fn insert_sorted_slice(&mut self, ids: &[NodeId]) {
+        debug_assert!(ids.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
+        let mut i = 0;
+        while i < ids.len() {
+            let word = slot(ids[i]) / 64;
+            let mut mask = 0u64;
+            while i < ids.len() && slot(ids[i]) / 64 == word {
+                mask |= 1u64 << (slot(ids[i]) % 64);
+                i += 1;
+            }
+            if word >= self.words.len() {
+                self.words.resize(word + 1, 0);
+            }
+            let grown = mask & !self.words[word];
+            if grown != 0 {
+                self.words[word] |= mask;
+                self.len += grown.count_ones() as usize;
+            }
+        }
+    }
 }
 
 impl PartialEq for NodeSet {
@@ -357,6 +439,158 @@ impl Extend<NodeId> for NodeSet {
         for id in iter {
             self.insert(id);
         }
+    }
+}
+
+/// A two-level bitset min-queue over a dense *rank* space — the
+/// word-parallel replacement for a `BinaryHeap` whose keys are a fixed
+/// permutation of a dense id space.
+///
+/// The pending set lives in leaf words (bit `r % 64` of `words[r / 64]`);
+/// a summary level keeps one bit per non-zero leaf word (bit `w % 64` of
+/// `summary[w / 64]`), so [`Self::pop_min`] finds the minimum pending
+/// rank with two `trailing_zeros` instructions once the scan cursor sits
+/// on a non-empty summary word. [`Self::insert`] touches exactly one word
+/// per level and can only *lower* the cursor, and every pop either stays
+/// on the cursor's summary word or advances it — so a full
+/// insert-all/pop-all cycle costs O(inserts + summary words spanned), not
+/// O(pending · log pending) like the heap it replaces, and performs **no
+/// allocation** once the backing words have grown to the rank span
+/// (capacity persists across [`Self::pop_min`] draining the queue).
+///
+/// Ranks must order-match the priority the caller settles by; producing
+/// them from a priority map is the engine crate's job (its `RankIndex`).
+/// Unlike a heap, inserting a rank already pending is a no-op (the queue
+/// is a *set*), which is exactly the settle loop's dedup semantics.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::RankFront;
+///
+/// let mut front = RankFront::new();
+/// front.insert(130);
+/// front.insert(7);
+/// assert!(!front.insert(7), "already pending");
+/// assert_eq!(front.pop_min(), Some(7));
+/// front.insert(2); // lower than anything popped so far: cursor rewinds
+/// assert_eq!(front.pop_min(), Some(2));
+/// assert_eq!(front.pop_min(), Some(130));
+/// assert_eq!(front.pop_min(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RankFront {
+    /// Leaf level: bit `r % 64` of `words[r / 64]` ⟺ rank `r` pending.
+    words: Vec<u64>,
+    /// Summary level: bit `w % 64` of `summary[w / 64]` ⟺ `words[w] ≠ 0`.
+    summary: Vec<u64>,
+    /// Lowest summary-word index that may hold a set bit. Monotone during
+    /// a drain; rewound by inserts below it.
+    cursor: usize,
+    /// Number of pending ranks.
+    len: usize,
+}
+
+impl RankFront {
+    /// Creates an empty front.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty front with room for ranks below `span` without
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(span: usize) -> Self {
+        RankFront {
+            words: Vec::with_capacity(span.div_ceil(64)),
+            summary: Vec::with_capacity(span.div_ceil(64 * 64)),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no rank is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `rank` is pending.
+    #[must_use]
+    pub fn contains(&self, rank: usize) -> bool {
+        self.words
+            .get(rank / 64)
+            .is_some_and(|w| w >> (rank % 64) & 1 == 1)
+    }
+
+    /// Marks `rank` pending; returns `true` if it was not already.
+    pub fn insert(&mut self, rank: usize) -> bool {
+        let (word, bit) = (rank / 64, 1u64 << (rank % 64));
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        if self.words[word] & bit != 0 {
+            return false;
+        }
+        self.words[word] |= bit;
+        let (sword, sbit) = (word / 64, 1u64 << (word % 64));
+        if sword >= self.summary.len() {
+            self.summary.resize(sword + 1, 0);
+        }
+        self.summary[sword] |= sbit;
+        self.cursor = self.cursor.min(sword);
+        self.len += 1;
+        true
+    }
+
+    /// Removes and returns the minimum pending rank, if any.
+    pub fn pop_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.summary[self.cursor] == 0 {
+            self.cursor += 1;
+        }
+        let sbit = self.summary[self.cursor].trailing_zeros() as usize;
+        let word = self.cursor * 64 + sbit;
+        let bit = self.words[word].trailing_zeros() as usize;
+        self.words[word] &= self.words[word] - 1;
+        if self.words[word] == 0 {
+            self.summary[self.cursor] &= !(1u64 << sbit);
+        }
+        self.len -= 1;
+        Some(word * 64 + bit)
+    }
+
+    /// Removes `rank` if pending; returns `true` if it was.
+    pub fn remove(&mut self, rank: usize) -> bool {
+        let (word, bit) = (rank / 64, 1u64 << (rank % 64));
+        match self.words.get_mut(word) {
+            Some(w) if *w & bit != 0 => {
+                *w &= !bit;
+                if *w == 0 {
+                    self.summary[word / 64] &= !(1u64 << (word % 64));
+                }
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes all pending ranks, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.summary.iter_mut().for_each(|w| *w = 0);
+        self.cursor = 0;
+        self.len = 0;
     }
 }
 
@@ -448,6 +682,154 @@ mod tests {
         b.remove(NodeId(500));
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), "{n3}");
+    }
+
+    #[test]
+    fn set_word_ops_match_per_bit_reference() {
+        let build = |ids: &[u64]| ids.iter().map(|&i| NodeId(i)).collect::<NodeSet>();
+        let a_ids = [0u64, 5, 63, 64, 130, 200];
+        let b_ids = [5u64, 64, 65, 129, 130, 512];
+        let reference = |op: fn(&u64, &[u64]) -> bool| {
+            a_ids
+                .iter()
+                .filter(|i| op(i, &b_ids))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+
+        let mut u = build(&a_ids);
+        u.union_with(&build(&b_ids));
+        let mut want: Vec<u64> = a_ids.iter().chain(&b_ids).copied().collect();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(u.iter().map(NodeId::index).collect::<Vec<_>>(), want);
+        assert_eq!(u.len(), want.len(), "popcount len after union");
+
+        let mut i = build(&a_ids);
+        i.intersect_with(&build(&b_ids));
+        let want = reference(|i, b| b.contains(i));
+        assert_eq!(i.iter().map(NodeId::index).collect::<Vec<_>>(), want);
+        assert_eq!(i.len(), want.len(), "popcount len after intersect");
+
+        let mut d = build(&a_ids);
+        d.difference_with(&build(&b_ids));
+        let want = reference(|i, b| !b.contains(i));
+        assert_eq!(d.iter().map(NodeId::index).collect::<Vec<_>>(), want);
+        assert_eq!(d.len(), want.len(), "popcount len after difference");
+
+        // Asymmetric word lengths: the shorter operand acts as zeros.
+        let mut small = build(&[1]);
+        small.intersect_with(&build(&[1, 1000]));
+        assert_eq!(small.len(), 1);
+        let mut small = build(&[1, 1000]);
+        small.intersect_with(&build(&[1]));
+        assert_eq!(small.iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn set_insert_sorted_slice_is_per_bit_equivalent() {
+        let ids: Vec<NodeId> = [3u64, 4, 5, 63, 64, 64, 127, 128, 500]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        let mut batched = NodeSet::new();
+        batched.insert(NodeId(4));
+        batched.insert(NodeId(700));
+        let mut per_bit = batched.clone();
+        batched.insert_sorted_slice(&ids);
+        per_bit.extend(ids.iter().copied());
+        assert_eq!(batched, per_bit);
+        assert_eq!(batched.len(), per_bit.len());
+        batched.insert_sorted_slice(&[]);
+        assert_eq!(batched, per_bit);
+    }
+
+    #[test]
+    fn set_words_expose_backing_bits() {
+        let s: NodeSet = [0u64, 1, 64].iter().map(|&i| NodeId(i)).collect();
+        assert_eq!(s.words(), &[0b11, 0b1]);
+    }
+
+    #[test]
+    fn front_pops_in_ascending_rank_order() {
+        let mut front = RankFront::new();
+        for r in [4096usize, 0, 63, 64, 65, 4095, 70000] {
+            assert!(front.insert(r));
+        }
+        assert!(!front.insert(63), "insert is idempotent");
+        assert_eq!(front.len(), 7);
+        assert!(front.contains(4095) && !front.contains(1));
+        let mut popped = Vec::new();
+        while let Some(r) = front.pop_min() {
+            popped.push(r);
+        }
+        assert_eq!(popped, vec![0, 63, 64, 65, 4095, 4096, 70000]);
+        assert!(front.is_empty());
+        assert_eq!(front.pop_min(), None);
+    }
+
+    #[test]
+    fn front_cursor_rewinds_on_lower_insert() {
+        let mut front = RankFront::new();
+        front.insert(10_000);
+        assert_eq!(front.pop_min(), Some(10_000));
+        // The cursor sits deep in the summary; a low insert must rewind it.
+        front.insert(3);
+        front.insert(20_000);
+        assert_eq!(front.pop_min(), Some(3));
+        assert_eq!(front.pop_min(), Some(20_000));
+        assert_eq!(front.pop_min(), None);
+    }
+
+    #[test]
+    fn front_matches_heap_on_random_interleavings() {
+        // Settle-loop shape: pushes during a drain are strictly above the
+        // last pop, plus arbitrary re-seeding between drains.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut front = RankFront::with_capacity(1 << 14);
+        let mut heap = std::collections::BinaryHeap::new();
+        let mut pending = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            for _ in 0..(next() % 8) {
+                let r = (next() % (1 << 14)) as usize;
+                let fresh = pending.insert(r);
+                assert_eq!(front.insert(r), fresh, "insert at {r}");
+                if fresh {
+                    heap.push(std::cmp::Reverse(r));
+                }
+            }
+            for _ in 0..(next() % 10) {
+                let want = heap.pop().map(|std::cmp::Reverse(r)| {
+                    assert!(pending.remove(&r), "models agree on membership");
+                    r
+                });
+                assert_eq!(front.pop_min(), want);
+            }
+            assert_eq!(front.len(), pending.len());
+        }
+    }
+
+    #[test]
+    fn front_remove_and_clear() {
+        let mut front = RankFront::new();
+        front.insert(5);
+        front.insert(900);
+        assert!(front.remove(5));
+        assert!(!front.remove(5));
+        assert!(!front.remove(4000), "past the word vector");
+        assert_eq!(front.pop_min(), Some(900));
+        front.insert(1);
+        front.clear();
+        assert!(front.is_empty());
+        assert_eq!(front.pop_min(), None);
+        front.insert(64);
+        assert_eq!(front.pop_min(), Some(64));
     }
 
     #[test]

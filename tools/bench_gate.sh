@@ -6,6 +6,12 @@
 #   - the dense/BTree speedup of any graph size drops below 1x, or
 #   - the dense per-update latency regresses by more than
 #     BENCH_GATE_MAX_RATIO (default 2.0) vs the committed number, or
+#   - in the fresh "front" section, the rank-bitset settle front's
+#     speedup over the retained BinaryHeap drain drops below
+#     BENCH_GATE_FRONT_MIN_SPEEDUP (default 1.0) at any size — i.e. CI
+#     fails if the front is ever slower than the heap it replaced. Both
+#     rows come from the same fresh run (fresh-vs-fresh, like the
+#     parallel gate), so the check is fidelity-independent, or
 #   - in the fresh "parallel" section, the thread-executed engine at
 #     K=4/threads=4 is slower than the sequential K=1/threads=1 row by
 #     more than BENCH_GATE_PAR_MAX_RATIO (default 3.0). Both rows come
@@ -31,6 +37,7 @@ fresh="${1:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 committed="${2:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
 par_max_ratio="${BENCH_GATE_PAR_MAX_RATIO:-3.0}"
+front_min_speedup="${BENCH_GATE_FRONT_MIN_SPEEDUP:-1.0}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -46,6 +53,14 @@ field() {
 pfield() {
   { grep -o "{\"n\": $2, \"shards\": $3, \"threads\": $4,[^}]*}" "$1" \
     | head -n 1 | grep -o "\"$5\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# ffield <file> <n> <key>: value of <key> in the "front" entry for n=<n>.
+# The leading key sequence "n", "front_ns_per_change" is unique to that
+# section, so "results" rows with the same n cannot shadow it.
+ffield() {
+  { grep -o "{\"n\": $2, \"front_ns_per_change\"[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$3\": [0-9.]*" | awk '{print $2}'; } || true
 }
 
 status=0
@@ -68,6 +83,25 @@ for n in 100 1000; do
     status=1
   fi
   echo "bench gate: n=$n speedup=${speedup}x dense=${dense_new}ns (committed ${dense_old}ns)"
+done
+
+# Settle-front gate: the rank-bitset front must never be slower than the
+# BinaryHeap drain it replaced. Fresh-vs-fresh on the same run, so
+# machine speed and iteration counts cancel out.
+for n in 1000 4096; do
+  fspeed="$(ffield "$fresh" "$n" speedup)"
+  fns="$(ffield "$fresh" "$n" front_ns_per_change)"
+  hns="$(ffield "$fresh" "$n" heap_ns_per_change)"
+  if [ -z "$fspeed" ] || [ -z "$fns" ] || [ -z "$hns" ]; then
+    echo "bench gate: missing \"front\" entry for n=$n in $fresh" >&2
+    status=1
+    continue
+  fi
+  if ! awk -v s="$fspeed" -v m="$front_min_speedup" 'BEGIN { exit !(s >= m) }'; then
+    echo "bench gate FAIL: front/heap speedup ${fspeed}x < ${front_min_speedup}x at n=$n (front ${fns}ns, heap ${hns}ns per change)" >&2
+    status=1
+  fi
+  echo "bench gate: front n=$n speedup=${fspeed}x (front ${fns}ns vs heap ${hns}ns per change)"
 done
 
 # Parallel-execution gate: the worker-thread plumbing must not tax the
