@@ -14,7 +14,15 @@
 //! K ∈ {1, 2, 4} × threads ∈ {1, 2, 4}, as single-toggle latency
 //! (`"parallel"` section, gated by `tools/bench_gate.sh`) and as
 //! large-batch settle throughput (`"parallel_batch"` section, where the
-//! epoch executor actually engages its worker threads). `cargo bench
+//! epoch executor actually engages its worker threads), and the
+//! `engine_ingest` sweep: a flapping change stream through the
+//! coalescing ingestion queue at watermarks Q ∈ {1, 16, 64}
+//! (`"ingest"` section — per-change latency, flush counts, and the
+//! coalesce fraction `tools/bench_gate.sh` checks via
+//! `BENCH_GATE_INGEST_MIN_COALESCE`). The engine rows all drive
+//! `dyn DynamicMis` through one shared metering loop
+//! (`measure_engine_toggle_ns`) built by `Engine::builder` — the
+//! per-engine copies of the toggle harness are gone. `cargo bench
 //! --bench engine_updates -- --test` runs everything in single-pass smoke
 //! mode and still emits the snapshot (with reduced iteration counts).
 
@@ -24,9 +32,11 @@ use std::time::Instant;
 
 use dmis_bench::baseline_btree::BTreeMisEngine;
 use dmis_core::{
-    static_greedy, MisEngine, ParallelShardedMisEngine, SettleStrategy, ShardedMisEngine,
+    static_greedy, DynamicMis, Engine, MisEngine, ParallelShardedMisEngine, SettleStrategy,
+    ShardedMisEngine,
 };
 use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
+use dmis_sim::IngestRun;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,7 +105,9 @@ fn bench_node_churn(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("insert_delete_node", n), &n, |b, _| {
             let mut engine = MisEngine::from_graph(g.clone(), 3);
             b.iter(|| {
-                let (v, _) = engine.insert_node([ids[0], ids[1], ids[2]]).expect("valid");
+                let (v, _) = engine
+                    .insert_node(&[ids[0], ids[1], ids[2]])
+                    .expect("valid");
                 black_box(engine.remove_node(v).expect("valid"));
             });
         });
@@ -287,10 +299,38 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ingestion queue on the flapping-stream workload: a 256-change
+/// window pushed through `IngestRun` per iteration, swept over the
+/// auto-flush watermark. Q=1 is unbatched per-change application; deeper
+/// queues amortize settle passes and cancel opposing churn before any
+/// settle work. The snapshot's `"ingest"` section re-measures this
+/// workload and `tools/bench_gate.sh` checks the deep-queue coalesce
+/// fraction (`BENCH_GATE_INGEST_MIN_COALESCE`).
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ingest");
+    let n = 1000usize;
+    let (g, edges) = toggle_workload(n);
+    let pool: Vec<(NodeId, NodeId)> = edges.iter().copied().take(32).collect();
+    let stream = flapping_stream(&g, &pool, 256);
+    for &q in &[1usize, 16, 64] {
+        let name = format!("ingest_flapping_q{q}");
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, q, 42);
+            b.iter(|| {
+                for change in &stream {
+                    black_box(run.push(change).expect("valid"));
+                }
+                black_box(run.flush().expect("valid"));
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_update_vs_recompute, bench_node_churn, bench_dense_vs_btree, bench_front_vs_heap, bench_sharding, bench_parallel
+    targets = bench_update_vs_recompute, bench_node_churn, bench_dense_vs_btree, bench_front_vs_heap, bench_sharding, bench_parallel, bench_ingest
 }
 
 /// Median wall-clock nanoseconds per toggle over `iters` toggles.
@@ -337,6 +377,42 @@ fn measure_interleaved_ns(
     (a_ns[a_ns.len() / 2], b_ns[b_ns.len() / 2])
 }
 
+/// Median ns per edge toggle of any [`DynamicMis`] engine — the shared
+/// metering loop behind the snapshot's dense, sharded, and parallel
+/// rows. One harness, every engine flavor: the per-engine copies of this
+/// loop were deleted when the unified API landed.
+fn measure_engine_toggle_ns(
+    engine: &mut dyn DynamicMis,
+    edges: &[(NodeId, NodeId)],
+    iters: usize,
+    samples: usize,
+) -> f64 {
+    let mut i = 0usize;
+    measure_toggle_ns(
+        || {
+            let (u, v) = edges[i % edges.len()];
+            i += 1;
+            black_box(engine.remove_edge(u, v).expect("valid"));
+            black_box(engine.insert_edge(u, v).expect("valid"));
+        },
+        iters,
+        samples,
+    )
+}
+
+/// The bench's flapping workload: a **closed** toggle stream
+/// ([`dmis_graph::stream::flapping_stream`]) over a bounded pool of
+/// `g`'s own edges, so replaying it per bench iteration / snapshot
+/// sample stays valid indefinitely.
+fn flapping_stream(
+    g: &dmis_graph::DynGraph,
+    pool: &[(NodeId, NodeId)],
+    len: usize,
+) -> Vec<TopologyChange> {
+    let mut rng = StdRng::seed_from_u64(29);
+    dmis_graph::stream::flapping_stream(g, pool, len, true, &mut rng)
+}
+
 /// Writes the dense-vs-BTree latency snapshot consumed by CI.
 fn write_snapshot(test_mode: bool) {
     let (iters, samples) = if test_mode { (16, 3) } else { (512, 9) };
@@ -345,18 +421,8 @@ fn write_snapshot(test_mode: bool) {
     for &n in &[100usize, 1000] {
         let (g, edges) = toggle_workload(n);
 
-        let mut dense = MisEngine::from_graph(g.clone(), 42);
-        let mut i = 0usize;
-        let dense_ns = measure_toggle_ns(
-            || {
-                let (u, v) = edges[i % edges.len()];
-                i += 1;
-                black_box(dense.remove_edge(u, v).expect("valid"));
-                black_box(dense.insert_edge(u, v).expect("valid"));
-            },
-            iters,
-            samples,
-        );
+        let mut dense = Engine::builder().graph(g.clone()).seed(42).build();
+        let dense_ns = measure_engine_toggle_ns(&mut *dense, &edges, iters, samples);
 
         let mut btree = BTreeMisEngine::from_graph(&g, 42);
         let mut j = 0usize;
@@ -457,7 +523,11 @@ fn write_snapshot(test_mode: bool) {
     for &n in &[100usize, 1000] {
         let (g, edges) = toggle_workload(n);
         for &k in &SHARD_COUNTS {
-            let mut engine = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), 42);
+            let mut engine = Engine::builder()
+                .graph(g.clone())
+                .seed(42)
+                .sharding(ShardLayout::striped(k))
+                .build();
             let mut i = 0usize;
             let mut handoffs = 0usize;
             let mut toggles = 0usize;
@@ -497,19 +567,13 @@ fn write_snapshot(test_mode: bool) {
         let (g, edges) = toggle_workload(n);
         for &k in &SHARD_COUNTS {
             for &t in &THREAD_COUNTS {
-                let mut engine =
-                    ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), t, 42);
-                let mut i = 0usize;
-                let ns = measure_toggle_ns(
-                    || {
-                        let (u, v) = edges[i % edges.len()];
-                        i += 1;
-                        black_box(engine.remove_edge(u, v).expect("valid"));
-                        black_box(engine.insert_edge(u, v).expect("valid"));
-                    },
-                    iters,
-                    samples,
-                );
+                let mut engine = Engine::builder()
+                    .graph(g.clone())
+                    .seed(42)
+                    .sharding(ShardLayout::striped(k))
+                    .threads(t)
+                    .build();
+                let ns = measure_engine_toggle_ns(&mut *engine, &edges, iters, samples);
                 par_entries.push(format!(
                     "  {{\"n\": {n}, \"shards\": {k}, \"threads\": {t}, \
                      \"ns_per_toggle\": {ns:.1}}}"
@@ -562,19 +626,58 @@ fn write_snapshot(test_mode: bool) {
             }
         }
     }
+    // Ingestion sweep: the flapping stream (bounded edge pool, so
+    // windows revisit edges) through the coalescing queue at increasing
+    // watermarks. ns_per_change prices the amortization win;
+    // coalesce_fraction is the share of pushed changes the queue
+    // eliminated before any settle work — the quantity the bench gate
+    // checks at the deepest queue.
+    let mut ingest_entries = Vec::new();
+    {
+        let n = 1000usize;
+        let (g, edges) = toggle_workload(n);
+        let pool: Vec<(NodeId, NodeId)> = edges.iter().copied().take(32).collect();
+        let stream_len = if test_mode { 512 } else { 4096 };
+        let stream = flapping_stream(&g, &pool, stream_len);
+        for &q in &[1usize, 16, 64] {
+            let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, q, 42);
+            let mut per_sample: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    for change in &stream {
+                        black_box(run.push(change).expect("valid"));
+                    }
+                    black_box(run.flush().expect("valid"));
+                    start.elapsed().as_nanos() as f64 / stream.len() as f64
+                })
+                .collect();
+            per_sample.sort_by(f64::total_cmp);
+            let ns = per_sample[per_sample.len() / 2];
+            let fraction = run.coalesced_changes() as f64 / run.pushed() as f64;
+            ingest_entries.push(format!(
+                "  {{\"n\": {n}, \"queue_depth\": {q}, \"ns_per_change\": {ns:.1}, \
+                 \"coalesce_fraction\": {fraction:.3}, \"flushes\": {}, \
+                 \"pushed\": {}}}",
+                run.flushes(),
+                run.pushed()
+            ));
+        }
+    }
     let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/BENCH_engine.json");
     let body = format!(
         "{{\"bench\": \"engine_updates\", \"workload\": \"er_random_edge_toggle\", \
          \"mode\": \"{}\", \"results\": [\n{}\n],\n \"front\": [\n{}\n],\n \
          \"sharding\": [\n{}\n],\n \
-         \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n]}}\n",
+         \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n],\n \
+         \"ingest\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
         front_entries.join(",\n"),
         shard_entries.join(",\n"),
         par_entries.join(",\n"),
-        par_batch_entries.join(",\n")
+        par_batch_entries.join(",\n"),
+        ingest_entries.join(",\n")
     );
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),

@@ -15,6 +15,18 @@
 //! (first table), handoff traffic stays a small multiple of the batch
 //! size even though under striping most edges span shards.
 //!
+//! A fourth table adds the **queue-depth axis** (the ROADMAP's
+//! async-batching measurement): the adversary's change stream is fed
+//! through [`dmis_sim::IngestRun`] — the coalescing ingestion queue in
+//! front of a K = 4 sharded engine — at watermarks Q ∈ {1, 4, 16, 64}.
+//! Deeper queues amortize settle passes (fewer flushes, fewer settle
+//! epochs = rounds) and cancel opposing churn outright (coalesced
+//! changes never cost a single heap pop), at the price of queueing
+//! latency: a change waits, on average, ~(Q−1)/2 arrivals before its
+//! flush makes it visible. That latency-vs-work trade-off is exactly
+//! what the table sweeps, and outputs are watermark-invariant (checked
+//! per trial against unbatched application).
+//!
 //! A third table adds the **thread axis**: the same batches on
 //! [`ParallelShardedMisEngine`] (K = 4, spawn threshold 0 so the worker
 //! threads really run), metering wall-clock against the two quantities
@@ -26,10 +38,10 @@
 
 use std::time::Instant;
 
-use dmis_core::{template, MisEngine, ParallelShardedMisEngine, ShardedMisEngine};
+use dmis_core::{template, DynamicMis, MisEngine, ParallelShardedMisEngine, ShardedMisEngine};
 use dmis_graph::stream::{self, ChurnConfig};
-use dmis_graph::ShardLayout;
-use dmis_graph::{generators, TopologyChange};
+use dmis_graph::{generators, DynGraph, ShardLayout, TopologyChange};
+use dmis_sim::IngestRun;
 
 use super::common::{random_priorities, trial_rng};
 use super::Report;
@@ -52,6 +64,19 @@ fn build_batch(
         batch.push(c);
     }
     Some(batch)
+}
+
+/// A length-`len` flapping stream over a bounded pool of 24 candidate
+/// edges of `g` ([`stream::flapping_stream`]): nearby changes regularly
+/// hit the same edge — the workload shape where a coalescing queue can
+/// cancel work.
+fn toggle_pool_stream(
+    g: &DynGraph,
+    len: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Vec<TopologyChange> {
+    let pool = stream::random_pair_pool(g, 24, rng);
+    stream::flapping_stream(g, &pool, len, false, rng)
 }
 
 /// Runs experiment E12.
@@ -215,6 +240,66 @@ pub fn run(quick: bool) -> Report {
             ]);
         }
     }
+    // Queue-depth axis: the ingestion queue in front of the K=4 sharded
+    // engine. The stream is a toggle stream over a bounded edge pool so
+    // windows revisit edges (realistic flapping churn) and the coalescer
+    // has real cancel opportunities.
+    let ingest_trials = (trials / 8).max(8);
+    let ingest_stream_len = if quick { 192 } else { 512 };
+    let depths: &[usize] = &[1, 4, 16, 64];
+    let mut ingest_table = Table::new(vec![
+        "queue depth Q",
+        "flushes",
+        "coalesced %",
+        "rounds total",
+        "broadcasts total",
+        "mean queue delay",
+        "wall µs/change (mean ± CI)",
+        "invariant outputs",
+    ]);
+    for &q in depths {
+        let mut flushes = Vec::with_capacity(ingest_trials);
+        let mut coalesced_pct = Vec::with_capacity(ingest_trials);
+        let mut rounds = Vec::with_capacity(ingest_trials);
+        let mut broadcasts = Vec::with_capacity(ingest_trials);
+        let mut delays = Vec::with_capacity(ingest_trials);
+        let mut wall_us = Vec::with_capacity(ingest_trials);
+        let mut invariant = true;
+        for trial in 0..ingest_trials {
+            let mut rng = trial_rng(12_900, trial as u64);
+            let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
+            let stream = toggle_pool_stream(&g, ingest_stream_len, &mut rng);
+            let seed = 8_000 + trial as u64;
+            // Oracle: unbatched application of the same stream.
+            let mut oracle = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, 1, seed);
+            for c in &stream {
+                oracle.push(c).expect("valid stream");
+            }
+            let mut run = IngestRun::bootstrap(g, ShardLayout::striped(4), 1, q, seed);
+            let start = Instant::now();
+            for c in &stream {
+                run.push(c).expect("valid stream");
+            }
+            run.flush().expect("valid tail");
+            wall_us.push(start.elapsed().as_secs_f64() * 1e6 / stream.len() as f64);
+            invariant &= run.mis() == oracle.mis();
+            flushes.push(run.flushes());
+            coalesced_pct.push((100 * run.coalesced_changes()) / stream.len());
+            rounds.push(run.lifetime_metrics().rounds);
+            broadcasts.push(run.lifetime_metrics().broadcasts);
+            delays.push(run.mean_queue_delay() as usize);
+        }
+        ingest_table.row(vec![
+            q.to_string(),
+            Summary::of_counts(&flushes).mean_ci(),
+            Summary::of_counts(&coalesced_pct).mean_ci(),
+            Summary::of_counts(&rounds).mean_ci(),
+            Summary::of_counts(&broadcasts).mean_ci(),
+            Summary::of_counts(&delays).mean_ci(),
+            Summary::of(&wall_us).mean_ci(),
+            if invariant { "yes".into() } else { "NO".into() },
+        ]);
+    }
     let body = format!(
         "k simultaneous random changes on ER(n={n}, 8/n); {trials} fresh \
          orders per k; the same batch is also replayed one change at a \
@@ -241,7 +326,17 @@ pub fn run(quick: bool) -> Report {
          sizes the cascades are small and the spawn cost dominates, which \
          is why the production engine keeps a spawn threshold: threads \
          engage on large merged recoveries, never on Theorem-1-sized \
-         cascades.\n"
+         cascades.\n\n\
+         Queue-depth axis ({ingest_trials} trials per Q, \
+         {ingest_stream_len}-change flapping streams through \
+         `dmis_sim::IngestRun`, K = 4 striped):\n\n{ingest_table}\n\
+         Reading: deeper queues flush less often, cancel a growing share \
+         of the churn before any settle work (coalesced %), and shrink \
+         the total settle rounds and cross-shard broadcasts — while the \
+         mean queue delay grows ≈ (Q−1)/2, the latency price of \
+         batching. Outputs are invariant across the whole axis (the MIS \
+         is history independent, so a coalesced window settles to the \
+         same output as unbatched application).\n"
     );
     Report {
         id: "E12",
@@ -283,6 +378,38 @@ mod tests {
     }
 
     #[test]
+    fn e12_quick_queue_depth_axis_trades_latency_for_work() {
+        let report = run(true);
+        // Parse the queue-depth table rows: Q, flushes, coalesced %, …
+        let row = |q: &str| -> Vec<String> {
+            report
+                .body
+                .lines()
+                .rfind(|l| l.starts_with(&format!("| {q} ")))
+                .unwrap_or_else(|| panic!("row for Q={q}"))
+                .split('|')
+                .map(|c| c.trim().to_string())
+                .collect()
+        };
+        let first =
+            |cell: &str| -> f64 { cell.split_whitespace().next().unwrap().parse().unwrap() };
+        let (q1, q64) = (row("1"), row("64"));
+        assert_eq!(q1.last().map(String::as_str), Some(""), "table shape");
+        // Outputs invariant across the axis.
+        assert_eq!(q1[q1.len() - 2], "yes");
+        assert_eq!(q64[q64.len() - 2], "yes");
+        // Deeper queue: fewer flushes, more coalescing, more delay.
+        assert!(first(&q64[2]) < first(&q1[2]), "flushes must drop with Q");
+        assert!(
+            first(&q64[3]) > first(&q1[3]),
+            "coalesced % must grow with Q ({} vs {})",
+            q64[3],
+            q1[3]
+        );
+        assert!(first(&q64[6]) > first(&q1[6]), "queue delay grows with Q");
+    }
+
+    #[test]
     fn e12_quick_sharded_axis_is_bit_identical() {
         let report = run(true);
         let identical_rows: Vec<&str> = report
@@ -290,12 +417,13 @@ mod tests {
             .lines()
             .filter(|l| l.split('|').count() >= 6 && l.contains("yes"))
             .collect();
-        // One bit-identical shard row per batch size, plus one per batch
-        // size × thread count in the thread-axis table.
+        // One bit-identical shard row per batch size, one per batch
+        // size × thread count in the thread-axis table, and one
+        // invariant-output row per queue depth.
         assert_eq!(
             identical_rows.len(),
-            3 + 9,
-            "every shard/thread row must be bit-identical: {report}"
+            3 + 9 + 4,
+            "every shard/thread/queue row must be bit-identical: {report}"
         );
     }
 }

@@ -8,6 +8,7 @@
 //! counters stay flat, and the same holds on a geometric (wireless-style)
 //! topology, not just ER.
 
+use dmis_core::DynamicMis;
 use dmis_core::MisEngine;
 use dmis_graph::generators;
 use dmis_graph::stream::{self, ChurnConfig};

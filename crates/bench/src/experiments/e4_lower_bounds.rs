@@ -10,6 +10,7 @@
 //!    possible: with probability ≈ 1/2 the cascade contains a step with
 //!    ≥ k adjustments.
 
+use dmis_core::DynamicMis;
 use dmis_core::MisEngine;
 use dmis_graph::stream;
 use dmis_protocol::DeterministicGreedy;

@@ -41,7 +41,7 @@ pub fn run(quick: bool) -> Report {
             for trial in 0..trials {
                 let mut prio_rng = trial_rng(5500 + inst as u64, trial as u64);
                 let pm = random_priorities(&g, &mut prio_rng);
-                let mis = static_greedy::greedy_mis(&g, &pm);
+                let mis = static_greedy::greedy_mis_dense(&g, &pm);
                 let clustering = from_mis(&g, &pm, &mis);
                 costs.push(clustering.cost(&g));
             }

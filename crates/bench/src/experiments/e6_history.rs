@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use dmis_core::DynamicMis;
 use dmis_core::MisEngine;
 use dmis_graph::{DynGraph, NodeId, TopologyChange};
 

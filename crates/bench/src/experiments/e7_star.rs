@@ -7,6 +7,7 @@
 //! `(1/n)·1 + (1 − 1/n)·(n−1)` — within a constant factor of the maximum
 //! independent set.
 
+use dmis_core::DynamicMis;
 use dmis_core::MisEngine;
 use dmis_graph::stream;
 use dmis_graph::DynGraph;

@@ -10,6 +10,7 @@
 //! question); we measure the per-change recoloring count next to the MIS
 //! adjustment count on the same graphs to exhibit the gap.
 
+use dmis_core::DynamicMis;
 use dmis_core::MisEngine;
 use dmis_derived::ColoringEngine;
 use dmis_graph::{generators, TopologyChange};
@@ -82,9 +83,7 @@ pub fn run(quick: bool) -> Report {
             }
             .expect("valid change");
             let r2 = match &change {
-                TopologyChange::InsertNode { edges, .. } => {
-                    me.insert_node(edges.iter().copied()).map(|(_, r)| r)
-                }
+                TopologyChange::InsertNode { edges, .. } => me.insert_node(edges).map(|(_, r)| r),
                 other => me.apply(other),
             }
             .expect("valid change");

@@ -1,7 +1,7 @@
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use dmis_core::PriorityMap;
-use dmis_graph::{DynGraph, NodeId, NodeMap};
+use dmis_graph::{DynGraph, NodeId, NodeMap, NodeSet};
 
 /// A partition of a graph's nodes into clusters, each named by a *center*
 /// node.
@@ -155,16 +155,16 @@ impl FromIterator<(NodeId, NodeId)> for Clustering {
 /// Panics if `mis` is not maximal in `g` (a non-member without member
 /// neighbors) or priorities are missing.
 #[must_use]
-pub fn from_mis(g: &DynGraph, priorities: &PriorityMap, mis: &BTreeSet<NodeId>) -> Clustering {
+pub fn from_mis(g: &DynGraph, priorities: &PriorityMap, mis: &NodeSet) -> Clustering {
     let mut clustering = Clustering::new();
     for v in g.nodes() {
-        if mis.contains(&v) {
+        if mis.contains(v) {
             clustering.assign(v, v);
         } else {
             let center = g
                 .neighbors(v)
                 .expect("live node")
-                .filter(|u| mis.contains(u))
+                .filter(|&u| mis.contains(u))
                 .min_by_key(|&u| priorities.of(u))
                 .unwrap_or_else(|| panic!("{v} has no MIS neighbor: set not maximal"));
             clustering.assign(v, center);
@@ -217,8 +217,12 @@ mod tests {
         // Path p1 - p0 - p2 (star with center p0): order p1 < p2 < p0.
         let (g, ids) = generators::star(3);
         let pm = dmis_core::PriorityMap::from_order(&[ids[1], ids[2], ids[0]]);
-        let mis = static_greedy::greedy_mis(&g, &pm);
-        assert_eq!(mis, [ids[1], ids[2]].into_iter().collect());
+        let mis = static_greedy::greedy_mis_dense(&g, &pm);
+        assert_eq!(
+            mis.iter().collect::<Vec<_>>(),
+            vec![ids[1], ids[2]],
+            "leaves are the MIS"
+        );
         let c = from_mis(&g, &pm, &mis);
         assert_eq!(c.center_of(ids[0]), Some(ids[1]), "smallest-order MIS nbr");
         assert_eq!(c.center_of(ids[1]), Some(ids[1]));
@@ -234,13 +238,13 @@ mod tests {
             for v in g.nodes() {
                 pm.assign(v, &mut prio_rng);
             }
-            let mis = static_greedy::greedy_mis(&g, &pm);
+            let mis = static_greedy::greedy_mis_dense(&g, &pm);
             let c = from_mis(&g, &pm, &mis);
             assert_eq!(c.len(), g.node_count());
             // Every center is an MIS node and its own center.
             for (v, center) in c.iter() {
-                assert!(mis.contains(&center));
-                if mis.contains(&v) {
+                assert!(mis.contains(center));
+                if mis.contains(v) {
                     assert_eq!(center, v);
                 }
             }

@@ -1,6 +1,6 @@
 use std::collections::BTreeSet;
 
-use dmis_core::{MisEngine, UpdateReceipt};
+use dmis_core::{DynamicMis, MisEngine, UpdateReceipt};
 use dmis_graph::{DynGraph, GraphError, NodeId, NodeSet, TopologyChange};
 
 use crate::{from_mis, Clustering};
@@ -40,7 +40,11 @@ impl DynamicClustering {
     #[must_use]
     pub fn new(graph: DynGraph, seed: u64) -> Self {
         let engine = MisEngine::from_graph(graph, seed);
-        let clustering = from_mis(engine.graph(), engine.priorities(), &engine.mis());
+        let clustering = from_mis(
+            engine.graph(),
+            engine.priorities(),
+            &engine.mis_iter().collect(),
+        );
         DynamicClustering { engine, clustering }
     }
 
@@ -151,7 +155,7 @@ impl DynamicClustering {
         let fresh = from_mis(
             self.engine.graph(),
             self.engine.priorities(),
-            &self.engine.mis(),
+            &self.engine.mis_iter().collect(),
         );
         assert_eq!(
             self.clustering, fresh,
@@ -197,7 +201,11 @@ mod tests {
         let (g, ids) = generators::path(4);
         let pm = dmis_core::PriorityMap::from_order(&ids);
         let engine = MisEngine::from_parts(g, pm, 0);
-        let clustering = from_mis(engine.graph(), engine.priorities(), &engine.mis());
+        let clustering = from_mis(
+            engine.graph(),
+            engine.priorities(),
+            &engine.mis_iter().collect(),
+        );
         let mut dc = DynamicClustering { engine, clustering };
         let (receipt, relabelled) = dc
             .apply(&TopologyChange::DeleteEdge(ids[0], ids[1]))
@@ -212,7 +220,11 @@ mod tests {
         let (g, ids) = generators::star(6);
         let pm = dmis_core::PriorityMap::from_order(&ids); // center first
         let engine = MisEngine::from_parts(g, pm, 0);
-        let clustering = from_mis(engine.graph(), engine.priorities(), &engine.mis());
+        let clustering = from_mis(
+            engine.graph(),
+            engine.priorities(),
+            &engine.mis_iter().collect(),
+        );
         let mut dc = DynamicClustering { engine, clustering };
         // All leaves belong to the center's cluster; delete the center.
         dc.apply(&TopologyChange::DeleteNode(ids[0])).unwrap();

@@ -1,0 +1,953 @@
+//! The unified engine API: one trait, one builder, one ingestion queue.
+//!
+//! Before this layer existed, the paper's update/query surface was
+//! hand-copied three times — once per engine — and every consumer (the
+//! equivalence suites, the bench harnesses, the simulator runners) was
+//! monomorphized against one concrete engine by copy-paste. This module
+//! collapses that:
+//!
+//! - [`DynamicMis`] is the object-safe trait capturing the full
+//!   update/receipt/query surface shared by [`crate::MisEngine`],
+//!   [`crate::ShardedMisEngine`], and
+//!   [`crate::ParallelShardedMisEngine`]. The convenience layer that used
+//!   to be triplicated (`apply` dispatch, `insert_node` key draws,
+//!   [`DynamicMis::mis`]'s ordered-set materialization, `state`) lives
+//!   here once, as provided methods over the engines' primitives.
+//! - [`Engine`] / [`EngineBuilder`] replace the three divergent
+//!   `new`/`from_graph`/`from_parts` constructor families with one
+//!   axis-based builder: every engine flavor is a point in
+//!   (seed, graph, π, sharding, threads, spawn threshold, settle
+//!   strategy) space, and [`EngineBuilder::build`] picks the cheapest
+//!   engine that realizes the configured axes behind a
+//!   `Box<dyn DynamicMis>`.
+//! - [`IngestSession`] is the change-ingestion queue the ROADMAP's
+//!   async-batching item asked for: [`IngestSession::push`] coalesces the
+//!   adversary's stream (opposing changes on the same edge cancel,
+//!   duplicate changes collapse last-writer-wins), and
+//!   [`IngestSession::flush`] settles one merged batch, returning a
+//!   [`BatchReceipt`] extended with the number of coalesced-away changes
+//!   ([`IngestReceipt`]). A configurable watermark auto-flushes when the
+//!   queue grows past it — the queue-depth axis experiment E12 sweeps.
+//!
+//! # Why receipts stay comparable
+//!
+//! Coalescing never changes the net topology of a flush: an
+//! insert+delete pair on the same edge is a topological no-op, and the
+//! maintained MIS is *history independent* (Section 5 of the paper), so
+//! the settled output — and hence the receipt's flip log, which reports
+//! net first-touch-vs-final flips — depends only on the net topology.
+//! What coalescing does change is the *work counters* (fewer settle pops,
+//! fewer counter updates): that delta is exactly the measurement the
+//! ingestion queue exists to expose, and the property suite
+//! (`crates/core/tests/ingest_session.rs`) pins both halves — flips
+//! identical to the raw stream, work identical to `apply_batch` of the
+//! coalesced stream — for K ∈ {1, 2, 4} shards × {1, 2} threads.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, ShardLayout, TopologyChange};
+
+use crate::invariant::InvariantViolation;
+use crate::{
+    BatchReceipt, MisEngine, MisState, ParallelShardedMisEngine, PriorityMap, SettleStrategy,
+    ShardedMisEngine, UpdateReceipt,
+};
+
+/// The full surface of a dynamic-MIS maintainer: topology updates that
+/// return auditable [`UpdateReceipt`]s, batched updates, and the query
+/// side (membership, iteration, invariant checks).
+///
+/// The trait is **object safe** — `Box<dyn DynamicMis>` is a first-class
+/// engine, which is what lets one equivalence suite, one bench harness,
+/// and one simulator runner drive all three engines through a single code
+/// path. Iterator-returning queries box their iterators for that reason;
+/// [`DynamicMis::mis`]'s `BTreeSet` materialization is a convenience
+/// built on [`DynamicMis::mis_iter`] (metering loops should prefer
+/// `mis_iter`/[`DynamicMis::mis_len`], which never allocate).
+///
+/// All three engines are implementations; they are observationally
+/// equivalent on every change stream (same seed ⇒ same MIS, same
+/// adjustment sets), which the trait-conformance suite
+/// (`crates/core/tests/trait_conformance.rs`) pins through `dyn
+/// DynamicMis` alone.
+///
+/// # Example
+///
+/// ```
+/// use dmis_core::{DynamicMis, Engine};
+/// use dmis_graph::{generators, ShardLayout};
+///
+/// let (g, ids) = generators::cycle(8);
+/// let mut engine = Engine::builder().graph(g).seed(7).sharding(ShardLayout::striped(2)).build();
+/// let receipt = engine.insert_edge(ids[0], ids[2])?;
+/// assert!(engine.check_invariant().is_ok());
+/// assert_eq!(engine.mis().len(), engine.mis_len());
+/// println!("adjustments: {}", receipt.adjustments());
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+pub trait DynamicMis: std::fmt::Debug {
+    /// Inserts the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError>;
+
+    /// Removes the edge `{u, v}` and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from the underlying graph operation; on
+    /// error the engine is unchanged.
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError>;
+
+    /// Inserts a new node wired to `neighbors` with a *prescribed* random
+    /// key (derandomized baselines and adversarial tests); see
+    /// [`DynamicMis::insert_node`] for the drawing entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged.
+    fn insert_node_with_key(
+        &mut self,
+        neighbors: &[NodeId],
+        key: u64,
+    ) -> Result<(NodeId, UpdateReceipt), GraphError>;
+
+    /// Removes node `v` and restores the MIS invariant. The receipt's
+    /// flips cover the *remaining* nodes; the departure of `v` itself is
+    /// implied by the change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if `v` does not exist.
+    fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError>;
+
+    /// Applies a **batch** of topology changes atomically: all graph
+    /// mutations land first, then a single propagation pass restores the
+    /// MIS invariant (see [`crate::MisEngine::apply_batch`] for the full
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] encountered. Changes before the
+    /// failing one remain applied and the invariant is restored for
+    /// them; the failing and subsequent changes are not applied.
+    fn apply_batch(&mut self, changes: &[TopologyChange]) -> Result<BatchReceipt, GraphError>;
+
+    /// Draws the next random priority key from the engine's seeded
+    /// stream — the draw [`DynamicMis::insert_node`] consumes. Exposed so
+    /// the key-drawing convenience can live on the trait once instead of
+    /// being copied into every implementation; same seed ⇒ same draw
+    /// sequence across all engines, which is what keeps them
+    /// step-for-step comparable. Hidden from the documented surface:
+    /// calling it directly consumes a draw and desynchronizes the engine
+    /// from any same-seed twin — it exists only to feed
+    /// [`DynamicMis::insert_node`].
+    #[doc(hidden)]
+    fn draw_key(&mut self) -> u64;
+
+    /// Returns the current graph.
+    fn graph(&self) -> &DynGraph;
+
+    /// Returns the priority assignment π.
+    fn priorities(&self) -> &PriorityMap;
+
+    /// Iterates over the current MIS in identifier order without
+    /// allocating a set.
+    fn mis_iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_>;
+
+    /// Size of the current MIS without materializing it.
+    fn mis_len(&self) -> usize;
+
+    /// Returns whether `v` is in the MIS, or `None` if `v` does not
+    /// exist.
+    fn is_in_mis(&self, v: NodeId) -> Option<bool>;
+
+    /// Which dirty-queue realization the settle loop drains.
+    fn settle_strategy(&self) -> SettleStrategy;
+
+    /// Selects the dirty-queue realization. Purely a
+    /// performance/verification knob: outputs and receipts are
+    /// bit-identical for both settings.
+    fn set_settle_strategy(&mut self, strategy: SettleStrategy);
+
+    /// Verifies the MIS invariant over the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    fn check_invariant(&self) -> Result<(), InvariantViolation>;
+
+    /// Verifies every internal bookkeeping structure against a
+    /// from-scratch recomputation. Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter, rank, or state diverged.
+    fn assert_internally_consistent(&self);
+
+    /// Inserts a new node wired to `neighbors`, drawing its priority from
+    /// the engine's seeded stream, and restores the MIS invariant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
+    /// error the engine is unchanged (the drawn key is still consumed).
+    fn insert_node(&mut self, neighbors: &[NodeId]) -> Result<(NodeId, UpdateReceipt), GraphError> {
+        let key = self.draw_key();
+        self.insert_node_with_key(neighbors, key)
+    }
+
+    /// Applies a described [`TopologyChange`] — the dispatch that used to
+    /// be hand-copied into every engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`]; for [`TopologyChange::InsertNode`] the
+    /// pre-assigned identifier must equal [`DynGraph::peek_next_id`],
+    /// else [`GraphError::MissingNode`] is returned.
+    fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
+        match change {
+            TopologyChange::InsertEdge(u, v) => self.insert_edge(*u, *v),
+            TopologyChange::DeleteEdge(u, v) => self.remove_edge(*u, *v),
+            TopologyChange::InsertNode { id, edges } => {
+                if self.graph().peek_next_id() != *id {
+                    return Err(GraphError::MissingNode(*id));
+                }
+                self.insert_node(edges).map(|(_, r)| r)
+            }
+            TopologyChange::DeleteNode(v) => self.remove_node(*v),
+        }
+    }
+
+    /// Returns the current MIS as an ordered set of node identifiers — a
+    /// convenience over [`DynamicMis::mis_iter`]. Allocates; metering
+    /// loops that only need the members or the cardinality should use
+    /// `mis_iter`/[`DynamicMis::mis_len`].
+    fn mis(&self) -> BTreeSet<NodeId> {
+        self.mis_iter().collect()
+    }
+
+    /// Returns the output state of `v`, or `None` if `v` does not exist.
+    fn state(&self, v: NodeId) -> Option<MisState> {
+        self.is_in_mis(v).map(MisState::from_membership)
+    }
+}
+
+/// Implements [`DynamicMis`] for an engine by forwarding every required
+/// method to a target expression — `self` for the engines that own the
+/// primitives, `self.inner` for wrappers. This macro is what keeps the
+/// trait's 15-method surface from being hand-copied per engine (the
+/// pre-trait state of the codebase).
+macro_rules! forward_dynamic_mis {
+    ($ty:ty, |$s:ident| $t:expr) => {
+        impl crate::DynamicMis for $ty {
+            fn insert_edge(
+                &mut self,
+                u: dmis_graph::NodeId,
+                v: dmis_graph::NodeId,
+            ) -> Result<crate::UpdateReceipt, dmis_graph::GraphError> {
+                let $s = self;
+                $t.insert_edge(u, v)
+            }
+            fn remove_edge(
+                &mut self,
+                u: dmis_graph::NodeId,
+                v: dmis_graph::NodeId,
+            ) -> Result<crate::UpdateReceipt, dmis_graph::GraphError> {
+                let $s = self;
+                $t.remove_edge(u, v)
+            }
+            fn insert_node_with_key(
+                &mut self,
+                neighbors: &[dmis_graph::NodeId],
+                key: u64,
+            ) -> Result<(dmis_graph::NodeId, crate::UpdateReceipt), dmis_graph::GraphError> {
+                let $s = self;
+                $t.insert_node_with_key(neighbors.iter().copied(), key)
+            }
+            fn remove_node(
+                &mut self,
+                v: dmis_graph::NodeId,
+            ) -> Result<crate::UpdateReceipt, dmis_graph::GraphError> {
+                let $s = self;
+                $t.remove_node(v)
+            }
+            fn apply_batch(
+                &mut self,
+                changes: &[dmis_graph::TopologyChange],
+            ) -> Result<crate::BatchReceipt, dmis_graph::GraphError> {
+                let $s = self;
+                $t.apply_batch(changes)
+            }
+            fn draw_key(&mut self) -> u64 {
+                let $s = self;
+                $t.draw_key()
+            }
+            fn graph(&self) -> &dmis_graph::DynGraph {
+                let $s = self;
+                $t.graph()
+            }
+            fn priorities(&self) -> &crate::PriorityMap {
+                let $s = self;
+                $t.priorities()
+            }
+            fn mis_iter(&self) -> Box<dyn Iterator<Item = dmis_graph::NodeId> + '_> {
+                let $s = self;
+                Box::new($t.mis_iter())
+            }
+            fn mis_len(&self) -> usize {
+                let $s = self;
+                $t.mis_len()
+            }
+            fn is_in_mis(&self, v: dmis_graph::NodeId) -> Option<bool> {
+                let $s = self;
+                $t.is_in_mis(v)
+            }
+            fn settle_strategy(&self) -> crate::SettleStrategy {
+                let $s = self;
+                $t.settle_strategy()
+            }
+            fn set_settle_strategy(&mut self, strategy: crate::SettleStrategy) {
+                let $s = self;
+                $t.set_settle_strategy(strategy);
+            }
+            fn check_invariant(&self) -> Result<(), crate::invariant::InvariantViolation> {
+                let $s = self;
+                $t.check_invariant()
+            }
+            fn assert_internally_consistent(&self) {
+                let $s = self;
+                $t.assert_internally_consistent();
+            }
+        }
+    };
+}
+pub(crate) use forward_dynamic_mis;
+
+/// Namespace for [`Engine::builder`] — the single entry point that
+/// replaces the per-engine `new`/`from_graph`/`from_parts` constructor
+/// families (kept as thin shims; see the README migration table).
+#[derive(Debug, Clone, Copy)]
+pub struct Engine;
+
+impl Engine {
+    /// Starts building an engine; see [`EngineBuilder`].
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+}
+
+/// Axis-based engine construction.
+///
+/// Every engine flavor in the workspace is a point in the configuration
+/// space (seed, graph, π, sharding, threads, spawn threshold, settle
+/// strategy). The builder replaces the three divergent constructor
+/// families with one fluent path:
+///
+/// ```
+/// use dmis_core::{DynamicMis, Engine, SettleStrategy};
+/// use dmis_graph::{generators, ShardLayout};
+///
+/// let (g, _) = generators::cycle(12);
+/// // Boxed: the builder picks the cheapest engine realizing the axes.
+/// let engine = Engine::builder()
+///     .graph(g.clone())
+///     .seed(9)
+///     .sharding(ShardLayout::striped(4))
+///     .threads(2)
+///     .spawn_threshold(0)
+///     .settle_strategy(SettleStrategy::RankFront)
+///     .build();
+/// assert_eq!(engine.mis_len(), Engine::builder().graph(g).seed(9).build().mis_len());
+/// ```
+///
+/// Typed escape hatches ([`EngineBuilder::build_unsharded`],
+/// [`EngineBuilder::build_sharded`], [`EngineBuilder::build_parallel`])
+/// return concrete engines when the caller needs engine-specific knobs;
+/// they panic on contradictory axes (e.g. `threads` on an unsharded
+/// build) instead of silently ignoring them.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    seed: u64,
+    graph: Option<DynGraph>,
+    priorities: Option<PriorityMap>,
+    sharding: Option<ShardLayout>,
+    threads: Option<usize>,
+    spawn_threshold: Option<usize>,
+    strategy: SettleStrategy,
+}
+
+impl EngineBuilder {
+    /// Seed determinizing all priority draws. Same seed ⇒ same draws on
+    /// every engine flavor. Defaults to 0.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Initial graph; fresh priorities are drawn for all its nodes
+    /// unless [`EngineBuilder::priorities`] prescribes them. Defaults to
+    /// the empty graph.
+    #[must_use]
+    pub fn graph(mut self, graph: DynGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Prescribed priorities for the initial graph (tests and
+    /// adversarial constructions). Requires [`EngineBuilder::graph`].
+    #[must_use]
+    pub fn priorities(mut self, priorities: PriorityMap) -> Self {
+        self.priorities = Some(priorities);
+        self
+    }
+
+    /// Partitions the engine's per-node state into the layout's shards
+    /// ([`crate::ShardedMisEngine`]).
+    #[must_use]
+    pub fn sharding(mut self, layout: ShardLayout) -> Self {
+        self.sharding = Some(layout);
+        self
+    }
+
+    /// Executes settle epochs on up to `threads` worker threads
+    /// ([`crate::ParallelShardedMisEngine`]); implies a sharded engine
+    /// (defaulting to [`ShardLayout::single`] if no sharding axis is
+    /// set).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Pending-work floor below which an epoch drains inline even when
+    /// threads are configured; implies a parallel engine. See
+    /// [`ParallelShardedMisEngine::set_spawn_threshold`].
+    #[must_use]
+    pub fn spawn_threshold(mut self, threshold: usize) -> Self {
+        self.spawn_threshold = Some(threshold);
+        self
+    }
+
+    /// Which dirty-queue realization the settle loops drain; see
+    /// [`SettleStrategy`]. Defaults to [`SettleStrategy::RankFront`].
+    #[must_use]
+    pub fn settle_strategy(mut self, strategy: SettleStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builds the cheapest engine realizing every configured axis, as a
+    /// trait object: parallel if `threads`/`spawn_threshold` was set,
+    /// sharded if `sharding` was, unsharded otherwise. The box is `Send`,
+    /// so built engines can migrate across threads.
+    #[must_use]
+    pub fn build(self) -> Box<dyn DynamicMis + Send> {
+        if self.threads.is_some() || self.spawn_threshold.is_some() {
+            Box::new(self.build_parallel())
+        } else if self.sharding.is_some() {
+            Box::new(self.build_sharded())
+        } else {
+            Box::new(self.build_unsharded())
+        }
+    }
+
+    /// Builds the unsharded [`MisEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sharding, thread, or spawn-threshold axis was set
+    /// (those require [`EngineBuilder::build_sharded`] /
+    /// [`EngineBuilder::build_parallel`]), or if priorities were given
+    /// without a graph.
+    #[must_use]
+    pub fn build_unsharded(self) -> MisEngine {
+        assert!(
+            self.sharding.is_none() && self.threads.is_none() && self.spawn_threshold.is_none(),
+            "sharding/thread axes set: build_sharded()/build_parallel() realize them"
+        );
+        let mut engine = match (self.graph, self.priorities) {
+            (None, None) => MisEngine::new(self.seed),
+            (Some(g), None) => MisEngine::from_graph(g, self.seed),
+            (Some(g), Some(p)) => MisEngine::from_parts(g, p, self.seed),
+            (None, Some(_)) => panic!("priorities prescribed without a graph"),
+        };
+        engine.set_settle_strategy(self.strategy);
+        engine
+    }
+
+    /// Builds the sequentially-executed [`ShardedMisEngine`] (layout
+    /// defaults to [`ShardLayout::single`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread or spawn-threshold axis was set (use
+    /// [`EngineBuilder::build_parallel`]), or if priorities were given
+    /// without a graph.
+    #[must_use]
+    pub fn build_sharded(self) -> ShardedMisEngine {
+        assert!(
+            self.threads.is_none() && self.spawn_threshold.is_none(),
+            "thread axes set: build_parallel() realizes them"
+        );
+        let layout = self.sharding.unwrap_or_else(ShardLayout::single);
+        let mut engine = match (self.graph, self.priorities) {
+            (None, None) => ShardedMisEngine::new(layout, self.seed),
+            (Some(g), None) => ShardedMisEngine::from_graph(g, layout, self.seed),
+            (Some(g), Some(p)) => ShardedMisEngine::from_parts(g, p, layout, self.seed),
+            (None, Some(_)) => panic!("priorities prescribed without a graph"),
+        };
+        engine.set_settle_strategy(self.strategy);
+        engine
+    }
+
+    /// Builds the thread-executed [`ParallelShardedMisEngine`] (layout
+    /// defaults to [`ShardLayout::single`], threads to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if priorities were given without a graph.
+    #[must_use]
+    pub fn build_parallel(self) -> ParallelShardedMisEngine {
+        let threads = self.threads.unwrap_or(1);
+        let threshold = self.spawn_threshold;
+        let sharded = EngineBuilder {
+            threads: None,
+            spawn_threshold: None,
+            ..self
+        }
+        .build_sharded();
+        let mut engine = ParallelShardedMisEngine::from_engine(sharded, threads);
+        if let Some(t) = threshold {
+            engine.set_spawn_threshold(t);
+        }
+        engine
+    }
+}
+
+/// The pure coalescing queue behind [`IngestSession`]: an order-preserving
+/// buffer of [`TopologyChange`]s that merges redundant edge changes as
+/// they arrive.
+///
+/// Rules (the "coalescing rules" of DESIGN.md's unified-API section):
+///
+/// - **Opposing edge changes cancel.** An insert and a delete of the same
+///   edge queued since the last barrier annihilate: both leave the queue,
+///   because their net topological effect is nil and the maintained
+///   structures are history independent.
+/// - **Same-direction edge changes collapse, last writer wins.** Pushing
+///   the same edge change twice keeps one copy (at the first push's queue
+///   position — edge changes on distinct edges commute, so position
+///   within a barrier-free run is immaterial).
+/// - **Node changes are barriers.** `InsertNode`/`DeleteNode` entries are
+///   kept verbatim and stop edge coalescing across them: a node deletion
+///   implicitly removes incident edges, so edge changes must not be
+///   merged across it.
+///
+/// The queue never consults an engine, and it is deliberately
+/// *forgiving*: cancelled pairs and collapsed duplicates are never
+/// validated, so a raw sequence that `apply_batch` would reject (e.g. a
+/// delete of a missing edge followed by its insert, or a duplicate
+/// insert) can coalesce into a sequence that applies cleanly. Only the
+/// *surviving* changes are judged — by `apply_batch`, at flush time. A
+/// caller that needs malformed adversary streams rejected must validate
+/// before pushing.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeCoalescer {
+    /// Queued changes in arrival order; cancelled entries become `None`
+    /// tombstones so positions stay stable for the edge index.
+    pending: Vec<Option<TopologyChange>>,
+    /// Live queue position per edge, for the current barrier-free run
+    /// only (cleared by node changes).
+    edge_slot: BTreeMap<EdgeKey, usize>,
+    /// Live (non-tombstoned) entries — the queue depth watermarks meter.
+    live: usize,
+    /// Changes pushed since the last drain, including coalesced-away
+    /// ones.
+    pushed: usize,
+}
+
+impl ChangeCoalescer {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of changes currently queued (after coalescing).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+
+    /// Number of changes pushed since the last [`Self::drain`],
+    /// including ones coalescing has already eliminated.
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Returns `true` if no change is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Queues one change, applying the coalescing rules.
+    pub fn push(&mut self, change: TopologyChange) {
+        self.pushed += 1;
+        let key = match &change {
+            TopologyChange::InsertEdge(u, v) | TopologyChange::DeleteEdge(u, v) => {
+                Some(EdgeKey::new(*u, *v))
+            }
+            TopologyChange::InsertNode { .. } | TopologyChange::DeleteNode(_) => None,
+        };
+        let Some(key) = key else {
+            // Node change: a coalescing barrier. Later edge changes must
+            // not merge with anything queued before it.
+            self.edge_slot.clear();
+            self.pending.push(Some(change));
+            self.live += 1;
+            return;
+        };
+        if let Some(&slot) = self.edge_slot.get(&key) {
+            let prev = self.pending[slot].as_ref().expect("indexed slot is live");
+            if prev.kind() == change.kind() {
+                // Last writer wins (the entries are equal up to endpoint
+                // order); keep the original queue position.
+                self.pending[slot] = Some(change);
+            } else {
+                // Opposing pair: net topological no-op — cancel both.
+                self.pending[slot] = None;
+                self.edge_slot.remove(&key);
+                self.live -= 1;
+            }
+        } else {
+            self.edge_slot.insert(key, self.pending.len());
+            self.pending.push(Some(change));
+            self.live += 1;
+        }
+    }
+
+    /// Takes the coalesced sequence (arrival order, tombstones dropped)
+    /// and the total push count it absorbed, resetting the queue.
+    pub fn drain(&mut self) -> (Vec<TopologyChange>, usize) {
+        let batch: Vec<TopologyChange> = self.pending.drain(..).flatten().collect();
+        self.edge_slot.clear();
+        self.live = 0;
+        (batch, std::mem::take(&mut self.pushed))
+    }
+}
+
+/// Outcome of one [`IngestSession::flush`]: the merged batch's
+/// [`BatchReceipt`] extended with the ingestion-side accounting — how
+/// many changes were pushed into the window and how many coalescing
+/// eliminated before any settle work was done.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReceipt {
+    pushed: usize,
+    coalesced_changes: usize,
+    batch: BatchReceipt,
+}
+
+impl IngestReceipt {
+    /// Changes pushed into the flushed window (before coalescing).
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Changes coalescing eliminated: `pushed() - applied-or-attempted`.
+    /// Every one of these is a settle pass the engine never paid for.
+    #[must_use]
+    pub fn coalesced_changes(&self) -> usize {
+        self.coalesced_changes
+    }
+
+    /// The merged batch's receipt.
+    #[must_use]
+    pub fn batch(&self) -> &BatchReceipt {
+        &self.batch
+    }
+
+    /// Consumes the receipt, returning the inner [`BatchReceipt`].
+    #[must_use]
+    pub fn into_batch(self) -> BatchReceipt {
+        self.batch
+    }
+
+    /// Changes successfully applied by the flush.
+    #[must_use]
+    pub fn applied(&self) -> usize {
+        self.batch.applied()
+    }
+
+    /// Nodes whose output changed across the flush.
+    #[must_use]
+    pub fn adjustments(&self) -> usize {
+        self.batch.adjustments()
+    }
+}
+
+/// A change-ingestion session over any [`DynamicMis`] engine: the
+/// async-batching layer of the ROADMAP.
+///
+/// Pushes are queued and coalesced ([`ChangeCoalescer`] documents the
+/// rules); [`IngestSession::flush`] applies the surviving changes as one
+/// merged `apply_batch` — one settle pass for the whole window — and
+/// reports the coalescing win on the [`IngestReceipt`]. An optional
+/// **watermark** auto-flushes when the queue depth reaches it, which
+/// turns queue depth into the latency-vs-work axis experiment E12 sweeps:
+/// deeper queues amortize settle passes and cancel more churn, at the
+/// price of changes waiting longer before they are visible in the output.
+///
+/// # Example
+///
+/// ```
+/// use dmis_core::{Engine, IngestSession};
+/// use dmis_graph::{generators, TopologyChange};
+///
+/// let (g, ids) = generators::cycle(8);
+/// let mut engine = Engine::builder().graph(g).seed(3).build_unsharded();
+/// let mut session = IngestSession::new(&mut engine);
+/// // An opposing pair cancels before any settle work happens…
+/// session.push(TopologyChange::DeleteEdge(ids[0], ids[1]))?;
+/// session.push(TopologyChange::InsertEdge(ids[0], ids[1]))?;
+/// let receipt = session.flush()?;
+/// assert_eq!(receipt.coalesced_changes(), 2);
+/// assert_eq!(receipt.batch().heap_pops(), 0, "zero settle work");
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct IngestSession<'e, E: DynamicMis + ?Sized> {
+    engine: &'e mut E,
+    queue: ChangeCoalescer,
+    watermark: Option<usize>,
+}
+
+impl<'e, E: DynamicMis + ?Sized> IngestSession<'e, E> {
+    /// Opens a session with no watermark: changes queue until an
+    /// explicit [`Self::flush`].
+    pub fn new(engine: &'e mut E) -> Self {
+        IngestSession {
+            engine,
+            queue: ChangeCoalescer::new(),
+            watermark: None,
+        }
+    }
+
+    /// Opens a session that auto-flushes whenever `watermark` changes
+    /// have been pushed since the last flush. Counting *pushes* — not
+    /// the coalesced depth — bounds both the pending buffer and the time
+    /// a change waits before its window settles, even on cancel-heavy
+    /// streams where the coalesced depth hovers near zero; a window
+    /// therefore holds at most `watermark` pushes, and a change waits at
+    /// most `watermark − 1` arrivals. A watermark of 1 degenerates to
+    /// unbatched per-change application.
+    pub fn with_watermark(engine: &'e mut E, watermark: usize) -> Self {
+        IngestSession {
+            engine,
+            queue: ChangeCoalescer::new(),
+            watermark: Some(watermark.max(1)),
+        }
+    }
+
+    /// Reconfigures (or removes) the auto-flush watermark. Takes effect
+    /// on the next push.
+    pub fn set_watermark(&mut self, watermark: Option<usize>) {
+        self.watermark = watermark.map(|w| w.max(1));
+    }
+
+    /// The configured auto-flush watermark, if any.
+    #[must_use]
+    pub fn watermark(&self) -> Option<usize> {
+        self.watermark
+    }
+
+    /// Current (coalesced) queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Read access to the engine. Note that queued changes are **not**
+    /// visible in the engine until a flush.
+    #[must_use]
+    pub fn engine(&self) -> &E {
+        self.engine
+    }
+
+    /// Queues one change; coalesces it against the queue, and flushes if
+    /// the window has absorbed `watermark` pushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from an auto-flush (see
+    /// [`Self::flush`]); pushes that do not flush cannot fail.
+    pub fn push(&mut self, change: TopologyChange) -> Result<Option<IngestReceipt>, GraphError> {
+        self.queue.push(change);
+        match self.watermark {
+            Some(w) if self.queue.pushed() >= w => self.flush().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Settles the queued window as **one merged batch** and returns the
+    /// extended receipt. Flushing an empty queue applies an empty batch
+    /// (all receipt counters zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from the underlying
+    /// `apply_batch`. The queue is consumed either way — the window's
+    /// push/coalesce accounting is dropped with the error — and the
+    /// engine is left with the valid prefix applied exactly as
+    /// `apply_batch` documents.
+    pub fn flush(&mut self) -> Result<IngestReceipt, GraphError> {
+        let (batch, pushed) = self.queue.drain();
+        let receipt = self.engine.apply_batch(&batch)?;
+        Ok(IngestReceipt {
+            pushed,
+            coalesced_changes: pushed - batch.len(),
+            batch: receipt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    #[test]
+    fn coalescer_cancels_opposing_pairs() {
+        let (_, ids) = DynGraphFixture::path3();
+        let mut q = ChangeCoalescer::new();
+        q.push(TopologyChange::InsertEdge(ids[0], ids[2]));
+        q.push(TopologyChange::DeleteEdge(ids[2], ids[0])); // endpoint order irrelevant
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 2);
+        let (batch, pushed) = q.drain();
+        assert!(batch.is_empty());
+        assert_eq!(pushed, 2);
+        assert_eq!(q.pushed(), 0, "drain resets the push counter");
+    }
+
+    #[test]
+    fn coalescer_last_writer_wins_on_duplicates() {
+        let (_, ids) = DynGraphFixture::path3();
+        let mut q = ChangeCoalescer::new();
+        q.push(TopologyChange::DeleteEdge(ids[0], ids[1]));
+        q.push(TopologyChange::DeleteEdge(ids[1], ids[0]));
+        assert_eq!(q.depth(), 1);
+        let (batch, pushed) = q.drain();
+        assert_eq!(pushed, 2);
+        assert_eq!(batch, vec![TopologyChange::DeleteEdge(ids[1], ids[0])]);
+    }
+
+    #[test]
+    fn coalescer_cancel_then_repush_survives() {
+        let (_, ids) = DynGraphFixture::path3();
+        let mut q = ChangeCoalescer::new();
+        q.push(TopologyChange::InsertEdge(ids[0], ids[2]));
+        q.push(TopologyChange::DeleteEdge(ids[0], ids[2])); // cancels
+        q.push(TopologyChange::InsertEdge(ids[0], ids[2])); // fresh entry
+        assert_eq!(q.depth(), 1);
+        let (batch, _) = q.drain();
+        assert_eq!(batch, vec![TopologyChange::InsertEdge(ids[0], ids[2])]);
+    }
+
+    #[test]
+    fn node_changes_are_coalescing_barriers() {
+        let (g, ids) = DynGraphFixture::path3();
+        let mut q = ChangeCoalescer::new();
+        q.push(TopologyChange::DeleteEdge(ids[0], ids[1]));
+        q.push(TopologyChange::InsertNode {
+            id: g.peek_next_id(),
+            edges: vec![ids[0]],
+        });
+        // Same edge after the barrier: must NOT cancel the pre-barrier
+        // delete.
+        q.push(TopologyChange::InsertEdge(ids[0], ids[1]));
+        assert_eq!(q.depth(), 3);
+        let (batch, _) = q.drain();
+        assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn builder_flavors_agree_on_outputs() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let (g, _) = generators::erdos_renyi(24, 0.2, &mut rng);
+        let unsharded = Engine::builder()
+            .graph(g.clone())
+            .seed(11)
+            .build_unsharded();
+        let sharded = Engine::builder()
+            .graph(g.clone())
+            .seed(11)
+            .sharding(ShardLayout::striped(3))
+            .build_sharded();
+        let parallel = Engine::builder()
+            .graph(g.clone())
+            .seed(11)
+            .sharding(ShardLayout::striped(3))
+            .threads(2)
+            .spawn_threshold(0)
+            .build_parallel();
+        assert_eq!(unsharded.mis(), sharded.mis());
+        assert_eq!(sharded.mis(), parallel.mis());
+        assert_eq!(parallel.threads(), 2);
+        assert_eq!(parallel.spawn_threshold(), 0);
+        // The boxed path picks the parallel flavor when a thread axis is
+        // set.
+        let boxed = Engine::builder().graph(g).seed(11).threads(2).build();
+        assert_eq!(boxed.mis(), unsharded.mis());
+    }
+
+    #[test]
+    #[should_panic(expected = "build_sharded()/build_parallel()")]
+    fn unsharded_build_rejects_thread_axis() {
+        let _ = Engine::builder().threads(4).build_unsharded();
+    }
+
+    #[test]
+    #[should_panic(expected = "build_parallel()")]
+    fn sharded_build_rejects_spawn_threshold() {
+        let _ = Engine::builder().spawn_threshold(0).build_sharded();
+    }
+
+    #[test]
+    fn session_watermark_auto_flushes() {
+        let (g, ids) = generators::cycle(8);
+        let mut engine = Engine::builder().graph(g).seed(3).build_unsharded();
+        let mut session = IngestSession::with_watermark(&mut engine, 2);
+        assert_eq!(session.watermark(), Some(2));
+        assert!(session
+            .push(TopologyChange::DeleteEdge(ids[0], ids[1]))
+            .unwrap()
+            .is_none());
+        let receipt = session
+            .push(TopologyChange::DeleteEdge(ids[2], ids[3]))
+            .unwrap()
+            .expect("watermark reached");
+        assert_eq!(receipt.applied(), 2);
+        assert_eq!(receipt.coalesced_changes(), 0);
+        assert_eq!(session.queue_depth(), 0);
+        assert!(!session.engine().graph().has_edge(ids[0], ids[1]));
+    }
+
+    /// Tiny fixture helper so coalescer tests do not need an engine.
+    struct DynGraphFixture;
+    impl DynGraphFixture {
+        fn path3() -> (DynGraph, Vec<NodeId>) {
+            generators::path(3)
+        }
+    }
+}

@@ -10,7 +10,6 @@
 //! bit for bit while partitioning this module's state across shards.
 
 use std::cmp::Reverse;
-use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
 
 use dmis_graph::{
@@ -64,7 +63,7 @@ pub enum SettleStrategy {
 /// # Example
 ///
 /// ```
-/// use dmis_core::MisEngine;
+/// use dmis_core::{DynamicMis, MisEngine};
 /// use dmis_graph::generators;
 ///
 /// let (g, ids) = generators::star(6);
@@ -213,14 +212,6 @@ impl MisEngine {
         self.strategy = strategy;
     }
 
-    /// Returns the current MIS as a set of node identifiers. Allocates;
-    /// metering loops that only need the members or the cardinality
-    /// should use [`Self::mis_iter`] / [`Self::mis_len`].
-    #[must_use]
-    pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.in_mis.iter().collect()
-    }
-
     /// Iterates over the current MIS in identifier order without
     /// allocating a set.
     pub fn mis_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
@@ -228,7 +219,7 @@ impl MisEngine {
     }
 
     /// Size of the current MIS — O(1) on the membership bitset, no
-    /// per-call allocation, unlike [`Self::mis`].
+    /// per-call allocation, unlike [`crate::DynamicMis::mis`].
     #[must_use]
     pub fn mis_len(&self) -> usize {
         self.in_mis.len()
@@ -240,10 +231,10 @@ impl MisEngine {
         self.graph.has_node(v).then(|| self.in_mis.contains(v))
     }
 
-    /// Returns the output state of `v`, or `None` if `v` does not exist.
-    #[must_use]
-    pub fn state(&self, v: NodeId) -> Option<MisState> {
-        self.is_in_mis(v).map(MisState::from_membership)
+    /// Draws the next priority key from the engine's seeded stream (the
+    /// draw behind [`crate::DynamicMis::insert_node`]).
+    pub(crate) fn draw_key(&mut self) -> u64 {
+        self.rng.random()
     }
 
     /// Inserts the edge `{u, v}` and restores the MIS invariant.
@@ -282,22 +273,6 @@ impl MisEngine {
             seeds.push(hi);
         }
         Ok(self.propagate(ChangeKind::EdgeDelete, seeds, counter_updates))
-    }
-
-    /// Inserts a new node with edges to `neighbors`, draws its priority, and
-    /// restores the MIS invariant. Returns the new identifier and the
-    /// receipt.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
-    /// error the engine is unchanged.
-    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, UpdateReceipt), GraphError>
-    where
-        I: IntoIterator<Item = NodeId>,
-    {
-        let key = self.rng.random();
-        self.insert_node_with_key(neighbors, key)
     }
 
     /// Inserts a new node with a *prescribed* random key instead of drawing
@@ -362,27 +337,6 @@ impl MisEngine {
             }
         }
         Ok(self.propagate(ChangeKind::NodeDelete, seeds, counter_updates))
-    }
-
-    /// Applies a described [`TopologyChange`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`]; for [`TopologyChange::InsertNode`] the
-    /// pre-assigned identifier must equal [`DynGraph::peek_next_id`], else
-    /// [`GraphError::MissingNode`] is returned.
-    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
-        match change {
-            TopologyChange::InsertEdge(u, v) => self.insert_edge(*u, *v),
-            TopologyChange::DeleteEdge(u, v) => self.remove_edge(*u, *v),
-            TopologyChange::InsertNode { id, edges } => {
-                if self.graph.peek_next_id() != *id {
-                    return Err(GraphError::MissingNode(*id));
-                }
-                self.insert_node(edges.iter().copied()).map(|(_, r)| r)
-            }
-            TopologyChange::DeleteNode(v) => self.remove_node(*v),
-        }
     }
 
     /// Applies a **batch** of topology changes atomically: all graph
@@ -722,11 +676,18 @@ impl MisEngine {
     }
 }
 
+// The shared convenience layer (`apply` dispatch, `insert_node` key
+// draws, `mis`, `state`) is provided once by `DynamicMis`; the macro
+// forwards the trait's required primitives to the methods above.
+crate::api::forward_dynamic_mis!(MisEngine, |s| s);
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DynamicMis;
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
+    use std::collections::BTreeSet;
 
     #[test]
     fn empty_engine() {
@@ -814,7 +775,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
         let mut engine = MisEngine::from_graph(g, 3);
-        let (v, receipt) = engine.insert_node(vec![ids[0], ids[1], ids[2]]).unwrap();
+        let (v, receipt) = engine.insert_node(&[ids[0], ids[1], ids[2]]).unwrap();
         assert!(engine.graph().has_node(v));
         let _ = receipt;
         engine.assert_internally_consistent();
@@ -832,7 +793,7 @@ mod tests {
         assert_eq!(engine.mis(), [ids[0]].into_iter().collect());
         let receipt = engine.remove_node(ids[0]).unwrap();
         assert_eq!(receipt.adjustments(), 3, "all leaves join");
-        assert_eq!(engine.mis().len(), 3);
+        assert_eq!(engine.mis_len(), 3);
         engine.assert_internally_consistent();
     }
 
@@ -854,7 +815,7 @@ mod tests {
         assert!(engine.insert_edge(ids[0], ids[1]).is_err());
         assert!(engine.remove_edge(ids[0], ids[2]).is_err());
         assert!(engine.remove_node(NodeId(50)).is_err());
-        assert!(engine.insert_node(vec![NodeId(50)]).is_err());
+        assert!(engine.insert_node(&[NodeId(50)]).is_err());
         assert_eq!(engine.mis(), snapshot);
         engine.assert_internally_consistent();
     }
@@ -1106,7 +1067,7 @@ mod tests {
         let (g, ids) = generators::erdos_renyi(10, 0.4, &mut rng);
         let mut engine = MisEngine::from_graph(g, 2);
         let p_before = engine.priorities().of(ids[3]);
-        let _ = engine.insert_node(vec![ids[0]]).unwrap();
+        let _ = engine.insert_node(&[ids[0]]).unwrap();
         let _ = rng.random::<u64>();
         assert_eq!(engine.priorities().of(ids[3]), p_before);
     }

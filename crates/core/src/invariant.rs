@@ -48,8 +48,15 @@ impl Error for InvariantViolation {}
 /// adjacent).
 #[must_use]
 pub fn is_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
-    let members: NodeSet = set.iter().copied().collect();
-    set.iter().all(|&v| {
+    is_independent_set_dense(g, &set.iter().copied().collect())
+}
+
+/// [`is_independent_set`] over a dense membership bitset — the engines'
+/// native representation (collect [`crate::DynamicMis::mis_iter`] into a
+/// [`NodeSet`] instead of materializing an ordered set).
+#[must_use]
+pub fn is_independent_set_dense(g: &DynGraph, members: &NodeSet) -> bool {
+    members.iter().all(|v| {
         g.neighbors(v)
             .map(|mut nbrs| !nbrs.any(|u| members.contains(u)))
             .unwrap_or(false)
@@ -59,10 +66,15 @@ pub fn is_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
 /// Returns `true` if `set` is a *maximal* independent set of `g`.
 #[must_use]
 pub fn is_maximal_independent_set(g: &DynGraph, set: &BTreeSet<NodeId>) -> bool {
-    if !is_independent_set(g, set) {
+    is_maximal_independent_set_dense(g, &set.iter().copied().collect())
+}
+
+/// [`is_maximal_independent_set`] over a dense membership bitset.
+#[must_use]
+pub fn is_maximal_independent_set_dense(g: &DynGraph, members: &NodeSet) -> bool {
+    if !is_independent_set_dense(g, members) {
         return false;
     }
-    let members: NodeSet = set.iter().copied().collect();
     g.nodes().all(|v| {
         members.contains(v)
             || g.neighbors(v)

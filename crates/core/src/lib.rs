@@ -73,6 +73,7 @@ mod priority;
 mod receipt;
 mod state;
 
+pub mod api;
 pub mod invariant;
 pub mod parallel;
 pub mod rank;
@@ -81,6 +82,7 @@ pub mod static_greedy;
 pub mod template;
 pub mod theory;
 
+pub use api::{ChangeCoalescer, DynamicMis, Engine, EngineBuilder, IngestReceipt, IngestSession};
 pub use engine::{MisEngine, SettleStrategy};
 pub use parallel::ParallelShardedMisEngine;
 pub use priority::{Priority, PriorityMap};

@@ -19,7 +19,7 @@
 //! orders of magnitude more than the pops — so epochs whose total pending
 //! work is below the threshold drain inline on the calling thread.
 //! Threads are harvested where the work actually is: batched recoveries
-//! ([`ParallelShardedMisEngine::apply_batch`]) that seed many shards at
+//! ([`crate::DynamicMis::apply_batch`]) that seed many shards at
 //! once.
 //!
 //! Determinism does **not** rely on the threshold, the thread count, or
@@ -29,13 +29,10 @@
 //! `parallel-determinism` matrix re-runs it under `DMIS_PAR_THREADS`
 //! ∈ {1, 2, 8}.
 
-use std::collections::BTreeSet;
+use dmis_graph::{DynGraph, ShardLayout};
 
-use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
-
-use crate::invariant::InvariantViolation;
 use crate::sharding::{run_shard_epoch, SettleCtx, SettleStats, Shard};
-use crate::{BatchReceipt, MisState, PriorityMap, SettleStrategy, ShardedMisEngine, UpdateReceipt};
+use crate::{PriorityMap, ShardedMisEngine};
 
 /// Executes one settle epoch over `shards`: every shard with pending
 /// dirty work is drained to local completion via
@@ -114,7 +111,7 @@ pub(crate) fn execute_epoch(
 /// # Example
 ///
 /// ```
-/// use dmis_core::{ParallelShardedMisEngine, ShardedMisEngine};
+/// use dmis_core::{DynamicMis, ParallelShardedMisEngine, ShardedMisEngine};
 /// use dmis_graph::{generators, ShardLayout};
 ///
 /// let (g, ids) = generators::cycle(12);
@@ -222,31 +219,6 @@ impl ParallelShardedMisEngine {
         &self.inner
     }
 
-    /// Which dirty-queue realization the shards drain; see
-    /// [`crate::SettleStrategy`].
-    #[must_use]
-    pub fn settle_strategy(&self) -> SettleStrategy {
-        self.inner.settle_strategy()
-    }
-
-    /// Selects the dirty-queue realization — like the thread knobs,
-    /// purely an execution choice with bit-identical outputs either way.
-    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
-        self.inner.set_settle_strategy(strategy);
-    }
-
-    /// Returns the current graph.
-    #[must_use]
-    pub fn graph(&self) -> &DynGraph {
-        self.inner.graph()
-    }
-
-    /// Returns the priority assignment π.
-    #[must_use]
-    pub fn priorities(&self) -> &PriorityMap {
-        self.inner.priorities()
-    }
-
     /// Returns the shard layout.
     #[must_use]
     pub fn layout(&self) -> ShardLayout {
@@ -258,144 +230,20 @@ impl ParallelShardedMisEngine {
     pub fn shard_count(&self) -> usize {
         self.inner.shard_count()
     }
-
-    /// Returns the current MIS as a set of node identifiers.
-    #[must_use]
-    pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.inner.mis()
-    }
-
-    /// Iterates over the current MIS without allocating a set.
-    pub fn mis_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.inner.mis_iter()
-    }
-
-    /// Size of the current MIS in O(K), without allocation.
-    #[must_use]
-    pub fn mis_len(&self) -> usize {
-        self.inner.mis_len()
-    }
-
-    /// Returns whether `v` is in the MIS, or `None` if `v` does not exist.
-    #[must_use]
-    pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
-        self.inner.is_in_mis(v)
-    }
-
-    /// Returns the output state of `v`, or `None` if `v` does not exist.
-    #[must_use]
-    pub fn state(&self, v: NodeId) -> Option<MisState> {
-        self.inner.state(v)
-    }
-
-    /// Inserts the edge `{u, v}` and restores the MIS invariant.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] from the underlying graph operation; on
-    /// error the engine is unchanged.
-    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
-        self.inner.insert_edge(u, v)
-    }
-
-    /// Removes the edge `{u, v}` and restores the MIS invariant.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] from the underlying graph operation; on
-    /// error the engine is unchanged.
-    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
-        self.inner.remove_edge(u, v)
-    }
-
-    /// Inserts a new node with edges to `neighbors`; see
-    /// [`ShardedMisEngine::insert_node`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
-    /// error the engine is unchanged.
-    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, UpdateReceipt), GraphError>
-    where
-        I: IntoIterator<Item = NodeId>,
-    {
-        self.inner.insert_node(neighbors)
-    }
-
-    /// Inserts a new node with a prescribed random key; see
-    /// [`ShardedMisEngine::insert_node_with_key`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
-    /// error the engine is unchanged.
-    pub fn insert_node_with_key<I>(
-        &mut self,
-        neighbors: I,
-        key: u64,
-    ) -> Result<(NodeId, UpdateReceipt), GraphError>
-    where
-        I: IntoIterator<Item = NodeId>,
-    {
-        self.inner.insert_node_with_key(neighbors, key)
-    }
-
-    /// Removes node `v` and restores the MIS invariant.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] if `v` does not exist.
-    pub fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError> {
-        self.inner.remove_node(v)
-    }
-
-    /// Applies a described [`TopologyChange`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`]; see [`ShardedMisEngine::apply`].
-    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
-        self.inner.apply(change)
-    }
-
-    /// Applies a batch of topology changes atomically through one
-    /// coordinated settle — the workload where worker threads actually
-    /// pay off, because the batch seeds many shards per epoch.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first [`GraphError`] encountered; see
-    /// [`ShardedMisEngine::apply_batch`] for the partial-application
-    /// contract.
-    pub fn apply_batch(&mut self, changes: &[TopologyChange]) -> Result<BatchReceipt, GraphError> {
-        self.inner.apply_batch(changes)
-    }
-
-    /// Verifies the MIS invariant over the whole graph.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first violation found.
-    pub fn check_invariant(&self) -> Result<(), InvariantViolation> {
-        self.inner.check_invariant()
-    }
-
-    /// Verifies every shard's bookkeeping against a from-scratch
-    /// recomputation. Intended for tests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any counter, bit, or shard assignment diverged.
-    pub fn assert_internally_consistent(&self) {
-        self.inner.assert_internally_consistent();
-    }
 }
+
+// The whole update/query surface — formerly ~20 hand-copied delegation
+// bodies — forwards to the wrapped sequential engine through the shared
+// `DynamicMis` macro; only the execution knobs above are parallel-specific.
+crate::api::forward_dynamic_mis!(ParallelShardedMisEngine, |s| s.inner);
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BatchReceipt, DynamicMis};
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
+    use dmis_graph::{NodeId, TopologyChange};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -16,9 +16,10 @@
 //! be invalidated by *other* nodes arriving or departing:
 //!
 //! - **Deletion** never re-ranks. The departed node's slot in
-//!   `node_at_rank` becomes a tombstone (its id is kept — identifiers are
-//!   never reused, so a tombstone is always distinguishable from a live
-//!   entry) and the relative order of the survivors is untouched.
+//!   `node_at_rank` becomes a tombstone (blanked to a sentinel id, so a
+//!   tombstone stays distinguishable from a live entry even for callers
+//!   that *recycle* identifiers, like the matching engine's line-id
+//!   arena) and the relative order of the survivors is untouched.
 //! - **Insertion** appends in O(1) when the newcomer's priority exceeds
 //!   every ranked priority; otherwise the newcomer is parked as
 //!   *pending* and the index **re-ranks** at the next [`RankIndex::flush`]:
@@ -37,6 +38,10 @@
 use dmis_graph::{NodeId, NodeMap};
 
 use crate::{Priority, PriorityMap};
+
+/// Sentinel id marking a deleted rank slot. Real identifiers are
+/// allocator-sequential and can never reach it.
+const TOMBSTONE: NodeId = NodeId(u64::MAX);
 
 /// Dense rank assignment realizing the order of a [`PriorityMap`].
 ///
@@ -61,9 +66,11 @@ use crate::{Priority, PriorityMap};
 pub struct RankIndex {
     /// Rank of every live node; absent for departed nodes.
     rank_of: NodeMap<u32>,
-    /// Inverse table. A slot whose id has no `rank_of` entry pointing
-    /// back at it is a tombstone (deleted node) — kept until the next
-    /// re-rank compacts the table.
+    /// Inverse table. A deleted node's slot is blanked to [`TOMBSTONE`]
+    /// — kept until the next re-rank compacts the table. Blanking (not
+    /// merely orphaning) is what makes identifier recycling safe: a
+    /// recycled id re-entering the index can never be confused with its
+    /// previous life's slot.
     node_at_rank: Vec<NodeId>,
     /// Highest live rank, if any node is live. Appends compare against
     /// it; deletions walk it down past tombstones (amortized O(1): every
@@ -193,6 +200,7 @@ impl RankIndex {
             self.pending.retain(|&w| w != v);
             return;
         };
+        self.node_at_rank[rank as usize] = TOMBSTONE;
         if self.max_rank == Some(rank) {
             let mut r = rank;
             self.max_rank = loop {
@@ -200,7 +208,7 @@ impl RankIndex {
                     break None;
                 }
                 r -= 1;
-                if self.rank_of.contains(self.node_at_rank[r as usize]) {
+                if self.node_at_rank[r as usize] != TOMBSTONE {
                     break Some(r);
                 }
             };
@@ -230,7 +238,7 @@ impl RankIndex {
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut next = pending.iter().copied().peekable();
         for &w in &self.node_at_rank {
-            if self.rank_of.contains(w) {
+            if w != TOMBSTONE {
                 let pw = priorities.of(w);
                 while next.peek().is_some_and(|&p| priorities.of(p) < pw) {
                     scratch.push(next.next().expect("peeked"));
@@ -274,6 +282,9 @@ impl RankIndex {
         let mut last: Option<(u32, Priority)> = None;
         for (rank, &v) in self.node_at_rank.iter().enumerate() {
             let rank = rank as u32;
+            if v == TOMBSTONE {
+                continue;
+            }
             match self.rank_of.get(v) {
                 Some(&r) if r == rank => {
                     let p = priorities.of(v);
@@ -283,7 +294,7 @@ impl RankIndex {
                     last = Some((rank, p));
                 }
                 Some(&r) => panic!("slot {rank} holds {v}, which is live at rank {r}"),
-                None => {} // tombstone
+                None => panic!("slot {rank} holds dead id {v} instead of a tombstone"),
             }
         }
         assert_eq!(

@@ -58,7 +58,6 @@
 //! of random sequences.
 
 use std::cmp::Reverse;
-use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
 
 use dmis_graph::{
@@ -311,7 +310,7 @@ fn run_shard_epoch_heap(
 /// # Example
 ///
 /// ```
-/// use dmis_core::{MisEngine, ShardedMisEngine};
+/// use dmis_core::{DynamicMis, MisEngine, ShardedMisEngine};
 /// use dmis_graph::{generators, ShardLayout};
 ///
 /// let (g, ids) = generators::cycle(12);
@@ -474,14 +473,6 @@ impl ShardedMisEngine {
         self.layout.shards()
     }
 
-    /// Returns the current MIS as a set of node identifiers, merged across
-    /// shards. Allocates; metering loops that only need the members or
-    /// the cardinality should use [`Self::mis_iter`] / [`Self::mis_len`].
-    #[must_use]
-    pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.mis_iter().collect()
-    }
-
     /// Iterates over the current MIS in identifier order without
     /// allocating a set.
     pub fn mis_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
@@ -489,7 +480,7 @@ impl ShardedMisEngine {
     }
 
     /// Size of the current MIS, summed over the shards' membership bits
-    /// in O(K) — no per-call allocation, unlike [`Self::mis`].
+    /// in O(K) — no per-call allocation, unlike [`crate::DynamicMis::mis`].
     #[must_use]
     pub fn mis_len(&self) -> usize {
         self.shards.iter().map(|s| s.in_mis.len()).sum()
@@ -515,10 +506,11 @@ impl ShardedMisEngine {
         self.graph.has_node(v).then(|| self.output(v))
     }
 
-    /// Returns the output state of `v`, or `None` if `v` does not exist.
-    #[must_use]
-    pub fn state(&self, v: NodeId) -> Option<MisState> {
-        self.is_in_mis(v).map(MisState::from_membership)
+    /// Draws the next priority key from the engine's seeded stream (the
+    /// draw behind [`crate::DynamicMis::insert_node`]); same seed ⇒ same
+    /// draws as [`crate::MisEngine`].
+    pub(crate) fn draw_key(&mut self) -> u64 {
+        self.rng.random()
     }
 
     /// Membership bit of `v`, read from its owning shard.
@@ -624,21 +616,6 @@ impl ShardedMisEngine {
         Ok(self.settle(ChangeKind::EdgeDelete, stats))
     }
 
-    /// Inserts a new node with edges to `neighbors`, draws its priority,
-    /// and restores the MIS invariant.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`] if a neighbor is missing or repeated; on
-    /// error the engine is unchanged.
-    pub fn insert_node<I>(&mut self, neighbors: I) -> Result<(NodeId, UpdateReceipt), GraphError>
-    where
-        I: IntoIterator<Item = NodeId>,
-    {
-        let key = self.rng.random();
-        self.insert_node_with_key(neighbors, key)
-    }
-
     /// Inserts a new node with a *prescribed* random key (baselines and
     /// adversarial tests; see
     /// [`crate::MisEngine::insert_node_with_key`]).
@@ -699,27 +676,6 @@ impl ShardedMisEngine {
             }
         }
         Ok(self.settle(ChangeKind::NodeDelete, stats))
-    }
-
-    /// Applies a described [`TopologyChange`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`GraphError`]; for [`TopologyChange::InsertNode`] the
-    /// pre-assigned identifier must equal [`DynGraph::peek_next_id`], else
-    /// [`GraphError::MissingNode`] is returned.
-    pub fn apply(&mut self, change: &TopologyChange) -> Result<UpdateReceipt, GraphError> {
-        match change {
-            TopologyChange::InsertEdge(u, v) => self.insert_edge(*u, *v),
-            TopologyChange::DeleteEdge(u, v) => self.remove_edge(*u, *v),
-            TopologyChange::InsertNode { id, edges } => {
-                if self.graph.peek_next_id() != *id {
-                    return Err(GraphError::MissingNode(*id));
-                }
-                self.insert_node(edges.iter().copied()).map(|(_, r)| r)
-            }
-            TopologyChange::DeleteNode(v) => self.remove_node(*v),
-        }
     }
 
     /// Applies a **batch** of topology changes atomically, with the same
@@ -1007,10 +963,15 @@ impl ShardedMisEngine {
     }
 }
 
+// The shared convenience layer (`apply` dispatch, `insert_node` key
+// draws, `mis`, `state`) is provided once by `DynamicMis`; the macro
+// forwards the trait's required primitives to the methods above.
+crate::api::forward_dynamic_mis!(ShardedMisEngine, |s| s);
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MisEngine;
+    use crate::{DynamicMis, MisEngine};
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
 
@@ -1092,7 +1053,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(2);
             let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
             let mut engine = ShardedMisEngine::from_graph(g, layout, 3);
-            let (v, _) = engine.insert_node(vec![ids[0], ids[1], ids[2]]).unwrap();
+            let (v, _) = engine.insert_node(&[ids[0], ids[1], ids[2]]).unwrap();
             engine.assert_internally_consistent();
             engine.remove_node(v).unwrap();
             assert!(!engine.graph().has_node(v));
@@ -1108,7 +1069,7 @@ mod tests {
         assert!(engine.insert_edge(ids[0], ids[1]).is_err());
         assert!(engine.remove_edge(ids[0], ids[2]).is_err());
         assert!(engine.remove_node(NodeId(50)).is_err());
-        assert!(engine.insert_node(vec![NodeId(50)]).is_err());
+        assert!(engine.insert_node(&[NodeId(50)]).is_err());
         assert_eq!(engine.mis(), snapshot);
         engine.assert_internally_consistent();
     }

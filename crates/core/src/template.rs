@@ -266,6 +266,7 @@ pub fn u2_gadget() -> (DynGraph, PriorityMap, [NodeId; 6]) {
 mod tests {
     use super::*;
     use crate::invariant;
+    use crate::DynamicMis;
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
     use rand::rngs::StdRng;

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dmis_core::{MisEngine, PriorityMap};
+use dmis_core::{DynamicMis, MisEngine, PriorityMap};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{DynGraph, NodeId, TopologyChange};
 use rand::rngs::StdRng;

@@ -19,7 +19,7 @@
 //! front-vs-heap accounting divergence would hide.
 
 use dmis_core::{
-    MisEngine, ParallelShardedMisEngine, PriorityMap, SettleStrategy, ShardedMisEngine,
+    DynamicMis, MisEngine, ParallelShardedMisEngine, PriorityMap, SettleStrategy, ShardedMisEngine,
 };
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, DynGraph, ShardLayout, TopologyChange};

@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 
-use dmis_core::{invariant, static_greedy, template, theory, MisEngine, PriorityMap};
+use dmis_core::{invariant, static_greedy, template, theory, DynamicMis, MisEngine, PriorityMap};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, NodeId, TopologyChange};
 use proptest::prelude::*;

@@ -1,18 +1,23 @@
-//! Sharding- and parallel-equivalence property suite.
+//! Sharding- and parallel-equivalence property suite — **generic over
+//! [`DynamicMis`]**.
 //!
 //! Three engines must be observationally identical on every change
-//! stream: the unsharded [`MisEngine`] (the oracle for outputs and
-//! adjustment sets), the K-shard [`ShardedMisEngine`], and the
-//! thread-executed [`ParallelShardedMisEngine`]. The sharded engines must
-//! agree with the oracle on the MIS and the adjustment set after every
-//! prefix; the parallel engine must additionally be **bit-identical to
-//! the sequential sharded engine on the whole receipt** — flip log,
-//! handoffs, shard runs, epochs — for every layout × thread count, with
-//! the spawn threshold forced to zero so worker threads really run. The
-//! sequences are biased toward *boundary churn* — random edge/node
-//! insert/delete streams whose edges overwhelmingly span shard boundaries
-//! under striping, plus adversarial stars whose leaves are dealt across
-//! all shards — because cross-shard handoffs are exactly where a
+//! stream: the unsharded [`dmis_core::MisEngine`] (the oracle for outputs
+//! and adjustment sets), the K-shard [`dmis_core::ShardedMisEngine`], and
+//! the thread-executed [`dmis_core::ParallelShardedMisEngine`]. Since the
+//! unified-API redesign the suite drives every engine through one code
+//! path: each is built by [`Engine::builder`] as a `Box<dyn DynamicMis>`,
+//! and the replay loop only ever sees the trait — the per-engine copies
+//! of this driver are gone. The sharded engines must agree with the
+//! oracle on the MIS and the adjustment set after every prefix; the
+//! parallel engines must additionally be **bit-identical to the
+//! sequential sharded engine on the whole receipt** — flip log, handoffs,
+//! shard runs, epochs — for every layout × thread count, with the spawn
+//! threshold forced to zero so worker threads really run. The sequences
+//! are biased toward *boundary churn* — random edge/node insert/delete
+//! streams whose edges overwhelmingly span shard boundaries under
+//! striping, plus adversarial stars whose leaves are dealt across all
+//! shards — because cross-shard handoffs are exactly where a
 //! scheduling-dependent divergence would hide.
 //!
 //! The `DMIS_PAR_THREADS` environment variable appends an extra thread
@@ -21,7 +26,7 @@
 
 use std::collections::BTreeSet;
 
-use dmis_core::{MisEngine, ParallelShardedMisEngine, PriorityMap, ShardedMisEngine};
+use dmis_core::{DynamicMis, Engine, PriorityMap, UpdateReceipt};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, DynGraph, NodeId, ShardLayout};
 use rand::rngs::StdRng;
@@ -44,19 +49,62 @@ fn thread_axis() -> Vec<usize> {
     axis
 }
 
-/// A parallel engine forced onto the threaded path (spawn threshold 0).
-fn parallel_engine(g: &DynGraph, k: usize, threads: usize, seed: u64) -> ParallelShardedMisEngine {
-    let mut engine =
-        ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), threads, seed);
-    engine.set_spawn_threshold(0);
-    engine
+/// One engine under test: the boxed trait object plus the axes it was
+/// built with (for failure labels and for pairing parallel engines with
+/// their sequential counterparts).
+struct Subject {
+    label: String,
+    /// Shard-count index into `SHARD_COUNTS` for parallel engines, so a
+    /// receipt can be checked against the sequential engine of the same
+    /// layout; `None` for sequential subjects.
+    paired_with: Option<usize>,
+    engine: Box<dyn DynamicMis + Send>,
 }
 
-/// Drives the same change stream through the unsharded oracle, one
-/// sequential sharded engine per K, and one parallel engine per
-/// K × thread count, asserting agreement after every single change:
-/// outputs and adjustment sets against the oracle, full receipts between
-/// the sequential and parallel coordinators.
+/// Builds the full engine matrix for one stream: the unsharded oracle,
+/// one sequential sharded engine per K, and one parallel engine per
+/// K × thread count — all through [`Engine::builder`], all driven as
+/// `dyn DynamicMis`.
+fn subjects(
+    g: &DynGraph,
+    priorities: Option<&PriorityMap>,
+    seed: u64,
+) -> (Box<dyn DynamicMis + Send>, Vec<Subject>) {
+    let base = |k: Option<usize>| {
+        let mut b = Engine::builder().graph(g.clone()).seed(seed);
+        if let Some(p) = priorities {
+            b = b.priorities(p.clone());
+        }
+        if let Some(k) = k {
+            b = b.sharding(ShardLayout::striped(k));
+        }
+        b
+    };
+    let oracle = base(None).build();
+    let mut list = Vec::new();
+    for &k in &SHARD_COUNTS {
+        list.push(Subject {
+            label: format!("K={k}"),
+            paired_with: None,
+            engine: base(Some(k)).build(),
+        });
+    }
+    for (ki, &k) in SHARD_COUNTS.iter().enumerate() {
+        for &t in &thread_axis() {
+            list.push(Subject {
+                label: format!("K={k} threads={t}"),
+                paired_with: Some(ki),
+                engine: base(Some(k)).threads(t).spawn_threshold(0).build(),
+            });
+        }
+    }
+    (oracle, list)
+}
+
+/// Drives the same change stream through the whole engine matrix,
+/// asserting agreement after every single change: outputs and adjustment
+/// sets against the oracle, full receipts between the sequential and
+/// parallel coordinators.
 fn assert_equivalent_on_stream(
     g: &DynGraph,
     seed: u64,
@@ -64,60 +112,52 @@ fn assert_equivalent_on_stream(
     cfg: &ChurnConfig,
     rng: &mut StdRng,
 ) {
-    let threads = thread_axis();
-    let mut plain = MisEngine::from_graph(g.clone(), seed);
-    let mut sharded: Vec<ShardedMisEngine> = SHARD_COUNTS
-        .iter()
-        .map(|&k| ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed))
-        .collect();
-    let mut parallel: Vec<ParallelShardedMisEngine> = SHARD_COUNTS
-        .iter()
-        .flat_map(|&k| threads.iter().map(move |&t| (k, t)))
-        .map(|(k, t)| parallel_engine(g, k, t, seed))
-        .collect();
-    for engine in &sharded {
-        assert_eq!(engine.mis(), plain.mis(), "initial greedy MIS diverged");
+    let (mut plain, mut matrix) = subjects(g, None, seed);
+    for s in &matrix {
+        assert_eq!(
+            s.engine.mis(),
+            plain.mis(),
+            "{} initial greedy MIS diverged",
+            s.label
+        );
     }
     for _ in 0..steps {
         let Some(change) = stream::random_change(plain.graph(), cfg, rng) else {
             break;
         };
         let receipt = plain.apply(&change).expect("valid change");
-        let mut sharded_receipts = Vec::with_capacity(sharded.len());
-        for engine in &mut sharded {
-            let r = engine.apply(&change).expect("valid change");
-            assert_eq!(
-                engine.mis(),
-                plain.mis(),
-                "K={} output diverged (seed {seed})",
-                engine.shard_count()
-            );
-            assert_eq!(
-                r.adjusted_nodes(),
-                receipt.adjusted_nodes(),
-                "K={} adjustment set diverged (seed {seed})",
-                engine.shard_count()
-            );
-            sharded_receipts.push(r);
-        }
-        for (i, engine) in parallel.iter_mut().enumerate() {
-            let r = engine.apply(&change).expect("valid change");
-            let k_index = i / threads.len();
-            assert_eq!(
-                r,
-                sharded_receipts[k_index],
-                "K={} threads={} receipt diverged from sequential (seed {seed})",
-                engine.shard_count(),
-                engine.threads()
-            );
+        let mut sequential_receipts: Vec<UpdateReceipt> = Vec::with_capacity(SHARD_COUNTS.len());
+        for s in &mut matrix {
+            let r = s.engine.apply(&change).expect("valid change");
+            match s.paired_with {
+                None => {
+                    assert_eq!(
+                        s.engine.mis(),
+                        plain.mis(),
+                        "{} output diverged (seed {seed})",
+                        s.label
+                    );
+                    assert_eq!(
+                        r.adjusted_nodes(),
+                        receipt.adjusted_nodes(),
+                        "{} adjustment set diverged (seed {seed})",
+                        s.label
+                    );
+                    sequential_receipts.push(r);
+                }
+                Some(ki) => {
+                    assert_eq!(
+                        r, sequential_receipts[ki],
+                        "{} receipt diverged from sequential (seed {seed})",
+                        s.label
+                    );
+                }
+            }
         }
     }
-    for engine in &sharded {
-        engine.assert_internally_consistent();
-    }
-    for engine in &parallel {
-        assert_eq!(engine.mis(), plain.mis());
-        engine.assert_internally_consistent();
+    for s in &matrix {
+        assert_eq!(s.engine.mis(), plain.mis(), "{} final MIS", s.label);
+        s.engine.assert_internally_consistent();
     }
 }
 
@@ -146,8 +186,9 @@ fn sharded_engines_match_unsharded_over_random_sequences() {
 
 /// Stars spanning shard boundaries: under striping every leaf of a star
 /// centered at node 0 lives on a rotating shard, so deleting the center
-/// is the worst-case all-handoff promotion cascade; rebuilding it exercises
-/// boundary-crossing inserts.
+/// is the worst-case all-handoff promotion cascade; rebuilding it
+/// exercises boundary-crossing inserts. The whole matrix (including the
+/// prescribed-π axis) runs through the builder's `priorities` axis.
 #[test]
 fn boundary_spanning_stars_settle_identically() {
     for leaves in [5usize, 8, 13, 21] {
@@ -155,40 +196,37 @@ fn boundary_spanning_stars_settle_identically() {
         // Center first in π: MIS = {center}; all leaves promote on its
         // deletion, each promotion notified across a boundary.
         let pm = PriorityMap::from_order(&ids);
-        let mut plain = MisEngine::from_parts(g.clone(), pm.clone(), 0);
-        for &k in &SHARD_COUNTS {
-            let mut engine =
-                ShardedMisEngine::from_parts(g.clone(), pm.clone(), ShardLayout::striped(k), 0);
-            assert_eq!(engine.mis(), plain.mis());
-            let receipt = engine.remove_node(ids[0]).expect("center exists");
-            assert_eq!(receipt.adjustments(), leaves, "all leaves join (K={k})");
-            if k > 1 {
-                assert!(
-                    receipt.cross_shard_handoffs() > 0,
-                    "star cascade must cross boundaries (K={k})"
-                );
+        let (mut plain, mut matrix) = subjects(&g, Some(&pm), 0);
+        let oracle_receipt = plain.remove_node(ids[0]).expect("center exists");
+        assert_eq!(oracle_receipt.adjustments(), leaves, "all leaves join");
+        let mut sequential_receipts: Vec<UpdateReceipt> = Vec::new();
+        for s in &mut matrix {
+            let r = s.engine.remove_node(ids[0]).expect("center exists");
+            assert_eq!(r.adjustments(), leaves, "all leaves join ({})", s.label);
+            match s.paired_with {
+                None => {
+                    if s.label != "K=1" {
+                        assert!(
+                            r.cross_shard_handoffs() > 0,
+                            "star cascade must cross boundaries ({})",
+                            s.label
+                        );
+                    }
+                    sequential_receipts.push(r);
+                }
+                Some(ki) => {
+                    // The all-handoff promotion cascade is the worst case
+                    // for a scheduling bug: demand the receipt bit for bit.
+                    assert_eq!(
+                        r, sequential_receipts[ki],
+                        "{} star receipt diverged",
+                        s.label
+                    );
+                }
             }
-            engine.assert_internally_consistent();
-            // The all-handoff promotion cascade is the worst case for a
-            // scheduling bug: replay it on worker threads and demand the
-            // receipt bit for bit.
-            for &t in &thread_axis() {
-                let mut par = ParallelShardedMisEngine::from_parts(
-                    g.clone(),
-                    pm.clone(),
-                    ShardLayout::striped(k),
-                    t,
-                    0,
-                );
-                par.set_spawn_threshold(0);
-                let r = par.remove_node(ids[0]).expect("center exists");
-                assert_eq!(r, receipt, "K={k} threads={t} star receipt diverged");
-                assert_eq!(par.mis(), engine.mis());
-                par.assert_internally_consistent();
-            }
+            assert_eq!(s.engine.mis(), plain.mis(), "{}", s.label);
+            s.engine.assert_internally_consistent();
         }
-        // Keep `plain` in lockstep for the next leaf count's sanity check.
-        plain.remove_node(ids[0]).expect("center exists");
     }
 }
 
@@ -200,8 +238,17 @@ fn incremental_star_churn_agrees_on_every_prefix() {
     for &k in &SHARD_COUNTS {
         let (g, ids) = DynGraph::with_nodes(9);
         let pm = PriorityMap::from_order(&ids);
-        let mut plain = MisEngine::from_parts(g.clone(), pm.clone(), 1);
-        let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(k), 1);
+        let mut plain = Engine::builder()
+            .graph(g.clone())
+            .priorities(pm.clone())
+            .seed(1)
+            .build();
+        let mut engine = Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(1)
+            .sharding(ShardLayout::striped(k))
+            .build();
         for &leaf in &ids[1..] {
             plain.insert_edge(ids[0], leaf).expect("valid");
             engine.insert_edge(ids[0], leaf).expect("valid");
@@ -234,22 +281,19 @@ fn batched_boundary_churn_matches_unsharded() {
                 batch.push(change);
             }
         }
-        let mut plain = MisEngine::from_graph(g.clone(), seed);
+        let (mut plain, mut matrix) = subjects(&g, None, seed);
         plain.apply_batch(&batch).expect("valid batch");
-        for &k in &SHARD_COUNTS {
-            let mut engine = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), seed);
-            let receipt = engine.apply_batch(&batch).expect("valid batch");
-            assert_eq!(engine.mis(), plain.mis(), "K={k} seed={seed}");
-            engine.assert_internally_consistent();
-            // Batches are where threads actually engage (many shards
-            // seeded per epoch): the parallel batch receipt must still be
-            // bit-identical to the sequential one.
-            for &t in &thread_axis() {
-                let mut par = parallel_engine(&g, k, t, seed);
-                let r = par.apply_batch(&batch).expect("valid batch");
-                assert_eq!(r, receipt, "K={k} threads={t} seed={seed}");
-                assert_eq!(par.mis(), plain.mis());
-                par.assert_internally_consistent();
+        let mut sequential_receipts = Vec::new();
+        for s in &mut matrix {
+            let receipt = s.engine.apply_batch(&batch).expect("valid batch");
+            assert_eq!(s.engine.mis(), plain.mis(), "{} seed={seed}", s.label);
+            s.engine.assert_internally_consistent();
+            match s.paired_with {
+                None => sequential_receipts.push(receipt),
+                // Batches are where threads actually engage (many shards
+                // seeded per epoch): the parallel batch receipt must
+                // still be bit-identical to the sequential one.
+                Some(ki) => assert_eq!(receipt, sequential_receipts[ki], "{} seed={seed}", s.label),
             }
         }
     }
@@ -264,25 +308,28 @@ fn blocked_layouts_are_equivalent_as_well() {
     for seed in 0..60u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let (g, _) = generators::erdos_renyi(20, 0.2, &mut rng);
-        let mut plain = MisEngine::from_graph(g.clone(), seed);
+        let mut plain = Engine::builder().graph(g.clone()).seed(seed).build();
         let layouts = [(2usize, 3u64), (4, 2), (3, 5)];
-        let mut engines: Vec<ShardedMisEngine> = layouts
+        let mut engines: Vec<Box<dyn DynamicMis + Send>> = layouts
             .iter()
             .map(|&(k, b)| {
-                ShardedMisEngine::from_graph(g.clone(), ShardLayout::blocked(k, b), seed)
+                Engine::builder()
+                    .graph(g.clone())
+                    .seed(seed)
+                    .sharding(ShardLayout::blocked(k, b))
+                    .build()
             })
             .collect();
-        let mut parallels: Vec<ParallelShardedMisEngine> = layouts
+        let mut parallels: Vec<Box<dyn DynamicMis + Send>> = layouts
             .iter()
             .map(|&(k, b)| {
-                let mut par = ParallelShardedMisEngine::from_graph(
-                    g.clone(),
-                    ShardLayout::blocked(k, b),
-                    2,
-                    seed,
-                );
-                par.set_spawn_threshold(0);
-                par
+                Engine::builder()
+                    .graph(g.clone())
+                    .seed(seed)
+                    .sharding(ShardLayout::blocked(k, b))
+                    .threads(2)
+                    .spawn_threshold(0)
+                    .build()
             })
             .collect();
         for _ in 0..8 {
@@ -292,11 +339,11 @@ fn blocked_layouts_are_equivalent_as_well() {
                 break;
             };
             plain.apply(&change).expect("valid");
-            for (engine, par) in engines.iter_mut().zip(&mut parallels) {
+            for (i, (engine, par)) in engines.iter_mut().zip(&mut parallels).enumerate() {
                 let r = engine.apply(&change).expect("valid");
-                assert_eq!(engine.mis(), plain.mis(), "{:?}", engine.layout());
+                assert_eq!(engine.mis(), plain.mis(), "layout {:?}", layouts[i]);
                 let rp = par.apply(&change).expect("valid");
-                assert_eq!(rp, r, "parallel diverged on {:?}", par.layout());
+                assert_eq!(rp, r, "parallel diverged on {:?}", layouts[i]);
             }
         }
     }
@@ -315,7 +362,12 @@ fn handoff_accounting_is_exact_on_a_path() {
         g.insert_edge(w[0], w[1]).unwrap();
     }
     let pm = PriorityMap::from_order(&ids);
-    let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(2), 0);
+    let mut engine = Engine::builder()
+        .graph(g)
+        .priorities(pm)
+        .seed(0)
+        .sharding(ShardLayout::striped(2))
+        .build();
     let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
     let expected: BTreeSet<NodeId> = [ids[1], ids[2], ids[3]].into_iter().collect();
     assert_eq!(receipt.adjusted_nodes(), expected);

@@ -11,7 +11,7 @@
 //! is attributed, not buried in a build log.
 
 use dmis_core::{
-    BatchReceipt, MisEngine, ParallelShardedMisEngine, ShardedMisEngine, UpdateReceipt,
+    BatchReceipt, DynamicMis, MisEngine, ParallelShardedMisEngine, ShardedMisEngine, UpdateReceipt,
 };
 
 const fn assert_send<T: Send>() {}
@@ -25,6 +25,10 @@ const _: () = assert_send::<MisEngine>();
 const _: () = assert_sync::<MisEngine>();
 const _: () = assert_send::<UpdateReceipt>();
 const _: () = assert_send::<BatchReceipt>();
+// The unified API's boxed form must stay thread-migratable too: the
+// builder returns `Box<dyn DynamicMis + Send>` and the sim's ingestion
+// runner carries one across its lifetime.
+const _: () = assert_send::<Box<dyn DynamicMis + Send>>();
 
 /// The assertions above are evaluated at compile time; this runtime test
 /// exists so the target reports a green check (and exercises an engine

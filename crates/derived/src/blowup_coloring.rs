@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use dmis_core::MisEngine;
+use dmis_core::{DynamicMis, MisEngine};
 use dmis_graph::{CliqueBlowup, DynGraph, GraphError, NodeId};
 
 /// (Δ+1)-coloring via the **clique blow-up** reduction (Section 5 of the
@@ -149,7 +149,7 @@ impl BlowupColoring {
         // Mirror into the engine: clique copies one by one, then matchings.
         let copies = self.blowup.copies_of(v).expect("just created").to_vec();
         for (i, &copy) in copies.iter().enumerate() {
-            let (got, _) = self.engine.insert_node(copies[..i].iter().copied())?;
+            let (got, _) = self.engine.insert_node(&copies[..i])?;
             debug_assert_eq!(got, copy, "engine and blow-up id streams agree");
         }
         for &u in neighbors {

@@ -1,8 +1,8 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use dmis_core::{Priority, PriorityMap};
-use dmis_graph::{DynGraph, GraphError, NodeId, NodeMap, TopologyChange};
+use dmis_core::{Priority, PriorityMap, RankIndex, SettleStrategy};
+use dmis_graph::{DynGraph, GraphError, NodeId, NodeMap, RankFront, TopologyChange};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,6 +55,12 @@ pub struct ColoringEngine {
     priorities: PriorityMap,
     /// Dense per-node color table.
     color: NodeMap<usize>,
+    /// Dense ranks realizing π, consumed by the rank-front settle drain.
+    ranks: RankIndex,
+    /// Persistent word-parallel dirty queue (empty between updates).
+    front: RankFront,
+    /// Which dirty-queue realization [`Self::propagate`] drains.
+    strategy: SettleStrategy,
     rng: StdRng,
 }
 
@@ -84,12 +90,31 @@ impl ColoringEngine {
 
     fn from_parts_inner(graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
         let coloring = dmis_core::static_greedy::greedy_coloring(&graph, &priorities);
+        let ranks = RankIndex::from_priorities(&priorities);
+        let front = RankFront::with_capacity(ranks.span());
         ColoringEngine {
             graph,
             priorities,
             color: coloring.into_iter().collect(),
+            ranks,
+            front,
+            strategy: SettleStrategy::default(),
             rng,
         }
+    }
+
+    /// Which dirty-queue realization the settle loop drains.
+    #[must_use]
+    pub fn settle_strategy(&self) -> SettleStrategy {
+        self.strategy
+    }
+
+    /// Selects the dirty-queue realization. Purely a
+    /// performance/verification knob: receipts and colors are
+    /// bit-identical for both settings (both drains recolor in
+    /// increasing π), which the strategy-equivalence test pins.
+    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+        self.strategy = strategy;
     }
 
     /// The current graph.
@@ -133,7 +158,58 @@ impl ColoringEngine {
         (0..).find(|c| !used.contains(c)).expect("mex exists")
     }
 
+    /// Settles dirty nodes in increasing π order; both drains recolor
+    /// the identical sequence (a recolored node's final color is decided
+    /// at its first pop, because every lower-π recolor precedes it), so
+    /// the receipt is bit-identical either way.
     fn propagate(&mut self, seeds: Vec<NodeId>) -> ColoringReceipt {
+        // One coalesced re-rank covers any node this update inserted out
+        // of π order — same cadence as the MIS engines, and for the same
+        // reason: it bounds the pending list so `RankIndex::remove` stays
+        // O(update) no matter which strategy is active.
+        self.ranks.flush(&self.priorities);
+        match self.strategy {
+            SettleStrategy::RankFront => self.propagate_front(seeds),
+            SettleStrategy::BinaryHeap => self.propagate_heap(seeds),
+        }
+    }
+
+    /// The word-parallel drain: dirty ranks live in the persistent
+    /// [`RankFront`] (set semantics — duplicate pushes merge), pops are
+    /// whole-word bit scans, and the neighbor filter compares dense
+    /// `u32` ranks.
+    fn propagate_front(&mut self, seeds: Vec<NodeId>) -> ColoringReceipt {
+        debug_assert!(self.front.is_empty(), "settle front leaked ranks");
+        for v in seeds {
+            // All seeds are live here: the coloring engine has no batch
+            // API, so no seed can refer to a node a later change deleted.
+            self.front.insert(self.ranks.rank_of(v));
+        }
+        let mut recolored = Vec::new();
+        while let Some(rank) = self.front.pop_min() {
+            let v = self.ranks.node_at(rank);
+            let desired = self.mex_of_lower(v);
+            if self.color.get(v) == Some(&desired) {
+                continue;
+            }
+            self.color.insert(v, desired);
+            recolored.push((v, desired));
+            let graph = &self.graph;
+            let ranks = &self.ranks;
+            let front = &mut self.front;
+            for &w in graph.neighbors_slice(v).expect("live node") {
+                let rw = ranks.rank_of(w);
+                if rw > rank {
+                    front.insert(rw);
+                }
+            }
+        }
+        ColoringReceipt { recolored }
+    }
+
+    /// The retained heap drain — the pre-front settle loop, kept as the
+    /// bitwise reference (duplicates pushed and skipped on re-pop).
+    fn propagate_heap(&mut self, seeds: Vec<NodeId>) -> ColoringReceipt {
         let mut heap: BinaryHeap<Reverse<(Priority, NodeId)>> = seeds
             .into_iter()
             .map(|v| Reverse((self.priorities.of(v), v)))
@@ -193,6 +269,7 @@ impl ColoringEngine {
         let v = self.graph.add_node_with_edges(neighbors)?;
         let key = self.rng.random();
         self.priorities.insert(v, Priority::new(key, v));
+        self.ranks.insert(v, &self.priorities);
         // Sentinel forces the propagation to assign a real color.
         self.color.insert(v, usize::MAX);
         let receipt = self.propagate(vec![v]);
@@ -208,6 +285,7 @@ impl ColoringEngine {
         let prio_v = self.priorities.get(v).ok_or(GraphError::MissingNode(v))?;
         let nbrs = self.graph.remove_node(v)?;
         self.priorities.remove(v);
+        self.ranks.remove(v);
         self.color.remove(v);
         let seeds: Vec<NodeId> = nbrs
             .into_iter()
@@ -242,6 +320,8 @@ impl ColoringEngine {
     ///
     /// Panics on divergence.
     pub fn assert_consistent(&self) {
+        self.ranks.assert_consistent(&self.priorities);
+        assert!(self.front.is_empty(), "settle front leaked ranks");
         let fresh: NodeMap<usize> =
             dmis_core::static_greedy::greedy_coloring(&self.graph, &self.priorities)
                 .into_iter()
@@ -329,6 +409,33 @@ mod tests {
         let ce = ColoringEngine::from_parts(g, PriorityMap::from_order(&order), 0);
         assert_eq!(ce.palette_size(), 2);
         ce.assert_consistent();
+    }
+
+    #[test]
+    fn front_and_heap_strategies_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (g, _) = generators::erdos_renyi(16, 0.3, &mut rng);
+        let mut front = ColoringEngine::from_graph(g.clone(), 6);
+        let mut heap = ColoringEngine::from_graph(g, 6);
+        heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+        assert_eq!(front.settle_strategy(), SettleStrategy::RankFront);
+        for step in 0..300 {
+            let Some(change) =
+                stream::random_change(front.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            let rf = front.apply(&change).unwrap();
+            let rh = heap.apply(&change).unwrap();
+            assert_eq!(rf, rh, "step {step}: receipts diverged");
+            assert_eq!(front.colors(), heap.colors(), "step {step}");
+            if step % 60 == 0 {
+                front.assert_consistent();
+                heap.assert_consistent();
+            }
+        }
+        front.assert_consistent();
+        heap.assert_consistent();
     }
 
     #[test]

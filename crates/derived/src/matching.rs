@@ -1,6 +1,6 @@
 use std::collections::BTreeSet;
 
-use dmis_core::{MisEngine, UpdateReceipt};
+use dmis_core::{DynamicMis, MisEngine, UpdateReceipt};
 use dmis_graph::{DynGraph, EdgeKey, GraphError, LineGraphMirror, NodeId};
 
 /// History-independent dynamic **maximal matching**, maintained by
@@ -63,14 +63,20 @@ impl DynamicMatching {
     #[must_use]
     pub fn matching(&self) -> BTreeSet<EdgeKey> {
         self.engine
-            .mis()
-            .into_iter()
+            .mis_iter()
             .map(|ln| {
                 self.mirror
                     .edge_of_node(ln)
                     .expect("MIS nodes map to live edges")
             })
             .collect()
+    }
+
+    /// Number of matched edges — the line-graph MIS size, no
+    /// materialization.
+    #[must_use]
+    pub fn matching_len(&self) -> usize {
+        self.engine.mis_len()
     }
 
     /// Returns `true` if the edge `{u, v}` is matched.

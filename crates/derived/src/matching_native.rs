@@ -1,7 +1,8 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, NodeMap, NodeSet};
+use dmis_core::{Priority, PriorityMap, RankIndex, SettleStrategy};
+use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, NodeMap, NodeSet, RankFront};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,6 +81,19 @@ pub struct NativeMatching {
     /// iff both its endpoints point at it; this doubles as the
     /// lower-matched-neighbor oracle.
     cover: NodeMap<EdgeKey>,
+    /// The edge order as a [`PriorityMap`] keyed by **line id**:
+    /// `Priority::new(key, line_id)`, i.e. random key major, dense line
+    /// id as the tie-break. This is the canonical settle order for both
+    /// drains (the pre-front code tie-broke equal keys by [`EdgeKey`];
+    /// random keys make that case measure-zero, and every prescribed-key
+    /// test uses distinct keys).
+    line_prio: PriorityMap,
+    /// Dense ranks over `line_prio`, consumed by the rank-front drain.
+    ranks: RankIndex,
+    /// Persistent word-parallel dirty queue over line-id ranks.
+    front: RankFront,
+    /// Which dirty-queue realization [`Self::propagate`] drains.
+    strategy: SettleStrategy,
     rng: StdRng,
 }
 
@@ -113,8 +127,26 @@ impl NativeMatching {
             next_line: 0,
             matched: NodeSet::new(),
             cover: NodeMap::new(),
+            line_prio: PriorityMap::new(),
+            ranks: RankIndex::new(),
+            front: RankFront::new(),
+            strategy: SettleStrategy::default(),
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Which dirty-queue realization the settle loop drains.
+    #[must_use]
+    pub fn settle_strategy(&self) -> SettleStrategy {
+        self.strategy
+    }
+
+    /// Selects the dirty-queue realization. Purely a
+    /// performance/verification knob: flips come out in increasing edge
+    /// priority either way, so receipts are bit-identical for both
+    /// settings — which the strategy-equivalence test pins.
+    pub fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+        self.strategy = strategy;
     }
 
     /// Admits a live edge into the arena, recycling a vacated id when one
@@ -128,6 +160,11 @@ impl NativeMatching {
         debug_assert!(!self.matched.contains(id), "recycled id carries a bit");
         self.slots.insert(id, (e, key));
         self.line_id.insert(e, id);
+        // Recycled ids re-enter π with a fresh key: the old priority was
+        // removed at release, so the no-redraw invariant holds per
+        // id-lifetime exactly as for graph nodes.
+        self.line_prio.insert(id, Priority::new(key, id));
+        self.ranks.insert(id, &self.line_prio);
         id
     }
 
@@ -137,6 +174,8 @@ impl NativeMatching {
         let id = self.line_id.remove(&e).expect("live edge");
         let was_matched = self.matched.remove(id);
         self.slots.remove(id);
+        self.line_prio.remove(id);
+        self.ranks.remove(id);
         self.free.push(id);
         (id, was_matched)
     }
@@ -169,8 +208,8 @@ impl NativeMatching {
             .is_some_and(|&id| self.matched.contains(id))
     }
 
-    fn priority_of(&self, e: EdgeKey) -> (u64, EdgeKey) {
-        (self.slots[self.line_id[&e]].1, e)
+    fn priority_of(&self, e: EdgeKey) -> Priority {
+        self.line_prio.of(self.line_id[&e])
     }
 
     /// An edge wants to be matched iff neither endpoint is covered by a
@@ -205,9 +244,79 @@ impl NativeMatching {
     }
 
     /// Settles dirty edges in increasing priority order — the edge-level
-    /// image of the MIS engine's propagation.
+    /// image of the MIS engine's propagation. Dispatches on
+    /// [`SettleStrategy`]; both drains flip the identical sequence (an
+    /// edge's final status is decided at its first pop, because every
+    /// lower-priority flip precedes it), so the receipt is bit-identical
+    /// either way.
     fn propagate(&mut self, seeds: Vec<EdgeKey>) -> MatchingReceipt {
-        let mut heap: BinaryHeap<Reverse<((u64, EdgeKey), EdgeKey)>> = seeds
+        // One coalesced re-rank covers the (typically one) edge this
+        // update admitted out of key order — the same cadence as the MIS
+        // engines, and unconditional for the same reason: it bounds the
+        // pending list so `RankIndex::remove` stays O(update) no matter
+        // which strategy is active.
+        self.ranks.flush(&self.line_prio);
+        match self.strategy {
+            SettleStrategy::RankFront => self.propagate_front(seeds),
+            SettleStrategy::BinaryHeap => self.propagate_heap(seeds),
+        }
+    }
+
+    /// Applies one flip's matched-set and cover-map mutation; shared by
+    /// both drains.
+    fn apply_flip(&mut self, id: LineId, e: EdgeKey, desired: bool) {
+        let (u, v) = e.endpoints();
+        if desired {
+            self.matched.insert(id);
+            self.cover.insert(u, e);
+            self.cover.insert(v, e);
+        } else {
+            self.matched.remove(id);
+            for endpoint in [u, v] {
+                if self.cover.get(endpoint) == Some(&e) {
+                    self.cover.remove(endpoint);
+                }
+            }
+        }
+    }
+
+    /// The word-parallel drain: dirty line-id ranks live in the
+    /// persistent [`RankFront`] (set semantics — duplicate pushes
+    /// merge), pops are whole-word bit scans, and the incident filter
+    /// compares dense `u32` ranks.
+    fn propagate_front(&mut self, seeds: Vec<EdgeKey>) -> MatchingReceipt {
+        debug_assert!(self.front.is_empty(), "settle front leaked ranks");
+        for e in seeds {
+            // A deletion may seed edges it also removed; only live edges
+            // hold a rank.
+            if let Some(&id) = self.line_id.get(&e) {
+                self.front.insert(self.ranks.rank_of(id));
+            }
+        }
+        let mut flips = Vec::new();
+        while let Some(rank) = self.front.pop_min() {
+            let id = self.ranks.node_at(rank);
+            let e = self.slots[id].0;
+            let desired = self.desired(e);
+            if desired == self.matched.contains(id) {
+                continue;
+            }
+            self.apply_flip(id, e, desired);
+            flips.push((e, desired));
+            for other in self.incident(e) {
+                let orank = self.ranks.rank_of(self.line_id[&other]);
+                if orank > rank {
+                    self.front.insert(orank);
+                }
+            }
+        }
+        MatchingReceipt { flips }
+    }
+
+    /// The retained heap drain — the pre-front settle loop, kept as the
+    /// bitwise reference (duplicates pushed and skipped on re-pop).
+    fn propagate_heap(&mut self, seeds: Vec<EdgeKey>) -> MatchingReceipt {
+        let mut heap: BinaryHeap<Reverse<(Priority, EdgeKey)>> = seeds
             .into_iter()
             .filter(|e| self.line_id.contains_key(e))
             .map(|e| Reverse((self.priority_of(e), e)))
@@ -222,19 +331,7 @@ impl NativeMatching {
             if desired == current {
                 continue;
             }
-            let (u, v) = e.endpoints();
-            if desired {
-                self.matched.insert(id);
-                self.cover.insert(u, e);
-                self.cover.insert(v, e);
-            } else {
-                self.matched.remove(id);
-                for endpoint in [u, v] {
-                    if self.cover.get(endpoint) == Some(&e) {
-                        self.cover.remove(endpoint);
-                    }
-                }
-            }
+            self.apply_flip(id, e, desired);
             flips.push((e, desired));
             for other in self.incident(e) {
                 if self.priority_of(other) > prio {
@@ -338,6 +435,9 @@ impl NativeMatching {
         // and no vacant slot carries a matched bit.
         assert_eq!(self.line_id.len(), self.slots.len(), "arena tables skewed");
         assert_eq!(self.line_id.len(), self.graph.edge_count());
+        assert_eq!(self.line_prio.len(), self.slots.len(), "edge π skewed");
+        self.ranks.assert_consistent(&self.line_prio);
+        assert!(self.front.is_empty(), "settle front leaked ranks");
         for (&e, &id) in &self.line_id {
             assert_eq!(self.slots.get(id).map(|s| s.0), Some(e), "slot mismatch");
         }
@@ -464,6 +564,43 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         assert!((mean - 5.0 / 3.0).abs() < 0.12, "mean {mean} ≠ 5/3");
+    }
+
+    #[test]
+    fn front_and_heap_strategies_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
+        let mut front = NativeMatching::new(g.clone(), 9);
+        let mut heap = NativeMatching::new(g, 9);
+        heap.set_settle_strategy(SettleStrategy::BinaryHeap);
+        assert_eq!(front.settle_strategy(), SettleStrategy::RankFront);
+        for step in 0..250 {
+            // Mixed churn: edge toggles plus occasional node removal and
+            // re-insertion, so line ids get recycled under both drains.
+            let rf;
+            let rh;
+            if rng.random_bool(0.5) {
+                let Some((u, v)) = generators::random_non_edge(front.graph(), &mut rng) else {
+                    continue;
+                };
+                rf = front.insert_edge(u, v).unwrap();
+                rh = heap.insert_edge(u, v).unwrap();
+            } else {
+                let Some((u, v)) = generators::random_edge(front.graph(), &mut rng) else {
+                    continue;
+                };
+                rf = front.remove_edge(u, v).unwrap();
+                rh = heap.remove_edge(u, v).unwrap();
+            }
+            assert_eq!(rf, rh, "step {step}: receipts diverged");
+            assert_eq!(front.matching(), heap.matching(), "step {step}");
+            if step % 50 == 0 {
+                front.assert_consistent();
+                heap.assert_consistent();
+            }
+        }
+        front.assert_consistent();
+        heap.assert_consistent();
     }
 
     #[test]

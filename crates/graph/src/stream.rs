@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use crate::{generators, DistributedChange, DynGraph, NodeId, TopologyChange};
+use crate::{generators, DistributedChange, DynGraph, EdgeKey, NodeId, TopologyChange};
 
 /// Configuration for the random churn generator.
 ///
@@ -237,6 +237,77 @@ pub fn adversarial_star_stream(n: usize) -> Vec<TopologyChange> {
             id: NodeId(i),
             edges: vec![NodeId(0)],
         });
+    }
+    stream
+}
+
+/// Samples a pool of `size` distinct-endpoint node pairs of `g` —
+/// candidate edges for [`flapping_stream`]. Pairs may or may not be
+/// edges of `g`, and may repeat.
+///
+/// # Panics
+///
+/// Panics if `g` has fewer than two nodes.
+pub fn random_pair_pool<R: Rng + ?Sized>(
+    g: &DynGraph,
+    size: usize,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    assert!(nodes.len() >= 2, "pair pool needs at least two nodes");
+    (0..size)
+        .map(|_| {
+            let a = nodes[rng.random_range(0..nodes.len() as u64) as usize];
+            let mut b = a;
+            while b == a {
+                b = nodes[rng.random_range(0..nodes.len() as u64) as usize];
+            }
+            (a, b)
+        })
+        .collect()
+}
+
+/// A **flapping stream**: `len` random toggles over the bounded `pool`
+/// of candidate edges — delete the pool edge if present in the evolving
+/// topology, insert it otherwise. Because the pool is bounded, nearby
+/// changes regularly revisit the same edge, which is the workload shape
+/// where a coalescing ingestion queue cancels real work (and a valid
+/// oblivious adversary: it depends only on the evolving topology).
+///
+/// With `closed`, a tail of at most `pool.len()` restoring toggles
+/// returns every pool edge to its initial presence, so the stream can be
+/// replayed against the same starting graph indefinitely (bench
+/// iterations, snapshot samples).
+pub fn flapping_stream<R: Rng + ?Sized>(
+    g: &DynGraph,
+    pool: &[(NodeId, NodeId)],
+    len: usize,
+    closed: bool,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    let initial: std::collections::BTreeSet<EdgeKey> = g.edges().collect();
+    let mut present = initial.clone();
+    let mut stream: Vec<TopologyChange> = (0..len)
+        .map(|_| {
+            let (u, v) = pool[rng.random_range(0..pool.len() as u64) as usize];
+            let key = EdgeKey::new(u, v);
+            if present.remove(&key) {
+                TopologyChange::DeleteEdge(u, v)
+            } else {
+                present.insert(key);
+                TopologyChange::InsertEdge(u, v)
+            }
+        })
+        .collect();
+    if closed {
+        for &(u, v) in pool {
+            let key = EdgeKey::new(u, v);
+            match (initial.contains(&key), present.contains(&key)) {
+                (true, false) => stream.push(TopologyChange::InsertEdge(u, v)),
+                (false, true) => stream.push(TopologyChange::DeleteEdge(u, v)),
+                _ => {}
+            }
+        }
     }
     stream
 }

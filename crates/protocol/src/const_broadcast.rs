@@ -353,6 +353,7 @@ impl Protocol for ConstantBroadcast {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmis_core::DynamicMis;
     use dmis_core::PriorityMap;
     use dmis_graph::stream::{self, ChurnConfig};
     use dmis_graph::{generators, DistributedChange, DynGraph};

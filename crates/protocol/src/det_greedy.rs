@@ -1,6 +1,6 @@
 use std::collections::BTreeSet;
 
-use dmis_core::{MisEngine, Priority, PriorityMap, UpdateReceipt};
+use dmis_core::{DynamicMis, MisEngine, Priority, PriorityMap, UpdateReceipt};
 use dmis_graph::{DynGraph, GraphError, NodeId, TopologyChange};
 
 /// The "natural" **deterministic** dynamic greedy algorithm: maintain the

@@ -1,0 +1,309 @@
+//! Ingestion harness: queue depth as a simulator axis.
+//!
+//! [`IngestRun`] wires `dmis-core`'s change-ingestion session
+//! ([`dmis_core::IngestSession`]) into the simulator's metering
+//! vocabulary: the adversary's change stream is pushed into a coalescing
+//! queue and settled one merged batch per **flush**, so the run meters
+//! the ROADMAP's async-batching trade-off end to end —
+//!
+//! - **rounds** — settle epochs of the flushed recoveries (parallel-time
+//!   depth, amortized over the whole window);
+//! - **broadcasts** — cross-shard handoffs of the flushed recoveries;
+//! - **bits** — handoff payload, as in [`crate::ShardedRun`];
+//! - **coalesced changes** — stream entries the queue eliminated before
+//!   any settle work happened (opposing-pair cancels, duplicate merges);
+//! - **queue delay** — how many changes sat in the queue per flush (the
+//!   latency price of batching: a queued change is invisible in the
+//!   output until its flush).
+//!
+//! The harness is generic over the engine: it drives a boxed
+//! [`DynamicMis`], so the same run works unsharded, sharded, or
+//! thread-parallel — experiment E12's queue-depth table sweeps the
+//! watermark against a K-sharded engine built through
+//! [`dmis_core::Engine::builder`].
+
+use std::collections::BTreeSet;
+
+use dmis_core::{ChangeCoalescer, DynamicMis, Engine};
+use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
+
+use crate::metrics::{ChangeOutcome, Metrics};
+
+/// A metered ingestion deployment: a coalescing change queue in front of
+/// any [`DynamicMis`] engine, auto-flushing at a configurable watermark.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{generators, ShardLayout, TopologyChange};
+/// use dmis_sim::IngestRun;
+///
+/// let (g, ids) = generators::cycle(10);
+/// let mut run = IngestRun::bootstrap(g, ShardLayout::striped(4), 1, 2, 3);
+/// // First push queues; the second reaches the watermark and flushes.
+/// assert!(run.push(&TopologyChange::DeleteEdge(ids[0], ids[1]))?.is_none());
+/// let outcome = run.push(&TopologyChange::DeleteEdge(ids[5], ids[6]))?;
+/// assert!(outcome.is_some(), "watermark 2 flushed the window");
+/// assert_eq!(run.flushes(), 1);
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct IngestRun {
+    engine: Box<dyn DynamicMis + Send>,
+    queue: ChangeCoalescer,
+    watermark: usize,
+    lifetime: Metrics,
+    flushes: usize,
+    pushed_total: usize,
+    coalesced_total: usize,
+    applied_total: usize,
+    /// Σ over flushed changes of their wait (changes that entered the
+    /// queue after them within the same window): the total queueing
+    /// delay, in change-arrivals, batching imposed.
+    queue_delay_total: usize,
+}
+
+impl IngestRun {
+    /// Boots a K-sharded engine (settle epochs on up to `threads` worker
+    /// threads) behind a queue that auto-flushes after `watermark`
+    /// pushes per window (bounding both buffered memory and queueing
+    /// delay even when coalescing keeps the surviving depth near zero).
+    /// `watermark` is clamped to ≥ 1; 1 degenerates to unbatched
+    /// per-change application.
+    #[must_use]
+    pub fn bootstrap(
+        graph: DynGraph,
+        layout: ShardLayout,
+        threads: usize,
+        watermark: usize,
+        seed: u64,
+    ) -> Self {
+        let engine = Engine::builder()
+            .graph(graph)
+            .seed(seed)
+            .sharding(layout)
+            .threads(threads)
+            .build();
+        Self::new(engine, watermark)
+    }
+
+    /// Wraps an existing engine. The engine may be any [`DynamicMis`]
+    /// flavor; metrics sections that are sharding-specific (broadcasts,
+    /// rounds) read zero on the unsharded engine.
+    #[must_use]
+    pub fn new(engine: Box<dyn DynamicMis + Send>, watermark: usize) -> Self {
+        IngestRun {
+            engine,
+            queue: ChangeCoalescer::new(),
+            watermark: watermark.max(1),
+            lifetime: Metrics::new(),
+            flushes: 0,
+            pushed_total: 0,
+            coalesced_total: 0,
+            applied_total: 0,
+            queue_delay_total: 0,
+        }
+    }
+
+    /// The underlying engine. Queued changes are not visible in it until
+    /// a flush.
+    #[must_use]
+    pub fn engine(&self) -> &dyn DynamicMis {
+        &*self.engine
+    }
+
+    /// The auto-flush watermark.
+    #[must_use]
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Current (coalesced) queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Windows flushed so far.
+    #[must_use]
+    pub fn flushes(&self) -> usize {
+        self.flushes
+    }
+
+    /// Changes pushed so far (including still-queued and coalesced-away
+    /// ones).
+    #[must_use]
+    pub fn pushed(&self) -> usize {
+        self.pushed_total
+    }
+
+    /// Changes the queue eliminated before any settle work.
+    #[must_use]
+    pub fn coalesced_changes(&self) -> usize {
+        self.coalesced_total
+    }
+
+    /// Changes applied by flushed windows.
+    #[must_use]
+    pub fn applied(&self) -> usize {
+        self.applied_total
+    }
+
+    /// Mean queueing delay per flushed change, in change-arrivals: 0 for
+    /// watermark 1 (every change settles immediately), approaching
+    /// (watermark − 1)/2 as windows fill — the latency half of the
+    /// trade-off.
+    #[must_use]
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.applied_total + self.coalesced_total == 0 {
+            return 0.0;
+        }
+        self.queue_delay_total as f64 / (self.applied_total + self.coalesced_total) as f64
+    }
+
+    /// Size of the current MIS without allocating a set.
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.engine.mis_len()
+    }
+
+    /// The current MIS.
+    #[must_use]
+    pub fn mis(&self) -> BTreeSet<NodeId> {
+        self.engine.mis()
+    }
+
+    /// Metrics accumulated over every flushed recovery so far.
+    #[must_use]
+    pub fn lifetime_metrics(&self) -> Metrics {
+        self.lifetime
+    }
+
+    /// Bits per handoff message, as in [`crate::ShardedRun`].
+    fn handoff_bits(&self) -> usize {
+        let ids = self.engine.graph().peek_next_id().index().max(1);
+        1 + (64 - ids.leading_zeros() as usize)
+    }
+
+    /// Pushes one change into the queue, flushing once the window has
+    /// absorbed `watermark` pushes; returns the flush's outcome when one
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from an auto-flush; the queue is
+    /// consumed as by [`Self::flush`].
+    pub fn push(&mut self, change: &TopologyChange) -> Result<Option<ChangeOutcome>, GraphError> {
+        self.pushed_total += 1;
+        self.queue.push(change.clone());
+        if self.queue.pushed() >= self.watermark {
+            return self.flush().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Flushes the queued window as one merged recovery and meters it.
+    /// Flushing an empty queue is a metered no-op recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`]. The queue is consumed either
+    /// way; an errored window is dropped from the lifetime metering (the
+    /// engine keeps the valid prefix applied, but no receipt exists to
+    /// meter it), so `pushed()` can exceed
+    /// `applied() + coalesced_changes() + queue_depth()` after an error.
+    pub fn flush(&mut self) -> Result<ChangeOutcome, GraphError> {
+        let (batch, window) = self.queue.drain();
+        let receipt = self.engine.apply_batch(&batch)?;
+        self.flushes += 1;
+        self.coalesced_total += window - batch.len();
+        self.applied_total += receipt.applied();
+        // Each of the window's changes waited for the ones arriving after
+        // it: total delay of a w-change window is w(w−1)/2 arrivals.
+        self.queue_delay_total += window * window.saturating_sub(1) / 2;
+        let handoffs = receipt.cross_shard_handoffs();
+        let metrics = Metrics {
+            rounds: receipt.settle_epochs(),
+            broadcasts: handoffs,
+            bits: handoffs * self.handoff_bits(),
+        };
+        self.lifetime += metrics;
+        Ok(ChangeOutcome {
+            metrics,
+            adjusted: receipt.adjusted_nodes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+
+    #[test]
+    fn watermark_one_matches_per_change_sharded_run() {
+        let (g, ids) = generators::cycle(12);
+        let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, 1, 7);
+        let mut reference = crate::ShardedRun::bootstrap(g, ShardLayout::striped(4), 7);
+        for w in ids.windows(2).take(6) {
+            let change = TopologyChange::DeleteEdge(w[0], w[1]);
+            let outcome = run.push(&change).unwrap().expect("watermark 1 flushes");
+            let expected = reference.apply_change(&change).unwrap();
+            assert_eq!(outcome.adjusted, expected.adjusted);
+            assert_eq!(outcome.metrics.broadcasts, expected.metrics.broadcasts);
+        }
+        assert_eq!(run.flushes(), 6);
+        assert_eq!(run.coalesced_changes(), 0);
+        assert!(run.mean_queue_delay().abs() < f64::EPSILON);
+        assert_eq!(run.mis(), reference.mis());
+    }
+
+    #[test]
+    fn opposing_pairs_cancel_inside_the_window() {
+        let (g, ids) = generators::cycle(10);
+        let mut run = IngestRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 5);
+        let before = run.mis_len();
+        assert!(run
+            .push(&TopologyChange::DeleteEdge(ids[0], ids[1]))
+            .unwrap()
+            .is_none());
+        assert!(run
+            .push(&TopologyChange::InsertEdge(ids[0], ids[1]))
+            .unwrap()
+            .is_none());
+        assert_eq!(run.queue_depth(), 0, "pair cancelled");
+        let outcome = run.flush().unwrap();
+        assert!(outcome.adjusted.is_empty());
+        assert_eq!(outcome.metrics.rounds, 0, "zero settle work");
+        assert_eq!(run.coalesced_changes(), 2);
+        assert_eq!(run.mis_len(), before);
+    }
+
+    #[test]
+    fn deeper_queues_trade_latency_for_fewer_flushes() {
+        let run_with = |watermark: usize| {
+            let (g, ids) = generators::cycle(16);
+            let mut run = IngestRun::bootstrap(g, ShardLayout::striped(4), 1, watermark, 9);
+            // Toggle a rotating edge: off, on, off, on, … so deep windows
+            // cancel churn outright.
+            for i in 0..24usize {
+                let (u, v) = (ids[i % 16], ids[(i + 1) % 16]);
+                run.push(&TopologyChange::DeleteEdge(u, v)).unwrap();
+                run.push(&TopologyChange::InsertEdge(u, v)).unwrap();
+            }
+            run.flush().unwrap();
+            (
+                run.flushes(),
+                run.coalesced_changes(),
+                run.mean_queue_delay(),
+                run.mis(),
+            )
+        };
+        let (f1, c1, d1, mis1) = run_with(1);
+        let (f8, c8, d8, mis8) = run_with(8);
+        assert_eq!(mis1, mis8, "outputs are watermark-independent");
+        assert!(f8 < f1, "deeper queue flushes less often ({f8} !< {f1})");
+        assert!(c8 > c1, "deeper queue cancels more churn ({c8} !> {c1})");
+        assert!(d8 > d1, "latency is the price ({d8} !> {d1})");
+    }
+}

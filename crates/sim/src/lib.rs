@@ -19,7 +19,11 @@
 //! - a **sharded-deployment harness** ([`ShardedRun`]) metering the
 //!   K-shard engine of `dmis-core` — optionally with its settle epochs on
 //!   worker threads — in the same vocabulary: barrier epochs as rounds,
-//!   cross-shard handoffs as broadcasts.
+//!   cross-shard handoffs as broadcasts;
+//! - an **ingestion harness** ([`IngestRun`]) putting the coalescing
+//!   change queue of `dmis-core`'s unified API in front of any
+//!   [`dmis_core::DynamicMis`] engine, metering the queue-depth
+//!   (latency) vs settle-work (broadcasts/rounds) trade-off end to end.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
 //! distributed environment — see the repository-level `DESIGN.md`
@@ -33,6 +37,7 @@
 
 mod async_net;
 mod event;
+mod ingest;
 mod metrics;
 mod protocol;
 mod sharded;
@@ -42,6 +47,7 @@ pub use async_net::{
     AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays,
 };
 pub use event::{LocalEvent, NeighborInfo};
+pub use ingest::IngestRun;
 pub use metrics::{ChangeOutcome, Metrics};
 pub use protocol::{Automaton, MessageBits, Protocol};
 pub use sharded::ShardedRun;

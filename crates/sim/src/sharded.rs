@@ -24,7 +24,7 @@
 
 use std::collections::BTreeSet;
 
-use dmis_core::ParallelShardedMisEngine;
+use dmis_core::{DynamicMis, ParallelShardedMisEngine};
 use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
 
 use crate::metrics::{ChangeOutcome, Metrics};

@@ -489,9 +489,18 @@ impl<P: Protocol> SyncNetwork<P> {
     pub fn assert_valid_mis(&self) {
         let logical = self.logical_graph();
         assert!(
-            invariant::is_maximal_independent_set(&logical, &self.mis()),
+            invariant::is_maximal_independent_set_dense(&logical, &self.mis_dense()),
             "outputs are not a maximal independent set"
         );
+    }
+
+    /// The current MIS as a dense bitset — the invariant checks' native
+    /// representation, no ordered-set materialization.
+    fn mis_dense(&self) -> dmis_graph::NodeSet {
+        self.outputs()
+            .into_iter()
+            .filter_map(|(v, s)| s.is_in().then_some(v))
+            .collect()
     }
 
     /// Asserts the outputs satisfy the π-greedy MIS invariant — the defining
@@ -504,7 +513,8 @@ impl<P: Protocol> SyncNetwork<P> {
     pub fn assert_greedy_invariant(&self) {
         let logical = self.logical_graph();
         assert!(
-            invariant::check_mis_invariant(&logical, &self.priorities, &self.mis()).is_ok(),
+            invariant::check_mis_invariant_dense(&logical, &self.priorities, &self.mis_dense())
+                .is_ok(),
             "outputs violate the greedy MIS invariant"
         );
     }

@@ -12,6 +12,7 @@
 //! cost asymmetry the paper highlights: recoloring can touch O(Δ) nodes
 //! per change, while the MIS underneath adjusts only ~1.
 
+use dynamic_mis::core::DynamicMis;
 use dynamic_mis::core::MisEngine;
 use dynamic_mis::derived::{verify, ColoringEngine};
 use dynamic_mis::graph::generators;

@@ -8,6 +8,7 @@
 //! over a uniformly random node order, and after every change restores the
 //! MIS with (in expectation) a **single** output adjustment.
 
+use dynamic_mis::core::DynamicMis;
 use dynamic_mis::core::MisEngine;
 use dynamic_mis::graph::generators;
 
@@ -31,7 +32,7 @@ fn main() {
 
     // A node joins with three links.
     let (newcomer, receipt) = engine
-        .insert_node([ids[2], ids[5], ids[9]])
+        .insert_node(&[ids[2], ids[5], ids[9]])
         .expect("neighbors exist");
     println!(
         "node {newcomer} joined (deg 3): {} adjustment(s)",

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use dynamic_mis::core::{static_greedy, MisEngine, PriorityMap};
+use dynamic_mis::core::{static_greedy, DynamicMis, MisEngine, PriorityMap};
 use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::{generators, DistributedChange, NodeId};
 use dynamic_mis::protocol::{ConstantBroadcast, TemplateDirect};

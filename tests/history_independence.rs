@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use dynamic_mis::cluster::from_mis;
-use dynamic_mis::core::{static_greedy, MisEngine};
+use dynamic_mis::core::{static_greedy, DynamicMis, MisEngine};
 use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::{generators, DynGraph, NodeId, TopologyChange};
 use rand::rngs::StdRng;
@@ -100,8 +100,16 @@ fn clustering_composes_history_independence() {
     assert_eq!(engine.graph(), &g);
     let direct = MisEngine::from_parts(g.clone(), engine.priorities().clone(), 0);
     assert_eq!(engine.mis(), direct.mis());
-    let c1 = from_mis(engine.graph(), engine.priorities(), &engine.mis());
-    let c2 = from_mis(direct.graph(), direct.priorities(), &direct.mis());
+    let c1 = from_mis(
+        engine.graph(),
+        engine.priorities(),
+        &engine.mis_iter().collect(),
+    );
+    let c2 = from_mis(
+        direct.graph(),
+        direct.priorities(),
+        &direct.mis_iter().collect(),
+    );
     assert_eq!(c1, c2, "clustering must not remember the detour");
 }
 

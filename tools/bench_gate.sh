@@ -12,6 +12,13 @@
 #     fails if the front is ever slower than the heap it replaced. Both
 #     rows come from the same fresh run (fresh-vs-fresh, like the
 #     parallel gate), so the check is fidelity-independent, or
+#   - in the fresh "ingest" section, the deep-queue (queue_depth=64)
+#     coalesce fraction drops below BENCH_GATE_INGEST_MIN_COALESCE
+#     (default 0.25): on the flapping workload the coalescing queue must
+#     keep eliminating a healthy share of the pushed changes before any
+#     settle work — a fraction collapsing toward zero means the
+#     ingestion layer stopped cancelling opposing churn. Fresh-run-only,
+#     so fidelity-independent, or
 #   - in the fresh "parallel" section, the thread-executed engine at
 #     K=4/threads=4 is slower than the sequential K=1/threads=1 row by
 #     more than BENCH_GATE_PAR_MAX_RATIO (default 3.0). Both rows come
@@ -38,6 +45,7 @@ committed="${2:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
 par_max_ratio="${BENCH_GATE_PAR_MAX_RATIO:-3.0}"
 front_min_speedup="${BENCH_GATE_FRONT_MIN_SPEEDUP:-1.0}"
+ingest_min_coalesce="${BENCH_GATE_INGEST_MIN_COALESCE:-0.25}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -103,6 +111,30 @@ for n in 1000 4096; do
   fi
   echo "bench gate: front n=$n speedup=${fspeed}x (front ${fns}ns vs heap ${hns}ns per change)"
 done
+
+# ifield <file> <depth> <key>: value of <key> in the "ingest" entry for
+# queue_depth=<depth>. The leading key sequence "n", "queue_depth" is
+# unique to that section.
+ifield() {
+  { grep -o "{\"n\": 1000, \"queue_depth\": $2,[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$3\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Ingestion gate: the deep queue must keep coalescing a healthy share of
+# the flapping stream. Fresh-run-only, so fidelity-independent.
+ing_frac="$(ifield "$fresh" 64 coalesce_fraction)"
+ing_ns="$(ifield "$fresh" 64 ns_per_change)"
+ing_ns1="$(ifield "$fresh" 1 ns_per_change)"
+if [ -z "$ing_frac" ] || [ -z "$ing_ns" ] || [ -z "$ing_ns1" ]; then
+  echo "bench gate: missing \"ingest\" entries (queue_depth 1/64) in $fresh" >&2
+  status=1
+else
+  if ! awk -v f="$ing_frac" -v m="$ingest_min_coalesce" 'BEGIN { exit !(f >= m) }'; then
+    echo "bench gate FAIL: ingest coalesce fraction ${ing_frac} < ${ingest_min_coalesce} at queue_depth=64" >&2
+    status=1
+  fi
+  echo "bench gate: ingest Q=64 coalesce=${ing_frac} (${ing_ns}ns/change vs ${ing_ns1}ns unbatched)"
+fi
 
 # Parallel-execution gate: the worker-thread plumbing must not tax the
 # paper's tiny-cascade common case. Compares two rows of the same fresh
