@@ -19,7 +19,11 @@
 //! coalescing ingestion queue at watermarks Q ∈ {1, 16, 64}
 //! (`"ingest"` section — per-change latency, flush counts, and the
 //! coalesce fraction `tools/bench_gate.sh` checks via
-//! `BENCH_GATE_INGEST_MIN_COALESCE`). The engine rows all drive
+//! `BENCH_GATE_INGEST_MIN_COALESCE`), and the `"scale"` section: sustained
+//! churn on 10^5-node (smoke) up to 10^6-node (full) ER and Chung–Lu
+//! instances through a pre-sized engine, with peak-RSS bytes/node and the
+//! storage-regrow counter per row (gated via `BENCH_GATE_SCALE_MAX_RATIO`
+//! and `BENCH_GATE_SCALE_MAX_BYTES_PER_NODE`). The engine rows all drive
 //! `dyn DynamicMis` through one shared metering loop
 //! (`measure_engine_toggle_ns`) built by `Engine::builder` — the
 //! per-engine copies of the toggle harness are gone. `cargo bench
@@ -38,7 +42,7 @@ use dmis_core::{
 use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
 use dmis_sim::IngestRun;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Graph sizes swept by the `engine_front` group and the snapshot's
 /// `"front"` section.
@@ -348,33 +352,36 @@ fn measure_toggle_ns(mut step: impl FnMut(), iters: usize, samples: usize) -> f6
     per_sample[per_sample.len() / 2]
 }
 
-/// Medians of two step functions sampled **interleaved** (a, b, a, b, …)
-/// so slow machine drift — thermal throttling, noisy neighbors — lands
-/// on both sides equally. Use whenever the *ratio* of the two numbers is
-/// what downstream consumers (the bench gate) act on.
+/// Per-sample **minima** of two step functions sampled interleaved
+/// (a, b, a, b, …). Interleaving lands slow machine drift — thermal
+/// throttling, noisy neighbors — on both sides equally, and the minimum
+/// is the least-contended observation of each side, so scheduler noise
+/// cancels out of the ratio instead of flipping its sign run to run
+/// (medians were observed swinging a parity-true ratio between 0.80x
+/// and 1.01x across identical full-fidelity runs on a busy host). Use
+/// whenever the *ratio* of the two numbers is what downstream consumers
+/// (the bench gate) act on.
 fn measure_interleaved_ns(
     mut a: impl FnMut(),
     mut b: impl FnMut(),
     iters: usize,
     samples: usize,
 ) -> (f64, f64) {
-    let mut a_ns: Vec<f64> = Vec::with_capacity(samples);
-    let mut b_ns: Vec<f64> = Vec::with_capacity(samples);
+    let mut a_ns = f64::MAX;
+    let mut b_ns = f64::MAX;
     for _ in 0..samples {
         let start = Instant::now();
         for _ in 0..iters {
             a();
         }
-        a_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        a_ns = a_ns.min(start.elapsed().as_nanos() as f64 / iters as f64);
         let start = Instant::now();
         for _ in 0..iters {
             b();
         }
-        b_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        b_ns = b_ns.min(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    a_ns.sort_by(f64::total_cmp);
-    b_ns.sort_by(f64::total_cmp);
-    (a_ns[a_ns.len() / 2], b_ns[b_ns.len() / 2])
+    (a_ns, b_ns)
 }
 
 /// Median ns per edge toggle of any [`DynamicMis`] engine — the shared
@@ -411,6 +418,38 @@ fn flapping_stream(
 ) -> Vec<TopologyChange> {
     let mut rng = StdRng::seed_from_u64(29);
     dmis_graph::stream::flapping_stream(g, pool, len, true, &mut rng)
+}
+
+/// Resets the process's peak-RSS high-water mark (`VmHWM`) to the
+/// current RSS, so each scale row's peak reading is its own and not a
+/// leftover from an earlier, larger row. Linux-only; elsewhere the scale
+/// rows report 0 bytes/node and the gate's memory check is vacuous.
+fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        // "5" is the documented clear_refs command for resetting VmHWM.
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist.
+fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+    }
+    0
 }
 
 /// Writes the dense-vs-BTree latency snapshot consumed by CI.
@@ -663,6 +702,63 @@ fn write_snapshot(test_mode: bool) {
             ));
         }
     }
+    // Scale-tier section: sustained edge-toggle churn on million-node-class
+    // instances of the two families whose memory layout stresses diverge —
+    // uniform-degree ER (G(n, m=4n)) and Chung–Lu with √n-degree hubs (the
+    // chunked-adjacency regime). Each row prices one (n, family) cell:
+    // ns/change at steady state, peak-RSS bytes/node for the whole
+    // graph+engine working set (VmHWM delta around the row, reset between
+    // rows), and the engine's storage-regrow count across the measured
+    // churn — pre-sized arenas make that exactly 0, and the gate
+    // (tools/bench_gate.sh, BENCH_GATE_SCALE_*) holds the 10^5/10^6 rows to
+    // a fixed multiple of the n=4096 figure. Smoke mode stops at 10^5; the
+    // committed snapshot (BENCH_SNAPSHOT_FULL) carries the 10^6 rows.
+    let mut scale_entries = Vec::new();
+    {
+        let sizes: &[usize] = if test_mode {
+            &[4096, 100_000]
+        } else {
+            &[4096, 100_000, 1_000_000]
+        };
+        for &n in sizes {
+            for family in ["er", "chung_lu"] {
+                reset_peak_rss();
+                let rss_before = peak_rss_bytes();
+                let mut rng = StdRng::seed_from_u64(n as u64);
+                let (g, _) = match family {
+                    "er" => generators::gnm(n, 4 * n, &mut rng),
+                    _ => generators::chung_lu(n, 8.0, 2.5, &mut rng),
+                };
+                let edge_count = g.edge_count();
+                let max_degree = g.max_degree();
+                // Pre-sample the toggled edges from one O(m) edge scan —
+                // per-call `random_edge` would put an O(m) sampler inside
+                // the row setup 256 times over.
+                let all: Vec<(NodeId, NodeId)> = g.edges().map(|k| k.endpoints()).collect();
+                let mut rng = StdRng::seed_from_u64(7);
+                let edges: Vec<(NodeId, NodeId)> = (0..256)
+                    .map(|_| all[rng.random_range(0..all.len())])
+                    .collect();
+                drop(all);
+                let mut engine = Engine::builder()
+                    .graph(g)
+                    .seed(42)
+                    .capacity(n)
+                    .build_unsharded();
+                let regrows_before = engine.storage_regrows();
+                let ns = measure_engine_toggle_ns(&mut engine, &edges, iters, samples);
+                let regrows = engine.storage_regrows() - regrows_before;
+                let peak = peak_rss_bytes().saturating_sub(rss_before);
+                let bytes_per_node = peak as f64 / n as f64;
+                engine.assert_internally_consistent_sampled(1024, n as u64);
+                scale_entries.push(format!(
+                    "  {{\"n\": {n}, \"family\": \"{family}\", \"edges\": {edge_count}, \
+                     \"max_degree\": {max_degree}, \"ns_per_change\": {ns:.1}, \
+                     \"bytes_per_node\": {bytes_per_node:.1}, \"churn_regrows\": {regrows}}}"
+                ));
+            }
+        }
+    }
     let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/BENCH_engine.json");
     let body = format!(
@@ -670,14 +766,15 @@ fn write_snapshot(test_mode: bool) {
          \"mode\": \"{}\", \"results\": [\n{}\n],\n \"front\": [\n{}\n],\n \
          \"sharding\": [\n{}\n],\n \
          \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n],\n \
-         \"ingest\": [\n{}\n]}}\n",
+         \"ingest\": [\n{}\n],\n \"scale\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
         front_entries.join(",\n"),
         shard_entries.join(",\n"),
         par_entries.join(",\n"),
         par_batch_entries.join(",\n"),
-        ingest_entries.join(",\n")
+        ingest_entries.join(",\n"),
+        scale_entries.join(",\n")
     );
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),

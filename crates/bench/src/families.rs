@@ -18,17 +18,21 @@ pub enum Family {
     Grid,
     /// Complete bipartite `K_{n/2,n/2}` (the lower-bound gadget).
     Bipartite,
+    /// Chung–Lu with exponent 2.5 and mean degree 8 — `√n`-degree hubs at
+    /// million-node scale, built in `O(n + m)`.
+    ChungLu,
 }
 
 impl Family {
     /// All families.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::SparseEr,
         Family::DenseEr,
         Family::PowerLaw,
         Family::Star,
         Family::Grid,
         Family::Bipartite,
+        Family::ChungLu,
     ];
 
     /// Short label for tables.
@@ -41,6 +45,7 @@ impl Family {
             Family::Star => "star(n)",
             Family::Grid => "grid",
             Family::Bipartite => "K(n/2,n/2)",
+            Family::ChungLu => "CL(n,8,2.5)",
         }
     }
 
@@ -65,6 +70,7 @@ impl Family {
                 generators::grid(side, side).0
             }
             Family::Bipartite => generators::complete_bipartite(n / 2, n / 2).0,
+            Family::ChungLu => generators::chung_lu(n, 8.0, 2.5, rng).0,
         }
     }
 }

@@ -190,6 +190,43 @@ pub trait DynamicMis: std::fmt::Debug {
     /// Panics if any counter, rank, or state diverged.
     fn assert_internally_consistent(&self);
 
+    /// [`Self::check_invariant`] restricted to a deterministic sample of
+    /// roughly `sample` nodes (see [`crate::invariant::sampled_nodes`]) —
+    /// O(sample · avg-degree) instead of O(n + m), so a per-update debug
+    /// assertion stays affordable at 10^6 nodes. A violation at a
+    /// sampled node is a genuine violation; a passing sample is
+    /// evidence, not proof — vary `seed` across updates to sweep the
+    /// whole graph over time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among sampled nodes.
+    fn check_invariant_sampled(&self, sample: usize, seed: u64) -> Result<(), InvariantViolation> {
+        let members: dmis_graph::NodeSet = self.mis_iter().collect();
+        crate::invariant::check_mis_invariant_sampled(
+            self.graph(),
+            self.priorities(),
+            &members,
+            sample,
+            seed,
+        )
+    }
+
+    /// Sampled counterpart of [`Self::assert_internally_consistent`]:
+    /// cheap global facts are checked exactly, expensive per-node
+    /// recomputation only for ~`sample` deterministically chosen nodes.
+    /// Engines override this with checks against their native
+    /// bookkeeping; the default verifies the sampled invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sampled node violates the invariant.
+    fn assert_internally_consistent_sampled(&self, sample: usize, seed: u64) {
+        if let Err(violation) = self.check_invariant_sampled(sample, seed) {
+            panic!("sampled invariant check failed: {violation}");
+        }
+    }
+
     /// Inserts a new node wired to `neighbors`, drawing its priority from
     /// the engine's seeded stream, and restores the MIS invariant.
     ///
@@ -324,6 +361,18 @@ macro_rules! forward_dynamic_mis {
                 let $s = self;
                 $t.assert_internally_consistent();
             }
+            fn check_invariant_sampled(
+                &self,
+                sample: usize,
+                seed: u64,
+            ) -> Result<(), crate::invariant::InvariantViolation> {
+                let $s = self;
+                $t.check_invariant_sampled(sample, seed)
+            }
+            fn assert_internally_consistent_sampled(&self, sample: usize, seed: u64) {
+                let $s = self;
+                $t.assert_internally_consistent_sampled(sample, seed);
+            }
         }
     };
 }
@@ -381,6 +430,7 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     spawn_threshold: Option<usize>,
     strategy: SettleStrategy,
+    capacity: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -444,6 +494,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Pre-sizes every per-node structure for `n` nodes, so a bootstrap
+    /// of up to `n` insertions performs no incremental regrows (verified
+    /// by the engines' `storage_regrows()` debug counter). Purely a
+    /// performance knob: outputs and receipts are unaffected. Defaults
+    /// to no pre-sizing.
+    #[must_use]
+    pub fn capacity(mut self, n: usize) -> Self {
+        self.capacity = Some(n);
+        self
+    }
+
     /// Builds the cheapest engine realizing every configured axis, as a
     /// trait object: parallel if `threads`/`spawn_threshold` was set,
     /// sharded if `sharding` was, unsharded otherwise. The box is `Send`,
@@ -479,6 +540,9 @@ impl EngineBuilder {
             (Some(g), Some(p)) => MisEngine::from_parts(g, p, self.seed),
             (None, Some(_)) => panic!("priorities prescribed without a graph"),
         };
+        if let Some(n) = self.capacity {
+            engine.reserve_nodes(n);
+        }
         engine.set_settle_strategy(self.strategy);
         engine
     }
@@ -504,6 +568,9 @@ impl EngineBuilder {
             (Some(g), Some(p)) => ShardedMisEngine::from_parts(g, p, layout, self.seed),
             (None, Some(_)) => panic!("priorities prescribed without a graph"),
         };
+        if let Some(n) = self.capacity {
+            engine.reserve_nodes(n);
+        }
         engine.set_settle_strategy(self.strategy);
         engine
     }
@@ -879,6 +946,49 @@ mod tests {
         assert_eq!(q.depth(), 3);
         let (batch, _) = q.drain();
         assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn capacity_axis_makes_bootstrap_regrow_free() {
+        // A pre-sized engine bootstraps thousands of nodes — a
+        // scaled-down image of the 10^6 load the scale tier benches —
+        // without a single table reallocation; the identical unsized
+        // bootstrap regrows (the counter actually counts). The bench's
+        // scale rows repeat this check at n = 10^5/10^6 in release mode.
+        let n = 6_000usize;
+        let bootstrap = |mut engine: MisEngine| {
+            let mut last: Option<dmis_graph::NodeId> = None;
+            for i in 0..n {
+                let nbrs: Vec<dmis_graph::NodeId> = match last {
+                    Some(p) if i % 3 == 0 => vec![p],
+                    _ => Vec::new(),
+                };
+                let (v, _) = engine.insert_node(&nbrs).unwrap();
+                last = Some(v);
+            }
+            engine
+        };
+        let sized = bootstrap(Engine::builder().capacity(n).build_unsharded());
+        assert_eq!(sized.storage_regrows(), 0, "pre-sized bootstrap regrew");
+        let unsized_ = bootstrap(Engine::builder().build_unsharded());
+        assert!(unsized_.storage_regrows() > 0, "regrow counter is live");
+        assert_eq!(sized.mis_len(), unsized_.mis_len(), "sizing is inert");
+
+        let mut sharded = Engine::builder()
+            .capacity(n)
+            .sharding(ShardLayout::striped(4))
+            .build_sharded();
+        let mut last = None;
+        for i in 0..n {
+            let nbrs: Vec<dmis_graph::NodeId> = match last {
+                Some(p) if i % 3 == 0 => vec![p],
+                _ => Vec::new(),
+            };
+            let (v, _) = sharded.insert_node(&nbrs).unwrap();
+            last = Some(v);
+        }
+        assert_eq!(sharded.storage_regrows(), 0, "sharded bootstrap regrew");
+        assert_eq!(sharded.mis_len(), sized.mis_len());
     }
 
     #[test]

@@ -497,6 +497,11 @@ impl MisEngine {
         self.ranks.assert_consistent(&self.priorities);
         assert!(self.enqueued.is_empty(), "enqueue scratch leaked bits");
         assert!(self.front.is_empty(), "settle front leaked ranks");
+        assert_eq!(
+            self.in_mis.len(),
+            self.in_mis.popcount(),
+            "cached mis_len diverged from the membership words"
+        );
         let ground_truth = crate::static_greedy::greedy_mis_dense(&self.graph, &self.priorities);
         assert_eq!(
             self.in_mis.len(),
@@ -513,6 +518,93 @@ impl MisEngine {
                 self.lower_mis_count[v],
                 self.count_lower_mis(v),
                 "counter of {v} diverged"
+            );
+        }
+    }
+
+    /// Pre-sizes every per-node structure (adjacency slots, priorities,
+    /// membership and scratch bitsets, counters, ranks, settle front)
+    /// for `n` nodes, so a bootstrap of up to `n` insertions performs no
+    /// incremental regrows — the difference between one upfront
+    /// allocation per table and log(n) reallocation-plus-copy cycles
+    /// during a 10^6-node load.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.graph.reserve_nodes(n);
+        self.priorities.reserve_nodes(n);
+        self.in_mis.reserve_nodes(n);
+        self.lower_mis_count.reserve_slots(n);
+        self.enqueued.reserve_nodes(n);
+        self.ranks.reserve(n);
+        self.front.reserve(n);
+    }
+
+    /// Total times any per-node structure grew past its capacity
+    /// (reallocated) since construction. 0 after an adequate
+    /// [`Self::reserve_nodes`] — the debug counter behind the no-regrow
+    /// bootstrap guarantee.
+    #[must_use]
+    pub fn storage_regrows(&self) -> u64 {
+        self.graph.regrows()
+            + self.priorities.regrows()
+            + self.in_mis.regrows()
+            + self.lower_mis_count.regrows()
+            + self.enqueued.regrows()
+            + self.ranks.regrows()
+            + self.front.regrows()
+    }
+
+    /// [`Self::check_invariant`] restricted to ~`sample` deterministically
+    /// chosen nodes — O(sample · avg-degree) instead of O(n + m). See
+    /// [`invariant::check_mis_invariant_sampled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among sampled nodes.
+    pub fn check_invariant_sampled(
+        &self,
+        sample: usize,
+        seed: u64,
+    ) -> Result<(), InvariantViolation> {
+        invariant::check_mis_invariant_sampled(
+            &self.graph,
+            &self.priorities,
+            &self.in_mis,
+            sample,
+            seed,
+        )
+    }
+
+    /// Sampled counterpart of [`Self::assert_internally_consistent`]:
+    /// global facts stay exact (cached `mis_len` against a membership
+    /// popcount, table sizes, drained settle scratch), while per-node
+    /// counters and membership are recomputed only for ~`sample`
+    /// deterministically chosen nodes — so a per-update assertion on a
+    /// 10^6-node test costs O(sample · avg-degree), not O(n + m) greedy
+    /// recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any checked structure diverged.
+    pub fn assert_internally_consistent_sampled(&self, sample: usize, seed: u64) {
+        assert_eq!(self.lower_mis_count.len(), self.graph.node_count());
+        assert_eq!(self.priorities.len(), self.graph.node_count());
+        assert_eq!(
+            self.in_mis.len(),
+            self.in_mis.popcount(),
+            "cached mis_len diverged from the membership words"
+        );
+        assert!(self.enqueued.is_empty(), "enqueue scratch leaked bits");
+        assert!(self.front.is_empty(), "settle front leaked ranks");
+        for v in invariant::sampled_nodes(&self.graph, sample, seed) {
+            assert_eq!(
+                self.lower_mis_count[v],
+                self.count_lower_mis(v),
+                "counter of {v} diverged"
+            );
+            assert_eq!(
+                self.in_mis.contains(v),
+                self.lower_mis_count[v] == 0,
+                "membership of {v} contradicts its counter"
             );
         }
     }
@@ -552,10 +644,16 @@ impl MisEngine {
         // so `RankIndex::remove`'s pending scan stays O(batch), and it
         // makes switching strategies mid-life safe with no extra guard.
         self.ranks.flush(&self.priorities);
-        match self.strategy {
+        let receipt = match self.strategy {
             SettleStrategy::RankFront => self.propagate_front(kind, seeds, counter_updates),
             SettleStrategy::BinaryHeap => self.propagate_heap(kind, seeds, counter_updates),
-        }
+        };
+        // The drain has quiesced — no rank is parked anywhere — so this
+        // is the one safe point to drop tombstone mass. Keeps the rank
+        // span (and the front's word array) within 2× the live count
+        // under deletion-heavy churn.
+        self.ranks.maybe_compact();
+        receipt
     }
 
     /// The word-parallel drain: dirty ranks live in the persistent
@@ -604,18 +702,20 @@ impl MisEngine {
             let lower = &mut self.lower_mis_count;
             let enqueued = &mut self.enqueued;
             let front = &mut self.front;
-            for &w in graph.neighbors_slice(v).expect("live node") {
-                let rw = ranks.rank_of(w);
-                if rw > rank {
-                    let c = lower.get_mut(w).expect("live node");
-                    if desired {
-                        *c += 1;
-                    } else {
-                        *c -= 1;
-                    }
-                    counter_updates += 1;
-                    if enqueued.insert(w) {
-                        front.insert(rw);
+            for chunk in graph.neighbor_chunks(v).expect("live node") {
+                for &w in chunk {
+                    let rw = ranks.rank_of(w);
+                    if rw > rank {
+                        let c = lower.get_mut(w).expect("live node");
+                        if desired {
+                            *c += 1;
+                        } else {
+                            *c -= 1;
+                        }
+                        counter_updates += 1;
+                        if enqueued.insert(w) {
+                            front.insert(rw);
+                        }
                     }
                 }
             }
@@ -657,17 +757,19 @@ impl MisEngine {
             let priorities = &self.priorities;
             let lower = &mut self.lower_mis_count;
             let enqueued = &mut self.enqueued;
-            for &w in graph.neighbors_slice(v).expect("live node") {
-                if priorities.of(w) > prio {
-                    let c = lower.get_mut(w).expect("live node");
-                    if desired {
-                        *c += 1;
-                    } else {
-                        *c -= 1;
-                    }
-                    counter_updates += 1;
-                    if enqueued.insert(w) {
-                        heap.push(Reverse((priorities.of(w), w)));
+            for chunk in graph.neighbor_chunks(v).expect("live node") {
+                for &w in chunk {
+                    if priorities.of(w) > prio {
+                        let c = lower.get_mut(w).expect("live node");
+                        if desired {
+                            *c += 1;
+                        } else {
+                            *c -= 1;
+                        }
+                        counter_updates += 1;
+                        if enqueued.insert(w) {
+                            heap.push(Reverse((priorities.of(w), w)));
+                        }
                     }
                 }
             }
@@ -896,6 +998,30 @@ mod tests {
             }
             assert_eq!(diff, receipt.adjusted_nodes());
         }
+    }
+
+    #[test]
+    fn sampled_checks_pass_wherever_full_checks_pass() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (g, _) = generators::erdos_renyi(80, 0.08, &mut rng);
+        let mut engine = MisEngine::from_graph(g, 9);
+        for step in 0..120u64 {
+            let Some(change) =
+                stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+            else {
+                continue;
+            };
+            engine.apply(&change).unwrap();
+            // Varying the seed sweeps different residue classes.
+            engine.assert_internally_consistent_sampled(8, step);
+            assert!(engine.check_invariant_sampled(8, step).is_ok());
+        }
+        // Sample >= n degenerates to the full per-node sweep.
+        engine.assert_internally_consistent_sampled(usize::MAX, 0);
+        assert_eq!(
+            engine.check_invariant_sampled(usize::MAX, 0),
+            engine.check_invariant()
+        );
     }
 
     #[test]

@@ -219,6 +219,19 @@ impl ParallelShardedMisEngine {
         &self.inner
     }
 
+    /// Pre-sizes every per-node structure for `n` nodes; see
+    /// [`ShardedMisEngine::reserve_nodes`].
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.inner.reserve_nodes(n);
+    }
+
+    /// Total per-node structure reallocations since construction; see
+    /// [`ShardedMisEngine::storage_regrows`].
+    #[must_use]
+    pub fn storage_regrows(&self) -> u64 {
+        self.inner.storage_regrows()
+    }
+
     /// Returns the shard layout.
     #[must_use]
     pub fn layout(&self) -> ShardLayout {

@@ -86,6 +86,19 @@ impl PriorityMap {
         Self::default()
     }
 
+    /// Pre-sizes the backing table for `n` nodes, so a bootstrap of up
+    /// to `n` assignments performs no incremental regrows.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.map.reserve_slots(n);
+    }
+
+    /// Times the backing table grew past its capacity (reallocated)
+    /// since construction. 0 after an adequate [`Self::reserve_nodes`].
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.map.regrows()
+    }
+
     /// Draws and records a fresh random priority for `id`.
     ///
     /// # Panics

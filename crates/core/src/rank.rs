@@ -84,6 +84,13 @@ pub struct RankIndex {
     pending: Vec<NodeId>,
     /// Re-rank scratch (persistent capacity).
     scratch: Vec<NodeId>,
+    /// Tombstoned slots currently in `node_at_rank`. When they outnumber
+    /// the live ranks, the next [`Self::flush`] compacts the whole table
+    /// (so the span stays within 2× the live count under churn).
+    tombstones: u32,
+    /// Times `node_at_rank` grew past its capacity (reallocation); 0
+    /// after [`Self::reserve`] with an adequate bound.
+    table_regrows: u64,
 }
 
 impl RankIndex {
@@ -130,6 +137,28 @@ impl RankIndex {
     #[must_use]
     pub fn span(&self) -> usize {
         self.node_at_rank.len()
+    }
+
+    /// Pre-sizes both dense tables for `n` nodes, so a bootstrap of up
+    /// to `n` insertions performs no incremental regrows.
+    pub fn reserve(&mut self, n: usize) {
+        self.rank_of.reserve_slots(n);
+        if n > self.node_at_rank.capacity() {
+            self.node_at_rank.reserve(n - self.node_at_rank.len());
+        }
+    }
+
+    /// Times a dense table grew past its capacity (reallocated) since
+    /// construction. 0 after an adequate [`Self::reserve`].
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.rank_of.regrows() + self.table_regrows
+    }
+
+    /// Appends `v` as the next rank slot, counting capacity overruns.
+    fn push_slot(&mut self, v: NodeId) {
+        self.table_regrows += u64::from(self.node_at_rank.len() + 1 > self.node_at_rank.capacity());
+        self.node_at_rank.push(v);
     }
 
     /// Rank of `v`, if live.
@@ -185,7 +214,7 @@ impl RankIndex {
         };
         if appends {
             let rank = u32::try_from(self.node_at_rank.len()).expect("rank fits in u32");
-            self.node_at_rank.push(v);
+            self.push_slot(v);
             self.rank_of.insert(v, rank);
             self.max_rank = Some(rank);
         } else {
@@ -201,6 +230,7 @@ impl RankIndex {
             return;
         };
         self.node_at_rank[rank as usize] = TOMBSTONE;
+        self.tombstones += 1;
         if self.max_rank == Some(rank) {
             let mut r = rank;
             self.max_rank = loop {
@@ -217,9 +247,21 @@ impl RankIndex {
 
     /// Ranks every pending node: the coalesced **re-rank**. Ranked slots
     /// are already in π order, so one merge with the priority-sorted
-    /// pending list rewrites both dense tables in O(live + k log k) for
-    /// k pending nodes — compacting accumulated tombstones on the way.
-    /// A no-op when nothing is pending. The engines call this at settle
+    /// pending list rewrites the dense tables — but only from the
+    /// *lowest insertion point* down: ranks below the smallest pending
+    /// priority are provably unchanged by the merge and are left in
+    /// place, so a flush costs O(suffix + k log k) for k pending nodes,
+    /// where `suffix` is the number of slots at or above where the
+    /// lowest newcomer lands (found by binary search), not the full live
+    /// count. Suffix tombstones are compacted on the way; prefix
+    /// tombstones survive until they outnumber the live ranks, at which
+    /// point the flush compacts the whole table — keeping the rank span
+    /// (what a [`dmis_graph::RankFront`] must cover) within 2× the live
+    /// count under sustained churn (deletion-only churn, which never
+    /// pends, is compacted by [`Self::maybe_compact`] instead). A no-op
+    /// when nothing is pending — engines park ranks directly in their
+    /// fronts for single-change updates *because* an empty-pending flush
+    /// is guaranteed not to move ranks. The engines call this at settle
     /// start, after all of an update's mutations, which is the one point
     /// where re-ranking is legal (no rank is parked in a settle front).
     ///
@@ -234,10 +276,16 @@ impl RankIndex {
         }
         let mut pending = std::mem::take(&mut self.pending);
         pending.sort_unstable_by_key(|&v| priorities.of(v));
+        let cut = if self.tombstones as usize > self.rank_of.len() {
+            0
+        } else {
+            self.suffix_cut(priorities.of(pending[0]), priorities)
+        };
+        let suffix_len = self.node_at_rank.len() - cut;
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
         let mut next = pending.iter().copied().peekable();
-        for &w in &self.node_at_rank {
+        for &w in &self.node_at_rank[cut..] {
             if w != TOMBSTONE {
                 let pw = priorities.of(w);
                 while next.peek().is_some_and(|&p| priorities.of(p) < pw) {
@@ -247,10 +295,75 @@ impl RankIndex {
             }
         }
         scratch.extend(next);
+        let suffix_live = scratch.len() - pending.len();
+        self.tombstones -= u32::try_from(suffix_len - suffix_live).expect("count fits");
+        self.node_at_rank.truncate(cut);
+        for &v in &scratch {
+            let rank = u32::try_from(self.node_at_rank.len()).expect("rank fits in u32");
+            self.push_slot(v);
+            self.rank_of.insert(v, rank);
+        }
+        self.max_rank = match self.node_at_rank.len() {
+            0 => None,
+            n => Some((n - 1) as u32),
+        };
+        debug_assert!(
+            self.max_rank
+                .is_none_or(|mr| self.node_at_rank[mr as usize] != TOMBSTONE),
+            "rewrite left a trailing tombstone"
+        );
+        scratch.clear();
         self.scratch = scratch;
         pending.clear();
         self.pending = pending; // keep the capacity
+    }
+
+    /// Compacts the rank table if tombstones outnumber the live ranks,
+    /// keeping the span (what a [`dmis_graph::RankFront`] must cover)
+    /// within 2× the live count under deletion-heavy churn — which never
+    /// pends and so is never compacted by [`Self::flush`]. Compaction
+    /// drops tombstoned slots without reordering the survivors, so it
+    /// needs no priorities; it *does* re-rank, so it is only legal while
+    /// no rank is parked in a settle front — the engines call it at
+    /// settle **end**, after every front has drained to quiescence.
+    /// A no-op below the threshold or while insertions are pending
+    /// (the next flush compacts those for free).
+    pub fn maybe_compact(&mut self) {
+        if self.tombstones as usize <= self.rank_of.len() || !self.pending.is_empty() {
+            return;
+        }
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.extend(
+            self.node_at_rank
+                .iter()
+                .copied()
+                .filter(|&w| w != TOMBSTONE),
+        );
+        self.scratch = scratch;
         self.rewrite_from_scratch();
+    }
+
+    /// Smallest slot index `c` such that every live entry below `c` has
+    /// priority below `p_min` — the prefix a suffix rewrite may keep.
+    /// Binary search over the rank table; a probe landing on a tombstone
+    /// run scans forward to the nearest live entry, which stays cheap
+    /// because compaction keeps tombstones from outnumbering live ranks.
+    fn suffix_cut(&self, p_min: Priority, priorities: &PriorityMap) -> usize {
+        let (mut lo, mut hi) = (0usize, self.node_at_rank.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let live = self.node_at_rank[mid..]
+                .iter()
+                .position(|&w| w != TOMBSTONE);
+            match live {
+                Some(off) if priorities.of(self.node_at_rank[mid + off]) < p_min => {
+                    lo = mid + off + 1;
+                }
+                _ => hi = mid,
+            }
+        }
+        lo
     }
 
     /// Rebuilds both tables from the rank-ordered node list in `scratch`,
@@ -260,12 +373,15 @@ impl RankIndex {
         self.rank_of.clear();
         let scratch = std::mem::take(&mut self.scratch);
         for (rank, &v) in scratch.iter().enumerate() {
+            self.table_regrows +=
+                u64::from(self.node_at_rank.len() + 1 > self.node_at_rank.capacity());
             self.node_at_rank.push(v);
             self.rank_of
                 .insert(v, u32::try_from(rank).expect("rank fits in u32"));
         }
         self.scratch = scratch;
         self.scratch.clear();
+        self.tombstones = 0;
         self.max_rank = match self.node_at_rank.len() {
             0 => None,
             n => Some((n - 1) as u32),
@@ -301,6 +417,15 @@ impl RankIndex {
             self.max_rank,
             last.map(|(r, _)| r),
             "max_rank diverged from the highest live slot"
+        );
+        let blanks = self
+            .node_at_rank
+            .iter()
+            .filter(|&&v| v == TOMBSTONE)
+            .count();
+        assert_eq!(
+            self.tombstones as usize, blanks,
+            "tombstone counter diverged from the table"
         );
         for (v, &r) in self.rank_of.iter() {
             assert_eq!(
@@ -398,6 +523,102 @@ mod tests {
             "merge realizes key order 0,1,2,3,4,6,9"
         );
         ranks.assert_consistent(&pm);
+    }
+
+    #[test]
+    fn flush_is_a_suffix_rewrite_below_the_lowest_newcomer() {
+        // 100 ranked nodes keyed 0,10,20,…; a newcomer keyed 955 lands
+        // between ranks 95 and 96, so ranks 0..=95 must survive the
+        // flush untouched (same slot, same table entry — not merely the
+        // same order).
+        let mut pm = PriorityMap::new();
+        for id in 0..100u64 {
+            pm.insert(NodeId(id), Priority::new(id * 10, NodeId(id)));
+        }
+        let mut ranks = RankIndex::from_priorities(&pm);
+        pm.insert(NodeId(500), Priority::new(955, NodeId(500)));
+        ranks.insert(NodeId(500), &pm);
+        assert!(!ranks.is_flushed());
+        ranks.flush(&pm);
+        for id in 0..=95u64 {
+            assert_eq!(ranks.rank_of(NodeId(id)), id as usize, "prefix rank moved");
+        }
+        assert_eq!(ranks.rank_of(NodeId(500)), 96);
+        assert_eq!(ranks.rank_of(NodeId(99)), 100);
+        ranks.assert_consistent(&pm);
+    }
+
+    #[test]
+    fn maybe_compact_bounds_the_span_under_deletion_churn() {
+        // 100 appends then 80 removals: the span stays at 100 (deletion
+        // never re-ranks, and deletion-only churn never pends so flush
+        // is a no-op) until `maybe_compact` notices tombstones > live.
+        let mut pm = PriorityMap::new();
+        let mut ranks = RankIndex::new();
+        for id in 0..100u64 {
+            pm.insert(NodeId(id), Priority::new(id, NodeId(id)));
+            ranks.insert(NodeId(id), &pm);
+        }
+        for id in 0..80u64 {
+            pm.remove(NodeId(id));
+            ranks.remove(NodeId(id));
+        }
+        assert_eq!(ranks.span(), 100, "deletion keeps the span");
+        ranks.flush(&pm);
+        assert_eq!(ranks.span(), 100, "empty-pending flush must not move ranks");
+        ranks.maybe_compact();
+        assert_eq!(ranks.span(), 20, "compaction drops every tombstone");
+        assert_eq!(ranks.rank_of(NodeId(80)), 0);
+        assert_eq!(ranks.rank_of(NodeId(99)), 19);
+        ranks.assert_consistent(&pm);
+        // Below the threshold compaction stays a no-op.
+        pm.remove(NodeId(80));
+        ranks.remove(NodeId(80));
+        ranks.maybe_compact();
+        assert_eq!(ranks.span(), 20, "one tombstone in twenty stays put");
+        ranks.assert_consistent(&pm);
+    }
+
+    #[test]
+    fn flush_with_pending_compacts_when_tombstones_dominate() {
+        // Heavy deletion plus one out-of-order insert: the flush that
+        // ranks the newcomer rewrites from rank 0 and compacts, because
+        // a suffix rewrite above the tombstone mass would keep the span
+        // bloated.
+        let mut pm = PriorityMap::new();
+        let mut ranks = RankIndex::new();
+        for id in 0..100u64 {
+            pm.insert(NodeId(id), Priority::new(10 * id, NodeId(id)));
+            ranks.insert(NodeId(id), &pm);
+        }
+        for id in 0..80u64 {
+            pm.remove(NodeId(id));
+            ranks.remove(NodeId(id));
+        }
+        pm.insert(NodeId(200), Priority::new(805, NodeId(200)));
+        ranks.insert(NodeId(200), &pm);
+        ranks.flush(&pm);
+        assert_eq!(ranks.span(), 21, "full rewrite: 20 survivors + newcomer");
+        assert_eq!(ranks.rank_of(NodeId(80)), 0);
+        assert_eq!(ranks.rank_of(NodeId(200)), 1);
+        ranks.assert_consistent(&pm);
+    }
+
+    #[test]
+    fn reserved_index_never_regrows_during_bootstrap() {
+        let mut pm = PriorityMap::new();
+        let mut ranks = RankIndex::new();
+        ranks.reserve(512);
+        for id in 0..512u64 {
+            pm.insert(NodeId(id), Priority::new(id, NodeId(id)));
+            ranks.insert(NodeId(id), &pm);
+        }
+        assert_eq!(ranks.regrows(), 0, "pre-sized tables must not regrow");
+        let mut cold = RankIndex::new();
+        for id in 0..512u64 {
+            cold.insert(NodeId(id), &pm);
+        }
+        assert!(cold.regrows() > 0, "unsized tables regrow (sanity)");
     }
 
     #[test]

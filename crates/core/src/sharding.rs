@@ -229,19 +229,21 @@ fn run_shard_epoch_front(
             shard.in_mis.remove(local);
         }
         let delta: isize = if desired { 1 } else { -1 };
-        for &w in graph.neighbors_slice(v).expect("live node") {
-            let rw = ranks.rank_of(w);
-            if rw > rank {
-                if layout.shard_of(w) == s {
-                    let lw = layout.local_slot(w);
-                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
-                    *c = c.checked_add_signed(delta).expect("counter in range");
-                    stats.counter_updates += 1;
-                    if shard.enqueued.insert(lw) {
-                        shard.front.insert(rw);
+        for chunk in graph.neighbor_chunks(v).expect("live node") {
+            for &w in chunk {
+                let rw = ranks.rank_of(w);
+                if rw > rank {
+                    if layout.shard_of(w) == s {
+                        let lw = layout.local_slot(w);
+                        let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                        *c = c.checked_add_signed(delta).expect("counter in range");
+                        stats.counter_updates += 1;
+                        if shard.enqueued.insert(lw) {
+                            shard.front.insert(rw);
+                        }
+                    } else {
+                        shard.outbox.push((w, delta));
                     }
-                } else {
-                    shard.outbox.push((w, delta));
                 }
             }
         }
@@ -280,18 +282,20 @@ fn run_shard_epoch_heap(
             shard.in_mis.remove(local);
         }
         let delta: isize = if desired { 1 } else { -1 };
-        for &w in graph.neighbors_slice(v).expect("live node") {
-            if priorities.of(w) > prio {
-                if layout.shard_of(w) == s {
-                    let lw = layout.local_slot(w);
-                    let c = shard.lower_mis_count.get_mut(lw).expect("live node");
-                    *c = c.checked_add_signed(delta).expect("counter in range");
-                    stats.counter_updates += 1;
-                    if shard.enqueued.insert(lw) {
-                        shard.heap.push(Reverse((priorities.of(w), w)));
+        for chunk in graph.neighbor_chunks(v).expect("live node") {
+            for &w in chunk {
+                if priorities.of(w) > prio {
+                    if layout.shard_of(w) == s {
+                        let lw = layout.local_slot(w);
+                        let c = shard.lower_mis_count.get_mut(lw).expect("live node");
+                        *c = c.checked_add_signed(delta).expect("counter in range");
+                        stats.counter_updates += 1;
+                        if shard.enqueued.insert(lw) {
+                            shard.heap.push(Reverse((priorities.of(w), w)));
+                        }
+                    } else {
+                        shard.outbox.push((w, delta));
                     }
-                } else {
-                    shard.outbox.push((w, delta));
                 }
             }
         }
@@ -819,6 +823,10 @@ impl ShardedMisEngine {
             }
             self.merge_outboxes(&mut stats);
         }
+        // Global quiescence: every shard front has drained, so no rank
+        // is parked anywhere and compaction is legal. Keeps the rank
+        // span within 2× the live count under deletion-heavy churn.
+        self.ranks.maybe_compact();
         // Net flips: nodes whose final state differs from their state at
         // first touch. Collection order across shards is irrelevant —
         // the report is sorted by π (the unsharded settle order).
@@ -945,6 +953,13 @@ impl ShardedMisEngine {
             assert!(shard.touched.is_empty(), "flip log leaked touch bits");
             assert!(shard.log.is_empty(), "flip log leaked entries");
         }
+        for shard in &self.shards {
+            assert_eq!(
+                shard.in_mis.len(),
+                shard.in_mis.popcount(),
+                "cached shard mis_len diverged from its membership words"
+            );
+        }
         let ground_truth = crate::static_greedy::greedy_mis_dense(&self.graph, &self.priorities);
         let total_bits: usize = self.shards.iter().map(|s| s.in_mis.len()).sum();
         assert_eq!(total_bits, ground_truth.len(), "stale membership bits");
@@ -958,6 +973,107 @@ impl ShardedMisEngine {
                 self.shards[self.layout.shard_of(v)].lower_mis_count[self.layout.local_slot(v)],
                 self.count_lower_mis(v),
                 "counter of {v} diverged"
+            );
+        }
+    }
+
+    /// Pre-sizes every per-node structure for `n` nodes: global tables
+    /// (adjacency, priorities, ranks) get `n` slots, each shard's local
+    /// tables get its [`ShardLayout::local_span`] share, and each
+    /// shard's front gets the full rank span (fronts hold **global**
+    /// ranks). A bootstrap of up to `n` insertions then performs no
+    /// incremental regrows.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.graph.reserve_nodes(n);
+        self.priorities.reserve_nodes(n);
+        self.ranks.reserve(n);
+        let local = self.layout.local_span(n);
+        for shard in &mut self.shards {
+            shard.in_mis.reserve_nodes(local);
+            shard.lower_mis_count.reserve_slots(local);
+            shard.enqueued.reserve_nodes(local);
+            shard.touched.reserve_nodes(local);
+            shard.front.reserve(n);
+        }
+    }
+
+    /// Total times any per-node structure grew past its capacity
+    /// (reallocated) since construction. 0 after an adequate
+    /// [`Self::reserve_nodes`] — the debug counter behind the no-regrow
+    /// bootstrap guarantee.
+    #[must_use]
+    pub fn storage_regrows(&self) -> u64 {
+        let shards: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.in_mis.regrows()
+                    + s.lower_mis_count.regrows()
+                    + s.enqueued.regrows()
+                    + s.touched.regrows()
+                    + s.front.regrows()
+            })
+            .sum();
+        self.graph.regrows() + self.priorities.regrows() + self.ranks.regrows() + shards
+    }
+
+    /// [`Self::check_invariant`] restricted to ~`sample` deterministically
+    /// chosen nodes. Merging the shard membership bits costs O(n/64)
+    /// words; the expensive neighbor scans run only for sampled nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found among sampled nodes.
+    pub fn check_invariant_sampled(
+        &self,
+        sample: usize,
+        seed: u64,
+    ) -> Result<(), InvariantViolation> {
+        let members: NodeSet = self.mis_iter().collect();
+        invariant::check_mis_invariant_sampled(
+            &self.graph,
+            &self.priorities,
+            &members,
+            sample,
+            seed,
+        )
+    }
+
+    /// Sampled counterpart of [`Self::assert_internally_consistent`]:
+    /// per-shard facts stay exact (cached membership counts against
+    /// popcounts, drained settle scratch), while per-node counters and
+    /// membership are recomputed only for ~`sample` deterministically
+    /// chosen nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any checked structure diverged.
+    pub fn assert_internally_consistent_sampled(&self, sample: usize, seed: u64) {
+        assert_eq!(self.priorities.len(), self.graph.node_count());
+        let total_counters: usize = self.shards.iter().map(|s| s.lower_mis_count.len()).sum();
+        assert_eq!(total_counters, self.graph.node_count());
+        for shard in &self.shards {
+            assert_eq!(
+                shard.in_mis.len(),
+                shard.in_mis.popcount(),
+                "cached shard mis_len diverged from its membership words"
+            );
+            assert!(shard.heap.is_empty(), "dirty set leaked between updates");
+            assert!(shard.front.is_empty(), "settle front leaked ranks");
+            assert!(shard.enqueued.is_empty(), "enqueue scratch leaked bits");
+            assert!(shard.outbox.is_empty(), "outbox leaked past the barrier");
+        }
+        for v in invariant::sampled_nodes(&self.graph, sample, seed) {
+            let (s, local) = (self.layout.shard_of(v), self.layout.local_slot(v));
+            assert_eq!(
+                self.shards[s].lower_mis_count[local],
+                self.count_lower_mis(v),
+                "counter of {v} diverged"
+            );
+            assert_eq!(
+                self.shards[s].in_mis.contains(local),
+                self.shards[s].lower_mis_count[local] == 0,
+                "membership of {v} contradicts its counter"
             );
         }
     }
@@ -1001,6 +1117,28 @@ mod tests {
             let engine = ShardedMisEngine::from_graph(g.clone(), layout, 99);
             engine.assert_internally_consistent();
             assert_eq!(engine.mis(), plain.mis(), "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_checks_pass_on_every_layout_under_churn() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (g, _) = generators::erdos_renyi(60, 0.1, &mut rng);
+        for layout in layouts() {
+            let mut engine = ShardedMisEngine::from_graph(g.clone(), layout, 3);
+            for step in 0..60u64 {
+                let Some(change) =
+                    stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
+                else {
+                    continue;
+                };
+                engine.apply(&change).unwrap();
+                engine.assert_internally_consistent_sampled(8, step);
+                assert!(
+                    engine.check_invariant_sampled(8, step).is_ok(),
+                    "{layout:?}"
+                );
+            }
         }
     }
 

@@ -122,7 +122,9 @@ pub fn relax(
                 changes_per_node.insert(v, 1);
             }
             candidates.insert(v);
-            candidates.insert_sorted_slice(g.neighbors_slice(v).expect("live node"));
+            for chunk in g.neighbor_chunks(v).expect("live node") {
+                candidates.insert_sorted_slice(chunk);
+            }
         }
     }
     TemplateTrace {

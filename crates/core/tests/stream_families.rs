@@ -1,0 +1,114 @@
+//! End-to-end checks for the scale-tier stream families (power-law churn,
+//! community churn, temporal sliding window): every family must drive a
+//! watermarked [`IngestSession`] — the coalescing ingestion path — without
+//! a single validity error, and the session's final MIS must match
+//! sequential unbatched application of the same raw stream (history
+//! independence makes the two comparable). A separate check pins the
+//! structural reason the Chung–Lu family exists: its hubs reach `√n`
+//! degree, the regime the chunked adjacency layout is built for.
+
+use dmis_core::{Engine, IngestSession};
+use dmis_graph::{generators, stream, DynGraph, ShardLayout, TopologyChange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pushes `raw` through a watermarked session on a (K-sharded) engine and
+/// checks it against a sequential oracle; every push and flush must be
+/// `Ok` — a coalescer that reorders into invalidity would surface here.
+fn ingest_matches_sequential(g: &DynGraph, raw: &[TopologyChange], seed: u64) {
+    let mut oracle = Engine::builder().graph(g.clone()).seed(seed).build();
+    for c in raw {
+        oracle.apply(c).expect("raw stream is sequentially valid");
+    }
+    for k in [1usize, 4] {
+        let mut engine = Engine::builder()
+            .graph(g.clone())
+            .seed(seed)
+            .sharding(ShardLayout::striped(k))
+            .build();
+        let mut session = IngestSession::with_watermark(&mut *engine, 8);
+        for c in raw {
+            session
+                .push(c.clone())
+                .unwrap_or_else(|e| panic!("K={k}: coalesced window rejected {c:?}: {e}"));
+        }
+        session.flush().expect("tail window is valid");
+        assert_eq!(engine.mis(), oracle.mis(), "K={k}");
+        engine.assert_internally_consistent();
+        engine.check_invariant().expect("MIS invariant holds");
+    }
+}
+
+#[test]
+fn power_law_churn_passes_ingest_coalescing() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, ids) = generators::chung_lu(120, 6.0, 2.5, &mut rng);
+        let raw = stream::power_law_churn(&g, &ids, 2.5, 160, &mut rng);
+        assert_eq!(raw.len(), 160);
+        ingest_matches_sequential(&g, &raw, 50 + seed);
+    }
+}
+
+#[test]
+fn community_churn_passes_ingest_coalescing() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(10 + seed);
+        let (g, ids) = generators::gnm(120, 180, &mut rng);
+        let raw = stream::community_churn(&g, &ids, 6, 0.1, 160, &mut rng);
+        assert_eq!(raw.len(), 160);
+        ingest_matches_sequential(&g, &raw, 60 + seed);
+    }
+}
+
+#[test]
+fn sliding_window_passes_ingest_coalescing() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(20 + seed);
+        let (g, ids) = generators::gnm(100, 120, &mut rng);
+        let raw = stream::sliding_window_stream(&g, &ids, 24, 200, &mut rng);
+        assert_eq!(raw.len(), 200);
+        ingest_matches_sequential(&g, &raw, 70 + seed);
+    }
+}
+
+/// The hub degrees of the Chung–Lu family really scale like `√n`: averaged
+/// over seeds, the realized maximum degree clears `√n` with room (the
+/// weight cap targets `√(8n) ≈ 2.8·√n` for the heaviest node).
+#[test]
+fn chung_lu_max_degree_scales_like_sqrt_n() {
+    let n = 4096usize;
+    let seeds = 3u64;
+    let mut total = 0usize;
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::chung_lu(n, 8.0, 2.5, &mut rng);
+        total += g.max_degree();
+    }
+    let average = total / seeds as usize;
+    let sqrt_n = (n as f64).sqrt() as usize;
+    assert!(
+        average >= sqrt_n,
+        "average max degree {average} fell below √n = {sqrt_n}"
+    );
+}
+
+/// The power-law stream keeps hammering the same hubs, so the coalescer
+/// sees real cancel opportunities: a long window coalesces away a
+/// measurable fraction of the pushed changes.
+#[test]
+fn power_law_churn_gives_the_coalescer_real_work() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (g, ids) = generators::chung_lu(48, 6.0, 2.5, &mut rng);
+    let raw = stream::power_law_churn(&g, &ids, 2.5, 400, &mut rng);
+    let mut engine = Engine::builder().graph(g).seed(7).build();
+    let mut session = IngestSession::new(&mut *engine);
+    for c in &raw {
+        session.push(c.clone()).expect("no watermark, cannot fail");
+    }
+    let receipt = session.flush().expect("valid window");
+    assert!(
+        receipt.coalesced_changes() > 0,
+        "revisiting hub edges must cancel at least one opposing pair"
+    );
+}

@@ -168,10 +168,14 @@ impl ColoringEngine {
         // reason: it bounds the pending list so `RankIndex::remove` stays
         // O(update) no matter which strategy is active.
         self.ranks.flush(&self.priorities);
-        match self.strategy {
+        let receipt = match self.strategy {
             SettleStrategy::RankFront => self.propagate_front(seeds),
             SettleStrategy::BinaryHeap => self.propagate_heap(seeds),
-        }
+        };
+        // Post-drain, no rank is parked in the front: safe to compact
+        // tombstone mass so the rank span tracks the live node count.
+        self.ranks.maybe_compact();
+        receipt
     }
 
     /// The word-parallel drain: dirty ranks live in the persistent
@@ -197,10 +201,12 @@ impl ColoringEngine {
             let graph = &self.graph;
             let ranks = &self.ranks;
             let front = &mut self.front;
-            for &w in graph.neighbors_slice(v).expect("live node") {
-                let rw = ranks.rank_of(w);
-                if rw > rank {
-                    front.insert(rw);
+            for chunk in graph.neighbor_chunks(v).expect("live node") {
+                for &w in chunk {
+                    let rw = ranks.rank_of(w);
+                    if rw > rank {
+                        front.insert(rw);
+                    }
                 }
             }
         }

@@ -256,10 +256,14 @@ impl NativeMatching {
         // pending list so `RankIndex::remove` stays O(update) no matter
         // which strategy is active.
         self.ranks.flush(&self.line_prio);
-        match self.strategy {
+        let receipt = match self.strategy {
             SettleStrategy::RankFront => self.propagate_front(seeds),
             SettleStrategy::BinaryHeap => self.propagate_heap(seeds),
-        }
+        };
+        // Post-drain, no line-id rank is parked in the front: safe to
+        // compact tombstone mass so the span tracks the live edge count.
+        self.ranks.maybe_compact();
+        receipt
     }
 
     /// Applies one flip's matched-set and cover-map mutation; shared by

@@ -237,6 +237,69 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     (g, ids)
 }
 
+/// Chung–Lu random graph with a power-law expected-degree sequence of
+/// exponent `beta`: node `ids[i]` carries weight `w_i ∝ (i + 1)^{-1/(β-1)}`
+/// (so `ids[0]` is the heaviest hub), scaled so the mean weight is
+/// `avg_degree` and capped at `√S` (`S = Σw`) so every pair probability
+/// `w_i·w_j / S` is a probability. Pairs are sampled in `O(n + m)` expected
+/// time with the Miller–Hagberg skip walk: for a fixed `i`, the surviving
+/// partners `j > i` are found by geometric jumps under the monotone upper
+/// bound `w_i·w_j / S ≤ w_i·w_{j'}/ S` for `j' ≤ j`, then thinned to the
+/// exact probability — never touching the `Θ(n²)` rejected pairs.
+///
+/// The weight cap puts the expected hub degree at `Θ(√(d·n))`, so the
+/// realized maximum degree grows as `√n` — the regime that distinguishes a
+/// chunked adjacency layout from a flat one.
+///
+/// # Panics
+///
+/// Panics if `beta ≤ 2` (infinite-mean regime) or `avg_degree ≤ 0`.
+#[must_use]
+pub fn chung_lu<R: Rng + ?Sized>(
+    n: usize,
+    avg_degree: f64,
+    beta: f64,
+    rng: &mut R,
+) -> (DynGraph, Vec<NodeId>) {
+    assert!(beta > 2.0, "need beta > 2 for a finite mean degree");
+    assert!(avg_degree > 0.0, "need a positive average degree");
+    let (mut g, ids) = DynGraph::with_nodes(n);
+    if n < 2 {
+        return (g, ids);
+    }
+    let gamma = 1.0 / (beta - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+    let scale = avg_degree * n as f64 / weights.iter().sum::<f64>();
+    let total: f64 = weights.iter().map(|w| w * scale).sum();
+    let cap = total.sqrt();
+    for w in &mut weights {
+        *w = (*w * scale).min(cap);
+    }
+    for i in 0..n - 1 {
+        // Walk j upward under the running bound p (exact for j = i + 1,
+        // an over-estimate after skips), thinning each landing to the
+        // exact probability q.
+        let mut j = i + 1;
+        let mut p = (weights[i] * weights[j] / total).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.random();
+                j += (r.ln() / (1.0 - p).ln()).floor() as usize;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (weights[i] * weights[j] / total).min(1.0);
+            if rng.random::<f64>() < q / p {
+                g.insert_edge(ids[i], ids[j]).expect("fresh edges");
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    (g, ids)
+}
+
 /// Random bipartite graph: each of the `a × b` cross pairs is an edge with
 /// probability `p`.
 #[must_use]
@@ -473,6 +536,39 @@ mod tests {
         // Expected edge count: clique + m per later node.
         assert_eq!(g.edge_count(), m * (m - 1) / 2 + (n - m) * m);
         g.assert_consistent();
+    }
+
+    #[test]
+    fn chung_lu_is_seed_deterministic_and_consistent() {
+        let (g1, ids) = chung_lu(200, 6.0, 2.5, &mut StdRng::seed_from_u64(21));
+        let (g2, _) = chung_lu(200, 6.0, 2.5, &mut StdRng::seed_from_u64(21));
+        assert_eq!(g1, g2);
+        let (g3, _) = chung_lu(200, 6.0, 2.5, &mut StdRng::seed_from_u64(22));
+        assert_ne!(g1, g3, "different seeds give different graphs");
+        g1.assert_consistent();
+        assert_eq!(ids.len(), 200);
+        assert!(g1.edge_count() > 0);
+    }
+
+    #[test]
+    fn chung_lu_hubs_lead_the_id_order() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let (g, ids) = chung_lu(400, 8.0, 2.5, &mut rng);
+        let head: usize = ids[..20].iter().map(|&v| g.degree(v).unwrap()).sum();
+        let tail: usize = ids[380..].iter().map(|&v| g.degree(v).unwrap()).sum();
+        assert!(
+            head > 4 * tail.max(1),
+            "front-of-order hubs must dominate the tail: head {head} tail {tail}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_tiny_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g0, ids0) = chung_lu(0, 4.0, 2.5, &mut rng);
+        assert_eq!((g0.node_count(), ids0.len()), (0, 0));
+        let (g1, _) = chung_lu(1, 4.0, 2.5, &mut rng);
+        assert_eq!(g1.edge_count(), 0);
     }
 
     #[test]

@@ -64,6 +64,195 @@ impl EdgeKey {
     }
 }
 
+/// Degree at which a flat neighbor vector is split into chunks.
+const CHUNK_PROMOTE: usize = 256;
+/// Chunk size right after a promotion or split.
+const CHUNK_TARGET: usize = 128;
+/// Degree ceiling per chunk; a chunk reaching it splits in two.
+const CHUNK_MAX: usize = 2 * CHUNK_TARGET;
+
+/// One node's adjacency: a sorted flat vector for the common low-degree
+/// case, promoted to a sequence of bounded sorted chunks once the degree
+/// crosses [`CHUNK_PROMOTE`].
+///
+/// Power-law hubs are the motivation: with a single `Vec`, every edge
+/// toggle at a degree-10^4 hub pays an O(deg) memmove and the binary
+/// search spans hundreds of cache lines. Chunking caps both at
+/// [`CHUNK_MAX`] entries (2 KiB): an insert memmoves within one chunk,
+/// and neighbor filtering walks chunk-sized slices that stay
+/// cache-resident. Chunks partition the sorted order (every id in chunk
+/// `i` precedes every id in chunk `i+1`) and are never empty, so
+/// ascending iteration — the determinism contract — is chunk
+/// concatenation. A node's list never demotes while populated; the
+/// chunked shape is a pure function of the operation history, keeping
+/// replays bit-identical.
+#[derive(Debug, Clone)]
+enum AdjList {
+    /// Sorted neighbor vector, degree < [`CHUNK_PROMOTE`].
+    Flat(Vec<NodeId>),
+    /// Sorted non-empty chunks of at most [`CHUNK_MAX`] ids each, plus
+    /// the cached total degree.
+    Chunked {
+        chunks: Vec<Vec<NodeId>>,
+        len: usize,
+    },
+}
+
+impl AdjList {
+    /// Degree — O(1) in both shapes.
+    fn len(&self) -> usize {
+        match self {
+            AdjList::Flat(v) => v.len(),
+            AdjList::Chunked { len, .. } => *len,
+        }
+    }
+
+    /// Index of the chunk whose range covers `w` (for lookups), clamped
+    /// to the last chunk for past-the-end inserts.
+    fn chunk_of(chunks: &[Vec<NodeId>], w: NodeId) -> usize {
+        chunks
+            .partition_point(|c| *c.last().expect("chunks are never empty") < w)
+            .min(chunks.len() - 1)
+    }
+
+    /// Returns `true` if `w` is a neighbor.
+    fn contains(&self, w: NodeId) -> bool {
+        match self {
+            AdjList::Flat(v) => v.binary_search(&w).is_ok(),
+            AdjList::Chunked { chunks, .. } => {
+                chunks[Self::chunk_of(chunks, w)].binary_search(&w).is_ok()
+            }
+        }
+    }
+
+    /// Inserts `w` keeping sorted order; returns `false` if already
+    /// present. Promotes / splits when size bounds are crossed.
+    fn insert_sorted(&mut self, w: NodeId) -> bool {
+        match self {
+            AdjList::Flat(v) => {
+                let Err(pos) = v.binary_search(&w) else {
+                    return false;
+                };
+                v.insert(pos, w);
+                if v.len() >= CHUNK_PROMOTE {
+                    let len = v.len();
+                    let chunks = v
+                        .chunks(CHUNK_TARGET)
+                        .map(|c| {
+                            let mut chunk = Vec::with_capacity(CHUNK_MAX);
+                            chunk.extend_from_slice(c);
+                            chunk
+                        })
+                        .collect();
+                    *self = AdjList::Chunked { chunks, len };
+                }
+                true
+            }
+            AdjList::Chunked { chunks, len } => {
+                let i = Self::chunk_of(chunks, w);
+                let Err(pos) = chunks[i].binary_search(&w) else {
+                    return false;
+                };
+                chunks[i].insert(pos, w);
+                *len += 1;
+                if chunks[i].len() >= CHUNK_MAX {
+                    let tail = chunks[i].split_off(CHUNK_TARGET);
+                    chunks.insert(i + 1, tail);
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes `w`; returns `false` if absent. An emptied chunk is
+    /// dropped; an emptied list reverts to the flat shape.
+    fn remove_sorted(&mut self, w: NodeId) -> bool {
+        match self {
+            AdjList::Flat(v) => {
+                let Ok(pos) = v.binary_search(&w) else {
+                    return false;
+                };
+                v.remove(pos);
+                true
+            }
+            AdjList::Chunked { chunks, len } => {
+                let i = Self::chunk_of(chunks, w);
+                let Ok(pos) = chunks[i].binary_search(&w) else {
+                    return false;
+                };
+                chunks[i].remove(pos);
+                *len -= 1;
+                if chunks[i].is_empty() {
+                    let empty = chunks.remove(i);
+                    if chunks.is_empty() {
+                        // Reuse the emptied chunk's allocation as the
+                        // flat vector.
+                        *self = AdjList::Flat(empty);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The sorted neighbor sequence as contiguous slices: one slice for
+    /// the flat shape, the chunk sequence otherwise. Concatenation is
+    /// ascending; this is the hot settle loops' iteration surface.
+    fn chunk_slices(&self) -> AdjChunks<'_> {
+        match self {
+            AdjList::Flat(v) => AdjChunks {
+                flat: Some(v.as_slice()),
+                chunks: [].iter(),
+            },
+            AdjList::Chunked { chunks, .. } => AdjChunks {
+                flat: None,
+                chunks: chunks.iter(),
+            },
+        }
+    }
+
+    /// Ascending iteration over all neighbor ids.
+    fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.chunk_slices().flatten().copied()
+    }
+
+    /// Consumes the list into its backing allocations (for recycling).
+    fn into_vecs(self) -> Vec<Vec<NodeId>> {
+        match self {
+            AdjList::Flat(v) => vec![v],
+            AdjList::Chunked { chunks, .. } => chunks,
+        }
+    }
+}
+
+/// Two chunkings of the same neighbor set are equal: equality is the
+/// logical sorted sequence, not the chunk layout.
+impl PartialEq for AdjList {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for AdjList {}
+
+/// Iterator over one node's adjacency as sorted contiguous slices; see
+/// [`DynGraph::neighbor_chunks`].
+struct AdjChunks<'a> {
+    flat: Option<&'a [NodeId]>,
+    chunks: std::slice::Iter<'a, Vec<NodeId>>,
+}
+
+impl<'a> Iterator for AdjChunks<'a> {
+    type Item = &'a [NodeId];
+
+    fn next(&mut self) -> Option<&'a [NodeId]> {
+        if let Some(s) = self.flat.take() {
+            return Some(s);
+        }
+        self.chunks.next().map(Vec::as_slice)
+    }
+}
+
 /// A fully dynamic undirected simple graph.
 ///
 /// This is the substrate on which every algorithm of the reproduction runs.
@@ -106,7 +295,7 @@ impl EdgeKey {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DynGraph {
-    adj: NodeMap<Vec<NodeId>>,
+    adj: NodeMap<AdjList>,
     next_id: u64,
     edge_count: usize,
     /// `degree_hist[d]` = number of live nodes with degree `d`.
@@ -150,9 +339,36 @@ impl DynGraph {
     /// ```
     #[must_use]
     pub fn with_nodes(n: usize) -> (Self, Vec<NodeId>) {
-        let mut g = Self::new();
+        let mut g = Self::with_node_capacity(n);
         let ids = (0..n).map(|_| g.add_node()).collect();
         (g, ids)
+    }
+
+    /// Creates an empty graph whose adjacency arena is pre-sized for
+    /// identifiers below `n`: no slot regrow (see [`Self::regrows`])
+    /// occurs until node `n` is inserted.
+    #[must_use]
+    pub fn with_node_capacity(n: usize) -> Self {
+        DynGraph {
+            adj: NodeMap::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Ensures identifiers below `n` can be inserted without the
+    /// adjacency arena reallocating (and hence without counting a
+    /// regrow).
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.adj.reserve_slots(n);
+    }
+
+    /// Times an insert had to *reallocate* the adjacency slot arena to
+    /// reach its id — the scale tier's pre-sizing verification counter.
+    /// Growth of individual neighbor vectors is not counted: chunking
+    /// bounds those at `CHUNK_MAX` entries per allocation.
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.adj.regrows()
     }
 
     /// Adds a new isolated node and returns its fresh identifier.
@@ -162,7 +378,7 @@ impl DynGraph {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         let nbrs = self.spare.pop().unwrap_or_default();
-        self.adj.insert(id, nbrs);
+        self.adj.insert(id, AdjList::Flat(nbrs));
         self.enter_degree(0);
         id
     }
@@ -209,26 +425,26 @@ impl DynGraph {
     ///
     /// Returns [`GraphError::MissingNode`] if the node does not exist.
     pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
-        let mut nbrs = self.adj.remove(v).ok_or(GraphError::MissingNode(v))?;
-        for &u in &nbrs {
-            let vec = self
+        let nbrs = self.adj.remove(v).ok_or(GraphError::MissingNode(v))?;
+        let out: Vec<NodeId> = nbrs.iter().collect();
+        for &u in &out {
+            let list = self
                 .adj
                 .get_mut(u)
                 .expect("adjacency is symmetric by construction");
-            let i = vec
-                .binary_search(&v)
-                .expect("adjacency is symmetric by construction");
-            vec.remove(i);
-            let d = vec.len();
+            let removed = list.remove_sorted(v);
+            debug_assert!(removed, "adjacency is symmetric by construction");
+            let d = list.len();
             self.shift_degree(d + 1, d);
         }
-        self.edge_count -= nbrs.len();
-        self.leave_degree(nbrs.len());
-        let out = nbrs.clone();
-        // Recycle the allocation: identifiers are never reused, but the
+        self.edge_count -= out.len();
+        self.leave_degree(out.len());
+        // Recycle the allocations: identifiers are never reused, but the
         // heap memory behind them is.
-        nbrs.clear();
-        self.spare.push(nbrs);
+        for mut chunk in nbrs.into_vecs() {
+            chunk.clear();
+            self.spare.push(chunk);
+        }
         Ok(out)
     }
 
@@ -249,18 +465,15 @@ impl DynGraph {
         if !self.has_node(v) {
             return Err(GraphError::MissingNode(v));
         }
-        let vec_u = self.adj.get_mut(u).expect("checked above");
-        let Err(pos_u) = vec_u.binary_search(&v) else {
+        let list_u = self.adj.get_mut(u).expect("checked above");
+        if !list_u.insert_sorted(v) {
             return Err(GraphError::DuplicateEdge(u, v));
-        };
-        vec_u.insert(pos_u, v);
-        let du = vec_u.len();
-        let vec_v = self.adj.get_mut(v).expect("checked above");
-        let pos_v = vec_v
-            .binary_search(&u)
-            .expect_err("symmetric edge cannot pre-exist");
-        vec_v.insert(pos_v, u);
-        let dv = vec_v.len();
+        }
+        let du = list_u.len();
+        let list_v = self.adj.get_mut(v).expect("checked above");
+        let fresh = list_v.insert_sorted(u);
+        debug_assert!(fresh, "symmetric edge cannot pre-exist");
+        let dv = list_v.len();
         self.shift_degree(du - 1, du);
         self.shift_degree(dv - 1, dv);
         self.edge_count += 1;
@@ -280,18 +493,15 @@ impl DynGraph {
         if !self.has_node(v) {
             return Err(GraphError::MissingNode(v));
         }
-        let vec_u = self.adj.get_mut(u).expect("checked above");
-        let Ok(pos_u) = vec_u.binary_search(&v) else {
+        let list_u = self.adj.get_mut(u).expect("checked above");
+        if !list_u.remove_sorted(v) {
             return Err(GraphError::MissingEdge(u, v));
-        };
-        vec_u.remove(pos_u);
-        let du = vec_u.len();
-        let vec_v = self.adj.get_mut(v).expect("checked above");
-        let pos_v = vec_v
-            .binary_search(&u)
-            .expect("adjacency is symmetric by construction");
-        vec_v.remove(pos_v);
-        let dv = vec_v.len();
+        }
+        let du = list_u.len();
+        let list_v = self.adj.get_mut(v).expect("checked above");
+        let removed = list_v.remove_sorted(u);
+        debug_assert!(removed, "adjacency is symmetric by construction");
+        let dv = list_v.len();
         self.shift_degree(du + 1, du);
         self.shift_degree(dv + 1, dv);
         self.edge_count -= 1;
@@ -317,15 +527,13 @@ impl DynGraph {
     /// Returns `true` if the edge `{u, v}` exists.
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj
-            .get(u)
-            .is_some_and(|vec| vec.binary_search(&v).is_ok())
+        self.adj.get(u).is_some_and(|list| list.contains(v))
     }
 
     /// Returns the degree of `v`, or `None` if the node does not exist.
     #[must_use]
     pub fn degree(&self, v: NodeId) -> Option<usize> {
-        self.adj.get(v).map(Vec::len)
+        self.adj.get(v).map(AdjList::len)
     }
 
     /// Returns the maximal degree Δ over all nodes (0 for an empty graph).
@@ -363,19 +571,25 @@ impl DynGraph {
     /// Iterates over the neighbors of `v` in ascending identifier order, or
     /// `None` if the node does not exist.
     pub fn neighbors(&self, v: NodeId) -> Option<impl Iterator<Item = NodeId> + '_> {
-        self.adj.get(v).map(|vec| vec.iter().copied())
+        self.adj.get(v).map(AdjList::iter)
     }
 
-    /// Returns the neighbors of `v` as a sorted slice — the zero-cost view
-    /// the dense layout makes possible.
+    /// Returns the neighbors of `v` as **ascending sorted contiguous
+    /// slices** — one slice for the common low-degree case, a sequence of
+    /// cache-resident chunks (≤ 2 KiB each) for promoted hubs. This is
+    /// the settle loops' zero-copy iteration surface; concatenating the
+    /// slices yields exactly [`Self::neighbors`]' order.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::MissingNode`] if the node does not exist.
-    pub fn neighbors_slice(&self, v: NodeId) -> Result<&[NodeId], GraphError> {
+    pub fn neighbor_chunks(
+        &self,
+        v: NodeId,
+    ) -> Result<impl Iterator<Item = &[NodeId]> + '_, GraphError> {
         self.adj
             .get(v)
-            .map(Vec::as_slice)
+            .map(AdjList::chunk_slices)
             .ok_or(GraphError::MissingNode(v))
     }
 
@@ -385,7 +599,10 @@ impl DynGraph {
     ///
     /// Returns [`GraphError::MissingNode`] if the node does not exist.
     pub fn neighbors_vec(&self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
-        self.neighbors_slice(v).map(<[NodeId]>::to_vec)
+        self.adj
+            .get(v)
+            .map(|list| list.iter().collect())
+            .ok_or(GraphError::MissingNode(v))
     }
 
     /// Iterates over all edges, each reported once as an [`EdgeKey`], in
@@ -393,7 +610,6 @@ impl DynGraph {
     pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
         self.adj.iter().flat_map(|(u, nbrs)| {
             nbrs.iter()
-                .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| EdgeKey::new(u, v))
         })
@@ -409,25 +625,40 @@ impl DynGraph {
         let mut count = 0usize;
         let mut max_seen = 0usize;
         for (u, nbrs) in self.adj.iter() {
-            assert!(
-                nbrs.windows(2).all(|w| w[0] < w[1]),
-                "neighbor vector of {u} not sorted/deduplicated"
-            );
-            max_seen = max_seen.max(nbrs.len());
-            assert!(
-                self.degree_hist.get(nbrs.len()).copied().unwrap_or(0) > 0,
-                "degree histogram missing degree {} of {u}",
-                nbrs.len()
-            );
-            for &v in nbrs {
+            if let AdjList::Chunked { chunks, len } = nbrs {
+                assert!(
+                    chunks.iter().all(|c| !c.is_empty() && c.len() < CHUNK_MAX),
+                    "chunk size bounds violated at {u}"
+                );
+                assert_eq!(
+                    chunks.iter().map(Vec::len).sum::<usize>(),
+                    *len,
+                    "cached chunked degree of {u} drifted"
+                );
+            }
+            let mut degree = 0usize;
+            let mut prev: Option<NodeId> = None;
+            for v in nbrs.iter() {
+                assert!(
+                    prev.is_none_or(|p| p < v),
+                    "neighbor sequence of {u} not sorted/deduplicated"
+                );
+                prev = Some(v);
+                degree += 1;
                 assert_ne!(u, v, "self-loop at {u}");
                 let back = self
                     .adj
                     .get(v)
                     .unwrap_or_else(|| panic!("dangling neighbor {v} of {u}"));
-                assert!(back.binary_search(&u).is_ok(), "asymmetric edge ({u}, {v})");
+                assert!(back.contains(u), "asymmetric edge ({u}, {v})");
                 count += 1;
             }
+            assert_eq!(degree, nbrs.len(), "cached degree of {u} drifted");
+            max_seen = max_seen.max(degree);
+            assert!(
+                self.degree_hist.get(degree).copied().unwrap_or(0) > 0,
+                "degree histogram missing degree {degree} of {u}"
+            );
         }
         assert_eq!(count % 2, 0, "odd directed-edge count");
         assert_eq!(count / 2, self.edge_count, "edge count drifted");
@@ -657,16 +888,94 @@ mod tests {
     }
 
     #[test]
-    fn neighbors_slice_is_sorted_view() {
+    fn neighbor_chunks_are_sorted_views() {
         let (mut g, ids) = DynGraph::with_nodes(4);
         g.insert_edge(ids[2], ids[0]).unwrap();
         g.insert_edge(ids[2], ids[3]).unwrap();
         g.insert_edge(ids[2], ids[1]).unwrap();
-        assert_eq!(
-            g.neighbors_slice(ids[2]).unwrap(),
-            &[ids[0], ids[1], ids[3]]
-        );
-        assert!(g.neighbors_slice(NodeId(99)).is_err());
+        let chunks: Vec<&[NodeId]> = g.neighbor_chunks(ids[2]).unwrap().collect();
+        assert_eq!(chunks, vec![&[ids[0], ids[1], ids[3]][..]]);
+        assert!(g.neighbor_chunks(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn hub_adjacency_promotes_to_chunks_and_stays_equivalent() {
+        // Degree crosses CHUNK_PROMOTE: the hub's list must chunk, keep
+        // every query/iteration surface identical, and survive removal
+        // churn back down to the flat shape.
+        let n = CHUNK_PROMOTE + 200;
+        let (mut g, ids) = DynGraph::with_nodes(n + 1);
+        let hub = ids[n];
+        // Insert in a scrambled order so mid-chunk inserts happen.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|i| (i * 2_654_435_761) % n);
+        for &i in &order {
+            g.insert_edge(hub, ids[i]).unwrap();
+        }
+        assert_eq!(g.degree(hub), Some(n));
+        g.assert_consistent();
+        // Ascending iteration across chunk boundaries.
+        let nbrs = g.neighbors_vec(hub).unwrap();
+        assert_eq!(nbrs, ids[..n].to_vec());
+        let concat: Vec<NodeId> = g.neighbor_chunks(hub).unwrap().flatten().copied().collect();
+        assert_eq!(concat, nbrs, "chunk concatenation is the iteration");
+        let chunk_count = g.neighbor_chunks(hub).unwrap().count();
+        assert!(chunk_count > 1, "hub should be chunked");
+        assert!(g.has_edge(hub, ids[0]) && g.has_edge(hub, ids[n - 1]));
+        assert!(!g.has_edge(hub, hub));
+        // Remove most edges: chunks drain, merge away, and the list
+        // eventually reverts to flat without losing consistency.
+        for &i in order.iter().take(n - 3) {
+            g.remove_edge(ids[i], hub).unwrap();
+        }
+        assert_eq!(g.degree(hub), Some(3));
+        g.assert_consistent();
+        // A chunked and a flat realization of the same neighbor set
+        // compare equal: equality is logical content.
+        let (mut flat_g, fids) = DynGraph::with_nodes(CHUNK_PROMOTE + 1);
+        let (mut chunked_g, cids) = DynGraph::with_nodes(CHUNK_PROMOTE + 1);
+        assert_eq!(fids, cids);
+        let center = fids[0];
+        for &leaf in &fids[1..CHUNK_PROMOTE] {
+            flat_g.insert_edge(center, leaf).unwrap();
+        }
+        for &leaf in fids[1..].iter() {
+            chunked_g.insert_edge(center, leaf).unwrap();
+        }
+        chunked_g.remove_edge(center, fids[CHUNK_PROMOTE]).unwrap();
+        assert_eq!(flat_g, chunked_g, "chunk layout is not graph identity");
+    }
+
+    #[test]
+    fn hub_node_removal_recycles_chunk_allocations() {
+        let n = CHUNK_PROMOTE + 50;
+        let (mut g, ids) = DynGraph::with_nodes(n + 1);
+        let hub = ids[n];
+        for &leaf in &ids[..n] {
+            g.insert_edge(hub, leaf).unwrap();
+        }
+        let nbrs = g.remove_node(hub).unwrap();
+        assert_eq!(nbrs, ids[..n].to_vec());
+        assert_eq!(g.edge_count(), 0);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn pre_sized_graph_does_not_regrow() {
+        let mut g = DynGraph::with_node_capacity(500);
+        for _ in 0..500 {
+            g.add_node();
+        }
+        assert_eq!(g.regrows(), 0, "bootstrap stayed within the reservation");
+        g.add_node();
+        // 501 nodes against a 500-slot reservation: one realloc.
+        assert!(g.regrows() >= 1);
+        g.reserve_nodes(2000);
+        let before = g.regrows();
+        for _ in 0..1400 {
+            g.add_node();
+        }
+        assert_eq!(g.regrows(), before, "reserve_nodes covered the growth");
     }
 
     #[test]

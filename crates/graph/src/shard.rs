@@ -117,6 +117,15 @@ impl ShardLayout {
         NodeId((i / stride) * self.block + i % self.block)
     }
 
+    /// Upper bound on the local slots any one shard owns among
+    /// identifiers `0..n` — the per-shard table capacity that makes a
+    /// bootstrap of `n` nodes regrow-free. Tight to within one block.
+    #[must_use]
+    pub fn local_span(&self, n: usize) -> usize {
+        let stride = self.block * self.shards as u64;
+        usize::try_from((n as u64).div_ceil(stride) * self.block).expect("span fits in usize")
+    }
+
     /// Returns `true` if `u` and `v` live on different shards — i.e. the
     /// edge `{u, v}` spans a shard boundary and state changes crossing it
     /// need a handoff.
@@ -179,6 +188,22 @@ mod tests {
         for i in [0u64, 1, 63, 64, 1000] {
             assert_eq!(layout.shard_of(NodeId(i)), 0);
             assert_eq!(layout.local_slot(NodeId(i)), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn local_span_bounds_every_owned_slot() {
+        for &(k, block) in &[(1usize, 1u64), (2, 1), (4, 3), (7, 2), (3, 5)] {
+            let layout = ShardLayout::blocked(k, block);
+            for n in [1usize, 5, 64, 199] {
+                let span = layout.local_span(n);
+                for i in 0..n as u64 {
+                    assert!(
+                        (layout.local_slot(NodeId(i)).index() as usize) < span,
+                        "k={k} block={block} n={n} id={i}"
+                    );
+                }
+            }
         }
     }
 

@@ -57,6 +57,10 @@ fn slot(id: NodeId) -> usize {
 pub struct NodeMap<T> {
     slots: Vec<Option<T>>,
     len: usize,
+    /// Times an insert-driven slot growth had to reallocate the backing
+    /// vector. Stays 0 for the lifetime of a map pre-sized past every id
+    /// it will ever see — the scale tier's no-regrow bootstrap contract.
+    regrows: u64,
 }
 
 impl<T> Default for NodeMap<T> {
@@ -64,6 +68,7 @@ impl<T> Default for NodeMap<T> {
         NodeMap {
             slots: Vec::new(),
             len: 0,
+            regrows: 0,
         }
     }
 }
@@ -82,7 +87,23 @@ impl<T> NodeMap<T> {
         NodeMap {
             slots: Vec::with_capacity(n),
             len: 0,
+            regrows: 0,
         }
+    }
+
+    /// Ensures identifiers below `n` can be inserted without the slot
+    /// vector reallocating (and hence without counting a regrow).
+    pub fn reserve_slots(&mut self, n: usize) {
+        if n > self.slots.capacity() {
+            self.slots.reserve(n - self.slots.len());
+        }
+    }
+
+    /// Times an insert had to *reallocate* the slot vector to reach its
+    /// id. Growth within a prior reservation is not a regrow.
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.regrows
     }
 
     /// Number of present entries.
@@ -119,6 +140,7 @@ impl<T> NodeMap<T> {
     pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
         let i = slot(id);
         if i >= self.slots.len() {
+            self.regrows += u64::from(i + 1 > self.slots.capacity());
             self.slots.resize_with(i + 1, || None);
         }
         let prev = self.slots[i].replace(value);
@@ -243,6 +265,9 @@ impl<T> Extend<(NodeId, T)> for NodeMap<T> {
 pub struct NodeSet {
     words: Vec<u64>,
     len: usize,
+    /// Times an insert-driven word growth had to reallocate the backing
+    /// vector (see [`NodeMap::regrows`]).
+    regrows: u64,
 }
 
 impl NodeSet {
@@ -259,13 +284,40 @@ impl NodeSet {
         NodeSet {
             words: Vec::with_capacity(n.div_ceil(64)),
             len: 0,
+            regrows: 0,
         }
     }
 
-    /// Number of members.
+    /// Ensures identifiers below `n` can be inserted without the word
+    /// vector reallocating (and hence without counting a regrow).
+    pub fn reserve_nodes(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if words > self.words.capacity() {
+            self.words.reserve(words - self.words.len());
+        }
+    }
+
+    /// Times an insert had to *reallocate* the word vector to reach its
+    /// id. Growth within a prior reservation is not a regrow.
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.regrows
+    }
+
+    /// Number of members — O(1), maintained incrementally by every
+    /// mutating operation (single-bit edits adjust by the flip, word
+    /// kernels popcount only the touched words).
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Recounts the membership by popcounting every backing word — the
+    /// O(words) ground truth the cached [`Self::len`] is asserted against
+    /// in the engines' consistency checks.
+    #[must_use]
+    pub fn popcount(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set has no members.
@@ -288,6 +340,7 @@ impl NodeSet {
         let i = slot(id);
         let (word, bit) = (i / 64, 1u64 << (i % 64));
         if word >= self.words.len() {
+            self.regrows += u64::from(word + 1 > self.words.capacity());
             self.words.resize(word + 1, 0);
         }
         let fresh = self.words[word] & bit == 0;
@@ -343,6 +396,7 @@ impl NodeSet {
     /// the cardinality is maintained by popcounting only the touched words.
     pub fn union_with(&mut self, other: &NodeSet) {
         if other.words.len() > self.words.len() {
+            self.regrows += u64::from(other.words.len() > self.words.capacity());
             self.words.resize(other.words.len(), 0);
         }
         for (a, &b) in self.words.iter_mut().zip(&other.words) {
@@ -399,6 +453,7 @@ impl NodeSet {
                 i += 1;
             }
             if word >= self.words.len() {
+                self.regrows += u64::from(word + 1 > self.words.capacity());
                 self.words.resize(word + 1, 0);
             }
             let grown = mask & !self.words[word];
@@ -489,6 +544,9 @@ pub struct RankFront {
     cursor: usize,
     /// Number of pending ranks.
     len: usize,
+    /// Times an insert-driven word growth had to reallocate either level
+    /// (see [`NodeMap::regrows`]).
+    regrows: u64,
 }
 
 impl RankFront {
@@ -507,7 +565,28 @@ impl RankFront {
             summary: Vec::with_capacity(span.div_ceil(64 * 64)),
             cursor: 0,
             len: 0,
+            regrows: 0,
         }
+    }
+
+    /// Ensures ranks below `span` can be inserted without either level
+    /// reallocating (and hence without counting a regrow).
+    pub fn reserve(&mut self, span: usize) {
+        let words = span.div_ceil(64);
+        if words > self.words.capacity() {
+            self.words.reserve(words - self.words.len());
+        }
+        let swords = span.div_ceil(64 * 64);
+        if swords > self.summary.capacity() {
+            self.summary.reserve(swords - self.summary.len());
+        }
+    }
+
+    /// Times an insert had to *reallocate* a level's word vector to reach
+    /// its rank. Growth within a prior reservation is not a regrow.
+    #[must_use]
+    pub fn regrows(&self) -> u64 {
+        self.regrows
     }
 
     /// Number of pending ranks.
@@ -534,6 +613,7 @@ impl RankFront {
     pub fn insert(&mut self, rank: usize) -> bool {
         let (word, bit) = (rank / 64, 1u64 << (rank % 64));
         if word >= self.words.len() {
+            self.regrows += u64::from(word + 1 > self.words.capacity());
             self.words.resize(word + 1, 0);
         }
         if self.words[word] & bit != 0 {
@@ -542,6 +622,7 @@ impl RankFront {
         self.words[word] |= bit;
         let (sword, sbit) = (word / 64, 1u64 << (word % 64));
         if sword >= self.summary.len() {
+            self.regrows += u64::from(sword + 1 > self.summary.capacity());
             self.summary.resize(sword + 1, 0);
         }
         self.summary[sword] |= sbit;
@@ -830,6 +911,54 @@ mod tests {
         assert_eq!(front.pop_min(), None);
         front.insert(64);
         assert_eq!(front.pop_min(), Some(64));
+    }
+
+    #[test]
+    fn popcount_matches_cached_len_through_word_kernels() {
+        let mut s: NodeSet = [0u64, 63, 64, 130, 500]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        assert_eq!(s.popcount(), s.len());
+        s.union_with(&[64u64, 65, 1000].iter().map(|&i| NodeId(i)).collect());
+        assert_eq!(s.popcount(), s.len());
+        s.insert_sorted_slice(&[NodeId(2), NodeId(3), NodeId(2000)]);
+        assert_eq!(s.popcount(), s.len());
+        s.difference_with(&[63u64, 65].iter().map(|&i| NodeId(i)).collect());
+        assert_eq!(s.popcount(), s.len());
+        s.remove(NodeId(0));
+        assert_eq!(s.popcount(), s.len());
+    }
+
+    #[test]
+    fn pre_sized_containers_never_regrow() {
+        let mut m: NodeMap<u32> = NodeMap::with_capacity(200);
+        let mut s = NodeSet::with_capacity(200);
+        let mut f = RankFront::with_capacity(200);
+        for i in 0..200 {
+            m.insert(NodeId(i), 0);
+            s.insert(NodeId(i));
+            f.insert(i as usize);
+        }
+        assert_eq!(m.regrows(), 0, "map was pre-sized");
+        assert_eq!(s.regrows(), 0, "set was pre-sized");
+        assert_eq!(f.regrows(), 0, "front was pre-sized");
+        // Past the reservation: growth now counts.
+        m.insert(NodeId(100_000), 0);
+        s.insert(NodeId(100_000));
+        f.insert(100_000);
+        assert_eq!(m.regrows(), 1);
+        assert_eq!(s.regrows(), 1);
+        assert!(f.regrows() >= 1, "leaf (and possibly summary) regrew");
+        // reserve_* then grow again within the new reservation: no count.
+        m.reserve_slots(200_000);
+        s.reserve_nodes(200_000);
+        f.reserve(200_000);
+        m.insert(NodeId(199_999), 0);
+        s.insert(NodeId(199_999));
+        f.insert(199_999);
+        assert_eq!(m.regrows(), 1);
+        assert_eq!(s.regrows(), 1);
     }
 
     #[test]

@@ -312,6 +312,200 @@ pub fn flapping_stream<R: Rng + ?Sized>(
     stream
 }
 
+/// Draws an index in `0..n` from the Chung–Lu power-law weight
+/// distribution `w_i ∝ (i + 1)^{-1/(β-1)}` by inverse-CDF sampling —
+/// index 0 (the heaviest hub) is the most likely.
+fn power_law_index<R: Rng + ?Sized>(n: usize, beta: f64, rng: &mut R) -> usize {
+    let gamma = 1.0 / (beta - 1.0);
+    let u: f64 = rng.random();
+    ((n as f64 * u.powf(1.0 / (1.0 - gamma))) as usize).min(n - 1)
+}
+
+/// **Power-law churn**: `len` edge toggles whose endpoints are drawn from
+/// the Chung–Lu index distribution of exponent `beta` over `ids` — toggle
+/// partners concentrate on the front-of-order hubs exactly like the edges
+/// of [`generators::chung_lu`] (which returns `ids` in hub-first order).
+/// A pair present in the evolving topology is deleted, an absent one
+/// inserted, so every change is valid when applied in order.
+///
+/// Endpoint choice depends only on `ids` and the rng, presence only on
+/// the evolving topology: a valid oblivious adversary. Each step is
+/// `O(log m)`, independent of `n`.
+///
+/// # Panics
+///
+/// Panics if `ids` has fewer than two nodes or `beta ≤ 2`.
+pub fn power_law_churn<R: Rng + ?Sized>(
+    g: &DynGraph,
+    ids: &[NodeId],
+    beta: f64,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    assert!(ids.len() >= 2, "power-law churn needs at least two nodes");
+    assert!(beta > 2.0, "need beta > 2 for a finite mean degree");
+    let mut present: std::collections::BTreeSet<EdgeKey> = g.edges().collect();
+    (0..len)
+        .map(|_| {
+            let u = ids[power_law_index(ids.len(), beta, rng)];
+            let mut v = u;
+            while v == u {
+                v = ids[power_law_index(ids.len(), beta, rng)];
+            }
+            let key = EdgeKey::new(u, v);
+            if present.remove(&key) {
+                TopologyChange::DeleteEdge(u, v)
+            } else {
+                present.insert(key);
+                TopologyChange::InsertEdge(u, v)
+            }
+        })
+        .collect()
+}
+
+/// **Community-structured churn**: `ids` is split into `communities`
+/// contiguous blocks, and each of the `len` edge toggles picks a random
+/// home block, then toggles an intra-block pair — or, with probability
+/// `inter`, a pair bridging to a different block. The result is the
+/// locality-heavy workload a sharded engine sees when its shard map
+/// roughly matches the community structure: most cascades stay inside one
+/// block, with an `inter`-controlled trickle of cross-shard traffic.
+///
+/// A pair present in the evolving topology is deleted, an absent one
+/// inserted. Valid oblivious adversary; `O(log m)` per step.
+///
+/// # Panics
+///
+/// Panics if `communities == 0`, if any block would have fewer than two
+/// nodes (`ids.len() / communities < 2`), or if `inter` is not a
+/// probability.
+pub fn community_churn<R: Rng + ?Sized>(
+    g: &DynGraph,
+    ids: &[NodeId],
+    communities: usize,
+    inter: f64,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    assert!(communities > 0, "need at least one community");
+    let block = ids.len() / communities;
+    assert!(block >= 2, "every community needs at least two nodes");
+    assert!((0.0..=1.0).contains(&inter), "inter must be a probability");
+    // Block `c` spans `ids[c*block..(c+1)*block]`; the division remainder
+    // joins the last block.
+    let span = |c: usize| {
+        let end = if c + 1 == communities {
+            ids.len()
+        } else {
+            (c + 1) * block
+        };
+        &ids[c * block..end]
+    };
+    let mut present: std::collections::BTreeSet<EdgeKey> = g.edges().collect();
+    (0..len)
+        .map(|_| {
+            let h = rng.random_range(0..communities);
+            let home = span(h);
+            let u = home[rng.random_range(0..home.len())];
+            let away = if communities > 1 && rng.random_bool(inter) {
+                // Uniform over the other blocks: draw from all-but-one and
+                // remap a collision with `h` to the excluded last block.
+                let mut c = rng.random_range(0..communities - 1);
+                if c == h {
+                    c = communities - 1;
+                }
+                span(c)
+            } else {
+                home
+            };
+            let mut v = u;
+            while v == u {
+                v = away[rng.random_range(0..away.len())];
+            }
+            let key = EdgeKey::new(u, v);
+            if present.remove(&key) {
+                TopologyChange::DeleteEdge(u, v)
+            } else {
+                present.insert(key);
+                TopologyChange::InsertEdge(u, v)
+            }
+        })
+        .collect()
+}
+
+/// **Temporal sliding-window stream**: fresh uniform edges are inserted
+/// one per tick, and every inserted edge expires — is deleted again —
+/// once `window` younger insertions have happened, so the evolving
+/// topology holds a moving window over the most recent arrivals (the
+/// standard temporal-graph-stream shape).
+///
+/// Only window edges expire: edges of the starting graph `g` are never
+/// deleted, and every `DeleteEdge` in the stream refers to an edge a
+/// strictly earlier `InsertEdge` created, so the stream is valid when
+/// applied in order. When the pair space around `ids` saturates (no fresh
+/// pair found), the oldest window edge is expired early to make room; the
+/// stream ends short only if there is nothing left to expire either.
+///
+/// Valid oblivious adversary: pair choice depends only on `ids`, the rng
+/// and the evolving topology.
+///
+/// # Panics
+///
+/// Panics if `ids` has fewer than two nodes or `window == 0`.
+pub fn sliding_window_stream<R: Rng + ?Sized>(
+    g: &DynGraph,
+    ids: &[NodeId],
+    window: usize,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    assert!(ids.len() >= 2, "a sliding window needs at least two nodes");
+    assert!(window > 0, "the window must hold at least one edge");
+    let mut present: std::collections::BTreeSet<EdgeKey> = g.edges().collect();
+    let mut live: std::collections::VecDeque<(NodeId, NodeId)> =
+        std::collections::VecDeque::with_capacity(window);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        if live.len() == window {
+            let (u, v) = live.pop_front().expect("window is non-empty");
+            present.remove(&EdgeKey::new(u, v));
+            out.push(TopologyChange::DeleteEdge(u, v));
+            if out.len() == len {
+                break;
+            }
+        }
+        let mut fresh = None;
+        for _ in 0..64 {
+            let u = ids[rng.random_range(0..ids.len())];
+            let mut v = u;
+            while v == u {
+                v = ids[rng.random_range(0..ids.len())];
+            }
+            if !present.contains(&EdgeKey::new(u, v)) {
+                fresh = Some((u, v));
+                break;
+            }
+        }
+        match fresh {
+            Some((u, v)) => {
+                present.insert(EdgeKey::new(u, v));
+                live.push_back((u, v));
+                out.push(TopologyChange::InsertEdge(u, v));
+            }
+            None => {
+                // Saturated: expire the oldest window edge early, or give
+                // up if the window is already empty.
+                let Some((u, v)) = live.pop_front() else {
+                    break;
+                };
+                present.remove(&EdgeKey::new(u, v));
+                out.push(TopologyChange::DeleteEdge(u, v));
+            }
+        }
+    }
+    out
+}
+
 /// Returns the identifier the next inserted node will get.
 #[must_use]
 pub fn next_id_of(g: &DynGraph) -> u64 {
@@ -401,6 +595,139 @@ mod tests {
         }
         assert_eq!(g.degree(NodeId(0)), Some(5));
         assert_eq!(g.edge_count(), 5);
+    }
+
+    fn replay(g: &DynGraph, stream: &[TopologyChange]) -> DynGraph {
+        let mut replay = g.clone();
+        for c in stream {
+            c.apply(&mut replay)
+                .unwrap_or_else(|e| panic!("stream must replay cleanly: {e} at {c:?}"));
+        }
+        replay.assert_consistent();
+        replay
+    }
+
+    #[test]
+    fn power_law_churn_is_seed_deterministic_and_replayable() {
+        let (g, ids) = generators::chung_lu(60, 4.0, 2.5, &mut StdRng::seed_from_u64(8));
+        let s1 = power_law_churn(&g, &ids, 2.5, 200, &mut StdRng::seed_from_u64(9));
+        let s2 = power_law_churn(&g, &ids, 2.5, 200, &mut StdRng::seed_from_u64(9));
+        assert_eq!(s1, s2);
+        let s3 = power_law_churn(&g, &ids, 2.5, 200, &mut StdRng::seed_from_u64(10));
+        assert_ne!(s1, s3, "different seeds give different streams");
+        assert_eq!(s1.len(), 200);
+        replay(&g, &s1);
+    }
+
+    #[test]
+    fn power_law_churn_concentrates_on_hubs() {
+        let (g, ids) = generators::chung_lu(100, 4.0, 2.5, &mut StdRng::seed_from_u64(11));
+        let stream = power_law_churn(&g, &ids, 2.5, 400, &mut StdRng::seed_from_u64(12));
+        let head: std::collections::BTreeSet<NodeId> = ids[..10].iter().copied().collect();
+        let touches_head = stream
+            .iter()
+            .filter(|c| match c {
+                TopologyChange::InsertEdge(u, v) | TopologyChange::DeleteEdge(u, v) => {
+                    head.contains(u) || head.contains(v)
+                }
+                _ => false,
+            })
+            .count();
+        assert!(
+            touches_head * 2 > stream.len(),
+            "most toggles must touch a front-of-order hub: {touches_head}/400"
+        );
+    }
+
+    #[test]
+    fn community_churn_is_mostly_intra_block() {
+        let (g, ids) = generators::gnm(80, 60, &mut StdRng::seed_from_u64(13));
+        let communities = 8;
+        let stream = community_churn(
+            &g,
+            &ids,
+            communities,
+            0.05,
+            400,
+            &mut StdRng::seed_from_u64(14),
+        );
+        assert_eq!(stream.len(), 400);
+        let block = ids.len() / communities;
+        let block_of = |v: NodeId| {
+            let i = ids.iter().position(|&w| w == v).unwrap();
+            (i / block).min(communities - 1)
+        };
+        let cross = stream
+            .iter()
+            .filter(|c| match c {
+                TopologyChange::InsertEdge(u, v) | TopologyChange::DeleteEdge(u, v) => {
+                    block_of(*u) != block_of(*v)
+                }
+                _ => false,
+            })
+            .count();
+        assert!(
+            cross * 4 < stream.len(),
+            "inter=0.05 must keep cross-block traffic rare: {cross}/400"
+        );
+        replay(&g, &stream);
+        let same_seed = community_churn(
+            &g,
+            &ids,
+            communities,
+            0.05,
+            400,
+            &mut StdRng::seed_from_u64(14),
+        );
+        assert_eq!(stream, same_seed);
+    }
+
+    #[test]
+    fn sliding_window_never_removes_before_inserting() {
+        let (g, ids) = generators::gnm(40, 30, &mut StdRng::seed_from_u64(15));
+        let stream = sliding_window_stream(&g, &ids, 16, 500, &mut StdRng::seed_from_u64(16));
+        assert_eq!(stream.len(), 500);
+        let mut window: std::collections::BTreeSet<EdgeKey> = std::collections::BTreeSet::new();
+        for c in &stream {
+            match c {
+                TopologyChange::InsertEdge(u, v) => {
+                    assert!(
+                        window.insert(EdgeKey::new(*u, *v)),
+                        "re-inserted a live edge"
+                    );
+                }
+                TopologyChange::DeleteEdge(u, v) => {
+                    assert!(
+                        window.remove(&EdgeKey::new(*u, *v)),
+                        "deleted an edge the stream never inserted (initial edges must survive)"
+                    );
+                }
+                other => panic!("sliding window emits only edge changes, got {other:?}"),
+            }
+        }
+        let end = replay(&g, &stream);
+        assert!(
+            end.edge_count() >= g.edge_count(),
+            "initial edges survive, plus whatever is still in the window"
+        );
+        let same_seed = sliding_window_stream(&g, &ids, 16, 500, &mut StdRng::seed_from_u64(16));
+        assert_eq!(stream, same_seed);
+    }
+
+    #[test]
+    fn sliding_window_caps_live_window_edges() {
+        let (g, ids) = generators::path(12);
+        let window = 5;
+        let stream = sliding_window_stream(&g, &ids, window, 300, &mut StdRng::seed_from_u64(17));
+        let mut live = 0usize;
+        for c in &stream {
+            match c {
+                TopologyChange::InsertEdge(..) => live += 1,
+                TopologyChange::DeleteEdge(..) => live -= 1,
+                _ => unreachable!(),
+            }
+            assert!(live <= window, "window overflow: {live} > {window}");
+        }
     }
 
     #[test]

@@ -33,6 +33,67 @@ fn path_like(token: &str) -> bool {
     has_known_ext || lowercase_path
 }
 
+/// The Scale-tier section of `DESIGN.md` cites Rust items by name — a
+/// rename there would silently strand the prose, since item names are
+/// not path-shaped and escape [`cited_file_paths_resolve`]. Each cited
+/// item must still be declared in the source file the section points
+/// at, and must still be mentioned by the doc.
+#[test]
+fn cited_scale_tier_items_exist() {
+    const ITEMS: [(&str, &str, &str); 8] = [
+        (
+            "crates/graph/src/generators.rs",
+            "pub fn chung_lu",
+            "chung_lu",
+        ),
+        (
+            "crates/graph/src/stream.rs",
+            "pub fn power_law_churn",
+            "power_law_churn",
+        ),
+        (
+            "crates/graph/src/stream.rs",
+            "pub fn community_churn",
+            "community_churn",
+        ),
+        (
+            "crates/graph/src/stream.rs",
+            "pub fn sliding_window_stream",
+            "sliding_window_stream",
+        ),
+        (
+            "crates/core/src/rank.rs",
+            "pub fn maybe_compact",
+            "maybe_compact",
+        ),
+        (
+            "crates/core/src/invariant.rs",
+            "pub fn check_mis_invariant_sampled",
+            "check_mis_invariant_sampled",
+        ),
+        ("crates/bench/src/families.rs", "ChungLu", "Family::ChungLu"),
+        (
+            "crates/core/src/engine.rs",
+            "pub fn storage_regrows",
+            "storage_regrows",
+        ),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    for (file, declaration, citation) in ITEMS {
+        let source = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        assert!(
+            source.contains(declaration),
+            "{file} no longer declares `{declaration}` — update DESIGN.md"
+        );
+        assert!(
+            design.contains(citation),
+            "DESIGN.md dropped its `{citation}` citation — update this table"
+        );
+    }
+}
+
 #[test]
 fn cited_file_paths_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

@@ -31,6 +31,27 @@
 #     have been observed ~1.4x apart on busy runners), while the
 #     regression this gate exists to catch — thread spawns leaking into
 #     the tiny-cascade fast path — costs 10-100x and clears any sane cap.
+#   - in the fresh "front" section's sharded row (n=1000, shards=4), the
+#     front/heap speedup drops below BENCH_GATE_SHARDED_FRONT_MIN
+#     (default 0.95). Parity is the *expected* result here — the
+#     per-shard heap was already persistent, so the front only trades
+#     rank indirection against cheaper u32 compares on the tiny-cascade
+#     fast path — and 0.95 encodes that floor explicitly: the gate
+#     exists to catch the front becoming materially slower than the
+#     heap it replaced, not to demand a win single-toggle noise cannot
+#     certify. Fresh-vs-fresh, so fidelity-independent.
+#   - in the fresh "scale" section (sustained churn on pre-sized
+#     engines; ER and Chung–Lu), for the largest size present per
+#     family (n=10^5 required, the full-mode 10^6 rows checked when
+#     present): ns_per_change exceeds BENCH_GATE_SCALE_MAX_RATIO
+#     (default 8.0) times the same family's n=4096 figure — per-change
+#     cost must stay flat in n up to cache effects, so a blown ratio
+#     means an O(n) scan crept back into the update path; or
+#     bytes_per_node (peak-RSS delta over the whole graph+engine
+#     working set) exceeds BENCH_GATE_SCALE_MAX_BYTES_PER_NODE
+#     (default 600); or churn_regrows is nonzero — the pre-sized arenas
+#     must absorb steady-state churn without a single reallocation.
+#     All fresh-run-only, so fidelity-independent.
 #
 # Usage: tools/bench_gate.sh <fresh.json> <committed.json>
 #
@@ -46,6 +67,9 @@ max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
 par_max_ratio="${BENCH_GATE_PAR_MAX_RATIO:-3.0}"
 front_min_speedup="${BENCH_GATE_FRONT_MIN_SPEEDUP:-1.0}"
 ingest_min_coalesce="${BENCH_GATE_INGEST_MIN_COALESCE:-0.25}"
+sharded_front_min="${BENCH_GATE_SHARDED_FRONT_MIN:-0.95}"
+scale_max_ratio="${BENCH_GATE_SCALE_MAX_RATIO:-8.0}"
+scale_max_bytes="${BENCH_GATE_SCALE_MAX_BYTES_PER_NODE:-600}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -135,6 +159,76 @@ else
   fi
   echo "bench gate: ingest Q=64 coalesce=${ing_frac} (${ing_ns}ns/change vs ${ing_ns1}ns unbatched)"
 fi
+
+# sffield <file> <key>: value of <key> in the "front" section's sharded
+# single-toggle row. The leading key sequence "n", "shards",
+# "front_ns_per_toggle" is unique to that row ("sharding" rows go
+# straight to "ns_per_toggle", "parallel" rows interpose "threads").
+sffield() {
+  { grep -o "{\"n\": 1000, \"shards\": 4, \"front_ns_per_toggle\"[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$2\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Sharded-front gate: parity with the persistent per-shard heap is the
+# expected floor; fail only if the front drops materially below it.
+sf_speed="$(sffield "$fresh" speedup)"
+if [ -z "$sf_speed" ]; then
+  echo "bench gate: missing sharded \"front\" row (n=1000, shards=4) in $fresh" >&2
+  status=1
+else
+  if ! awk -v s="$sf_speed" -v m="$sharded_front_min" 'BEGIN { exit !(s >= m) }'; then
+    echo "bench gate FAIL: sharded front/heap speedup ${sf_speed}x < ${sharded_front_min}x (parity floor)" >&2
+    status=1
+  fi
+  echo "bench gate: sharded front speedup=${sf_speed}x (floor ${sharded_front_min}x)"
+fi
+
+# scfield <file> <n> <family> <key>: value of <key> in the "scale" entry
+# for that (n, family) cell. The leading key sequence "n", "family" is
+# unique to that section.
+scfield() {
+  { grep -o "{\"n\": $2, \"family\": \"$3\",[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$4\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Scale gate: per-change cost flat in n (up to the cache-effect
+# allowance), bounded bytes/node, and zero steady-state reallocations.
+# The 10^5 rows are mandatory; 10^6 rows are checked when present (the
+# committed full-mode snapshot carries them, smoke runs stop at 10^5).
+for fam in er chung_lu; do
+  base="$(scfield "$fresh" 4096 "$fam" ns_per_change)"
+  if [ -z "$base" ]; then
+    echo "bench gate: missing \"scale\" entry (n=4096, $fam) in $fresh" >&2
+    status=1
+    continue
+  fi
+  for n in 100000 1000000; do
+    ns="$(scfield "$fresh" "$n" "$fam" ns_per_change)"
+    bpn="$(scfield "$fresh" "$n" "$fam" bytes_per_node)"
+    regrows="$(scfield "$fresh" "$n" "$fam" churn_regrows)"
+    if [ -z "$ns" ] || [ -z "$bpn" ] || [ -z "$regrows" ]; then
+      if [ "$n" -eq 100000 ]; then
+        echo "bench gate: missing \"scale\" entry (n=$n, $fam) in $fresh" >&2
+        status=1
+      fi
+      continue
+    fi
+    if ! awk -v ns="$ns" -v b="$base" -v r="$scale_max_ratio" \
+        'BEGIN { exit !(ns <= r * b) }'; then
+      echo "bench gate FAIL: scale $fam n=$n ${ns}ns/change > ${scale_max_ratio}x the n=4096 figure (${base}ns)" >&2
+      status=1
+    fi
+    if ! awk -v v="$bpn" -v m="$scale_max_bytes" 'BEGIN { exit !(v <= m) }'; then
+      echo "bench gate FAIL: scale $fam n=$n ${bpn} bytes/node > ${scale_max_bytes}" >&2
+      status=1
+    fi
+    if [ "$regrows" != "0" ]; then
+      echo "bench gate FAIL: scale $fam n=$n churn_regrows=${regrows} (pre-sized arenas must not reallocate)" >&2
+      status=1
+    fi
+    echo "bench gate: scale $fam n=$n ${ns}ns/change (base ${base}ns), ${bpn} bytes/node, regrows=${regrows}"
+  done
+done
 
 # Parallel-execution gate: the worker-thread plumbing must not tax the
 # paper's tiny-cascade common case. Compares two rows of the same fresh
