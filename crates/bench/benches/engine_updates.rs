@@ -23,7 +23,13 @@
 //! churn on 10^5-node (smoke) up to 10^6-node (full) ER and Chung–Lu
 //! instances through a pre-sized engine, with peak-RSS bytes/node and the
 //! storage-regrow counter per row (gated via `BENCH_GATE_SCALE_MAX_RATIO`
-//! and `BENCH_GATE_SCALE_MAX_BYTES_PER_NODE`). The engine rows all drive
+//! and `BENCH_GATE_SCALE_MAX_BYTES_PER_NODE`), and the `"serve"` section:
+//! the concurrent snapshot read path — what per-settle publication costs
+//! the writer on the n=4096 batched-toggle row (interleaved plain vs
+//! published engine, gated via `BENCH_GATE_SERVE_MAX_OVERHEAD`), plus a
+//! full `ServeRun` row (writer replaying a flapping stream against R=2
+//! reader threads) reporting read throughput, snapshot staleness, and
+//! flush-latency percentiles. The engine rows all drive
 //! `dyn DynamicMis` through one shared metering loop
 //! (`measure_engine_toggle_ns`) built by `Engine::builder` — the
 //! per-engine copies of the toggle harness are gone. `cargo bench
@@ -40,7 +46,7 @@ use dmis_core::{
     ShardedMisEngine,
 };
 use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
-use dmis_sim::IngestRun;
+use dmis_sim::{IngestRun, ServeRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -759,6 +765,78 @@ fn write_snapshot(test_mode: bool) {
             }
         }
     }
+    // Serve-tier section: the concurrent snapshot read path. The first
+    // row prices what per-settle publication costs the writer — the same
+    // n=4096 batched-toggle workload as the "front" section, run
+    // interleaved on a plain engine and on one with its snapshot channel
+    // attached (a live `MisReader` held through the measurement). One
+    // settle publishes once, so the batch shape is the production shape;
+    // `tools/bench_gate.sh` fails CI when the overhead ratio exceeds
+    // BENCH_GATE_SERVE_MAX_OVERHEAD (default 1.10). The second row runs
+    // the full `ServeRun` harness — writer flushing a flapping stream at
+    // watermark 8 against R=2 reader threads — and records read
+    // throughput, snapshot staleness, epoch regressions (always 0 unless
+    // the channel is broken), and flush-latency percentiles.
+    let mut serve_entries = Vec::new();
+    {
+        let n = 4096usize;
+        let (g, bedges) = batch_workload(n, FRONT_BATCH);
+        let deletes: Vec<TopologyChange> = bedges
+            .iter()
+            .map(|&(u, v)| TopologyChange::DeleteEdge(u, v))
+            .collect();
+        let inserts: Vec<TopologyChange> = bedges
+            .iter()
+            .map(|&(u, v)| TopologyChange::InsertEdge(u, v))
+            .collect();
+        let changes = 2 * FRONT_BATCH;
+        let mut plain = MisEngine::from_graph(g.clone(), 42);
+        let mut published = MisEngine::from_graph(g.clone(), 42);
+        let reader = published.reader();
+        let (plain_ns, published_ns) = measure_interleaved_ns(
+            || {
+                black_box(plain.apply_batch(&deletes).expect("valid"));
+                black_box(plain.apply_batch(&inserts).expect("valid"));
+            },
+            || {
+                black_box(published.apply_batch(&deletes).expect("valid"));
+                black_box(published.apply_batch(&inserts).expect("valid"));
+            },
+            iters,
+            samples,
+        );
+        assert!(reader.epoch() > 0, "published engine actually published");
+        let (plain_ns, published_ns) = (plain_ns / changes as f64, published_ns / changes as f64);
+        serve_entries.push(format!(
+            "  {{\"n\": {n}, \"plain_ns_per_change\": {plain_ns:.1}, \
+             \"published_ns_per_change\": {published_ns:.1}, \
+             \"publish_overhead\": {:.3}}}",
+            published_ns / plain_ns
+        ));
+    }
+    {
+        let n = 1000usize;
+        let (g, edges) = toggle_workload(n);
+        let pool: Vec<(NodeId, NodeId)> = edges.iter().copied().take(32).collect();
+        let stream_len = if test_mode { 512 } else { 4096 };
+        let stream = flapping_stream(&g, &pool, stream_len);
+        let readers = 2usize;
+        let mut run = ServeRun::bootstrap(g, ShardLayout::striped(4), 1, 8, 42);
+        let report = run.run(&stream, readers, 32).expect("valid serve run");
+        serve_entries.push(format!(
+            "  {{\"n\": {n}, \"readers\": {readers}, \"reads_per_sec\": {:.0}, \
+             \"staleness_mean\": {:.3}, \"staleness_max\": {}, \
+             \"epoch_regressions\": {}, \"update_p50_ns\": {}, \
+             \"update_p99_ns\": {}, \"flushes\": {}}}",
+            report.reads_per_sec,
+            report.staleness_mean,
+            report.staleness_max,
+            report.epoch_regressions,
+            report.update_p50_ns,
+            report.update_p99_ns,
+            report.flushes
+        ));
+    }
     let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/BENCH_engine.json");
     let body = format!(
@@ -766,7 +844,7 @@ fn write_snapshot(test_mode: bool) {
          \"mode\": \"{}\", \"results\": [\n{}\n],\n \"front\": [\n{}\n],\n \
          \"sharding\": [\n{}\n],\n \
          \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n],\n \
-         \"ingest\": [\n{}\n],\n \"scale\": [\n{}\n]}}\n",
+         \"ingest\": [\n{}\n],\n \"scale\": [\n{}\n],\n \"serve\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
         front_entries.join(",\n"),
@@ -774,7 +852,8 @@ fn write_snapshot(test_mode: bool) {
         par_entries.join(",\n"),
         par_batch_entries.join(",\n"),
         ingest_entries.join(",\n"),
-        scale_entries.join(",\n")
+        scale_entries.join(",\n"),
+        serve_entries.join(",\n")
     );
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),

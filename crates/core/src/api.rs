@@ -175,6 +175,17 @@ pub trait DynamicMis: std::fmt::Debug {
     /// bit-identical for both settings.
     fn set_settle_strategy(&mut self, strategy: SettleStrategy);
 
+    /// Returns a cheaply-cloneable, `Send + Sync` concurrent read
+    /// handle over the engine's published MIS snapshots, attaching the
+    /// epoch-versioned publication layer on first call: the current
+    /// membership becomes epoch 0, and every subsequent settle — each
+    /// single change, `apply_batch`, or [`IngestSession`] flush —
+    /// publishes the next epoch at its quiesced flush boundary. Readers
+    /// on other threads observe exactly those published states, never a
+    /// half-settled intermediate; see [`crate::snapshot`] for the full
+    /// contract. Until first call, the settle path pays nothing.
+    fn reader(&mut self) -> crate::MisReader;
+
     /// Verifies the MIS invariant over the whole graph.
     ///
     /// # Errors
@@ -278,7 +289,7 @@ pub trait DynamicMis: std::fmt::Debug {
 /// Implements [`DynamicMis`] for an engine by forwarding every required
 /// method to a target expression — `self` for the engines that own the
 /// primitives, `self.inner` for wrappers. This macro is what keeps the
-/// trait's 15-method surface from being hand-copied per engine (the
+/// trait's 16-method surface from being hand-copied per engine (the
 /// pre-trait state of the codebase).
 macro_rules! forward_dynamic_mis {
     ($ty:ty, |$s:ident| $t:expr) => {
@@ -352,6 +363,10 @@ macro_rules! forward_dynamic_mis {
             fn set_settle_strategy(&mut self, strategy: crate::SettleStrategy) {
                 let $s = self;
                 $t.set_settle_strategy(strategy);
+            }
+            fn reader(&mut self) -> crate::MisReader {
+                let $s = self;
+                $t.reader()
             }
             fn check_invariant(&self) -> Result<(), crate::invariant::InvariantViolation> {
                 let $s = self;
@@ -518,6 +533,18 @@ impl EngineBuilder {
         } else {
             Box::new(self.build_unsharded())
         }
+    }
+
+    /// [`EngineBuilder::build`] plus an attached [`crate::MisReader`]:
+    /// the boxed engine with its snapshot publication layer already
+    /// live (the initial state published as epoch 0) and one read
+    /// handle onto it. Clone the handle for additional reader threads;
+    /// `engine.reader()` hands out more at any time.
+    #[must_use]
+    pub fn build_with_reader(self) -> (Box<dyn DynamicMis + Send>, crate::MisReader) {
+        let mut engine = self.build();
+        let reader = engine.reader();
+        (engine, reader)
     }
 
     /// Builds the unsharded [`MisEngine`].

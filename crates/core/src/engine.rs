@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariant::{self, InvariantViolation};
+use crate::snapshot::{MisPublisher, MisReader, PublishSlot};
 use crate::{BatchReceipt, MisState, Priority, PriorityMap, RankIndex, UpdateReceipt};
 
 /// Which realization of the priority-ordered dirty queue a settle loop
@@ -98,6 +99,11 @@ pub struct MisEngine {
     front: RankFront,
     /// Which dirty-queue realization [`Self::propagate`] drains.
     strategy: SettleStrategy,
+    /// Snapshot publication slot: empty (and free on the settle path)
+    /// until [`Self::reader`] attaches a read path; then every settle
+    /// publishes the quiesced membership. Cloning an engine detaches —
+    /// see [`crate::snapshot`].
+    publisher: PublishSlot,
 }
 
 impl MisEngine {
@@ -115,6 +121,7 @@ impl MisEngine {
             ranks: RankIndex::new(),
             front: RankFront::new(),
             strategy: SettleStrategy::default(),
+            publisher: PublishSlot::default(),
         }
     }
 
@@ -155,6 +162,7 @@ impl MisEngine {
             ranks,
             front,
             strategy: SettleStrategy::default(),
+            publisher: PublishSlot::default(),
         };
         for v in engine.graph.nodes() {
             let count = engine.count_lower_mis(v);
@@ -229,6 +237,21 @@ impl MisEngine {
     #[must_use]
     pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
         self.graph.has_node(v).then(|| self.in_mis.contains(v))
+    }
+
+    /// Returns a concurrent read handle over the engine's published
+    /// snapshots, attaching the publication layer on first call: the
+    /// current membership is published as epoch 0, and every subsequent
+    /// settle publishes the next epoch at its flush boundary. Later
+    /// calls hand out additional handles onto the same channel. See
+    /// [`crate::snapshot`] for the consistency and epoch guarantees;
+    /// until first call, the settle path pays nothing for this feature.
+    pub fn reader(&mut self) -> MisReader {
+        if !self.publisher.is_attached() {
+            self.publisher
+                .set(MisPublisher::attach(&self.in_mis, self.ranks.compactions()));
+        }
+        self.publisher.get().expect("just attached").reader()
     }
 
     /// Draws the next priority key from the engine's seeded stream (the
@@ -653,6 +676,12 @@ impl MisEngine {
         // span (and the front's word array) within 2× the live count
         // under deletion-heavy churn.
         self.ranks.maybe_compact();
+        // Publication comes strictly after compaction: the snapshot's
+        // compaction stamp is the witness the consistency tier checks.
+        if let Some(p) = self.publisher.get_mut() {
+            debug_assert!(self.ranks.is_flushed(), "publishing before rank quiescence");
+            p.publish(&self.in_mis, self.ranks.compactions());
+        }
         receipt
     }
 

@@ -30,6 +30,10 @@
 //!   independent shard runs executed on worker threads — deterministically
 //!   bit-identical to the sequential coordinator for every layout and
 //!   thread count;
+//! - [`MisReader`] / [`MisSnapshot`] ([`snapshot`]): the epoch-versioned
+//!   concurrent read path — every settle publishes the quiesced membership
+//!   at its flush boundary, and cheaply-cloneable `Send + Sync` reader
+//!   handles observe exactly those published states from other threads;
 //! - [`template`]: a faithful round-by-round simulation of the template,
 //!   which records the full influenced set `S` including nodes that flip and
 //!   flip back (the `u₂` example of Section 3), the number of parallel
@@ -78,6 +82,7 @@ pub mod invariant;
 pub mod parallel;
 pub mod rank;
 pub mod sharding;
+pub mod snapshot;
 pub mod static_greedy;
 pub mod template;
 pub mod theory;
@@ -89,4 +94,5 @@ pub use priority::{Priority, PriorityMap};
 pub use rank::RankIndex;
 pub use receipt::{BatchReceipt, UpdateReceipt};
 pub use sharding::ShardedMisEngine;
+pub use snapshot::{MisReader, MisSnapshot, SnapshotIter};
 pub use state::MisState;

@@ -91,6 +91,12 @@ pub struct RankIndex {
     /// Times `node_at_rank` grew past its capacity (reallocation); 0
     /// after [`Self::reserve`] with an adequate bound.
     table_regrows: u64,
+    /// Settle-end compactions performed by [`Self::maybe_compact`] —
+    /// the ordering witness the snapshot read path records: engines
+    /// publish strictly *after* compaction, so every published
+    /// [`crate::MisSnapshot`] carries the compaction count current at
+    /// its flush boundary (pinned by the snapshot-consistency tier).
+    compactions: u64,
 }
 
 impl RankIndex {
@@ -130,6 +136,18 @@ impl RankIndex {
     #[must_use]
     pub fn is_flushed(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Number of settle-end compactions [`Self::maybe_compact`] has
+    /// performed (no-op calls not counted). Monotone. The snapshot
+    /// read path stamps this onto every published
+    /// [`crate::MisSnapshot`], which is how the concurrency tier
+    /// proves publication happens strictly after compaction — a
+    /// reader can never observe a state containing a tombstoned
+    /// `NodeId::MAX` slot mid-drop.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Size of the rank space (live ranks plus trailing/interior
@@ -332,6 +350,7 @@ impl RankIndex {
         if self.tombstones as usize <= self.rank_of.len() || !self.pending.is_empty() {
             return;
         }
+        self.compactions += 1;
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.extend(

@@ -68,6 +68,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::invariant::{self, InvariantViolation};
+use crate::snapshot::{MisPublisher, MisReader, PublishSlot};
 use crate::{
     BatchReceipt, MisState, Priority, PriorityMap, RankIndex, SettleStrategy, UpdateReceipt,
 };
@@ -348,6 +349,16 @@ pub struct ShardedMisEngine {
     spawn_threshold: usize,
     /// Which dirty-queue realization every shard drains.
     strategy: SettleStrategy,
+    /// Snapshot publication slot: empty (and free on the settle path)
+    /// until [`Self::reader`] attaches a read path. Cloning detaches —
+    /// see [`crate::snapshot`].
+    publisher: PublishSlot,
+    /// Global-id membership mirror maintained only while a read path is
+    /// attached: shard membership lives in per-shard *local-slot*
+    /// bitsets, so publication needs a global [`NodeSet`] — rebuilt once
+    /// at attach, then patched from each settle's net flip log in
+    /// O(flips) instead of an O(n) rescan per publish.
+    mirror: NodeSet,
 }
 
 impl ShardedMisEngine {
@@ -365,6 +376,8 @@ impl ShardedMisEngine {
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
             strategy: SettleStrategy::default(),
+            publisher: PublishSlot::default(),
+            mirror: NodeSet::new(),
         }
     }
 
@@ -416,6 +429,8 @@ impl ShardedMisEngine {
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
             strategy: SettleStrategy::default(),
+            publisher: PublishSlot::default(),
+            mirror: NodeSet::new(),
         };
         for v in engine.graph.nodes() {
             if mis.contains(v) {
@@ -508,6 +523,22 @@ impl ShardedMisEngine {
     #[must_use]
     pub fn is_in_mis(&self, v: NodeId) -> Option<bool> {
         self.graph.has_node(v).then(|| self.output(v))
+    }
+
+    /// Returns a concurrent read handle over the engine's published
+    /// snapshots, attaching the publication layer on first call — the
+    /// same contract as [`crate::MisEngine::reader`]. Attach pays one
+    /// O(n) scan to materialize the global membership mirror (shard
+    /// membership is stored per-shard in local slots); each settle then
+    /// patches the mirror from its net flip log in O(flips) and
+    /// publishes it.
+    pub fn reader(&mut self) -> MisReader {
+        if !self.publisher.is_attached() {
+            self.mirror = self.mis_iter().collect();
+            self.publisher
+                .set(MisPublisher::attach(&self.mirror, self.ranks.compactions()));
+        }
+        self.publisher.get().expect("just attached").reader()
     }
 
     /// Draws the next priority key from the engine's seeded stream (the
@@ -671,6 +702,11 @@ impl ShardedMisEngine {
         let local = self.layout.local_slot(v);
         self.shards[origin].in_mis.remove(local);
         self.shards[origin].lower_mis_count.remove(local);
+        if was_in && self.publisher.is_attached() {
+            // Departures never appear in the flip log (receipts cover
+            // the *remaining* nodes), so the mirror is patched here.
+            self.mirror.remove(v);
+        }
         let mut stats = SettleStats::default();
         if was_in {
             for w in nbrs {
@@ -766,6 +802,10 @@ impl ShardedMisEngine {
                 let local = self.layout.local_slot(*v);
                 self.shards[origin].in_mis.remove(local);
                 self.shards[origin].lower_mis_count.remove(local);
+                if was_in && self.publisher.is_attached() {
+                    // As in `remove_node`: departures are not flips.
+                    self.mirror.remove(*v);
+                }
                 for w in nbrs {
                     if self.priorities.of(w) > prio_v {
                         self.route(w, -isize::from(was_in), origin, stats, false);
@@ -842,6 +882,21 @@ impl ShardedMisEngine {
             }
         }
         flips.sort_by_key(|&(v, _)| self.priorities.of(v));
+        // Publication comes strictly after compaction (the snapshot's
+        // compaction stamp is the witness): patch the global mirror from
+        // the net flips, then publish this flush boundary.
+        if self.publisher.is_attached() {
+            for &(v, state) in &flips {
+                if state.is_in() {
+                    self.mirror.insert(v);
+                } else {
+                    self.mirror.remove(v);
+                }
+            }
+            debug_assert!(self.ranks.is_flushed(), "publishing before rank quiescence");
+            let p = self.publisher.get_mut().expect("attached");
+            p.publish(&self.mirror, self.ranks.compactions());
+        }
         UpdateReceipt::new(kind, flips, stats.pops, stats.counter_updates).with_shard_stats(
             stats.handoffs,
             stats.shard_runs,

@@ -1,0 +1,413 @@
+//! Epoch-versioned snapshot publication: the concurrent read path.
+//!
+//! The paper's synchronous broadcast-round model hands every node a
+//! consistent view of the MIS at each round boundary. This module gives
+//! the *engines* the same guarantee for concurrent readers: the writer
+//! publishes the settled membership bitset (the `NodeSet` words plus the
+//! cached `mis_len`) at every flush boundary — the end of each settle
+//! pass, i.e. each `insert_edge`/`apply_batch`/`IngestSession::flush`
+//! quiescence point — and readers on other threads observe exactly those
+//! published states, never a half-settled intermediate.
+//!
+//! # Shape
+//!
+//! - [`MisSnapshot`] — one immutable published state: membership words,
+//!   cached cardinality, and the epoch counter stamped at publication.
+//! - [`MisReader`] — a cheaply-cloneable `Send + Sync` handle. Each
+//!   [`MisReader::snapshot`] call acquires the current [`MisSnapshot`]
+//!   behind an `Arc`; every query on the acquired snapshot is then a
+//!   pure read with no synchronization at all, so a reader holding a
+//!   snapshot is wait-free no matter what the writer does.
+//! - `MisPublisher` (crate-private) — the writer side, owned by an
+//!   engine. `publish` builds the next `Arc<MisSnapshot>` *outside* the
+//!   swap lock and installs it with an O(1) pointer store, so the
+//!   reader-visible critical section never scales with the graph.
+//!
+//! # Epoch semantics
+//!
+//! Epoch 0 is the state at attach time ([`DynamicMis::reader`]'s first
+//! call); every subsequent settle publishes epoch `e + 1`. Epochs are
+//! monotone: [`MisReader::epoch`] (a lock-free atomic load) never
+//! decreases, and a snapshot's own epoch never exceeds what `epoch()`
+//! returned before it was acquired. The concurrency tier
+//! (`crates/core/tests/snapshot_consistency.rs`) pins both properties,
+//! plus the bit-match guarantee: every observed snapshot equals the
+//! writer's quiesced membership at *some* flush boundary.
+//!
+//! # Ordering against rank compaction
+//!
+//! Engines publish strictly **after** [`crate::rank::RankIndex`]'s
+//! settle-end `maybe_compact`, so a snapshot can never be built while a
+//! tombstoned `NodeId::MAX` slot is being dropped from the rank table.
+//! Each snapshot records the rank-table compaction count current at its
+//! publication ([`MisSnapshot::rank_compactions`]); the ordering test
+//! asserts it always equals the engine's live counter at quiescence.
+//!
+//! [`DynamicMis::reader`]: crate::DynamicMis::reader
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dmis_graph::{NodeId, NodeSet};
+
+/// One immutable published MIS state: the membership bitset, its
+/// cardinality, and the epoch stamped by the writer at publication.
+///
+/// Snapshots are acquired from a [`MisReader`] and shared via `Arc`;
+/// every query is a pure read on frozen data, so holding a snapshot
+/// never blocks — and never observes — the writer.
+#[derive(Debug, Clone)]
+pub struct MisSnapshot {
+    /// Membership at the publishing flush boundary.
+    members: NodeSet,
+    /// Publication counter: 0 at attach, +1 per settle.
+    epoch: u64,
+    /// The writer's rank-table compaction count at publication — the
+    /// witness that publication ran strictly after settle-end
+    /// compaction (see the module docs).
+    rank_compactions: u64,
+}
+
+impl MisSnapshot {
+    /// The epoch this snapshot was published at (0 = attach state).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Size of the published MIS — O(1), cached at publication.
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns whether `v` was in the MIS at this snapshot's flush
+    /// boundary. Total: unknown identifiers are simply not members.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.contains(v)
+    }
+
+    /// Iterates over the published MIS in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter()
+    }
+
+    /// The published membership bitset.
+    #[must_use]
+    pub fn members(&self) -> &NodeSet {
+        &self.members
+    }
+
+    /// Raw membership words (bit `i % 64` of word `i / 64` ⟺
+    /// `NodeId(i)` published as a member) — what the consistency tier
+    /// bit-matches against its per-epoch oracle.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.members.words()
+    }
+
+    /// The writer's rank-table compaction count
+    /// ([`crate::rank::RankIndex::compactions`]) at publication.
+    #[must_use]
+    pub fn rank_compactions(&self) -> u64 {
+        self.rank_compactions
+    }
+}
+
+/// The shared cell between one publisher and its readers.
+#[derive(Debug)]
+struct SnapshotCell {
+    /// Latest published epoch, readable without the swap lock.
+    epoch: AtomicU64,
+    /// Swap point. Held only for an O(1) `Arc` store (writer) or
+    /// clone (reader) — never while a snapshot is being built.
+    current: Mutex<Arc<MisSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Clones out the current snapshot. Recovers from poisoning: the
+    /// guarded value is always a fully-built `Arc`, installed by a
+    /// single pointer store, so a writer panicking elsewhere cannot
+    /// leave it torn.
+    fn load(&self) -> Arc<MisSnapshot> {
+        match self.current.lock() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn store(&self, snap: Arc<MisSnapshot>) {
+        let epoch = snap.epoch;
+        match self.current.lock() {
+            Ok(mut guard) => *guard = snap,
+            Err(poisoned) => *poisoned.into_inner() = snap,
+        }
+        // Readers may learn the new epoch only after the snapshot
+        // carrying it is reachable.
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+/// Writer side of the snapshot channel; owned by an engine, one per
+/// attached read path. Publishes at every settle-end quiescence point.
+#[derive(Debug)]
+pub(crate) struct MisPublisher {
+    cell: Arc<SnapshotCell>,
+}
+
+impl MisPublisher {
+    /// Creates the channel and publishes the attach-time state as
+    /// epoch 0.
+    pub(crate) fn attach(members: &NodeSet, rank_compactions: u64) -> Self {
+        let snap = Arc::new(MisSnapshot {
+            members: members.clone(),
+            epoch: 0,
+            rank_compactions,
+        });
+        MisPublisher {
+            cell: Arc::new(SnapshotCell {
+                epoch: AtomicU64::new(0),
+                current: Mutex::new(snap),
+            }),
+        }
+    }
+
+    /// Publishes the next flush boundary: a fresh snapshot of `members`
+    /// at epoch `latest + 1`. The snapshot is built before the swap
+    /// lock is taken, so readers only ever wait for a pointer store.
+    pub(crate) fn publish(&mut self, members: &NodeSet, rank_compactions: u64) {
+        // Single-writer: the publisher is reached through `&mut` on the
+        // engine, so the relaxed read of our own last store is exact.
+        let epoch = self.cell.epoch.load(Ordering::Relaxed) + 1;
+        let snap = Arc::new(MisSnapshot {
+            members: members.clone(),
+            epoch,
+            rank_compactions,
+        });
+        self.cell.store(snap);
+    }
+
+    /// Hands out a read handle onto this publisher's channel.
+    pub(crate) fn reader(&self) -> MisReader {
+        MisReader {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+/// A concurrent read handle over an engine's published MIS snapshots.
+///
+/// Obtained from [`crate::DynamicMis::reader`] (or
+/// [`crate::EngineBuilder::build_with_reader`]); cheap to clone — one
+/// `Arc` bump — and `Send + Sync`, so one handle per reader thread is
+/// the intended shape. See the [module docs](self) for the epoch and
+/// consistency guarantees.
+///
+/// The convenience queries ([`MisReader::is_in_mis`],
+/// [`MisReader::mis_len`], [`MisReader::mis_iter`]) each acquire the
+/// *current* snapshot; correlated multi-query reads (e.g. a membership
+/// probe plus the cardinality it should be consistent with) should
+/// acquire one [`MisReader::snapshot`] and query that.
+#[derive(Debug, Clone)]
+pub struct MisReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl MisReader {
+    /// Latest published epoch — a lock-free atomic load. Monotone.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.cell.epoch.load(Ordering::Acquire)
+    }
+
+    /// Acquires the current snapshot: an O(1) `Arc` clone under the
+    /// swap mutex (held by the writer only for a pointer store, never
+    /// while building a snapshot). All queries on the returned
+    /// [`MisSnapshot`] are synchronization-free.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<MisSnapshot> {
+        self.cell.load()
+    }
+
+    /// Whether `v` is a member of the *current* snapshot's MIS.
+    #[must_use]
+    pub fn is_in_mis(&self, v: NodeId) -> bool {
+        self.snapshot().contains(v)
+    }
+
+    /// Size of the *current* snapshot's MIS.
+    #[must_use]
+    pub fn mis_len(&self) -> usize {
+        self.snapshot().mis_len()
+    }
+
+    /// Iterates the *current* snapshot's MIS in identifier order. The
+    /// iterator owns its snapshot, so it stays internally consistent
+    /// even while the writer keeps publishing.
+    #[must_use]
+    pub fn mis_iter(&self) -> SnapshotIter {
+        SnapshotIter::new(self.snapshot())
+    }
+}
+
+/// Identifier-order iterator over one owned [`MisSnapshot`] — see
+/// [`MisReader::mis_iter`].
+#[derive(Debug)]
+pub struct SnapshotIter {
+    snap: Arc<MisSnapshot>,
+    /// Next word index to refill from.
+    word: usize,
+    /// Unconsumed bits of the current word (bit k ⟺ id `base + k`).
+    bits: u64,
+    /// Node-id base of the current word.
+    base: u64,
+}
+
+impl SnapshotIter {
+    fn new(snap: Arc<MisSnapshot>) -> Self {
+        SnapshotIter {
+            snap,
+            word: 0,
+            bits: 0,
+            base: 0,
+        }
+    }
+}
+
+impl Iterator for SnapshotIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.bits == 0 {
+            let words = self.snap.words();
+            if self.word >= words.len() {
+                return None;
+            }
+            self.bits = words[self.word];
+            self.base = 64 * self.word as u64;
+            self.word += 1;
+        }
+        let k = self.bits.trailing_zeros() as u64;
+        self.bits &= self.bits - 1;
+        Some(NodeId(self.base + k))
+    }
+}
+
+/// Engine-side slot for an optional publisher.
+///
+/// `Clone` **detaches**: a cloned engine starts with no publisher, so
+/// existing readers keep following the engine they were created from
+/// and the clone's settles publish nowhere until `reader()` is called
+/// on the clone itself. (Anything else would mean two writers racing
+/// one epoch counter.)
+#[derive(Debug, Default)]
+pub(crate) struct PublishSlot {
+    publisher: Option<MisPublisher>,
+}
+
+impl Clone for PublishSlot {
+    fn clone(&self) -> Self {
+        PublishSlot::default()
+    }
+}
+
+impl PublishSlot {
+    /// Whether a read path is attached (i.e. settles must publish).
+    pub(crate) fn is_attached(&self) -> bool {
+        self.publisher.is_some()
+    }
+
+    /// Installs the publisher; at most once per slot.
+    pub(crate) fn set(&mut self, publisher: MisPublisher) {
+        debug_assert!(self.publisher.is_none(), "publisher attached twice");
+        self.publisher = Some(publisher);
+    }
+
+    /// The attached publisher, if any.
+    pub(crate) fn get(&self) -> Option<&MisPublisher> {
+        self.publisher.as_ref()
+    }
+
+    /// Mutable access to the attached publisher, if any.
+    pub(crate) fn get_mut(&mut self) -> Option<&mut MisPublisher> {
+        self.publisher.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(ids: &[u64]) -> NodeSet {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn reader_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MisReader>();
+        assert_send_sync::<Arc<MisSnapshot>>();
+        assert_send_sync::<SnapshotIter>();
+    }
+
+    #[test]
+    fn attach_publishes_epoch_zero() {
+        let publisher = MisPublisher::attach(&set_of(&[1, 5, 64]), 0);
+        let reader = publisher.reader();
+        assert_eq!(reader.epoch(), 0);
+        let snap = reader.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.mis_len(), 3);
+        assert!(snap.contains(NodeId(64)));
+        assert!(!snap.contains(NodeId(2)));
+        assert!(!snap.contains(NodeId(1_000_000)), "total on unknown ids");
+    }
+
+    #[test]
+    fn publish_bumps_the_epoch_and_swaps_the_members() {
+        let mut publisher = MisPublisher::attach(&set_of(&[0]), 0);
+        let reader = publisher.reader();
+        let held = reader.snapshot();
+        publisher.publish(&set_of(&[2, 3]), 1);
+        assert_eq!(reader.epoch(), 1);
+        let now = reader.snapshot();
+        assert_eq!(now.epoch(), 1);
+        assert_eq!(now.mis_len(), 2);
+        assert_eq!(now.rank_compactions(), 1);
+        // The previously-acquired snapshot is frozen, not retracted.
+        assert_eq!(held.epoch(), 0);
+        assert!(held.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn snapshot_iter_matches_identifier_order() {
+        let mut publisher = MisPublisher::attach(&NodeSet::new(), 0);
+        publisher.publish(&set_of(&[190, 0, 63, 64, 7]), 0);
+        let reader = publisher.reader();
+        let ids: Vec<u64> = reader.mis_iter().map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 7, 63, 64, 190]);
+        assert_eq!(reader.mis_len(), 5);
+        assert!(reader.is_in_mis(NodeId(63)));
+        assert!(!reader.is_in_mis(NodeId(62)));
+    }
+
+    #[test]
+    fn clones_share_the_channel() {
+        let mut publisher = MisPublisher::attach(&NodeSet::new(), 0);
+        let a = publisher.reader();
+        let b = a.clone();
+        publisher.publish(&set_of(&[9]), 0);
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(b.epoch(), 1);
+        assert!(b.snapshot().contains(NodeId(9)));
+    }
+
+    #[test]
+    fn publish_slot_clone_detaches() {
+        let mut slot = PublishSlot::default();
+        slot.set(MisPublisher::attach(&NodeSet::new(), 0));
+        assert!(slot.is_attached());
+        assert!(!slot.clone().is_attached());
+    }
+}

@@ -72,6 +72,83 @@ fn sliding_window_passes_ingest_coalescing() {
     }
 }
 
+/// The snapshot read path under session coalescing: for the
+/// sliding-window and community-churn families at watermarks
+/// W ∈ {1, 4}, every auto-flush publishes exactly one epoch, the
+/// published membership equals an unbatched oracle replayed to the same
+/// stream prefix, and between flushes the reader's epoch stays pinned
+/// at the last flush — it can never observe anything older (the
+/// staleness bound), and queued-but-unflushed changes never leak into a
+/// snapshot.
+#[test]
+fn session_flushes_publish_exactly_the_flush_boundaries() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let (g1, ids1) = generators::gnm(80, 100, &mut rng);
+    let sliding = stream::sliding_window_stream(&g1, &ids1, 16, 120, &mut rng);
+    let (g2, ids2) = generators::gnm(80, 120, &mut rng);
+    let community = stream::community_churn(&g2, &ids2, 4, 0.1, 120, &mut rng);
+    for (family, g, raw) in [("sliding", &g1, &sliding), ("community", &g2, &community)] {
+        for watermark in [1usize, 4] {
+            let mut oracle = Engine::builder().graph(g.clone()).seed(41).build();
+            let mut oracle_pos = 0usize;
+            let mut engine = Engine::builder()
+                .graph(g.clone())
+                .seed(41)
+                .sharding(ShardLayout::striped(2))
+                .build();
+            let reader = engine.reader();
+            assert_eq!(reader.epoch(), 0, "{family}: attach is epoch 0");
+            let mut session = IngestSession::with_watermark(&mut *engine, watermark);
+            let mut flushes = 0u64;
+            for (i, c) in raw.iter().enumerate() {
+                let outcome = session.push(c.clone()).expect("valid window");
+                if outcome.is_some() {
+                    flushes += 1;
+                    // History independence makes the coalesced window
+                    // comparable to the raw prefix.
+                    while oracle_pos <= i {
+                        oracle.apply(&raw[oracle_pos]).expect("valid");
+                        oracle_pos += 1;
+                    }
+                    let snap = reader.snapshot();
+                    assert_eq!(
+                        snap.epoch(),
+                        flushes,
+                        "{family} W={watermark}: one epoch per flush"
+                    );
+                    let published: Vec<_> = snap.iter().collect();
+                    let expected: Vec<_> = oracle.mis().into_iter().collect();
+                    assert_eq!(
+                        published, expected,
+                        "{family} W={watermark}: flush {flushes} membership"
+                    );
+                } else {
+                    // Staleness bound between flushes: the channel still
+                    // carries exactly the last flush boundary — never
+                    // older, and never a half-window preview.
+                    assert_eq!(
+                        reader.epoch(),
+                        flushes,
+                        "{family} W={watermark}: no publication without a flush"
+                    );
+                }
+            }
+            session.flush().expect("tail window");
+            flushes += 1;
+            assert_eq!(reader.epoch(), flushes, "{family}: tail flush published");
+            while oracle_pos < raw.len() {
+                oracle.apply(&raw[oracle_pos]).expect("valid");
+                oracle_pos += 1;
+            }
+            let snap = reader.snapshot();
+            let published: Vec<_> = snap.iter().collect();
+            let expected: Vec<_> = oracle.mis().into_iter().collect();
+            assert_eq!(published, expected, "{family} W={watermark}: final state");
+            engine.assert_internally_consistent();
+        }
+    }
+}
+
 /// The hub degrees of the Chung–Lu family really scale like `√n`: averaged
 /// over seeds, the realized maximum degree clears `√n` with room (the
 /// weight cap targets `√(8n) ≈ 2.8·√n` for the heaviest node).

@@ -181,6 +181,68 @@ fn errors_are_uniform_across_flavors() {
     }
 }
 
+/// The snapshot read path through the trait: after every applied batch,
+/// the quiesced engine's `MisReader` agrees with `mis_iter`/`is_in_mis`/
+/// `mis_len` exactly — for every flavor, under node delete/recycle churn
+/// (deletes evict rank slots, inserts recycle them), with one epoch
+/// published per settle.
+#[test]
+fn reader_agrees_with_the_quiesced_engine_on_every_flavor() {
+    // Node-heavy churn so rank slots are actually tombstoned and
+    // recycled under the attached read path.
+    let churny = ChurnConfig {
+        edge_insert: 0.25,
+        edge_delete: 0.25,
+        node_insert: 0.25,
+        node_delete: 0.25,
+        max_new_degree: 4,
+    };
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let (g, _) = generators::erdos_renyi(20, 0.25, &mut rng);
+        for (name, mut e) in flavors(&g, 700 + seed) {
+            let reader = e.reader();
+            assert_eq!(reader.epoch(), 0, "{name}: attach is epoch 0");
+            let mut batches = 0u64;
+            for _ in 0..12 {
+                let mut shadow = e.graph().clone();
+                let mut batch = Vec::new();
+                for _ in 0..4 {
+                    if let Some(c) = stream::random_change(&shadow, &churny, &mut rng) {
+                        c.apply(&mut shadow).expect("valid");
+                        batch.push(c);
+                    }
+                }
+                if batch.is_empty() {
+                    continue;
+                }
+                e.apply_batch(&batch).expect("valid batch");
+                batches += 1;
+                assert_eq!(reader.epoch(), batches, "{name}: one epoch per settle");
+                let snap = reader.snapshot();
+                assert_eq!(snap.epoch(), batches, "{name}");
+                assert_eq!(snap.mis_len(), e.mis_len(), "{name}");
+                let published: Vec<NodeId> = snap.iter().collect();
+                let mut quiesced: Vec<NodeId> = e.mis_iter().collect();
+                quiesced.sort_unstable();
+                assert_eq!(published, quiesced, "{name} batch {batches}");
+                for v in e.graph().nodes() {
+                    assert_eq!(
+                        Some(snap.contains(v)),
+                        e.is_in_mis(v),
+                        "{name}: pointwise membership"
+                    );
+                }
+                // Convenience queries on the reader handle agree too.
+                assert_eq!(reader.mis_len(), e.mis_len(), "{name}");
+                assert_eq!(reader.mis_iter().collect::<Vec<_>>(), published, "{name}");
+            }
+            assert!(batches > 0, "{name}: churn produced work");
+            e.assert_internally_consistent();
+        }
+    }
+}
+
 /// Batches through the trait: `apply_batch` equals per-change `apply` on
 /// final outputs for every flavor.
 #[test]

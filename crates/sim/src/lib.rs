@@ -23,7 +23,11 @@
 //! - an **ingestion harness** ([`IngestRun`]) putting the coalescing
 //!   change queue of `dmis-core`'s unified API in front of any
 //!   [`dmis_core::DynamicMis`] engine, metering the queue-depth
-//!   (latency) vs settle-work (broadcasts/rounds) trade-off end to end.
+//!   (latency) vs settle-work (broadcasts/rounds) trade-off end to end;
+//! - a **serving harness** ([`ServeRun`]) replaying an ingest stream on
+//!   a writer thread while R concurrent [`dmis_core::MisReader`]
+//!   threads sample the epoch-versioned snapshot channel — metering
+//!   read throughput, snapshot staleness, and flush (update) latency.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
 //! distributed environment — see the repository-level `DESIGN.md`
@@ -40,6 +44,7 @@ mod event;
 mod ingest;
 mod metrics;
 mod protocol;
+mod serve;
 mod sharded;
 mod sync;
 
@@ -50,5 +55,6 @@ pub use event::{LocalEvent, NeighborInfo};
 pub use ingest::IngestRun;
 pub use metrics::{ChangeOutcome, Metrics};
 pub use protocol::{Automaton, MessageBits, Protocol};
+pub use serve::{ServeReport, ServeRun};
 pub use sharded::ShardedRun;
 pub use sync::{SyncNetwork, TraceEvent};

@@ -1,0 +1,362 @@
+//! Serving harness: concurrent snapshot reads as a simulator axis.
+//!
+//! [`ServeRun`] wires `dmis-core`'s epoch-versioned read path
+//! ([`dmis_core::MisReader`]) into a deployment-shaped experiment: one
+//! writer thread replays an ingest stream through a coalescing queue
+//! (flushing one merged batch per watermark window, exactly as
+//! [`crate::IngestRun`] does) while R reader threads hammer the
+//! published snapshots. The run meters both sides of the concurrent
+//! read path —
+//!
+//! - **reads** — snapshot acquisitions plus membership probes the
+//!   readers completed, and their aggregate throughput;
+//! - **staleness** — how many epochs behind the writer an acquired
+//!   snapshot was at the moment it was acquired (0 means the reader
+//!   held the newest published state);
+//! - **epoch regressions** — samples where a reader observed an epoch
+//!   older than its previous sample. The snapshot channel promises this
+//!   is impossible; the harness counts rather than asserts so the
+//!   serving report doubles as a cheap production-shaped invariant
+//!   check (the consistency *proof* lives in
+//!   `crates/core/tests/snapshot_consistency.rs`);
+//! - **update latency** — p50/p99 wall-clock time of the writer's
+//!   flush (merged-batch apply + publication), the cost the read path
+//!   adds to the write path being bounded by the bench gate.
+//!
+//! Epoch arithmetic is exact: the engine publishes once per settle and
+//! a flush is one settle, so after F flushes the writer is at epoch F
+//! and every reader's final sample observes an epoch in `0..=F`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use dmis_core::{ChangeCoalescer, DynamicMis, Engine, MisReader};
+use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
+
+/// What one reader thread tallied over its sampling loop.
+struct ReaderTally {
+    reads: u64,
+    samples: u64,
+    staleness_sum: u64,
+    staleness_max: u64,
+    regressions: u64,
+}
+
+/// A metered serving deployment: a watermark-flushed writer in front of
+/// any [`DynamicMis`] engine, with R concurrent [`MisReader`] threads.
+///
+/// # Example
+///
+/// ```
+/// use dmis_graph::{generators, ShardLayout, TopologyChange};
+/// use dmis_sim::ServeRun;
+///
+/// let (g, ids) = generators::cycle(16);
+/// let stream: Vec<_> = ids
+///     .windows(2)
+///     .map(|w| TopologyChange::DeleteEdge(w[0], w[1]))
+///     .collect();
+/// let mut run = ServeRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 7);
+/// let report = run.run(&stream, 2, 8)?;
+/// assert_eq!(report.epoch_regressions, 0);
+/// assert_eq!(report.final_epoch, report.flushes as u64);
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeRun {
+    engine: Box<dyn DynamicMis + Send>,
+    reader: MisReader,
+    watermark: usize,
+    probe_space: u64,
+}
+
+/// The metered outcome of one [`ServeRun::run`] window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Merged-batch windows the writer flushed (including the final
+    /// partial window, when the stream length is not a watermark
+    /// multiple).
+    pub flushes: usize,
+    /// Stream changes the flushed windows applied (post-coalescing).
+    pub applied: usize,
+    /// The writer's epoch after the last flush: `flushes`, since the
+    /// engine publishes exactly once per settle.
+    pub final_epoch: u64,
+    /// Snapshot acquisitions + membership probes across all readers.
+    pub reads_total: u64,
+    /// `reads_total` over the run's wall-clock span.
+    pub reads_per_sec: f64,
+    /// Mean epochs-behind-writer over all reader samples.
+    pub staleness_mean: f64,
+    /// Worst epochs-behind-writer any sample observed.
+    pub staleness_max: u64,
+    /// Samples whose epoch was older than the same reader's previous
+    /// sample. Always 0 unless the snapshot channel is broken.
+    pub epoch_regressions: u64,
+    /// Median wall-clock nanoseconds per writer flush.
+    pub update_p50_ns: u64,
+    /// 99th-percentile wall-clock nanoseconds per writer flush.
+    pub update_p99_ns: u64,
+}
+
+impl ServeRun {
+    /// Boots a K-sharded engine (settle epochs on up to `threads` worker
+    /// threads) with its snapshot channel attached, behind a queue that
+    /// flushes after `watermark` pushes per window. `watermark` is
+    /// clamped to ≥ 1.
+    #[must_use]
+    pub fn bootstrap(
+        graph: DynGraph,
+        layout: ShardLayout,
+        threads: usize,
+        watermark: usize,
+        seed: u64,
+    ) -> Self {
+        let (engine, reader) = Engine::builder()
+            .graph(graph)
+            .seed(seed)
+            .sharding(layout)
+            .threads(threads)
+            .build_with_reader();
+        let probe_space = engine.graph().peek_next_id().index().max(1);
+        ServeRun {
+            engine,
+            reader,
+            watermark: watermark.max(1),
+            probe_space,
+        }
+    }
+
+    /// The serving handle. Clones of it are what `run` hands to reader
+    /// threads; it stays valid (frozen at the last published epoch)
+    /// after the run returns.
+    #[must_use]
+    pub fn reader(&self) -> MisReader {
+        self.reader.clone()
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &dyn DynamicMis {
+        &*self.engine
+    }
+
+    /// Replays `stream` through the watermark queue on the calling
+    /// thread while `readers` concurrent threads sample the snapshot
+    /// channel, each sample acquiring one snapshot and making `probes`
+    /// membership probes against it.
+    ///
+    /// Readers run until the writer finishes, and always complete at
+    /// least one sample, so the report is meaningful even for a stream
+    /// shorter than one flush window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from a flush; reader threads
+    /// are joined before the error returns.
+    pub fn run(
+        &mut self,
+        stream: &[TopologyChange],
+        readers: usize,
+        probes: usize,
+    ) -> Result<ServeReport, GraphError> {
+        let done = AtomicBool::new(false);
+        let started = Instant::now();
+        let mut flush_ns: Vec<u64> = Vec::new();
+        let mut applied = 0usize;
+        let mut flushes = 0usize;
+
+        let (tallies, write_result) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..readers)
+                .map(|r| {
+                    let reader = self.reader.clone();
+                    let done = &done;
+                    let probe_space = self.probe_space;
+                    s.spawn(move || sample_loop(&reader, done, probes, probe_space, r as u64))
+                })
+                .collect();
+
+            let mut queue = ChangeCoalescer::new();
+            let mut result = Ok(());
+            for change in stream {
+                queue.push(change.clone());
+                if queue.pushed() >= self.watermark {
+                    match self.flush(&mut queue, &mut flush_ns) {
+                        Ok(n) => {
+                            applied += n;
+                            flushes += 1;
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if result.is_ok() && !queue.is_empty() {
+                match self.flush(&mut queue, &mut flush_ns) {
+                    Ok(n) => {
+                        applied += n;
+                        flushes += 1;
+                    }
+                    Err(e) => result = Err(e),
+                }
+            }
+            done.store(true, Ordering::Release);
+            let tallies: Vec<ReaderTally> = handles
+                .into_iter()
+                .map(|h| h.join().expect("reader threads do not panic"))
+                .collect();
+            (tallies, result)
+        });
+        write_result?;
+        let elapsed = started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+        let reads_total: u64 = tallies.iter().map(|t| t.reads).sum();
+        let samples: u64 = tallies.iter().map(|t| t.samples).sum();
+        let staleness_sum: u64 = tallies.iter().map(|t| t.staleness_sum).sum();
+        flush_ns.sort_unstable();
+        Ok(ServeReport {
+            flushes,
+            applied,
+            final_epoch: self.reader.epoch(),
+            reads_total,
+            reads_per_sec: reads_total as f64 / elapsed,
+            staleness_mean: if samples == 0 {
+                0.0
+            } else {
+                staleness_sum as f64 / samples as f64
+            },
+            staleness_max: tallies.iter().map(|t| t.staleness_max).max().unwrap_or(0),
+            epoch_regressions: tallies.iter().map(|t| t.regressions).sum(),
+            update_p50_ns: percentile(&flush_ns, 50),
+            update_p99_ns: percentile(&flush_ns, 99),
+        })
+    }
+
+    /// Drains the queue, applies the merged batch, and records the
+    /// flush's wall-clock cost; returns how many changes it applied.
+    fn flush(
+        &mut self,
+        queue: &mut ChangeCoalescer,
+        flush_ns: &mut Vec<u64>,
+    ) -> Result<usize, GraphError> {
+        let (batch, _window) = queue.drain();
+        let t = Instant::now();
+        let receipt = self.engine.apply_batch(&batch)?;
+        flush_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        Ok(receipt.applied())
+    }
+}
+
+/// One reader thread's loop: sample until the writer is done, and at
+/// least once. A sample is one snapshot acquisition plus `probes`
+/// membership probes at xorshift-generated ids (any id is a valid probe
+/// — membership is total).
+fn sample_loop(
+    reader: &MisReader,
+    done: &AtomicBool,
+    probes: usize,
+    probe_space: u64,
+    salt: u64,
+) -> ReaderTally {
+    let mut tally = ReaderTally {
+        reads: 0,
+        samples: 0,
+        staleness_sum: 0,
+        staleness_max: 0,
+        regressions: 0,
+    };
+    let mut x =
+        0x9e37_79b9_7f4a_7c15_u64.wrapping_add(salt.wrapping_mul(0xff51_afd7_ed55_8ccd)) | 1;
+    let mut last_epoch = 0u64;
+    let mut finished = false;
+    while !finished {
+        finished = done.load(Ordering::Acquire);
+        let snap = reader.snapshot();
+        let behind = reader.epoch().saturating_sub(snap.epoch());
+        if snap.epoch() < last_epoch {
+            tally.regressions += 1;
+        }
+        last_epoch = snap.epoch();
+        let mut in_mis = 0usize;
+        for _ in 0..probes {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if snap.contains(NodeId(x % probe_space)) {
+                in_mis += 1;
+            }
+        }
+        // A consistency smoke (probe ids may repeat, so only the empty
+        // case is duplicate-proof): an empty snapshot has no members.
+        assert!(snap.mis_len() > 0 || in_mis == 0, "torn snapshot");
+        tally.reads += probes as u64 + 1;
+        tally.samples += 1;
+        tally.staleness_sum += behind;
+        tally.staleness_max = tally.staleness_max.max(behind);
+    }
+    tally
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmis_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serving_run_meters_reads_and_stays_consistent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, _ids) = generators::erdos_renyi(64, 0.1, &mut rng);
+        let pool = dmis_graph::stream::random_pair_pool(&g, 48, &mut rng);
+        let stream = dmis_graph::stream::flapping_stream(&g, &pool, 200, false, &mut rng);
+        let mut run = ServeRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 3);
+        let report = run.run(&stream, 2, 16).unwrap();
+        assert_eq!(report.flushes, 50);
+        assert_eq!(report.final_epoch, 50);
+        assert_eq!(report.epoch_regressions, 0);
+        assert!(report.reads_total >= 2 * 17, "both readers sampled");
+        assert!(report.reads_per_sec > 0.0);
+        assert!(report.update_p50_ns <= report.update_p99_ns);
+    }
+
+    #[test]
+    fn final_snapshot_matches_quiesced_engine() {
+        let (g, ids) = generators::cycle(32);
+        let stream: Vec<_> = ids
+            .windows(2)
+            .step_by(2)
+            .map(|w| TopologyChange::DeleteEdge(w[0], w[1]))
+            .collect();
+        let mut run = ServeRun::bootstrap(g, ShardLayout::single(), 1, 3, 9);
+        let report = run.run(&stream, 1, 4).unwrap();
+        assert_eq!(report.applied, stream.len());
+        let snap = run.reader().snapshot();
+        assert_eq!(snap.epoch(), report.final_epoch);
+        assert_eq!(snap.mis_len(), run.engine().mis_len());
+        for &v in &ids {
+            assert_eq!(Some(snap.contains(v)), run.engine().is_in_mis(v));
+        }
+    }
+
+    #[test]
+    fn empty_stream_reports_the_attach_epoch() {
+        let (g, _) = generators::path(8);
+        let mut run = ServeRun::bootstrap(g, ShardLayout::single(), 1, 2, 1);
+        let report = run.run(&[], 2, 4).unwrap();
+        assert_eq!(report.flushes, 0);
+        assert_eq!(report.final_epoch, 0);
+        assert_eq!(report.epoch_regressions, 0);
+        assert!(report.reads_total > 0, "readers sample at least once");
+    }
+}

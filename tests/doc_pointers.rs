@@ -94,6 +94,55 @@ fn cited_scale_tier_items_exist() {
     }
 }
 
+/// Same guard for the Snapshot-read-path section: its cited items must
+/// still be declared where the prose points, and the prose must still
+/// mention them.
+#[test]
+fn cited_snapshot_tier_items_exist() {
+    const ITEMS: [(&str, &str, &str); 6] = [
+        (
+            "crates/core/src/snapshot.rs",
+            "pub struct MisReader",
+            "MisReader",
+        ),
+        (
+            "crates/core/src/snapshot.rs",
+            "pub fn rank_compactions",
+            "rank_compactions",
+        ),
+        (
+            "crates/core/src/rank.rs",
+            "pub fn compactions",
+            "RankIndex::compactions",
+        ),
+        (
+            "crates/core/src/api.rs",
+            "pub fn build_with_reader",
+            "build_with_reader",
+        ),
+        ("crates/sim/src/serve.rs", "pub struct ServeRun", "ServeRun"),
+        (
+            "tools/bench_gate.sh",
+            "BENCH_GATE_SERVE_MAX_OVERHEAD",
+            "BENCH_GATE_SERVE_MAX_OVERHEAD",
+        ),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    for (file, declaration, citation) in ITEMS {
+        let source = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        assert!(
+            source.contains(declaration),
+            "{file} no longer declares `{declaration}` — update DESIGN.md"
+        );
+        assert!(
+            design.contains(citation),
+            "DESIGN.md dropped its `{citation}` citation — update this table"
+        );
+    }
+}
+
 #[test]
 fn cited_file_paths_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

@@ -52,6 +52,18 @@
 #     (default 600); or churn_regrows is nonzero — the pre-sized arenas
 #     must absorb steady-state churn without a single reallocation.
 #     All fresh-run-only, so fidelity-independent.
+#   - in the fresh "serve" section (the concurrent snapshot read path):
+#     publish_overhead on the n=4096 batched-toggle row — published
+#     engine over plain engine, interleaved minima from the same fresh
+#     run — exceeds BENCH_GATE_SERVE_MAX_OVERHEAD (default 1.10), i.e.
+#     attaching a reader must cost the writer at most 10%; or the
+#     ServeRun row reports zero reads (the reader threads never
+#     sampled), a nonzero epoch_regressions count (a reader observed
+#     time going backwards — the snapshot channel's one impossible
+#     event), or staleness_max above BENCH_GATE_SERVE_MAX_STALENESS
+#     (default 64 epochs — generous; a just-acquired snapshot is
+#     normally 0-1 epochs behind the writer). Fresh-run-only, so
+#     fidelity-independent.
 #
 # Usage: tools/bench_gate.sh <fresh.json> <committed.json>
 #
@@ -70,6 +82,8 @@ ingest_min_coalesce="${BENCH_GATE_INGEST_MIN_COALESCE:-0.25}"
 sharded_front_min="${BENCH_GATE_SHARDED_FRONT_MIN:-0.95}"
 scale_max_ratio="${BENCH_GATE_SCALE_MAX_RATIO:-8.0}"
 scale_max_bytes="${BENCH_GATE_SCALE_MAX_BYTES_PER_NODE:-600}"
+serve_max_overhead="${BENCH_GATE_SERVE_MAX_OVERHEAD:-1.10}"
+serve_max_staleness="${BENCH_GATE_SERVE_MAX_STALENESS:-64}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -229,6 +243,59 @@ for fam in er chung_lu; do
     echo "bench gate: scale $fam n=$n ${ns}ns/change (base ${base}ns), ${bpn} bytes/node, regrows=${regrows}"
   done
 done
+
+# svfield <file> <key>: value of <key> in the "serve" section's
+# publication-overhead row. The leading key sequence "n",
+# "plain_ns_per_change" is unique to that row.
+svfield() {
+  { grep -o "{\"n\": 4096, \"plain_ns_per_change\"[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$2\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# srfield <file> <key>: value of <key> in the "serve" section's ServeRun
+# row. The leading key sequence "n", "readers" is unique to that row.
+srfield() {
+  { grep -o "{\"n\": 1000, \"readers\": 2,[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$2\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Serve gate: the snapshot read path must stay nearly free for the
+# writer, and the reader side must be live and monotone. Fresh-run-only,
+# so fidelity-independent.
+sv_over="$(svfield "$fresh" publish_overhead)"
+sv_plain="$(svfield "$fresh" plain_ns_per_change)"
+sv_pub="$(svfield "$fresh" published_ns_per_change)"
+if [ -z "$sv_over" ] || [ -z "$sv_plain" ] || [ -z "$sv_pub" ]; then
+  echo "bench gate: missing \"serve\" publication-overhead row (n=4096) in $fresh" >&2
+  status=1
+else
+  if ! awk -v o="$sv_over" -v m="$serve_max_overhead" 'BEGIN { exit !(o <= m) }'; then
+    echo "bench gate FAIL: serve publish overhead ${sv_over}x > ${serve_max_overhead}x (plain ${sv_plain}ns, published ${sv_pub}ns per change)" >&2
+    status=1
+  fi
+  echo "bench gate: serve publish overhead ${sv_over}x (plain ${sv_plain}ns vs published ${sv_pub}ns per change)"
+fi
+sr_rps="$(srfield "$fresh" reads_per_sec)"
+sr_reg="$(srfield "$fresh" epoch_regressions)"
+sr_stale="$(srfield "$fresh" staleness_max)"
+if [ -z "$sr_rps" ] || [ -z "$sr_reg" ] || [ -z "$sr_stale" ]; then
+  echo "bench gate: missing \"serve\" ServeRun row (n=1000, readers=2) in $fresh" >&2
+  status=1
+else
+  if ! awk -v r="$sr_rps" 'BEGIN { exit !(r > 0) }'; then
+    echo "bench gate FAIL: serve reads_per_sec=${sr_rps} — reader threads never sampled" >&2
+    status=1
+  fi
+  if [ "$sr_reg" != "0" ]; then
+    echo "bench gate FAIL: serve epoch_regressions=${sr_reg} (readers must never observe epochs going backwards)" >&2
+    status=1
+  fi
+  if ! awk -v s="$sr_stale" -v m="$serve_max_staleness" 'BEGIN { exit !(s <= m) }'; then
+    echo "bench gate FAIL: serve staleness_max=${sr_stale} epochs > ${serve_max_staleness}" >&2
+    status=1
+  fi
+  echo "bench gate: serve R=2 reads/s=${sr_rps}, staleness_max=${sr_stale}, regressions=${sr_reg}"
+fi
 
 # Parallel-execution gate: the worker-thread plumbing must not tax the
 # paper's tiny-cascade common case. Compares two rows of the same fresh
