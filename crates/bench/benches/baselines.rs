@@ -4,7 +4,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dmis_core::MisEngine;
 use dmis_graph::{generators, TopologyChange};
 use dmis_protocol::{luby, DeterministicGreedy};
 use rand::rngs::StdRng;
@@ -17,7 +16,10 @@ fn bench_baselines(c: &mut Criterion) {
         let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
 
         group.bench_with_input(BenchmarkId::new("random_greedy_update", n), &n, |b, _| {
-            let mut engine = MisEngine::from_graph(g.clone(), 1);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .seed(1)
+                .build_unsharded();
             let mut rng = StdRng::seed_from_u64(2);
             let edges: Vec<_> = (0..256)
                 .map(|_| generators::random_edge(engine.graph(), &mut rng).expect("has edges"))

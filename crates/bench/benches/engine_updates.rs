@@ -41,12 +41,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dmis_bench::baseline_btree::BTreeMisEngine;
-use dmis_core::{
-    static_greedy, DynamicMis, Engine, MisEngine, ParallelShardedMisEngine, SettleStrategy,
-    ShardedMisEngine,
-};
+use dmis_core::{static_greedy, DynamicMis, Engine, FlushPolicy, ManualClock, SettleStrategy};
 use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
-use dmis_sim::{IngestRun, ServeRun};
+use dmis_sim::RunConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +67,10 @@ fn bench_update_vs_recompute(c: &mut Criterion) {
     for &n in &[100usize, 1000, 5000] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let (g, _) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
-        let engine = MisEngine::from_graph(g.clone(), 42);
+        let engine = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .seed(42)
+            .build_unsharded();
 
         group.bench_with_input(BenchmarkId::new("dynamic_edge_toggle", n), &n, |b, _| {
             // Toggle one random edge per iteration (delete + reinsert keeps
@@ -113,7 +113,10 @@ fn bench_node_churn(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let (g, ids) = generators::erdos_renyi(n, 8.0 / n as f64, &mut rng);
         group.bench_with_input(BenchmarkId::new("insert_delete_node", n), &n, |b, _| {
-            let mut engine = MisEngine::from_graph(g.clone(), 3);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .seed(3)
+                .build_unsharded();
             b.iter(|| {
                 let (v, _) = engine
                     .insert_node(&[ids[0], ids[1], ids[2]])
@@ -151,7 +154,10 @@ fn bench_dense_vs_btree(c: &mut Criterion) {
         let (g, edges) = toggle_workload(n);
 
         group.bench_with_input(BenchmarkId::new("dense_edge_toggle", n), &n, |b, _| {
-            let mut engine = MisEngine::from_graph(g.clone(), 42);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .seed(42)
+                .build_unsharded();
             let mut i = 0usize;
             b.iter(|| {
                 let (u, v) = edges[i % edges.len()];
@@ -187,8 +193,11 @@ fn bench_sharding(c: &mut Criterion) {
         for &k in &SHARD_COUNTS {
             let name = format!("sharded_edge_toggle_k{k}");
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                let mut engine =
-                    ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), 42);
+                let mut engine = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(ShardLayout::striped(k))
+                    .seed(42)
+                    .build_sharded();
                 let mut i = 0usize;
                 b.iter(|| {
                     let (u, v) = edges[i % edges.len()];
@@ -250,7 +259,10 @@ fn bench_front_vs_heap(c: &mut Criterion) {
             ("heap_batch_toggle", SettleStrategy::BinaryHeap),
         ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                let mut engine = MisEngine::from_graph(g.clone(), 42);
+                let mut engine = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .seed(42)
+                    .build_unsharded();
                 engine.set_settle_strategy(strategy);
                 b.iter(|| {
                     black_box(engine.apply_batch(&deletes).expect("valid"));
@@ -274,8 +286,12 @@ fn bench_parallel(c: &mut Criterion) {
     for &t in &THREAD_COUNTS {
         let name = format!("parallel_edge_toggle_k4_t{t}");
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-            let mut engine =
-                ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), t, 42);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .sharding(ShardLayout::striped(4))
+                .threads(t)
+                .seed(42)
+                .build_parallel();
             let mut i = 0usize;
             b.iter(|| {
                 let (u, v) = edges[i % edges.len()];
@@ -298,8 +314,12 @@ fn bench_parallel(c: &mut Criterion) {
     for &t in &THREAD_COUNTS {
         let name = format!("parallel_batch_toggle_k4_t{t}");
         group.bench_with_input(BenchmarkId::new(name, bn), &bn, |b, _| {
-            let mut engine =
-                ParallelShardedMisEngine::from_graph(bg.clone(), ShardLayout::striped(4), t, 42);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(bg.clone())
+                .sharding(ShardLayout::striped(4))
+                .threads(t)
+                .seed(42)
+                .build_parallel();
             b.iter(|| {
                 black_box(engine.apply_batch(&deletes).expect("valid"));
                 black_box(engine.apply_batch(&inserts).expect("valid"));
@@ -325,7 +345,11 @@ fn bench_ingest(c: &mut Criterion) {
     for &q in &[1usize, 16, 64] {
         let name = format!("ingest_flapping_q{q}");
         group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-            let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, q, 42);
+            let mut run = RunConfig::new(g.clone())
+                .layout(ShardLayout::striped(4))
+                .watermark(q)
+                .seed(42)
+                .ingest();
             b.iter(|| {
                 for change in &stream {
                     black_box(run.push(change).expect("valid"));
@@ -504,8 +528,14 @@ fn write_snapshot(test_mode: bool) {
             .map(|&(u, v)| TopologyChange::InsertEdge(u, v))
             .collect();
         let changes = 2 * FRONT_BATCH;
-        let mut front = MisEngine::from_graph(g.clone(), 42);
-        let mut heap = MisEngine::from_graph(g.clone(), 42);
+        let mut front = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .seed(42)
+            .build_unsharded();
+        let mut heap = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .seed(42)
+            .build_unsharded();
         heap.set_settle_strategy(SettleStrategy::BinaryHeap);
         let (front_ns, heap_ns) = measure_interleaved_ns(
             || {
@@ -536,8 +566,16 @@ fn write_snapshot(test_mode: bool) {
     {
         let n = 1000usize;
         let (g, edges) = toggle_workload(n);
-        let mut front = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), 42);
-        let mut heap = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), 42);
+        let mut front = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .sharding(ShardLayout::striped(4))
+            .seed(42)
+            .build_sharded();
+        let mut heap = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .sharding(ShardLayout::striped(4))
+            .seed(42)
+            .build_sharded();
         heap.set_settle_strategy(SettleStrategy::BinaryHeap);
         let (mut i, mut j) = (0usize, 0usize);
         let (front_ns, heap_ns) = measure_interleaved_ns(
@@ -648,8 +686,12 @@ fn write_snapshot(test_mode: bool) {
             .collect();
         for &k in &SHARD_COUNTS {
             for &t in &THREAD_COUNTS {
-                let mut engine =
-                    ParallelShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(k), t, 42);
+                let mut engine = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(ShardLayout::striped(k))
+                    .threads(t)
+                    .seed(42)
+                    .build_parallel();
                 let mut epochs = 0usize;
                 let ns_per_round = measure_toggle_ns(
                     || {
@@ -685,7 +727,11 @@ fn write_snapshot(test_mode: bool) {
         let stream_len = if test_mode { 512 } else { 4096 };
         let stream = flapping_stream(&g, &pool, stream_len);
         for &q in &[1usize, 16, 64] {
-            let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, q, 42);
+            let mut run = RunConfig::new(g.clone())
+                .layout(ShardLayout::striped(4))
+                .watermark(q)
+                .seed(42)
+                .ingest();
             let mut per_sample: Vec<f64> = (0..samples)
                 .map(|_| {
                     let start = Instant::now();
@@ -706,6 +752,65 @@ fn write_snapshot(test_mode: bool) {
                 run.flushes(),
                 run.pushed()
             ));
+        }
+    }
+    // Flush-policy sweep: policy × adversarial-stream cells, fully
+    // deterministic — a manual clock advanced one tick (1 ms) per push
+    // times everything, so the coalesce fractions and delay percentiles
+    // are pure functions of the streams and identical on every host.
+    // "flapping" is the bounded-pool toggle stream (coalescing-friendly);
+    // "trickle" is the fresh-pair anti-coalescing stream (no edge key
+    // revisited, so batching buys delay and nothing else). The gate
+    // checks that the adaptive smoother recovers the deep watermark's
+    // coalescing win on flapping (BENCH_GATE_INGEST_ADAPTIVE_MIN_RATIO)
+    // while beating depth-64's p99 queue delay on trickle
+    // (BENCH_GATE_INGEST_P99_MAX_DELAY, in ticks).
+    let mut policy_entries = Vec::new();
+    {
+        let n = 1000usize;
+        let (g, edges) = toggle_workload(n);
+        let ids: Vec<NodeId> = g.nodes().collect();
+        let pool: Vec<(NodeId, NodeId)> = edges.iter().copied().take(32).collect();
+        let stream_len = if test_mode { 512 } else { 4096 };
+        let mut rng = StdRng::seed_from_u64(31);
+        let trickle = dmis_graph::stream::fresh_pair_stream(&g, &ids, stream_len, &mut rng);
+        let streams: &[(&str, Vec<TopologyChange>)] = &[
+            ("flapping", flapping_stream(&g, &pool, stream_len)),
+            ("trickle", trickle),
+        ];
+        let policies: &[(&str, FlushPolicy)] = &[
+            ("depth:1", FlushPolicy::Depth(1)),
+            ("depth:16", FlushPolicy::Depth(16)),
+            ("depth:64", FlushPolicy::Depth(64)),
+            ("adaptive", FlushPolicy::adaptive()),
+        ];
+        for (stream_name, stream) in streams {
+            for (policy_name, policy) in policies {
+                let clock = ManualClock::new();
+                let mut run = RunConfig::new(g.clone())
+                    .layout(ShardLayout::striped(4))
+                    .policy(policy.clone())
+                    .clock(std::sync::Arc::new(clock.clone()))
+                    .seed(42)
+                    .ingest();
+                for change in stream {
+                    run.push(change).expect("valid");
+                    clock.advance(std::time::Duration::from_millis(1));
+                }
+                run.flush().expect("valid");
+                let fraction = run.coalesced_changes() as f64 / run.pushed() as f64;
+                policy_entries.push(format!(
+                    "  {{\"n\": {n}, \"stream\": \"{stream_name}\", \
+                     \"policy\": \"{policy_name}\", \
+                     \"coalesce_fraction\": {fraction:.3}, \"flushes\": {}, \
+                     \"pushed\": {}, \"delay_p50_ticks\": {}, \
+                     \"delay_p99_ticks\": {}}}",
+                    run.flushes(),
+                    run.pushed(),
+                    run.delay_p50().as_millis(),
+                    run.delay_p99().as_millis()
+                ));
+            }
         }
     }
     // Scale-tier section: sustained edge-toggle churn on million-node-class
@@ -790,8 +895,14 @@ fn write_snapshot(test_mode: bool) {
             .map(|&(u, v)| TopologyChange::InsertEdge(u, v))
             .collect();
         let changes = 2 * FRONT_BATCH;
-        let mut plain = MisEngine::from_graph(g.clone(), 42);
-        let mut published = MisEngine::from_graph(g.clone(), 42);
+        let mut plain = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .seed(42)
+            .build_unsharded();
+        let mut published = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .seed(42)
+            .build_unsharded();
         let reader = published.reader();
         let (plain_ns, published_ns) = measure_interleaved_ns(
             || {
@@ -821,8 +932,14 @@ fn write_snapshot(test_mode: bool) {
         let stream_len = if test_mode { 512 } else { 4096 };
         let stream = flapping_stream(&g, &pool, stream_len);
         let readers = 2usize;
-        let mut run = ServeRun::bootstrap(g, ShardLayout::striped(4), 1, 8, 42);
-        let report = run.run(&stream, readers, 32).expect("valid serve run");
+        let mut run = RunConfig::new(g)
+            .layout(ShardLayout::striped(4))
+            .watermark(8)
+            .seed(42)
+            .readers(readers)
+            .probes(32)
+            .serve();
+        let report = run.run(&stream).expect("valid serve run");
         serve_entries.push(format!(
             "  {{\"n\": {n}, \"readers\": {readers}, \"reads_per_sec\": {:.0}, \
              \"staleness_mean\": {:.3}, \"staleness_max\": {}, \
@@ -844,7 +961,8 @@ fn write_snapshot(test_mode: bool) {
          \"mode\": \"{}\", \"results\": [\n{}\n],\n \"front\": [\n{}\n],\n \
          \"sharding\": [\n{}\n],\n \
          \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n],\n \
-         \"ingest\": [\n{}\n],\n \"scale\": [\n{}\n],\n \"serve\": [\n{}\n]}}\n",
+         \"ingest\": [\n{}\n],\n \"ingest_policy\": [\n{}\n],\n \
+         \"scale\": [\n{}\n],\n \"serve\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
         front_entries.join(",\n"),
@@ -852,6 +970,7 @@ fn write_snapshot(test_mode: bool) {
         par_entries.join(",\n"),
         par_batch_entries.join(",\n"),
         ingest_entries.join(",\n"),
+        policy_entries.join(",\n"),
         scale_entries.join(",\n"),
         serve_entries.join(",\n")
     );

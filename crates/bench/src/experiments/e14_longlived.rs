@@ -9,7 +9,6 @@
 //! topology, not just ER.
 
 use dmis_core::DynamicMis;
-use dmis_core::MisEngine;
 use dmis_graph::generators;
 use dmis_graph::stream::{self, ChurnConfig};
 
@@ -43,7 +42,10 @@ pub fn run(quick: bool) -> Report {
             1 => generators::random_geometric(n, 0.07, &mut rng).0,
             _ => generators::barabasi_albert(n, 3, &mut rng).0,
         };
-        let mut engine = MisEngine::from_graph(g, u64::from(kind) + 77);
+        let mut engine = dmis_core::Engine::builder()
+            .graph(g)
+            .seed(u64::from(kind) + 77)
+            .build_unsharded();
         let mut adjustments = Vec::with_capacity(changes);
         let mut pops = Vec::with_capacity(changes);
         let mut counters = Vec::with_capacity(changes);

@@ -11,7 +11,6 @@
 //!    ≥ k adjustments.
 
 use dmis_core::DynamicMis;
-use dmis_core::MisEngine;
 use dmis_graph::stream;
 use dmis_protocol::DeterministicGreedy;
 
@@ -49,7 +48,10 @@ pub fn run(quick: bool) -> Report {
         let mut maxima = Vec::with_capacity(trials);
         let mut big_step = 0usize;
         for trial in 0..trials {
-            let mut engine = MisEngine::from_graph(g.clone(), 0xE4_0000 + trial as u64);
+            let mut engine = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .seed(0xE4_0000 + trial as u64)
+                .build_unsharded();
             let mut total = 0usize;
             let mut max_step = 0usize;
             for change in &changes {

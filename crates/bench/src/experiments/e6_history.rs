@@ -13,7 +13,6 @@
 use std::collections::BTreeMap;
 
 use dmis_core::DynamicMis;
-use dmis_core::MisEngine;
 use dmis_graph::{DynGraph, NodeId, TopologyChange};
 
 use super::Report;
@@ -90,7 +89,9 @@ fn sample_distribution(
 ) -> BTreeMap<u64, usize> {
     let mut dist: BTreeMap<u64, usize> = BTreeMap::new();
     for trial in 0..trials {
-        let mut engine = MisEngine::new(tag.wrapping_mul(0x1234_5678) + trial as u64);
+        let mut engine = dmis_core::Engine::builder()
+            .seed(tag.wrapping_mul(0x1234_5678) + trial as u64)
+            .build_unsharded();
         for change in history {
             engine.apply(change).expect("valid history");
         }

@@ -8,7 +8,6 @@
 //! independent set.
 
 use dmis_core::DynamicMis;
-use dmis_core::MisEngine;
 use dmis_graph::stream;
 use dmis_graph::DynGraph;
 use dmis_protocol::DeterministicGreedy;
@@ -40,7 +39,9 @@ pub fn run(quick: bool) -> Report {
         let history = stream::adversarial_star_stream(n);
         let mut sizes = Vec::with_capacity(trials);
         for trial in 0..trials {
-            let mut engine = MisEngine::new(0xE7_0000 + trial as u64);
+            let mut engine = dmis_core::Engine::builder()
+                .seed(0xE7_0000 + trial as u64)
+                .build_unsharded();
             for change in &history {
                 engine.apply(change).expect("valid history");
             }

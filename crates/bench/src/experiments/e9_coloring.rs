@@ -11,7 +11,6 @@
 //! adjustment count on the same graphs to exhibit the gap.
 
 use dmis_core::DynamicMis;
-use dmis_core::MisEngine;
 use dmis_derived::ColoringEngine;
 use dmis_graph::{generators, TopologyChange};
 
@@ -73,7 +72,10 @@ pub fn run(quick: bool) -> Report {
                 continue;
             };
             let mut ce = ColoringEngine::from_graph(g.clone(), 0xE9_1000 + trial as u64);
-            let mut me = MisEngine::from_graph(g, 0xE9_1000 + trial as u64);
+            let mut me = dmis_core::Engine::builder()
+                .graph(g)
+                .seed(0xE9_1000 + trial as u64)
+                .build_unsharded();
             // InsertNode pre-assigned ids are valid for both (same graph).
             let r1 = match &change {
                 TopologyChange::InsertNode { edges, .. } => {

@@ -22,6 +22,7 @@
 //! | E11 | Direct template vs Algorithm 2 broadcast ablation |
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod baseline_btree;

@@ -39,7 +39,10 @@ impl DynamicClustering {
     /// Creates the structure over `graph` with engine seed `seed`.
     #[must_use]
     pub fn new(graph: DynGraph, seed: u64) -> Self {
-        let engine = MisEngine::from_graph(graph, seed);
+        let engine = dmis_core::Engine::builder()
+            .graph(graph)
+            .seed(seed)
+            .build_unsharded();
         let clustering = from_mis(
             engine.graph(),
             engine.priorities(),
@@ -200,7 +203,11 @@ mod tests {
         // Path with known order: delete the leading edge to cascade.
         let (g, ids) = generators::path(4);
         let pm = dmis_core::PriorityMap::from_order(&ids);
-        let engine = MisEngine::from_parts(g, pm, 0);
+        let engine = dmis_core::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         let clustering = from_mis(
             engine.graph(),
             engine.priorities(),
@@ -219,7 +226,11 @@ mod tests {
     fn node_deletion_reattaches_orphans() {
         let (g, ids) = generators::star(6);
         let pm = dmis_core::PriorityMap::from_order(&ids); // center first
-        let engine = MisEngine::from_parts(g, pm, 0);
+        let engine = dmis_core::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         let clustering = from_mis(
             engine.graph(),
             engine.priorities(),

@@ -22,6 +22,7 @@
 //!   instances), used by experiment E5 to measure approximation ratios.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod clustering;

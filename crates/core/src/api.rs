@@ -26,8 +26,12 @@
 //!   duplicate changes collapse last-writer-wins), and
 //!   [`IngestSession::flush`] settles one merged batch, returning a
 //!   [`BatchReceipt`] extended with the number of coalesced-away changes
-//!   ([`IngestReceipt`]). A configurable watermark auto-flushes when the
-//!   queue grows past it — the queue-depth axis experiment E12 sweeps.
+//!   and the window's queue-delay accounting ([`IngestReceipt`]). *When*
+//!   a session auto-flushes is a pluggable [`FlushPolicy`] — depth
+//!   watermark, deadline, either, or the adaptive smoother — evaluated
+//!   against an injectable [`crate::policy::Clock`]; see [`crate::policy`]
+//!   for the decision semantics and determinism story. The queue-depth
+//!   axis is what experiment E12 sweeps.
 //!
 //! # Why receipts stay comparable
 //!
@@ -45,10 +49,13 @@
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
 
 use dmis_graph::{DynGraph, EdgeKey, GraphError, NodeId, ShardLayout, TopologyChange};
 
 use crate::invariant::InvariantViolation;
+use crate::policy::{Clock, FlushController, FlushPolicy, MonotonicClock, QueueDelay};
 use crate::{
     BatchReceipt, MisEngine, MisState, ParallelShardedMisEngine, PriorityMap, SettleStrategy,
     ShardedMisEngine, UpdateReceipt,
@@ -393,9 +400,89 @@ macro_rules! forward_dynamic_mis {
 }
 pub(crate) use forward_dynamic_mis;
 
+/// Forwards [`DynamicMis`] through a smart-pointer-like wrapper (`&mut
+/// T`, `Box<T>`): what lets [`IngestSession`] own its engine *or* borrow
+/// one, depending on how it was opened, behind a single type parameter.
+/// The deref targets may themselves be unsized (`dyn DynamicMis`), so
+/// boxed engines from [`EngineBuilder::build`] plug in directly.
+macro_rules! forward_dynamic_mis_deref {
+    ($(<$generic:ident> $ty:ty),+ $(,)?) => {$(
+        impl<$generic: DynamicMis + ?Sized> DynamicMis for $ty {
+            fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+                (**self).insert_edge(u, v)
+            }
+            fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+                (**self).remove_edge(u, v)
+            }
+            fn insert_node_with_key(
+                &mut self,
+                neighbors: &[NodeId],
+                key: u64,
+            ) -> Result<(NodeId, UpdateReceipt), GraphError> {
+                (**self).insert_node_with_key(neighbors, key)
+            }
+            fn remove_node(&mut self, v: NodeId) -> Result<UpdateReceipt, GraphError> {
+                (**self).remove_node(v)
+            }
+            fn apply_batch(
+                &mut self,
+                changes: &[TopologyChange],
+            ) -> Result<BatchReceipt, GraphError> {
+                (**self).apply_batch(changes)
+            }
+            fn draw_key(&mut self) -> u64 {
+                (**self).draw_key()
+            }
+            fn graph(&self) -> &DynGraph {
+                (**self).graph()
+            }
+            fn priorities(&self) -> &PriorityMap {
+                (**self).priorities()
+            }
+            fn mis_iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+                (**self).mis_iter()
+            }
+            fn mis_len(&self) -> usize {
+                (**self).mis_len()
+            }
+            fn is_in_mis(&self, v: NodeId) -> Option<bool> {
+                (**self).is_in_mis(v)
+            }
+            fn settle_strategy(&self) -> SettleStrategy {
+                (**self).settle_strategy()
+            }
+            fn set_settle_strategy(&mut self, strategy: SettleStrategy) {
+                (**self).set_settle_strategy(strategy);
+            }
+            fn reader(&mut self) -> crate::MisReader {
+                (**self).reader()
+            }
+            fn check_invariant(&self) -> Result<(), InvariantViolation> {
+                (**self).check_invariant()
+            }
+            fn assert_internally_consistent(&self) {
+                (**self).assert_internally_consistent();
+            }
+            fn check_invariant_sampled(
+                &self,
+                sample: usize,
+                seed: u64,
+            ) -> Result<(), InvariantViolation> {
+                (**self).check_invariant_sampled(sample, seed)
+            }
+            fn assert_internally_consistent_sampled(&self, sample: usize, seed: u64) {
+                (**self).assert_internally_consistent_sampled(sample, seed);
+            }
+        }
+    )+};
+}
+
+forward_dynamic_mis_deref!(<T> &mut T, <T> Box<T>);
+
 /// Namespace for [`Engine::builder`] — the single entry point that
 /// replaces the per-engine `new`/`from_graph`/`from_parts` constructor
-/// families (kept as thin shims; see the README migration table).
+/// families (kept as deprecated thin shims; see the README migration
+/// table).
 #[derive(Debug, Clone, Copy)]
 pub struct Engine;
 
@@ -547,6 +634,22 @@ impl EngineBuilder {
         (engine, reader)
     }
 
+    /// [`EngineBuilder::build`] wrapped in a configured
+    /// [`IngestSession`]: the boxed engine and its change-ingestion
+    /// queue come from one call (mirroring
+    /// [`EngineBuilder::build_with_reader`]), with `policy` deciding
+    /// when windows flush. The session **owns** the engine; reach it
+    /// through [`IngestSession::engine`] / [`IngestSession::engine_mut`]
+    /// (e.g. to attach a [`crate::MisReader`]) or reclaim it with
+    /// [`IngestSession::into_engine`].
+    #[must_use]
+    pub fn build_with_session(
+        self,
+        policy: FlushPolicy,
+    ) -> IngestSession<Box<dyn DynamicMis + Send>> {
+        IngestSession::with_policy(self.build(), policy)
+    }
+
     /// Builds the unsharded [`MisEngine`].
     ///
     /// # Panics
@@ -562,9 +665,9 @@ impl EngineBuilder {
             "sharding/thread axes set: build_sharded()/build_parallel() realize them"
         );
         let mut engine = match (self.graph, self.priorities) {
-            (None, None) => MisEngine::new(self.seed),
-            (Some(g), None) => MisEngine::from_graph(g, self.seed),
-            (Some(g), Some(p)) => MisEngine::from_parts(g, p, self.seed),
+            (None, None) => MisEngine::new_impl(self.seed),
+            (Some(g), None) => MisEngine::from_graph_impl(g, self.seed),
+            (Some(g), Some(p)) => MisEngine::from_parts_impl(g, p, self.seed),
             (None, Some(_)) => panic!("priorities prescribed without a graph"),
         };
         if let Some(n) = self.capacity {
@@ -590,9 +693,9 @@ impl EngineBuilder {
         );
         let layout = self.sharding.unwrap_or_else(ShardLayout::single);
         let mut engine = match (self.graph, self.priorities) {
-            (None, None) => ShardedMisEngine::new(layout, self.seed),
-            (Some(g), None) => ShardedMisEngine::from_graph(g, layout, self.seed),
-            (Some(g), Some(p)) => ShardedMisEngine::from_parts(g, p, layout, self.seed),
+            (None, None) => ShardedMisEngine::new_impl(layout, self.seed),
+            (Some(g), None) => ShardedMisEngine::from_graph_impl(g, layout, self.seed),
+            (Some(g), Some(p)) => ShardedMisEngine::from_parts_impl(g, p, layout, self.seed),
             (None, Some(_)) => panic!("priorities prescribed without a graph"),
         };
         if let Some(n) = self.capacity {
@@ -742,13 +845,15 @@ impl ChangeCoalescer {
 
 /// Outcome of one [`IngestSession::flush`]: the merged batch's
 /// [`BatchReceipt`] extended with the ingestion-side accounting — how
-/// many changes were pushed into the window and how many coalescing
-/// eliminated before any settle work was done.
+/// many changes were pushed into the window, how many coalescing
+/// eliminated before any settle work was done, and how long the
+/// window's pushes waited between arrival and flush ([`QueueDelay`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestReceipt {
     pushed: usize,
     coalesced_changes: usize,
     batch: BatchReceipt,
+    delay: QueueDelay,
 }
 
 impl IngestReceipt {
@@ -756,6 +861,31 @@ impl IngestReceipt {
     #[must_use]
     pub fn pushed(&self) -> usize {
         self.pushed
+    }
+
+    /// The window's queue-delay accounting: per-push arrival→flush
+    /// waits (sorted; p50/p99/max/mean accessors) and the flush's settle
+    /// duration, all measured on the session's [`Clock`].
+    #[must_use]
+    pub fn queue_delay(&self) -> &QueueDelay {
+        &self.delay
+    }
+
+    /// The most *pushes* any change of this window waited before its
+    /// flush: the window's first arrival sat behind `pushed − 1` later
+    /// pushes. A clock-free latency measure (exact, not sampled) that
+    /// stays meaningful under a never-advanced manual clock.
+    #[must_use]
+    pub fn max_pushes_waited(&self) -> usize {
+        self.pushed.saturating_sub(1)
+    }
+
+    /// Mean pushes-waited over the window's changes: the i-th of `p`
+    /// arrivals waits `p − 1 − i` later pushes, so the mean is
+    /// `(p − 1)/2`.
+    #[must_use]
+    pub fn mean_pushes_waited(&self) -> f64 {
+        self.pushed.saturating_sub(1) as f64 / 2.0
     }
 
     /// Changes coalescing eliminated: `pushed() - applied-or-attempted`.
@@ -796,11 +926,19 @@ impl IngestReceipt {
 /// Pushes are queued and coalesced ([`ChangeCoalescer`] documents the
 /// rules); [`IngestSession::flush`] applies the surviving changes as one
 /// merged `apply_batch` — one settle pass for the whole window — and
-/// reports the coalescing win on the [`IngestReceipt`]. An optional
-/// **watermark** auto-flushes when the queue depth reaches it, which
-/// turns queue depth into the latency-vs-work axis experiment E12 sweeps:
-/// deeper queues amortize settle passes and cancel more churn, at the
-/// price of changes waiting longer before they are visible in the output.
+/// reports the coalescing win plus the window's queue-delay accounting
+/// on the [`IngestReceipt`]. *When* a window auto-flushes is a
+/// [`FlushPolicy`]: a depth watermark (the latency-vs-work axis
+/// experiment E12 sweeps), a deadline on the oldest queued change, both,
+/// or the adaptive smoother of [`crate::policy`]. All timing is read
+/// from an injectable [`Clock`], so policies are deterministic under a
+/// [`crate::ManualClock`].
+///
+/// The engine parameter `E` is anything that [`DynamicMis`] forwards
+/// through: a mutable borrow (`IngestSession::new(&mut engine)` — the
+/// session releases the engine when dropped) or an owned box
+/// ([`EngineBuilder::build_with_session`], which hands the whole
+/// deployment over as one value).
 ///
 /// # Example
 ///
@@ -819,50 +957,115 @@ impl IngestReceipt {
 /// assert_eq!(receipt.batch().heap_pops(), 0, "zero settle work");
 /// # Ok::<(), dmis_graph::GraphError>(())
 /// ```
+///
+/// Deadline-driven flushing under a deterministic clock:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use dmis_core::{Engine, FlushPolicy, IngestSession, ManualClock};
+/// use dmis_graph::{generators, TopologyChange};
+///
+/// let (g, ids) = generators::cycle(8);
+/// let clock = ManualClock::new();
+/// let mut session = IngestSession::with_policy_and_clock(
+///     Engine::builder().graph(g).seed(3).build(),
+///     FlushPolicy::Deadline(Duration::from_millis(5)),
+///     Arc::new(clock.clone()),
+/// );
+/// session.push(TopologyChange::DeleteEdge(ids[0], ids[1]))?;
+/// clock.advance(Duration::from_millis(4));
+/// assert!(session.poll()?.is_none(), "deadline not reached");
+/// clock.advance(Duration::from_millis(1));
+/// let receipt = session.poll()?.expect("deadline fires exactly at the boundary");
+/// assert_eq!(receipt.queue_delay().max_delay(), Duration::from_millis(5));
+/// # Ok::<(), dmis_graph::GraphError>(())
+/// ```
 #[derive(Debug)]
-pub struct IngestSession<'e, E: DynamicMis + ?Sized> {
-    engine: &'e mut E,
+pub struct IngestSession<E: DynamicMis> {
+    engine: E,
     queue: ChangeCoalescer,
-    watermark: Option<usize>,
+    controller: FlushController,
+    clock: Arc<dyn Clock>,
+    /// Session-clock arrival stamp of every push in the open window
+    /// (coalesced-away pushes included: their latency was still paid).
+    arrivals: Vec<Duration>,
 }
 
-impl<'e, E: DynamicMis + ?Sized> IngestSession<'e, E> {
-    /// Opens a session with no watermark: changes queue until an
-    /// explicit [`Self::flush`].
-    pub fn new(engine: &'e mut E) -> Self {
-        IngestSession {
-            engine,
-            queue: ChangeCoalescer::new(),
-            watermark: None,
-        }
+impl<E: DynamicMis> IngestSession<E> {
+    /// Opens a session that never auto-flushes
+    /// ([`FlushPolicy::Manual`]): changes queue until an explicit
+    /// [`Self::flush`].
+    pub fn new(engine: E) -> Self {
+        Self::with_policy(engine, FlushPolicy::Manual)
     }
 
     /// Opens a session that auto-flushes whenever `watermark` changes
-    /// have been pushed since the last flush. Counting *pushes* — not
-    /// the coalesced depth — bounds both the pending buffer and the time
-    /// a change waits before its window settles, even on cancel-heavy
+    /// have been pushed since the last flush — a thin shim for
+    /// [`Self::with_policy`] with [`FlushPolicy::Depth`]`(watermark)`,
+    /// kept for the PR-5 call sites. Counting *pushes* — not the
+    /// coalesced depth — bounds both the pending buffer and the time a
+    /// change waits before its window settles, even on cancel-heavy
     /// streams where the coalesced depth hovers near zero; a window
     /// therefore holds at most `watermark` pushes, and a change waits at
     /// most `watermark − 1` arrivals. A watermark of 1 degenerates to
     /// unbatched per-change application.
-    pub fn with_watermark(engine: &'e mut E, watermark: usize) -> Self {
+    pub fn with_watermark(engine: E, watermark: usize) -> Self {
+        Self::with_policy(engine, FlushPolicy::Depth(watermark))
+    }
+
+    /// Opens a session flushing per `policy`, timed by the default
+    /// [`MonotonicClock`]. Tests that need deterministic deadlines or
+    /// adaptive observations should inject a [`crate::ManualClock`] via
+    /// [`Self::with_policy_and_clock`].
+    pub fn with_policy(engine: E, policy: FlushPolicy) -> Self {
+        Self::with_policy_and_clock(engine, policy, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Opens a session flushing per `policy`, reading all arrival
+    /// stamps, deadline checks, and settle-cost observations from
+    /// `clock`.
+    pub fn with_policy_and_clock(engine: E, policy: FlushPolicy, clock: Arc<dyn Clock>) -> Self {
         IngestSession {
             engine,
             queue: ChangeCoalescer::new(),
-            watermark: Some(watermark.max(1)),
+            controller: FlushController::new(policy),
+            clock,
+            arrivals: Vec::new(),
         }
     }
 
-    /// Reconfigures (or removes) the auto-flush watermark. Takes effect
-    /// on the next push.
-    pub fn set_watermark(&mut self, watermark: Option<usize>) {
-        self.watermark = watermark.map(|w| w.max(1));
+    /// Replaces the flush policy. Takes effect on the next push/poll;
+    /// adaptive smoother state restarts from its agnostic initial
+    /// point. The open window (queued changes and their arrival stamps)
+    /// carries over.
+    pub fn set_policy(&mut self, policy: FlushPolicy) {
+        self.controller = FlushController::new(policy);
     }
 
-    /// The configured auto-flush watermark, if any.
+    /// The flush policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &FlushPolicy {
+        self.controller.policy()
+    }
+
+    /// Reconfigures (or removes) the auto-flush depth watermark — a
+    /// shim for [`Self::set_policy`] mapping `Some(w)` to
+    /// [`FlushPolicy::Depth`] and `None` to [`FlushPolicy::Manual`].
+    pub fn set_watermark(&mut self, watermark: Option<usize>) {
+        self.set_policy(match watermark {
+            Some(w) => FlushPolicy::Depth(w),
+            None => FlushPolicy::Manual,
+        });
+    }
+
+    /// The depth watermark currently in force, if the policy has one:
+    /// the configured depth for [`FlushPolicy::Depth`]/
+    /// [`FlushPolicy::Either`], the smoother's current choice for
+    /// [`FlushPolicy::Adaptive`], `None` for the depthless policies.
     #[must_use]
     pub fn watermark(&self) -> Option<usize> {
-        self.watermark
+        self.controller.effective_depth()
     }
 
     /// Current (coalesced) queue depth.
@@ -875,42 +1078,104 @@ impl<'e, E: DynamicMis + ?Sized> IngestSession<'e, E> {
     /// visible in the engine until a flush.
     #[must_use]
     pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the engine — e.g. to attach a
+    /// [`crate::MisReader`] on an owned session. Changes applied
+    /// directly bypass the queue: they settle immediately, *ahead of*
+    /// everything still queued in the open window.
+    #[must_use]
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Consumes the session, returning the engine. Queued (unflushed)
+    /// changes are discarded — call [`Self::flush`] first to settle the
+    /// open window.
+    #[must_use]
+    pub fn into_engine(self) -> E {
         self.engine
     }
 
-    /// Queues one change; coalesces it against the queue, and flushes if
-    /// the window has absorbed `watermark` pushes.
+    /// Queues one change, stamping its arrival on the session clock and
+    /// coalescing it against the queue; flushes if the policy trips
+    /// (window reached its depth watermark, or the oldest queued change
+    /// reached the deadline).
     ///
     /// # Errors
     ///
     /// Propagates [`GraphError`] from an auto-flush (see
     /// [`Self::flush`]); pushes that do not flush cannot fail.
     pub fn push(&mut self, change: TopologyChange) -> Result<Option<IngestReceipt>, GraphError> {
+        let now = self.clock.now();
+        self.arrivals.push(now);
         self.queue.push(change);
-        match self.watermark {
-            Some(w) if self.queue.pushed() >= w => self.flush().map(Some),
-            _ => Ok(None),
+        if self
+            .controller
+            .should_flush(self.queue.pushed(), self.oldest_age(now))
+        {
+            self.flush().map(Some)
+        } else {
+            Ok(None)
         }
     }
 
+    /// Re-evaluates the policy against the session clock *without*
+    /// pushing: how deadline-bearing policies fire between pushes. A
+    /// driver loop calls this on its idle ticks; flushes (returning the
+    /// receipt) iff the window is non-empty and the oldest queued change
+    /// has reached the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] exactly as [`Self::flush`] does.
+    pub fn poll(&mut self) -> Result<Option<IngestReceipt>, GraphError> {
+        let now = self.clock.now();
+        if self
+            .controller
+            .should_flush(self.queue.pushed(), self.oldest_age(now))
+        {
+            self.flush().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Age of the open window's oldest push at `now`.
+    fn oldest_age(&self, now: Duration) -> Option<Duration> {
+        self.arrivals.first().map(|&t| now.saturating_sub(t))
+    }
+
     /// Settles the queued window as **one merged batch** and returns the
-    /// extended receipt. Flushing an empty queue applies an empty batch
+    /// extended receipt, feeding the flush's coalesce fraction and
+    /// clocked settle cost to the policy (the adaptive smoother's
+    /// observation). Flushing an empty queue applies an empty batch
     /// (all receipt counters zero).
     ///
     /// # Errors
     ///
     /// Propagates the first [`GraphError`] from the underlying
     /// `apply_batch`. The queue is consumed either way — the window's
-    /// push/coalesce accounting is dropped with the error — and the
-    /// engine is left with the valid prefix applied exactly as
-    /// `apply_batch` documents.
+    /// push/coalesce/delay accounting is dropped with the error and the
+    /// policy observes nothing — and the engine is left with the valid
+    /// prefix applied exactly as `apply_batch` documents.
     pub fn flush(&mut self) -> Result<IngestReceipt, GraphError> {
         let (batch, pushed) = self.queue.drain();
+        let flushed_at = self.clock.now();
+        let delays: Vec<Duration> = self
+            .arrivals
+            .drain(..)
+            .map(|t| flushed_at.saturating_sub(t))
+            .collect();
         let receipt = self.engine.apply_batch(&batch)?;
+        let settle = self.clock.now().saturating_sub(flushed_at);
+        self.controller.observe_flush(pushed, batch.len(), settle);
         Ok(IngestReceipt {
             pushed,
             coalesced_changes: pushed - batch.len(),
             batch: receipt,
+            delay: QueueDelay::new(delays, settle),
         })
     }
 }

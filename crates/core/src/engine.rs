@@ -64,11 +64,11 @@ pub enum SettleStrategy {
 /// # Example
 ///
 /// ```
-/// use dmis_core::{DynamicMis, MisEngine};
+/// use dmis_core::{DynamicMis, Engine};
 /// use dmis_graph::generators;
 ///
 /// let (g, ids) = generators::star(6);
-/// let mut engine = MisEngine::from_graph(g, 7);
+/// let mut engine = Engine::builder().graph(g).seed(7).build_unsharded();
 /// let before = engine.mis();
 /// let receipt = engine.insert_edge(ids[1], ids[2])?;
 /// assert!(engine.check_invariant().is_ok());
@@ -109,8 +109,15 @@ pub struct MisEngine {
 impl MisEngine {
     /// Creates an engine over an empty graph. `seed` determinizes all
     /// priority draws.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().seed(seed).build_unsharded()`"
+    )]
     #[must_use]
     pub fn new(seed: u64) -> Self {
+        Self::new_impl(seed)
+    }
+
+    pub(crate) fn new_impl(seed: u64) -> Self {
         MisEngine {
             graph: DynGraph::new(),
             priorities: PriorityMap::new(),
@@ -127,8 +134,15 @@ impl MisEngine {
 
     /// Creates an engine over an existing graph, drawing fresh random
     /// priorities for all its nodes and computing the initial greedy MIS.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).seed(seed).build_unsharded()`"
+    )]
     #[must_use]
     pub fn from_graph(graph: DynGraph, seed: u64) -> Self {
+        Self::from_graph_impl(graph, seed)
+    }
+
+    pub(crate) fn from_graph_impl(graph: DynGraph, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut priorities = PriorityMap::new();
         for v in graph.nodes() {
@@ -143,8 +157,15 @@ impl MisEngine {
     /// # Panics
     ///
     /// Panics if some node of the graph has no priority.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).priorities(p).seed(seed).build_unsharded()`"
+    )]
     #[must_use]
     pub fn from_parts(graph: DynGraph, priorities: PriorityMap, seed: u64) -> Self {
+        Self::from_parts_impl(graph, priorities, seed)
+    }
+
+    pub(crate) fn from_parts_impl(graph: DynGraph, priorities: PriorityMap, seed: u64) -> Self {
         Self::with_priorities(graph, priorities, StdRng::seed_from_u64(seed))
     }
 
@@ -382,11 +403,11 @@ impl MisEngine {
     /// # Example
     ///
     /// ```
-    /// use dmis_core::MisEngine;
+    /// use dmis_core::{DynamicMis, Engine};
     /// use dmis_graph::{generators, TopologyChange};
     ///
     /// let (g, ids) = generators::cycle(6);
-    /// let mut engine = MisEngine::from_graph(g, 11);
+    /// let mut engine = Engine::builder().graph(g).seed(11).build_unsharded();
     /// // Two simultaneous deletions recover through ONE settle pass.
     /// let receipt = engine.apply_batch(&[
     ///     TopologyChange::DeleteEdge(ids[0], ids[1]),
@@ -822,7 +843,7 @@ mod tests {
 
     #[test]
     fn empty_engine() {
-        let engine = MisEngine::new(0);
+        let engine = crate::Engine::builder().seed(0).build_unsharded();
         assert!(engine.mis().is_empty());
         assert!(engine.check_invariant().is_ok());
     }
@@ -831,7 +852,7 @@ mod tests {
     fn from_graph_matches_static_greedy() {
         let mut rng = StdRng::seed_from_u64(1);
         let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
-        let engine = MisEngine::from_graph(g, 99);
+        let engine = crate::Engine::builder().graph(g).seed(99).build_unsharded();
         engine.assert_internally_consistent();
         assert!(engine.check_invariant().is_ok());
     }
@@ -840,7 +861,11 @@ mod tests {
     fn edge_insert_between_two_mis_nodes_evicts_higher() {
         let (g, ids) = DynGraph::with_nodes(2);
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         assert!(engine.is_in_mis(ids[0]).unwrap());
         assert!(engine.is_in_mis(ids[1]).unwrap());
         let receipt = engine.insert_edge(ids[0], ids[1]).unwrap();
@@ -856,7 +881,11 @@ mod tests {
         let (mut g, ids) = DynGraph::with_nodes(3);
         g.insert_edge(ids[0], ids[1]).unwrap();
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         // ids[1] is out; connecting it to ids[2] (in) — wait, ids[2] is in
         // the MIS and higher, so inserting {1,2} evicts nobody: lower
         // endpoint ids[1] is out.
@@ -870,7 +899,11 @@ mod tests {
         let (mut g, ids) = DynGraph::with_nodes(2);
         g.insert_edge(ids[0], ids[1]).unwrap();
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         assert!(!engine.is_in_mis(ids[1]).unwrap());
         let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
         assert_eq!(receipt.flips(), &[(ids[1], MisState::In)]);
@@ -887,7 +920,11 @@ mod tests {
             g.insert_edge(w[0], w[1]).unwrap();
         }
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         assert_eq!(engine.mis(), [ids[0], ids[2]].into_iter().collect());
         let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
         assert_eq!(
@@ -905,7 +942,7 @@ mod tests {
     fn node_insert_and_remove_round_trip() {
         let mut rng = StdRng::seed_from_u64(2);
         let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 3);
+        let mut engine = crate::Engine::builder().graph(g).seed(3).build_unsharded();
         let (v, receipt) = engine.insert_node(&[ids[0], ids[1], ids[2]]).unwrap();
         assert!(engine.graph().has_node(v));
         let _ = receipt;
@@ -920,7 +957,11 @@ mod tests {
         let (g, ids) = generators::star(4);
         // Center first: MIS = {center}.
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         assert_eq!(engine.mis(), [ids[0]].into_iter().collect());
         let receipt = engine.remove_node(ids[0]).unwrap();
         assert_eq!(receipt.adjustments(), 3, "all leaves join");
@@ -932,7 +973,11 @@ mod tests {
     fn removing_non_mis_node_is_silent() {
         let (g, ids) = generators::star(4);
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         let receipt = engine.remove_node(ids[3]).unwrap();
         assert_eq!(receipt.adjustments(), 0);
         engine.assert_internally_consistent();
@@ -941,7 +986,7 @@ mod tests {
     #[test]
     fn errors_leave_engine_untouched() {
         let (g, ids) = generators::path(3);
-        let mut engine = MisEngine::from_graph(g, 0);
+        let mut engine = crate::Engine::builder().graph(g).seed(0).build_unsharded();
         let snapshot = engine.mis();
         assert!(engine.insert_edge(ids[0], ids[1]).is_err());
         assert!(engine.remove_edge(ids[0], ids[2]).is_err());
@@ -954,7 +999,7 @@ mod tests {
     #[test]
     fn apply_dispatches_all_change_kinds() {
         let (g, ids) = generators::path(3);
-        let mut engine = MisEngine::from_graph(g, 1);
+        let mut engine = crate::Engine::builder().graph(g).seed(1).build_unsharded();
         let fresh = engine.graph().peek_next_id();
         engine
             .apply(&TopologyChange::InsertNode {
@@ -984,7 +1029,10 @@ mod tests {
     fn long_random_churn_stays_equal_to_static_greedy() {
         let mut rng = StdRng::seed_from_u64(12);
         let (g, _) = generators::erdos_renyi(25, 0.2, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 100);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .seed(100)
+            .build_unsharded();
         let cfg = ChurnConfig::default();
         for step in 0..500 {
             let Some(change) = stream::random_change(engine.graph(), &cfg, &mut rng) else {
@@ -1002,7 +1050,7 @@ mod tests {
     fn adjustment_set_equals_output_symmetric_difference() {
         let mut rng = StdRng::seed_from_u64(21);
         let (g, _) = generators::erdos_renyi(30, 0.15, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 8);
+        let mut engine = crate::Engine::builder().graph(g).seed(8).build_unsharded();
         for _ in 0..200 {
             let Some(change) =
                 stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
@@ -1033,7 +1081,7 @@ mod tests {
     fn sampled_checks_pass_wherever_full_checks_pass() {
         let mut rng = StdRng::seed_from_u64(17);
         let (g, _) = generators::erdos_renyi(80, 0.08, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 9);
+        let mut engine = crate::Engine::builder().graph(g).seed(9).build_unsharded();
         for step in 0..120u64 {
             let Some(change) =
                 stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
@@ -1058,7 +1106,10 @@ mod tests {
         let build = |seed| {
             let mut rng = StdRng::seed_from_u64(4);
             let (g, _) = generators::erdos_renyi(15, 0.3, &mut rng);
-            let mut engine = MisEngine::from_graph(g, seed);
+            let mut engine = crate::Engine::builder()
+                .graph(g)
+                .seed(seed)
+                .build_unsharded();
             let mut outputs = Vec::new();
             for _ in 0..30 {
                 if let Some(change) =
@@ -1080,7 +1131,7 @@ mod tests {
         // churn should be below 1.5 with ample slack.
         let mut rng = StdRng::seed_from_u64(3);
         let (g, _) = generators::erdos_renyi(60, 0.08, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 10);
+        let mut engine = crate::Engine::builder().graph(g).seed(10).build_unsharded();
         let mut total = 0usize;
         let trials = 400;
         for _ in 0..trials {
@@ -1097,7 +1148,11 @@ mod tests {
     fn work_counters_are_reported() {
         let (g, ids) = generators::star(10);
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         let receipt = engine.remove_node(ids[0]).unwrap();
         assert!(receipt.heap_pops() >= receipt.adjustments());
         assert!(receipt.counter_updates() >= 9, "all leaves decremented");
@@ -1119,7 +1174,10 @@ mod tests {
                     batch.push(change);
                 }
             }
-            let mut batched = MisEngine::from_graph(g.clone(), 99 + seed);
+            let mut batched = crate::Engine::builder()
+                .graph(g.clone())
+                .seed(99 + seed)
+                .build_unsharded();
             let mut sequential = batched.clone();
             batched.apply_batch(&batch).unwrap();
             for change in &batch {
@@ -1133,7 +1191,7 @@ mod tests {
     #[test]
     fn batch_can_insert_and_wire_a_node() {
         let (g, ids) = generators::path(3);
-        let mut engine = MisEngine::from_graph(g, 4);
+        let mut engine = crate::Engine::builder().graph(g).seed(4).build_unsharded();
         let fresh = engine.graph().peek_next_id();
         let receipt = engine
             .apply_batch(&[
@@ -1153,7 +1211,7 @@ mod tests {
     #[test]
     fn batch_can_delete_a_just_inserted_node() {
         let (g, ids) = generators::path(3);
-        let mut engine = MisEngine::from_graph(g, 4);
+        let mut engine = crate::Engine::builder().graph(g).seed(4).build_unsharded();
         let fresh = engine.graph().peek_next_id();
         engine
             .apply_batch(&[
@@ -1171,7 +1229,7 @@ mod tests {
     #[test]
     fn batch_failure_keeps_engine_consistent() {
         let (g, ids) = generators::path(4);
-        let mut engine = MisEngine::from_graph(g, 4);
+        let mut engine = crate::Engine::builder().graph(g).seed(4).build_unsharded();
         let err = engine
             .apply_batch(&[
                 TopologyChange::DeleteEdge(ids[0], ids[1]),
@@ -1193,7 +1251,11 @@ mod tests {
         // three MIS nodes of a cycle simultaneously.
         let (g, ids) = generators::cycle(9);
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = MisEngine::from_parts(g, pm, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(0)
+            .build_unsharded();
         let mis = engine.mis();
         let victims: Vec<NodeId> = mis.into_iter().take(3).collect();
         let batch: Vec<TopologyChange> = victims
@@ -1208,7 +1270,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let (g, _) = generators::path(3);
-        let mut engine = MisEngine::from_graph(g, 1);
+        let mut engine = crate::Engine::builder().graph(g).seed(1).build_unsharded();
         let before = engine.mis();
         let receipt = engine.apply_batch(&[]).unwrap();
         assert_eq!(receipt.applied(), 0);
@@ -1220,7 +1282,7 @@ mod tests {
     fn priorities_are_stable_across_unrelated_changes() {
         let mut rng = StdRng::seed_from_u64(6);
         let (g, ids) = generators::erdos_renyi(10, 0.4, &mut rng);
-        let mut engine = MisEngine::from_graph(g, 2);
+        let mut engine = crate::Engine::builder().graph(g).seed(2).build_unsharded();
         let p_before = engine.priorities().of(ids[3]);
         let _ = engine.insert_node(&[ids[0]]).unwrap();
         let _ = rng.random::<u64>();

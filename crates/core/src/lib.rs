@@ -55,11 +55,11 @@
 //! # Example
 //!
 //! ```
-//! use dmis_core::MisEngine;
+//! use dmis_core::Engine;
 //! use dmis_graph::generators;
 //!
 //! let (g, ids) = generators::path(5);
-//! let mut engine = MisEngine::from_graph(g, 42);
+//! let mut engine = Engine::builder().graph(g).seed(42).build_unsharded();
 //! assert!(engine.check_invariant().is_ok());
 //!
 //! // A single change adjusts, in expectation, a single node.
@@ -80,6 +80,7 @@ mod state;
 pub mod api;
 pub mod invariant;
 pub mod parallel;
+pub mod policy;
 pub mod rank;
 pub mod sharding;
 pub mod snapshot;
@@ -90,6 +91,7 @@ pub mod theory;
 pub use api::{ChangeCoalescer, DynamicMis, Engine, EngineBuilder, IngestReceipt, IngestSession};
 pub use engine::{MisEngine, SettleStrategy};
 pub use parallel::ParallelShardedMisEngine;
+pub use policy::{AdaptiveConfig, Clock, FlushPolicy, ManualClock, MonotonicClock, QueueDelay};
 pub use priority::{Priority, PriorityMap};
 pub use rank::RankIndex;
 pub use receipt::{BatchReceipt, UpdateReceipt};

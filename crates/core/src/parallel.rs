@@ -111,13 +111,13 @@ pub(crate) fn execute_epoch(
 /// # Example
 ///
 /// ```
-/// use dmis_core::{DynamicMis, ParallelShardedMisEngine, ShardedMisEngine};
+/// use dmis_core::{DynamicMis, Engine};
 /// use dmis_graph::{generators, ShardLayout};
 ///
 /// let (g, ids) = generators::cycle(12);
 /// let layout = ShardLayout::striped(4);
-/// let mut sequential = ShardedMisEngine::from_graph(g.clone(), layout, 9);
-/// let mut parallel = ParallelShardedMisEngine::from_graph(g, layout, 4, 9);
+/// let mut sequential = Engine::builder().graph(g.clone()).sharding(layout).seed(9).build_sharded();
+/// let mut parallel = Engine::builder().graph(g).sharding(layout).threads(4).seed(9).build_parallel();
 /// parallel.set_spawn_threshold(0); // force worker threads even on tiny cascades
 ///
 /// let r_seq = sequential.remove_edge(ids[0], ids[1])?;
@@ -132,28 +132,38 @@ pub struct ParallelShardedMisEngine {
 }
 
 impl ParallelShardedMisEngine {
-    /// Creates an engine over an empty graph; see
-    /// [`ShardedMisEngine::new`]. `threads` is clamped to at least 1.
+    /// Creates an engine over an empty graph. `threads` is clamped to at
+    /// least 1.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().sharding(layout).threads(t).seed(seed).build_parallel()`"
+    )]
     #[must_use]
     pub fn new(layout: ShardLayout, threads: usize, seed: u64) -> Self {
-        Self::from_engine(ShardedMisEngine::new(layout, seed), threads)
+        Self::from_engine(ShardedMisEngine::new_impl(layout, seed), threads)
     }
 
-    /// Creates an engine over an existing graph; see
-    /// [`ShardedMisEngine::from_graph`]. Same seed ⇒ same priority draws
-    /// as the sequential engines, so all three stay step-for-step
-    /// comparable.
+    /// Creates an engine over an existing graph. Same seed ⇒ same
+    /// priority draws as the sequential engines, so all three stay
+    /// step-for-step comparable.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).sharding(layout).threads(t).seed(seed).build_parallel()`"
+    )]
     #[must_use]
     pub fn from_graph(graph: DynGraph, layout: ShardLayout, threads: usize, seed: u64) -> Self {
-        Self::from_engine(ShardedMisEngine::from_graph(graph, layout, seed), threads)
+        Self::from_engine(
+            ShardedMisEngine::from_graph_impl(graph, layout, seed),
+            threads,
+        )
     }
 
-    /// Creates an engine with prescribed priorities; see
-    /// [`ShardedMisEngine::from_parts`].
+    /// Creates an engine with prescribed priorities.
     ///
     /// # Panics
     ///
     /// Panics if some node of the graph has no priority.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).priorities(p).sharding(layout).threads(t).seed(seed).build_parallel()`"
+    )]
     #[must_use]
     pub fn from_parts(
         graph: DynGraph,
@@ -163,7 +173,7 @@ impl ParallelShardedMisEngine {
         seed: u64,
     ) -> Self {
         Self::from_engine(
-            ShardedMisEngine::from_parts(graph, priorities, layout, seed),
+            ShardedMisEngine::from_parts_impl(graph, priorities, layout, seed),
             threads,
         )
     }
@@ -262,7 +272,11 @@ mod tests {
 
     #[test]
     fn empty_engine_reports_configuration() {
-        let mut engine = ParallelShardedMisEngine::new(ShardLayout::striped(4), 0, 0);
+        let mut engine = crate::Engine::builder()
+            .sharding(ShardLayout::striped(4))
+            .threads(0)
+            .seed(0)
+            .build_parallel();
         assert_eq!(engine.threads(), 1, "thread count is clamped to ≥ 1");
         assert_eq!(engine.shard_count(), 4);
         assert!(engine.mis().is_empty());
@@ -277,7 +291,11 @@ mod tests {
     fn promote_demote_round_trip_preserves_state() {
         let mut rng = StdRng::seed_from_u64(3);
         let (g, _) = generators::erdos_renyi(30, 0.2, &mut rng);
-        let sequential = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 5);
+        let sequential = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(3))
+            .seed(5)
+            .build_sharded();
         let mis = sequential.mis();
         let parallel = ParallelShardedMisEngine::from_engine(sequential, 4);
         assert_eq!(parallel.mis(), mis);
@@ -290,8 +308,17 @@ mod tests {
     fn threaded_churn_is_bit_identical_to_sequential() {
         let mut rng = StdRng::seed_from_u64(17);
         let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
-        let mut sequential = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), 8);
-        let mut parallel = ParallelShardedMisEngine::from_graph(g, ShardLayout::striped(4), 4, 8);
+        let mut sequential = crate::Engine::builder()
+            .graph(g.clone())
+            .sharding(ShardLayout::striped(4))
+            .seed(8)
+            .build_sharded();
+        let mut parallel = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(4))
+            .threads(4)
+            .seed(8)
+            .build_parallel();
         parallel.set_spawn_threshold(0);
         for _ in 0..150 {
             let Some(change) =
@@ -316,13 +343,13 @@ mod tests {
         let batch = vec![TopologyChange::DeleteNode(ids[0])];
         let mut receipts = Vec::new();
         for threshold in [0usize, 4, usize::MAX] {
-            let mut engine = ParallelShardedMisEngine::from_parts(
-                g.clone(),
-                pm.clone(),
-                ShardLayout::striped(4),
-                3,
-                0,
-            );
+            let mut engine = crate::Engine::builder()
+                .graph(g.clone())
+                .priorities(pm.clone())
+                .sharding(ShardLayout::striped(4))
+                .threads(3)
+                .seed(0)
+                .build_parallel();
             engine.set_spawn_threshold(threshold);
             receipts.push(engine.apply_batch(&batch).unwrap());
             engine.assert_internally_consistent();
@@ -348,12 +375,12 @@ mod tests {
             }
             let mut reference: Option<BatchReceipt> = None;
             for threads in [1usize, 2, 4, 7] {
-                let mut engine = ParallelShardedMisEngine::from_graph(
-                    g.clone(),
-                    ShardLayout::striped(4),
-                    threads,
-                    seed,
-                );
+                let mut engine = crate::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(ShardLayout::striped(4))
+                    .threads(threads)
+                    .seed(seed)
+                    .build_parallel();
                 engine.set_spawn_threshold(0);
                 let receipt = engine.apply_batch(&batch).unwrap();
                 if let Some(expected) = &reference {
@@ -369,7 +396,12 @@ mod tests {
     #[test]
     fn errors_propagate_and_leave_engine_untouched() {
         let (g, ids) = generators::path(3);
-        let mut engine = ParallelShardedMisEngine::from_graph(g, ShardLayout::striped(2), 2, 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(2))
+            .threads(2)
+            .seed(0)
+            .build_parallel();
         let snapshot = engine.mis();
         assert!(engine.insert_edge(ids[0], ids[1]).is_err());
         assert!(engine.remove_edge(ids[0], ids[2]).is_err());

@@ -315,12 +315,12 @@ fn run_shard_epoch_heap(
 /// # Example
 ///
 /// ```
-/// use dmis_core::{DynamicMis, MisEngine, ShardedMisEngine};
+/// use dmis_core::{DynamicMis, Engine};
 /// use dmis_graph::{generators, ShardLayout};
 ///
 /// let (g, ids) = generators::cycle(12);
-/// let mut sharded = ShardedMisEngine::from_graph(g.clone(), ShardLayout::striped(4), 9);
-/// let mut plain = MisEngine::from_graph(g, 9);
+/// let mut sharded = Engine::builder().graph(g.clone()).sharding(ShardLayout::striped(4)).seed(9).build_sharded();
+/// let mut plain = Engine::builder().graph(g).seed(9).build_unsharded();
 /// assert_eq!(sharded.mis(), plain.mis());
 ///
 /// // The same change lands on the same output, and the receipt reports
@@ -363,9 +363,16 @@ pub struct ShardedMisEngine {
 
 impl ShardedMisEngine {
     /// Creates an engine over an empty graph. `seed` determinizes all
-    /// priority draws exactly as in [`crate::MisEngine::new`].
+    /// priority draws exactly as in the unsharded [`crate::MisEngine`].
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().sharding(layout).seed(seed).build_sharded()`"
+    )]
     #[must_use]
     pub fn new(layout: ShardLayout, seed: u64) -> Self {
+        Self::new_impl(layout, seed)
+    }
+
+    pub(crate) fn new_impl(layout: ShardLayout, seed: u64) -> Self {
         ShardedMisEngine {
             graph: DynGraph::new(),
             priorities: PriorityMap::new(),
@@ -383,10 +390,17 @@ impl ShardedMisEngine {
 
     /// Creates an engine over an existing graph, drawing fresh random
     /// priorities for all its nodes — the same draws, in the same order,
-    /// as [`crate::MisEngine::from_graph`] with the same seed, so the two
-    /// engines stay step-for-step comparable.
+    /// as the unsharded [`crate::MisEngine`] with the same seed, so the
+    /// two engines stay step-for-step comparable.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).sharding(layout).seed(seed).build_sharded()`"
+    )]
     #[must_use]
     pub fn from_graph(graph: DynGraph, layout: ShardLayout, seed: u64) -> Self {
+        Self::from_graph_impl(graph, layout, seed)
+    }
+
+    pub(crate) fn from_graph_impl(graph: DynGraph, layout: ShardLayout, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut priorities = PriorityMap::new();
         for v in graph.nodes() {
@@ -401,8 +415,20 @@ impl ShardedMisEngine {
     /// # Panics
     ///
     /// Panics if some node of the graph has no priority.
+    #[deprecated(
+        note = "PR-1-era constructor shim: use `Engine::builder().graph(g).priorities(p).sharding(layout).seed(seed).build_sharded()`"
+    )]
     #[must_use]
     pub fn from_parts(
+        graph: DynGraph,
+        priorities: PriorityMap,
+        layout: ShardLayout,
+        seed: u64,
+    ) -> Self {
+        Self::from_parts_impl(graph, priorities, layout, seed)
+    }
+
+    pub(crate) fn from_parts_impl(
         graph: DynGraph,
         priorities: PriorityMap,
         layout: ShardLayout,
@@ -1142,7 +1168,7 @@ crate::api::forward_dynamic_mis!(ShardedMisEngine, |s| s);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DynamicMis, MisEngine};
+    use crate::DynamicMis;
     use dmis_graph::generators;
     use dmis_graph::stream::{self, ChurnConfig};
 
@@ -1157,7 +1183,10 @@ mod tests {
 
     #[test]
     fn empty_engine() {
-        let engine = ShardedMisEngine::new(ShardLayout::striped(4), 0);
+        let engine = crate::Engine::builder()
+            .sharding(ShardLayout::striped(4))
+            .seed(0)
+            .build_sharded();
         assert!(engine.mis().is_empty());
         assert!(engine.check_invariant().is_ok());
         assert_eq!(engine.shard_count(), 4);
@@ -1167,9 +1196,16 @@ mod tests {
     fn from_graph_matches_unsharded_initialization() {
         let mut rng = StdRng::seed_from_u64(1);
         let (g, _) = generators::erdos_renyi(40, 0.15, &mut rng);
-        let plain = MisEngine::from_graph(g.clone(), 99);
+        let plain = crate::Engine::builder()
+            .graph(g.clone())
+            .seed(99)
+            .build_unsharded();
         for layout in layouts() {
-            let engine = ShardedMisEngine::from_graph(g.clone(), layout, 99);
+            let engine = crate::Engine::builder()
+                .graph(g.clone())
+                .sharding(layout)
+                .seed(99)
+                .build_sharded();
             engine.assert_internally_consistent();
             assert_eq!(engine.mis(), plain.mis(), "{layout:?}");
         }
@@ -1180,7 +1216,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let (g, _) = generators::erdos_renyi(60, 0.1, &mut rng);
         for layout in layouts() {
-            let mut engine = ShardedMisEngine::from_graph(g.clone(), layout, 3);
+            let mut engine = crate::Engine::builder()
+                .graph(g.clone())
+                .sharding(layout)
+                .seed(3)
+                .build_sharded();
             for step in 0..60u64 {
                 let Some(change) =
                     stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
@@ -1201,7 +1241,11 @@ mod tests {
     fn single_shard_has_no_handoffs() {
         let mut rng = StdRng::seed_from_u64(5);
         let (g, _) = generators::erdos_renyi(30, 0.2, &mut rng);
-        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::single(), 7);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::single())
+            .seed(7)
+            .build_sharded();
         for _ in 0..100 {
             let Some(change) =
                 stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
@@ -1224,7 +1268,12 @@ mod tests {
             g.insert_edge(w[0], w[1]).unwrap();
         }
         let pm = PriorityMap::from_order(&ids);
-        let mut engine = ShardedMisEngine::from_parts(g, pm, ShardLayout::striped(2), 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .sharding(ShardLayout::striped(2))
+            .seed(0)
+            .build_sharded();
         assert_eq!(engine.mis(), [ids[0], ids[2]].into_iter().collect());
         let receipt = engine.remove_edge(ids[0], ids[1]).unwrap();
         assert_eq!(
@@ -1245,7 +1294,11 @@ mod tests {
         for layout in layouts() {
             let mut rng = StdRng::seed_from_u64(2);
             let (g, ids) = generators::erdos_renyi(10, 0.3, &mut rng);
-            let mut engine = ShardedMisEngine::from_graph(g, layout, 3);
+            let mut engine = crate::Engine::builder()
+                .graph(g)
+                .sharding(layout)
+                .seed(3)
+                .build_sharded();
             let (v, _) = engine.insert_node(&[ids[0], ids[1], ids[2]]).unwrap();
             engine.assert_internally_consistent();
             engine.remove_node(v).unwrap();
@@ -1257,7 +1310,11 @@ mod tests {
     #[test]
     fn errors_leave_engine_untouched() {
         let (g, ids) = generators::path(3);
-        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(2), 0);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(2))
+            .seed(0)
+            .build_sharded();
         let snapshot = engine.mis();
         assert!(engine.insert_edge(ids[0], ids[1]).is_err());
         assert!(engine.remove_edge(ids[0], ids[2]).is_err());
@@ -1282,10 +1339,17 @@ mod tests {
                     batch.push(change);
                 }
             }
-            let mut plain = MisEngine::from_graph(g.clone(), 99 + seed);
+            let mut plain = crate::Engine::builder()
+                .graph(g.clone())
+                .seed(99 + seed)
+                .build_unsharded();
             plain.apply_batch(&batch).unwrap();
             for layout in layouts() {
-                let mut sharded = ShardedMisEngine::from_graph(g.clone(), layout, 99 + seed);
+                let mut sharded = crate::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(layout)
+                    .seed(99 + seed)
+                    .build_sharded();
                 sharded.apply_batch(&batch).unwrap();
                 assert_eq!(sharded.mis(), plain.mis(), "{layout:?}");
                 sharded.assert_internally_consistent();
@@ -1303,9 +1367,19 @@ mod tests {
         let layout = ShardLayout::striped(2);
         // ids[1] is dominated by ids[0]; edge {ids[1], ids[3]} crosses
         // shards (1 and 1... use ids[1]-ids[2]: shards 1 and 0).
-        let mut single = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
+        let mut single = crate::Engine::builder()
+            .graph(g.clone())
+            .priorities(pm.clone())
+            .sharding(layout)
+            .seed(0)
+            .build_sharded();
         let r1 = single.insert_edge(ids[1], ids[2]).unwrap();
-        let mut batched = ShardedMisEngine::from_parts(g, pm, layout, 0);
+        let mut batched = crate::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .sharding(layout)
+            .seed(0)
+            .build_sharded();
         let r2 = batched
             .apply_batch(&[TopologyChange::InsertEdge(ids[1], ids[2])])
             .unwrap();
@@ -1321,7 +1395,11 @@ mod tests {
     #[test]
     fn batch_can_insert_wire_and_delete_nodes() {
         let (g, ids) = generators::path(3);
-        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(2), 4);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(2))
+            .seed(4)
+            .build_sharded();
         let fresh = engine.graph().peek_next_id();
         let receipt = engine
             .apply_batch(&[
@@ -1341,7 +1419,11 @@ mod tests {
     #[test]
     fn batch_failure_keeps_engine_consistent() {
         let (g, ids) = generators::path(4);
-        let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 4);
+        let mut engine = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(3))
+            .seed(4)
+            .build_sharded();
         let err = engine
             .apply_batch(&[
                 TopologyChange::DeleteEdge(ids[0], ids[1]),
@@ -1359,8 +1441,15 @@ mod tests {
     fn long_churn_tracks_unsharded_engine_exactly() {
         let mut rng = StdRng::seed_from_u64(12);
         let (g, _) = generators::erdos_renyi(25, 0.2, &mut rng);
-        let mut plain = MisEngine::from_graph(g.clone(), 100);
-        let mut sharded = ShardedMisEngine::from_graph(g, ShardLayout::striped(4), 100);
+        let mut plain = crate::Engine::builder()
+            .graph(g.clone())
+            .seed(100)
+            .build_unsharded();
+        let mut sharded = crate::Engine::builder()
+            .graph(g)
+            .sharding(ShardLayout::striped(4))
+            .seed(100)
+            .build_sharded();
         let cfg = ChurnConfig::default();
         for step in 0..400 {
             let Some(change) = stream::random_change(plain.graph(), &cfg, &mut rng) else {
@@ -1382,7 +1471,11 @@ mod tests {
         let build = || {
             let mut rng = StdRng::seed_from_u64(4);
             let (g, _) = generators::erdos_renyi(15, 0.3, &mut rng);
-            let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 5);
+            let mut engine = crate::Engine::builder()
+                .graph(g)
+                .sharding(ShardLayout::striped(3))
+                .seed(5)
+                .build_sharded();
             let mut outputs = Vec::new();
             for _ in 0..30 {
                 if let Some(change) =

@@ -366,7 +366,7 @@ mod tests {
     fn template_agrees_with_engine_across_churn() {
         let mut rng = StdRng::seed_from_u64(9);
         let (g, _) = generators::erdos_renyi(18, 0.25, &mut rng);
-        let mut engine = crate::MisEngine::from_graph(g, 5);
+        let mut engine = crate::Engine::builder().graph(g).seed(5).build_unsharded();
         for _ in 0..150 {
             let Some(change) =
                 stream::random_change(engine.graph(), &ChurnConfig::default(), &mut rng)
@@ -416,7 +416,10 @@ mod tests {
                     batch.push(c);
                 }
             }
-            let engine = crate::MisEngine::from_graph(g.clone(), seed + 50);
+            let engine = crate::Engine::builder()
+                .graph(g.clone())
+                .seed(seed + 50)
+                .build_unsharded();
             let pm = engine.priorities().clone();
             let trace = simulate_batch(&g, &pm, &batch);
             let mut engine = engine;

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dmis_core::{DynamicMis, MisEngine, PriorityMap};
+use dmis_core::{DynamicMis, PriorityMap};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{DynGraph, NodeId, TopologyChange};
 use rand::rngs::StdRng;
@@ -85,7 +85,10 @@ fn dense_engine_matches_btree_oracle_over_random_sequences() {
         let n = 1 + (seed as usize % 16);
         let p = 0.05 + 0.4 * ((seed % 7) as f64 / 6.0);
         let (g, _) = generators_er(n, p, &mut rng);
-        let mut engine = MisEngine::from_graph(g, seed ^ 0x5EED);
+        let mut engine = dmis_core::Engine::builder()
+            .graph(g)
+            .seed(seed ^ 0x5EED)
+            .build_unsharded();
         let mut oracle = BTreeOracle::mirror(engine.graph());
         let steps = 2 + (seed as usize % 9);
         for _ in 0..steps {
@@ -134,7 +137,10 @@ fn batched_dense_engine_matches_btree_oracle() {
     for seed in 0..150u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97));
         let (g, _) = generators_er(12 + (seed as usize % 8), 0.25, &mut rng);
-        let mut engine = MisEngine::from_graph(g, seed);
+        let mut engine = dmis_core::Engine::builder()
+            .graph(g)
+            .seed(seed)
+            .build_unsharded();
         let mut oracle = BTreeOracle::mirror(engine.graph());
         // Build a valid batch against a shadow copy.
         let mut shadow = engine.graph().clone();

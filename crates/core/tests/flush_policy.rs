@@ -1,0 +1,344 @@
+//! Property suite for the [`FlushPolicy`] family under a manual test
+//! clock — every auto-flush variant pinned against the sequential
+//! oracle and its own documented boundary semantics:
+//!
+//! 1. **Policy-independent outputs.** Whatever boundaries a policy
+//!    chooses, the final MIS equals unbatched sequential application
+//!    (history independence, Section 5 of the paper).
+//! 2. **Exact boundaries.** `Deadline` fires on the poll where the
+//!    oldest queued push's age *reaches* the bound — one tick earlier
+//!    it does not; `Either` fires on whichever leg trips first.
+//! 3. **Adaptive clamp and convergence.** The smoother's depth stays
+//!    inside `[min_depth, max_depth]` on arbitrary streams, walks to
+//!    `min_depth` on a stationary anti-coalescing stream (fresh pairs,
+//!    nothing ever cancels), and walks to `max_depth` on a stationary
+//!    duplicate-collapse stream (every window coalesces to one change).
+//! 4. **Receipt replay.** The receipts of a policy-driven run are
+//!    bit-identical (full [`IngestReceipt`] equality, [`QueueDelay`]
+//!    included) to a manual-flush replay at the same boundaries on a
+//!    twin engine — a policy adds *when*, never *what*.
+//!
+//! Everything runs on the injectable [`ManualClock`], so there is not a
+//! single nondeterministic observation in this file.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dmis_core::{
+    AdaptiveConfig, DynamicMis, Engine, FlushPolicy, IngestReceipt, IngestSession, ManualClock,
+};
+use dmis_graph::stream;
+use dmis_graph::{generators, DynGraph, ShardLayout, TopologyChange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(g: &DynGraph, k: usize, seed: u64) -> Box<dyn DynamicMis + Send> {
+    Engine::builder()
+        .graph(g.clone())
+        .seed(seed)
+        .sharding(ShardLayout::striped(k))
+        .build()
+}
+
+/// Where in the drive cycle a flush fired: on the push itself (depth
+/// leg) or on the post-advance poll (deadline leg / idle tick).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FiredOn {
+    Push,
+    Poll,
+    Tail,
+}
+
+/// Drives `stream` through a session under `policy`, advancing the
+/// manual clock one `tick` per push (poll after each advance, as a
+/// deadline-driven loop would), and returns every receipt annotated
+/// with its firing instant, plus the session's final watermark.
+fn drive(
+    g: &DynGraph,
+    k: usize,
+    seed: u64,
+    policy: FlushPolicy,
+    stream: &[TopologyChange],
+    tick: Duration,
+) -> (Vec<(IngestReceipt, FiredOn)>, Option<usize>) {
+    let clock = ManualClock::new();
+    let mut session =
+        IngestSession::with_policy_and_clock(engine(g, k, seed), policy, Arc::new(clock.clone()));
+    let mut receipts = Vec::new();
+    for c in stream {
+        if let Some(r) = session.push(c.clone()).expect("valid stream") {
+            receipts.push((r, FiredOn::Push));
+        }
+        clock.advance(tick);
+        if let Some(r) = session.poll().expect("valid stream") {
+            receipts.push((r, FiredOn::Poll));
+        }
+    }
+    if session.queue_depth() > 0 {
+        receipts.push((session.flush().expect("valid tail"), FiredOn::Tail));
+    }
+    let watermark = session.watermark();
+    (receipts, watermark)
+}
+
+/// The four auto-flushing policies the suite sweeps.
+fn policies() -> Vec<FlushPolicy> {
+    vec![
+        FlushPolicy::Depth(4),
+        FlushPolicy::Deadline(Duration::from_millis(3)),
+        FlushPolicy::Either(6, Duration::from_millis(4)),
+        FlushPolicy::adaptive(),
+    ]
+}
+
+#[test]
+fn every_policy_matches_the_sequential_oracle() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = generators::erdos_renyi(24, 0.2, &mut rng);
+        let pool = stream::random_pair_pool(&g, 10, &mut rng);
+        let raw = stream::flapping_stream(&g, &pool, 48, false, &mut rng);
+        for k in [1usize, 4] {
+            let mut oracle = engine(&g, k, 99 + seed);
+            for c in &raw {
+                oracle.apply(c).expect("valid stream");
+            }
+            for policy in policies() {
+                let clock = ManualClock::new();
+                let mut session = IngestSession::with_policy_and_clock(
+                    engine(&g, k, 99 + seed),
+                    policy.clone(),
+                    Arc::new(clock.clone()),
+                );
+                for c in &raw {
+                    session.push(c.clone()).expect("valid stream");
+                    clock.advance(Duration::from_millis(1));
+                    session.poll().expect("valid stream");
+                }
+                session.flush().expect("valid tail");
+                assert_eq!(
+                    session.engine().mis(),
+                    oracle.mis(),
+                    "{policy:?} at K={k} diverged from sequential application"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deadline_fires_exactly_at_the_boundary() {
+    let (g, ids) = generators::cycle(8);
+    let clock = ManualClock::new();
+    let mut session = IngestSession::with_policy_and_clock(
+        engine(&g, 1, 5),
+        FlushPolicy::Deadline(Duration::from_millis(10)),
+        Arc::new(clock.clone()),
+    );
+    session
+        .push(TopologyChange::DeleteEdge(ids[0], ids[1]))
+        .expect("valid");
+    clock.advance(Duration::from_millis(9));
+    assert!(
+        session.poll().expect("valid").is_none(),
+        "one tick early must not fire"
+    );
+    clock.advance(Duration::from_millis(1));
+    let receipt = session
+        .poll()
+        .expect("valid")
+        .expect("deadline reached fires");
+    assert_eq!(receipt.pushed(), 1);
+    assert_eq!(receipt.queue_delay().max_delay(), Duration::from_millis(10));
+    assert!(
+        session.poll().expect("valid").is_none(),
+        "an empty window never deadline-fires"
+    );
+}
+
+#[test]
+fn either_fires_on_whichever_leg_trips_first() {
+    let (g, ids) = generators::cycle(12);
+    let policy = FlushPolicy::Either(3, Duration::from_millis(10));
+    let clock = ManualClock::new();
+    let mut session =
+        IngestSession::with_policy_and_clock(engine(&g, 1, 6), policy, Arc::new(clock.clone()));
+    // Depth leg: three rapid pushes flush with no clock movement.
+    let mut receipt = None;
+    for w in ids.windows(2).take(3) {
+        receipt = session
+            .push(TopologyChange::DeleteEdge(w[0], w[1]))
+            .expect("valid");
+    }
+    let receipt = receipt.expect("third push hits the depth leg");
+    assert_eq!(receipt.pushed(), 3);
+    assert_eq!(receipt.queue_delay().max_delay(), Duration::ZERO);
+    // Deadline leg: a single push ages to the bound before the window
+    // could fill.
+    session
+        .push(TopologyChange::DeleteEdge(ids[6], ids[7]))
+        .expect("valid");
+    clock.advance(Duration::from_millis(10));
+    let receipt = session
+        .poll()
+        .expect("valid")
+        .expect("deadline leg fires on a 1-deep window");
+    assert_eq!(receipt.pushed(), 1);
+    assert_eq!(receipt.queue_delay().max_delay(), Duration::from_millis(10));
+}
+
+#[test]
+fn adaptive_depth_stays_clamped_on_arbitrary_streams() {
+    let cfg = AdaptiveConfig {
+        min_depth: 2,
+        max_depth: 12,
+        ..AdaptiveConfig::default()
+    };
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let (g, _) = generators::erdos_renyi(20, 0.25, &mut rng);
+        let pool = stream::random_pair_pool(&g, 6, &mut rng);
+        let raw = stream::flapping_stream(&g, &pool, 64, false, &mut rng);
+        let clock = ManualClock::new();
+        let mut session = IngestSession::with_policy_and_clock(
+            engine(&g, 1, seed),
+            FlushPolicy::Adaptive(cfg.clone()),
+            Arc::new(clock.clone()),
+        );
+        for c in &raw {
+            let w = session.watermark().expect("adaptive always has a depth");
+            assert!((2..=12).contains(&w), "depth {w} escaped the clamp");
+            session.push(c.clone()).expect("valid stream");
+            clock.advance(Duration::from_millis(1));
+        }
+    }
+}
+
+#[test]
+fn adaptive_walks_to_min_depth_on_anti_coalescing_streams() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (g, ids) = generators::gnm(64, 48, &mut rng);
+    // Fresh pairs: no key revisited, so no window ever coalesces and
+    // the observed coalesce fraction is exactly 0 at every flush.
+    let raw = stream::fresh_pair_stream(&g, &ids, 600, &mut rng);
+    let (receipts, watermark) = drive(
+        &g,
+        1,
+        17,
+        FlushPolicy::adaptive(),
+        &raw,
+        Duration::from_millis(1),
+    );
+    assert!(!receipts.is_empty());
+    assert_eq!(
+        watermark,
+        Some(AdaptiveConfig::default().min_depth),
+        "a stream that never coalesces drives the smoother to per-change flushing"
+    );
+    assert!(
+        receipts.iter().all(|(r, _)| r.coalesced_changes() == 0),
+        "fresh pairs never coalesce"
+    );
+}
+
+#[test]
+fn adaptive_walks_to_max_depth_on_duplicate_collapse_streams() {
+    let (g, ids) = generators::cycle(6);
+    // One edge toggled forever: every window collapses to at most one
+    // surviving change, so the observed coalesce fraction approaches 1.
+    let raw: Vec<TopologyChange> = (0..600)
+        .map(|i| {
+            if i % 2 == 0 {
+                TopologyChange::DeleteEdge(ids[0], ids[1])
+            } else {
+                TopologyChange::InsertEdge(ids[0], ids[1])
+            }
+        })
+        .collect();
+    let (receipts, watermark) = drive(
+        &g,
+        1,
+        23,
+        FlushPolicy::adaptive(),
+        &raw,
+        Duration::from_millis(1),
+    );
+    assert!(!receipts.is_empty());
+    // One change survives each window, so the observed fraction is
+    // (d-1)/d, not exactly 1 — the smoother settles just shy of the
+    // ceiling rather than on it.
+    let max = AdaptiveConfig::default().max_depth;
+    let w = watermark.expect("adaptive always has a depth");
+    assert!(
+        w >= max - max / 8,
+        "a fully-collapsing stream should drive the smoother near the \
+         deepest window: got {w}, clamp max {max}"
+    );
+}
+
+#[test]
+fn policy_receipts_replay_bit_identically_at_the_same_boundaries() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let (g, _) = generators::erdos_renyi(24, 0.2, &mut rng);
+        let pool = stream::random_pair_pool(&g, 8, &mut rng);
+        let raw = stream::flapping_stream(&g, &pool, 40, false, &mut rng);
+        for policy in policies() {
+            // Policy-driven run, recording each receipt's window size
+            // and whether it fired on the push itself or on the
+            // post-advance poll.
+            let (receipts, _) = drive(&g, 2, seed, policy.clone(), &raw, Duration::from_millis(1));
+            let pushed_total: usize = receipts.iter().map(|(r, _)| r.pushed()).sum();
+            assert_eq!(pushed_total, raw.len());
+            // Manual replay: same engine seed, same clock discipline,
+            // Manual policy, explicit flush at the recorded boundaries
+            // — at the same pre/post-advance instant the policy fired,
+            // so every arrival stamp and flush stamp coincides.
+            let clock = ManualClock::new();
+            let mut twin = IngestSession::with_policy_and_clock(
+                engine(&g, 2, seed),
+                FlushPolicy::Manual,
+                Arc::new(clock.clone()),
+            );
+            let mut replayed = Vec::new();
+            let mut boundaries = receipts.iter().map(|(r, f)| (r.pushed(), *f)).peekable();
+            let mut window = 0usize;
+            for c in &raw {
+                twin.push(c.clone()).expect("valid stream");
+                window += 1;
+                if boundaries
+                    .next_if(|&(n, f)| n == window && f == FiredOn::Push)
+                    .is_some()
+                {
+                    replayed.push(twin.flush().expect("valid window"));
+                    window = 0;
+                }
+                clock.advance(Duration::from_millis(1));
+                if boundaries
+                    .next_if(|&(n, f)| n == window && f == FiredOn::Poll)
+                    .is_some()
+                {
+                    replayed.push(twin.flush().expect("valid window"));
+                    window = 0;
+                }
+            }
+            if boundaries
+                .next_if(|&(n, f)| n == window && f == FiredOn::Tail)
+                .is_some()
+            {
+                replayed.push(twin.flush().expect("valid tail"));
+            }
+            assert_eq!(
+                receipts.len(),
+                replayed.len(),
+                "{policy:?}: boundary counts diverged"
+            );
+            for ((expected, fired), got) in receipts.iter().zip(&replayed) {
+                assert_eq!(
+                    expected, got,
+                    "{policy:?}: receipt fired on {fired:?} is not bit-identical under replay"
+                );
+            }
+        }
+    }
+}

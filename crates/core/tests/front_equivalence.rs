@@ -44,9 +44,15 @@ fn thread_axis() -> Vec<usize> {
 
 /// One engine per strategy, identically seeded.
 fn engine_pair(g: &DynGraph, seed: u64) -> (MisEngine, MisEngine) {
-    let front = MisEngine::from_graph(g.clone(), seed);
+    let front = dmis_core::Engine::builder()
+        .graph(g.clone())
+        .seed(seed)
+        .build_unsharded();
     assert_eq!(front.settle_strategy(), SettleStrategy::RankFront);
-    let mut heap = MisEngine::from_graph(g.clone(), seed);
+    let mut heap = dmis_core::Engine::builder()
+        .graph(g.clone())
+        .seed(seed)
+        .build_unsharded();
     heap.set_settle_strategy(SettleStrategy::BinaryHeap);
     (front, heap)
 }
@@ -115,8 +121,16 @@ fn stale_seeds_are_accounted_identically() {
     for &k in &SHARD_COUNTS {
         let (g, ids) = generators::path(6);
         let layout = ShardLayout::striped(k);
-        let mut front = ShardedMisEngine::from_graph(g.clone(), layout, 3);
-        let mut heap = ShardedMisEngine::from_graph(g.clone(), layout, 3);
+        let mut front = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .sharding(layout)
+            .seed(3)
+            .build_sharded();
+        let mut heap = dmis_core::Engine::builder()
+            .graph(g.clone())
+            .sharding(layout)
+            .seed(3)
+            .build_sharded();
         heap.set_settle_strategy(SettleStrategy::BinaryHeap);
         let fresh = g.peek_next_id();
         let batch = vec![
@@ -154,8 +168,16 @@ fn sharded_and_parallel_fronts_match_heaps_bitwise() {
             .iter()
             .map(|&k| {
                 let layout = ShardLayout::striped(k);
-                let front = ShardedMisEngine::from_graph(g.clone(), layout, seed);
-                let mut heap = ShardedMisEngine::from_graph(g.clone(), layout, seed);
+                let front = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(layout)
+                    .seed(seed)
+                    .build_sharded();
+                let mut heap = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(layout)
+                    .seed(seed)
+                    .build_sharded();
                 heap.set_settle_strategy(SettleStrategy::BinaryHeap);
                 (front, heap)
             })
@@ -164,12 +186,12 @@ fn sharded_and_parallel_fronts_match_heaps_bitwise() {
             .iter()
             .flat_map(|&k| threads.iter().map(move |&t| (k, t)))
             .map(|(k, t)| {
-                let mut par = ParallelShardedMisEngine::from_graph(
-                    g.clone(),
-                    ShardLayout::striped(k),
-                    t,
-                    seed,
-                );
+                let mut par = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(ShardLayout::striped(k))
+                    .threads(t)
+                    .seed(seed)
+                    .build_parallel();
                 par.set_spawn_threshold(0);
                 assert_eq!(par.settle_strategy(), SettleStrategy::RankFront);
                 par
@@ -237,9 +259,19 @@ fn parallel_batches_match_across_strategies() {
         for &k in &SHARD_COUNTS {
             for &t in &threads {
                 let layout = ShardLayout::striped(k);
-                let mut front = ParallelShardedMisEngine::from_graph(g.clone(), layout, t, seed);
+                let mut front = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(layout)
+                    .threads(t)
+                    .seed(seed)
+                    .build_parallel();
                 front.set_spawn_threshold(0);
-                let mut heap = ParallelShardedMisEngine::from_graph(g.clone(), layout, t, seed);
+                let mut heap = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .sharding(layout)
+                    .threads(t)
+                    .seed(seed)
+                    .build_parallel();
                 heap.set_spawn_threshold(0);
                 heap.set_settle_strategy(SettleStrategy::BinaryHeap);
                 let rf = front.apply_batch(&batch).expect("valid batch");
@@ -263,16 +295,31 @@ fn star_promotion_matches_across_strategies() {
         let pm = PriorityMap::from_order(&ids);
         for &k in &SHARD_COUNTS {
             let layout = ShardLayout::striped(k);
-            let mut front = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
-            let mut heap = ShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, 0);
+            let mut front = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .priorities(pm.clone())
+                .sharding(layout)
+                .seed(0)
+                .build_sharded();
+            let mut heap = dmis_core::Engine::builder()
+                .graph(g.clone())
+                .priorities(pm.clone())
+                .sharding(layout)
+                .seed(0)
+                .build_sharded();
             heap.set_settle_strategy(SettleStrategy::BinaryHeap);
             let rf = front.remove_node(ids[0]).expect("center exists");
             let rh = heap.remove_node(ids[0]).expect("center exists");
             assert_eq!(rf, rh, "K={k} star receipt diverged");
             assert_eq!(rf.adjustments(), leaves);
             for &t in &thread_axis() {
-                let mut par =
-                    ParallelShardedMisEngine::from_parts(g.clone(), pm.clone(), layout, t, 0);
+                let mut par = dmis_core::Engine::builder()
+                    .graph(g.clone())
+                    .priorities(pm.clone())
+                    .sharding(layout)
+                    .threads(t)
+                    .seed(0)
+                    .build_parallel();
                 par.set_spawn_threshold(0);
                 let r = par.remove_node(ids[0]).expect("center exists");
                 assert_eq!(r, rf, "K={k} threads={t} parallel star diverged");

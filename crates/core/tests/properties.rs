@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 
-use dmis_core::{invariant, static_greedy, template, theory, DynamicMis, MisEngine, PriorityMap};
+use dmis_core::{invariant, static_greedy, template, theory, DynamicMis, PriorityMap};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, NodeId, TopologyChange};
 use proptest::prelude::*;
@@ -39,7 +39,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(graph_seed);
         let (g, _) = generators::erdos_renyi(n, p, &mut rng);
-        let mut engine = MisEngine::from_graph(g, engine_seed);
+        let mut engine = dmis_core::Engine::builder().graph(g).seed(engine_seed).build_unsharded();
         let mut churn = StdRng::seed_from_u64(churn_seed);
         for _ in 0..steps {
             let Some(change) =
@@ -65,7 +65,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(graph_seed);
         let (g, _) = generators::erdos_renyi(n, 0.3, &mut rng);
-        let mut engine = MisEngine::from_graph(g, graph_seed ^ 0xABCD);
+        let mut engine = dmis_core::Engine::builder().graph(g).seed(graph_seed ^ 0xABCD).build_unsharded();
         let mut churn = StdRng::seed_from_u64(churn_seed);
         for _ in 0..steps {
             let Some(change) =

@@ -33,7 +33,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread;
 
-use dmis_core::{DynamicMis, Engine, MisEngine, MisReader, ShardedMisEngine};
+use dmis_core::{DynamicMis, Engine, MisReader};
 use dmis_graph::stream::{self, ChurnConfig};
 use dmis_graph::{generators, DynGraph, NodeId, ShardLayout, TopologyChange};
 use rand::rngs::StdRng;
@@ -291,7 +291,10 @@ fn every_observed_snapshot_is_a_flush_boundary_state() {
 #[test]
 fn snapshots_publish_after_rank_compaction_unsharded() {
     let (g, ids) = generators::erdos_renyi(64, 0.1, &mut StdRng::seed_from_u64(4));
-    let mut engine = MisEngine::from_graph(g, 17);
+    let mut engine = dmis_core::Engine::builder()
+        .graph(g)
+        .seed(17)
+        .build_unsharded();
     let reader = engine.reader();
     assert_eq!(
         reader.snapshot().rank_compactions(),
@@ -334,7 +337,11 @@ fn snapshots_publish_after_rank_compaction_unsharded() {
 #[test]
 fn snapshots_publish_after_rank_compaction_sharded() {
     let (g, ids) = generators::erdos_renyi(64, 0.1, &mut StdRng::seed_from_u64(6));
-    let mut engine = ShardedMisEngine::from_graph(g, ShardLayout::striped(3), 23);
+    let mut engine = dmis_core::Engine::builder()
+        .graph(g)
+        .sharding(ShardLayout::striped(3))
+        .seed(23)
+        .build_sharded();
     let reader = engine.reader();
     for &v in &ids[..56] {
         engine.remove_node(v).expect("live node");
@@ -356,7 +363,10 @@ fn snapshots_publish_after_rank_compaction_sharded() {
 #[test]
 fn cloned_engines_do_not_publish_into_the_original_channel() {
     let (g, ids) = generators::cycle(12);
-    let mut engine = MisEngine::from_graph(g, 3);
+    let mut engine = dmis_core::Engine::builder()
+        .graph(g)
+        .seed(3)
+        .build_unsharded();
     let reader = engine.reader();
     engine.remove_edge(ids[0], ids[1]).expect("valid");
     assert_eq!(reader.epoch(), 1);

@@ -72,6 +72,29 @@ fn sliding_window_passes_ingest_coalescing() {
     }
 }
 
+#[test]
+fn fresh_pair_stream_passes_ingest_coalescing() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(30 + seed);
+        let (g, ids) = generators::gnm(120, 90, &mut rng);
+        let raw = stream::fresh_pair_stream(&g, &ids, 160, &mut rng);
+        assert_eq!(raw.len(), 160);
+        ingest_matches_sequential(&g, &raw, 80 + seed);
+    }
+}
+
+#[test]
+fn barrier_churn_passes_ingest_coalescing() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(40 + seed);
+        let (g, _) = generators::gnm(120, 150, &mut rng);
+        let pool = stream::random_pair_pool(&g, 24, &mut rng);
+        let raw = stream::barrier_churn(&g, &pool, 4, 6, 160, &mut rng);
+        assert_eq!(raw.len(), 160);
+        ingest_matches_sequential(&g, &raw, 90 + seed);
+    }
+}
+
 /// The snapshot read path under session coalescing: for the
 /// sliding-window and community-churn families at watermarks
 /// W ∈ {1, 4}, every auto-flush publishes exactly one epoch, the

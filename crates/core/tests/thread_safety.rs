@@ -36,8 +36,12 @@ const _: () = assert_send::<Box<dyn DynamicMis + Send>>();
 #[test]
 fn engines_cross_thread_boundaries() {
     let (g, ids) = dmis_graph::generators::cycle(8);
-    let mut engine =
-        ParallelShardedMisEngine::from_graph(g, dmis_graph::ShardLayout::striped(2), 2, 1);
+    let mut engine = dmis_core::Engine::builder()
+        .graph(g)
+        .sharding(dmis_graph::ShardLayout::striped(2))
+        .threads(2)
+        .seed(1)
+        .build_parallel();
     let mis = std::thread::spawn(move || {
         engine.remove_edge(ids[0], ids[1]).expect("valid edge");
         engine.mis()

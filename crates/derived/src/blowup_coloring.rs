@@ -47,7 +47,10 @@ impl BlowupColoring {
     #[must_use]
     pub fn new(graph: DynGraph, palette: usize, seed: u64) -> Self {
         let blowup = CliqueBlowup::new(&graph, palette);
-        let engine = MisEngine::from_graph(blowup.blown_graph().clone(), seed);
+        let engine = dmis_core::Engine::builder()
+            .graph(blowup.blown_graph().clone())
+            .seed(seed)
+            .build_unsharded();
         BlowupColoring {
             base: graph,
             blowup,

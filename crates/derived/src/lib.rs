@@ -21,6 +21,7 @@
 //! - [`verify`] — checkers for maximality and properness.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod blowup_coloring;

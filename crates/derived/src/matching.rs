@@ -39,7 +39,10 @@ impl DynamicMatching {
     #[must_use]
     pub fn new(graph: DynGraph, seed: u64) -> Self {
         let mirror = LineGraphMirror::new(&graph);
-        let engine = MisEngine::from_graph(mirror.line_graph().clone(), seed);
+        let engine = dmis_core::Engine::builder()
+            .graph(mirror.line_graph().clone())
+            .seed(seed)
+            .build_unsharded();
         DynamicMatching {
             base: graph,
             mirror,

@@ -506,6 +506,136 @@ pub fn sliding_window_stream<R: Rng + ?Sized>(
     out
 }
 
+/// **Fresh-pair stream**: `len` edge changes over `ids` where no edge key
+/// is ever revisited — the adversarial *anti-coalescing* workload. A
+/// coalescing ingestion queue lives off repeated keys (cancelling
+/// opposing toggles, collapsing same-direction rewrites); here every
+/// pushed change survives its window, so any watermark deeper than 1 buys
+/// queue delay and nothing else. This is the stream an adaptive flush
+/// policy must *shallow* on.
+///
+/// Each step inserts a uniformly drawn absent, never-touched pair; when
+/// the rejection sampler stops finding one (pair space around `ids`
+/// saturating), the step instead deletes a present, never-touched edge —
+/// still a fresh key. The stream ends short only when neither move
+/// exists. Valid oblivious adversary: choices depend only on `ids`, the
+/// rng and the evolving topology.
+///
+/// # Panics
+///
+/// Panics if `ids` has fewer than two nodes.
+pub fn fresh_pair_stream<R: Rng + ?Sized>(
+    g: &DynGraph,
+    ids: &[NodeId],
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    assert!(ids.len() >= 2, "fresh pairs need at least two nodes");
+    let mut present: std::collections::BTreeSet<EdgeKey> = g.edges().collect();
+    let mut touched: std::collections::BTreeSet<EdgeKey> = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let mut fresh = None;
+        for _ in 0..64 {
+            let u = ids[rng.random_range(0..ids.len())];
+            let mut v = u;
+            while v == u {
+                v = ids[rng.random_range(0..ids.len())];
+            }
+            let key = EdgeKey::new(u, v);
+            if !present.contains(&key) && !touched.contains(&key) {
+                fresh = Some((u, v, key));
+                break;
+            }
+        }
+        match fresh {
+            Some((u, v, key)) => {
+                present.insert(key);
+                touched.insert(key);
+                out.push(TopologyChange::InsertEdge(u, v));
+            }
+            None => {
+                // Saturated: spend a present, never-touched edge instead.
+                let Some(&key) = present.iter().find(|k| !touched.contains(*k)) else {
+                    break;
+                };
+                present.remove(&key);
+                touched.insert(key);
+                let (u, v) = key.endpoints();
+                out.push(TopologyChange::DeleteEdge(u, v));
+            }
+        }
+    }
+    out
+}
+
+/// **Barrier churn**: edge toggles over the bounded `pool` (the
+/// [`flapping_stream`] shape) interleaved with node changes at rate
+/// `barrier_every` — every `barrier_every`-th change inserts a fresh node
+/// (wired to up to `max_new_degree` random live nodes) or deletes a node
+/// a strictly earlier step of this stream inserted. Node changes are
+/// *barriers* to a coalescing ingestion queue: the window drains around
+/// them, so coalescing can only happen between consecutive barriers. At
+/// small `barrier_every` the stream starves deep windows exactly like
+/// [`fresh_pair_stream`], while still exercising the node-change paths.
+///
+/// Only stream-inserted nodes are ever deleted — nodes of the starting
+/// graph `g` (and the `pool` endpoints) survive, so the pool pairs stay
+/// valid throughout. Changes are validated against a shadow copy of the
+/// evolving topology. Valid oblivious adversary: choices depend only on
+/// `g`, `pool`, the rng and the evolving topology.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty or `barrier_every == 0`.
+pub fn barrier_churn<R: Rng + ?Sized>(
+    g: &DynGraph,
+    pool: &[(NodeId, NodeId)],
+    barrier_every: usize,
+    max_new_degree: usize,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TopologyChange> {
+    assert!(!pool.is_empty(), "barrier churn needs a pair pool");
+    assert!(barrier_every > 0, "the barrier rate must be positive");
+    let mut shadow = g.clone();
+    let mut spawned: Vec<NodeId> = Vec::new();
+    let mut out = Vec::with_capacity(len);
+    for step in 0..len {
+        let change = if (step + 1) % barrier_every == 0 {
+            // Barrier step: node insert, or delete one of our own spawns.
+            if !spawned.is_empty() && rng.random_bool(0.5) {
+                let v = spawned.swap_remove(rng.random_range(0..spawned.len()));
+                TopologyChange::DeleteNode(v)
+            } else {
+                let live: Vec<NodeId> = shadow.nodes().collect();
+                let deg = rng.random_range(0..=max_new_degree.min(live.len()));
+                let mut pick = live;
+                let mut edges = Vec::with_capacity(deg);
+                for _ in 0..deg {
+                    let i = pick.swap_remove(rng.random_range(0..pick.len()));
+                    edges.push(i);
+                }
+                let id = shadow.peek_next_id();
+                spawned.push(id);
+                TopologyChange::InsertNode { id, edges }
+            }
+        } else {
+            let (u, v) = pool[rng.random_range(0..pool.len() as u64) as usize];
+            if shadow.has_edge(u, v) {
+                TopologyChange::DeleteEdge(u, v)
+            } else {
+                TopologyChange::InsertEdge(u, v)
+            }
+        };
+        change
+            .apply(&mut shadow)
+            .expect("barrier churn only emits changes valid on the shadow topology");
+        out.push(change);
+    }
+    out
+}
+
 /// Returns the identifier the next inserted node will get.
 #[must_use]
 pub fn next_id_of(g: &DynGraph) -> u64 {
@@ -728,6 +858,69 @@ mod tests {
             }
             assert!(live <= window, "window overflow: {live} > {window}");
         }
+    }
+
+    #[test]
+    fn fresh_pair_stream_never_revisits_a_key() {
+        let (g, ids) = generators::gnm(40, 30, &mut StdRng::seed_from_u64(21));
+        let stream = fresh_pair_stream(&g, &ids, 300, &mut StdRng::seed_from_u64(22));
+        assert_eq!(stream.len(), 300);
+        let mut seen: std::collections::BTreeSet<EdgeKey> = std::collections::BTreeSet::new();
+        for c in &stream {
+            let key = match c {
+                TopologyChange::InsertEdge(u, v) | TopologyChange::DeleteEdge(u, v) => {
+                    EdgeKey::new(*u, *v)
+                }
+                other => panic!("fresh pairs emit only edge changes, got {other:?}"),
+            };
+            assert!(seen.insert(key), "edge key revisited: {key:?}");
+        }
+        replay(&g, &stream);
+        let same_seed = fresh_pair_stream(&g, &ids, 300, &mut StdRng::seed_from_u64(22));
+        assert_eq!(stream, same_seed);
+    }
+
+    #[test]
+    fn fresh_pair_stream_spends_present_edges_when_saturated() {
+        // K5 on 5 nodes has only 10 pair keys: the stream must end at 10,
+        // spending initial edges as deletes once the absent pairs run out.
+        let (g, ids) = generators::complete(5);
+        let stream = fresh_pair_stream(&g, &ids, 50, &mut StdRng::seed_from_u64(23));
+        assert_eq!(stream.len(), 10, "pair space bounds the stream length");
+        assert!(stream
+            .iter()
+            .all(|c| matches!(c, TopologyChange::DeleteEdge(..))));
+        replay(&g, &stream);
+    }
+
+    #[test]
+    fn barrier_churn_is_replayable_and_barrier_dense() {
+        let (g, ids) = generators::gnm(30, 25, &mut StdRng::seed_from_u64(24));
+        let pool = random_pair_pool(&g, 12, &mut StdRng::seed_from_u64(25));
+        let stream = barrier_churn(&g, &pool, 3, 3, 300, &mut StdRng::seed_from_u64(26));
+        assert_eq!(stream.len(), 300);
+        let barriers = stream
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    TopologyChange::InsertNode { .. } | TopologyChange::DeleteNode(..)
+                )
+            })
+            .count();
+        assert_eq!(barriers, 100, "every third change is a node barrier");
+        let initial: std::collections::BTreeSet<NodeId> = ids.iter().copied().collect();
+        for c in &stream {
+            if let TopologyChange::DeleteNode(v) = c {
+                assert!(
+                    !initial.contains(v),
+                    "only stream-inserted nodes may be deleted"
+                );
+            }
+        }
+        replay(&g, &stream);
+        let same_seed = barrier_churn(&g, &pool, 3, 3, 300, &mut StdRng::seed_from_u64(26));
+        assert_eq!(stream, same_seed);
     }
 
     #[test]

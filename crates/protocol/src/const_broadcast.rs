@@ -569,7 +569,11 @@ mod tests {
         let pm = PriorityMap::from_order(&order);
         let mut net =
             SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g.clone(), pm.clone(), 1);
-        let engine = dmis_core::MisEngine::from_parts(g, pm, 9);
+        let engine = dmis_core::Engine::builder()
+            .graph(g)
+            .priorities(pm)
+            .seed(9)
+            .build_unsharded();
         // Same starting point.
         assert_eq!(net.mis(), engine.mis());
         // Drive one edge change through both.

@@ -46,7 +46,11 @@ impl DeterministicGreedy {
             priorities.insert(v, identity_priority(v));
         }
         DeterministicGreedy {
-            engine: MisEngine::from_parts(graph, priorities, 0),
+            engine: dmis_core::Engine::builder()
+                .graph(graph)
+                .priorities(priorities)
+                .seed(0)
+                .build_unsharded(),
         }
     }
 

@@ -23,6 +23,7 @@
 //!   on the complete-bipartite cascade (experiment E4).
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod const_broadcast;

@@ -3,8 +3,9 @@
 //! [`IngestRun`] wires `dmis-core`'s change-ingestion session
 //! ([`dmis_core::IngestSession`]) into the simulator's metering
 //! vocabulary: the adversary's change stream is pushed into a coalescing
-//! queue and settled one merged batch per **flush**, so the run meters
-//! the ROADMAP's async-batching trade-off end to end —
+//! queue and settled one merged batch per **flush** — the window
+//! boundaries chosen by any [`dmis_core::FlushPolicy`] — so the run
+//! meters the ROADMAP's async-batching trade-off end to end —
 //!
 //! - **rounds** — settle epochs of the flushed recoveries (parallel-time
 //!   depth, amortized over the whole window);
@@ -12,34 +13,42 @@
 //! - **bits** — handoff payload, as in [`crate::ShardedRun`];
 //! - **coalesced changes** — stream entries the queue eliminated before
 //!   any settle work happened (opposing-pair cancels, duplicate merges);
-//! - **queue delay** — how many changes sat in the queue per flush (the
-//!   latency price of batching: a queued change is invisible in the
-//!   output until its flush).
+//! - **queue delay** — the latency price of batching, in both
+//!   clock-free pushes-waited units ([`IngestRun::mean_queue_delay`])
+//!   and session-clock wall time ([`IngestRun::delay_p50`] /
+//!   [`IngestRun::delay_p99`] — the SLO columns the bench gate bounds).
 //!
 //! The harness is generic over the engine: it drives a boxed
 //! [`DynamicMis`], so the same run works unsharded, sharded, or
 //! thread-parallel — experiment E12's queue-depth table sweeps the
 //! watermark against a K-sharded engine built through
-//! [`dmis_core::Engine::builder`].
+//! [`crate::RunConfig`].
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
-use dmis_core::{ChangeCoalescer, DynamicMis, Engine};
-use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
+use dmis_core::{DynamicMis, IngestReceipt, IngestSession};
+use dmis_graph::{GraphError, NodeId, TopologyChange};
 
 use crate::metrics::{ChangeOutcome, Metrics};
 
 /// A metered ingestion deployment: a coalescing change queue in front of
-/// any [`DynamicMis`] engine, auto-flushing at a configurable watermark.
+/// any [`DynamicMis`] engine, auto-flushed by a
+/// [`dmis_core::FlushPolicy`]. Boot one through
+/// [`crate::RunConfig::ingest`].
 ///
 /// # Example
 ///
 /// ```
 /// use dmis_graph::{generators, ShardLayout, TopologyChange};
-/// use dmis_sim::IngestRun;
+/// use dmis_sim::RunConfig;
 ///
 /// let (g, ids) = generators::cycle(10);
-/// let mut run = IngestRun::bootstrap(g, ShardLayout::striped(4), 1, 2, 3);
+/// let mut run = RunConfig::new(g)
+///     .layout(ShardLayout::striped(4))
+///     .watermark(2)
+///     .seed(3)
+///     .ingest();
 /// // First push queues; the second reaches the watermark and flushes.
 /// assert!(run.push(&TopologyChange::DeleteEdge(ids[0], ids[1]))?.is_none());
 /// let outcome = run.push(&TopologyChange::DeleteEdge(ids[5], ids[6]))?;
@@ -49,9 +58,7 @@ use crate::metrics::{ChangeOutcome, Metrics};
 /// ```
 #[derive(Debug)]
 pub struct IngestRun {
-    engine: Box<dyn DynamicMis + Send>,
-    queue: ChangeCoalescer,
-    watermark: usize,
+    session: IngestSession<Box<dyn DynamicMis + Send>>,
     lifetime: Metrics,
     flushes: usize,
     pushed_total: usize,
@@ -61,47 +68,27 @@ pub struct IngestRun {
     /// queue after them within the same window): the total queueing
     /// delay, in change-arrivals, batching imposed.
     queue_delay_total: usize,
+    /// Every flushed push's arrival→flush wait on the session clock,
+    /// kept sorted for the percentile SLO columns.
+    clock_delays: Vec<Duration>,
 }
 
 impl IngestRun {
-    /// Boots a K-sharded engine (settle epochs on up to `threads` worker
-    /// threads) behind a queue that auto-flushes after `watermark`
-    /// pushes per window (bounding both buffered memory and queueing
-    /// delay even when coalescing keeps the surviving depth near zero).
-    /// `watermark` is clamped to ≥ 1; 1 degenerates to unbatched
-    /// per-change application.
+    /// Wraps a change-ingestion session. The engine may be any
+    /// [`DynamicMis`] flavor; metrics sections that are
+    /// sharding-specific (broadcasts, rounds) read zero on the unsharded
+    /// engine.
     #[must_use]
-    pub fn bootstrap(
-        graph: DynGraph,
-        layout: ShardLayout,
-        threads: usize,
-        watermark: usize,
-        seed: u64,
-    ) -> Self {
-        let engine = Engine::builder()
-            .graph(graph)
-            .seed(seed)
-            .sharding(layout)
-            .threads(threads)
-            .build();
-        Self::new(engine, watermark)
-    }
-
-    /// Wraps an existing engine. The engine may be any [`DynamicMis`]
-    /// flavor; metrics sections that are sharding-specific (broadcasts,
-    /// rounds) read zero on the unsharded engine.
-    #[must_use]
-    pub fn new(engine: Box<dyn DynamicMis + Send>, watermark: usize) -> Self {
+    pub fn from_session(session: IngestSession<Box<dyn DynamicMis + Send>>) -> Self {
         IngestRun {
-            engine,
-            queue: ChangeCoalescer::new(),
-            watermark: watermark.max(1),
+            session,
             lifetime: Metrics::new(),
             flushes: 0,
             pushed_total: 0,
             coalesced_total: 0,
             applied_total: 0,
             queue_delay_total: 0,
+            clock_delays: Vec::new(),
         }
     }
 
@@ -109,19 +96,20 @@ impl IngestRun {
     /// a flush.
     #[must_use]
     pub fn engine(&self) -> &dyn DynamicMis {
-        &*self.engine
+        &**self.session.engine()
     }
 
-    /// The auto-flush watermark.
+    /// The depth watermark in force, if the flush policy has one (the
+    /// smoother's current choice for an adaptive policy).
     #[must_use]
-    pub fn watermark(&self) -> usize {
-        self.watermark
+    pub fn watermark(&self) -> Option<usize> {
+        self.session.watermark()
     }
 
     /// Current (coalesced) queue depth.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.session.queue_depth()
     }
 
     /// Windows flushed so far.
@@ -161,16 +149,30 @@ impl IngestRun {
         self.queue_delay_total as f64 / (self.applied_total + self.coalesced_total) as f64
     }
 
+    /// Median arrival→flush wait over every flushed push, on the
+    /// session clock (deterministic under a manual clock).
+    #[must_use]
+    pub fn delay_p50(&self) -> Duration {
+        percentile(&self.clock_delays, 50)
+    }
+
+    /// 99th-percentile arrival→flush wait over every flushed push — the
+    /// tail-latency SLO column the bench gate bounds.
+    #[must_use]
+    pub fn delay_p99(&self) -> Duration {
+        percentile(&self.clock_delays, 99)
+    }
+
     /// Size of the current MIS without allocating a set.
     #[must_use]
     pub fn mis_len(&self) -> usize {
-        self.engine.mis_len()
+        self.engine().mis_len()
     }
 
     /// The current MIS.
     #[must_use]
     pub fn mis(&self) -> BTreeSet<NodeId> {
-        self.engine.mis()
+        self.engine().mis()
     }
 
     /// Metrics accumulated over every flushed recovery so far.
@@ -181,13 +183,14 @@ impl IngestRun {
 
     /// Bits per handoff message, as in [`crate::ShardedRun`].
     fn handoff_bits(&self) -> usize {
-        let ids = self.engine.graph().peek_next_id().index().max(1);
+        let ids = self.engine().graph().peek_next_id().index().max(1);
         1 + (64 - ids.leading_zeros() as usize)
     }
 
-    /// Pushes one change into the queue, flushing once the window has
-    /// absorbed `watermark` pushes; returns the flush's outcome when one
-    /// happened.
+    /// Pushes one change into the queue; the session flushes when its
+    /// policy trips (depth watermark reached, or the oldest queued
+    /// change hit the deadline), and the flush's outcome is returned
+    /// when one happened.
     ///
     /// # Errors
     ///
@@ -195,11 +198,23 @@ impl IngestRun {
     /// consumed as by [`Self::flush`].
     pub fn push(&mut self, change: &TopologyChange) -> Result<Option<ChangeOutcome>, GraphError> {
         self.pushed_total += 1;
-        self.queue.push(change.clone());
-        if self.queue.pushed() >= self.watermark {
-            return self.flush().map(Some);
+        match self.session.push(change.clone())? {
+            Some(receipt) => Ok(Some(self.meter(&receipt))),
+            None => Ok(None),
         }
-        Ok(None)
+    }
+
+    /// Re-evaluates the flush policy against the session clock without
+    /// pushing — how deadline-bearing policies fire between pushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] exactly as [`Self::flush`] does.
+    pub fn poll(&mut self) -> Result<Option<ChangeOutcome>, GraphError> {
+        match self.session.poll()? {
+            Some(receipt) => Ok(Some(self.meter(&receipt))),
+            None => Ok(None),
+        }
     }
 
     /// Flushes the queued window as one merged recovery and meters it.
@@ -213,37 +228,61 @@ impl IngestRun {
     /// meter it), so `pushed()` can exceed
     /// `applied() + coalesced_changes() + queue_depth()` after an error.
     pub fn flush(&mut self) -> Result<ChangeOutcome, GraphError> {
-        let (batch, window) = self.queue.drain();
-        let receipt = self.engine.apply_batch(&batch)?;
+        let receipt = self.session.flush()?;
+        Ok(self.meter(&receipt))
+    }
+
+    /// Folds one flush's [`IngestReceipt`] into the lifetime accounting.
+    fn meter(&mut self, receipt: &IngestReceipt) -> ChangeOutcome {
+        let window = receipt.pushed();
         self.flushes += 1;
-        self.coalesced_total += window - batch.len();
+        self.coalesced_total += receipt.coalesced_changes();
         self.applied_total += receipt.applied();
         // Each of the window's changes waited for the ones arriving after
         // it: total delay of a w-change window is w(w−1)/2 arrivals.
         self.queue_delay_total += window * window.saturating_sub(1) / 2;
-        let handoffs = receipt.cross_shard_handoffs();
+        for &w in receipt.queue_delay().waits() {
+            let at = self.clock_delays.partition_point(|&d| d <= w);
+            self.clock_delays.insert(at, w);
+        }
+        let handoffs = receipt.batch().cross_shard_handoffs();
         let metrics = Metrics {
-            rounds: receipt.settle_epochs(),
+            rounds: receipt.batch().settle_epochs(),
             broadcasts: handoffs,
             bits: handoffs * self.handoff_bits(),
         };
         self.lifetime += metrics;
-        Ok(ChangeOutcome {
+        ChangeOutcome {
             metrics,
-            adjusted: receipt.adjusted_nodes(),
-        })
+            adjusted: receipt.batch().adjusted_nodes(),
+        }
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; zero when
+/// empty.
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmis_graph::generators;
+    use crate::RunConfig;
+    use dmis_core::FlushPolicy;
+    use dmis_graph::{generators, ShardLayout};
 
     #[test]
     fn watermark_one_matches_per_change_sharded_run() {
         let (g, ids) = generators::cycle(12);
-        let mut run = IngestRun::bootstrap(g.clone(), ShardLayout::striped(4), 1, 1, 7);
+        let mut run = RunConfig::new(g.clone())
+            .layout(ShardLayout::striped(4))
+            .watermark(1)
+            .seed(7)
+            .ingest();
         let mut reference = crate::ShardedRun::bootstrap(g, ShardLayout::striped(4), 7);
         for w in ids.windows(2).take(6) {
             let change = TopologyChange::DeleteEdge(w[0], w[1]);
@@ -261,7 +300,11 @@ mod tests {
     #[test]
     fn opposing_pairs_cancel_inside_the_window() {
         let (g, ids) = generators::cycle(10);
-        let mut run = IngestRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 5);
+        let mut run = RunConfig::new(g)
+            .layout(ShardLayout::striped(2))
+            .watermark(4)
+            .seed(5)
+            .ingest();
         let before = run.mis_len();
         assert!(run
             .push(&TopologyChange::DeleteEdge(ids[0], ids[1]))
@@ -283,7 +326,11 @@ mod tests {
     fn deeper_queues_trade_latency_for_fewer_flushes() {
         let run_with = |watermark: usize| {
             let (g, ids) = generators::cycle(16);
-            let mut run = IngestRun::bootstrap(g, ShardLayout::striped(4), 1, watermark, 9);
+            let mut run = RunConfig::new(g)
+                .layout(ShardLayout::striped(4))
+                .watermark(watermark)
+                .seed(9)
+                .ingest();
             // Toggle a rotating edge: off, on, off, on, … so deep windows
             // cancel churn outright.
             for i in 0..24usize {
@@ -305,5 +352,51 @@ mod tests {
         assert!(f8 < f1, "deeper queue flushes less often ({f8} !< {f1})");
         assert!(c8 > c1, "deeper queue cancels more churn ({c8} !> {c1})");
         assert!(d8 > d1, "latency is the price ({d8} !> {d1})");
+    }
+
+    #[test]
+    fn manual_clock_makes_delay_percentiles_exact() {
+        use dmis_core::ManualClock;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let (g, ids) = generators::cycle(8);
+        let clock = ManualClock::new();
+        let mut run = RunConfig::new(g)
+            .watermark(4)
+            .clock(Arc::new(clock.clone()))
+            .seed(2)
+            .ingest();
+        // One push per tick: at the watermark-4 flush the four arrivals
+        // have waited 3, 2, 1, 0 ticks. Nearest-rank over 4 samples puts
+        // p99 at index (4−1)·99/100 = 2 and p50 at index 1.
+        for i in 0..4usize {
+            let (u, v) = (ids[i], ids[i + 1]);
+            run.push(&TopologyChange::DeleteEdge(u, v)).unwrap();
+            clock.advance(Duration::from_millis(1));
+        }
+        assert_eq!(run.flushes(), 1);
+        assert_eq!(run.delay_p99(), Duration::from_millis(2));
+        assert_eq!(run.delay_p50(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn adaptive_policy_reports_its_moving_watermark() {
+        let (g, ids) = generators::cycle(16);
+        let mut run = RunConfig::new(g)
+            .policy(FlushPolicy::adaptive())
+            .seed(4)
+            .ingest();
+        let before = run.watermark().expect("adaptive policy has a depth");
+        // Anti-coalescing trickle: fresh edge deletions, no key reuse.
+        for w in ids.windows(2) {
+            run.push(&TopologyChange::DeleteEdge(w[0], w[1])).unwrap();
+        }
+        run.flush().unwrap();
+        let after = run.watermark().expect("adaptive policy has a depth");
+        assert!(
+            after < before,
+            "uncoalescible stream shallows the smoother ({after} !< {before})"
+        );
     }
 }

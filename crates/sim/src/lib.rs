@@ -27,7 +27,11 @@
 //! - a **serving harness** ([`ServeRun`]) replaying an ingest stream on
 //!   a writer thread while R concurrent [`dmis_core::MisReader`]
 //!   threads sample the epoch-versioned snapshot channel — metering
-//!   read throughput, snapshot staleness, and flush (update) latency.
+//!   read throughput, snapshot staleness, flush (update) latency, and
+//!   the queue-delay SLO percentiles;
+//! - a shared **deployment builder** ([`RunConfig`]) both harnesses
+//!   boot from, so a sweep varies one axis (flush policy, shard count,
+//!   readers) with every other held fixed.
 //!
 //! This crate is the *substitution* for the paper's (purely abstract)
 //! distributed environment — see the repository-level `DESIGN.md`
@@ -37,9 +41,11 @@
 //! `dmis-protocol`.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod async_net;
+mod config;
 mod event;
 mod ingest;
 mod metrics;
@@ -51,6 +57,7 @@ mod sync;
 pub use async_net::{
     AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays,
 };
+pub use config::RunConfig;
 pub use event::{LocalEvent, NeighborInfo};
 pub use ingest::IngestRun;
 pub use metrics::{ChangeOutcome, Metrics};

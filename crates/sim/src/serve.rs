@@ -3,9 +3,9 @@
 //! [`ServeRun`] wires `dmis-core`'s epoch-versioned read path
 //! ([`dmis_core::MisReader`]) into a deployment-shaped experiment: one
 //! writer thread replays an ingest stream through a coalescing queue
-//! (flushing one merged batch per watermark window, exactly as
-//! [`crate::IngestRun`] does) while R reader threads hammer the
-//! published snapshots. The run meters both sides of the concurrent
+//! (flushing one merged batch per [`dmis_core::FlushPolicy`] window,
+//! exactly as [`crate::IngestRun`] does) while R reader threads hammer
+//! the published snapshots. The run meters both sides of the concurrent
 //! read path —
 //!
 //! - **reads** — snapshot acquisitions plus membership probes the
@@ -19,19 +19,21 @@
 //!   serving report doubles as a cheap production-shaped invariant
 //!   check (the consistency *proof* lives in
 //!   `crates/core/tests/snapshot_consistency.rs`);
-//! - **update latency** — p50/p99 wall-clock time of the writer's
+//! - **update latency** — p50/p99 session-clock time of the writer's
 //!   flush (merged-batch apply + publication), the cost the read path
-//!   adds to the write path being bounded by the bench gate.
+//!   adds to the write path being bounded by the bench gate;
+//! - **queue delay** — p50/p99 arrival→flush wait over the stream's
+//!   pushes, the ingestion-latency SLO column.
 //!
 //! Epoch arithmetic is exact: the engine publishes once per settle and
 //! a flush is one settle, so after F flushes the writer is at epoch F
 //! and every reader's final sample observes an epoch in `0..=F`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use dmis_core::{ChangeCoalescer, DynamicMis, Engine, MisReader};
-use dmis_graph::{DynGraph, GraphError, NodeId, ShardLayout, TopologyChange};
+use dmis_core::{DynamicMis, IngestReceipt, IngestSession, MisReader};
+use dmis_graph::{GraphError, NodeId, TopologyChange};
 
 /// What one reader thread tallied over its sampling loop.
 struct ReaderTally {
@@ -42,31 +44,39 @@ struct ReaderTally {
     regressions: u64,
 }
 
-/// A metered serving deployment: a watermark-flushed writer in front of
+/// A metered serving deployment: a policy-flushed writer in front of
 /// any [`DynamicMis`] engine, with R concurrent [`MisReader`] threads.
+/// Boot one through [`crate::RunConfig::serve`].
 ///
 /// # Example
 ///
 /// ```
 /// use dmis_graph::{generators, ShardLayout, TopologyChange};
-/// use dmis_sim::ServeRun;
+/// use dmis_sim::RunConfig;
 ///
 /// let (g, ids) = generators::cycle(16);
 /// let stream: Vec<_> = ids
 ///     .windows(2)
 ///     .map(|w| TopologyChange::DeleteEdge(w[0], w[1]))
 ///     .collect();
-/// let mut run = ServeRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 7);
-/// let report = run.run(&stream, 2, 8)?;
+/// let mut run = RunConfig::new(g)
+///     .layout(ShardLayout::striped(2))
+///     .watermark(4)
+///     .seed(7)
+///     .readers(2)
+///     .probes(8)
+///     .serve();
+/// let report = run.run(&stream)?;
 /// assert_eq!(report.epoch_regressions, 0);
 /// assert_eq!(report.final_epoch, report.flushes as u64);
 /// # Ok::<(), dmis_graph::GraphError>(())
 /// ```
 #[derive(Debug)]
 pub struct ServeRun {
-    engine: Box<dyn DynamicMis + Send>,
+    session: IngestSession<Box<dyn DynamicMis + Send>>,
     reader: MisReader,
-    watermark: usize,
+    readers: usize,
+    probes: usize,
     probe_space: u64,
 }
 
@@ -74,8 +84,8 @@ pub struct ServeRun {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Merged-batch windows the writer flushed (including the final
-    /// partial window, when the stream length is not a watermark
-    /// multiple).
+    /// partial window, when the stream does not end on a policy
+    /// boundary).
     pub flushes: usize,
     /// Stream changes the flushed windows applied (post-coalescing).
     pub applied: usize,
@@ -93,36 +103,33 @@ pub struct ServeReport {
     /// Samples whose epoch was older than the same reader's previous
     /// sample. Always 0 unless the snapshot channel is broken.
     pub epoch_regressions: u64,
-    /// Median wall-clock nanoseconds per writer flush.
+    /// Median session-clock nanoseconds per writer flush.
     pub update_p50_ns: u64,
-    /// 99th-percentile wall-clock nanoseconds per writer flush.
+    /// 99th-percentile session-clock nanoseconds per writer flush.
     pub update_p99_ns: u64,
+    /// Median arrival→flush wait over the stream's pushes — the
+    /// ingestion-latency SLO column.
+    pub queue_delay_p50: Duration,
+    /// 99th-percentile arrival→flush wait over the stream's pushes.
+    pub queue_delay_p99: Duration,
 }
 
 impl ServeRun {
-    /// Boots a K-sharded engine (settle epochs on up to `threads` worker
-    /// threads) with its snapshot channel attached, behind a queue that
-    /// flushes after `watermark` pushes per window. `watermark` is
-    /// clamped to ≥ 1.
+    /// Wraps a change-ingestion session with its serving handle and the
+    /// reader axes ([`crate::RunConfig::serve`] assembles these).
     #[must_use]
-    pub fn bootstrap(
-        graph: DynGraph,
-        layout: ShardLayout,
-        threads: usize,
-        watermark: usize,
-        seed: u64,
+    pub fn from_parts(
+        session: IngestSession<Box<dyn DynamicMis + Send>>,
+        reader: MisReader,
+        readers: usize,
+        probes: usize,
     ) -> Self {
-        let (engine, reader) = Engine::builder()
-            .graph(graph)
-            .seed(seed)
-            .sharding(layout)
-            .threads(threads)
-            .build_with_reader();
-        let probe_space = engine.graph().peek_next_id().index().max(1);
+        let probe_space = session.engine().graph().peek_next_id().index().max(1);
         ServeRun {
-            engine,
+            session,
             reader,
-            watermark: watermark.max(1),
+            readers,
+            probes,
             probe_space,
         }
     }
@@ -138,13 +145,13 @@ impl ServeRun {
     /// The underlying engine.
     #[must_use]
     pub fn engine(&self) -> &dyn DynamicMis {
-        &*self.engine
+        &**self.session.engine()
     }
 
-    /// Replays `stream` through the watermark queue on the calling
-    /// thread while `readers` concurrent threads sample the snapshot
-    /// channel, each sample acquiring one snapshot and making `probes`
-    /// membership probes against it.
+    /// Replays `stream` through the policy-flushed queue on the calling
+    /// thread while the configured reader threads sample the snapshot
+    /// channel, each sample acquiring one snapshot and making the
+    /// configured number of membership probes against it.
     ///
     /// Readers run until the writer finishes, and always complete at
     /// least one sample, so the report is meaningful even for a stream
@@ -154,51 +161,46 @@ impl ServeRun {
     ///
     /// Propagates the first [`GraphError`] from a flush; reader threads
     /// are joined before the error returns.
-    pub fn run(
-        &mut self,
-        stream: &[TopologyChange],
-        readers: usize,
-        probes: usize,
-    ) -> Result<ServeReport, GraphError> {
+    pub fn run(&mut self, stream: &[TopologyChange]) -> Result<ServeReport, GraphError> {
         let done = AtomicBool::new(false);
         let started = Instant::now();
         let mut flush_ns: Vec<u64> = Vec::new();
+        let mut delays: Vec<Duration> = Vec::new();
         let mut applied = 0usize;
         let mut flushes = 0usize;
 
         let (tallies, write_result) = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..readers)
+            let handles: Vec<_> = (0..self.readers)
                 .map(|r| {
                     let reader = self.reader.clone();
                     let done = &done;
+                    let probes = self.probes;
                     let probe_space = self.probe_space;
                     s.spawn(move || sample_loop(&reader, done, probes, probe_space, r as u64))
                 })
                 .collect();
 
-            let mut queue = ChangeCoalescer::new();
+            let mut meter = |receipt: &IngestReceipt| {
+                flushes += 1;
+                applied += receipt.applied();
+                let ns = receipt.queue_delay().settle().as_nanos();
+                flush_ns.push(ns.min(u128::from(u64::MAX)) as u64);
+                delays.extend_from_slice(receipt.queue_delay().waits());
+            };
             let mut result = Ok(());
             for change in stream {
-                queue.push(change.clone());
-                if queue.pushed() >= self.watermark {
-                    match self.flush(&mut queue, &mut flush_ns) {
-                        Ok(n) => {
-                            applied += n;
-                            flushes += 1;
-                        }
-                        Err(e) => {
-                            result = Err(e);
-                            break;
-                        }
+                match self.session.push(change.clone()) {
+                    Ok(Some(receipt)) => meter(&receipt),
+                    Ok(None) => {}
+                    Err(e) => {
+                        result = Err(e);
+                        break;
                     }
                 }
             }
-            if result.is_ok() && !queue.is_empty() {
-                match self.flush(&mut queue, &mut flush_ns) {
-                    Ok(n) => {
-                        applied += n;
-                        flushes += 1;
-                    }
+            if result.is_ok() && self.session.queue_depth() > 0 {
+                match self.session.flush() {
+                    Ok(receipt) => meter(&receipt),
                     Err(e) => result = Err(e),
                 }
             }
@@ -216,6 +218,7 @@ impl ServeRun {
         let samples: u64 = tallies.iter().map(|t| t.samples).sum();
         let staleness_sum: u64 = tallies.iter().map(|t| t.staleness_sum).sum();
         flush_ns.sort_unstable();
+        delays.sort_unstable();
         Ok(ServeReport {
             flushes,
             applied,
@@ -231,21 +234,9 @@ impl ServeRun {
             epoch_regressions: tallies.iter().map(|t| t.regressions).sum(),
             update_p50_ns: percentile(&flush_ns, 50),
             update_p99_ns: percentile(&flush_ns, 99),
+            queue_delay_p50: percentile_d(&delays, 50),
+            queue_delay_p99: percentile_d(&delays, 99),
         })
-    }
-
-    /// Drains the queue, applies the merged batch, and records the
-    /// flush's wall-clock cost; returns how many changes it applied.
-    fn flush(
-        &mut self,
-        queue: &mut ChangeCoalescer,
-        flush_ns: &mut Vec<u64>,
-    ) -> Result<usize, GraphError> {
-        let (batch, _window) = queue.drain();
-        let t = Instant::now();
-        let receipt = self.engine.apply_batch(&batch)?;
-        flush_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-        Ok(receipt.applied())
     }
 }
 
@@ -307,10 +298,19 @@ fn percentile(sorted: &[u64], p: usize) -> u64 {
     sorted[(sorted.len() - 1) * p / 100]
 }
 
+/// Nearest-rank percentile over durations; zero when empty.
+fn percentile_d(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmis_graph::generators;
+    use crate::RunConfig;
+    use dmis_graph::{generators, ShardLayout};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -320,14 +320,21 @@ mod tests {
         let (g, _ids) = generators::erdos_renyi(64, 0.1, &mut rng);
         let pool = dmis_graph::stream::random_pair_pool(&g, 48, &mut rng);
         let stream = dmis_graph::stream::flapping_stream(&g, &pool, 200, false, &mut rng);
-        let mut run = ServeRun::bootstrap(g, ShardLayout::striped(2), 1, 4, 3);
-        let report = run.run(&stream, 2, 16).unwrap();
+        let mut run = RunConfig::new(g)
+            .layout(ShardLayout::striped(2))
+            .watermark(4)
+            .seed(3)
+            .readers(2)
+            .probes(16)
+            .serve();
+        let report = run.run(&stream).unwrap();
         assert_eq!(report.flushes, 50);
         assert_eq!(report.final_epoch, 50);
         assert_eq!(report.epoch_regressions, 0);
         assert!(report.reads_total >= 2 * 17, "both readers sampled");
         assert!(report.reads_per_sec > 0.0);
         assert!(report.update_p50_ns <= report.update_p99_ns);
+        assert!(report.queue_delay_p50 <= report.queue_delay_p99);
     }
 
     #[test]
@@ -338,8 +345,8 @@ mod tests {
             .step_by(2)
             .map(|w| TopologyChange::DeleteEdge(w[0], w[1]))
             .collect();
-        let mut run = ServeRun::bootstrap(g, ShardLayout::single(), 1, 3, 9);
-        let report = run.run(&stream, 1, 4).unwrap();
+        let mut run = RunConfig::new(g).watermark(3).seed(9).probes(4).serve();
+        let report = run.run(&stream).unwrap();
         assert_eq!(report.applied, stream.len());
         let snap = run.reader().snapshot();
         assert_eq!(snap.epoch(), report.final_epoch);
@@ -352,8 +359,13 @@ mod tests {
     #[test]
     fn empty_stream_reports_the_attach_epoch() {
         let (g, _) = generators::path(8);
-        let mut run = ServeRun::bootstrap(g, ShardLayout::single(), 1, 2, 1);
-        let report = run.run(&[], 2, 4).unwrap();
+        let mut run = RunConfig::new(g)
+            .watermark(2)
+            .seed(1)
+            .readers(2)
+            .probes(4)
+            .serve();
+        let report = run.run(&[]).unwrap();
         assert_eq!(report.flushes, 0);
         assert_eq!(report.final_epoch, 0);
         assert_eq!(report.epoch_regressions, 0);

@@ -73,7 +73,12 @@ impl ShardedRun {
         seed: u64,
     ) -> Self {
         ShardedRun {
-            engine: ParallelShardedMisEngine::from_graph(graph, layout, threads, seed),
+            engine: dmis_core::Engine::builder()
+                .graph(graph)
+                .sharding(layout)
+                .threads(threads)
+                .seed(seed)
+                .build_parallel(),
             lifetime: Metrics::new(),
         }
     }

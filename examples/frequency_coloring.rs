@@ -13,7 +13,6 @@
 //! per change, while the MIS underneath adjusts only ~1.
 
 use dynamic_mis::core::DynamicMis;
-use dynamic_mis::core::MisEngine;
 use dynamic_mis::derived::{verify, ColoringEngine};
 use dynamic_mis::graph::generators;
 use dynamic_mis::graph::stream::{self, ChurnConfig};
@@ -24,7 +23,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(31);
     let (graph, _) = generators::grid(10, 10); // a city block of APs
     let mut ce = ColoringEngine::from_graph(graph.clone(), 1);
-    let mut mis = MisEngine::from_graph(graph, 1);
+    let mut mis = dynamic_mis::core::Engine::builder()
+        .graph(graph)
+        .seed(1)
+        .build_unsharded();
     println!(
         "radio net: {} APs, Δ = {}, frequencies in use: {}",
         ce.graph().node_count(),

@@ -9,13 +9,15 @@
 //! MIS with (in expectation) a **single** output adjustment.
 
 use dynamic_mis::core::DynamicMis;
-use dynamic_mis::core::MisEngine;
 use dynamic_mis::graph::generators;
 
 fn main() {
     // A 12-node cycle as the starting network.
     let (graph, ids) = generators::cycle(12);
-    let mut engine = MisEngine::from_graph(graph, 42);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .graph(graph)
+        .seed(42)
+        .build_unsharded();
     println!("initial MIS: {:?}", engine.mis());
 
     // Insert an edge across the cycle: at most a local ripple.

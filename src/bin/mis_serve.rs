@@ -5,11 +5,19 @@
 //! ```text
 //! cargo run --bin mis_serve -- [--nodes N] [--changes C] [--seed S]
 //!                              [--shards K] [--threads T]
-//!                              [--watermark W] [--readers R] [--probes P]
+//!                              [--watermark W] [--policy SPEC]
+//!                              [--readers R] [--probes P]
 //! ```
+//!
+//! `--policy` selects the flush policy by spec string — `depth:N`,
+//! `deadline:MS`, `either:N:MS`, or `adaptive` — and overrides
+//! `--watermark` (which is shorthand for `depth:W`).
 
+use std::time::Duration;
+
+use dynamic_mis::core::FlushPolicy;
 use dynamic_mis::graph::{generators, stream, ShardLayout};
-use dynamic_mis::sim::ServeRun;
+use dynamic_mis::sim::RunConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,9 +27,30 @@ struct Options {
     seed: u64,
     shards: usize,
     threads: usize,
-    watermark: usize,
+    policy: FlushPolicy,
     readers: usize,
     probes: usize,
+}
+
+/// Parses a `--policy` spec: `depth:N`, `deadline:MS`, `either:N:MS`,
+/// or `adaptive`.
+fn parse_policy(spec: &str) -> Result<FlushPolicy, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, String> {
+        s.parse().map_err(|e| format!("bad number '{s}': {e}"))
+    };
+    match parts.as_slice() {
+        ["depth", n] => Ok(FlushPolicy::Depth(num(n)? as usize)),
+        ["deadline", ms] => Ok(FlushPolicy::Deadline(Duration::from_millis(num(ms)?))),
+        ["either", n, ms] => Ok(FlushPolicy::Either(
+            num(n)? as usize,
+            Duration::from_millis(num(ms)?),
+        )),
+        ["adaptive"] => Ok(FlushPolicy::adaptive()),
+        _ => Err(format!(
+            "unknown policy '{spec}' (expected depth:N, deadline:MS, either:N:MS, or adaptive)"
+        )),
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,7 +60,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 1,
         shards: 4,
         threads: 2,
-        watermark: 8,
+        policy: FlushPolicy::Depth(8),
         readers: 2,
         probes: 32,
     };
@@ -51,12 +80,14 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => opts.seed = take_value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--shards" => opts.shards = parse(take_value(&mut i)?)?,
             "--threads" => opts.threads = parse(take_value(&mut i)?)?,
-            "--watermark" => opts.watermark = parse(take_value(&mut i)?)?,
+            "--watermark" => opts.policy = FlushPolicy::Depth(parse(take_value(&mut i)?)?),
+            "--policy" => opts.policy = parse_policy(&take_value(&mut i)?)?,
             "--readers" => opts.readers = parse(take_value(&mut i)?)?,
             "--probes" => opts.probes = parse(take_value(&mut i)?)?,
             "--help" | "-h" => {
                 return Err("usage: mis_serve [--nodes N] [--changes C] [--seed S] \
                             [--shards K] [--threads T] [--watermark W] \
+                            [--policy depth:N|deadline:MS|either:N:MS|adaptive] \
                             [--readers R] [--probes P]"
                     .to_string())
             }
@@ -77,13 +108,13 @@ fn main() {
     };
     println!(
         "serve demo: n={}, changes={}, seed={}, shards={}, threads={}, \
-         watermark={}, readers={}, probes={}",
+         policy={:?}, readers={}, probes={}",
         opts.nodes,
         opts.changes,
         opts.seed,
         opts.shards,
         opts.threads,
-        opts.watermark,
+        opts.policy,
         opts.readers,
         opts.probes
     );
@@ -96,14 +127,15 @@ fn main() {
         g.node_count(),
         g.edge_count()
     );
-    let mut run = ServeRun::bootstrap(
-        g,
-        ShardLayout::striped(opts.shards),
-        opts.threads,
-        opts.watermark,
-        opts.seed,
-    );
-    let report = match run.run(&churn, opts.readers, opts.probes) {
+    let mut run = RunConfig::new(g)
+        .layout(ShardLayout::striped(opts.shards))
+        .threads(opts.threads)
+        .policy(opts.policy)
+        .seed(opts.seed)
+        .readers(opts.readers)
+        .probes(opts.probes)
+        .serve();
+    let report = match run.run(&churn) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve run failed: {e}");
@@ -117,6 +149,10 @@ fn main() {
     println!(
         "updates: p50 {} ns, p99 {} ns per flush",
         report.update_p50_ns, report.update_p99_ns
+    );
+    println!(
+        "queue  : delay p50 {:?}, p99 {:?} (arrival→flush)",
+        report.queue_delay_p50, report.queue_delay_p99
     );
     println!(
         "readers: {} reads, {:.0} reads/s, staleness mean {:.3} max {} epochs",

@@ -17,6 +17,7 @@
 //! layer, and the experiment index.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub use dmis_cluster as cluster;
 pub use dmis_core as core;

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use dynamic_mis::core::{static_greedy, DynamicMis, MisEngine, PriorityMap};
+use dynamic_mis::core::{static_greedy, DynamicMis, PriorityMap};
 use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::{generators, DistributedChange, NodeId};
 use dynamic_mis::protocol::{ConstantBroadcast, TemplateDirect};
@@ -59,7 +59,11 @@ fn both_protocols_and_engine_agree_at_equal_priorities() {
     let mut cb =
         SyncNetwork::bootstrap_with_priorities(ConstantBroadcast, g.clone(), pm.clone(), 0);
     let mut td = SyncNetwork::bootstrap_with_priorities(TemplateDirect, g.clone(), pm.clone(), 0);
-    let mut engine = MisEngine::from_parts(g, pm, 0);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .graph(g)
+        .priorities(pm)
+        .seed(0)
+        .build_unsharded();
     assert_eq!(cb.mis(), engine.mis());
     assert_eq!(td.mis(), engine.mis());
     // A sequence of edge changes applied to all three.
@@ -199,7 +203,11 @@ fn batched_mixed_changes_through_engine_and_network_agree() {
     let mut rng = StdRng::seed_from_u64(17);
     let (g, _) = generators::erdos_renyi(14, 0.3, &mut rng);
     let mut net = SyncNetwork::bootstrap(ConstantBroadcast, g.clone(), 11);
-    let mut engine = MisEngine::from_parts(g, net.priorities().clone(), 0);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .graph(g)
+        .priorities(net.priorities().clone())
+        .seed(0)
+        .build_unsharded();
     // A batch of edge cuts.
     let edges: Vec<(NodeId, NodeId)> = engine
         .graph()

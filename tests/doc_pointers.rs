@@ -143,6 +143,69 @@ fn cited_snapshot_tier_items_exist() {
     }
 }
 
+/// Same guard for the Adaptive-ingest section: its cited items must
+/// still be declared where the prose points, and the prose must still
+/// mention them.
+#[test]
+fn cited_adaptive_ingest_items_exist() {
+    const ITEMS: [(&str, &str, &str); 8] = [
+        (
+            "crates/core/src/policy.rs",
+            "pub enum FlushPolicy",
+            "FlushPolicy",
+        ),
+        (
+            "crates/core/src/policy.rs",
+            "pub struct ManualClock",
+            "ManualClock",
+        ),
+        (
+            "crates/core/src/policy.rs",
+            "pub struct QueueDelay",
+            "QueueDelay",
+        ),
+        (
+            "crates/core/src/api.rs",
+            "pub fn build_with_session",
+            "build_with_session",
+        ),
+        (
+            "crates/graph/src/stream.rs",
+            "pub fn fresh_pair_stream",
+            "fresh_pair_stream",
+        ),
+        (
+            "crates/graph/src/stream.rs",
+            "pub fn barrier_churn",
+            "barrier_churn",
+        ),
+        (
+            "crates/sim/src/config.rs",
+            "pub struct RunConfig",
+            "RunConfig",
+        ),
+        (
+            "tools/bench_gate.sh",
+            "BENCH_GATE_INGEST_P99_MAX_DELAY",
+            "BENCH_GATE_INGEST_P99_MAX_DELAY",
+        ),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    for (file, declaration, citation) in ITEMS {
+        let source = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        assert!(
+            source.contains(declaration),
+            "{file} no longer declares `{declaration}` — update DESIGN.md"
+        );
+        assert!(
+            design.contains(citation),
+            "DESIGN.md dropped its `{citation}` citation — update this table"
+        );
+    }
+}
+
 #[test]
 fn cited_file_paths_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use dynamic_mis::cluster::from_mis;
-use dynamic_mis::core::{static_greedy, DynamicMis, MisEngine};
+use dynamic_mis::core::{static_greedy, DynamicMis};
 use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::graph::{generators, DynGraph, NodeId, TopologyChange};
 use rand::rngs::StdRng;
@@ -19,7 +19,10 @@ fn output_is_a_function_of_graph_and_priorities() {
     let mut rng = StdRng::seed_from_u64(1);
     let (g0, _) = generators::erdos_renyi(12, 0.3, &mut rng);
     // Wander around and come back: apply a change and its inverse.
-    let mut engine = MisEngine::from_graph(g0.clone(), 9);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .graph(g0.clone())
+        .seed(9)
+        .build_unsharded();
     let baseline = engine.mis();
     for _ in 0..30 {
         let Some(change) =
@@ -51,7 +54,9 @@ fn distribution_is_history_independent() {
     let sample = |edge_order: &[(NodeId, NodeId)], tag: u64| -> BTreeMap<u64, usize> {
         let mut dist = BTreeMap::new();
         for t in 0..trials {
-            let mut engine = MisEngine::new(tag * 1_000_000 + t);
+            let mut engine = dynamic_mis::core::Engine::builder()
+                .seed(tag * 1_000_000 + t)
+                .build_unsharded();
             for i in 0..6u64 {
                 engine
                     .apply(&TopologyChange::InsertNode {
@@ -87,7 +92,10 @@ fn distribution_is_history_independent() {
 fn clustering_composes_history_independence() {
     let mut rng = StdRng::seed_from_u64(3);
     let (g, _) = generators::erdos_renyi(14, 0.25, &mut rng);
-    let mut engine = MisEngine::from_graph(g.clone(), 77);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .graph(g.clone())
+        .seed(77)
+        .build_unsharded();
     // Detour: delete a node's edges and reinsert them.
     let v = generators::random_node(&g, &mut rng).expect("non-empty");
     let nbrs: Vec<NodeId> = g.neighbors(v).expect("live").collect();
@@ -98,7 +106,11 @@ fn clustering_composes_history_independence() {
         engine.insert_edge(v, u).expect("valid");
     }
     assert_eq!(engine.graph(), &g);
-    let direct = MisEngine::from_parts(g.clone(), engine.priorities().clone(), 0);
+    let direct = dynamic_mis::core::Engine::builder()
+        .graph(g.clone())
+        .priorities(engine.priorities().clone())
+        .seed(0)
+        .build_unsharded();
     assert_eq!(engine.mis(), direct.mis());
     let c1 = from_mis(
         engine.graph(),
@@ -121,7 +133,9 @@ fn star_output_cannot_be_biased() {
     let trials = 600;
     let mut linear = 0usize;
     for t in 0..trials {
-        let mut engine = MisEngine::new(t);
+        let mut engine = dynamic_mis::core::Engine::builder()
+            .seed(t)
+            .build_unsharded();
         for change in stream::adversarial_star_stream(n) {
             engine.apply(&change).expect("valid");
         }
@@ -158,7 +172,9 @@ fn total_variation(a: &BTreeMap<u64, usize>, b: &BTreeMap<u64, usize>) -> f64 {
 #[test]
 fn long_lived_equivalence_with_static_greedy() {
     let mut rng = StdRng::seed_from_u64(8);
-    let mut engine = MisEngine::new(123);
+    let mut engine = dynamic_mis::core::Engine::builder()
+        .seed(123)
+        .build_unsharded();
     // Grow from empty, then churn.
     let mut graph_steps = 0;
     while graph_steps < 400 {

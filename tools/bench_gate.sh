@@ -52,6 +52,19 @@
 #     (default 600); or churn_regrows is nonzero — the pre-sized arenas
 #     must absorb steady-state churn without a single reallocation.
 #     All fresh-run-only, so fidelity-independent.
+#   - in the fresh "ingest_policy" section (FlushPolicy sweep on a
+#     deterministic ManualClock, one 1ms tick per push, so every figure
+#     is a pure function of the seeded streams — identical on every
+#     host): on the flapping stream, the Adaptive policy must recover at
+#     least BENCH_GATE_INGEST_ADAPTIVE_MIN_RATIO (default 0.8) of the
+#     best fixed watermark's coalesce fraction — the smoother may not
+#     give away the batching win fixed depths get for free; and on the
+#     trickle stream (fresh pairs, nothing ever coalesces), Adaptive's
+#     p99 queue delay must beat Depth(64)'s AND stay at or below
+#     BENCH_GATE_INGEST_P99_MAX_DELAY ticks (default 32) — the smoother
+#     must walk the depth down instead of parking changes behind a
+#     64-deep window that never fills. Fresh-run-only and clock-free,
+#     so fidelity- and machine-independent.
 #   - in the fresh "serve" section (the concurrent snapshot read path):
 #     publish_overhead on the n=4096 batched-toggle row — published
 #     engine over plain engine, interleaved minima from the same fresh
@@ -84,6 +97,8 @@ scale_max_ratio="${BENCH_GATE_SCALE_MAX_RATIO:-8.0}"
 scale_max_bytes="${BENCH_GATE_SCALE_MAX_BYTES_PER_NODE:-600}"
 serve_max_overhead="${BENCH_GATE_SERVE_MAX_OVERHEAD:-1.10}"
 serve_max_staleness="${BENCH_GATE_SERVE_MAX_STALENESS:-64}"
+ingest_adaptive_min_ratio="${BENCH_GATE_INGEST_ADAPTIVE_MIN_RATIO:-0.8}"
+ingest_p99_max_delay="${BENCH_GATE_INGEST_P99_MAX_DELAY:-32}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -243,6 +258,61 @@ for fam in er chung_lu; do
     echo "bench gate: scale $fam n=$n ${ns}ns/change (base ${base}ns), ${bpn} bytes/node, regrows=${regrows}"
   done
 done
+
+# ipfield <file> <stream> <policy> <key>: value of <key> in the
+# "ingest_policy" entry for that (stream, policy) cell. The leading key
+# sequence "n", "stream", "policy" is unique to that section.
+ipfield() {
+  { grep -o "{\"n\": 1000, \"stream\": \"$2\", \"policy\": \"$3\",[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$4\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Flush-policy gate: the Adaptive smoother must keep most of the
+# batching win on coalescing-friendly churn AND shed the queue-delay
+# cost on anti-coalescing trickle. Every cell is metered on a
+# deterministic ManualClock (one 1ms tick per push), so these figures
+# are pure functions of the seeded streams — fresh-run-only AND
+# machine-independent.
+best_fixed=""
+for p in depth:1 depth:16 depth:64; do
+  frac="$(ipfield "$fresh" flapping "$p" coalesce_fraction)"
+  if [ -z "$frac" ]; then
+    echo "bench gate: missing \"ingest_policy\" entry (flapping, $p) in $fresh" >&2
+    status=1
+    continue
+  fi
+  if [ -z "$best_fixed" ] || awk -v f="$frac" -v b="$best_fixed" 'BEGIN { exit !(f > b) }'; then
+    best_fixed="$frac"
+  fi
+done
+ad_frac="$(ipfield "$fresh" flapping adaptive coalesce_fraction)"
+if [ -z "$ad_frac" ] || [ -z "$best_fixed" ]; then
+  echo "bench gate: missing \"ingest_policy\" adaptive/fixed flapping rows in $fresh" >&2
+  status=1
+else
+  if ! awk -v a="$ad_frac" -v b="$best_fixed" -v r="$ingest_adaptive_min_ratio" \
+      'BEGIN { exit !(a >= r * b) }'; then
+    echo "bench gate FAIL: adaptive coalesce ${ad_frac} < ${ingest_adaptive_min_ratio}x the best fixed watermark's ${best_fixed} on flapping" >&2
+    status=1
+  fi
+  echo "bench gate: ingest_policy flapping adaptive coalesce=${ad_frac} (best fixed ${best_fixed}, floor ${ingest_adaptive_min_ratio}x)"
+fi
+ad_p99="$(ipfield "$fresh" trickle adaptive delay_p99_ticks)"
+deep_p99="$(ipfield "$fresh" trickle depth:64 delay_p99_ticks)"
+if [ -z "$ad_p99" ] || [ -z "$deep_p99" ]; then
+  echo "bench gate: missing \"ingest_policy\" trickle rows (adaptive, depth:64) in $fresh" >&2
+  status=1
+else
+  if ! awk -v a="$ad_p99" -v d="$deep_p99" 'BEGIN { exit !(a < d) }'; then
+    echo "bench gate FAIL: adaptive trickle p99 queue delay ${ad_p99} ticks >= depth:64's ${deep_p99} — the smoother never walked the depth down" >&2
+    status=1
+  fi
+  if ! awk -v a="$ad_p99" -v m="$ingest_p99_max_delay" 'BEGIN { exit !(a <= m) }'; then
+    echo "bench gate FAIL: adaptive trickle p99 queue delay ${ad_p99} ticks > ${ingest_p99_max_delay} (BENCH_GATE_INGEST_P99_MAX_DELAY)" >&2
+    status=1
+  fi
+  echo "bench gate: ingest_policy trickle adaptive p99=${ad_p99} ticks (depth:64 ${deep_p99}, cap ${ingest_p99_max_delay})"
+fi
 
 # svfield <file> <key>: value of <key> in the "serve" section's
 # publication-overhead row. The leading key sequence "n",
