@@ -29,7 +29,12 @@
 //! published engine, gated via `BENCH_GATE_SERVE_MAX_OVERHEAD`), plus a
 //! full `ServeRun` row (writer replaying a flapping stream against R=2
 //! reader threads) reporting read throughput, snapshot staleness, and
-//! flush-latency percentiles. The engine rows all drive
+//! flush-latency percentiles, and the `"recovery"` section: the
+//! durability layer's price — live log-then-publish ingest vs
+//! checkpoint restore + WAL replay of the same history, plus the
+//! checkpoint image's bytes/node (gated via
+//! `BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO` and
+//! `BENCH_GATE_RECOVERY_MAX_BYTES_PER_NODE`). The engine rows all drive
 //! `dyn DynamicMis` through one shared metering loop
 //! (`measure_engine_toggle_ns`) built by `Engine::builder` — the
 //! per-engine copies of the toggle harness are gone. `cargo bench
@@ -41,6 +46,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dmis_bench::baseline_btree::BTreeMisEngine;
+use dmis_core::durability::{Checkpoint, MemIo, StorageIo, WriteAheadLog};
 use dmis_core::{static_greedy, DynamicMis, Engine, FlushPolicy, ManualClock, SettleStrategy};
 use dmis_graph::{generators, NodeId, ShardLayout, TopologyChange};
 use dmis_sim::RunConfig;
@@ -954,6 +960,70 @@ fn write_snapshot(test_mode: bool) {
             report.flushes
         ));
     }
+    // Recovery-tier section: what the durability layer costs. One run
+    // streams C single-change windows through the log-then-publish path
+    // (WAL append before every apply — the production write path), then
+    // recovers from the resulting store with the two recovery phases
+    // timed separately: `restore_ns` is checkpoint decode + engine
+    // rebuild + witness check (O(n + m), paid once), and
+    // `replay_ns_per_change` is the WAL scan + re-apply of the logged
+    // suffix (O(touched) per change, same asymptotics as live ingest).
+    // tools/bench_gate.sh holds `replay_ratio` (replayed ns/change over
+    // live ns/change) under BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO and the
+    // checkpoint image's bytes/node under
+    // BENCH_GATE_RECOVERY_MAX_BYTES_PER_NODE.
+    let mut recovery_entries = Vec::new();
+    {
+        let n = 4096usize;
+        let changes = 512usize;
+        let rsamples = if test_mode { 2 } else { 3 };
+        let (g, edges) = toggle_workload(n);
+        let pool: Vec<(NodeId, NodeId)> = edges.iter().copied().take(32).collect();
+        let stream = flapping_stream(&g, &pool, changes);
+        let (mut live_ns, mut restore_ns, mut replay_ns) = (f64::MAX, f64::MAX, f64::MAX);
+        let mut checkpoint_bytes = 0usize;
+        for _ in 0..rsamples {
+            let store = MemIo::new();
+            let io: std::sync::Arc<dyn StorageIo> = std::sync::Arc::new(store);
+            let mut engine = Engine::builder().graph(g.clone()).seed(42).build();
+            Checkpoint::capture(&*engine, 0)
+                .save(io.as_ref())
+                .expect("mem io");
+            let mut wal = WriteAheadLog::create(std::sync::Arc::clone(&io)).expect("mem io");
+            let start = Instant::now();
+            for change in &stream {
+                let window = std::slice::from_ref(change);
+                wal.append(window).expect("mem io");
+                black_box(engine.apply_batch(window).expect("valid"));
+            }
+            live_ns = live_ns.min(start.elapsed().as_nanos() as f64 / changes as f64);
+            checkpoint_bytes = Checkpoint::capture(&*engine, changes as u64).encode().len();
+
+            let start = Instant::now();
+            let image = Checkpoint::load(io.as_ref())
+                .expect("mem io")
+                .expect("saved");
+            let mut recovered = image.restore().expect("valid image");
+            restore_ns = restore_ns.min(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            let (_wal, records) = WriteAheadLog::open(std::sync::Arc::clone(&io)).expect("mem io");
+            for record in &records {
+                black_box(recovered.apply_batch(record.changes()).expect("valid"));
+            }
+            replay_ns = replay_ns.min(start.elapsed().as_nanos() as f64 / changes as f64);
+            assert_eq!(recovered.mis(), engine.mis(), "recovery is bit-identical");
+        }
+        recovery_entries.push(format!(
+            "  {{\"n\": {n}, \"changes\": {changes}, \
+             \"live_ns_per_change\": {live_ns:.1}, \
+             \"replay_ns_per_change\": {replay_ns:.1}, \
+             \"replay_ratio\": {:.3}, \"restore_ns\": {restore_ns:.0}, \
+             \"checkpoint_bytes\": {checkpoint_bytes}, \
+             \"bytes_per_node\": {:.1}}}",
+            replay_ns / live_ns,
+            checkpoint_bytes as f64 / n as f64
+        ));
+    }
     let dir = std::env::var("BENCH_SNAPSHOT_DIR").unwrap_or_else(|_| ".".into());
     let path = format!("{dir}/BENCH_engine.json");
     let body = format!(
@@ -962,7 +1032,7 @@ fn write_snapshot(test_mode: bool) {
          \"sharding\": [\n{}\n],\n \
          \"parallel\": [\n{}\n],\n \"parallel_batch\": [\n{}\n],\n \
          \"ingest\": [\n{}\n],\n \"ingest_policy\": [\n{}\n],\n \
-         \"scale\": [\n{}\n],\n \"serve\": [\n{}\n]}}\n",
+         \"scale\": [\n{}\n],\n \"serve\": [\n{}\n],\n \"recovery\": [\n{}\n]}}\n",
         if test_mode { "smoke" } else { "full" },
         entries.join(",\n"),
         front_entries.join(",\n"),
@@ -972,7 +1042,8 @@ fn write_snapshot(test_mode: bool) {
         ingest_entries.join(",\n"),
         policy_entries.join(",\n"),
         scale_entries.join(",\n"),
-        serve_entries.join(",\n")
+        serve_entries.join(",\n"),
+        recovery_entries.join(",\n")
     );
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {path}"),

@@ -193,6 +193,38 @@ pub trait DynamicMis: std::fmt::Debug {
     /// contract. Until first call, the settle path pays nothing.
     fn reader(&mut self) -> crate::MisReader;
 
+    /// Scans every live node for corrupted membership/counter state and
+    /// heals what it finds with the template's self-stabilizing local
+    /// rule — O(k·Δ) settle work beyond one O(n + m) detection sweep
+    /// for k corrupted nodes, instead of a full rebuild, and the healed
+    /// state is bit-identical to an engine that was never corrupted.
+    /// See [`crate::MisEngine::verify_and_repair`] for the algorithm
+    /// and convergence argument; the returned report meters the
+    /// repair-vs-rebuild trade that E13's engine tier plots.
+    fn verify_and_repair(&mut self) -> crate::durability::RepairReport;
+
+    /// Test-only fault injector behind the repair tier: flips the
+    /// membership bit of each live victim *without* touching counters —
+    /// the E13 corruption model at the engine tier. Returns how many
+    /// victims were live (and therefore flipped). Hidden: corrupting
+    /// state is only meaningful to the fault-injection suites.
+    #[doc(hidden)]
+    fn corrupt_in_mis(&mut self, victims: &[NodeId]) -> usize;
+
+    /// Checkpoint-time metadata — flavor, shard layout, RNG position,
+    /// published epoch — that [`crate::durability::Checkpoint`]
+    /// serializes. Hidden: only the durability layer consumes it.
+    #[doc(hidden)]
+    fn durability_meta(&self) -> crate::durability::DurabilityMeta;
+
+    /// Recovery-time re-attach of the snapshot publication channel at a
+    /// prescribed epoch (instead of the usual 0), so readers resuming
+    /// after a crash never observe a regressed epoch. Hidden: only
+    /// [`crate::durability::recover`] calls it, on a freshly built
+    /// engine before [`DynamicMis::reader`].
+    #[doc(hidden)]
+    fn restore_epoch(&mut self, epoch: u64);
+
     /// Verifies the MIS invariant over the whole graph.
     ///
     /// # Errors
@@ -375,6 +407,22 @@ macro_rules! forward_dynamic_mis {
                 let $s = self;
                 $t.reader()
             }
+            fn verify_and_repair(&mut self) -> crate::durability::RepairReport {
+                let $s = self;
+                $t.verify_and_repair()
+            }
+            fn corrupt_in_mis(&mut self, victims: &[dmis_graph::NodeId]) -> usize {
+                let $s = self;
+                $t.corrupt_in_mis(victims)
+            }
+            fn durability_meta(&self) -> crate::durability::DurabilityMeta {
+                let $s = self;
+                $t.durability_meta()
+            }
+            fn restore_epoch(&mut self, epoch: u64) {
+                let $s = self;
+                $t.restore_epoch(epoch);
+            }
             fn check_invariant(&self) -> Result<(), crate::invariant::InvariantViolation> {
                 let $s = self;
                 $t.check_invariant()
@@ -456,6 +504,18 @@ macro_rules! forward_dynamic_mis_deref {
             }
             fn reader(&mut self) -> crate::MisReader {
                 (**self).reader()
+            }
+            fn verify_and_repair(&mut self) -> crate::durability::RepairReport {
+                (**self).verify_and_repair()
+            }
+            fn corrupt_in_mis(&mut self, victims: &[NodeId]) -> usize {
+                (**self).corrupt_in_mis(victims)
+            }
+            fn durability_meta(&self) -> crate::durability::DurabilityMeta {
+                (**self).durability_meta()
+            }
+            fn restore_epoch(&mut self, epoch: u64) {
+                (**self).restore_epoch(epoch);
             }
             fn check_invariant(&self) -> Result<(), InvariantViolation> {
                 (**self).check_invariant()
@@ -990,6 +1050,10 @@ pub struct IngestSession<E: DynamicMis> {
     /// Session-clock arrival stamp of every push in the open window
     /// (coalesced-away pushes included: their latency was still paid).
     arrivals: Vec<Duration>,
+    /// Optional write-ahead sink: when set, every flush persists its
+    /// coalesced window *before* applying it (log-then-publish) — see
+    /// [`Self::set_wal_sink`].
+    wal: Option<Box<dyn crate::durability::WalSink>>,
 }
 
 impl<E: DynamicMis> IngestSession<E> {
@@ -1032,7 +1096,34 @@ impl<E: DynamicMis> IngestSession<E> {
             controller: FlushController::new(policy),
             clock,
             arrivals: Vec::new(),
+            wal: None,
         }
+    }
+
+    /// Installs a write-ahead sink: from now on every flush **persists
+    /// its coalesced window before applying it**. This is the
+    /// log-then-publish ordering durability requires — a window's
+    /// effects (the settled MIS, and through it any published snapshot
+    /// epoch) can reach an observer only after the window is on stable
+    /// storage, so a recovered log always covers every epoch a reader
+    /// ever saw. Empty windows are persisted too: one record per flush
+    /// keeps the log's record count equal to the number of published
+    /// epochs since attach, which is what lets recovery re-attach
+    /// readers at exactly the right epoch.
+    ///
+    /// If the sink fails, the flush returns
+    /// [`GraphError::PersistFailed`] and the window is consumed but
+    /// **neither logged nor applied** — the engine still matches the
+    /// persisted prefix, so a caller can recover from the sink's
+    /// storage and resume from the last acked window.
+    pub fn set_wal_sink(&mut self, sink: Box<dyn crate::durability::WalSink>) {
+        self.wal = Some(sink);
+    }
+
+    /// Whether a write-ahead sink is installed.
+    #[must_use]
+    pub fn has_wal_sink(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// Replaces the flush policy. Takes effect on the next push/poll;
@@ -1160,8 +1251,23 @@ impl<E: DynamicMis> IngestSession<E> {
     /// push/coalesce/delay accounting is dropped with the error and the
     /// policy observes nothing — and the engine is left with the valid
     /// prefix applied exactly as `apply_batch` documents.
+    ///
+    /// With a [`Self::set_wal_sink`] installed, the window is persisted
+    /// **before** `apply_batch` runs (log-then-publish); a sink failure
+    /// returns [`GraphError::PersistFailed`] with the window consumed
+    /// but neither logged nor applied.
     pub fn flush(&mut self) -> Result<IngestReceipt, GraphError> {
         let (batch, pushed) = self.queue.drain();
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.persist(&batch).is_err() {
+                // The engine (and every published epoch) still matches
+                // the persisted prefix; only the unlogged window is
+                // lost, which is exactly what recovery can replay
+                // around.
+                self.arrivals.clear();
+                return Err(GraphError::PersistFailed);
+            }
+        }
         let flushed_at = self.clock.now();
         let delays: Vec<Duration> = self
             .arrivals

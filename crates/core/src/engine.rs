@@ -87,6 +87,13 @@ pub struct MisEngine {
     /// Dense counter table: number of lower-π MIS neighbors per node.
     lower_mis_count: NodeMap<usize>,
     rng: StdRng,
+    /// The value that seeded `rng` — checkpointed by the durability
+    /// layer so recovery can rebuild the identical priority stream.
+    seed: u64,
+    /// Priority keys drawn from `rng` since construction. A restored
+    /// engine replays exactly this many draws on a fresh `seed`-ed RNG
+    /// to park the stream at the checkpointed position.
+    draws: u64,
     /// Scratch bitset marking nodes currently enqueued in the settle
     /// front; deduplicates pushes so each node is popped at most once per
     /// update.
@@ -124,6 +131,8 @@ impl MisEngine {
             in_mis: NodeSet::new(),
             lower_mis_count: NodeMap::new(),
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
             enqueued: NodeSet::new(),
             ranks: RankIndex::new(),
             front: RankFront::new(),
@@ -145,10 +154,12 @@ impl MisEngine {
     pub(crate) fn from_graph_impl(graph: DynGraph, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut priorities = PriorityMap::new();
+        let mut draws = 0u64;
         for v in graph.nodes() {
             priorities.assign(v, &mut rng);
+            draws += 1;
         }
-        Self::with_priorities(graph, priorities, rng)
+        Self::with_priorities(graph, priorities, rng, seed, draws)
     }
 
     /// Creates an engine over an existing graph with prescribed priorities
@@ -166,10 +177,16 @@ impl MisEngine {
     }
 
     pub(crate) fn from_parts_impl(graph: DynGraph, priorities: PriorityMap, seed: u64) -> Self {
-        Self::with_priorities(graph, priorities, StdRng::seed_from_u64(seed))
+        Self::with_priorities(graph, priorities, StdRng::seed_from_u64(seed), seed, 0)
     }
 
-    fn with_priorities(graph: DynGraph, priorities: PriorityMap, rng: StdRng) -> Self {
+    fn with_priorities(
+        graph: DynGraph,
+        priorities: PriorityMap,
+        rng: StdRng,
+        seed: u64,
+        draws: u64,
+    ) -> Self {
         let mis = crate::static_greedy::greedy_mis_dense(&graph, &priorities);
         let ranks = RankIndex::from_priorities(&priorities);
         let front = RankFront::with_capacity(ranks.span());
@@ -179,6 +196,8 @@ impl MisEngine {
             in_mis: mis,
             lower_mis_count: NodeMap::new(),
             rng,
+            seed,
+            draws,
             enqueued: NodeSet::new(),
             ranks,
             front,
@@ -278,6 +297,7 @@ impl MisEngine {
     /// Draws the next priority key from the engine's seeded stream (the
     /// draw behind [`crate::DynamicMis::insert_node`]).
     pub(crate) fn draw_key(&mut self) -> u64 {
+        self.draws += 1;
         self.rng.random()
     }
 
@@ -485,6 +505,7 @@ impl MisEngine {
                 }
                 let v = self.graph.add_node_with_edges(edges.iter().copied())?;
                 self.priorities.assign(v, &mut self.rng);
+                self.draws += 1;
                 // Re-ranking is legal here: the dirty set is still a list
                 // of node ids; ranks enter the front only in propagate().
                 self.ranks.insert(v, &self.priorities);
@@ -526,6 +547,112 @@ impl MisEngine {
         // Dense path: the membership bitset is checked in place, no
         // ordered-set materialization.
         invariant::check_mis_invariant_dense(&self.graph, &self.priorities, &self.in_mis)
+    }
+
+    /// Scans every live node for corrupted membership/counter state and
+    /// heals what it finds with the template's self-stabilizing local
+    /// rule — the engine-tier realization of the paper's
+    /// super-stabilization story (E13) and the RAM-fault half of the
+    /// durability layer (see [`crate::durability`]).
+    ///
+    /// Detection is one O(n + m) sweep: for each node the true
+    /// lower-MIS count is recomputed from the *current* (possibly
+    /// corrupt) membership; any node whose stored counter or membership
+    /// bit contradicts it is a violation. Counters are fixed in place,
+    /// and the violated set seeds the standard priority-ordered settle
+    /// drain, which converges to the unique greedy fixed point for
+    /// (graph, π) — so healing costs O(k·Δ) beyond the scan for k
+    /// corrupted nodes, instead of an O(n + m) rebuild, and the result
+    /// is bit-identical to an engine that was never corrupted.
+    ///
+    /// If a read path is attached, a repair that found anything
+    /// publishes a **fresh** epoch (never a regressed one), exactly
+    /// like a settle.
+    pub fn verify_and_repair(&mut self) -> crate::durability::RepairReport {
+        let nodes: Vec<NodeId> = self.graph.nodes().collect();
+        let scanned = nodes.len();
+        let mut seeds = Vec::new();
+        let mut counters_fixed = 0usize;
+        let mut memberships_violated = 0usize;
+        for v in nodes {
+            let truth = self.count_lower_mis(v);
+            let mut violated = false;
+            if self.lower_mis_count[v] != truth {
+                *self.lower_mis_count.get_mut(v).expect("live node") = truth;
+                counters_fixed += 1;
+                violated = true;
+            }
+            if self.in_mis.contains(v) != (truth == 0) {
+                memberships_violated += 1;
+                violated = true;
+            }
+            if violated {
+                seeds.push(v);
+            }
+        }
+        if seeds.is_empty() {
+            return crate::durability::RepairReport::clean(scanned);
+        }
+        // The settle drain *is* the local rule: it pops the violated set
+        // in increasing π, finalizing each node against its (now
+        // truthful) counter. `EdgeInsert` is only the receipt's label —
+        // repair is not a topology change.
+        let receipt = self.propagate(ChangeKind::EdgeInsert, seeds, counters_fixed);
+        crate::durability::RepairReport::new(
+            scanned,
+            counters_fixed,
+            memberships_violated,
+            &receipt,
+        )
+    }
+
+    /// Test-only fault injector: flips the membership bit of each live
+    /// victim *without* touching the counters — exactly the corruption
+    /// model of E13, now at the engine tier. Returns how many victims
+    /// were live (and therefore flipped).
+    #[doc(hidden)]
+    pub fn corrupt_in_mis(&mut self, victims: &[NodeId]) -> usize {
+        let mut flipped = 0;
+        for &v in victims {
+            if !self.graph.has_node(v) {
+                continue;
+            }
+            if self.in_mis.contains(v) {
+                self.in_mis.remove(v);
+            } else {
+                self.in_mis.insert(v);
+            }
+            flipped += 1;
+        }
+        flipped
+    }
+
+    /// Checkpoint-time metadata: flavor, layout, RNG position, epoch.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn durability_meta(&self) -> crate::durability::DurabilityMeta {
+        crate::durability::DurabilityMeta {
+            flavor: crate::durability::EngineFlavor::Unsharded,
+            shards: 1,
+            block: 1,
+            threads: 1,
+            seed: self.seed,
+            draws: self.draws,
+            epoch: self.publisher.get().map(MisPublisher::epoch),
+        }
+    }
+
+    /// Recovery-time re-attach: installs the publication channel at a
+    /// prescribed epoch (instead of the usual 0) so readers resuming
+    /// after a crash never observe a regressed epoch. Must be called on
+    /// a freshly built engine, before [`Self::reader`].
+    #[doc(hidden)]
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.publisher.set(MisPublisher::attach_at(
+            &self.in_mis,
+            self.ranks.compactions(),
+            epoch,
+        ));
     }
 
     /// Verifies every internal bookkeeping structure against a from-scratch
@@ -1276,6 +1403,47 @@ mod tests {
         assert_eq!(receipt.applied(), 0);
         assert_eq!(receipt.adjustments(), 0);
         assert_eq!(engine.mis(), before);
+    }
+
+    #[test]
+    fn verify_and_repair_heals_membership_and_counter_corruption() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (g, ids) = generators::erdos_renyi(40, 0.15, &mut rng);
+        let mut engine = crate::Engine::builder().graph(g).seed(13).build_unsharded();
+        let twin = engine.clone();
+        assert_eq!(engine.corrupt_in_mis(&[ids[0], ids[7], ids[13]]), 3);
+        *engine.lower_mis_count.get_mut(ids[20]).unwrap() += 5;
+        assert_ne!(engine.mis(), twin.mis(), "corruption must be visible");
+        let report = engine.verify_and_repair();
+        assert!(!report.is_clean());
+        assert!(report.memberships_violated() >= 3);
+        assert!(report.counters_fixed() >= 1);
+        assert_eq!(engine.mis(), twin.mis(), "repair restores the fixed point");
+        engine.assert_internally_consistent();
+        let second = engine.verify_and_repair();
+        assert!(second.is_clean(), "second pass finds nothing: {second:?}");
+        assert_eq!(second.scanned(), engine.graph().node_count());
+    }
+
+    #[test]
+    fn repair_publishes_a_fresh_epoch_never_a_regressed_one() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let (g, ids) = generators::erdos_renyi(30, 0.2, &mut rng);
+        let mut engine = crate::Engine::builder().graph(g).seed(14).build_unsharded();
+        let reader = engine.reader();
+        engine.insert_node(&[ids[0]]).unwrap();
+        let before = reader.epoch();
+        engine.corrupt_in_mis(&[ids[2]]);
+        engine.verify_and_repair();
+        assert!(reader.epoch() > before, "heal publishes a new epoch");
+        let snap = reader.snapshot();
+        let published: Vec<NodeId> = snap.iter().collect();
+        let live: Vec<NodeId> = engine.mis_iter().collect();
+        assert_eq!(published, live);
+        // A clean pass publishes nothing: the epoch holds still.
+        let settled = reader.epoch();
+        engine.verify_and_repair();
+        assert_eq!(reader.epoch(), settled);
     }
 
     #[test]

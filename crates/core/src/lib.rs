@@ -34,6 +34,10 @@
 //!   concurrent read path — every settle publishes the quiesced membership
 //!   at its flush boundary, and cheaply-cloneable `Send + Sync` reader
 //!   handles observe exactly those published states from other threads;
+//! - [`durability`]: checkpoint/WAL persistence over an injectable
+//!   storage trait, crash recovery that replays the log suffix to a
+//!   bit-identical engine, and the in-memory
+//!   [`verify_and_repair`](DynamicMis::verify_and_repair) healing tier;
 //! - [`template`]: a faithful round-by-round simulation of the template,
 //!   which records the full influenced set `S` including nodes that flip and
 //!   flip back (the `u₂` example of Section 3), the number of parallel
@@ -78,6 +82,7 @@ mod receipt;
 mod state;
 
 pub mod api;
+pub mod durability;
 pub mod invariant;
 pub mod parallel;
 pub mod policy;

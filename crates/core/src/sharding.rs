@@ -341,6 +341,12 @@ pub struct ShardedMisEngine {
     layout: ShardLayout,
     shards: Vec<Shard>,
     rng: StdRng,
+    /// The value that seeded `rng` — checkpointed by the durability
+    /// layer so recovery can rebuild the identical priority stream.
+    seed: u64,
+    /// Priority keys drawn from `rng` since construction; a restored
+    /// engine replays exactly this many draws to park the stream.
+    draws: u64,
     /// Worker threads per epoch; 1 = drain epochs inline (sequential).
     /// Exposed publicly through [`crate::ParallelShardedMisEngine`].
     threads: usize,
@@ -380,6 +386,8 @@ impl ShardedMisEngine {
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            draws: 0,
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
             strategy: SettleStrategy::default(),
@@ -403,10 +411,12 @@ impl ShardedMisEngine {
     pub(crate) fn from_graph_impl(graph: DynGraph, layout: ShardLayout, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut priorities = PriorityMap::new();
+        let mut draws = 0u64;
         for v in graph.nodes() {
             priorities.assign(v, &mut rng);
+            draws += 1;
         }
-        Self::with_priorities(graph, priorities, layout, rng)
+        Self::with_priorities(graph, priorities, layout, rng, seed, draws)
     }
 
     /// Creates an engine over an existing graph with prescribed priorities
@@ -434,7 +444,14 @@ impl ShardedMisEngine {
         layout: ShardLayout,
         seed: u64,
     ) -> Self {
-        Self::with_priorities(graph, priorities, layout, StdRng::seed_from_u64(seed))
+        Self::with_priorities(
+            graph,
+            priorities,
+            layout,
+            StdRng::seed_from_u64(seed),
+            seed,
+            0,
+        )
     }
 
     fn with_priorities(
@@ -442,6 +459,8 @@ impl ShardedMisEngine {
         priorities: PriorityMap,
         layout: ShardLayout,
         rng: StdRng,
+        seed: u64,
+        draws: u64,
     ) -> Self {
         let mis = crate::static_greedy::greedy_mis_dense(&graph, &priorities);
         let ranks = RankIndex::from_priorities(&priorities);
@@ -452,6 +471,8 @@ impl ShardedMisEngine {
             layout,
             shards: vec![Shard::default(); layout.shards()],
             rng,
+            seed,
+            draws,
             threads: 1,
             spawn_threshold: DEFAULT_SPAWN_THRESHOLD,
             strategy: SettleStrategy::default(),
@@ -571,6 +592,7 @@ impl ShardedMisEngine {
     /// draw behind [`crate::DynamicMis::insert_node`]); same seed ⇒ same
     /// draws as [`crate::MisEngine`].
     pub(crate) fn draw_key(&mut self) -> u64 {
+        self.draws += 1;
         self.rng.random()
     }
 
@@ -805,6 +827,7 @@ impl ShardedMisEngine {
                 }
                 let v = self.graph.add_node_with_edges(edges.iter().copied())?;
                 self.priorities.assign(v, &mut self.rng);
+                self.draws += 1;
                 // Re-ranking is legal mid-batch: dirty marks are still
                 // node ids; ranks enter the fronts only at settle start.
                 self.ranks.insert(v, &self.priorities);
@@ -998,6 +1021,111 @@ impl ShardedMisEngine {
             outbox.clear();
             self.shards[s].outbox = outbox;
         }
+    }
+
+    /// Scans every live node for corrupted membership/counter state and
+    /// heals what it finds — the sharded realization of
+    /// [`crate::MisEngine::verify_and_repair`], with the identical
+    /// detection rule and the identical convergence argument: fixed
+    /// counters plus a priority-ordered drain of the violated set land
+    /// on the unique greedy fixed point for (graph, π). Healing runs
+    /// through the ordinary epoch coordinator, so cross-shard cascades,
+    /// receipts, and (if a read path is attached) the published epoch
+    /// all behave exactly like a settle; the global membership mirror
+    /// stays consistent because only net-flipped nodes patch it.
+    pub fn verify_and_repair(&mut self) -> crate::durability::RepairReport {
+        let nodes: Vec<NodeId> = self.graph.nodes().collect();
+        let scanned = nodes.len();
+        let mut counters_fixed = 0usize;
+        let mut memberships_violated = 0usize;
+        let mut violated = Vec::new();
+        for v in nodes {
+            let truth = self.count_lower_mis(v);
+            let (s, local) = (self.layout.shard_of(v), self.layout.local_slot(v));
+            let mut bad = false;
+            if self.shards[s].lower_mis_count[local] != truth {
+                *self.shards[s]
+                    .lower_mis_count
+                    .get_mut(local)
+                    .expect("live node") = truth;
+                counters_fixed += 1;
+                bad = true;
+            }
+            if self.shards[s].in_mis.contains(local) != (truth == 0) {
+                memberships_violated += 1;
+                bad = true;
+            }
+            if bad {
+                violated.push(v);
+            }
+        }
+        if violated.is_empty() {
+            return crate::durability::RepairReport::clean(scanned);
+        }
+        let mut stats = SettleStats::default();
+        stats.counter_updates += counters_fixed;
+        for v in violated {
+            // Delta-free dirty marks: the counters are already truthful,
+            // the drain only needs to re-finalize the violated nodes.
+            self.route(v, 0, self.layout.shard_of(v), &mut stats, false);
+        }
+        let receipt = self.settle(ChangeKind::EdgeInsert, stats);
+        crate::durability::RepairReport::new(
+            scanned,
+            counters_fixed,
+            memberships_violated,
+            &receipt,
+        )
+    }
+
+    /// Test-only fault injector: flips the membership bit of each live
+    /// victim in its owning shard's local table, leaving counters and
+    /// the publication mirror untouched — the E13 corruption model at
+    /// the sharded tier. Returns how many victims were live.
+    #[doc(hidden)]
+    pub fn corrupt_in_mis(&mut self, victims: &[NodeId]) -> usize {
+        let mut flipped = 0;
+        for &v in victims {
+            if !self.graph.has_node(v) {
+                continue;
+            }
+            let (s, local) = (self.layout.shard_of(v), self.layout.local_slot(v));
+            if self.shards[s].in_mis.contains(local) {
+                self.shards[s].in_mis.remove(local);
+            } else {
+                self.shards[s].in_mis.insert(local);
+            }
+            flipped += 1;
+        }
+        flipped
+    }
+
+    /// Checkpoint-time metadata: flavor, layout, RNG position, epoch.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn durability_meta(&self) -> crate::durability::DurabilityMeta {
+        crate::durability::DurabilityMeta {
+            flavor: crate::durability::EngineFlavor::Sharded,
+            shards: self.layout.shards(),
+            block: self.layout.block(),
+            threads: self.threads,
+            seed: self.seed,
+            draws: self.draws,
+            epoch: self.publisher.get().map(MisPublisher::epoch),
+        }
+    }
+
+    /// Recovery-time re-attach at a prescribed epoch; see
+    /// [`crate::MisEngine::restore_epoch`]. Must be called on a freshly
+    /// built engine, before [`Self::reader`].
+    #[doc(hidden)]
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.mirror = self.mis_iter().collect();
+        self.publisher.set(MisPublisher::attach_at(
+            &self.mirror,
+            self.ranks.compactions(),
+            epoch,
+        ));
     }
 
     /// Verifies the MIS invariant over the whole graph.
@@ -1464,6 +1592,34 @@ mod tests {
             }
         }
         sharded.assert_internally_consistent();
+    }
+
+    #[test]
+    fn verify_and_repair_heals_every_layout() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (g, ids) = generators::erdos_renyi(40, 0.15, &mut rng);
+        for layout in layouts() {
+            let mut engine = crate::Engine::builder()
+                .graph(g.clone())
+                .sharding(layout)
+                .seed(13)
+                .build_sharded();
+            let reader = engine.reader();
+            let twin = engine.clone();
+            let before = reader.epoch();
+            assert_eq!(engine.corrupt_in_mis(&[ids[0], ids[7], ids[13]]), 3);
+            assert_ne!(engine.mis(), twin.mis(), "{layout:?}");
+            let report = engine.verify_and_repair();
+            assert!(report.memberships_violated() >= 3, "{layout:?}");
+            assert_eq!(engine.mis(), twin.mis(), "{layout:?}");
+            engine.assert_internally_consistent();
+            assert!(reader.epoch() > before, "heal publishes a new epoch");
+            let snap = reader.snapshot();
+            let published: Vec<NodeId> = snap.iter().collect();
+            let live: Vec<NodeId> = engine.mis_iter().collect();
+            assert_eq!(published, live, "mirror stayed consistent: {layout:?}");
+            assert!(engine.verify_and_repair().is_clean(), "{layout:?}");
+        }
     }
 
     #[test]

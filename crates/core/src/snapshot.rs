@@ -173,6 +173,29 @@ impl MisPublisher {
         }
     }
 
+    /// Creates the channel at a prescribed epoch instead of 0: the
+    /// recovery path re-attaches a restored engine's read channel at
+    /// the epoch its checkpoint + replayed WAL suffix reconstructed, so
+    /// readers resuming after a crash never observe a regressed epoch.
+    pub(crate) fn attach_at(members: &NodeSet, rank_compactions: u64, epoch: u64) -> Self {
+        let snap = Arc::new(MisSnapshot {
+            members: members.clone(),
+            epoch,
+            rank_compactions,
+        });
+        MisPublisher {
+            cell: Arc::new(SnapshotCell {
+                epoch: AtomicU64::new(epoch),
+                current: Mutex::new(snap),
+            }),
+        }
+    }
+
+    /// Latest published epoch (the writer's own last store).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.cell.epoch.load(Ordering::Relaxed)
+    }
+
     /// Publishes the next flush boundary: a fresh snapshot of `members`
     /// at epoch `latest + 1`. The snapshot is built before the swap
     /// lock is taken, so readers only ever wait for a pointer store.
@@ -401,6 +424,18 @@ mod tests {
         assert_eq!(a.epoch(), 1);
         assert_eq!(b.epoch(), 1);
         assert!(b.snapshot().contains(NodeId(9)));
+    }
+
+    #[test]
+    fn attach_at_resumes_from_a_prescribed_epoch() {
+        let mut publisher = MisPublisher::attach_at(&set_of(&[3]), 2, 41);
+        assert_eq!(publisher.epoch(), 41);
+        let reader = publisher.reader();
+        assert_eq!(reader.epoch(), 41);
+        assert_eq!(reader.snapshot().rank_compactions(), 2);
+        publisher.publish(&set_of(&[3, 5]), 2);
+        assert_eq!(reader.epoch(), 42);
+        assert_eq!(publisher.epoch(), 42);
     }
 
     #[test]

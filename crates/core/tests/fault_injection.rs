@@ -1,0 +1,210 @@
+//! Fault-injection sweep: whatever byte the crash or corruption lands
+//! on, recovery never panics and always lands on a **prefix state** of
+//! the true history.
+//!
+//! A reference writer logs a 200-change history (one WAL record per
+//! change, checkpoints every 64), remembering every record boundary and
+//! every prefix state. The sweep then crashes a copy of the store at
+//! every record boundary — and at seeded offsets *inside* records, and
+//! under seeded bit flips — and proves [`recover`] returns either a
+//! prefix state (bit-identical MIS + epoch for that prefix) or a clean
+//! error, never a panic and never an invented state.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dmis_core::durability::{
+    recover, splitmix64, Checkpoint, MemIo, RecoverError, StorageIo, WriteAheadLog, WAL_FILE,
+};
+use dmis_core::{DynamicMis, Engine, MisEngine};
+use dmis_graph::stream::{self, ChurnConfig};
+use dmis_graph::{NodeId, TopologyChange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHANGES: usize = 200;
+const CKP_EVERY: u64 = 64;
+
+/// The reference history: the shared store's final bytes, the WAL byte
+/// offset after each record, the checkpoint images that were durable at
+/// each point, and the MIS after every prefix of records.
+struct Reference {
+    store: MemIo,
+    boundaries: Vec<usize>,
+    prefix_mis: Vec<BTreeSet<NodeId>>,
+    /// Image `i` is the checkpoint captured at record `i * CKP_EVERY`.
+    ckp_images: Vec<Vec<u8>>,
+}
+
+fn churny() -> ChurnConfig {
+    ChurnConfig {
+        edge_insert: 0.3,
+        edge_delete: 0.25,
+        node_insert: 0.25,
+        node_delete: 0.2,
+        max_new_degree: 4,
+    }
+}
+
+fn drive_reference() -> Reference {
+    let store = MemIo::new();
+    let io: Arc<dyn StorageIo> = Arc::new(store.clone());
+    let mut engine: MisEngine = Engine::builder().seed(5).build_unsharded();
+    let _reader = engine.reader(); // epochs are part of the prefix state
+    let mut wal = WriteAheadLog::create(Arc::clone(&io)).unwrap();
+    let first = Checkpoint::capture(&engine, 0);
+    first.save(io.as_ref()).unwrap();
+    let mut ckp_images = vec![first.encode()];
+
+    let mut boundaries = vec![store.file_len(WAL_FILE).unwrap()];
+    let mut prefix_mis = vec![engine.mis()];
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in 0..CHANGES {
+        let change = stream::random_change(engine.graph(), &churny(), &mut rng).unwrap_or(
+            TopologyChange::InsertNode {
+                id: engine.graph().peek_next_id(),
+                edges: vec![],
+            },
+        );
+        let batch = [change];
+        wal.append(&batch).unwrap();
+        engine.apply_batch(&batch).unwrap();
+        boundaries.push(store.file_len(WAL_FILE).unwrap());
+        prefix_mis.push(engine.mis());
+        let done = (i + 1) as u64;
+        if done.is_multiple_of(CKP_EVERY) {
+            let ckp = Checkpoint::capture(&engine, done);
+            ckp.save(io.as_ref()).unwrap();
+            ckp_images.push(ckp.encode());
+        }
+    }
+    Reference {
+        store,
+        boundaries,
+        prefix_mis,
+        ckp_images,
+    }
+}
+
+/// The checkpoint image that was durable when the WAL held `records`
+/// records (the last periodic save at or below that point).
+fn durable_checkpoint_bytes(reference: &Reference, records: u64) -> Vec<u8> {
+    reference.ckp_images[(records / CKP_EVERY) as usize].clone()
+}
+
+/// Asserts that `store` recovers to a whole-record prefix of the
+/// reference history with the matching MIS and epoch; `max_records`
+/// bounds which prefix is reachable. Returns the prefix length.
+fn assert_recovers_to_prefix(reference: &Reference, store: MemIo, max_records: u64) -> u64 {
+    let recovered = recover(Arc::new(store)).expect("recovery must succeed");
+    let landed = recovered.checkpoint_seq + recovered.replayed as u64;
+    assert!(landed <= max_records, "invented records beyond the tear");
+    assert_eq!(
+        recovered.engine.mis(),
+        reference.prefix_mis[landed as usize],
+        "not the prefix state at record {landed}"
+    );
+    assert_eq!(
+        recovered.engine.durability_meta().epoch,
+        Some(landed),
+        "prefix epoch mismatch at record {landed}"
+    );
+    landed
+}
+
+#[test]
+fn crash_at_every_record_boundary_recovers_that_exact_prefix() {
+    let reference = drive_reference();
+    let full = reference.store.read(WAL_FILE).unwrap().unwrap();
+    for (r, &cut) in reference.boundaries.iter().enumerate() {
+        let r = r as u64;
+        let store = MemIo::new();
+        store
+            .write_atomic(
+                dmis_core::durability::CHECKPOINT_FILE,
+                &durable_checkpoint_bytes(&reference, r),
+            )
+            .unwrap();
+        store.write_atomic(WAL_FILE, &full[..cut]).unwrap();
+        let landed = assert_recovers_to_prefix(&reference, store, r);
+        assert_eq!(landed, r, "a whole-record log replays in full");
+    }
+}
+
+#[test]
+fn crash_inside_a_record_truncates_back_to_the_boundary() {
+    let reference = drive_reference();
+    let full = reference.store.read(WAL_FILE).unwrap().unwrap();
+    for seed in 0..40u64 {
+        // A seeded offset strictly inside some record.
+        let cut = 8 + (splitmix64(seed) % (full.len() as u64 - 8)) as usize;
+        let r = reference
+            .boundaries
+            .iter()
+            .take_while(|&&b| b <= cut)
+            .count() as u64
+            - 1;
+        if reference.boundaries[r as usize] == cut {
+            continue; // exact boundary — covered by the sweep above
+        }
+        let store = MemIo::new();
+        store
+            .write_atomic(
+                dmis_core::durability::CHECKPOINT_FILE,
+                &durable_checkpoint_bytes(&reference, r),
+            )
+            .unwrap();
+        store.write_atomic(WAL_FILE, &full[..cut]).unwrap();
+        let landed = assert_recovers_to_prefix(&reference, store, r);
+        assert_eq!(
+            landed, r,
+            "seed={seed}: torn tail must fall back to boundary"
+        );
+    }
+}
+
+#[test]
+fn seeded_bit_flips_never_panic_and_never_invent_state() {
+    let reference = drive_reference();
+    let wal_len = reference.store.file_len(WAL_FILE).unwrap() as u64;
+    for seed in 0..60u64 {
+        let store = reference.store.fork();
+        let offset = (splitmix64(0xF00D ^ seed) % wal_len) as usize;
+        let mask = 1u8 << (splitmix64(seed ^ 0xBEEF) % 8) as u8;
+        assert!(store.corrupt(WAL_FILE, offset, mask));
+        // The flip lands in some record (or the magic); everything from
+        // that record on is discarded, so recovery lands on a prefix.
+        match std::panic::catch_unwind(|| recover(Arc::new(store))) {
+            Ok(Ok(recovered)) => {
+                let landed = recovered.checkpoint_seq + recovered.replayed as u64;
+                assert_eq!(
+                    recovered.engine.mis(),
+                    reference.prefix_mis[landed as usize],
+                    "seed={seed}: flipped log produced a non-prefix state"
+                );
+            }
+            Ok(Err(e)) => panic!("seed={seed}: WAL corruption must truncate, not fail: {e}"),
+            Err(_) => panic!("seed={seed}: recovery panicked"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_corruption_is_a_loud_error_never_a_panic() {
+    let reference = drive_reference();
+    let ckp_len = reference
+        .store
+        .file_len(dmis_core::durability::CHECKPOINT_FILE)
+        .unwrap() as u64;
+    for seed in 0..60u64 {
+        let store = reference.store.fork();
+        let offset = (splitmix64(0xCAFE ^ seed) % ckp_len) as usize;
+        assert!(store.corrupt(dmis_core::durability::CHECKPOINT_FILE, offset, 0x20));
+        match std::panic::catch_unwind(|| recover(Arc::new(store))) {
+            Ok(Err(RecoverError::Corrupt(_))) => {}
+            Ok(Ok(_)) => panic!("seed={seed}: corrupted checkpoint decoded cleanly"),
+            Ok(Err(e)) => panic!("seed={seed}: unexpected error class: {e}"),
+            Err(_) => panic!("seed={seed}: recovery panicked"),
+        }
+    }
+}

@@ -25,6 +25,10 @@ pub enum GraphError {
     DuplicateEdge(NodeId, NodeId),
     /// Self-loops are not allowed in the paper's model.
     SelfLoop(NodeId),
+    /// A durability sink could not persist a flushed change window
+    /// before it was applied (write-ahead logging failed); the window
+    /// is consumed but neither logged nor applied.
+    PersistFailed,
 }
 
 impl fmt::Display for GraphError {
@@ -34,6 +38,7 @@ impl fmt::Display for GraphError {
             GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
             GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::PersistFailed => write!(f, "persisting a flushed change window failed"),
         }
     }
 }
@@ -51,6 +56,7 @@ mod tests {
             GraphError::MissingEdge(NodeId(1), NodeId(2)).to_string(),
             GraphError::DuplicateEdge(NodeId(1), NodeId(2)).to_string(),
             GraphError::SelfLoop(NodeId(1)).to_string(),
+            GraphError::PersistFailed.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "no trailing punctuation: {m}");

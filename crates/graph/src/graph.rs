@@ -362,6 +362,45 @@ impl DynGraph {
         self.adj.reserve_slots(n);
     }
 
+    /// Reconstructs a graph from its serialized parts: the identifier
+    /// watermark ([`Self::peek_next_id`] of the original), the live node
+    /// ids, and the edge list — the inverse of walking [`Self::nodes`]
+    /// and [`Self::edges`]. This is the durability checkpoint's restore
+    /// path: identifiers are never reused, so deleted nodes leave holes
+    /// and `nodes` may be sparse below `next_id`.
+    ///
+    /// # Errors
+    ///
+    /// - [`GraphError::MissingNode`] if a node id is at or above the
+    ///   watermark (it could never have been allocated), or if an edge
+    ///   endpoint is not a listed node;
+    /// - [`GraphError::DuplicateEdge`] if a node id repeats (reported as
+    ///   a self-pair, matching [`Self::add_node_with_edges`]) or an edge
+    ///   repeats;
+    /// - [`GraphError::SelfLoop`] if an edge joins a node to itself.
+    pub fn from_adjacency(
+        next_id: NodeId,
+        nodes: &[NodeId],
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, GraphError> {
+        let mut g = Self::with_node_capacity(next_id.index() as usize);
+        for &v in nodes {
+            if v >= next_id {
+                return Err(GraphError::MissingNode(v));
+            }
+            if g.adj.contains(v) {
+                return Err(GraphError::DuplicateEdge(v, v));
+            }
+            g.adj.insert(v, AdjList::Flat(Vec::new()));
+            g.enter_degree(0);
+        }
+        g.next_id = next_id.index();
+        for &(u, v) in edges {
+            g.insert_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
     /// Times an insert had to *reallocate* the adjacency slot arena to
     /// reach its id — the scale tier's pre-sizing verification counter.
     /// Growth of individual neighbor vectors is not counted: chunking
@@ -976,6 +1015,50 @@ mod tests {
             g.add_node();
         }
         assert_eq!(g.regrows(), before, "reserve_nodes covered the growth");
+    }
+
+    #[test]
+    fn from_adjacency_round_trips_with_holes() {
+        // Build a churned graph (deleted node => id hole), serialize its
+        // parts, reconstruct, and compare for full equality.
+        let (mut g, ids) = DynGraph::with_nodes(5);
+        g.insert_edge(ids[0], ids[1]).unwrap();
+        g.insert_edge(ids[1], ids[2]).unwrap();
+        g.insert_edge(ids[3], ids[4]).unwrap();
+        g.remove_node(ids[2]).unwrap();
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let edges: Vec<(NodeId, NodeId)> = g.edges().map(EdgeKey::endpoints).collect();
+        let rebuilt = DynGraph::from_adjacency(g.peek_next_id(), &nodes, &edges).unwrap();
+        assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt.peek_next_id(), g.peek_next_id());
+        assert_eq!(rebuilt.max_degree(), g.max_degree());
+        rebuilt.assert_consistent();
+    }
+
+    #[test]
+    fn from_adjacency_rejects_malformed_parts() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_eq!(
+            DynGraph::from_adjacency(NodeId(1), &[a, b], &[]),
+            Err(GraphError::MissingNode(b)),
+            "ids at or above the watermark were never allocated"
+        );
+        assert_eq!(
+            DynGraph::from_adjacency(NodeId(2), &[a, a], &[]),
+            Err(GraphError::DuplicateEdge(a, a)),
+            "repeated node id"
+        );
+        assert_eq!(
+            DynGraph::from_adjacency(NodeId(2), &[a, b], &[(a, b), (b, a)]),
+            Err(GraphError::DuplicateEdge(b, a)),
+            "repeated edge"
+        );
+        assert_eq!(
+            DynGraph::from_adjacency(NodeId(2), &[a], &[(a, b)]),
+            Err(GraphError::MissingNode(b)),
+            "edge endpoint must be a listed node"
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@
 //!   a writer thread while R concurrent [`dmis_core::MisReader`]
 //!   threads sample the epoch-versioned snapshot channel — metering
 //!   read throughput, snapshot staleness, flush (update) latency, and
-//!   the queue-delay SLO percentiles;
+//!   the queue-delay SLO percentiles — optionally made durable
+//!   ([`ServeRun::with_durability`]) with log-then-publish WAL appends
+//!   and periodic checkpoints from `dmis-core`'s durability layer;
+//! - a **crash-restart drill** ([`crash_restart_drill`]) killing a
+//!   durable writer at a seeded byte, recovering, resuming the stream,
+//!   and asserting the result is bit-identical to an uncrashed twin
+//!   with no reader-visible epoch regression;
 //! - a shared **deployment builder** ([`RunConfig`]) both harnesses
 //!   boot from, so a sweep varies one axis (flush policy, shard count,
 //!   readers) with every other held fixed.
@@ -46,6 +52,7 @@
 
 mod async_net;
 mod config;
+mod drill;
 mod event;
 mod ingest;
 mod metrics;
@@ -58,6 +65,7 @@ pub use async_net::{
     AsyncAutomaton, AsyncNetwork, AsyncOutcome, DelaySchedule, RandomDelays, UnitDelays,
 };
 pub use config::RunConfig;
+pub use drill::{crash_restart_drill, DrillReport};
 pub use event::{LocalEvent, NeighborInfo};
 pub use ingest::IngestRun;
 pub use metrics::{ChangeOutcome, Metrics};

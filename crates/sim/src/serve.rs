@@ -28,10 +28,19 @@
 //! Epoch arithmetic is exact: the engine publishes once per settle and
 //! a flush is one settle, so after F flushes the writer is at epoch F
 //! and every reader's final sample observes an epoch in `0..=F`.
+//!
+//! A run becomes **durable** with [`ServeRun::with_durability`]: every
+//! flushed window is appended to a write-ahead log *before* it is
+//! applied (log-then-publish), and a checkpoint image is cut every N
+//! flushes, so a crashed writer recovers to a state at or ahead of
+//! anything its readers observed — the drill proving that end to end is
+//! [`crate::crash_restart_drill`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dmis_core::durability::{Checkpoint, StorageIo, WriteAheadLog};
 use dmis_core::{DynamicMis, IngestReceipt, IngestSession, MisReader};
 use dmis_graph::{GraphError, NodeId, TopologyChange};
 
@@ -78,6 +87,17 @@ pub struct ServeRun {
     readers: usize,
     probes: usize,
     probe_space: u64,
+    durability: Option<Durability>,
+}
+
+/// Checkpoint cadence for a durable serving run: where the images go,
+/// how often they are cut, and how many WAL records the attached log
+/// holds (the `wal_seq` stamped into each image).
+#[derive(Debug)]
+struct Durability {
+    io: Arc<dyn StorageIo>,
+    every: usize,
+    records: u64,
 }
 
 /// The metered outcome of one [`ServeRun::run`] window.
@@ -131,7 +151,57 @@ impl ServeRun {
             readers,
             probes,
             probe_space,
+            durability: None,
         }
+    }
+
+    /// Makes the run durable from scratch: creates a fresh
+    /// [`WriteAheadLog`] on `io`, saves an initial [`Checkpoint`] of the
+    /// engine's current state, and wires the log into the writer's flush
+    /// path (every flush persists its coalesced window *before* applying
+    /// it — log-then-publish). Thereafter a checkpoint image is cut
+    /// every `every` flushes, so recovery replays at most `every`
+    /// records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures from the log creation or the initial
+    /// checkpoint save.
+    pub fn with_durability(
+        mut self,
+        io: Arc<dyn StorageIo>,
+        every: usize,
+    ) -> std::io::Result<Self> {
+        let wal = WriteAheadLog::create(Arc::clone(&io))?;
+        Checkpoint::capture(&**self.session.engine(), 0).save(io.as_ref())?;
+        self.session.set_wal_sink(Box::new(wal));
+        self.durability = Some(Durability {
+            io,
+            every: every.max(1),
+            records: 0,
+        });
+        Ok(self)
+    }
+
+    /// Makes the run durable on an *existing* log — the resume half of
+    /// the crash-restart story: after [`dmis_core::durability::recover`]
+    /// rebuilt the engine, hand its truncated-and-reopened log back in
+    /// and streaming continues exactly where the durable prefix ended.
+    #[must_use]
+    pub fn resume_durability(
+        mut self,
+        wal: WriteAheadLog,
+        io: Arc<dyn StorageIo>,
+        every: usize,
+    ) -> Self {
+        let records = wal.records_persisted();
+        self.session.set_wal_sink(Box::new(wal));
+        self.durability = Some(Durability {
+            io,
+            every: every.max(1),
+            records,
+        });
+        self
     }
 
     /// The serving handle. Clones of it are what `run` hands to reader
@@ -190,7 +260,13 @@ impl ServeRun {
             let mut result = Ok(());
             for change in stream {
                 match self.session.push(change.clone()) {
-                    Ok(Some(receipt)) => meter(&receipt),
+                    Ok(Some(receipt)) => {
+                        meter(&receipt);
+                        result = self.checkpoint_if_due();
+                        if result.is_err() {
+                            break;
+                        }
+                    }
                     Ok(None) => {}
                     Err(e) => {
                         result = Err(e);
@@ -200,7 +276,10 @@ impl ServeRun {
             }
             if result.is_ok() && self.session.queue_depth() > 0 {
                 match self.session.flush() {
-                    Ok(receipt) => meter(&receipt),
+                    Ok(receipt) => {
+                        meter(&receipt);
+                        result = self.checkpoint_if_due();
+                    }
                     Err(e) => result = Err(e),
                 }
             }
@@ -237,6 +316,23 @@ impl ServeRun {
             queue_delay_p50: percentile_d(&delays, 50),
             queue_delay_p99: percentile_d(&delays, 99),
         })
+    }
+
+    /// Bumps the durable-record counter for the flush that just
+    /// persisted (the session's WAL sink appended exactly one record)
+    /// and cuts a checkpoint image when the cadence comes due. A no-op
+    /// for non-durable runs.
+    fn checkpoint_if_due(&mut self) -> Result<(), GraphError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        d.records += 1;
+        if !d.records.is_multiple_of(d.every as u64) {
+            return Ok(());
+        }
+        Checkpoint::capture(&**self.session.engine(), d.records)
+            .save(d.io.as_ref())
+            .map_err(|_| GraphError::PersistFailed)
     }
 }
 
@@ -354,6 +450,37 @@ mod tests {
         for &v in &ids {
             assert_eq!(Some(snap.contains(v)), run.engine().is_in_mis(v));
         }
+    }
+
+    #[test]
+    fn a_durable_run_recovers_to_the_state_readers_saw() {
+        use dmis_core::durability::{recover, MemIo};
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, _ids) = generators::erdos_renyi(48, 0.12, &mut rng);
+        let pool = dmis_graph::stream::random_pair_pool(&g, 32, &mut rng);
+        let stream = dmis_graph::stream::flapping_stream(&g, &pool, 120, false, &mut rng);
+        let store = MemIo::new();
+        let mut run = RunConfig::new(g)
+            .layout(ShardLayout::striped(2))
+            .watermark(4)
+            .seed(6)
+            .probes(4)
+            .serve()
+            .with_durability(Arc::new(store.clone()), 8)
+            .unwrap();
+        let report = run.run(&stream).unwrap();
+        assert_eq!(report.flushes, 30);
+
+        let recovered = recover(Arc::new(store)).unwrap();
+        assert_eq!(recovered.checkpoint_seq, 24, "cadence-8 checkpoint");
+        assert_eq!(recovered.replayed, 6, "only the suffix replays");
+        assert_eq!(recovered.engine.mis(), run.engine().mis());
+        assert_eq!(
+            recovered.engine.durability_meta().epoch,
+            Some(report.final_epoch),
+            "recovery lands on the epoch the readers were being served"
+        );
     }
 
     #[test]

@@ -7,14 +7,23 @@
 //!                              [--shards K] [--threads T]
 //!                              [--watermark W] [--policy SPEC]
 //!                              [--readers R] [--probes P]
+//!                              [--checkpoint-dir DIR] [--checkpoint-every N]
 //! ```
 //!
 //! `--policy` selects the flush policy by spec string — `depth:N`,
 //! `deadline:MS`, `either:N:MS`, or `adaptive` — and overrides
 //! `--watermark` (which is shorthand for `depth:W`).
+//!
+//! `--checkpoint-dir` makes the run durable: every flushed window is
+//! appended to `DIR/wal.bin` *before* it is applied, and a full
+//! checkpoint image is written to `DIR/checkpoint.bin` every
+//! `--checkpoint-every` flushes (default 32). A killed run recovers
+//! with `dmis_core::durability::recover` from the same directory.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use dynamic_mis::core::durability::RealIo;
 use dynamic_mis::core::FlushPolicy;
 use dynamic_mis::graph::{generators, stream, ShardLayout};
 use dynamic_mis::sim::RunConfig;
@@ -30,6 +39,8 @@ struct Options {
     policy: FlushPolicy,
     readers: usize,
     probes: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: usize,
 }
 
 /// Parses a `--policy` spec: `depth:N`, `deadline:MS`, `either:N:MS`,
@@ -63,6 +74,8 @@ fn parse_args() -> Result<Options, String> {
         policy: FlushPolicy::Depth(8),
         readers: 2,
         probes: 32,
+        checkpoint_dir: None,
+        checkpoint_every: 32,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,11 +97,14 @@ fn parse_args() -> Result<Options, String> {
             "--policy" => opts.policy = parse_policy(&take_value(&mut i)?)?,
             "--readers" => opts.readers = parse(take_value(&mut i)?)?,
             "--probes" => opts.probes = parse(take_value(&mut i)?)?,
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(take_value(&mut i)?),
+            "--checkpoint-every" => opts.checkpoint_every = parse(take_value(&mut i)?)?,
             "--help" | "-h" => {
                 return Err("usage: mis_serve [--nodes N] [--changes C] [--seed S] \
                             [--shards K] [--threads T] [--watermark W] \
                             [--policy depth:N|deadline:MS|either:N:MS|adaptive] \
-                            [--readers R] [--probes P]"
+                            [--readers R] [--probes P] \
+                            [--checkpoint-dir DIR] [--checkpoint-every N]"
                     .to_string())
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
@@ -135,6 +151,26 @@ fn main() {
         .readers(opts.readers)
         .probes(opts.probes)
         .serve();
+    if let Some(dir) = &opts.checkpoint_dir {
+        let io = match RealIo::new(dir) {
+            Ok(io) => io,
+            Err(e) => {
+                eprintln!("cannot open checkpoint dir '{dir}': {e}");
+                std::process::exit(1);
+            }
+        };
+        run = match run.with_durability(Arc::new(io), opts.checkpoint_every) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("durability bootstrap failed in '{dir}': {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "durable : wal + checkpoint in {dir}, checkpoint every {} flushes",
+            opts.checkpoint_every
+        );
+    }
     let report = match run.run(&churn) {
         Ok(r) => r,
         Err(e) => {

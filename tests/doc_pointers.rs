@@ -206,6 +206,69 @@ fn cited_adaptive_ingest_items_exist() {
     }
 }
 
+/// Same guard for the Durability-&-repair section: its cited items must
+/// still be declared where the prose points, and the prose must still
+/// mention them.
+#[test]
+fn cited_durability_items_exist() {
+    const ITEMS: [(&str, &str, &str); 8] = [
+        (
+            "crates/core/src/durability/checkpoint.rs",
+            "pub struct Checkpoint",
+            "Checkpoint::restore",
+        ),
+        (
+            "crates/core/src/durability/wal.rs",
+            "pub struct WriteAheadLog",
+            "scan-and-truncate",
+        ),
+        (
+            "crates/core/src/durability/io.rs",
+            "pub trait StorageIo",
+            "StorageIo",
+        ),
+        (
+            "crates/core/src/durability/io.rs",
+            "pub struct FaultIo",
+            "FaultIo",
+        ),
+        (
+            "crates/core/src/api.rs",
+            "pub fn set_wal_sink",
+            "IngestSession::flush",
+        ),
+        (
+            "crates/core/src/engine.rs",
+            "pub fn verify_and_repair",
+            "verify_and_repair",
+        ),
+        (
+            "crates/sim/src/drill.rs",
+            "pub fn crash_restart_drill",
+            "crash_restart_drill",
+        ),
+        (
+            "tools/bench_gate.sh",
+            "BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO",
+            "BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO",
+        ),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    for (file, declaration, citation) in ITEMS {
+        let source = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        assert!(
+            source.contains(declaration),
+            "{file} no longer declares `{declaration}` — update DESIGN.md"
+        );
+        assert!(
+            design.contains(citation),
+            "DESIGN.md dropped its `{citation}` citation — update this table"
+        );
+    }
+}
+
 #[test]
 fn cited_file_paths_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

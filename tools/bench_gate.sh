@@ -77,6 +77,19 @@
 #     (default 64 epochs — generous; a just-acquired snapshot is
 #     normally 0-1 epochs behind the writer). Fresh-run-only, so
 #     fidelity-independent.
+#   - in the fresh "recovery" section (the durability layer: live
+#     log-then-publish ingest vs checkpoint restore + WAL replay of the
+#     same history): replay_ratio (replayed ns/change over live
+#     ns/change, same fresh run so machine speed cancels) exceeds
+#     BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO (default 2.0) — replay
+#     re-executes exactly the logged coalesced windows, so it must stay
+#     within a small constant of live ingest or recovery time stops
+#     being proportional to the replayed suffix; or the checkpoint
+#     image's bytes_per_node exceeds
+#     BENCH_GATE_RECOVERY_MAX_BYTES_PER_NODE (default 256) — the frame
+#     format is adjacency + priorities + witness, all O(n + m), and a
+#     blown ceiling means something unbounded leaked into the image.
+#     Fresh-run-only, so fidelity-independent.
 #
 # Usage: tools/bench_gate.sh <fresh.json> <committed.json>
 #
@@ -99,6 +112,8 @@ serve_max_overhead="${BENCH_GATE_SERVE_MAX_OVERHEAD:-1.10}"
 serve_max_staleness="${BENCH_GATE_SERVE_MAX_STALENESS:-64}"
 ingest_adaptive_min_ratio="${BENCH_GATE_INGEST_ADAPTIVE_MIN_RATIO:-0.8}"
 ingest_p99_max_delay="${BENCH_GATE_INGEST_P99_MAX_DELAY:-32}"
+recovery_max_replay_ratio="${BENCH_GATE_RECOVERY_MAX_REPLAY_RATIO:-2.0}"
+recovery_max_bytes="${BENCH_GATE_RECOVERY_MAX_BYTES_PER_NODE:-256}"
 
 # field <file> <n> <key>: value of <key> in the results entry for n=<n>.
 # Empty output (not a nonzero exit, which set -e would turn into a
@@ -365,6 +380,36 @@ else
     status=1
   fi
   echo "bench gate: serve R=2 reads/s=${sr_rps}, staleness_max=${sr_stale}, regressions=${sr_reg}"
+fi
+
+# rcfield <file> <key>: value of <key> in the "recovery" section's row.
+# The leading key sequence "n", "changes" is unique to that section.
+rcfield() {
+  { grep -o "{\"n\": 4096, \"changes\": [0-9]*,[^}]*}" "$1" \
+    | head -n 1 | grep -o "\"$2\": [0-9.]*" | awk '{print $2}'; } || true
+}
+
+# Recovery gate: WAL replay must stay within a small constant of live
+# ingest, and the checkpoint image must stay O(n + m)-sized. Both
+# figures come from the same fresh run, so the checks are
+# fidelity-independent.
+rc_ratio="$(rcfield "$fresh" replay_ratio)"
+rc_live="$(rcfield "$fresh" live_ns_per_change)"
+rc_replay="$(rcfield "$fresh" replay_ns_per_change)"
+rc_bpn="$(rcfield "$fresh" bytes_per_node)"
+if [ -z "$rc_ratio" ] || [ -z "$rc_live" ] || [ -z "$rc_replay" ] || [ -z "$rc_bpn" ]; then
+  echo "bench gate: missing \"recovery\" row (n=4096) in $fresh" >&2
+  status=1
+else
+  if ! awk -v r="$rc_ratio" -v m="$recovery_max_replay_ratio" 'BEGIN { exit !(r <= m) }'; then
+    echo "bench gate FAIL: recovery replay ratio ${rc_ratio}x > ${recovery_max_replay_ratio}x (live ${rc_live}ns, replay ${rc_replay}ns per change)" >&2
+    status=1
+  fi
+  if ! awk -v b="$rc_bpn" -v m="$recovery_max_bytes" 'BEGIN { exit !(b <= m) }'; then
+    echo "bench gate FAIL: recovery checkpoint ${rc_bpn} bytes/node > ${recovery_max_bytes}" >&2
+    status=1
+  fi
+  echo "bench gate: recovery replay ratio ${rc_ratio}x (live ${rc_live}ns vs replay ${rc_replay}ns per change), checkpoint ${rc_bpn} bytes/node"
 fi
 
 # Parallel-execution gate: the worker-thread plumbing must not tax the
