@@ -7,6 +7,8 @@
 //! With no experiment arguments, runs all of E1–E14. `--quick` shrinks
 //! trial counts (used in CI); see the experiment index in `DESIGN.md`.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dmis_bench::experiments;

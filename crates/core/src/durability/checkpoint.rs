@@ -401,7 +401,7 @@ fn checked_count(cur: &Cursor<'_>, stride: usize) -> Result<usize, CodecError> {
     if count > ((cur.remaining() - 8) / stride) as u64 {
         return Err(CodecError::Truncated);
     }
-    Ok(usize::try_from(count).expect("count bounded by buffer length"))
+    usize::try_from(count).map_err(|_| CodecError::Truncated)
 }
 
 fn take_u64_list(cur: &mut Cursor<'_>) -> Result<Vec<u64>, CodecError> {

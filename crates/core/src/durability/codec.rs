@@ -129,12 +129,14 @@ impl<'a> Cursor<'a> {
 
     pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        let bytes: [u8; 4] = b.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        let bytes: [u8; 8] = b.try_into().map_err(|_| CodecError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 }
 

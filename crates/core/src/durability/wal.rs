@@ -100,8 +100,10 @@ impl WriteAheadLog {
             if rest.len() < 8 {
                 break;
             }
-            let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            // rest.len() >= 8 was checked above, so index directly rather
+            // than going through a panicking conversion.
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
             if rest.len() - 8 < len {
                 break; // torn tail
             }

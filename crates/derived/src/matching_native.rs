@@ -105,11 +105,14 @@ impl NativeMatching {
         let mut nm = Self::empty(seed);
         // Rebuild through the incremental path so the invariant machinery
         // is exercised uniformly.
-        let mut id_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut id_map: NodeMap<NodeId> = NodeMap::new();
         for v in graph.nodes() {
             id_map.insert(v, nm.graph.add_node());
         }
-        debug_assert!(graph.nodes().all(|v| id_map[&v] == v), "fresh ids align");
+        debug_assert!(
+            graph.nodes().all(|v| id_map.get(v) == Some(&v)),
+            "fresh ids align"
+        );
         for key in graph.edges() {
             let (u, v) = key.endpoints();
             nm.insert_edge(u, v).expect("valid source graph");

@@ -1,6 +1,4 @@
-use std::collections::BTreeMap;
-
-use crate::{DynGraph, GraphError, NodeId};
+use crate::{DynGraph, GraphError, NodeId, NodeMap};
 
 /// The clique blow-up reduction `G ↦ G'` used by the paper (after Luby) to
 /// obtain (Δ+1)-coloring from MIS.
@@ -31,8 +29,8 @@ use crate::{DynGraph, GraphError, NodeId};
 pub struct CliqueBlowup {
     blown: DynGraph,
     palette: usize,
-    copies: BTreeMap<NodeId, Vec<NodeId>>,
-    origin: BTreeMap<NodeId, (NodeId, usize)>,
+    copies: NodeMap<Vec<NodeId>>,
+    origin: NodeMap<(NodeId, usize)>,
 }
 
 impl CliqueBlowup {
@@ -54,8 +52,8 @@ impl CliqueBlowup {
         let mut blowup = CliqueBlowup {
             blown: DynGraph::new(),
             palette,
-            copies: BTreeMap::new(),
-            origin: BTreeMap::new(),
+            copies: NodeMap::new(),
+            origin: NodeMap::new(),
         };
         for v in g.nodes() {
             blowup.add_clique(v);
@@ -82,13 +80,13 @@ impl CliqueBlowup {
     /// Returns the copies `(v, 0..palette)` of base node `v`, if present.
     #[must_use]
     pub fn copies_of(&self, v: NodeId) -> Option<&[NodeId]> {
-        self.copies.get(&v).map(Vec::as_slice)
+        self.copies.get(v).map(Vec::as_slice)
     }
 
     /// Returns `(base node, color index)` for a blown-up node.
     #[must_use]
     pub fn origin_of(&self, blown: NodeId) -> Option<(NodeId, usize)> {
-        self.origin.get(&blown).copied()
+        self.origin.get(blown).copied()
     }
 
     fn add_clique(&mut self, v: NodeId) {
@@ -107,12 +105,12 @@ impl CliqueBlowup {
     fn add_matching(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
         let cu = self
             .copies
-            .get(&u)
+            .get(u)
             .ok_or(GraphError::MissingNode(u))?
             .clone();
         let cv = self
             .copies
-            .get(&v)
+            .get(v)
             .ok_or(GraphError::MissingNode(v))?
             .clone();
         for (a, b) in cu.into_iter().zip(cv) {
@@ -129,7 +127,7 @@ impl CliqueBlowup {
     /// Returns [`GraphError::MissingNode`] if a neighbor has no clique.
     pub fn insert_base_node(&mut self, v: NodeId, neighbors: &[NodeId]) -> Result<(), GraphError> {
         for u in neighbors {
-            if !self.copies.contains_key(u) {
+            if !self.copies.contains(*u) {
                 return Err(GraphError::MissingNode(*u));
             }
         }
@@ -159,12 +157,12 @@ impl CliqueBlowup {
     pub fn remove_base_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
         let cu = self
             .copies
-            .get(&u)
+            .get(u)
             .ok_or(GraphError::MissingNode(u))?
             .clone();
         let cv = self
             .copies
-            .get(&v)
+            .get(v)
             .ok_or(GraphError::MissingNode(v))?
             .clone();
         for (a, b) in cu.into_iter().zip(cv) {
@@ -179,9 +177,9 @@ impl CliqueBlowup {
     ///
     /// Returns [`GraphError::MissingNode`] if `v` has no clique.
     pub fn remove_base_node(&mut self, v: NodeId) -> Result<(), GraphError> {
-        let ids = self.copies.remove(&v).ok_or(GraphError::MissingNode(v))?;
+        let ids = self.copies.remove(v).ok_or(GraphError::MissingNode(v))?;
         for id in ids {
-            self.origin.remove(&id);
+            self.origin.remove(id);
             self.blown.remove_node(id)?;
         }
         Ok(())

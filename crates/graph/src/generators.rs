@@ -219,14 +219,18 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
         }
     }
     for i in m..n {
-        let mut targets = std::collections::BTreeSet::new();
+        // Sorted, deduplicated target list: same draw sequence and the
+        // same ascending edge-insertion order a BTreeSet would give.
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
         while targets.len() < m {
             let t = if endpoints.is_empty() {
                 rng.random_range(0..i)
             } else {
                 endpoints[rng.random_range(0..endpoints.len())]
             };
-            targets.insert(t);
+            if let Err(pos) = targets.binary_search(&t) {
+                targets.insert(pos, t);
+            }
         }
         for &t in &targets {
             g.insert_edge(ids[i], ids[t]).expect("fresh edges");

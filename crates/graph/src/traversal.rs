@@ -3,9 +3,9 @@
 //! These are substrate helpers used by tests and by the asynchronous
 //! simulator, which bounds causal chains by graph distances.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
-use crate::{DynGraph, NodeId};
+use crate::{DynGraph, NodeId, NodeMap, NodeSet};
 
 /// Returns the nodes reachable from `start` in BFS order (including
 /// `start`), or an empty vector if `start` does not exist.
@@ -14,7 +14,7 @@ pub fn bfs_order(g: &DynGraph, start: NodeId) -> Vec<NodeId> {
     if !g.has_node(start) {
         return Vec::new();
     }
-    let mut seen = BTreeSet::new();
+    let mut seen = NodeSet::new();
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
     seen.insert(start);
@@ -34,11 +34,17 @@ pub fn bfs_order(g: &DynGraph, start: NodeId) -> Vec<NodeId> {
 /// by their smallest member.
 #[must_use]
 pub fn connected_components(g: &DynGraph) -> Vec<Vec<NodeId>> {
-    let mut unvisited: BTreeSet<NodeId> = g.nodes().collect();
+    let mut unvisited = NodeSet::new();
+    for v in g.nodes() {
+        unvisited.insert(v);
+    }
     let mut components = Vec::new();
-    while let Some(&start) = unvisited.iter().next() {
+    loop {
+        let Some(start) = unvisited.iter().next() else {
+            break;
+        };
         let comp = bfs_order(g, start);
-        for v in &comp {
+        for &v in &comp {
             unvisited.remove(v);
         }
         let mut comp = comp;
@@ -66,18 +72,18 @@ pub fn shortest_path_len(g: &DynGraph, u: NodeId, v: NodeId) -> Option<usize> {
     if !g.has_node(u) || !g.has_node(v) {
         return None;
     }
-    let mut dist: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut dist: NodeMap<usize> = NodeMap::new();
     let mut queue = VecDeque::new();
     dist.insert(u, 0);
     queue.push_back(u);
     while let Some(w) = queue.pop_front() {
-        let d = dist[&w];
+        let d = *dist.get(w).expect("queued nodes have distances");
         if w == v {
             return Some(d);
         }
         for x in g.neighbors(w).expect("queued nodes exist") {
-            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(x) {
-                e.insert(d + 1);
+            if !dist.contains(x) {
+                dist.insert(x, d + 1);
                 queue.push_back(x);
             }
         }

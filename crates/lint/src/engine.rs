@@ -1,0 +1,467 @@
+//! The analysis driver: lex each file, mask test-gated regions, match
+//! every applicable rule's patterns, then settle the hits against the
+//! committed waivers and ratchet.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Tok, Token};
+use crate::rules::{self, Elem, Rule, RULES};
+use crate::waiver::WaiverFile;
+
+/// One workspace source file, path workspace-relative with `/`
+/// separators.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/core/src/engine.rs`).
+    pub rel_path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// A single rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// File it fired in.
+    pub path: String,
+    /// 1-based line of the first token of the match.
+    pub line: u32,
+    /// The matched token text (for the report).
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: `{}`",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// The outcome of one full analysis.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not absorbed by any waiver — each one fails the run.
+    pub unwaived: Vec<Violation>,
+    /// Violations absorbed by a waiver (informational).
+    pub waived: Vec<Violation>,
+    /// Configuration errors: lex failures, unknown waiver rules, waiver
+    /// paths that no longer exist, ratchet overflows/omissions. Each one
+    /// fails the run.
+    pub config_errors: Vec<String>,
+    /// Non-failing notes (waiver slack: fewer hits than the waiver
+    /// allows — the count should ratchet down).
+    pub notes: Vec<String>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree satisfies every contract under the committed
+    /// waivers.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.unwaived.is_empty() && self.config_errors.is_empty()
+    }
+}
+
+/// Marks which tokens are inside test-gated items: a `#[...]` attribute
+/// whose gate mentions `test` (outside a `not(...)`) masks the item that
+/// follows it, through its closing `}` or terminating `;`.
+///
+/// Gating attributes are `#[test]`-shaped (a path ending in `test`, e.g.
+/// `#[tokio::test]`) or `#[cfg(...)]` whose argument mentions `test`
+/// without `not` — so `#[cfg(not(test))]` code stays scanned, and
+/// `#[cfg_attr(test, ...)]` (which only modifies attributes) does not
+/// hide the item it decorates.
+#[must_use]
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        // Outer attribute: `#` `[` ... `]` (inner `#![...]` attributes
+        // configure the enclosing module, not a following item).
+        if tokens[i].tok == Tok::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let (idents, close) = attr_idents(tokens, i + 1);
+            if is_test_gate(&idents) {
+                let end = item_end(tokens, close + 1);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Collects the identifiers inside a bracketed attribute starting at the
+/// opening `[` and returns them with the index of the matching `]`.
+fn attr_idents(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i);
+                }
+            }
+            Tok::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, tokens.len().saturating_sub(1))
+}
+
+fn is_test_gate(idents: &[String]) -> bool {
+    let Some(first) = idents.first() else {
+        return false;
+    };
+    if first == "cfg" {
+        return idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+    }
+    // `#[test]`, `#[tokio::test]`, `#[should_panic]`-style companions
+    // always ride with `#[test]`, so matching the path tail suffices.
+    idents.last().is_some_and(|s| s == "test")
+}
+
+/// Finds the end (exclusive token index) of the item that starts at
+/// `from`: the matching `}` of its first top-level brace block, or its
+/// terminating top-level `;`, whichever comes first. Nested attributes
+/// are stepped over so `#[cfg(test)] #[allow(...)] mod t { ... }` masks
+/// through the whole module.
+fn item_end(tokens: &[Token], from: usize) -> usize {
+    let mut i = from;
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('#')
+                if depth == 0 && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('[')) =>
+            {
+                let (_, close) = attr_idents(tokens, i + 1);
+                i = close + 1;
+                continue;
+            }
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+fn elem_matches(elem: &Elem, tok: &Tok) -> bool {
+    match (elem, tok) {
+        (Elem::Id(set), Tok::Ident(s)) => set.contains(&s.as_str()),
+        (Elem::P(c), Tok::Punct(p)) => c == p,
+        _ => false,
+    }
+}
+
+fn pattern_at(pattern: &[Elem], tokens: &[Token], at: usize) -> bool {
+    tokens.len() - at >= pattern.len()
+        && pattern
+            .iter()
+            .zip(&tokens[at..])
+            .all(|(e, t)| elem_matches(e, &t.tok))
+}
+
+fn excerpt(pattern: &[Elem], tokens: &[Token], at: usize) -> String {
+    let mut s = String::new();
+    for t in &tokens[at..at + pattern.len()] {
+        match &t.tok {
+            Tok::Ident(id) => s.push_str(id),
+            Tok::Punct(c) => s.push(*c),
+            Tok::Lifetime(l) => {
+                s.push('\'');
+                s.push_str(l);
+            }
+        }
+    }
+    s
+}
+
+/// Scans one lexed file against one rule. `mask` flags test-gated
+/// tokens, which never count.
+#[must_use]
+pub fn scan_tokens(rule: &Rule, path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Violation> {
+    if rule.name == rules::FORBID_UNSAFE.name {
+        // Required-sequence rule: the attribute must appear somewhere
+        // (conventionally the header), mask irrelevant.
+        let required = rule.patterns[0];
+        let found = (0..tokens.len()).any(|i| pattern_at(required, tokens, i));
+        return if found {
+            Vec::new()
+        } else {
+            vec![Violation {
+                rule: rule.name,
+                path: path.to_string(),
+                line: 1,
+                excerpt: "missing #![forbid(unsafe_code)]".to_string(),
+            }]
+        };
+    }
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        for pattern in rule.patterns {
+            if pattern_at(pattern, tokens, i) {
+                out.push(Violation {
+                    rule: rule.name,
+                    path: path.to_string(),
+                    line: tokens[i].line,
+                    excerpt: excerpt(pattern, tokens, i),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lexes and scans a single source text as if it lived at `rel_path`.
+/// Returns the violations of every applicable rule, or the lex error.
+///
+/// # Errors
+///
+/// Propagates the [`lexer::LexError`] if the text does not lex.
+pub fn scan_source(rel_path: &str, text: &str) -> Result<Vec<Violation>, lexer::LexError> {
+    let tokens = lexer::lex(text)?;
+    let mask = test_mask(&tokens);
+    let mut out = Vec::new();
+    for rule in RULES {
+        if rules::applies(rule, rel_path) {
+            out.extend(scan_tokens(rule, rel_path, &tokens, &mask));
+        }
+    }
+    Ok(out)
+}
+
+/// Walks the workspace and returns every `.rs` file the linter covers:
+/// `crates/`, `src/`, `tests/`, `examples/`, and `vendor/` (crate-root
+/// checks only), skipping `target/` and fixture corpora.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "vendor"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let text = std::fs::read_to_string(&path)?;
+            out.push(SourceFile {
+                rel_path: rel_path(root, &path),
+                text,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Runs the full analysis: every rule over every file, then settles the
+/// hits against `waivers`. Waiver paths are validated against the file
+/// list, so a waiver for a deleted or renamed file is a config error
+/// (waiver rot fails loudly instead of shielding a fresh file).
+#[must_use]
+pub fn analyze(files: &[SourceFile], waivers: &WaiverFile) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    validate_waivers(files, waivers, &mut report);
+
+    // Allowance per (rule, path), consumed hit by hit.
+    let mut allowance: BTreeMap<(&str, &str), u32> = BTreeMap::new();
+    for w in &waivers.waivers {
+        *allowance
+            .entry((w.rule.as_str(), w.path.as_str()))
+            .or_insert(0) += w.count;
+    }
+
+    for file in files {
+        match scan_source(&file.rel_path, &file.text) {
+            Err(e) => report
+                .config_errors
+                .push(format!("{}: lex error: {e}", file.rel_path)),
+            Ok(violations) => {
+                for v in violations {
+                    let key = (v.rule, file.rel_path.as_str());
+                    match allowance.get_mut(&key) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            report.waived.push(v);
+                        }
+                        _ => report.unwaived.push(v),
+                    }
+                }
+            }
+        }
+    }
+
+    for ((rule, path), left) in &allowance {
+        if *left > 0 {
+            report.notes.push(format!(
+                "waiver slack: {rule} at {path} allows {left} more hit(s) than exist — \
+                 ratchet the count down"
+            ));
+        }
+    }
+    report
+}
+
+fn validate_waivers(files: &[SourceFile], waivers: &WaiverFile, report: &mut Report) {
+    for w in &waivers.waivers {
+        if rules::rule_by_name(&w.rule).is_none() {
+            report
+                .config_errors
+                .push(format!("waiver names unknown rule `{}`", w.rule));
+        }
+        if !files.iter().any(|f| f.rel_path == w.path) {
+            report.config_errors.push(format!(
+                "waiver rot: `{}` waives {} but that file is not in the scanned workspace",
+                w.path, w.rule
+            ));
+        }
+        if w.count == 0 {
+            report.config_errors.push(format!(
+                "waiver for {} at {} has count 0 — delete it instead",
+                w.rule, w.path
+            ));
+        }
+    }
+    // Ratchet: every rule pinned, and per-rule waiver totals within it.
+    let mut totals: BTreeMap<&str, u32> = BTreeMap::new();
+    for w in &waivers.waivers {
+        *totals.entry(w.rule.as_str()).or_insert(0) += w.count;
+    }
+    for rule in RULES {
+        match waivers.ratchet.get(rule.name) {
+            None => report.config_errors.push(format!(
+                "ratchet is missing rule `{}` — every rule must be pinned, 0 included",
+                rule.name
+            )),
+            Some(max) => {
+                let total = totals.get(rule.name).copied().unwrap_or(0);
+                if total > *max {
+                    report.config_errors.push(format!(
+                        "ratchet exceeded: {} waives {total} hits but the ratchet pins {max} — \
+                         debt can only shrink (or the raise must be explicit in this diff)",
+                        rule.name
+                    ));
+                }
+            }
+        }
+    }
+    for name in waivers.ratchet.keys() {
+        if rules::rule_by_name(name).is_none() {
+            report
+                .config_errors
+                .push(format!("ratchet names unknown rule `{name}`"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lexer::lex(src).expect("lexes")
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_items() {
+        let src = "fn live() { x(); }\n#[cfg(test)]\nmod tests { fn t() { y(); } }\nfn tail() {}";
+        let tokens = toks(src);
+        let mask = test_mask(&tokens);
+        let masked: Vec<&str> = tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .filter_map(|(t, _)| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(masked.contains(&"y"));
+        assert!(!masked.contains(&"x"));
+        assert!(!masked.contains(&"tail"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let tokens = toks("#[cfg(not(test))]\nfn prod() { BTreeMap::new(); }");
+        let mask = test_mask(&tokens);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn cfg_attr_test_does_not_mask() {
+        let tokens = toks("#[cfg_attr(test, allow(dead_code))]\nfn prod() { spawn(); }");
+        let mask = test_mask(&tokens);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn stacked_attributes_mask_through_the_item() {
+        let src = "#[cfg(test)]\n#[allow(unused)]\nmod t { fn f() { HashMap::new(); } }";
+        let v = scan_source("crates/graph/src/fake.rs", src).expect("lexes");
+        assert!(v.is_empty(), "masked test module still fired: {v:?}");
+    }
+
+    #[test]
+    fn semicolon_items_mask_narrowly() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { HashMap::new(); }";
+        let v = scan_source("crates/graph/src/fake.rs", src).expect("lexes");
+        assert_eq!(v.len(), 1, "only the live use should fire: {v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+}

@@ -1,0 +1,419 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! The rule engine only needs identifier/path tokens with line numbers,
+//! but getting those *right* requires skipping everything that can
+//! contain banned-looking text without being code: line comments,
+//! nested block comments, normal/raw/byte/C strings, and char literals
+//! (which must be told apart from lifetimes, or `'a'` inside a generic
+//! argument list would derail the scan). Numeric literals are consumed
+//! and dropped; punctuation is emitted one char at a time, which is all
+//! the sequence matchers (`::`, `!`, `#[...]`) need.
+//!
+//! The lexer is intentionally *stricter* than rustc about what it
+//! accepts — an unterminated string or block comment is a [`LexError`],
+//! never a silent resync — so a lexing bug cannot quietly blind a rule.
+
+/// One lexical token the rule engine cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`BTreeMap`, `fn`, `r#type` → `type`).
+    Ident(String),
+    /// A single punctuation character (`:`, `!`, `#`, `{`, …).
+    Punct(char),
+    /// A lifetime or loop label, without the leading quote (`'a` → `a`).
+    Lifetime(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexing failure: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line the offending construct started on.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Lexes `source` into identifier/punct/lifetime tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, char literals, or
+/// block comments — malformed input must be loud, not silently skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    lx.skip_shebang();
+    lx.run()?;
+    Ok(lx.out)
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, line: u32, msg: &str) -> LexError {
+        LexError {
+            line,
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A `#!...` first line that is not an inner attribute (`#![`) is a
+    /// shebang and vanishes before lexing proper.
+    fn skip_shebang(&mut self) {
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment()?,
+                '"' => self.string()?,
+                '\'' => self.quote()?,
+                'r' | 'b' | 'c' if self.literal_prefix() => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or_default();
+                    self.out.push(Token {
+                        tok: Tok::Punct(c),
+                        line,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let start = self.line;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(self.err(start, "unterminated block comment")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles the `r` / `b` / `c` literal prefixes (`r"…"`, `r#"…"#`,
+    /// `r#ident`, `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr"…"`). Returns
+    /// `true` if a prefixed literal or raw identifier was consumed;
+    /// `false` leaves the position untouched so the caller lexes a plain
+    /// identifier.
+    fn literal_prefix(&mut self) -> bool {
+        let c0 = self.peek(0).unwrap_or_default();
+        // Longest prefixes first: br / cr, then single letters.
+        let (len, raw, byte_char) = match (c0, self.peek(1)) {
+            ('b', Some('r')) | ('c', Some('r')) => (2, true, false),
+            ('b', Some('\'')) => (1, false, true),
+            ('r', _) => (1, true, false),
+            ('b' | 'c', Some('"')) => (1, false, false),
+            _ => return false,
+        };
+        if byte_char {
+            self.pos += len;
+            // b'x' is always a char-literal form, never a lifetime.
+            return self.char_literal().is_ok();
+        }
+        // Count '#'s after the prefix; a raw form needs `#*"` and a raw
+        // identifier needs exactly `r#ident`.
+        let mut hashes = 0usize;
+        while self.peek(len + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(len + hashes) {
+            Some('"') => {
+                self.pos += len + hashes;
+                if raw || hashes == 0 {
+                    if raw {
+                        let _ = self.raw_string(hashes);
+                    } else {
+                        let _ = self.string();
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(c) if c0 == 'r' && hashes == 1 && (c == '_' || c.is_alphabetic()) => {
+                // Raw identifier r#type: emit as the bare identifier.
+                self.pos += 2;
+                self.ident();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn string(&mut self) -> Result<(), LexError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // whatever is escaped, including '"'
+                }
+                Some('"') => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err(start, "unterminated string literal")),
+            }
+        }
+    }
+
+    fn raw_string(&mut self, hashes: usize) -> Result<(), LexError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    if (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err(start, "unterminated raw string literal")),
+            }
+        }
+    }
+
+    /// A `'` is either a char literal (`'a'`, `'\n'`, `'"'`) or a
+    /// lifetime/label (`'a`, `'static`). Escapes and a closing quote two
+    /// chars out mean char literal; an identifier head with no closing
+    /// quote means lifetime.
+    fn quote(&mut self) -> Result<(), LexError> {
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) => self.char_literal(),
+            (Some(c), Some('\'')) if c != '\'' => self.char_literal(),
+            (Some(c), _) if c == '_' || c.is_alphabetic() => {
+                let line = self.line;
+                self.bump(); // quote
+                let name = self.ident_text();
+                self.out.push(Token {
+                    tok: Tok::Lifetime(name),
+                    line,
+                });
+                Ok(())
+            }
+            _ => {
+                let line = self.line;
+                Err(self.err(line, "stray single quote"))
+            }
+        }
+    }
+
+    fn char_literal(&mut self) -> Result<(), LexError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('\'') => return Ok(()),
+                Some('\n') | None => return Err(self.err(start, "unterminated char literal")),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let name = self.ident_text();
+        self.out.push(Token {
+            tok: Tok::Ident(name),
+            line,
+        });
+    }
+
+    /// Numbers are consumed and dropped: rules never match on them, but
+    /// suffixed forms (`1_000u64`, `0xFF`, `1e9`) must not shed fake
+    /// identifier tokens. Dots are left alone so ranges (`0..n`) and
+    /// float fractions lex as punctuation, which no rule matches.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Formats a token stream one token per line (`line<TAB>kind<TAB>text`)
+/// — the fixture-corpus format under `tests/fixtures/lexer/`.
+#[must_use]
+pub fn format_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        let (kind, text) = match &t.tok {
+            Tok::Ident(s) => ("ident", s.clone()),
+            Tok::Punct(c) => ("punct", c.to_string()),
+            Tok::Lifetime(s) => ("lifetime", s.clone()),
+        };
+        out.push_str(&format!("{}\t{kind}\t{text}\n", t.line));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // BTreeMap in a line comment
+            /* HashMap /* nested BTreeSet */ still comment */
+            let s = "Instant::now() in a string";
+            let r = r#"thread::spawn in a raw "quoted" string"#;
+            let b = b"panic! bytes";
+            real_ident();
+        "##;
+        assert_eq!(
+            idents(src),
+            ["let", "s", "let", "r", "let", "b", "real_ident"]
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; break 'outer; }")
+            .expect("lexes");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "outer"]);
+        assert!(!idents("let c = 'x';").contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_unwrap() {
+        assert_eq!(idents("let r#type = r#fn;"), ["let", "type", "fn"]);
+    }
+
+    #[test]
+    fn shebang_skipped_but_inner_attr_kept() {
+        assert_eq!(idents("#!/usr/bin/env rust\nfoo();"), ["foo"]);
+        assert_eq!(idents("#![forbid(unsafe_code)]"), ["forbid", "unsafe_code"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("let s = \"open").is_err());
+        assert!(lex("let c = '\\x").is_err());
+    }
+
+    #[test]
+    fn numbers_shed_no_identifiers() {
+        assert_eq!(
+            idents("let x = 1_000u64 + 0xFF + 1e9; for i in 0..n {}"),
+            ["let", "x", "for", "i", "in", "n"]
+        );
+    }
+}

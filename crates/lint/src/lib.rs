@@ -1,0 +1,31 @@
+//! `dmis-lint`: the workspace's determinism conventions as
+//! machine-checked repo contracts.
+//!
+//! The crate is a self-contained static-analysis pass over the
+//! workspace's own sources: a small Rust lexer ([`lexer`]) that strips
+//! comments and string literals and yields identifier/punctuation
+//! tokens with line numbers, a rule set ([`rules`]) that encodes each
+//! contract as banned (or, for the unsafe check, required) token
+//! sequences scoped by path, a waiver ratchet ([`waiver`]) parsed from
+//! `tools/lint_waivers.toml`, and the driver ([`engine`]) that walks
+//! the tree, masks `#[cfg(test)]`/`#[test]` items, and settles hits
+//! against the committed waivers.
+//!
+//! Run it with `cargo run -p dmis-lint` (exit 1 on any unwaived hit,
+//! ratchet overflow, or waiver rot), or `--explain <rule>` for the
+//! contract and its rationale. DESIGN.md § Static contracts holds the
+//! rule-by-rule table.
+
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+
+pub use engine::{analyze, collect_workspace, scan_source, Report, SourceFile, Violation};
+pub use lexer::{lex, LexError, Tok, Token};
+pub use rules::{rule_by_name, Rule, RULES};
+pub use waiver::{Waiver, WaiverFile};

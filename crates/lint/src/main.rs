@@ -1,0 +1,117 @@
+//! CLI for the repo-contract linter.
+//!
+//! ```text
+//! cargo run -p dmis-lint              # full run, exit 1 on violation
+//! cargo run -p dmis-lint -- --list    # rule names + contracts
+//! cargo run -p dmis-lint -- --explain no-ambient-time
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dmis_lint::{analyze, collect_workspace, rule_by_name, waiver, RULES};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for rule in RULES {
+                println!("{}\n    {}\n", rule.name, rule.contract);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--explain") => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: dmis-lint --explain <rule>");
+                return ExitCode::FAILURE;
+            };
+            match rule_by_name(name) {
+                Some(rule) => {
+                    println!(
+                        "{}\n\ncontract: {}\n\nwhy: {}",
+                        rule.name, rule.contract, rule.why
+                    );
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown rule `{name}`; --list shows all rules");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; supported: --list, --explain <rule>");
+            ExitCode::FAILURE
+        }
+        None => run(&workspace_root()),
+    }
+}
+
+fn run(root: &Path) -> ExitCode {
+    let waiver_path = root.join("tools/lint_waivers.toml");
+    let waiver_text = match std::fs::read_to_string(&waiver_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dmis-lint: cannot read {}: {e}", waiver_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let waivers = match waiver::parse(&waiver_text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("dmis-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = match collect_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dmis-lint: workspace walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = analyze(&files, &waivers);
+
+    for err in &report.config_errors {
+        eprintln!("error: {err}");
+    }
+    for v in &report.unwaived {
+        eprintln!("error: {v}");
+        if let Some(rule) = rule_by_name(v.rule) {
+            eprintln!("    contract: {}", rule.contract);
+        }
+    }
+    for note in &report.notes {
+        eprintln!("note: {note}");
+    }
+
+    if report.is_clean() {
+        println!(
+            "dmis-lint: {} files clean ({} waived hit(s) under ratchet)",
+            report.files_scanned,
+            report.waived.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "dmis-lint: {} unwaived violation(s), {} config error(s) across {} files; \
+             run `cargo run -p dmis-lint -- --explain <rule>` for rationale",
+            report.unwaived.len(),
+            report.config_errors.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

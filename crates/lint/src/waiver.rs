@@ -1,0 +1,275 @@
+//! The committed waiver ratchet: `tools/lint_waivers.toml`.
+//!
+//! A waiver grants a specific `(rule, path)` pair a bounded number of
+//! hits, with a mandatory human reason. The `[ratchet]` table pins the
+//! *total* waived hits per rule; the runner fails if any rule's waiver
+//! sum exceeds its ratchet entry, so the only way to add debt is to
+//! raise the ratchet in the same diff — and the only invisible change
+//! is shrinking it. Every rule must appear in the ratchet, zero
+//! included: an explicit zero is a statement, a missing row is a typo.
+//!
+//! The file is parsed by a hand-rolled reader for the TOML subset it
+//! uses (comments, `[[waiver]]` array-of-tables, one `[ratchet]` table,
+//! `key = "string" | integer` pairs) — the linter takes no
+//! dependencies, and a stricter-than-TOML parser means a malformed
+//! waiver file fails CI instead of silently dropping debt.
+
+use std::collections::BTreeMap;
+
+/// One granted exemption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule name the waiver applies to.
+    pub rule: String,
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// Maximum number of hits this waiver absorbs.
+    pub count: u32,
+    /// Why the debt exists (and ideally, the ROADMAP item retiring it).
+    pub reason: String,
+}
+
+/// The parsed waiver file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaiverFile {
+    /// All `[[waiver]]` entries in file order.
+    pub waivers: Vec<Waiver>,
+    /// `[ratchet]` rows: rule name → maximum total waived hits.
+    pub ratchet: BTreeMap<String, u32>,
+}
+
+/// A parse or consistency failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverError {
+    /// 1-based line number in the waiver file.
+    pub line: u32,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint_waivers.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+enum Section {
+    None,
+    Waiver(PartialWaiver),
+    Ratchet,
+}
+
+#[derive(Default)]
+struct PartialWaiver {
+    line: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    count: Option<u32>,
+    reason: Option<String>,
+}
+
+impl PartialWaiver {
+    fn finish(self) -> Result<Waiver, WaiverError> {
+        let missing = |field: &str| WaiverError {
+            line: self.line,
+            msg: format!("[[waiver]] is missing required key `{field}`"),
+        };
+        let reason = self.reason.ok_or_else(|| missing("reason"))?;
+        if reason.trim().is_empty() {
+            return Err(WaiverError {
+                line: self.line,
+                msg: "waiver reason must not be empty".to_string(),
+            });
+        }
+        Ok(Waiver {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            count: self.count.ok_or_else(|| missing("count"))?,
+            reason,
+        })
+    }
+}
+
+/// Parses the waiver-file text.
+///
+/// # Errors
+///
+/// Returns [`WaiverError`] on any line that is not a comment, blank
+/// line, recognized section header, or `key = value` pair — and on
+/// incomplete waivers, duplicate keys, or non-positive counts.
+pub fn parse(text: &str) -> Result<WaiverFile, WaiverError> {
+    let mut out = WaiverFile::default();
+    let mut section = Section::None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Section::Waiver(w) = std::mem::replace(
+                &mut section,
+                Section::Waiver(PartialWaiver {
+                    line: lineno,
+                    ..PartialWaiver::default()
+                }),
+            ) {
+                out.waivers.push(w.finish()?);
+            }
+            continue;
+        }
+        if line == "[ratchet]" {
+            if let Section::Waiver(w) = std::mem::replace(&mut section, Section::Ratchet) {
+                out.waivers.push(w.finish()?);
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(WaiverError {
+                line: lineno,
+                msg: format!("unknown section `{line}` (expected [[waiver]] or [ratchet])"),
+            });
+        }
+        let (key, value) = split_kv(line, lineno)?;
+        match &mut section {
+            Section::None => {
+                return Err(WaiverError {
+                    line: lineno,
+                    msg: "key/value pair before any section header".to_string(),
+                })
+            }
+            Section::Ratchet => {
+                let count = parse_count(&value, lineno)?;
+                if out.ratchet.insert(key.clone(), count).is_some() {
+                    return Err(WaiverError {
+                        line: lineno,
+                        msg: format!("duplicate ratchet entry for `{key}`"),
+                    });
+                }
+            }
+            Section::Waiver(w) => {
+                let dup = |k: &str| WaiverError {
+                    line: lineno,
+                    msg: format!("duplicate key `{k}` in [[waiver]]"),
+                };
+                match key.as_str() {
+                    "rule" => {
+                        if w.rule.replace(parse_string(&value, lineno)?).is_some() {
+                            return Err(dup("rule"));
+                        }
+                    }
+                    "path" => {
+                        if w.path.replace(parse_string(&value, lineno)?).is_some() {
+                            return Err(dup("path"));
+                        }
+                    }
+                    "reason" => {
+                        if w.reason.replace(parse_string(&value, lineno)?).is_some() {
+                            return Err(dup("reason"));
+                        }
+                    }
+                    "count" => {
+                        if w.count.replace(parse_count(&value, lineno)?).is_some() {
+                            return Err(dup("count"));
+                        }
+                    }
+                    other => {
+                        return Err(WaiverError {
+                            line: lineno,
+                            msg: format!("unknown waiver key `{other}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Section::Waiver(w) = section {
+        out.waivers.push(w.finish()?);
+    }
+    Ok(out)
+}
+
+fn split_kv(line: &str, lineno: u32) -> Result<(String, String), WaiverError> {
+    let Some((key, value)) = line.split_once('=') else {
+        return Err(WaiverError {
+            line: lineno,
+            msg: format!("expected `key = value`, got `{line}`"),
+        });
+    };
+    Ok((key.trim().to_string(), value.trim().to_string()))
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, WaiverError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| WaiverError {
+            line: lineno,
+            msg: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(WaiverError {
+            line: lineno,
+            msg: "escapes and embedded quotes are not supported".to_string(),
+        });
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_count(value: &str, lineno: u32) -> Result<u32, WaiverError> {
+    value.parse::<u32>().map_err(|_| WaiverError {
+        line: lineno,
+        msg: format!("expected a non-negative integer, got `{value}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[waiver]]
+rule = "no-ordered-map-hot-path"
+path = "crates/graph/src/linegraph.rs"
+count = 5
+reason = "EdgeKey tables pending ROADMAP edge-keyed dense storage"
+
+[[waiver]]
+rule = "no-ordered-map-hot-path"
+path = "crates/graph/src/stream.rs"
+count = 7
+reason = "EdgeKey presence sets in stream generators"
+
+[ratchet]
+no-ordered-map-hot-path = 12
+no-ambient-time = 0
+"#;
+
+    #[test]
+    fn parses_the_committed_shape() {
+        let f = parse(GOOD).expect("parses");
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].count, 5);
+        assert_eq!(f.waivers[1].path, "crates/graph/src/stream.rs");
+        assert_eq!(f.ratchet["no-ordered-map-hot-path"], 12);
+        assert_eq!(f.ratchet["no-ambient-time"], 0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("rule = \"x\"").is_err(), "kv before section");
+        assert!(parse("[waivers]").is_err(), "unknown section");
+        assert!(parse("[[waiver]]\nrule = \"r\"").is_err(), "incomplete");
+        assert!(
+            parse("[[waiver]]\nrule = \"r\"\npath = \"p\"\ncount = 1\nreason = \"  \"").is_err(),
+            "blank reason"
+        );
+        assert!(parse("[ratchet]\nr = -1").is_err(), "negative count");
+        assert!(parse("[ratchet]\nr = 1\nr = 2").is_err(), "duplicate");
+        assert!(
+            parse("[[waiver]]\nrule = \"a\"\nrule = \"b\"").is_err(),
+            "duplicate waiver key"
+        );
+    }
+}

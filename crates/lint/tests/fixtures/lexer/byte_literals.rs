@@ -1,0 +1,6 @@
+let s = b"byte string with println! inside";
+let c = b'x';
+let q = b'\'';
+let nl = b'\n';
+let raw = br##"raw bytes "# with dbg! inside"##;
+done();

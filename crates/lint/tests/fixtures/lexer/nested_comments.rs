@@ -1,0 +1,5 @@
+/* outer /* inner HashMap */ still outer Instant::now() */
+before();
+/* a /* b /* c panic!() */ b */ a */ after();
+// line comment with unwrap() and a /* dangling opener
+tail();

@@ -1,0 +1,7 @@
+fn generic<'a, 'b: 'a>(x: &'a str, y: &'b str) -> &'a str { x }
+let ch = 'y';
+let esc = '\'';
+let quote_char = '"';
+let unicode = '\u{1F600}';
+'outer: loop { break 'outer; }
+let life: &'static str = "s";

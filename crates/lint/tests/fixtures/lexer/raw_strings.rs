@@ -1,0 +1,8 @@
+// Raw strings are comment- and escape-proof containers: nothing inside
+// them may leak tokens, including block-comment openers and quotes.
+let a = r"plain raw with \ backslash";
+let b = r#"contains /* not a comment */ and "quotes""#;
+let c = r##"one "# hash guard inside"##;
+let d = br#"byte raw with BTreeMap inside"#;
+let e = cr"c raw with thread::spawn inside";
+after();

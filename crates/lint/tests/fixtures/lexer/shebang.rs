@@ -1,0 +1,5 @@
+#!/usr/bin/env run-cargo-script
+#![forbid(unsafe_code)]
+fn main() {
+    body();
+}

@@ -1,0 +1,6 @@
+//! A compliant crate root.
+
+#![forbid(unsafe_code)]
+#![deny(deprecated)]
+
+pub fn f() {}

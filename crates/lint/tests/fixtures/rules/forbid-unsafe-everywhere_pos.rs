@@ -1,0 +1,3 @@
+//! A crate root without the forbid attribute.
+
+pub fn f() {}

@@ -1,0 +1,7 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn seeded(seed: u64) -> StdRng {
+    // Seeded construction keeps the draw stream replayable.
+    StdRng::seed_from_u64(seed)
+}

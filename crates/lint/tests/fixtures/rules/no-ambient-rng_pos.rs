@@ -1,0 +1,4 @@
+pub fn draw_key() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}

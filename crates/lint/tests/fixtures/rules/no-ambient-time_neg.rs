@@ -1,0 +1,14 @@
+use crate::policy::Clock;
+
+pub fn settle_deadline(clock: &dyn Clock) -> u64 {
+    // Time flows through the injected clock, never ambient.
+    clock.now_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_ok_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

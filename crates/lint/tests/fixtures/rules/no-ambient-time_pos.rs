@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+pub fn settle_deadline() -> Instant {
+    Instant::now()
+}

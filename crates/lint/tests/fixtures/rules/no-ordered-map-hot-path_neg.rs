@@ -1,0 +1,16 @@
+use crate::{NodeMap, NodeSet};
+
+pub struct Table {
+    dist: NodeMap<usize>,
+    seen: NodeSet,
+}
+
+#[cfg(test)]
+mod tests {
+    // Ordered maps are fine in test scaffolding.
+    use std::collections::BTreeMap;
+
+    fn oracle() -> BTreeMap<u64, usize> {
+        BTreeMap::new()
+    }
+}

@@ -1,0 +1,6 @@
+use std::collections::BTreeMap;
+
+pub struct Table {
+    dist: BTreeMap<u64, usize>,
+    seen: std::collections::HashSet<u64>,
+}

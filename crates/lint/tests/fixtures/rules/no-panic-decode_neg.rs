@@ -1,0 +1,20 @@
+pub fn decode(bytes: &[u8], expect: u8) -> Result<u32, CodecError> {
+    // `expect` as a parameter *name* must not fire the method-call rule.
+    let head: [u8; 4] = bytes
+        .get(..4)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .map_err(|_| CodecError::Truncated)?;
+    if head[0] != expect {
+        return Err(CodecError::BadTag(head[0]));
+    }
+    Ok(u32::from_le_bytes(head))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        super::decode(&[0, 0, 0, 0], 0).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+pub fn decode(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    if head[0] > 3 {
+        panic!("bad tag");
+    }
+    u32::from_le_bytes(head)
+}

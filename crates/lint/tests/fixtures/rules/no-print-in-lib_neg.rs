@@ -1,0 +1,14 @@
+use std::fmt::Write as _;
+
+pub fn settle(changed: usize, report: &mut String) {
+    // Reporting goes through the caller-supplied sink, not stdout.
+    let _ = writeln!(report, "settled {changed} nodes");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("debug output");
+    }
+}

@@ -1,0 +1,7 @@
+pub fn settle(changed: usize) {
+    println!("settled {changed} nodes");
+    if changed > 100 {
+        eprintln!("large cascade");
+    }
+    dbg!(changed);
+}

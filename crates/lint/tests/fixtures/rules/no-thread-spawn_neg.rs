@@ -1,0 +1,6 @@
+use crate::parallel::EpochExecutor;
+
+pub fn fan_out(exec: &EpochExecutor) {
+    // Work is submitted to the epoch executor; only parallel.rs spawns.
+    exec.run_epoch();
+}

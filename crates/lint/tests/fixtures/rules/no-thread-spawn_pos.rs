@@ -1,0 +1,7 @@
+use std::thread;
+
+pub fn fan_out() {
+    let h = thread::spawn(|| {});
+    h.join().ok();
+    thread::scope(|_| {});
+}

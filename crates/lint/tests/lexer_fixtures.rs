@@ -1,0 +1,91 @@
+//! Lexer hardening corpus: each `tests/fixtures/lexer/<name>.rs` has a
+//! committed `<name>.tokens` golden stream (`line<TAB>kind<TAB>text`).
+//! Regenerate with `DMIS_LINT_BLESS=1 cargo test -p dmis-lint` after a
+//! deliberate lexer change, then review the diff — the goldens are the
+//! spec for the tricky cases (raw strings containing `/*`, nested block
+//! comments, byte literals, char-vs-lifetime quotes, shebangs).
+
+use std::path::{Path, PathBuf};
+
+use dmis_lint::lexer::{format_tokens, lex};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lexer")
+}
+
+#[test]
+fn lexer_fixtures_match_goldens() {
+    let bless = std::env::var_os("DMIS_LINT_BLESS").is_some();
+    let mut cases = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for source_path in entries {
+        let name = source_path
+            .file_stem()
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        let source = std::fs::read_to_string(&source_path).expect("fixture readable");
+        let tokens = lex(&source).unwrap_or_else(|e| panic!("{name}.rs failed to lex: {e}"));
+        let got = format_tokens(&tokens);
+        let golden_path = source_path.with_extension("tokens");
+        if bless {
+            std::fs::write(&golden_path, &got).expect("write golden");
+        } else {
+            let want = std::fs::read_to_string(&golden_path)
+                .unwrap_or_else(|_| panic!("{name}.tokens missing — run with DMIS_LINT_BLESS=1"));
+            assert_eq!(got, want, "{name}: token stream diverged from golden");
+        }
+        cases += 1;
+    }
+    assert!(
+        cases >= 5,
+        "expected the full fixture corpus, found {cases}"
+    );
+}
+
+/// Every token stream must be free of text that only appeared inside
+/// comments or literals — the corpus deliberately hides banned-looking
+/// names in those positions.
+#[test]
+fn fixtures_leak_no_masked_text() {
+    for name in ["raw_strings", "nested_comments", "byte_literals"] {
+        let source =
+            std::fs::read_to_string(fixture_dir().join(format!("{name}.rs"))).expect("fixture");
+        let formatted = format_tokens(&lex(&source).expect("lexes"));
+        for banned in [
+            "BTreeMap", "HashMap", "Instant", "spawn", "panic", "dbg", "unwrap",
+        ] {
+            assert!(
+                !formatted.contains(banned),
+                "{name}: `{banned}` leaked out of a comment/literal"
+            );
+        }
+    }
+}
+
+/// The whole workspace — every file the rule engine scans, vendored
+/// stand-ins included — must lex without error: a file the lexer cannot
+/// handle is a file the rules cannot see.
+#[test]
+fn whole_workspace_lexes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let files = dmis_lint::collect_workspace(root).expect("workspace walk");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks truncated: {}",
+        files.len()
+    );
+    for f in &files {
+        if let Err(e) = lex(&f.text) {
+            panic!("{}: {e}", f.rel_path);
+        }
+    }
+}

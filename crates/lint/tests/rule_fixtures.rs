@@ -1,0 +1,83 @@
+//! Positive/negative fixture pair per rule: the positive fixture must
+//! fire the rule at a synthetic in-scope path, the negative must stay
+//! silent — including its `#[cfg(test)]` sections, which deliberately
+//! contain banned tokens to pin the test-masking behavior.
+
+use std::path::{Path, PathBuf};
+
+use dmis_lint::{scan_source, RULES};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/rules")
+}
+
+/// The synthetic in-scope path each rule's fixtures are scanned under.
+fn scope_path(rule: &str) -> &'static str {
+    match rule {
+        "no-ordered-map-hot-path" => "crates/graph/src/fixture_subject.rs",
+        "no-ambient-time" | "no-thread-spawn" => "crates/core/src/engine_subject.rs",
+        "no-ambient-rng" => "crates/core/src/rank_subject.rs",
+        "no-panic-decode" => "crates/core/src/durability/codec.rs",
+        "forbid-unsafe-everywhere" => "crates/subject/src/lib.rs",
+        "no-print-in-lib" => "crates/core/src/report_subject.rs",
+        other => panic!("no fixture path mapped for rule {other}"),
+    }
+}
+
+fn read_fixture(rule: &str, polarity: &str) -> String {
+    let path = fixture_dir().join(format!("{rule}_{polarity}.rs"));
+    std::fs::read_to_string(&path).unwrap_or_else(|_| panic!("missing fixture {}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_firing_positive_fixture() {
+    for rule in RULES {
+        let text = read_fixture(rule.name, "pos");
+        let violations = scan_source(scope_path(rule.name), &text).expect("fixture lexes");
+        assert!(
+            violations.iter().any(|v| v.rule == rule.name),
+            "{}: positive fixture did not fire; got {violations:?}",
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_silent_negative_fixture() {
+    for rule in RULES {
+        let text = read_fixture(rule.name, "neg");
+        let violations = scan_source(scope_path(rule.name), &text).expect("fixture lexes");
+        assert!(
+            violations.is_empty(),
+            "{}: negative fixture fired: {violations:?}",
+            rule.name
+        );
+    }
+}
+
+/// The same source at an out-of-scope path is clean: scoping, not just
+/// token matching, is part of each rule's contract.
+#[test]
+fn positive_fixtures_are_silent_out_of_scope() {
+    for rule in RULES {
+        if rule.name == "forbid-unsafe-everywhere" {
+            // The inverted rule has no "banned token" to go silent; its
+            // out-of-scope behavior is covered by non-root paths below.
+            let text = read_fixture(rule.name, "pos");
+            let v = scan_source("crates/subject/src/helper.rs", &text).expect("lexes");
+            assert!(v.iter().all(|v| v.rule != rule.name));
+            continue;
+        }
+        let text = read_fixture(rule.name, "pos");
+        let out_of_scope = format!(
+            "crates/core/tests/{}_subject.rs",
+            rule.name.replace('-', "_")
+        );
+        let violations = scan_source(&out_of_scope, &text).expect("fixture lexes");
+        assert!(
+            violations.iter().all(|v| v.rule != rule.name),
+            "{}: fired under a tests/ path: {violations:?}",
+            rule.name
+        );
+    }
+}

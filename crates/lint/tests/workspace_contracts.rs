@@ -1,0 +1,184 @@
+//! End-to-end contract checks against the *real* workspace tree plus
+//! the waiver-ratchet failure modes: the committed tree must be clean
+//! under the committed waivers, a seeded banned token must fail loudly,
+//! and stale or over-budget waivers must be config errors.
+
+use std::path::{Path, PathBuf};
+
+use dmis_lint::{analyze, collect_workspace, waiver, SourceFile};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn committed_waivers() -> waiver::WaiverFile {
+    let text = std::fs::read_to_string(workspace_root().join("tools/lint_waivers.toml"))
+        .expect("waiver file exists");
+    waiver::parse(&text).expect("committed waiver file parses")
+}
+
+#[test]
+fn committed_tree_is_clean_under_committed_waivers() {
+    let files = collect_workspace(&workspace_root()).expect("walk");
+    let report = analyze(&files, &committed_waivers());
+    assert!(
+        report.is_clean(),
+        "committed tree violates its own contracts:\nunwaived: {:#?}\nconfig: {:#?}",
+        report.unwaived,
+        report.config_errors
+    );
+    // The ratchet is tight: stale waiver slack must be burned down, so a
+    // clean tree also has no slack notes.
+    assert!(
+        report.notes.is_empty(),
+        "waiver slack detected — ratchet the counts down: {:#?}",
+        report.notes
+    );
+}
+
+/// Seeding one ambient `Instant::now()` into the real engine source must
+/// produce exactly one unwaived violation naming the rule, file, and a
+/// plausible line — the acceptance criterion for the whole pass.
+#[test]
+fn seeded_ambient_time_in_engine_fails() {
+    let mut files = collect_workspace(&workspace_root()).expect("walk");
+    let engine = files
+        .iter_mut()
+        .find(|f| f.rel_path == "crates/core/src/engine.rs")
+        .expect("engine.rs present");
+    engine
+        .text
+        .push_str("\npub fn seeded() { let _ = std::time::Instant::now(); }\n");
+    let seeded_line = engine
+        .text
+        .lines()
+        .position(|l| l.contains("pub fn seeded"))
+        .expect("seeded line present") as u32
+        + 1;
+    let report = analyze(&files, &committed_waivers());
+    let hit = report
+        .unwaived
+        .iter()
+        .find(|v| v.rule == "no-ambient-time")
+        .expect("seeded Instant::now() must be an unwaived violation");
+    assert_eq!(hit.path, "crates/core/src/engine.rs");
+    assert_eq!(hit.line, seeded_line);
+    assert!(!report.is_clean());
+}
+
+fn fake_files() -> Vec<SourceFile> {
+    vec![SourceFile {
+        rel_path: "crates/graph/src/hot.rs".to_string(),
+        text: "use std::collections::BTreeMap;\npub type T = BTreeMap<u64, u64>;\n".to_string(),
+    }]
+}
+
+const FULL_RATCHET_TAIL: &str = "no-ambient-time = 0\nno-ambient-rng = 0\nno-thread-spawn = 0\n\
+                                 no-panic-decode = 0\nforbid-unsafe-everywhere = 0\n\
+                                 no-print-in-lib = 0\n";
+
+#[test]
+fn waivers_absorb_exactly_their_count() {
+    let toml = format!(
+        "[[waiver]]\nrule = \"no-ordered-map-hot-path\"\npath = \"crates/graph/src/hot.rs\"\n\
+         count = 2\nreason = \"pinned\"\n\n[ratchet]\nno-ordered-map-hot-path = 2\n{FULL_RATCHET_TAIL}"
+    );
+    let report = analyze(&fake_files(), &waiver::parse(&toml).expect("parses"));
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.waived.len(), 2);
+
+    // One hit fewer than the waiver allows: clean, but slack is noted.
+    let toml_slack = toml
+        .replace("count = 2", "count = 3")
+        .replace("no-ordered-map-hot-path = 2", "no-ordered-map-hot-path = 3");
+    let report = analyze(&fake_files(), &waiver::parse(&toml_slack).expect("parses"));
+    assert!(report.is_clean());
+    assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+
+    // One hit more than the waiver allows: the overflow is unwaived.
+    let toml_tight = toml
+        .replace("count = 2", "count = 1")
+        .replace("no-ordered-map-hot-path = 2", "no-ordered-map-hot-path = 1");
+    let report = analyze(&fake_files(), &waiver::parse(&toml_tight).expect("parses"));
+    assert!(!report.is_clean());
+    assert_eq!(report.unwaived.len(), 1);
+    assert_eq!(report.waived.len(), 1);
+}
+
+#[test]
+fn ratchet_overflow_and_omission_are_config_errors() {
+    // Waiver total (2) exceeds the ratchet pin (1).
+    let over = format!(
+        "[[waiver]]\nrule = \"no-ordered-map-hot-path\"\npath = \"crates/graph/src/hot.rs\"\n\
+         count = 2\nreason = \"pinned\"\n\n[ratchet]\nno-ordered-map-hot-path = 1\n{FULL_RATCHET_TAIL}"
+    );
+    let report = analyze(&fake_files(), &waiver::parse(&over).expect("parses"));
+    assert!(report
+        .config_errors
+        .iter()
+        .any(|e| e.contains("ratchet exceeded")));
+
+    // A rule missing from the ratchet is an error even with no waivers.
+    let missing = "[ratchet]\nno-ordered-map-hot-path = 0\n";
+    let report = analyze(&[], &waiver::parse(missing).expect("parses"));
+    assert!(
+        report
+            .config_errors
+            .iter()
+            .any(|e| e.contains("ratchet is missing rule")),
+        "{:?}",
+        report.config_errors
+    );
+
+    // Unknown rule names anywhere are errors, not silent no-ops.
+    let unknown =
+        format!("[ratchet]\nno-such-rule = 0\nno-ordered-map-hot-path = 0\n{FULL_RATCHET_TAIL}");
+    let report = analyze(&[], &waiver::parse(&unknown).expect("parses"));
+    assert!(report
+        .config_errors
+        .iter()
+        .any(|e| e.contains("unknown rule `no-such-rule`")));
+}
+
+/// A waiver pointing at a path that is no longer in the workspace is
+/// rot: it must fail the run rather than silently shielding nothing (or
+/// a future file that happens to take the name).
+#[test]
+fn waiver_rot_is_a_config_error() {
+    let toml = format!(
+        "[[waiver]]\nrule = \"no-ordered-map-hot-path\"\npath = \"crates/graph/src/deleted.rs\"\n\
+         count = 1\nreason = \"stale\"\n\n[ratchet]\nno-ordered-map-hot-path = 1\n{FULL_RATCHET_TAIL}"
+    );
+    let report = analyze(&fake_files(), &waiver::parse(&toml).expect("parses"));
+    assert!(
+        report
+            .config_errors
+            .iter()
+            .any(|e| e.contains("waiver rot") && e.contains("deleted.rs")),
+        "{:?}",
+        report.config_errors
+    );
+}
+
+/// Every committed waiver path must exist on disk right now — the
+/// file-level rot check against the real tree.
+#[test]
+fn committed_waiver_paths_exist() {
+    let root = workspace_root();
+    for w in &committed_waivers().waivers {
+        assert!(
+            root.join(&w.path).is_file(),
+            "waiver path {} does not exist",
+            w.path
+        );
+        assert!(
+            !w.reason.trim().is_empty(),
+            "waiver for {} has an empty reason",
+            w.path
+        );
+    }
+}

@@ -6,6 +6,8 @@
 //!                               [--protocol alg2|direct] [--trace]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use dynamic_mis::graph::generators;
 use dynamic_mis::graph::stream::{self, ChurnConfig};
 use dynamic_mis::protocol::{ConstantBroadcast, TemplateDirect};

@@ -20,6 +20,8 @@
 //! `--checkpoint-every` flushes (default 32). A killed run recovers
 //! with `dmis_core::durability::recover` from the same directory.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

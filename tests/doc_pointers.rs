@@ -269,6 +269,61 @@ fn cited_durability_items_exist() {
     }
 }
 
+/// Same guard for the Static-contracts section: its cited items must
+/// still be declared where the prose points, and the prose must still
+/// mention them.
+#[test]
+fn cited_lint_items_exist() {
+    const ITEMS: [(&str, &str, &str); 8] = [
+        (
+            "crates/lint/src/lexer.rs",
+            "pub fn lex",
+            "nested block comments",
+        ),
+        (
+            "crates/lint/src/rules.rs",
+            "pub const NO_ORDERED_MAP",
+            "no-ordered-map-hot-path",
+        ),
+        (
+            "crates/lint/src/rules.rs",
+            "pub const NO_AMBIENT_TIME",
+            "no-ambient-time",
+        ),
+        (
+            "crates/lint/src/rules.rs",
+            "pub const FORBID_UNSAFE",
+            "forbid-unsafe-everywhere",
+        ),
+        (
+            "crates/lint/src/engine.rs",
+            "pub fn test_mask",
+            "cfg_attr(test,",
+        ),
+        ("crates/lint/src/waiver.rs", "pub fn parse", "waiver rot"),
+        (
+            "crates/lint/src/main.rs",
+            "\"--explain\"",
+            "--explain <rule>",
+        ),
+        ("tools/lint_waivers.toml", "[ratchet]", "[ratchet]"),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md readable");
+    for (file, declaration, citation) in ITEMS {
+        let source = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        assert!(
+            source.contains(declaration),
+            "{file} no longer declares `{declaration}` — update DESIGN.md"
+        );
+        assert!(
+            design.contains(citation),
+            "DESIGN.md dropped its `{citation}` citation — update this table"
+        );
+    }
+}
+
 #[test]
 fn cited_file_paths_resolve() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

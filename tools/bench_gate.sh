@@ -101,6 +101,27 @@ set -euo pipefail
 
 fresh="${1:?usage: bench_gate.sh <fresh.json> <committed.json>}"
 committed="${2:?usage: bench_gate.sh <fresh.json> <committed.json>}"
+
+# Doc-drift gate: every BENCH_GATE_* knob this script reads must appear
+# in README.md's gate-knob table, and every BENCH_GATE_* knob the README
+# documents must still exist here — renaming or removing a knob without
+# updating the docs (or vice versa) fails before any numbers are read.
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+readme="$repo_root/README.md"
+script_vars="$(grep -oE 'BENCH_GATE_[A-Z0-9]+[A-Z0-9_]*' "$0" | sort -u)"
+readme_vars="$(grep -oE 'BENCH_GATE_[A-Z0-9]+[A-Z0-9_]*' "$readme" | sort -u)"
+undocumented="$(comm -23 <(echo "$script_vars") <(echo "$readme_vars"))"
+stale="$(comm -13 <(echo "$script_vars") <(echo "$readme_vars"))"
+if [ -n "$undocumented" ]; then
+  echo "bench gate FAIL: knobs used here but missing from README.md's gate table:" >&2
+  echo "$undocumented" >&2
+  exit 1
+fi
+if [ -n "$stale" ]; then
+  echo "bench gate FAIL: knobs documented in README.md but unknown to this script:" >&2
+  echo "$stale" >&2
+  exit 1
+fi
 max_ratio="${BENCH_GATE_MAX_RATIO:-2.0}"
 par_max_ratio="${BENCH_GATE_PAR_MAX_RATIO:-3.0}"
 front_min_speedup="${BENCH_GATE_FRONT_MIN_SPEEDUP:-1.0}"
